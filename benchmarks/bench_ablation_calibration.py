@@ -1,0 +1,69 @@
+"""Ablation: what does item calibration buy?
+
+DESIGN.md calls out the two-stage calibration (don't-know intercepts,
+then correctness intercepts) as the mechanism that pins the simulated
+cohort to Figure 14/15.  Here we replace the calibrated intercepts with
+flat priors (alpha = 0: every committed answer is a coin flip at mean
+ability; delta = 0: 50% don't-know) and measure how far the Figure 12
+marginals drift — demonstrating the reproduction is a property of the
+calibration, not an accident of the sampler.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.population import calibrate, simulate_developers
+from repro.population.targets import FIG12_CORE
+from repro.quiz import score_core
+
+
+def _uncalibrated():
+    base = calibrate()
+    core = {
+        qid: dataclasses.replace(item, intercept=0.0, dk_intercept=0.0)
+        for qid, item in base.core.items()
+    }
+    optimization = {
+        qid: dataclasses.replace(item, intercept=0.0, dk_intercept=0.0)
+        for qid, item in base.optimization.items()
+    }
+    return dataclasses.replace(base, core=core, optimization=optimization)
+
+
+def _mean_correct(cohort):
+    scores = [score_core(r.core_answers).correct for r in cohort]
+    return sum(scores) / len(scores)
+
+
+def test_calibration_ablation(benchmark):
+    calibrated_cohort = simulate_developers(800, seed=7)
+    ablated_cohort = benchmark(
+        simulate_developers, 800, 7, calibration=_uncalibrated()
+    )
+
+    calibrated_mean = _mean_correct(calibrated_cohort)
+    ablated_mean = _mean_correct(ablated_cohort)
+    print(f"\ncalibrated mean correct: {calibrated_mean:.2f} "
+          f"(paper {FIG12_CORE['correct']})")
+    print(f"uncalibrated mean correct: {ablated_mean:.2f}")
+
+    assert calibrated_mean == pytest.approx(FIG12_CORE["correct"], abs=0.5)
+    # Flat priors: ~50% DK, coin-flip correctness on the rest — the
+    # Figure 12 shape collapses.
+    assert abs(ablated_mean - FIG12_CORE["correct"]) > 2.5
+
+
+def test_calibration_restores_per_question_asymmetry(benchmark):
+    """Identity is answered mostly WRONG in the paper; without
+    calibration it becomes a coin flip like everything else."""
+    from repro.analysis import analyze
+
+    ablated_cohort = simulate_developers(800, seed=7,
+                                         calibration=_uncalibrated())
+    figure = benchmark(
+        lambda: analyze(ablated_cohort).figure("Figure 14")
+    )
+    rates = figure.data["identity"]
+    # Coin flip: correct ~ incorrect, nothing like the 16.6/76.9 split.
+    assert abs(rates["correct"] - rates["incorrect"]) < 15.0

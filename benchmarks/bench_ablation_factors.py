@@ -1,0 +1,70 @@
+"""Ablation: factor effects come from the ability model, not sampling.
+
+With ``factor_scale=0`` every background contributes zero ability, so
+Figures 16-21 must flatten: the contributed-codebase-size gradient and
+the EE/PhysSci gap vanish while the Figure 12 marginals stay calibrated
+(the intercept fit absorbs the missing variance).  This guards against
+the factor charts being artifacts of the marginal-exact sampler.
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.population import AbilityModel, calibrate, simulate_developers
+
+
+@pytest.fixture(scope="module")
+def flat_cohort():
+    model = AbilityModel(factor_scale=0.0)
+    return simulate_developers(
+        3000, seed=11, model=model, calibration=calibrate(model)
+    )
+
+
+def _spread(figure, *levels):
+    correct = [figure.data[level]["correct"] for level in levels]
+    return max(correct) - min(correct)
+
+
+def test_factor_ablation_flattens_fig16(benchmark, flat_cohort):
+    figure = benchmark(
+        lambda: analyze(flat_cohort).figure("Figure 16")
+    )
+    spread = _spread(
+        figure,
+        "100 to 1,000 lines of code",
+        "1,001 to 10,000 lines of code",
+        "10,001 to 100,000 lines of code",
+        ">1,000,000 lines of code",
+    )
+    print(f"\nfig16 spread with factor_scale=0: {spread:.2f} "
+          f"(tuned model: ~4)")
+    assert spread < 1.2
+
+
+def test_factor_ablation_flattens_fig17(benchmark, flat_cohort):
+    figure = benchmark(lambda: analyze(flat_cohort).figure("Figure 17"))
+    spread = _spread(figure, "EE", "CS", "CE", "PhysSci", "Eng")
+    assert spread < 1.2
+
+
+def test_factor_ablation_keeps_marginals(benchmark, flat_cohort):
+    """Zeroing factors must NOT break Figure 12 — calibration refits."""
+    from repro.population.targets import FIG12_CORE
+
+    figure = benchmark(lambda: analyze(flat_cohort).figure("Figure 12"))
+    assert figure.data["core"]["correct"] == pytest.approx(
+        FIG12_CORE["correct"], abs=0.4
+    )
+
+
+def test_tuned_model_has_the_effects(benchmark):
+    """Control arm: the tuned model's Figure 16 gradient is real."""
+    cohort = simulate_developers(3000, seed=11)
+    figure = benchmark(lambda: analyze(cohort).figure("Figure 16"))
+    spread = _spread(
+        figure,
+        "100 to 1,000 lines of code",
+        ">1,000,000 lines of code",
+    )
+    assert spread > 2.5

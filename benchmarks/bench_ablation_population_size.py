@@ -1,0 +1,59 @@
+"""Ablation: sampling-error envelope of the paper's n=199.
+
+How much of the distance between our regenerated Figure 12/14 and the
+paper's numbers is just cohort size?  Sweep n and measure the spread of
+the mean core score across seeds: at n=199 the seed-to-seed standard
+deviation is a sizable fraction of the effects the paper interprets —
+a caution the reproduction quantifies.
+"""
+
+import statistics
+
+from repro.population import simulate_developers
+from repro.quiz import score_core
+
+
+def _mean_correct(n: int, seed: int) -> float:
+    cohort = simulate_developers(n, seed)
+    return statistics.mean(
+        score_core(r.core_answers).correct for r in cohort
+    )
+
+
+def test_population_size_envelope(benchmark):
+    seeds = range(20, 28)
+    spread_by_n = {}
+    for n in (50, 199, 800):
+        means = [_mean_correct(n, seed) for seed in seeds]
+        spread_by_n[n] = statistics.stdev(means)
+    print("\nseed-to-seed sd of mean core score:")
+    for n, sd in spread_by_n.items():
+        print(f"  n={n:4d}: sd={sd:.3f}")
+
+    # Monotone shrinkage with cohort size.
+    assert spread_by_n[50] > spread_by_n[199] > spread_by_n[800] * 0.9
+
+    # Benchmark the paper-size simulation itself.
+    benchmark(simulate_developers, 199, 754)
+
+
+def test_per_question_rate_noise_at_199(benchmark):
+    """Figure 14 cells carry several points of pure sampling noise at
+    n=199 — the basis for the ±12 reproduction band."""
+    from repro.analysis import analyze
+
+    cohorts = [simulate_developers(199, seed) for seed in range(30, 36)]
+
+    def sweep():
+        return [
+            analyze(cohort).figure("Figure 14").data["commutativity"][
+                "correct"
+            ]
+            for cohort in cohorts
+        ]
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    spread = max(rates) - min(rates)
+    print(f"\ncommutativity %correct across 6 seeds at n=199: "
+          f"{[round(r, 1) for r in rates]} (spread {spread:.1f})")
+    assert 1.0 < spread < 25.0

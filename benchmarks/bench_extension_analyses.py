@@ -1,0 +1,83 @@
+"""Extension-analysis benches: confidence calibration, cohort
+comparison, item analysis, and full report generation."""
+
+import pytest
+
+from repro.analysis import (
+    compare_suspicion,
+    item_analysis_figure,
+    overconfidence_figure,
+    render_report,
+)
+from benchmarks.conftest import emit
+
+
+def test_confidence_figure(benchmark, responses):
+    figure = benchmark(overconfidence_figure, responses)
+    emit(figure)
+    core = figure.data["core"]
+    opt = figure.data["optimization"]
+    # The paper's contrast, quantified: confident-but-wrong on core,
+    # appropriately wary on optimization.
+    assert core["mean_confidence"] > 2 * opt["mean_confidence"]
+    assert core["overconfident_share"] > opt["overconfident_share"]
+
+
+def test_cohort_comparison(benchmark, responses):
+    figure = benchmark(compare_suspicion, responses)
+    emit(figure)
+    # Students less suspicious of the benign conditions (positive
+    # developer-vs-student effect sizes).
+    assert figure.data["underflow"]["effect_size"] > 0
+    assert figure.data["denorm"]["effect_size"] > 0
+
+
+def test_item_analysis(benchmark, responses):
+    figure = benchmark(item_analysis_figure, responses)
+    emit(figure)
+    data = figure.data
+    # The two famous rows measure a misconception, not knowledge.
+    assert data["identity"]["misconception"]
+    assert data["divide_by_zero"]["misconception"]
+    # Everything else functions as a knowledge item here.
+    others = [qid for qid in data
+              if qid not in ("identity", "divide_by_zero")]
+    assert sum(1 for qid in others if data[qid]["misconception"]) == 0
+
+
+def test_full_report_generation(benchmark, study):
+    text = benchmark(render_report, study)
+    assert "Figure 22(b)" in text
+    assert len(text.splitlines()) > 200
+
+
+def test_design_power(benchmark):
+    """Was n=199 enough to *significantly* detect the role effect the
+    model builds in?  (Mostly not — consistent with the paper's hedged
+    'no particularly strong factor' and with our seed-754 run flipping
+    Figure 18's direction outright.)"""
+    from repro.analysis import detection_power
+
+    estimate = benchmark.pedantic(
+        lambda: detection_power(n=199, trials=16, seed_base=2000),
+        rounds=1, iterations=1,
+    )
+    print("\n" + estimate.render())
+    assert estimate.direction_rate > 0.6
+    # Significance is NOT reliably reached at the paper's n.
+    assert estimate.significant_rate < 0.9
+
+
+def test_multivariate_regression(benchmark, responses):
+    """All factors jointly: codebase size significant after controls,
+    but the full model leaves most variance unexplained ('no
+    particularly strong factor')."""
+    from repro.analysis import regression_figure
+
+    figure = benchmark.pedantic(
+        lambda: regression_figure(responses, n_bootstrap=150),
+        rounds=1, iterations=1,
+    )
+    emit(figure)
+    assert figure.data["r_squared"] < 0.6
+    assert figure.data["coefficients"]["contributed_size_rank"] > 0

@@ -1,0 +1,108 @@
+"""Benchmarks for the extension subsystems: interval arithmetic,
+training drills, program-level optimization, cohort comparison, and the
+correctly rounded composite operations."""
+
+import random
+
+from repro.fpenv.env import FPEnv
+
+
+def test_interval_sum(benchmark):
+    """Outward-rounded accumulation (two directed roundings per add)."""
+    from repro.interval import Interval
+
+    tenth = Interval.from_decimal("0.1")
+
+    def accumulate():
+        total = Interval.from_value(0.0)
+        for _ in range(10):
+            total = total + tenth
+        return total
+
+    total = benchmark(accumulate)
+    from fractions import Fraction
+
+    assert total.contains_fraction(Fraction(1))
+
+
+def test_interval_mul_sign_analysis(benchmark):
+    from repro.interval import Interval
+
+    x = Interval.from_bounds(-1.5, 2.5)
+    y = Interval.from_bounds(-3.0, 0.5)
+    result = benchmark(lambda: x * y)
+    assert result.contains_value(0.0)
+
+
+def test_drill_generation(benchmark):
+    """Full generation sweep: one item per concept (answers computed on
+    the substrates each time)."""
+    from repro.training import ALL_TEMPLATES
+
+    rng = random.Random(5)
+
+    def generate_all():
+        return [t.generate(rng) for t in ALL_TEMPLATES]
+
+    items = benchmark(generate_all)
+    assert len(items) == len(ALL_TEMPLATES)
+
+
+def test_drill_session_round(benchmark):
+    from repro.training import DrillSession
+
+    session = DrillSession(rng=random.Random(6))
+
+    def one_round():
+        item = session.next_item()
+        return session.submit(item, item.answer)
+
+    outcome = benchmark(one_round)
+    assert outcome.correct
+
+
+def test_program_optimization(benchmark):
+    from repro.optsim import O2, optimize_program, parse_program
+
+    program = parse_program(
+        "t = a * b; u = a * b; v = t + u; dead = a / 0.0;"
+        " w = v * v; return w - t"
+    )
+    optimized = benchmark(optimize_program, program, O2)
+    assert len(optimized.statements) < len(program.statements)
+
+
+def test_program_evaluation(benchmark):
+    from repro.optsim import evaluate_program, parse_program
+    from repro.optsim.evaluator import bind
+    from repro.optsim.machine import STRICT
+
+    program = parse_program(
+        "t = a * b; u = t + c; v = u / t; return v - 1.0"
+    )
+    bindings = bind(STRICT, a=1.7, b=2.9, c=0.3)
+    result = benchmark(evaluate_program, program, bindings)
+    assert result.value.is_finite
+
+
+def test_cohort_comparison(benchmark, responses):
+    from repro.analysis import compare_suspicion
+
+    figure = benchmark(compare_suspicion, responses)
+    assert "invalid" in figure.data
+
+
+def test_hypot_throughput(benchmark):
+    from repro.softfloat import fp_hypot, sf
+
+    a, b = sf(3.0001), sf(4.0002)
+    env = FPEnv()
+    benchmark(fp_hypot, a, b, env)
+
+
+def test_powi_throughput(benchmark):
+    from repro.softfloat import fp_powi, sf
+
+    x = sf(1.0000001)
+    env = FPEnv()
+    benchmark(fp_powi, x, 100, env)

@@ -1,0 +1,86 @@
+"""Figures 1-11: participant background tables.
+
+The sampler allocates factor levels so each marginal matches the
+paper's table exactly (up to +/-1 from largest-remainder apportionment,
+since two of the paper's own tables do not sum to n=199).  Each bench
+times the table generator and prints the regenerated table.
+"""
+
+from repro.analysis import backgrounds as bg
+from benchmarks.conftest import emit
+
+#: (generator, {label: paper count}) — spot anchors from each table.
+_ANCHORS = {
+    "fig01": (bg.fig01_positions, {"Ph.D. student": 73, "Faculty": 49}),
+    "fig02": (bg.fig02_areas, {"Computer Science": 80,
+                               "Other Physical Science Field": 38}),
+    "fig03": (bg.fig03_formal_training,
+              {"One or more lectures in course": 62, "None": 52}),
+    "fig04": (bg.fig04_informal_training,
+              {"Googled when necessary": 138, "Read about it": 136}),
+    "fig05": (bg.fig05_dev_roles,
+              {"I develop software to support my main role": 119,
+               "My main role is as a software engineer": 50}),
+    "fig06": (bg.fig06_fp_languages, {"Python": 142, "C": 139, "C++": 136}),
+    "fig07": (bg.fig07_arb_prec_languages, {"Mathematica": 71, "Maple": 29}),
+    "fig08": (bg.fig08_contributed_sizes,
+              {"1,001 to 10,000 lines of code": 79}),
+    "fig09": (bg.fig09_contributed_fp_extent, {"FP incidental": 77}),
+    "fig10": (bg.fig10_involved_sizes,
+              {"10,001 to 100,000 lines of code": 61}),
+    "fig11": (bg.fig11_involved_fp_extent, {"FP incidental": 71}),
+}
+
+
+def _run(name, benchmark, responses):
+    generator, anchors = _ANCHORS[name]
+    figure = benchmark(generator, responses)
+    emit(figure)
+    for label, expected in anchors.items():
+        measured = figure.data["counts"].get(label, 0)
+        assert abs(measured - expected) <= 1, (label, measured, expected)
+    return figure
+
+
+def test_fig01(benchmark, responses):
+    _run("fig01", benchmark, responses)
+
+
+def test_fig02(benchmark, responses):
+    _run("fig02", benchmark, responses)
+
+
+def test_fig03(benchmark, responses):
+    _run("fig03", benchmark, responses)
+
+
+def test_fig04(benchmark, responses):
+    _run("fig04", benchmark, responses)
+
+
+def test_fig05(benchmark, responses):
+    _run("fig05", benchmark, responses)
+
+
+def test_fig06(benchmark, responses):
+    _run("fig06", benchmark, responses)
+
+
+def test_fig07(benchmark, responses):
+    _run("fig07", benchmark, responses)
+
+
+def test_fig08(benchmark, responses):
+    _run("fig08", benchmark, responses)
+
+
+def test_fig09(benchmark, responses):
+    _run("fig09", benchmark, responses)
+
+
+def test_fig10(benchmark, responses):
+    _run("fig10", benchmark, responses)
+
+
+def test_fig11(benchmark, responses):
+    _run("fig11", benchmark, responses)

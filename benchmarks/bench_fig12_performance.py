@@ -1,0 +1,34 @@
+"""Figure 12: average performance on the core and optimization quizzes.
+
+Paper values (n=199): core 8.5 correct / 4.0 incorrect / 2.3 don't-know
+/ 0.2 unanswered vs chance 7.5; optimization T/F 0.6 / 0.2 / 2.2 / 0.1
+vs chance 1.5.  The headline claim — developers answer confidently but
+barely beat chance — must hold in the reproduction.
+"""
+
+import pytest
+
+from repro.analysis import fig12_performance
+from repro.population.targets import FIG12_CORE, FIG12_OPT
+from benchmarks.conftest import emit
+
+
+def test_fig12(benchmark, responses):
+    figure = benchmark(fig12_performance, responses)
+    emit(figure)
+    core = figure.data["core"]
+    opt = figure.data["optimization"]
+
+    # Shape: confidently answered, barely above chance.
+    assert core["correct"] > figure.data["core_chance"]
+    assert core["correct"] - figure.data["core_chance"] < 2.0
+    assert core["dont_know"] < 3.5  # most questions get an answer
+    # Optimization: "don't know" dominates.
+    assert opt["dont_know"] > 1.8
+    assert opt["correct"] < 1.0
+
+    # Values within sampling tolerance of the paper's table.
+    for key, target in FIG12_CORE.items():
+        assert core[key] == pytest.approx(target, abs=0.8), key
+    for key, target in FIG12_OPT.items():
+        assert opt[key] == pytest.approx(target, abs=0.4), key

@@ -1,0 +1,25 @@
+"""Figure 13: histogram of core-quiz scores.
+
+The paper's chart shows scores spread over roughly 2-15 with the mass
+around the 7-10 mean ("Chance would put the mean at 7.5").
+"""
+
+from repro.analysis import fig13_histogram
+from benchmarks.conftest import emit
+
+
+def test_fig13(benchmark, responses):
+    figure = benchmark(fig13_histogram, responses)
+    emit(figure)
+    histogram = figure.data["histogram"]
+
+    assert sum(histogram.values()) == 199
+    # Mean slightly above chance.
+    assert 7.5 < figure.data["mean"] < 9.5
+    # Unimodal-ish mass in the middle of the scale.
+    middle = sum(histogram[s] for s in range(6, 12))
+    assert middle > 0.55 * 199
+    # Nonempty tails on both sides (the paper's chart shows scores
+    # from ~2 up to 14-15).
+    assert sum(histogram[s] for s in range(0, 5)) >= 1
+    assert sum(histogram[s] for s in range(13, 16)) >= 1

@@ -1,0 +1,43 @@
+"""Figure 14: per-question core-quiz breakdown.
+
+Reproduction check per row (n=199 sampling tolerance ±12 points), plus
+the paper's qualitative highlights: six questions answered at chance,
+Identity and Divide-By-Zero answered *incorrectly* by most participants,
+and the better-but-not-stellar trio (Associativity, Overflow, Exception
+Signal).
+"""
+
+import pytest
+
+from repro.analysis import fig14_core_questions
+from repro.population.targets import CORE_QUESTION_RATES
+from benchmarks.conftest import emit
+
+
+def test_fig14(benchmark, responses):
+    figure = benchmark(fig14_core_questions, responses)
+    emit(figure)
+    data = figure.data
+
+    # Row-by-row against the paper's table.
+    for qid, target in CORE_QUESTION_RATES.items():
+        assert data[qid]["correct"] == pytest.approx(
+            target.correct, abs=12.0
+        ), qid
+        assert data[qid]["dont_know"] == pytest.approx(
+            target.dont_know, abs=10.0
+        ), qid
+
+    # The two questions most participants get WRONG.
+    for qid in ("identity", "divide_by_zero"):
+        assert data[qid]["incorrect"] > data[qid]["correct"], qid
+        assert data[qid]["incorrect"] > 60.0, qid
+
+    # Better than chance but "not exactly stellar" trio.
+    for qid in ("associativity", "overflow", "exception_signal"):
+        assert data[qid]["correct"] > 50.0, qid
+        assert data[qid]["correct"] < 85.0, qid
+
+    # The easy pair.
+    for qid in ("distributivity", "ordering"):
+        assert data[qid]["correct"] > 70.0, qid

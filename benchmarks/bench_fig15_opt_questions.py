@@ -1,0 +1,34 @@
+"""Figure 15: per-question optimization-quiz breakdown.
+
+"All questions were reported as unknown by more than half the
+participants": <10% knew the standard-compliant level, <1/3 knew
+fast-math is non-conforming.
+"""
+
+import pytest
+
+from repro.analysis import fig15_opt_questions
+from repro.population.targets import OPT_QUESTION_RATES
+from benchmarks.conftest import emit
+
+
+def test_fig15(benchmark, responses):
+    figure = benchmark(fig15_opt_questions, responses)
+    emit(figure)
+    data = figure.data
+
+    for qid, target in OPT_QUESTION_RATES.items():
+        assert data[qid]["correct"] == pytest.approx(
+            target.correct, abs=8.0
+        ), qid
+        assert data[qid]["dont_know"] == pytest.approx(
+            target.dont_know, abs=10.0
+        ), qid
+
+    # The paper's highlighted facts.
+    for qid, rates in data.items():
+        assert rates["dont_know"] > 50.0, qid  # DK majority everywhere
+    assert data["opt_level"]["correct"] < 15.0
+    assert data["fast_math"]["correct"] < 38.0
+    # Standard-compliant Level: more wrong than right among answerers.
+    assert data["opt_level"]["incorrect"] > data["opt_level"]["correct"]

@@ -1,0 +1,113 @@
+"""Figures 16-21: factor analysis of quiz performance.
+
+Quoted effect sizes (soft targets; see FACTOR_TARGETS): Contributed
+Codebase Size is the strongest core-quiz factor (best level ~11/15,
+variation ~4/15); Area raises EE/CS/CE while PhysSci/Eng sit at chance;
+Role and Formal Training have small core effects; on the optimization
+quiz only Role and Area matter.  Direction checks run on the paper-size
+cohort where the effect is large, and on a 3000-person cohort where it
+is small (n=199 noise can flip a "slightly better").
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis import (
+    analyze,
+    fig16_contributed_size,
+    fig17_area,
+    fig18_dev_role,
+    fig19_formal_training,
+    fig20_area_opt,
+    fig21_dev_role_opt,
+)
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def large_study():
+    from repro.population import simulate_developers
+
+    return analyze(simulate_developers(3000, seed=20180521))
+
+
+def test_fig16(benchmark, responses):
+    figure = benchmark(fig16_contributed_size, responses)
+    emit(figure)
+    data = figure.data
+    top = data[">1,000,000 lines of code"]["correct"]
+    small = data["100 to 1,000 lines of code"]["correct"]
+    # "rises from 8.5/15 to 11/15 ... variation is 4/15"
+    assert top == pytest.approx(11.0, abs=1.8)
+    assert top - small == pytest.approx(4.0, abs=2.0)
+    # "Even those who have built million line codebases are still
+    # getting an average of 4 out of 15 questions wrong" (incl. DK).
+    assert 15.0 - top >= 3.0
+
+
+def test_fig17(benchmark, responses):
+    figure = benchmark(fig17_area, responses)
+    emit(figure)
+    data = figure.data
+    best_technical = max(
+        data[group]["correct"] for group in ("EE", "CS", "CE")
+    )
+    assert best_technical == pytest.approx(11.0, abs=1.8)
+    # "PhysSci and Eng are performing at the level of chance" (7.5).
+    for group in ("PhysSci", "Eng"):
+        assert data[group]["correct"] == pytest.approx(7.5, abs=1.3), group
+
+
+def test_fig18(benchmark, responses, large_study):
+    figure = benchmark(fig18_dev_role, responses)
+    emit(figure)
+    # Small effect: assert direction on the large cohort.
+    data = large_study.figure("Figure 18").data
+    engineer = data["My main role is as a software engineer"]["correct"]
+    support = data["I develop software to support my main role"]["correct"]
+    assert engineer > support
+    assert engineer - support < 2.0  # "slightly better"
+
+
+def test_fig19(benchmark, responses, large_study):
+    figure = benchmark(fig19_formal_training, responses)
+    emit(figure)
+    data = large_study.figure("Figure 19").data
+    correct = {level: stats["correct"] for level, stats in data.items()}
+    none = correct["None"]
+    best = max(v for k, v in correct.items() if k != "None")
+    # "maximum gain over the baseline is only about 1/15, and the
+    # variation is about 2/15"
+    assert 0.2 < best - none < 2.0
+    assert max(correct.values()) - min(correct.values()) < 2.5
+
+
+def test_fig20(benchmark, responses):
+    figure = benchmark(fig20_area_opt, responses)
+    emit(figure)
+    data = figure.data
+    technical = statistics.mean(
+        data[group]["correct"] for group in ("EE", "CS", "CE")
+    )
+    non_technical = statistics.mean(
+        data[group]["correct"] for group in ("PhysSci", "Eng")
+    )
+    assert technical > non_technical
+    # Effects cap quickly: nobody averages even half the quiz right.
+    assert all(level["correct"] < 1.6 for level in data.values())
+
+
+def test_fig21(benchmark, responses):
+    figure = benchmark(fig21_dev_role_opt, responses)
+    emit(figure)
+    data = figure.data
+    engineer = data["My main role is as a software engineer"]["correct"]
+    support = data["I develop software to support my main role"]["correct"]
+    assert engineer > support
+    # "the variation is considerable (1.4/3 for Role)" — ours is
+    # engineer-vs-manage-support spread; accept >= 0.4.
+    spread = max(v["correct"] for v in data.values()) - min(
+        v["correct"] for v in data.values()
+    )
+    assert spread >= 0.4

@@ -1,0 +1,54 @@
+"""Figure 22: distribution of suspicion for exceptional conditions.
+
+(a) main group n=199, (b) student group n=52.  The published charts are
+encoded as soft target shapes; the hard checks are the paper's prose:
+both groups rank Invalid then Overflow above the benign trio, about 1/3
+report less-than-maximum suspicion for Invalid, and students are less
+suspicious of Underflow, Denorm, and Overflow.
+"""
+
+import pytest
+
+from repro.analysis import fig22_suspicion, fraction_below_max
+from repro.survey.records import Cohort
+from benchmarks.conftest import emit
+
+
+def test_fig22a(benchmark, responses):
+    figure = benchmark(fig22_suspicion, responses, Cohort.DEVELOPER)
+    emit(figure)
+    means = figure.data["means"]
+    assert figure.data["n"] == 199
+    assert means["invalid"] == max(means.values())
+    assert means["overflow"] > max(
+        means["underflow"], means["precision"], means["denorm"]
+    )
+    below_max = fraction_below_max(responses, Cohort.DEVELOPER, "invalid")
+    assert below_max == pytest.approx(1 / 3, abs=0.12)
+
+
+def test_fig22b(benchmark, responses):
+    figure = benchmark(fig22_suspicion, responses, Cohort.STUDENT)
+    emit(figure)
+    means = figure.data["means"]
+    assert figure.data["n"] == 52
+    assert means["invalid"] == max(means.values())
+    below_max = fraction_below_max(responses, Cohort.STUDENT, "invalid")
+    assert below_max == pytest.approx(1 / 3, abs=0.15)
+
+
+def test_fig22_group_contrast(benchmark, responses):
+    def both():
+        return (
+            fig22_suspicion(responses, Cohort.DEVELOPER),
+            fig22_suspicion(responses, Cohort.STUDENT),
+        )
+
+    dev_figure, student_figure = benchmark(both)
+    dev = dev_figure.data["means"]
+    student = student_figure.data["means"]
+    # "the student group is overall less suspicious about Underflow and
+    # Denorm ... also less suspicious of Overflow"
+    assert student["underflow"] < dev["underflow"]
+    assert student["denorm"] < dev["denorm"]
+    assert student["overflow"] < dev["overflow"]

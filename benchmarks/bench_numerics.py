@@ -1,0 +1,87 @@
+"""Accuracy/cost study of the numerics toolkit.
+
+Not a paper figure — the constructive counterpart to the survey's
+findings: the error each summation strategy commits on data of
+increasing condition number, and what the careful algorithms cost.
+Printed as a table (run with ``-s``).
+"""
+
+import random
+
+from repro.fpenv.env import FPEnv
+from repro.numerics import (
+    compensated_dot,
+    exact_sum,
+    kahan_sum,
+    naive_dot,
+    naive_sum,
+    neumaier_sum,
+    pairwise_sum,
+    sum_condition,
+    sum_error_ulps,
+)
+from repro.softfloat import sf
+
+
+def _instance(kappa_scale: float, n: int = 40, seed: int = 0):
+    """Data whose sum condition number grows with ``kappa_scale``."""
+    rng = random.Random(seed)
+    values = [sf(rng.uniform(1.0, 2.0)) for _ in range(n)]
+    # Giants first: the running total is large while the small addends
+    # stream in (the regime Kahan compensates), then cancels at the end.
+    return [sf(kappa_scale * 1.0000000001)] + values + [sf(-kappa_scale)]
+
+
+def test_summation_accuracy_ladder(benchmark):
+    env = FPEnv()
+    print("\nkappa        naive  pairwise   kahan  neumaier   (error, ulps)")
+    rows = []
+    for scale in (1e2, 1e6, 1e10, 1e14):
+        values = _instance(scale)
+        exact = exact_sum(values)
+        errors = tuple(
+            sum_error_ulps(algorithm(values, env), exact)
+            for algorithm in (naive_sum, pairwise_sum, kahan_sum,
+                              neumaier_sum)
+        )
+        kappa = sum_condition(values)
+        rows.append((kappa, errors))
+        print(f"{kappa:9.2e} {errors[0]:8.1f} {errors[1]:8.1f} "
+              f"{errors[2]:8.1f} {errors[3]:8.1f}")
+    # Compensated stays at the ulp level across the whole ladder.
+    assert all(row[1][3] <= 1.0 for row in rows)
+    # Naive degrades with conditioning.
+    assert rows[-1][1][0] > rows[0][1][0]
+
+    values = _instance(1e10)
+    benchmark(naive_sum, values, env)
+
+
+def test_kahan_cost(benchmark):
+    env = FPEnv()
+    values = _instance(1e10)
+    benchmark(kahan_sum, values, env)
+
+
+def test_neumaier_cost(benchmark):
+    env = FPEnv()
+    values = _instance(1e10)
+    benchmark(neumaier_sum, values, env)
+
+
+def test_compensated_dot_accuracy_and_cost(benchmark):
+    rng = random.Random(2)
+    xs = [sf(rng.uniform(-1e8, 1e8)) for _ in range(24)]
+    ys = [sf(rng.uniform(-1e8, 1e8)) for _ in range(24)]
+    # Append a cancelling pair to worsen conditioning.
+    xs += [sf(1e12), sf(-1e12)]
+    ys += [sf(1e12), sf(1e12)]
+    env = FPEnv()
+    from repro.numerics import exact_dot
+
+    exact = exact_dot(xs, ys)
+    naive_result = naive_dot(xs, ys, env).to_fraction()
+    compensated_result = benchmark(compensated_dot, xs, ys, env)
+    naive_error = abs(naive_result - exact)
+    compensated_error = abs(compensated_result.to_fraction() - exact)
+    assert compensated_error <= naive_error

@@ -1,0 +1,65 @@
+"""Substrate benchmarks: optsim pipeline/compliance, quiz ground-truth
+verification, fpspy overhead, shadow execution."""
+
+from repro.optsim import O3, OFAST, find_divergence, optimize, parse_expr
+from repro.optsim.evaluator import bind, evaluate
+
+
+def test_parse_and_optimize(benchmark):
+    source = "sqrt(a*a + b*b) / (a + b + c + d) - fma(a, b, c)"
+
+    def compile_fast_math():
+        return optimize(parse_expr(source), OFAST)
+
+    benchmark(compile_fast_math)
+
+
+def test_strict_evaluation(benchmark):
+    expr = parse_expr("sqrt(a*a + b*b) / (a + b)")
+    bindings = bind(OFAST, a=3.0, b=4.0)
+    benchmark(evaluate, expr, bindings)
+
+
+def test_divergence_search(benchmark):
+    expr = parse_expr("a*b + c")
+    benchmark(find_divergence, expr, O3)
+
+
+def test_all_quiz_demonstrations(benchmark):
+    """End-to-end machine verification of the entire answer key."""
+    from repro.quiz import all_questions
+
+    def verify_all():
+        return [q.verify_ground_truth().ok for q in all_questions()]
+
+    results = benchmark(verify_all)
+    assert all(results)
+
+
+def test_fpspy_overhead(benchmark):
+    """Monitor overhead on the Lorenz workload: monitored vs bare."""
+    import time
+
+    from repro.fpspy import lorenz_trajectory, spy
+
+    def monitored():
+        with spy() as report:
+            lorenz_trajectory(steps=40)
+        return report
+
+    start = time.perf_counter()
+    lorenz_trajectory(steps=40)
+    bare = time.perf_counter() - start
+    report = benchmark(monitored)
+    assert report.flags  # inexact at least
+    print(f"\nbare lorenz(40): {bare * 1e3:.1f} ms (monitored timing above)")
+
+
+def test_shadow_evaluation(benchmark):
+    from repro.shadow import shadow_evaluate
+
+    expr = parse_expr("(a*a - b*b) / (a - b)")
+    result = benchmark(
+        shadow_evaluate, expr, {"a": 1.0 + 2.0**-30, "b": 1.0}
+    )
+    assert result.suspicious

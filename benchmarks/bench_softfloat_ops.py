@@ -1,0 +1,82 @@
+"""Substrate microbenchmarks: softfloat operation throughput.
+
+Not a paper figure — the substrate's own cost profile, here so
+regressions in the integer kernels show up.  The engine favors provable
+correctness (exact integer intermediates) over speed; these numbers
+document the price.
+"""
+
+import pytest
+
+from repro.fpenv.env import FPEnv
+from repro.softfloat import (
+    BINARY32,
+    BINARY64,
+    BINARY128,
+    SoftFloat,
+    fp_add,
+    fp_div,
+    fp_fma,
+    fp_mul,
+    fp_sqrt,
+    sf,
+)
+
+FORMATS = {"binary32": BINARY32, "binary64": BINARY64,
+           "binary128": BINARY128}
+
+
+@pytest.mark.parametrize("fmt_name", list(FORMATS))
+def test_add_throughput(benchmark, fmt_name):
+    fmt = FORMATS[fmt_name]
+    a, b = sf(1.7, fmt), sf(2.9, fmt)
+    env = FPEnv()
+    benchmark(fp_add, a, b, env)
+
+
+@pytest.mark.parametrize("fmt_name", list(FORMATS))
+def test_mul_throughput(benchmark, fmt_name):
+    fmt = FORMATS[fmt_name]
+    a, b = sf(1.7, fmt), sf(2.9, fmt)
+    env = FPEnv()
+    benchmark(fp_mul, a, b, env)
+
+
+@pytest.mark.parametrize("fmt_name", list(FORMATS))
+def test_div_throughput(benchmark, fmt_name):
+    fmt = FORMATS[fmt_name]
+    a, b = sf(1.7, fmt), sf(2.9, fmt)
+    env = FPEnv()
+    benchmark(fp_div, a, b, env)
+
+
+def test_fma_throughput(benchmark):
+    a, b, c = sf(1.7), sf(2.9), sf(-0.3)
+    env = FPEnv()
+    benchmark(fp_fma, a, b, c, env)
+
+
+def test_sqrt_throughput(benchmark):
+    env = FPEnv()
+    benchmark(fp_sqrt, sf(2.0), env)
+
+
+def test_subnormal_add_throughput(benchmark):
+    """Subnormal paths take the same kernels; no cliff expected."""
+    a = SoftFloat.min_subnormal(BINARY64)
+    b = SoftFloat.min_normal(BINARY64)
+    env = FPEnv()
+    benchmark(fp_add, a, b, env)
+
+
+def test_parse_throughput(benchmark):
+    from repro.softfloat import parse_softfloat
+
+    benchmark(parse_softfloat, "3.141592653589793")
+
+
+def test_print_throughput(benchmark):
+    from repro.softfloat import format_softfloat
+
+    x = sf(0.1) + sf(0.2)
+    benchmark(format_softfloat, x)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_figXX`` module regenerates one of the paper's tables or
+figures from the simulated cohorts (the expensive simulation happens
+once per session; the benchmarked quantity is the analysis itself),
+prints the same rows/series the paper reports, and asserts the
+reproduction bands recorded in EXPERIMENTS.md.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def study():
+    """Paper-sized simulated study (199 developers + 52 students)."""
+    from repro.analysis.study import run_study
+
+    return run_study(seed=754)
+
+
+@pytest.fixture(scope="session")
+def responses(study):
+    return list(study.responses)
+
+
+@pytest.fixture(scope="session")
+def developers(responses):
+    from repro.analysis.common import developers_only
+
+    return developers_only(responses)
+
+
+def emit(figure) -> None:
+    """Print a regenerated figure (visible with ``-s``)."""
+    print()
+    print(figure.render())

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""The suspicion quiz made real: monitor simulations with fpspy.
+
+The survey asked developers how suspicious each sticky exceptional
+condition should make them.  Here we wrap five small scientific
+simulations — including the Lorenz system the paper's introduction
+invokes — with the fpspy monitor, and print the suspicion-structured
+report for each.  Compare the verdicts with the paper's reference
+ranking: Invalid >> Overflow >> {Underflow, Precision, Denorm}.
+
+Run: ``python examples/lorenz_suspicion.py``
+"""
+
+from repro.fpenv.flags import flag_names
+from repro.fpspy import WORKLOADS, spy
+from repro.quiz.suspicion import reference_ranking
+
+
+def main() -> None:
+    print("reference suspicion ranking (most to least):",
+          " > ".join(reference_ranking()))
+    print()
+    for workload in WORKLOADS:
+        print(f"--- {workload.name}: {workload.description} ---")
+        with spy() as report:
+            result = workload.run()
+        print(f"result: {result!r}")
+        print(f"softfloat flags: {flag_names(report.softfloat_flags)}")
+        print(report.render())
+        print()
+
+    # The Exception Signal question, live: none of those simulations
+    # raised a Python exception, even the one that produced a NaN.
+    print("note: every workload above ran to completion without any "
+          "signal or exception reaching this script -- exactly the "
+          "default-silent behavior 30% of surveyed developers did not "
+          "expect (Exception Signal, Figure 14).")
+
+
+if __name__ == "__main__":
+    main()

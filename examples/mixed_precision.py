@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Mixed precision: the same computation across six formats.
+
+The paper's introduction warns that "different levels of precision are
+becoming more common" — half floats, bfloat16, and (since then) FP8 —
+and that developers rarely understand what they trade away.  This
+example runs three kernels across the format ladder, using the exact
+reference from the shadow machinery to report true relative error, and
+shows the cliff where each format's range or precision gives out.
+
+Run: ``python examples/mixed_precision.py``
+"""
+
+from fractions import Fraction
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag, flag_names
+from repro.softfloat import (
+    BFLOAT16,
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    E4M3,
+    E5M2,
+    fp_add,
+    fp_div,
+    fp_hypot,
+    fp_mul,
+    sf,
+)
+
+LADDER = [E4M3, E5M2, BINARY16, BFLOAT16, BINARY32, BINARY64]
+
+
+def dot_product(fmt, env):
+    """A 16-term dot product of moderate values."""
+    total = sf(0.0, fmt)
+    exact = Fraction(0)
+    for i in range(1, 17):
+        a = sf(1.0 + i / 7.0, fmt)
+        b = sf(2.0 - i / 9.0, fmt)
+        total = fp_add(total, fp_mul(a, b, env), env)
+        exact += a.to_fraction() * b.to_fraction()
+    return total, exact
+
+
+def mean_of_small(fmt, env):
+    """Average of values near the bottom of the exponent range."""
+    values = [sf(1.0 / 3000.0, fmt), sf(1.0 / 7000.0, fmt),
+              sf(1.0 / 900.0, fmt)]
+    total = sf(0.0, fmt)
+    exact = Fraction(0)
+    for value in values:
+        total = fp_add(total, value, env)
+        exact += value.to_fraction()
+    result = fp_div(total, sf(3.0, fmt), env)
+    return result, exact / 3
+
+
+def relative_error(value, exact: Fraction) -> str:
+    if exact == 0:
+        return "exact-zero"
+    if not value.is_finite:
+        return str(value)
+    err = abs(value.to_fraction() - exact) / abs(exact)
+    return f"{float(err):.2e}"
+
+
+def main() -> None:
+    print(f"{'format':10} {'bits':>4} {'dot-product':>24} "
+          f"{'rel.err':>9}   flags")
+    for fmt in LADDER:
+        env = FPEnv()
+        result, exact = dot_product(fmt, env)
+        flags = ",".join(flag_names(env.flags & ~FPFlag.INEXACT)) or "-"
+        print(f"{fmt.name:10} {fmt.width:>4} {str(result):>24} "
+              f"{relative_error(result, exact):>9}   {flags}")
+
+    print("\nhypot(200, 150) — range pressure:")
+    for fmt in LADDER:
+        env = FPEnv()
+        a, b = sf(200.0, fmt), sf(150.0, fmt)
+        result = fp_hypot(a, b, env)
+        flags = ",".join(flag_names(env.flags & ~FPFlag.INEXACT)) or "-"
+        note = ""
+        if result.is_inf:
+            note = "  <- operands exceed the format's range"
+        elif a.to_float() != 200.0:
+            note = "  <- inputs already rounded on entry"
+        print(f"  {fmt.name:10} {str(result):>12}   {flags}{note}")
+
+    print("\nmean of three tiny values — precision pressure:")
+    for fmt in LADDER:
+        env = FPEnv()
+        result, exact = mean_of_small(fmt, env)
+        flags = ",".join(flag_names(env.flags & ~FPFlag.INEXACT)) or "-"
+        print(f"  {fmt.name:10} {str(result):>14} "
+              f"(rel.err {relative_error(result, exact):>9})   {flags}")
+
+    print("\ntakeaway: the quiz's gotchas scale with 1/precision — "
+          "everything the survey showed developers misjudging in "
+          "binary64 happens orders of magnitude sooner in the formats "
+          "ML hardware prefers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""What the "numerical correctness person" actually does.
+
+The survey's strongest performers were people whose role included
+numeric correctness.  This example shows that role's toolbox beating
+the textbook versions on three classic problems — and then shows a
+compiler flag silently deleting one of the fixes.
+
+Run: ``python examples/numeric_correctness.py``
+"""
+
+import random
+
+from repro.fpenv.env import FPEnv
+from repro.numerics import (
+    compensated_dot,
+    exact_dot,
+    exact_sum,
+    kahan_sum,
+    naive_dot,
+    naive_sum,
+    neumaier_sum,
+    quadratic_roots_stable,
+    quadratic_roots_textbook,
+    sum_condition,
+    sum_error_ulps,
+)
+from repro.softfloat import sf
+
+
+def summation_story() -> None:
+    print("== 1. summation: 4096 tiny addends under a big total ==")
+    values = [sf(1.0)] + [sf(2.0**-53)] * 4096
+    env = FPEnv()
+    exact = exact_sum(values)
+    print(f"   condition number: {sum_condition(values):.2f} (benign!)")
+    for name, algorithm in (("naive", naive_sum), ("kahan", kahan_sum),
+                            ("neumaier", neumaier_sum)):
+        result = algorithm(values, env)
+        print(f"   {name:9s} {result!s:<22} "
+              f"error {sum_error_ulps(result, exact):.2f} ulps")
+    print("   naive absorbed every addend (the Saturation Plus gotcha);"
+          " compensation recovers them.\n")
+
+
+def dot_story() -> None:
+    print("== 2. dot product with internal cancellation ==")
+    xs = [sf(1e10), sf(1.0), sf(-1e10), sf(1.0)]
+    ys = [sf(1e10), sf(1.0), sf(1e10), sf(1.0)]
+    env = FPEnv()
+    exact = exact_dot(xs, ys)
+    print(f"   exact value: {exact}")
+    print(f"   naive:       {naive_dot(xs, ys, env)!s}")
+    print(f"   compensated: {compensated_dot(xs, ys, env)!s}\n")
+
+
+def quadratic_story() -> None:
+    print("== 3. the quadratic formula, x^2 - 1e8 x + 1 ==")
+    a, b, c = sf(1.0), sf(-1e8), sf(1.0)
+    env = FPEnv()
+    _, textbook_small = quadratic_roots_textbook(a, b, c, env)
+    _, stable_small = quadratic_roots_stable(a, b, c, env)
+    print(f"   true small root:     ~1.0000000000000001e-08")
+    print(f"   textbook formula:    {textbook_small!s}")
+    print(f"   stable formula:      {stable_small!s}\n")
+
+
+def fast_math_story() -> None:
+    print("== 4. and then the compiler deletes the fix ==")
+    from repro.optsim import OFAST, optimize, parse_expr
+
+    compensation = parse_expr("((t + y) - t) - y")
+    print("   Kahan's compensation term:  c = ((t + y) - t) - y")
+    print(f"   compiled at -Ofast:         c = "
+          f"{optimize(compensation, OFAST)}")
+    print("   -fassociative-math cancels t with -t and y with -y: the")
+    print("   compensated algorithm silently degrades to naive "
+          "summation.")
+    print("   (This is why numerics libraries pin their FP flags.)")
+
+
+if __name__ == "__main__":
+    summation_story()
+    dot_story()
+    quadratic_story()
+    fast_math_story()

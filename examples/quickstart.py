@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: the library in five minutes.
+
+1. Poke at IEEE 754 with the softfloat engine (the quiz's subject
+   matter).
+2. Grade a quiz submission and see the executable answer key.
+3. Reproduce the paper's headline result (Figure 12) in one call.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.analysis import run_study
+from repro.fpenv import FPFlag, env_context
+from repro.quiz import TFAnswer, core_question, grade
+from repro.softfloat import BINARY32, SoftFloat, sf
+
+
+def explore_softfloat() -> None:
+    """The gotchas, hands on."""
+    print("== 1. IEEE 754, bit-exact and in pure Python ==")
+    a = sf(0.1) + sf(0.2)
+    print(f"0.1 + 0.2            = {a}   (== 0.3? {a == sf(0.3)})")
+    print(f"nan == nan           = {sf('nan') == sf('nan')}")
+    print(f"-0.0 == 0.0          = {sf('-0.0') == sf('0.0')}")
+    print(f"(2^53 + 1) == 2^53   = {sf(2.0**53) + 1 == sf(2.0**53)}")
+
+    with env_context() as env:
+        result = sf(1.0) / sf(0.0)
+        print(f"1.0/0.0              = {result}  "
+              f"(divide-by-zero flag: {env.test_flag(FPFlag.DIV_BY_ZERO)}, "
+              f"but no signal was raised)")
+
+    # The same engine runs any binary format:
+    print(f"0.1 in binary32      = {sf(0.1, BINARY32).hex()}")
+    print(f"largest binary32     = {SoftFloat.max_finite(BINARY32)}")
+    print()
+
+
+def take_the_quiz() -> None:
+    """Grade a (partially wrong) submission against executable ground
+    truth."""
+    print("== 2. The quiz, with an answer key you can run ==")
+    submission = {
+        "identity": TFAnswer.TRUE,           # the classic mistake
+        "divide_by_zero": TFAnswer.FALSE,    # the other classic mistake
+        "associativity": TFAnswer.FALSE,     # correct
+        "overflow": TFAnswer.FALSE,          # correct
+        "madd": TFAnswer.DONT_KNOW,
+        "opt_level": "-O2",                  # correct
+    }
+    report = grade(submission)
+    print(report.render())
+    print()
+    print("proof for the Identity question:")
+    print(core_question("identity").verify_ground_truth().render())
+    print()
+
+
+def reproduce_headline() -> None:
+    """Figure 12: developers barely beat chance, yet answer confidently."""
+    print("== 3. The paper's headline result, regenerated ==")
+    study = run_study(seed=754)
+    print(study.figure("Figure 12").render())
+
+
+if __name__ == "__main__":
+    explore_softfloat()
+    take_the_quiz()
+    reproduce_headline()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Full study reproduction: simulate both cohorts, regenerate every
+table and figure, and export the records.
+
+This is deliverable (d) in script form: the same generators the
+benchmark harness times, run once and printed in paper order.  The
+simulated records are also written to ``survey_records.csv`` so you can
+see the exact schema a real survey export would use (drop in your own
+CSV and call ``repro.analysis.analyze`` on it).
+
+Run: ``python examples/run_survey_study.py [seed]``
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis import analyze, run_study
+from repro.survey.io import read_csv, write_csv
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 754
+    print(f"simulating the study (seed={seed}, 199 developers + 52 "
+          f"students)...\n")
+    study = run_study(seed=seed)
+    print(study.render())
+
+    # Round-trip the records through the CSV schema and re-analyze, to
+    # show the pipeline is data-source-agnostic.
+    out = Path(tempfile.gettempdir()) / "survey_records.csv"
+    count = write_csv(list(study.responses), out)
+    reloaded = read_csv(out)
+    re_study = analyze(reloaded)
+    original = study.figure("Figure 12").data
+    recomputed = re_study.figure("Figure 12").data
+    assert original == recomputed, "CSV round trip changed the analysis!"
+    print(f"\nwrote {count} records to {out} and verified the analysis "
+          f"is identical after a CSV round trip.")
+
+
+if __name__ == "__main__":
+    main()

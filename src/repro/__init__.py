@@ -1,0 +1,41 @@
+"""repro: a full reproduction of *"Do Developers Understand IEEE
+Floating Point?"* (Dinda & Hetland, IPDPS 2018).
+
+The library has four layers, bottom to top:
+
+1. **Substrates** - :mod:`repro.softfloat` (bit-exact IEEE 754 engine),
+   :mod:`repro.fpenv` (sticky flags, rounding, FTZ/DAZ, traps), and
+   :mod:`repro.optsim` (compiler/hardware optimization simulator).
+2. **Instrument** - :mod:`repro.quiz` (the paper's core, optimization,
+   and suspicion quizzes with machine-checkable ground truth) and
+   :mod:`repro.survey` (background factors and response records).
+3. **Study** - :mod:`repro.population` (calibrated synthetic cohorts
+   standing in for the paper's 199 developers and 52 students) and
+   :mod:`repro.analysis` (regenerates every table and figure).
+4. **Tools** - :mod:`repro.fpspy` (runtime exception monitor) and
+   :mod:`repro.shadow` (arbitrary-precision shadow execution), the two
+   concrete "actions" the paper's conclusions call for.
+
+Quickstart::
+
+    import repro
+
+    study = repro.reproduce_study(seed=754)
+    print(study.render())            # every paper table/figure
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__", "reproduce_study"]
+
+
+def reproduce_study(seed: int = 754, developers: int = 199, students: int = 52):
+    """One-call reproduction of the paper's full analysis.
+
+    Samples the developer and student cohorts, administers the simulated
+    survey, and returns a :class:`repro.analysis.study.StudyResults`
+    whose ``render()`` prints every table and figure.
+    """
+    from repro.analysis.study import run_study
+
+    return run_study(seed=seed, n_developers=developers, n_students=students)

@@ -1,0 +1,128 @@
+"""Analysis pipeline: regenerates every table and figure in the paper.
+
+Works on :class:`repro.survey.SurveyResponse` records — simulated or
+real.  :func:`repro.analysis.study.run_study` is the one-call entry
+point; the per-figure generators live in the submodules:
+
+- :mod:`~repro.analysis.backgrounds` — Figures 1–11
+- :mod:`~repro.analysis.performance` — Figures 12–13
+- :mod:`~repro.analysis.questions` — Figures 14–15
+- :mod:`~repro.analysis.factors` — Figures 16–21
+- :mod:`~repro.analysis.suspicion` — Figure 22(a)/(b)
+- :mod:`~repro.analysis.stats` — chi-square, bootstrap, Kruskal–Wallis
+"""
+
+from repro.analysis.common import FigureResult, developers_only, students_only
+from repro.analysis.backgrounds import ALL_BACKGROUND_FIGURES
+from repro.analysis.performance import (
+    core_scores,
+    fig12_performance,
+    fig13_histogram,
+)
+from repro.analysis.questions import (
+    fig14_core_questions,
+    fig15_opt_questions,
+    question_rates,
+)
+from repro.analysis.factors import (
+    FactorLevelStats,
+    factor_breakdown,
+    fig16_contributed_size,
+    fig17_area,
+    fig18_dev_role,
+    fig19_formal_training,
+    fig20_area_opt,
+    fig21_dev_role_opt,
+)
+from repro.analysis.suspicion import (
+    fig22_suspicion,
+    fraction_below_max,
+    mean_suspicion,
+    suspicion_distribution,
+)
+from repro.analysis.items import (
+    ItemStatistics,
+    item_analysis,
+    item_analysis_figure,
+)
+from repro.analysis.power import (
+    PowerEstimate,
+    detection_power,
+    role_effect_observed,
+)
+from repro.analysis.regression import (
+    RegressionResult,
+    factor_regression,
+    regression_figure,
+)
+from repro.analysis.report import render_report, write_report
+from repro.analysis.confidence import (
+    RespondentCalibration,
+    overconfidence_figure,
+    respondent_calibration,
+)
+from repro.analysis.compare import (
+    MannWhitneyResult,
+    compare_suspicion,
+    mann_whitney,
+    rank_biserial,
+)
+from repro.analysis.stats import (
+    ChiSquareResult,
+    bootstrap_ci,
+    chi_square_independence,
+    kruskal_wallis,
+    summary,
+)
+from repro.analysis.study import StudyResults, analyze, run_study
+
+__all__ = [
+    "FigureResult",
+    "developers_only",
+    "students_only",
+    "ALL_BACKGROUND_FIGURES",
+    "fig12_performance",
+    "fig13_histogram",
+    "core_scores",
+    "fig14_core_questions",
+    "fig15_opt_questions",
+    "question_rates",
+    "FactorLevelStats",
+    "factor_breakdown",
+    "fig16_contributed_size",
+    "fig17_area",
+    "fig18_dev_role",
+    "fig19_formal_training",
+    "fig20_area_opt",
+    "fig21_dev_role_opt",
+    "fig22_suspicion",
+    "suspicion_distribution",
+    "mean_suspicion",
+    "fraction_below_max",
+    "ItemStatistics",
+    "item_analysis",
+    "item_analysis_figure",
+    "render_report",
+    "write_report",
+    "RegressionResult",
+    "factor_regression",
+    "regression_figure",
+    "PowerEstimate",
+    "detection_power",
+    "role_effect_observed",
+    "RespondentCalibration",
+    "respondent_calibration",
+    "overconfidence_figure",
+    "MannWhitneyResult",
+    "mann_whitney",
+    "rank_biserial",
+    "compare_suspicion",
+    "ChiSquareResult",
+    "chi_square_independence",
+    "bootstrap_ci",
+    "kruskal_wallis",
+    "summary",
+    "StudyResults",
+    "analyze",
+    "run_study",
+]

@@ -1,0 +1,207 @@
+"""Background tables: Figures 1–11.
+
+Each function takes the response records and regenerates the
+corresponding paper table (counts and percentages, sorted by count
+descending, matching the paper's presentation).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Sequence
+
+from repro.analysis.common import FigureResult, developers_only
+from repro.reporting import render_table
+from repro.survey.background import Background
+from repro.survey.records import SurveyResponse
+
+__all__ = [
+    "fig01_positions",
+    "fig02_areas",
+    "fig03_formal_training",
+    "fig04_informal_training",
+    "fig05_dev_roles",
+    "fig06_fp_languages",
+    "fig07_arb_prec_languages",
+    "fig08_contributed_sizes",
+    "fig09_contributed_fp_extent",
+    "fig10_involved_sizes",
+    "fig11_involved_fp_extent",
+    "ALL_BACKGROUND_FIGURES",
+]
+
+
+def _single_choice_table(
+    responses: Sequence[SurveyResponse],
+    figure_id: str,
+    title: str,
+    getter: Callable[[Background], object],
+) -> FigureResult:
+    developers = developers_only(responses)
+    total = len(developers)
+    counts = Counter(
+        str(getter(r.background)) for r in developers if r.background
+    )
+    rows = [
+        (label, count, 100.0 * count / total)
+        for label, count in counts.most_common()
+    ]
+    text = render_table(["", "n", "%"], rows)
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        text=text,
+        data={"counts": dict(counts), "total": total},
+    )
+
+
+def _multiselect_table(
+    responses: Sequence[SurveyResponse],
+    figure_id: str,
+    title: str,
+    getter: Callable[[Background], Sequence[str]],
+    *,
+    top: int | None = None,
+    min_n: int | None = None,
+) -> FigureResult:
+    developers = developers_only(responses)
+    total = len(developers)
+    counts: Counter[str] = Counter()
+    for response in developers:
+        if response.background is None:
+            continue
+        counts.update(str(item) for item in getter(response.background))
+    ranked = counts.most_common()
+    if min_n is not None:
+        ranked = [(label, count) for label, count in ranked if count >= min_n]
+    if top is not None:
+        ranked = ranked[:top]
+    rows = [
+        (label, count, 100.0 * count / total) for label, count in ranked
+    ]
+    text = render_table(["", "n", "%"], rows)
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        text=text,
+        data={"counts": dict(counts), "total": total},
+    )
+
+
+def fig01_positions(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 1: positions of participants."""
+    return _single_choice_table(
+        responses, "Figure 1", "Positions of participants",
+        lambda b: b.position,
+    )
+
+
+def fig02_areas(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 2: areas of participants."""
+    return _single_choice_table(
+        responses, "Figure 2", "Areas of participants", lambda b: b.area,
+    )
+
+
+def fig03_formal_training(
+    responses: Sequence[SurveyResponse],
+) -> FigureResult:
+    """Figure 3: formal training in floating point."""
+    return _single_choice_table(
+        responses, "Figure 3", "Formal training in floating point",
+        lambda b: b.formal_training,
+    )
+
+
+def fig04_informal_training(
+    responses: Sequence[SurveyResponse],
+) -> FigureResult:
+    """Figure 4: informal training (top 5 shown, as in the paper)."""
+    return _multiselect_table(
+        responses, "Figure 4", "Informal training in floating point (top 5)",
+        lambda b: [t.display for t in b.informal_training],
+        top=5,
+    )
+
+
+def fig05_dev_roles(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 5: software development roles."""
+    return _single_choice_table(
+        responses, "Figure 5", "Software development roles",
+        lambda b: b.dev_role,
+    )
+
+
+def fig06_fp_languages(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 6: floating point language experience (n >= 5 shown)."""
+    return _multiselect_table(
+        responses, "Figure 6", "Floating point language experience (n >= 5)",
+        lambda b: sorted(b.fp_languages),
+        min_n=5,
+    )
+
+
+def fig07_arb_prec_languages(
+    responses: Sequence[SurveyResponse],
+) -> FigureResult:
+    """Figure 7: arbitrary precision language experience (n >= 5)."""
+    return _multiselect_table(
+        responses, "Figure 7",
+        "Arbitrary precision language experience (n >= 5)",
+        lambda b: sorted(b.arb_prec_languages),
+        min_n=5,
+    )
+
+
+def fig08_contributed_sizes(
+    responses: Sequence[SurveyResponse],
+) -> FigureResult:
+    """Figure 8: contributed codebase sizes."""
+    return _single_choice_table(
+        responses, "Figure 8", "Contributed codebase sizes",
+        lambda b: b.contributed_size,
+    )
+
+
+def fig09_contributed_fp_extent(
+    responses: Sequence[SurveyResponse],
+) -> FigureResult:
+    """Figure 9: contributed codebase floating point extent."""
+    return _single_choice_table(
+        responses, "Figure 9", "Contributed codebase floating point extent",
+        lambda b: b.contributed_fp_extent,
+    )
+
+
+def fig10_involved_sizes(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 10: involved codebase sizes."""
+    return _single_choice_table(
+        responses, "Figure 10", "Involved codebase sizes",
+        lambda b: b.involved_size,
+    )
+
+
+def fig11_involved_fp_extent(
+    responses: Sequence[SurveyResponse],
+) -> FigureResult:
+    """Figure 11: involved codebase floating point extent."""
+    return _single_choice_table(
+        responses, "Figure 11", "Involved codebase floating point extent",
+        lambda b: b.involved_fp_extent,
+    )
+
+
+#: All eleven background figure generators, in paper order.
+ALL_BACKGROUND_FIGURES = (
+    fig01_positions,
+    fig02_areas,
+    fig03_formal_training,
+    fig04_informal_training,
+    fig05_dev_roles,
+    fig06_fp_languages,
+    fig07_arb_prec_languages,
+    fig08_contributed_sizes,
+    fig09_contributed_fp_extent,
+    fig10_involved_sizes,
+    fig11_involved_fp_extent,
+)

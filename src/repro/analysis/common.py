@@ -1,0 +1,42 @@
+"""Shared result types for the analysis pipeline."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.survey.records import Cohort, SurveyResponse
+
+__all__ = ["FigureResult", "developers_only", "students_only"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureResult:
+    """One regenerated paper figure/table.
+
+    ``data`` holds the machine-readable content (what tests assert on);
+    ``text`` is the rendered paper-style table or chart.
+    """
+
+    figure_id: str
+    title: str
+    text: str
+    data: dict[str, object]
+
+    def render(self) -> str:
+        """The rendered figure with its header line."""
+        return f"=== {self.figure_id}: {self.title} ===\n{self.text}"
+
+
+def developers_only(
+    responses: Sequence[SurveyResponse],
+) -> list[SurveyResponse]:
+    """The developer cohort (the only group with quiz answers)."""
+    return [r for r in responses if r.cohort is Cohort.DEVELOPER]
+
+
+def students_only(
+    responses: Sequence[SurveyResponse],
+) -> list[SurveyResponse]:
+    """The student comparison group."""
+    return [r for r in responses if r.cohort is Cohort.STUDENT]

@@ -1,0 +1,157 @@
+"""Cohort comparison: developers vs students, statistically.
+
+Section IV-D compares the two groups' suspicion distributions by eye
+("the groups behave quite similarly, although the student group is
+overall less suspicious about Underflow and Denorm").  This module puts
+numbers on that: per-condition Mann–Whitney tests with rank-biserial
+effect sizes, and a chi-square on the full level distribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.analysis.common import FigureResult
+from repro.analysis.stats import ChiSquareResult, chi_square_independence
+from repro.quiz.suspicion import LIKERT_SCALE, SUSPICION_ITEMS, SUSPICION_ORDER
+from repro.reporting import render_table
+from repro.survey.records import Cohort, SurveyResponse
+
+__all__ = [
+    "MannWhitneyResult",
+    "mann_whitney",
+    "rank_biserial",
+    "compare_suspicion",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class MannWhitneyResult:
+    """Mann–Whitney U with normal-approximation p-value and the
+    rank-biserial correlation as effect size (positive = first sample
+    tends larger)."""
+
+    u_statistic: float
+    p_value: float
+    effect_size: float
+
+    @property
+    def significant(self) -> bool:
+        """True at the conventional 0.05 level."""
+        return self.p_value < 0.05
+
+
+def _rank_sum(first: Sequence[float], second: Sequence[float]) -> float:
+    pooled = sorted(
+        [(value, 0) for value in first] + [(value, 1) for value in second]
+    )
+    n = len(pooled)
+    rank_first = 0.0
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and pooled[j + 1][0] == pooled[i][0]:
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            if pooled[k][1] == 0:
+                rank_first += midrank
+        i = j + 1
+    return rank_first
+
+
+def mann_whitney(
+    first: Sequence[float], second: Sequence[float]
+) -> MannWhitneyResult:
+    """Two-sided Mann–Whitney U test (normal approximation with tie
+    correction; fine for the Likert samples this module sees)."""
+    import math
+
+    n1, n2 = len(first), len(second)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("both samples must be non-empty")
+    rank_first = _rank_sum(first, second)
+    u1 = rank_first - n1 * (n1 + 1) / 2.0
+    mean_u = n1 * n2 / 2.0
+    # Tie-corrected variance.
+    from collections import Counter
+
+    counts = Counter(list(first) + list(second))
+    n = n1 + n2
+    tie_term = sum(t**3 - t for t in counts.values())
+    variance = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if variance <= 0:
+        return MannWhitneyResult(u_statistic=u1, p_value=1.0,
+                                 effect_size=0.0)
+    z = (u1 - mean_u) / math.sqrt(variance)
+    p = math.erfc(abs(z) / math.sqrt(2.0))  # two-sided
+    effect = 2.0 * u1 / (n1 * n2) - 1.0  # rank-biserial
+    return MannWhitneyResult(u_statistic=u1, p_value=p, effect_size=effect)
+
+
+def rank_biserial(
+    first: Sequence[float], second: Sequence[float]
+) -> float:
+    """Rank-biserial correlation alone (positive = first tends larger)."""
+    return mann_whitney(first, second).effect_size
+
+
+def compare_suspicion(
+    responses: Sequence[SurveyResponse],
+) -> FigureResult:
+    """Developer-vs-student comparison for every suspicion condition."""
+    developers = [
+        r for r in responses if r.cohort is Cohort.DEVELOPER and r.suspicion
+    ]
+    students = [
+        r for r in responses if r.cohort is Cohort.STUDENT and r.suspicion
+    ]
+    if not developers or not students:
+        raise ValueError("need both cohorts' suspicion responses")
+
+    labels = {item.qid: item.label for item in SUSPICION_ITEMS}
+    rows = []
+    data: dict[str, object] = {}
+    for qid in SUSPICION_ORDER:
+        dev_levels = [float(r.suspicion[qid]) for r in developers
+                      if qid in r.suspicion]
+        student_levels = [float(r.suspicion[qid]) for r in students
+                          if qid in r.suspicion]
+        test = mann_whitney(dev_levels, student_levels)
+        table = [
+            [sum(1 for v in dev_levels if v == level)
+             for level in LIKERT_SCALE],
+            [sum(1 for v in student_levels if v == level)
+             for level in LIKERT_SCALE],
+        ]
+        try:
+            chi2: ChiSquareResult | None = chi_square_independence(table)
+        except ValueError:
+            chi2 = None
+        dev_mean = sum(dev_levels) / len(dev_levels)
+        student_mean = sum(student_levels) / len(student_levels)
+        data[qid] = {
+            "dev_mean": dev_mean,
+            "student_mean": student_mean,
+            "effect_size": test.effect_size,
+            "p_value": test.p_value,
+            "chi2_p": None if chi2 is None else chi2.p_value,
+        }
+        rows.append((
+            labels[qid],
+            round(dev_mean, 2),
+            round(student_mean, 2),
+            round(test.effect_size, 3),
+            f"{test.p_value:.3f}",
+        ))
+    text = render_table(
+        ["Condition", "dev mean", "student mean", "rank-biserial", "p"],
+        rows,
+    )
+    return FigureResult(
+        figure_id="Comparison",
+        title="Developer vs student suspicion (Mann-Whitney)",
+        text=text,
+        data=data,
+    )

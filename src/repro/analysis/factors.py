@@ -1,0 +1,222 @@
+"""Factor analysis: Figures 16–21.
+
+Each figure slices a quiz's average bucket counts by the levels of one
+background factor, rendered as the paper's stacked bars (average
+correct / incorrect / don't-know / unanswered per level).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from collections.abc import Callable, Sequence
+
+from repro.analysis.common import FigureResult, developers_only
+from repro.quiz.scoring import QuizScore, score_core, score_optimization
+from repro.reporting import render_stacked_bars
+from repro.survey.background import (
+    AreaGroup,
+    Background,
+    CodebaseSize,
+    DevRole,
+    FormalTraining,
+)
+from repro.survey.records import SurveyResponse
+
+__all__ = [
+    "FactorLevelStats",
+    "factor_breakdown",
+    "fig16_contributed_size",
+    "fig17_area",
+    "fig18_dev_role",
+    "fig19_formal_training",
+    "fig20_area_opt",
+    "fig21_dev_role_opt",
+]
+
+_SEGMENTS = ("correct", "incorrect", "dont_know", "unanswered")
+
+
+@dataclasses.dataclass(frozen=True)
+class FactorLevelStats:
+    """Average bucket counts for one factor level."""
+
+    level: str
+    n: int
+    correct: float
+    incorrect: float
+    dont_know: float
+    unanswered: float
+
+    def as_segments(self) -> dict[str, float]:
+        return {
+            "correct": self.correct,
+            "incorrect": self.incorrect,
+            "dont_know": self.dont_know,
+            "unanswered": self.unanswered,
+        }
+
+
+def factor_breakdown(
+    responses: Sequence[SurveyResponse],
+    level_getter: Callable[[Background], object],
+    *,
+    quiz: str = "core",
+    level_order: Sequence[object] | None = None,
+    min_n: int = 1,
+) -> list[FactorLevelStats]:
+    """Average per-level bucket counts for the chosen quiz.
+
+    ``quiz`` is ``"core"`` (of 15) or ``"optimization"`` (T/F, of 3).
+    """
+    if quiz not in ("core", "optimization"):
+        raise ValueError(f"unknown quiz {quiz!r}")
+    scores_by_level: dict[object, list[QuizScore]] = defaultdict(list)
+    for response in developers_only(responses):
+        if response.background is None:
+            continue
+        level = level_getter(response.background)
+        if quiz == "core":
+            scores_by_level[level].append(score_core(response.core_answers))
+        else:
+            scores_by_level[level].append(
+                score_optimization(response.opt_answers)
+            )
+    levels = (
+        list(level_order)
+        if level_order is not None
+        else sorted(scores_by_level, key=str)
+    )
+    stats = []
+    for level in levels:
+        scores = scores_by_level.get(level, [])
+        n = len(scores)
+        if n < min_n:
+            continue
+        stats.append(
+            FactorLevelStats(
+                level=str(level),
+                n=n,
+                correct=sum(s.correct for s in scores) / n,
+                incorrect=sum(s.incorrect for s in scores) / n,
+                dont_know=sum(s.dont_know for s in scores) / n,
+                unanswered=sum(s.unanswered for s in scores) / n,
+            )
+        )
+    return stats
+
+
+def _factor_figure(
+    responses: Sequence[SurveyResponse],
+    figure_id: str,
+    title: str,
+    level_getter: Callable[[Background], object],
+    *,
+    quiz: str,
+    level_order: Sequence[object] | None = None,
+) -> FigureResult:
+    stats = factor_breakdown(
+        responses, level_getter, quiz=quiz, level_order=level_order,
+    )
+    bar_rows = [
+        (f"{s.level} (n={s.n})", s.as_segments()) for s in stats
+    ]
+    total = 15.0 if quiz == "core" else 3.0
+    text = render_stacked_bars(
+        bar_rows, _SEGMENTS, total=total, width=60,
+    )
+    data = {
+        s.level: {
+            "n": s.n,
+            "correct": s.correct,
+            "incorrect": s.incorrect,
+            "dont_know": s.dont_know,
+            "unanswered": s.unanswered,
+        }
+        for s in stats
+    }
+    return FigureResult(figure_id=figure_id, title=title, text=text, data=data)
+
+
+_SIZE_ORDER = [
+    CodebaseSize.LOC_LT_100,
+    CodebaseSize.LOC_100_1K,
+    CodebaseSize.LOC_1K_10K,
+    CodebaseSize.LOC_10K_100K,
+    CodebaseSize.LOC_100K_1M,
+    CodebaseSize.LOC_GT_1M,
+]
+
+_AREA_ORDER = [
+    AreaGroup.EE, AreaGroup.CE, AreaGroup.CS, AreaGroup.MATH,
+    AreaGroup.PHYS_SCI, AreaGroup.ENG, AreaGroup.OTHER,
+]
+
+_ROLE_ORDER = [
+    DevRole.ENGINEER, DevRole.MANAGE_ENGINEERS, DevRole.SUPPORT,
+    DevRole.MANAGE_SUPPORT,
+]
+
+_TRAINING_ORDER = [
+    FormalTraining.NONE, FormalTraining.LECTURES, FormalTraining.WEEKS,
+    FormalTraining.COURSES,
+]
+
+
+def fig16_contributed_size(
+    responses: Sequence[SurveyResponse],
+) -> FigureResult:
+    """Figure 16: effect of Contributed Codebase Size on core quiz."""
+    return _factor_figure(
+        responses, "Figure 16",
+        "Effect of Contributed Codebase Size on core quiz scores",
+        lambda b: b.contributed_size, quiz="core", level_order=_SIZE_ORDER,
+    )
+
+
+def fig17_area(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 17: effect of Area on core quiz."""
+    return _factor_figure(
+        responses, "Figure 17", "Effect of Area on core quiz scores",
+        lambda b: b.area_group, quiz="core", level_order=_AREA_ORDER,
+    )
+
+
+def fig18_dev_role(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 18: effect of Software Development Role on core quiz."""
+    return _factor_figure(
+        responses, "Figure 18",
+        "Effect of Software Development Role on core quiz scores",
+        lambda b: b.dev_role, quiz="core", level_order=_ROLE_ORDER,
+    )
+
+
+def fig19_formal_training(
+    responses: Sequence[SurveyResponse],
+) -> FigureResult:
+    """Figure 19: effect of Formal Training on core quiz."""
+    return _factor_figure(
+        responses, "Figure 19",
+        "Effect of Formal Training (in floating point) on core quiz scores",
+        lambda b: b.formal_training, quiz="core",
+        level_order=_TRAINING_ORDER,
+    )
+
+
+def fig20_area_opt(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 20: effect of Area on optimization quiz."""
+    return _factor_figure(
+        responses, "Figure 20",
+        "Effect of Area on optimization quiz scores",
+        lambda b: b.area_group, quiz="optimization", level_order=_AREA_ORDER,
+    )
+
+
+def fig21_dev_role_opt(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 21: effect of Software Development Role on optimization
+    quiz."""
+    return _factor_figure(
+        responses, "Figure 21",
+        "Effect of Software Development Role on optimization quiz scores",
+        lambda b: b.dev_role, quiz="optimization", level_order=_ROLE_ORDER,
+    )

@@ -1,0 +1,131 @@
+"""Classical item analysis of the quiz instrument.
+
+Standard psychometrics the paper stops short of: per-question
+*difficulty* (the fraction answering correctly) and *discrimination*
+(the point-biserial correlation between getting the item right and the
+rest-of-quiz score).  A well-functioning item is moderately difficult
+and positively discriminating; an item most high scorers get *wrong*
+(negative discrimination) measures a shared misconception rather than
+knowledge — which is exactly what the Identity and Divide-By-Zero
+questions turn out to be in the simulated cohort, matching the paper's
+reading of Figure 14.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+from repro.analysis.common import FigureResult, developers_only
+from repro.quiz.core import CORE_QUESTIONS
+from repro.quiz.model import TFAnswer
+from repro.reporting import render_table
+from repro.survey.records import SurveyResponse
+
+__all__ = ["ItemStatistics", "item_analysis", "item_analysis_figure"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ItemStatistics:
+    """Difficulty and discrimination for one core-quiz item."""
+
+    qid: str
+    label: str
+    difficulty: float       # fraction of cohort answering correctly
+    discrimination: float   # item vs rest-score point-biserial r
+    answered_rate: float    # fraction committing to an answer
+
+    @property
+    def flags_misconception(self) -> bool:
+        """True when most answers are wrong AND being right correlates
+        with overall skill — the shape of a shared misconception."""
+        return self.difficulty < 0.35 and self.discrimination > 0.05
+
+
+def _point_biserial(item_scores: list[int], rest_scores: list[int]) -> float:
+    n = len(item_scores)
+    mean_item = sum(item_scores) / n
+    mean_rest = sum(rest_scores) / n
+    var_item = sum((x - mean_item) ** 2 for x in item_scores)
+    var_rest = sum((y - mean_rest) ** 2 for y in rest_scores)
+    if var_item == 0 or var_rest == 0:
+        return 0.0
+    covariance = sum(
+        (x - mean_item) * (y - mean_rest)
+        for x, y in zip(item_scores, rest_scores)
+    )
+    return covariance / math.sqrt(var_item * var_rest)
+
+
+def item_analysis(
+    responses: Sequence[SurveyResponse],
+) -> list[ItemStatistics]:
+    """Per-item statistics over the developer cohort (core quiz)."""
+    developers = developers_only(responses)
+    if not developers:
+        raise ValueError("no developer records")
+    # Per respondent: correctness vector over the 15 items (1 correct,
+    # 0 otherwise — don't-know counts as not-correct, as in scoring).
+    matrix: list[list[int]] = []
+    answered: list[list[int]] = []
+    for response in developers:
+        row, committed = [], []
+        for question in CORE_QUESTIONS:
+            answer = response.core_answers.get(
+                question.qid, TFAnswer.UNANSWERED
+            )
+            graded = question.grade(answer)
+            row.append(1 if graded is True else 0)
+            committed.append(1 if graded is not None else 0)
+        matrix.append(row)
+        answered.append(committed)
+
+    n = len(matrix)
+    results = []
+    for index, question in enumerate(CORE_QUESTIONS):
+        item_scores = [row[index] for row in matrix]
+        rest_scores = [sum(row) - row[index] for row in matrix]
+        results.append(
+            ItemStatistics(
+                qid=question.qid,
+                label=question.label,
+                difficulty=sum(item_scores) / n,
+                discrimination=_point_biserial(item_scores, rest_scores),
+                answered_rate=sum(row[index] for row in answered) / n,
+            )
+        )
+    return results
+
+
+def item_analysis_figure(
+    responses: Sequence[SurveyResponse],
+) -> FigureResult:
+    """Item-analysis table (difficulty, discrimination, misconception
+    flag)."""
+    stats = item_analysis(responses)
+    rows = [
+        (
+            s.label,
+            100.0 * s.difficulty,
+            f"{s.discrimination:.3f}",
+            100.0 * s.answered_rate,
+            "MISCONCEPTION" if s.flags_misconception else "",
+        )
+        for s in stats
+    ]
+    text = render_table(
+        ["Item", "% correct", "item-rest r", "% answered", ""],
+        rows,
+    )
+    return FigureResult(
+        figure_id="Item analysis",
+        title="Classical item analysis of the core quiz",
+        text=text,
+        data={s.qid: {
+            "difficulty": s.difficulty,
+            "discrimination": s.discrimination,
+            "answered_rate": s.answered_rate,
+            "misconception": s.flags_misconception,
+        } for s in stats},
+    )

@@ -1,0 +1,86 @@
+"""Aggregate quiz performance: Figure 12 (table) and Figure 13
+(histogram of core-quiz scores)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.analysis.common import FigureResult, developers_only
+from repro.quiz.scoring import (
+    CORE_CHANCE,
+    OPT_TF_CHANCE,
+    score_core,
+    score_optimization,
+)
+from repro.reporting import render_histogram, render_table
+from repro.survey.records import SurveyResponse
+
+__all__ = ["fig12_performance", "fig13_histogram", "core_scores"]
+
+
+def core_scores(responses: Sequence[SurveyResponse]) -> list[int]:
+    """Per-developer core-quiz correct counts."""
+    return [
+        score_core(r.core_answers).correct for r in developers_only(responses)
+    ]
+
+
+def fig12_performance(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 12: average (expected) performance on both quizzes."""
+    developers = developers_only(responses)
+    n = len(developers)
+    if n == 0:
+        raise ValueError("no developer records to analyze")
+    core_total = opt_total = None
+    for response in developers:
+        core = score_core(response.core_answers)
+        opt = score_optimization(response.opt_answers)
+        core_total = core if core_total is None else core_total + core
+        opt_total = opt if opt_total is None else opt_total + opt
+    assert core_total is not None and opt_total is not None
+
+    def averages(total) -> dict[str, float]:
+        return {
+            "correct": total.correct / n,
+            "incorrect": total.incorrect / n,
+            "dont_know": total.dont_know / n,
+            "unanswered": total.unanswered / n,
+        }
+
+    core_avg = averages(core_total)
+    opt_avg = averages(opt_total)
+    headers = ["quiz", "# Correct", "# Incorrect", "# Don't Know",
+               "# No Answer", "# Chance"]
+    rows = [
+        ("Core", core_avg["correct"], core_avg["incorrect"],
+         core_avg["dont_know"], core_avg["unanswered"], CORE_CHANCE),
+        ("Optimization (T/F)", opt_avg["correct"], opt_avg["incorrect"],
+         opt_avg["dont_know"], opt_avg["unanswered"], OPT_TF_CHANCE),
+    ]
+    text = render_table(headers, rows)
+    return FigureResult(
+        figure_id="Figure 12",
+        title="Average (expected) performance on the core and optimization "
+              "quizzes",
+        text=text,
+        data={"core": core_avg, "optimization": opt_avg,
+              "core_chance": CORE_CHANCE, "opt_chance": OPT_TF_CHANCE,
+              "n": n},
+    )
+
+
+def fig13_histogram(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 13: histogram of core-quiz scores (0–15)."""
+    scores = core_scores(responses)
+    counts = Counter(scores)
+    histogram = {score: counts.get(score, 0) for score in range(0, 16)}
+    mean = sum(scores) / len(scores)
+    text = render_histogram(histogram)
+    text += f"\nmean = {mean:.2f} (chance {CORE_CHANCE:.1f})"
+    return FigureResult(
+        figure_id="Figure 13",
+        title="Histogram of core quiz scores (15 questions; chance mean 7.5)",
+        text=text,
+        data={"histogram": histogram, "mean": mean},
+    )

@@ -1,0 +1,113 @@
+"""Per-question breakdowns: Figures 14 and 15.
+
+Each row reports the percentage of developers answering the question
+correctly, incorrectly, with "don't know", or not at all — with the
+paper's emphasis markers: rows answered at chance level are flagged
+``(chance)``, rows answered incorrectly (or unknown) more often than
+correctly are flagged ``(worse)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.common import FigureResult, developers_only
+from repro.quiz.core import CORE_QUESTIONS
+from repro.quiz.model import Question, TFAnswer
+from repro.quiz.optimization import OPTIMIZATION_QUESTIONS
+from repro.reporting import render_table
+from repro.survey.records import SurveyResponse
+
+__all__ = ["question_rates", "fig14_core_questions", "fig15_opt_questions"]
+
+
+def question_rates(
+    responses: Sequence[SurveyResponse], question: Question
+) -> dict[str, float]:
+    """Percentages of correct/incorrect/don't-know/unanswered for one
+    question over the developer cohort."""
+    developers = developers_only(responses)
+    n = len(developers)
+    if n == 0:
+        raise ValueError("no developer records to analyze")
+    correct = incorrect = dont_know = unanswered = 0
+    for response in developers:
+        if question.qid in response.core_answers:
+            answer: TFAnswer | str = response.core_answers[question.qid]
+        else:
+            answer = response.opt_answers.get(
+                question.qid, TFAnswer.UNANSWERED
+            )
+        if answer in (TFAnswer.UNANSWERED, "unanswered"):
+            unanswered += 1
+            continue
+        if answer in (TFAnswer.DONT_KNOW, "dont-know"):
+            dont_know += 1
+            continue
+        graded = question.grade(answer)
+        if graded is True:
+            correct += 1
+        elif graded is False:
+            incorrect += 1
+        else:  # pragma: no cover - exhaustive above
+            dont_know += 1
+    return {
+        "correct": 100.0 * correct / n,
+        "incorrect": 100.0 * incorrect / n,
+        "dont_know": 100.0 * dont_know / n,
+        "unanswered": 100.0 * unanswered / n,
+    }
+
+
+def _chance_band(question: Question, correct_pct: float) -> bool:
+    """Is this question answered 'at the level of chance'?  The paper
+    boldfaces rows whose correct rate is near the guessing rate among
+    substantive options (we use +/-7.5 points, which recovers the
+    paper's six boldfaced rows)."""
+    return abs(correct_pct - 100.0 * question.chance_rate) <= 7.5
+
+
+def _questions_figure(
+    responses: Sequence[SurveyResponse],
+    questions: Sequence[Question],
+    figure_id: str,
+    title: str,
+) -> FigureResult:
+    rows = []
+    data: dict[str, object] = {}
+    for question in questions:
+        rates = question_rates(responses, question)
+        data[question.qid] = rates
+        marks = []
+        if _chance_band(question, rates["correct"]):
+            marks.append("chance")
+        if rates["correct"] < max(rates["incorrect"], rates["dont_know"]):
+            marks.append("worse")
+        label = question.label + (f" ({', '.join(marks)})" if marks else "")
+        rows.append((
+            label, rates["correct"], rates["incorrect"],
+            rates["dont_know"], rates["unanswered"],
+        ))
+    text = render_table(
+        ["Question", "% Correct", "% Incorrect", "% Don't Know",
+         "% Unanswered"],
+        rows,
+    )
+    return FigureResult(
+        figure_id=figure_id, title=title, text=text, data=data,
+    )
+
+
+def fig14_core_questions(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 14: core quiz, question by question."""
+    return _questions_figure(
+        responses, CORE_QUESTIONS, "Figure 14", "Core quiz questions",
+    )
+
+
+def fig15_opt_questions(responses: Sequence[SurveyResponse]) -> FigureResult:
+    """Figure 15: optimization quiz, question by question."""
+    return _questions_figure(
+        responses, OPTIMIZATION_QUESTIONS, "Figure 15",
+        "Optimization quiz questions",
+    )

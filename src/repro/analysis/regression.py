@@ -1,0 +1,160 @@
+"""Multivariate factor analysis: all backgrounds at once.
+
+Section IV-B examines each factor *in isolation* ("we have enough data
+to meaningfully consider each factor in isolation, which we did").
+With the generative model we can afford the multivariate version: an
+ordinary-least-squares regression of the core-quiz score on all factor
+dummies simultaneously, with bootstrap confidence intervals.  Two of
+the paper's conclusions become precise statements:
+
+- *codebase size is the most predictive factor* → largest standardized
+  coefficient block after controlling for everything else;
+- *"we did not find any particularly strong factor"* → the full model's
+  R² stays modest: most variance is individual, not demographic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.common import FigureResult, developers_only
+from repro.quiz.scoring import score_core
+from repro.reporting import render_table
+from repro.survey.background import AreaGroup, Background, DevRole, FormalTraining
+from repro.survey.records import SurveyResponse
+
+__all__ = ["RegressionResult", "factor_regression", "regression_figure"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RegressionResult:
+    """Fitted multivariate model."""
+
+    names: tuple[str, ...]
+    coefficients: tuple[float, ...]
+    ci_low: tuple[float, ...]
+    ci_high: tuple[float, ...]
+    r_squared: float
+    n: int
+
+    def coefficient(self, name: str) -> float:
+        """Look up one coefficient by predictor name."""
+        return self.coefficients[self.names.index(name)]
+
+    def significant(self, name: str) -> bool:
+        """Is the bootstrap CI for ``name`` bounded away from zero?"""
+        index = self.names.index(name)
+        return self.ci_low[index] > 0 or self.ci_high[index] < 0
+
+
+def _design_row(background: Background) -> list[float]:
+    """Predictors: intercept, codebase ranks (contributed + involved,
+    centered), area-group dummies (baseline: PhysSci), role dummies
+    (baseline: support), formal-training ordinal, informal count."""
+    row = [1.0]
+    row.append(background.contributed_size.rank - 3.5)
+    row.append(background.involved_size.rank - 3.5)
+    for group in (AreaGroup.CS, AreaGroup.CE, AreaGroup.EE,
+                  AreaGroup.MATH, AreaGroup.ENG, AreaGroup.OTHER):
+        row.append(1.0 if background.area_group is group else 0.0)
+    for role in (DevRole.ENGINEER, DevRole.MANAGE_ENGINEERS,
+                 DevRole.MANAGE_SUPPORT):
+        row.append(1.0 if background.dev_role is role else 0.0)
+    training_rank = {
+        FormalTraining.NONE: 0, FormalTraining.LECTURES: 1,
+        FormalTraining.WEEKS: 2, FormalTraining.COURSES: 3,
+        FormalTraining.NOT_REPORTED: 1,
+    }
+    row.append(float(training_rank[background.formal_training]))
+    row.append(float(len(background.informal_training)))
+    return row
+
+
+_PREDICTOR_NAMES = (
+    "intercept", "contributed_size_rank", "involved_size_rank",
+    "area=CS", "area=CE", "area=EE", "area=Math", "area=Eng",
+    "area=Other", "role=engineer", "role=manage_engineers",
+    "role=manage_support", "formal_training", "informal_count",
+)
+
+
+def factor_regression(
+    responses: Sequence[SurveyResponse],
+    *,
+    n_bootstrap: int = 400,
+    seed: int = 754,
+) -> RegressionResult:
+    """OLS of core-quiz score on all background factors, with percentile
+    bootstrap CIs for every coefficient."""
+    developers = developers_only(responses)
+    if len(developers) < len(_PREDICTOR_NAMES) + 5:
+        raise ValueError("too few developer records for the full model")
+    design = np.array([
+        _design_row(r.background) for r in developers  # type: ignore[arg-type]
+    ])
+    outcome = np.array([
+        float(score_core(r.core_answers).correct) for r in developers
+    ])
+
+    coefficients, *_ = np.linalg.lstsq(design, outcome, rcond=None)
+    fitted = design @ coefficients
+    total = float(((outcome - outcome.mean()) ** 2).sum())
+    residual = float(((outcome - fitted) ** 2).sum())
+    r_squared = 1.0 - residual / total if total > 0 else 0.0
+
+    rng = random.Random(seed)
+    n = len(outcome)
+    samples = np.empty((n_bootstrap, len(coefficients)))
+    for b in range(n_bootstrap):
+        index = [rng.randrange(n) for _ in range(n)]
+        beta, *_ = np.linalg.lstsq(
+            design[index], outcome[index], rcond=None
+        )
+        samples[b] = beta
+    ci_low = np.percentile(samples, 2.5, axis=0)
+    ci_high = np.percentile(samples, 97.5, axis=0)
+
+    return RegressionResult(
+        names=_PREDICTOR_NAMES,
+        coefficients=tuple(float(c) for c in coefficients),
+        ci_low=tuple(float(c) for c in ci_low),
+        ci_high=tuple(float(c) for c in ci_high),
+        r_squared=r_squared,
+        n=n,
+    )
+
+
+def regression_figure(
+    responses: Sequence[SurveyResponse], **kwargs
+) -> FigureResult:
+    """The regression as a table figure."""
+    result = factor_regression(responses, **kwargs)
+    rows = []
+    for index, name in enumerate(result.names):
+        marker = "*" if result.significant(name) and name != "intercept" \
+            else ""
+        rows.append((
+            name,
+            f"{result.coefficients[index]:+.2f}",
+            f"[{result.ci_low[index]:+.2f}, {result.ci_high[index]:+.2f}]",
+            marker,
+        ))
+    text = render_table(
+        ["predictor", "coef (score pts)", "95% bootstrap CI", ""], rows,
+    )
+    text += (f"\nR^2 = {result.r_squared:.3f} on n = {result.n}: even "
+             f"jointly, the background factors leave most score variance "
+             f"unexplained")
+    return FigureResult(
+        figure_id="Regression",
+        title="Multivariate OLS: core score on all background factors",
+        text=text,
+        data={
+            "r_squared": result.r_squared,
+            "coefficients": dict(zip(result.names, result.coefficients)),
+        },
+    )

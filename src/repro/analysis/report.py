@@ -1,0 +1,71 @@
+"""Full study report writer.
+
+Bundles every regenerated paper figure plus the extension analyses
+(confidence calibration, cohort comparison, item analysis) into one
+markdown document — the artifact a replication would publish.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.compare import compare_suspicion
+from repro.analysis.confidence import overconfidence_figure
+from repro.analysis.items import item_analysis_figure
+from repro.analysis.regression import regression_figure
+from repro.analysis.study import StudyResults
+
+__all__ = ["render_report", "write_report"]
+
+
+def render_report(study: StudyResults, *, title: str | None = None) -> str:
+    """The full study as a markdown document."""
+    lines = [
+        title or "# Study reproduction report",
+        "",
+        "Regenerated tables and figures for *Do Developers Understand "
+        "IEEE Floating Point?* (Dinda & Hetland, IPDPS 2018), plus the "
+        "extension analyses this library adds.  See EXPERIMENTS.md for "
+        "paper-vs-measured commentary.",
+        "",
+        "## Paper figures",
+        "",
+    ]
+    for figure in study.figures:
+        lines.append(f"### {figure.figure_id}: {figure.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(figure.text)
+        lines.append("```")
+        lines.append("")
+
+    lines.append("## Extension analyses")
+    lines.append("")
+    responses = list(study.responses)
+    extensions = [overconfidence_figure(responses)]
+    try:
+        extensions.append(compare_suspicion(responses))
+    except ValueError:
+        pass  # single-cohort dataset: no comparison
+    extensions.append(item_analysis_figure(responses))
+    try:
+        extensions.append(regression_figure(responses))
+    except ValueError:
+        pass  # dataset too small for the full model
+    for figure in extensions:
+        lines.append(f"### {figure.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(figure.text)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    study: StudyResults, path: str | Path, *, title: str | None = None
+) -> Path:
+    """Write the report to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(render_report(study, title=title), encoding="utf-8")
+    return target

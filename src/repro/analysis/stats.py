@@ -1,0 +1,177 @@
+"""Statistical helpers for the analysis: chi-square tests of factor
+association, bootstrap confidence intervals, and rank tests.
+
+Implemented with NumPy (chi-square CDF via :mod:`scipy` when available,
+with a pure-Python fallback so the core library's only hard dependency
+stays NumPy)."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ChiSquareResult",
+    "chi_square_independence",
+    "bootstrap_ci",
+    "kruskal_wallis",
+    "summary",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChiSquareResult:
+    """Outcome of a chi-square independence test."""
+
+    statistic: float
+    dof: int
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """True at the conventional 0.05 level."""
+        return self.p_value < 0.05
+
+
+def _chi2_sf(statistic: float, dof: int) -> float:
+    """Chi-square survival function; scipy when present, else a series
+    fallback via the regularized upper incomplete gamma."""
+    try:
+        from scipy.stats import chi2
+
+        return float(chi2.sf(statistic, dof))
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        return _upper_gamma_regularized(dof / 2.0, statistic / 2.0)
+
+
+def _upper_gamma_regularized(s: float, x: float) -> float:
+    """Q(s, x) by series/continued fraction (Numerical Recipes style)."""
+    if x < 0 or s <= 0:
+        raise ValueError("invalid arguments")
+    if x == 0:
+        return 1.0
+    if x < s + 1:
+        # Lower series, then complement.
+        term = 1.0 / s
+        total = term
+        for k in range(1, 500):
+            term *= x / (s + k)
+            total += term
+            if abs(term) < abs(total) * 1e-15:
+                break
+        lower = total * math.exp(-x + s * math.log(x) - math.lgamma(s))
+        return max(0.0, 1.0 - lower)
+    # Continued fraction for the upper tail.
+    b = x + 1.0 - s
+    c = 1e308
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - s)
+        b += 2.0
+        d = an * d + b
+        d = 1.0 / d if abs(d) > 1e-300 else 1e300
+        c = b + an / c if abs(c) > 1e-300 else 1e300
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+
+def chi_square_independence(table: Sequence[Sequence[int]]) -> ChiSquareResult:
+    """Pearson chi-square test of independence on a contingency table.
+
+    Rows/columns with zero totals are dropped (they carry no
+    information and would divide by zero).
+    """
+    observed = np.asarray(table, dtype=float)
+    observed = observed[observed.sum(axis=1) > 0][:, observed.sum(axis=0) > 0]
+    if observed.shape[0] < 2 or observed.shape[1] < 2:
+        raise ValueError("need at least a 2x2 table with nonzero margins")
+    row_totals = observed.sum(axis=1, keepdims=True)
+    col_totals = observed.sum(axis=0, keepdims=True)
+    expected = row_totals @ col_totals / observed.sum()
+    statistic = float(((observed - expected) ** 2 / expected).sum())
+    dof = (observed.shape[0] - 1) * (observed.shape[1] - 1)
+    return ChiSquareResult(
+        statistic=statistic, dof=dof, p_value=_chi2_sf(statistic, dof),
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[Sequence[float]], float] = lambda v: sum(v) / len(v),
+    *,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 754,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for a statistic."""
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = random.Random(seed)
+    n = len(values)
+    stats = sorted(
+        statistic([values[rng.randrange(n)] for _ in range(n)])
+        for _ in range(n_resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo_index = max(0, int(alpha * n_resamples) - 1)
+    hi_index = min(n_resamples - 1, int((1.0 - alpha) * n_resamples))
+    return stats[lo_index], stats[hi_index]
+
+
+def kruskal_wallis(groups: Sequence[Sequence[float]]) -> ChiSquareResult:
+    """Kruskal–Wallis H test (chi-square approximation) across groups."""
+    cleaned = [list(g) for g in groups if len(g) > 0]
+    if len(cleaned) < 2:
+        raise ValueError("need at least two non-empty groups")
+    pooled = sorted(
+        (value, gi) for gi, group in enumerate(cleaned) for value in group
+    )
+    n = len(pooled)
+    # Midranks with tie correction.
+    ranks = [0.0] * n
+    i = 0
+    tie_correction = 0.0
+    while i < n:
+        j = i
+        while j + 1 < n and pooled[j + 1][0] == pooled[i][0]:
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[k] = midrank
+        ties = j - i + 1
+        tie_correction += ties**3 - ties
+        i = j + 1
+    rank_sums = [0.0] * len(cleaned)
+    for (value, gi), rank in zip(pooled, ranks):
+        rank_sums[gi] += rank
+    h = (12.0 / (n * (n + 1))) * sum(
+        rank_sums[gi] ** 2 / len(group) for gi, group in enumerate(cleaned)
+    ) - 3.0 * (n + 1)
+    correction = 1.0 - tie_correction / (n**3 - n) if n > 1 else 1.0
+    if correction > 0:
+        h /= correction
+    dof = len(cleaned) - 1
+    return ChiSquareResult(statistic=h, dof=dof, p_value=_chi2_sf(h, dof))
+
+
+def summary(values: Sequence[float]) -> dict[str, float]:
+    """Mean, standard deviation, min, median, max of a sample."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    array = np.asarray(values, dtype=float)
+    return {
+        "n": float(array.size),
+        "mean": float(array.mean()),
+        "sd": float(array.std()),
+        "min": float(array.min()),
+        "median": float(np.median(array)),
+        "max": float(array.max()),
+    }

@@ -1,0 +1,102 @@
+"""One-call full study reproduction.
+
+:func:`run_study` simulates both cohorts and regenerates every table
+and figure in the paper's evaluation; :func:`analyze` does the same for
+an arbitrary set of response records (e.g. a real survey export read
+with :mod:`repro.survey.io`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.analysis.backgrounds import ALL_BACKGROUND_FIGURES
+from repro.analysis.common import FigureResult
+from repro.analysis.factors import (
+    fig16_contributed_size,
+    fig17_area,
+    fig18_dev_role,
+    fig19_formal_training,
+    fig20_area_opt,
+    fig21_dev_role_opt,
+)
+from repro.analysis.performance import fig12_performance, fig13_histogram
+from repro.analysis.questions import fig14_core_questions, fig15_opt_questions
+from repro.analysis.suspicion import fig22_suspicion
+from repro.population.response_model import (
+    simulate_developers,
+    simulate_students,
+)
+from repro.survey.records import Cohort, SurveyResponse
+
+__all__ = ["StudyResults", "analyze", "run_study"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StudyResults:
+    """Every regenerated figure, in paper order, plus the raw records."""
+
+    figures: tuple[FigureResult, ...]
+    responses: tuple[SurveyResponse, ...]
+
+    def figure(self, figure_id: str) -> FigureResult:
+        """Look up a figure by id (e.g. ``"Figure 14"``)."""
+        for result in self.figures:
+            if result.figure_id == figure_id:
+                return result
+        raise KeyError(f"no figure {figure_id!r} in this study")
+
+    def render(self) -> str:
+        """All figures as one report."""
+        return "\n\n".join(result.render() for result in self.figures)
+
+    def to_json(self) -> str:
+        """Machine-readable results: every figure's data, keyed by id.
+
+        The counterpart to :meth:`render` for downstream comparison
+        scripts (paper-vs-measured tables, plotting, regression checks
+        across library versions).
+        """
+        import json
+
+        payload = {
+            result.figure_id: {
+                "title": result.title,
+                "data": result.data,
+            }
+            for result in self.figures
+        }
+        return json.dumps(payload, indent=2, sort_keys=True, default=str)
+
+
+def analyze(responses: Sequence[SurveyResponse]) -> StudyResults:
+    """Regenerate every figure from arbitrary response records."""
+    responses = tuple(responses)
+    figures: list[FigureResult] = []
+    for generator in ALL_BACKGROUND_FIGURES:
+        figures.append(generator(responses))
+    figures.append(fig12_performance(responses))
+    figures.append(fig13_histogram(responses))
+    figures.append(fig14_core_questions(responses))
+    figures.append(fig15_opt_questions(responses))
+    figures.append(fig16_contributed_size(responses))
+    figures.append(fig17_area(responses))
+    figures.append(fig18_dev_role(responses))
+    figures.append(fig19_formal_training(responses))
+    figures.append(fig20_area_opt(responses))
+    figures.append(fig21_dev_role_opt(responses))
+    figures.append(fig22_suspicion(responses, Cohort.DEVELOPER))
+    if any(r.cohort is Cohort.STUDENT for r in responses):
+        figures.append(fig22_suspicion(responses, Cohort.STUDENT))
+    return StudyResults(figures=tuple(figures), responses=responses)
+
+
+def run_study(
+    seed: int = 754, n_developers: int = 199, n_students: int = 52
+) -> StudyResults:
+    """Simulate both cohorts and regenerate the paper's full evaluation."""
+    responses = simulate_developers(n_developers, seed) + simulate_students(
+        n_students, seed
+    )
+    return analyze(responses)

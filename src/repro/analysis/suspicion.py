@@ -1,0 +1,93 @@
+"""Suspicion analysis: Figure 22 and the appropriateness checks.
+
+Figure 22 plots, per exceptional condition, the percentage of a cohort
+reporting each suspicion level 1–5.  The paper's Section IV-D analysis
+adds two derived statistics we also compute: whether the cohort ranks
+Invalid and Overflow above the benign conditions, and the fraction
+reporting less-than-maximum suspicion for Invalid ("about 1/3").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.common import FigureResult
+from repro.quiz.suspicion import LIKERT_SCALE, SUSPICION_ITEMS, SUSPICION_ORDER
+from repro.reporting import render_profile
+from repro.survey.records import Cohort, SurveyResponse
+
+__all__ = [
+    "suspicion_distribution",
+    "mean_suspicion",
+    "fraction_below_max",
+    "fig22_suspicion",
+]
+
+
+def suspicion_distribution(
+    responses: Sequence[SurveyResponse], cohort: Cohort
+) -> dict[str, list[float]]:
+    """Percent reporting each level 1–5, per condition, for a cohort."""
+    members = [r for r in responses if r.cohort is cohort and r.suspicion]
+    if not members:
+        raise ValueError(f"no {cohort.value} suspicion records")
+    distribution: dict[str, list[float]] = {}
+    for qid in SUSPICION_ORDER:
+        counts = [0] * len(LIKERT_SCALE)
+        reported = 0
+        for response in members:
+            level = response.suspicion.get(qid)
+            if level is None:
+                continue
+            counts[level - 1] += 1
+            reported += 1
+        if reported == 0:
+            raise ValueError(f"no responses for suspicion item {qid!r}")
+        distribution[qid] = [100.0 * c / reported for c in counts]
+    return distribution
+
+
+def mean_suspicion(
+    responses: Sequence[SurveyResponse], cohort: Cohort
+) -> dict[str, float]:
+    """Mean Likert level per condition for a cohort."""
+    distribution = suspicion_distribution(responses, cohort)
+    return {
+        qid: sum(level * pct / 100.0
+                 for level, pct in zip(LIKERT_SCALE, percentages))
+        for qid, percentages in distribution.items()
+    }
+
+
+def fraction_below_max(
+    responses: Sequence[SurveyResponse], cohort: Cohort, qid: str
+) -> float:
+    """Fraction of the cohort reporting suspicion below 5 for ``qid``
+    (the paper: 'About 1/3 of both groups reported a suspicion level
+    less than the maximum' for Invalid)."""
+    distribution = suspicion_distribution(responses, cohort)
+    return sum(distribution[qid][:-1]) / 100.0
+
+
+def fig22_suspicion(
+    responses: Sequence[SurveyResponse], cohort: Cohort
+) -> FigureResult:
+    """Figure 22(a) for developers or 22(b) for students."""
+    distribution = suspicion_distribution(responses, cohort)
+    labels = {item.qid: item.label for item in SUSPICION_ITEMS}
+    series = {labels[qid]: distribution[qid] for qid in SUSPICION_ORDER}
+    n = sum(1 for r in responses if r.cohort is cohort and r.suspicion)
+    text = render_profile(series, list(LIKERT_SCALE))
+    means = mean_suspicion(responses, cohort)
+    text += "\nmean suspicion: " + "  ".join(
+        f"{labels[qid]}={means[qid]:.2f}" for qid in SUSPICION_ORDER
+    )
+    part = "a" if cohort is Cohort.DEVELOPER else "b"
+    group = "Main Group" if cohort is Cohort.DEVELOPER else "Student Group"
+    return FigureResult(
+        figure_id=f"Figure 22({part})",
+        title=f"Distribution of suspicion for exceptional conditions, "
+              f"{group} (n = {n})",
+        text=text,
+        data={"distribution": distribution, "means": means, "n": n},
+    )

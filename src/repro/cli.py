@@ -1,0 +1,348 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``quiz``
+    Take the paper's survey interactively (with executable ground-truth
+    demonstrations for anything you miss).
+``study``
+    Simulate the cohorts and print every paper table/figure.
+``demo``
+    Run and print the ground-truth demonstration for one question (or
+    all of them).
+``spy``
+    Run an exception-provoking workload under the fpspy monitor.
+``optsim``
+    Compile an expression at an optimization level and search for a
+    divergence from strict IEEE.
+``shadow``
+    Shadow-evaluate an expression at high precision.
+``mca``
+    Monte Carlo arithmetic: significance via randomized rounding.
+``drill``
+    Adaptive training drills with computed answers.
+``instrument``
+    Print the full survey document (no answer key).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro-fp`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fp",
+        description=(
+            "Reproduction of 'Do Developers Understand IEEE Floating "
+            "Point?' (IPDPS 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quiz = sub.add_parser("quiz", help="take the survey interactively")
+    quiz.add_argument(
+        "--no-suspicion", action="store_true",
+        help="skip the suspicion component",
+    )
+    quiz.add_argument(
+        "--no-demos", action="store_true",
+        help="do not print demonstrations for missed questions",
+    )
+
+    study = sub.add_parser(
+        "study", help="simulate the cohorts and print all figures",
+    )
+    study.add_argument("--seed", type=int, default=754)
+    study.add_argument("--developers", type=int, default=199)
+    study.add_argument("--students", type=int, default=52)
+    study.add_argument(
+        "--figure", default=None,
+        help="print only this figure (e.g. 'Figure 14')",
+    )
+    study.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="also write the simulated records as CSV",
+    )
+    study.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the full markdown report (all figures + extensions)",
+    )
+
+    demo = sub.add_parser(
+        "demo", help="run a question's ground-truth demonstration",
+    )
+    demo.add_argument(
+        "question", help="question id (e.g. 'associativity') or 'all'",
+    )
+
+    spy = sub.add_parser("spy", help="monitor a workload's exceptions")
+    spy.add_argument("workload", help="workload name or 'list' or 'all'")
+    spy.add_argument("--trace", action="store_true",
+                     help="also log each flag-raise with its operation")
+
+    optsim = sub.add_parser(
+        "optsim", help="check an expression's behavior under a flag",
+    )
+    optsim.add_argument("expr", help="expression, e.g. 'a*b + c'")
+    optsim.add_argument(
+        "--level", default="-O3",
+        help="-O0..-O3, -Ofast, --ffast-math, or a full command line "
+             "like 'gcc -O2 -fassociative-math'",
+    )
+
+    shadow = sub.add_parser(
+        "shadow", help="shadow-evaluate an expression at high precision",
+    )
+    shadow.add_argument("expr")
+    shadow.add_argument(
+        "--bind", action="append", default=[], metavar="NAME=VALUE",
+        help="variable binding (repeatable)",
+    )
+    shadow.add_argument("--localize", action="store_true",
+                        help="also print per-node error attribution")
+
+    mca = sub.add_parser(
+        "mca", help="randomized-rounding significance estimate",
+    )
+    mca.add_argument("expr")
+    mca.add_argument(
+        "--bind", action="append", default=[], metavar="NAME=VALUE",
+    )
+    mca.add_argument("--samples", type=int, default=32)
+
+    drill = sub.add_parser(
+        "drill", help="adaptive floating point training drills",
+    )
+    drill.add_argument("--rounds", type=int, default=10)
+    drill.add_argument(
+        "--concept", action="append", default=None,
+        help="restrict to a concept (repeatable); see --list",
+    )
+    drill.add_argument("--list", action="store_true",
+                       help="list available concepts")
+    drill.add_argument("--seed", type=int, default=None)
+
+    instrument = sub.add_parser(
+        "instrument", help="print the full survey document",
+    )
+    instrument.add_argument("--plain", action="store_true",
+                            help="plain text instead of markdown")
+    return parser
+
+
+def _cmd_quiz(args: argparse.Namespace) -> int:
+    from repro.quiz.runner import run_interactive
+
+    run_interactive(
+        include_suspicion=not args.no_suspicion,
+        show_demos=not args.no_demos,
+    )
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.analysis.study import run_study
+
+    study = run_study(
+        seed=args.seed, n_developers=args.developers,
+        n_students=args.students,
+    )
+    if args.figure is not None:
+        print(study.figure(args.figure).render())
+    else:
+        print(study.render())
+    if args.export:
+        from repro.survey.io import write_csv
+
+        count = write_csv(list(study.responses), args.export)
+        print(f"\nwrote {count} records to {args.export}")
+    if args.report:
+        from repro.analysis.report import write_report
+
+        target = write_report(study, args.report)
+        print(f"wrote full report to {target}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.quiz.runner import all_questions
+
+    questions = all_questions()
+    if args.question != "all":
+        questions = tuple(
+            q for q in questions if q.qid == args.question
+        )
+        if not questions:
+            known = ", ".join(q.qid for q in all_questions())
+            print(f"unknown question {args.question!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+    for question in questions:
+        demo = question.verify_ground_truth()
+        print(demo.render())
+        print()
+    return 0
+
+
+def _cmd_spy(args: argparse.Namespace) -> int:
+    from repro.fpspy import WORKLOADS, spy, workload
+
+    if args.workload == "list":
+        for w in WORKLOADS:
+            print(f"{w.name:24s} {w.description}")
+        return 0
+    targets = WORKLOADS if args.workload == "all" else (workload(args.workload),)
+    for w in targets:
+        with spy(trace=args.trace) as report:
+            result = w.run()
+        print(f"workload {w.name}: result = {result!r}")
+        print(report.render())
+        if args.trace and report.trace is not None:
+            print(report.trace.render())
+        print()
+    return 0
+
+
+def _cmd_optsim(args: argparse.Namespace) -> int:
+    from repro.optsim import (
+        find_divergence,
+        noncompliance_reasons,
+        optimization_level,
+        optimize,
+        parse_expr,
+    )
+
+    try:
+        config = optimization_level(args.level)
+    except ValueError:
+        from repro.optsim import config_from_flags
+
+        config = config_from_flags(args.level)
+    expr = parse_expr(args.expr)
+    print(f"source:   {expr}")
+    print(f"compiled: {optimize(expr, config)}   [{config.name}]")
+    reasons = noncompliance_reasons(config)
+    if reasons:
+        print("non-standard permissions: " + "; ".join(reasons))
+    report = find_divergence(expr, config)
+    print(report.describe())
+    return 0
+
+
+def _cmd_shadow(args: argparse.Namespace) -> int:
+    from repro.optsim import parse_expr
+    from repro.shadow import localize_errors, shadow_evaluate
+
+    bindings: dict[str, object] = {}
+    for item in args.bind:
+        name, _, value = item.partition("=")
+        if not name or not value:
+            print(f"bad --bind {item!r}; expected NAME=VALUE",
+                  file=sys.stderr)
+            return 2
+        bindings[name] = float(value)
+    expr = parse_expr(args.expr)
+    print(shadow_evaluate(expr, bindings).describe())
+    if args.localize:
+        for entry in localize_errors(expr, bindings):
+            print("  " + entry.describe())
+    return 0
+
+
+def _parse_bindings(pairs, parser_name: str):
+    bindings: dict[str, object] = {}
+    for item in pairs:
+        name, _, value = item.partition("=")
+        if not name or not value:
+            print(f"bad --bind {item!r}; expected NAME=VALUE",
+                  file=sys.stderr)
+            return None
+        bindings[name] = float(value)
+    return bindings
+
+
+def _cmd_mca(args: argparse.Namespace) -> int:
+    from repro.optsim import parse_expr
+    from repro.stochastic import mca_evaluate
+
+    bindings = _parse_bindings(args.bind, "mca")
+    if bindings is None:
+        return 2
+    result = mca_evaluate(
+        parse_expr(args.expr), bindings, samples=args.samples
+    )
+    print(result.describe())
+    return 0
+
+
+def _cmd_drill(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.training import ALL_TEMPLATES, DrillSession
+
+    if args.list:
+        for template in ALL_TEMPLATES:
+            print(f"{template.concept:20s} {template.description}")
+        return 0
+    rng = random.Random(args.seed)
+    session = DrillSession(rng=rng, concepts=args.concept)
+    for number in range(1, args.rounds + 1):
+        item = session.next_item()
+        print(f"drill {number}/{args.rounds} [{item.concept}]")
+        print(item.prompt)
+        while True:
+            raw = input("  [t/f] > ").strip().lower()
+            if raw in ("t", "true", "f", "false"):
+                break
+            print("  please answer t or f")
+        outcome = session.submit(item, raw in ("t", "true"))
+        print("  " + outcome.feedback())
+        print()
+    print(session.mastery().render())
+    return 0
+
+
+def _cmd_instrument(args: argparse.Namespace) -> int:
+    from repro.survey import render_instrument
+
+    print(render_instrument(markdown=not args.plain))
+    return 0
+
+
+_COMMANDS = {
+    "quiz": _cmd_quiz,
+    "study": _cmd_study,
+    "demo": _cmd_demo,
+    "spy": _cmd_spy,
+    "optsim": _cmd_optsim,
+    "shadow": _cmd_shadow,
+    "mca": _cmd_mca,
+    "drill": _cmd_drill,
+    "instrument": _cmd_instrument,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os.close(1)
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

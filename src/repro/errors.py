@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can guard an entire study run with a single ``except`` clause.
+Trap-enabled floating point exceptions derive from
+:class:`FloatingPointTrap` and carry the flag that fired.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FormatError",
+    "ParseError",
+    "FloatingPointTrap",
+    "InvalidOperationTrap",
+    "DivisionByZeroTrap",
+    "OverflowTrap",
+    "UnderflowTrap",
+    "InexactTrap",
+    "CalibrationError",
+    "SurveyDataError",
+    "OptimizationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FormatError(ReproError, ValueError):
+    """An invalid floating point format description or bit pattern."""
+
+
+class ParseError(ReproError, ValueError):
+    """A string could not be parsed as a number or expression."""
+
+
+class FloatingPointTrap(ReproError, ArithmeticError):
+    """A floating point exception fired while its trap was enabled.
+
+    ``flag`` is the :class:`repro.fpenv.FPFlag` that triggered the trap;
+    ``operation`` names the softfloat operation that raised it.
+    """
+
+    def __init__(self, flag, operation: str = "<unknown>") -> None:
+        self.flag = flag
+        self.operation = operation
+        super().__init__(f"floating point trap: {flag.name.lower()} in {operation}")
+
+
+class InvalidOperationTrap(FloatingPointTrap):
+    """Trap for the IEEE *invalid operation* exception (NaN results)."""
+
+
+class DivisionByZeroTrap(FloatingPointTrap):
+    """Trap for the IEEE *division by zero* exception (exact infinities)."""
+
+
+class OverflowTrap(FloatingPointTrap):
+    """Trap for the IEEE *overflow* exception (rounded result too large)."""
+
+
+class UnderflowTrap(FloatingPointTrap):
+    """Trap for the IEEE *underflow* exception (tiny and inexact result)."""
+
+
+class InexactTrap(FloatingPointTrap):
+    """Trap for the IEEE *inexact* exception (result required rounding)."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """The population calibration failed to converge to its targets."""
+
+
+class SurveyDataError(ReproError, ValueError):
+    """Malformed survey records (bad CSV/JSON, unknown categories, ...)."""
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """An optimization pass produced an ill-formed expression tree."""

@@ -1,0 +1,50 @@
+"""IEEE-754 floating point environment: sticky flags, rounding, traps.
+
+This package models the part of the floating point system that the paper's
+*Exception Signal* question and the entire *suspicion quiz* are about:
+hardware tracks exceptions for every operation via **sticky condition
+codes**, and by default none of them propagate to the application.
+
+The environment is thread-local.  :func:`get_env` returns the active
+environment; :func:`env_context` installs a fresh or derived one for the
+duration of a ``with`` block, which is how :mod:`repro.fpspy` observes a
+computation without disturbing the caller's flags.
+
+Example
+-------
+>>> from repro.fpenv import env_context, FPFlag
+>>> from repro.softfloat import BINARY64, softfloat_from_float
+>>> with env_context() as env:
+...     x = softfloat_from_float(1.0, BINARY64)
+...     zero = softfloat_from_float(0.0, BINARY64)
+...     _ = x / zero
+...     env.test_flag(FPFlag.DIV_BY_ZERO)
+True
+"""
+
+from repro.fpenv.flags import FPFlag, FLAG_ORDER, flag_names
+from repro.fpenv.rounding import RoundingMode
+from repro.fpenv.trace import TraceEvent, TracingEnv
+from repro.fpenv.env import (
+    FPEnv,
+    get_env,
+    set_env,
+    env_context,
+    rounding_context,
+    flush_to_zero_context,
+)
+
+__all__ = [
+    "FPFlag",
+    "FLAG_ORDER",
+    "flag_names",
+    "RoundingMode",
+    "FPEnv",
+    "TracingEnv",
+    "TraceEvent",
+    "get_env",
+    "set_env",
+    "env_context",
+    "rounding_context",
+    "flush_to_zero_context",
+]

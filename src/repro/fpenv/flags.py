@@ -1,0 +1,73 @@
+"""Sticky floating point exception flags.
+
+IEEE 754 defines five exceptions.  We additionally track
+``DENORMAL_RESULT`` — the "result of an operation was a denormalized
+number" condition from the paper's suspicion quiz (Section II-D), which
+real hardware exposes via the denormal/underflow status distinction.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["FPFlag", "FLAG_ORDER", "flag_names"]
+
+
+class FPFlag(enum.Flag):
+    """Sticky exception flags, combinable with ``|``.
+
+    The five IEEE 754 exceptions plus the denormal-result condition:
+
+    - ``INVALID``: the operation had no usefully defined result and
+      produced a (quiet) NaN — e.g. ``0.0/0.0``, ``inf - inf``,
+      ``sqrt(-1.0)``, or an ordered comparison involving a NaN.
+    - ``DIV_BY_ZERO``: an exact infinite result from finite operands,
+      canonically ``1.0/0.0``.  Note the result is an infinity, *not* a
+      NaN — the crux of the paper's *Divide By Zero* question.
+    - ``OVERFLOW``: the rounded result exceeded the largest finite value
+      and saturated to an infinity (or to the largest finite value,
+      depending on rounding direction).
+    - ``UNDERFLOW``: the result was tiny (subnormal range) *and* inexact.
+    - ``INEXACT``: the result required rounding.
+    - ``DENORMAL_RESULT``: the delivered result was a nonzero subnormal.
+    """
+
+    NONE = 0
+    INVALID = enum.auto()
+    DIV_BY_ZERO = enum.auto()
+    OVERFLOW = enum.auto()
+    UNDERFLOW = enum.auto()
+    INEXACT = enum.auto()
+    DENORMAL_RESULT = enum.auto()
+
+    ALL = INVALID | DIV_BY_ZERO | OVERFLOW | UNDERFLOW | INEXACT | DENORMAL_RESULT
+    #: The five exceptions defined by IEEE 754 itself.
+    IEEE = INVALID | DIV_BY_ZERO | OVERFLOW | UNDERFLOW | INEXACT
+
+
+#: Canonical display order for reports (matches the suspicion quiz order:
+#: overflow, underflow, precision/inexact, invalid, denorm).
+FLAG_ORDER: tuple[FPFlag, ...] = (
+    FPFlag.OVERFLOW,
+    FPFlag.UNDERFLOW,
+    FPFlag.INEXACT,
+    FPFlag.INVALID,
+    FPFlag.DENORMAL_RESULT,
+    FPFlag.DIV_BY_ZERO,
+)
+
+
+def flag_names(flags: FPFlag) -> list[str]:
+    """Decompose a flag set into a sorted list of lowercase names.
+
+    >>> flag_names(FPFlag.INVALID | FPFlag.INEXACT)
+    ['inexact', 'invalid']
+    """
+    names = [
+        member.name.lower()
+        for member in FPFlag
+        if member not in (FPFlag.NONE, FPFlag.ALL, FPFlag.IEEE)
+        and member.name is not None
+        and member in flags
+    ]
+    return sorted(names)

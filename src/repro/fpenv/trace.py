@@ -1,0 +1,94 @@
+"""Per-operation exception tracing.
+
+Sticky flags tell you *whether* a condition occurred; a trace tells you
+*where* — the difference between the suspicion quiz's wrapper and an
+actual debugging session.  :class:`TracingEnv` is a drop-in
+:class:`~repro.fpenv.FPEnv` that additionally records every flag-raise
+as a :class:`TraceEvent` (operation name, flags, sequence number), with
+a bounded buffer so monitoring a long run cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag, flag_names
+
+__all__ = ["TraceEvent", "TracingEnv"]
+
+_DEFAULT_CAPACITY = 10_000
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One recorded flag-raise."""
+
+    sequence: int
+    operation: str
+    flags: FPFlag
+
+    def render(self) -> str:
+        names = ",".join(flag_names(self.flags))
+        return f"#{self.sequence} {self.operation}: {names}"
+
+
+class TracingEnv(FPEnv):
+    """An FPEnv that logs every raised flag.
+
+    ``capacity`` bounds the retained events (oldest are dropped, but
+    the *first* occurrence of each distinct flag is always kept — the
+    piece of evidence a debugger wants most).
+    """
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._events: list[TraceEvent] = []
+        self._first_by_flag: dict[FPFlag, TraceEvent] = {}
+        self._sequence = 0
+        self._operations = 0
+
+    # FPEnv is a plain dataclass; keep attribute assignment working.
+    def raise_flags(self, flags: FPFlag, operation: str = "<op>") -> None:
+        if flags is not FPFlag.NONE:
+            self._sequence += 1
+            event = TraceEvent(self._sequence, operation, flags)
+            if len(self._events) >= self._capacity:
+                self._events.pop(0)
+            self._events.append(event)
+            for member in FPFlag:
+                if member in (FPFlag.NONE, FPFlag.ALL, FPFlag.IEEE):
+                    continue
+                if member in flags and member not in self._first_by_flag:
+                    self._first_by_flag[member] = event
+        super().raise_flags(flags, operation)
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """Recorded events, oldest first (bounded by capacity)."""
+        return tuple(self._events)
+
+    def first_occurrence(self, flag: FPFlag) -> TraceEvent | None:
+        """The first event that raised ``flag`` (never evicted)."""
+        return self._first_by_flag.get(flag)
+
+    def count(self, flag: FPFlag) -> int:
+        """Number of retained events that raised ``flag``."""
+        return sum(1 for event in self._events if flag & event.flags)
+
+    def render(self, limit: int = 20) -> str:
+        """The first occurrences plus the most recent events."""
+        lines = ["first occurrences:"]
+        for flag, event in sorted(
+            self._first_by_flag.items(), key=lambda kv: kv[1].sequence
+        ):
+            lines.append(f"  {flag.name.lower():<16} {event.render()}")
+        if not self._first_by_flag:
+            lines.append("  (none)")
+        recent = self._events[-limit:]
+        lines.append(f"most recent {len(recent)} event(s):")
+        lines.extend(f"  {event.render()}" for event in recent)
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""fpspy: runtime floating point exception monitoring.
+
+One of the two tools the paper's conclusions call for (the authors
+mention building exactly this): wrap a computation, read the sticky
+condition codes afterward, and report which exceptional conditions
+occurred — structured like the suspicion quiz.
+
+>>> from repro.fpspy import spy, workload
+>>> with spy() as report:
+...     _ = workload("naive-variance").run()
+>>> report.occurred(__import__("repro.fpenv", fromlist=["FPFlag"]).FPFlag.INVALID)
+True
+"""
+
+from repro.fpspy.monitor import SpyReport, spy
+from repro.fpspy.report import render_report, suspicion_summary
+from repro.fpspy.workloads import (
+    WORKLOADS,
+    Workload,
+    compounding_growth,
+    logistic_map,
+    lorenz_trajectory,
+    naive_variance,
+    newton_no_root,
+    probability_underflow,
+    workload,
+)
+
+__all__ = [
+    "spy",
+    "SpyReport",
+    "render_report",
+    "suspicion_summary",
+    "Workload",
+    "WORKLOADS",
+    "workload",
+    "lorenz_trajectory",
+    "naive_variance",
+    "logistic_map",
+    "compounding_growth",
+    "probability_underflow",
+    "newton_no_root",
+]

@@ -1,0 +1,117 @@
+"""Runtime floating point exception monitoring.
+
+The paper's conclusions describe "a simple runtime monitoring tool to
+spy on unmodified binaries and track exceptional conditions using
+floating point condition codes, similar to the structure of the
+suspicion quiz."  This module is that tool for Python computations:
+
+- softfloat code run inside :func:`spy` has its sticky flags captured
+  through a scoped :class:`~repro.fpenv.FPEnv`;
+- NumPy code is monitored through ``numpy.errstate``'s call hook, which
+  reports divide/overflow/underflow/invalid (NumPy exposes no inexact
+  or denormal status — a limitation of the host path that the softfloat
+  path does not share).
+
+The report mirrors the suspicion quiz: which of the five conditions
+occurred at least once, paired with the reference suspicion guidance.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.fpenv.env import env_context
+from repro.fpenv.flags import FPFlag
+
+__all__ = ["SpyReport", "spy"]
+
+_NUMPY_FLAGS: dict[str, FPFlag] = {
+    "divide by zero": FPFlag.DIV_BY_ZERO,
+    "overflow": FPFlag.OVERFLOW,
+    "underflow": FPFlag.UNDERFLOW,
+    "invalid value": FPFlag.INVALID,
+}
+
+
+@dataclasses.dataclass
+class SpyReport:
+    """Accumulated exception footprint of a monitored computation."""
+
+    flags: FPFlag = FPFlag.NONE
+    numpy_events: int = 0
+    softfloat_flags: FPFlag = FPFlag.NONE
+    trace: "object | None" = None  # TracingEnv when spy(trace=True)
+
+    def occurred(self, flag: FPFlag) -> bool:
+        """Did ``flag`` occur at least once?"""
+        return bool(self.flags & flag)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing beyond *inexact* occurred (rounding alone
+        is not an anomaly worth reporting as one)."""
+        return not (self.flags & ~FPFlag.INEXACT)
+
+    def render(self) -> str:
+        """Suspicion-quiz-structured report (see
+        :func:`repro.fpspy.report.render_report`)."""
+        from repro.fpspy.report import render_report
+
+        return render_report(self)
+
+
+@contextlib.contextmanager
+def spy(*, trace: bool = False, **env_overrides: object) -> Iterator[SpyReport]:
+    """Monitor a block of computation.
+
+    Softfloat operations inside the block run under a fresh scoped
+    environment (optionally customized via keyword overrides, e.g.
+    ``spy(ftz=True)``); NumPy floating point errors are captured via the
+    errstate call hook.  Neither monitor disturbs the caller's state.
+
+    With ``trace=True``, every softfloat flag-raise is also logged with
+    its operation and sequence number (``report.trace`` holds the
+    :class:`repro.fpenv.trace.TracingEnv`), so the report can answer
+    *where* the first NaN appeared, not just whether one did.
+
+    >>> from repro.softfloat import sf
+    >>> from repro.fpenv import FPFlag
+    >>> with spy() as report:
+    ...     _ = sf(1.0) / sf(0.0)
+    >>> report.occurred(FPFlag.DIV_BY_ZERO)
+    True
+    """
+    report = SpyReport()
+
+    class _Hook:
+        def write(self, message: str) -> None:  # pragma: no cover - log api
+            self._record(message)
+
+        def __call__(self, kind: str, _flag: int) -> None:
+            self._record(kind)
+
+        def _record(self, kind: str) -> None:
+            report.numpy_events += 1
+            for needle, flag in _NUMPY_FLAGS.items():
+                if needle in kind:
+                    report.flags |= flag
+
+    if trace:
+        from repro.fpenv.trace import TracingEnv
+
+        tracing = TracingEnv(**{k: v for k, v in env_overrides.items()})
+        context = env_context(tracing, install=True)
+        report.trace = tracing
+    else:
+        context = env_context(**env_overrides)
+    with context as env:
+        with np.errstate(all="call", call=_Hook()):
+            try:
+                yield report
+            finally:
+                report.softfloat_flags = env.flags
+                report.flags |= env.flags

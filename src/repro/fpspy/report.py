@@ -1,0 +1,54 @@
+"""Suspicion-structured reporting for spy results.
+
+Maps each monitored exceptional condition to the suspicion quiz's
+reference guidance, so a report reads like the quiz scenario: "these
+conditions occurred at least once; here is how suspicious you should
+be."
+"""
+
+from __future__ import annotations
+
+from repro.fpspy.monitor import SpyReport
+from repro.quiz.suspicion import FLAG_FOR_ITEM, SUSPICION_ITEMS
+
+__all__ = ["render_report", "suspicion_summary"]
+
+
+def suspicion_summary(report: SpyReport) -> list[dict[str, object]]:
+    """One entry per suspicion-quiz condition: occurrence + guidance."""
+    rows = []
+    for item in SUSPICION_ITEMS:
+        flag = FLAG_FOR_ITEM[item.qid]
+        rows.append({
+            "condition": item.label,
+            "occurred": report.occurred(flag),
+            "reference_suspicion": item.reference_level,
+            "rationale": item.rationale,
+        })
+    return rows
+
+
+def render_report(report: SpyReport) -> str:
+    """Human-readable report in the suspicion quiz's structure."""
+    lines = ["floating point exception report (sticky, per condition):"]
+    worst = 0
+    for row in suspicion_summary(report):
+        mark = "OCCURRED" if row["occurred"] else "clear   "
+        lines.append(
+            f"  {row['condition']:<10} {mark}  "
+            f"(reference suspicion {row['reference_suspicion']}/5)"
+        )
+        if row["occurred"]:
+            worst = max(worst, int(row["reference_suspicion"]))  # type: ignore[arg-type]
+            lines.append(f"      {row['rationale']}")
+    if worst >= 5:
+        verdict = "DO NOT TRUST these results without investigation (NaN)."
+    elif worst >= 4:
+        verdict = "Treat results with suspicion (infinities occurred)."
+    elif worst > 0:
+        verdict = ("Results plausibly fine if the algorithm was designed "
+                   "for rounding/underflow.")
+    else:
+        verdict = "No exceptional conditions beyond (at most) rounding."
+    lines.append(f"verdict: {verdict}")
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Exception-provoking scientific workloads.
+
+Small simulations, each engineered to raise a *specific, documented*
+set of floating point exceptions, so the monitor (and the suspicion
+quiz's scenario) can be exercised end-to-end.  The Lorenz system is
+included deliberately: the paper's introduction cites Lorenz's rounding
+error as the canonical example of numerics changing science.
+
+Each workload runs on the softfloat engine (so the full six-flag
+footprint is observable) and takes a step/size parameter kept small —
+this substrate favors observability over speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.fpenv.flags import FPFlag
+from repro.softfloat import BINARY64, SoftFloat, fp_sqrt, sf
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "lorenz_trajectory",
+    "naive_variance",
+    "logistic_map",
+    "compounding_growth",
+    "probability_underflow",
+    "newton_no_root",
+    "workload",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """A named exception-provoking simulation.
+
+    ``expected_flags`` is the exception footprint the workload is
+    engineered to produce (beyond *inexact*, which everything raises);
+    the test suite asserts it exactly.
+    """
+
+    name: str
+    description: str
+    run: Callable[[], object]
+    expected_flags: FPFlag
+
+
+def lorenz_trajectory(steps: int = 120) -> tuple[float, float, float]:
+    """Forward-Euler Lorenz system (sigma=10, rho=28, beta=8/3).
+
+    Numerically tame at this step size: raises only *inexact* —
+    the baseline "a healthy simulation still rounds" case.
+    """
+    dt = sf(0.005)
+    sigma, rho, beta = sf(10.0), sf(28.0), sf(8.0) / sf(3.0)
+    x, y, z = sf(1.0), sf(1.0), sf(1.0)
+    for _ in range(steps):
+        dx = sigma * (y - x)
+        dy = x * (rho - z) - y
+        dz = x * y - beta * z
+        x = x + dt * dx
+        y = y + dt * dy
+        z = z + dt * dz
+    return x.to_float(), y.to_float(), z.to_float()
+
+
+def naive_variance(scale: float = 1e9) -> float:
+    """The classic one-pass variance formula on large-offset data.
+
+    ``E[x^2] - E[x]^2`` cancels catastrophically and can go negative;
+    taking its square root then raises *invalid* and yields NaN.
+    """
+    data = [scale + offset for offset in (4.0, 7.0, 13.0, 16.0)]
+    n = sf(float(len(data)))
+    total = SoftFloat.zero(BINARY64)
+    total_sq = SoftFloat.zero(BINARY64)
+    for value in data:
+        x = sf(value)
+        total = total + x
+        total_sq = total_sq + x * x
+    mean = total / n
+    variance = total_sq / n - mean * mean
+    return fp_sqrt(variance).to_float()
+
+
+def logistic_map(r: float = 4.0, steps: int = 80) -> float:
+    """Chaotic logistic map iteration ``x <- r x (1 - x)``.
+
+    Stays in [0, 1]: raises only *inexact* (chaos is not an exception;
+    the point the Lorenz anecdote makes is that rounding alone can
+    dominate chaotic systems)."""
+    x = sf(0.2)
+    growth = sf(r)
+    one = sf(1.0)
+    for _ in range(steps):
+        x = growth * x * (one - x)
+    return x.to_float()
+
+
+def compounding_growth(rate: float = 2.0, steps: int = 1100) -> float:
+    """Unchecked exponential growth: doubles past DBL_MAX.
+
+    Raises *overflow* and saturates at +infinity; later arithmetic
+    silently carries the infinity along.
+    """
+    balance = sf(1.0)
+    factor = sf(rate)
+    for _ in range(steps):
+        balance = balance * factor
+    return (balance + sf(1.0)).to_float()
+
+
+def probability_underflow(p: float = 1e-6, events: int = 60) -> float:
+    """Joint probability of many rare independent events.
+
+    The product marches down through the subnormal range (raising
+    *underflow* and *denormal-result*) and finally flushes to zero —
+    the motivating case for log-space probability arithmetic.
+    """
+    probability = sf(1.0)
+    per_event = sf(p)
+    for _ in range(events):
+        probability = probability * per_event
+    return probability.to_float()
+
+
+def newton_no_root(iterations: int = 6) -> float:
+    """Newton's method on ``f(x) = x^2 + 1`` (which has no real root),
+    started at ``x0 = 1``.
+
+    The first step lands exactly on ``x = 0`` where the derivative
+    vanishes: ``f/f' = 1/0`` raises *divide-by-zero* and the iterate
+    becomes an infinity; the next step computes ``inf/inf`` — *invalid*,
+    NaN — and every subsequent iterate stays NaN.  The loop still
+    "converges" (NaN == NaN is false, but the loop is step-counted) and
+    returns normally: the suspicion wrapper is the only witness.
+    """
+    x = sf(1.0)
+    one, two = sf(1.0), sf(2.0)
+    for _ in range(iterations):
+        f = x * x + one
+        df = two * x
+        x = x - f / df
+    return x.to_float()
+
+
+WORKLOADS: tuple[Workload, ...] = (
+    Workload(
+        name="lorenz",
+        description="Lorenz attractor, forward Euler (rounding only)",
+        run=lorenz_trajectory,
+        expected_flags=FPFlag.INEXACT,
+    ),
+    Workload(
+        name="naive-variance",
+        description="one-pass variance + sqrt: cancellation to NaN",
+        run=naive_variance,
+        expected_flags=FPFlag.INEXACT | FPFlag.INVALID,
+    ),
+    Workload(
+        name="logistic-map",
+        description="chaotic logistic map (rounding only)",
+        run=logistic_map,
+        expected_flags=FPFlag.INEXACT,
+    ),
+    Workload(
+        name="compounding-growth",
+        description="unchecked exponential growth to +inf",
+        run=compounding_growth,
+        expected_flags=FPFlag.INEXACT | FPFlag.OVERFLOW,
+    ),
+    Workload(
+        name="newton-no-root",
+        description="Newton iteration on a rootless function: hits a "
+                    "zero derivative, then inf/inf -> NaN, silently",
+        run=newton_no_root,
+        expected_flags=(
+            FPFlag.INVALID | FPFlag.DIV_BY_ZERO
+        ),
+    ),
+    Workload(
+        name="probability-underflow",
+        description="product of rare-event probabilities through the "
+                    "subnormals to zero",
+        run=probability_underflow,
+        expected_flags=(
+            FPFlag.INEXACT | FPFlag.UNDERFLOW | FPFlag.DENORMAL_RESULT
+        ),
+    ),
+)
+
+_BY_NAME = {w.name: w for w in WORKLOADS}
+
+
+def workload(name: str) -> Workload:
+    """Look up a workload by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown workload {name!r}; known: {known}")

@@ -1,0 +1,26 @@
+"""Interval arithmetic over the softfloat engine.
+
+An extension in the spirit of the paper's conclusions: a developer who
+distrusts rounding can run a computation on *intervals* — every
+operation rounds the lower endpoint toward −inf and the upper endpoint
+toward +inf, so the true real-arithmetic result is always enclosed.
+Wide output intervals are the rounding-sensitivity signal the suspicion
+quiz asks about, delivered per-value instead of per-run.
+
+This is also the natural consumer of the directed rounding modes the
+softfloat engine implements (most developers never touch them — one
+more thing the survey suggests they couldn't describe).
+
+>>> from repro.interval import Interval
+>>> x = Interval.from_value(0.1)      # the double nearest 0.1, exactly
+>>> total = x + x + x
+>>> total.contains_value(0.30000000000000004)
+True
+>>> total.width_ulps() <= 4
+True
+"""
+
+from repro.interval.interval import Interval, IntervalError
+from repro.interval.evaluate import interval_evaluate
+
+__all__ = ["Interval", "IntervalError", "interval_evaluate"]

@@ -1,0 +1,79 @@
+"""Interval evaluation of optsim expressions.
+
+Bridges the expression IR and the interval substrate: run any parsed
+expression with interval inputs and get a rigorous enclosure of every
+real result the input boxes could produce — the "paranoid developer"
+mode the paper's conclusions wish for, applied to whole expressions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import OptimizationError
+from repro.interval.interval import Interval, IntervalError
+from repro.optsim.ast import FMA, Binary, BinOp, Const, Expr, Unary, UnOp, Var
+from repro.softfloat.formats import BINARY64, FloatFormat
+
+__all__ = ["interval_evaluate"]
+
+
+def interval_evaluate(
+    expr: Expr,
+    bindings: Mapping[str, Interval | float | int],
+    fmt: FloatFormat = BINARY64,
+) -> Interval:
+    """Evaluate ``expr`` over interval inputs with outward rounding.
+
+    Plain numbers in ``bindings`` become point intervals.  Constants in
+    the tree become the tightest enclosure of their literal (so ``0.1``
+    contributes its real value, not just the nearest double).
+    ``min``/``max``/``rem`` are not supported (``IntervalError``).
+    """
+    boxed = {
+        name: value if isinstance(value, Interval)
+        else Interval.from_value(value, fmt)
+        for name, value in bindings.items()
+    }
+    return _eval(expr, boxed, fmt)
+
+
+def _eval(
+    expr: Expr, bindings: Mapping[str, Interval], fmt: FloatFormat
+) -> Interval:
+    if isinstance(expr, Const):
+        return Interval.from_decimal(expr.literal, fmt)
+    if isinstance(expr, Var):
+        try:
+            return bindings[expr.name]
+        except KeyError:
+            raise OptimizationError(f"unbound variable {expr.name!r}")
+    if isinstance(expr, Unary):
+        operand = _eval(expr.operand, bindings, fmt)
+        if expr.op is UnOp.NEG:
+            return -operand
+        if expr.op is UnOp.ABS:
+            return operand.abs()
+        if expr.op is UnOp.SQRT:
+            return operand.sqrt()
+        raise AssertionError(f"unhandled unary {expr.op}")  # pragma: no cover
+    if isinstance(expr, Binary):
+        left = _eval(expr.left, bindings, fmt)
+        right = _eval(expr.right, bindings, fmt)
+        if expr.op is BinOp.ADD:
+            return left + right
+        if expr.op is BinOp.SUB:
+            return left - right
+        if expr.op is BinOp.MUL:
+            return left * right
+        if expr.op is BinOp.DIV:
+            return left / right
+        raise IntervalError(
+            f"operator {expr.op.value!r} has no interval extension here"
+        )
+    if isinstance(expr, FMA):
+        a = _eval(expr.a, bindings, fmt)
+        b = _eval(expr.b, bindings, fmt)
+        c = _eval(expr.c, bindings, fmt)
+        return a * b + c
+    raise OptimizationError(f"cannot evaluate {type(expr).__name__}")

@@ -1,0 +1,296 @@
+"""Closed-interval arithmetic with outward (directed) rounding.
+
+Endpoints are SoftFloats in a common format.  Every operation computes
+the mathematically correct endpoint candidates, rounding the lower one
+under roundTowardNegative and the upper under roundTowardPositive, so
+the fundamental containment theorem holds::
+
+    x in X and y in Y  =>  x op y in (X op Y)
+
+NaN endpoints are rejected (intervals model real quantities); division
+by an interval containing zero and even-roots of sign-crossing
+intervals raise :class:`IntervalError` rather than silently widening to
+the whole line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.errors import ReproError
+from repro.fpenv.env import FPEnv
+from repro.fpenv.rounding import RoundingMode
+from repro.softfloat import (
+    BINARY64,
+    SoftFloat,
+    fp_add,
+    fp_div,
+    fp_le,
+    fp_lt,
+    fp_mul,
+    fp_sqrt,
+    fp_sub,
+    sf,
+)
+from repro.softfloat.formats import FloatFormat
+
+__all__ = ["Interval", "IntervalError"]
+
+
+class IntervalError(ReproError, ValueError):
+    """Ill-formed interval or undefined interval operation."""
+
+
+def _down(fmt: FloatFormat) -> FPEnv:
+    return FPEnv(rounding=RoundingMode.TOWARD_NEGATIVE)
+
+
+def _up(fmt: FloatFormat) -> FPEnv:
+    return FPEnv(rounding=RoundingMode.TOWARD_POSITIVE)
+
+
+@dataclasses.dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` of softfloat endpoints."""
+
+    lo: SoftFloat
+    hi: SoftFloat
+
+    def __post_init__(self) -> None:
+        if self.lo.fmt != self.hi.fmt:
+            raise IntervalError("endpoints must share a format")
+        if self.lo.is_nan or self.hi.is_nan:
+            raise IntervalError("NaN endpoint")
+        if not fp_le(self.lo, self.hi, FPEnv()):
+            raise IntervalError(
+                f"empty interval: lo={self.lo!s} > hi={self.hi!s}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_value(
+        cls, value: object, fmt: FloatFormat = BINARY64
+    ) -> "Interval":
+        """Degenerate interval from an exactly-representable value."""
+        point = sf(value, fmt)
+        return cls(point, point)
+
+    @classmethod
+    def from_decimal(
+        cls, text: str, fmt: FloatFormat = BINARY64
+    ) -> "Interval":
+        """Tightest interval enclosing a decimal literal (the two
+        correctly rounded directed conversions)."""
+        from repro.softfloat.parse import parse_softfloat
+
+        lo = parse_softfloat(text, fmt, _down(fmt))
+        hi = parse_softfloat(text, fmt, _up(fmt))
+        return cls(lo, hi)
+
+    @classmethod
+    def from_bounds(
+        cls, lo: object, hi: object, fmt: FloatFormat = BINARY64
+    ) -> "Interval":
+        """Interval from two endpoint values."""
+        return cls(sf(lo, fmt), sf(hi, fmt))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def fmt(self) -> FloatFormat:
+        """Endpoint format."""
+        return self.lo.fmt
+
+    @property
+    def is_point(self) -> bool:
+        """True for a degenerate (zero-width) interval."""
+        return self.lo.same_bits(self.hi) or (
+            self.lo.is_zero and self.hi.is_zero
+        )
+
+    def contains(self, value: SoftFloat) -> bool:
+        """Is the (non-NaN) value inside the interval?"""
+        if value.is_nan:
+            return False
+        env = FPEnv()
+        return fp_le(self.lo, value, env) and fp_le(value, self.hi, env)
+
+    def contains_value(self, value: object) -> bool:
+        """Convenience: membership of a plain number."""
+        return self.contains(sf(value, self.fmt))
+
+    def contains_fraction(self, value: Fraction) -> bool:
+        """Exact membership of a rational (endpoints compared exactly)."""
+        if self.lo.is_inf and self.lo.sign:
+            lo_ok = True
+        else:
+            lo_ok = self.lo.to_fraction() <= value
+        if self.hi.is_inf and not self.hi.sign:
+            hi_ok = True
+        else:
+            hi_ok = value <= self.hi.to_fraction()
+        return lo_ok and hi_ok
+
+    def width(self) -> SoftFloat:
+        """Upper-rounded endpoint difference."""
+        return fp_sub(self.hi, self.lo, _up(self.fmt))
+
+    def width_ulps(self) -> float:
+        """Width in units of the last place at the interval's magnitude
+        (inf for unbounded intervals)."""
+        if self.lo.is_inf or self.hi.is_inf:
+            return float("inf")
+        from repro.softfloat.functions import ulp
+
+        bigger = self.hi if fp_le(abs(self.lo), abs(self.hi), FPEnv()) \
+            else self.lo
+        gap = ulp(bigger).to_fraction()
+        span = self.hi.to_fraction() - self.lo.to_fraction()
+        try:
+            return float(span / gap)
+        except OverflowError:
+            return float("inf")
+
+    def midpoint(self) -> SoftFloat:
+        """A representative value inside the interval."""
+        half = fp_mul(
+            fp_add(self.lo, self.hi, FPEnv()), sf(0.5, self.fmt), FPEnv()
+        )
+        if self.contains(half):
+            return half
+        return self.lo  # inf-endpoint corner: fall back to an endpoint
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        other = self._coerce(other)
+        return Interval(
+            fp_add(self.lo, other.lo, _down(self.fmt)),
+            fp_add(self.hi, other.hi, _up(self.fmt)),
+        )
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        other = self._coerce(other)
+        return Interval(
+            fp_sub(self.lo, other.hi, _down(self.fmt)),
+            fp_sub(self.hi, other.lo, _up(self.fmt)),
+        )
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        other = self._coerce(other)
+        down, up = _down(self.fmt), _up(self.fmt)
+        los = []
+        his = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                los.append(self._mul_endpoint(a, b, down))
+                his.append(self._mul_endpoint(a, b, up))
+        return Interval(self._min(los), self._max(his))
+
+    def __truediv__(self, other: "Interval") -> "Interval":
+        other = self._coerce(other)
+        zero = SoftFloat.zero(self.fmt)
+        if other.contains(zero):
+            raise IntervalError(
+                f"division by an interval containing zero: {other}"
+            )
+        down, up = _down(self.fmt), _up(self.fmt)
+        los = []
+        his = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                los.append(fp_div(a, b, down))
+                his.append(fp_div(a, b, up))
+        return Interval(self._min(los), self._max(his))
+
+    def sqrt(self) -> "Interval":
+        """Interval square root (requires a non-negative interval)."""
+        if self.lo.is_negative and not self.lo.is_zero:
+            raise IntervalError(f"sqrt of sign-crossing interval {self}")
+        return Interval(
+            fp_sqrt(self.lo, _down(self.fmt)),
+            fp_sqrt(self.hi, _up(self.fmt)),
+        )
+
+    def abs(self) -> "Interval":
+        """Interval absolute value."""
+        zero = SoftFloat.zero(self.fmt)
+        if self.contains(zero):
+            return Interval(zero, self._max([abs(self.lo), abs(self.hi)]))
+        if self.hi.is_negative or self.hi.is_zero:
+            return Interval(abs(self.hi), abs(self.lo))
+        return self
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both."""
+        other = self._coerce(other)
+        return Interval(
+            self._min([self.lo, other.lo]), self._max([self.hi, other.hi])
+        )
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Intersection; raises IntervalError when disjoint."""
+        other = self._coerce(other)
+        lo = self._max([self.lo, other.lo])
+        hi = self._min([self.hi, other.hi])
+        if fp_lt(hi, lo, FPEnv()):
+            raise IntervalError(f"disjoint intervals {self} and {other}")
+        return Interval(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _coerce(self, other: object) -> "Interval":
+        if isinstance(other, Interval):
+            if other.fmt != self.fmt:
+                raise IntervalError("mixed-format interval arithmetic")
+            return other
+        return Interval.from_value(other, self.fmt)  # type: ignore[arg-type]
+
+    def _mul_endpoint(self, a: SoftFloat, b: SoftFloat, env: FPEnv):
+        # inf * 0 inside interval multiplication is conventionally 0
+        # (the zero endpoint dominates; IEEE would say NaN).
+        if (a.is_inf and b.is_zero) or (a.is_zero and b.is_inf):
+            return SoftFloat.zero(self.fmt)
+        return fp_mul(a, b, env)
+
+    @staticmethod
+    def _min(values):
+        best = values[0]
+        env = FPEnv()
+        for candidate in values[1:]:
+            if fp_lt(candidate, best, env):
+                best = candidate
+        return best
+
+    @staticmethod
+    def _max(values):
+        best = values[0]
+        env = FPEnv()
+        for candidate in values[1:]:
+            if fp_lt(best, candidate, env):
+                best = candidate
+        return best
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    def __rsub__(self, other: object) -> "Interval":
+        return self._coerce(other) - self
+
+    def __rtruediv__(self, other: object) -> "Interval":
+        return self._coerce(other) / self
+
+    def __str__(self) -> str:
+        return f"[{self.lo!s}, {self.hi!s}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interval({self.lo!s}, {self.hi!s})"

@@ -1,0 +1,60 @@
+"""Condition numbers: how hard is this data, independent of algorithm?
+
+The suspicion quiz's "not a problem given appropriate numeric algorithm
+design" has a quantitative core: an algorithm's achievable accuracy is
+bounded by the *conditioning* of the problem instance.  For summation
+and dot products the standard condition number is::
+
+    kappa = sum(|x_i|) / |sum(x_i)|
+
+(kappa = 1: benign; kappa = 1e16: even a perfect binary64 algorithm
+returns garbage).  The benches use these to label their test data, and
+the compensated algorithms' error bounds are stated in terms of them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+
+from repro.softfloat import SoftFloat
+
+__all__ = ["sum_condition", "dot_condition"]
+
+
+def sum_condition(values: Sequence[SoftFloat]) -> float:
+    """Condition number of summing ``values`` (inf for a zero sum)."""
+    if not values:
+        raise ValueError("cannot condition an empty sum")
+    total = Fraction(0)
+    magnitude = Fraction(0)
+    for value in values:
+        exact = value.to_fraction()
+        total += exact
+        magnitude += abs(exact)
+    if total == 0:
+        return float("inf")
+    try:
+        return float(magnitude / abs(total))
+    except OverflowError:
+        return float("inf")
+
+
+def dot_condition(
+    xs: Sequence[SoftFloat], ys: Sequence[SoftFloat]
+) -> float:
+    """Condition number of the dot product ``xs . ys``."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("need equal-length non-empty vectors")
+    total = Fraction(0)
+    magnitude = Fraction(0)
+    for x, y in zip(xs, ys):
+        term = x.to_fraction() * y.to_fraction()
+        total += term
+        magnitude += abs(term)
+    if total == 0:
+        return float("inf")
+    try:
+        return float(magnitude / abs(total))
+    except OverflowError:
+        return float("inf")

@@ -1,0 +1,100 @@
+"""Dot products: naive, FMA-based, and compensated.
+
+The MADD question's practical payoff: an FMA-based dot product halves
+the roundings; a compensated one (TwoProduct/TwoSum building blocks à
+la Ogita–Rump–Oishi) gets within an ulp or two of exact even on
+ill-conditioned data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+
+from repro.fpenv.env import FPEnv, get_env
+from repro.softfloat import SoftFloat, fp_add, fp_fma, fp_mul, fp_sub
+
+__all__ = ["naive_dot", "fma_dot", "compensated_dot", "exact_dot"]
+
+
+def _check(xs: Sequence[SoftFloat], ys: Sequence[SoftFloat]) -> None:
+    if len(xs) != len(ys):
+        raise ValueError("dot product needs equal-length vectors")
+    if not xs:
+        raise ValueError("cannot dot empty vectors")
+
+
+def naive_dot(
+    xs: Sequence[SoftFloat], ys: Sequence[SoftFloat],
+    env: FPEnv | None = None,
+) -> SoftFloat:
+    """Two roundings per term: multiply, then accumulate."""
+    env = env or get_env()
+    _check(xs, ys)
+    total = SoftFloat.zero(xs[0].fmt)
+    for x, y in zip(xs, ys):
+        total = fp_add(total, fp_mul(x, y, env), env)
+    return total
+
+
+def fma_dot(
+    xs: Sequence[SoftFloat], ys: Sequence[SoftFloat],
+    env: FPEnv | None = None,
+) -> SoftFloat:
+    """One rounding per term via fused multiply-add (what contraction
+    gives you — usually better, but *different* from naive_dot)."""
+    env = env or get_env()
+    _check(xs, ys)
+    total = SoftFloat.zero(xs[0].fmt)
+    for x, y in zip(xs, ys):
+        total = fp_fma(x, y, total, env)
+    return total
+
+
+def _two_sum(
+    a: SoftFloat, b: SoftFloat, env: FPEnv
+) -> tuple[SoftFloat, SoftFloat]:
+    """Knuth TwoSum: s + e == a + b exactly, s = fl(a + b)."""
+    s = fp_add(a, b, env)
+    b_virtual = fp_sub(s, a, env)
+    a_virtual = fp_sub(s, b_virtual, env)
+    b_round = fp_sub(b, b_virtual, env)
+    a_round = fp_sub(a, a_virtual, env)
+    return s, fp_add(a_round, b_round, env)
+
+
+def _two_product(
+    a: SoftFloat, b: SoftFloat, env: FPEnv
+) -> tuple[SoftFloat, SoftFloat]:
+    """FMA TwoProduct: p + e == a * b exactly, p = fl(a * b)."""
+    p = fp_mul(a, b, env)
+    e = fp_fma(a, b, -p, env)
+    return p, e
+
+
+def compensated_dot(
+    xs: Sequence[SoftFloat], ys: Sequence[SoftFloat],
+    env: FPEnv | None = None,
+) -> SoftFloat:
+    """Ogita-Rump-Oishi Dot2: compensates both the products' and the
+    sums' rounding errors; as accurate as computing in doubled
+    precision and rounding once, for reasonably conditioned data."""
+    env = env or get_env()
+    _check(xs, ys)
+    total, error = _two_product(xs[0], ys[0], env)
+    for x, y in zip(xs[1:], ys[1:]):
+        product, product_error = _two_product(x, y, env)
+        total, sum_error = _two_sum(total, product, env)
+        error = fp_add(error, fp_add(product_error, sum_error, env), env)
+    return fp_add(total, error, env)
+
+
+def exact_dot(
+    xs: Sequence[SoftFloat], ys: Sequence[SoftFloat]
+) -> Fraction:
+    """The exact rational dot product."""
+    _check(xs, ys)
+    return sum(
+        (x.to_fraction() * y.to_fraction() for x, y in zip(xs, ys)),
+        Fraction(0),
+    )

@@ -1,0 +1,64 @@
+"""Polynomial evaluation: naive powers vs Horner's rule."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+
+from repro.fpenv.env import FPEnv, get_env
+from repro.softfloat import SoftFloat, fp_add, fp_mul, fp_powi
+
+__all__ = ["naive_poly", "horner", "exact_poly"]
+
+
+def _check(coefficients: Sequence[SoftFloat]) -> None:
+    if not coefficients:
+        raise ValueError("polynomial needs at least one coefficient")
+
+
+def naive_poly(
+    coefficients: Sequence[SoftFloat], x: SoftFloat,
+    env: FPEnv | None = None,
+) -> SoftFloat:
+    """Sum of ``c_i * x**i`` with explicit powers (coefficients in
+    ascending degree).  More roundings, and the powers can overflow
+    early."""
+    env = env or get_env()
+    _check(coefficients)
+    total = SoftFloat.zero(x.fmt)
+    for degree, coefficient in enumerate(coefficients):
+        term = (
+            coefficient
+            if degree == 0
+            else fp_mul(coefficient, fp_powi(x, degree, env), env)
+        )
+        total = fp_add(total, term, env)
+    return total
+
+
+def horner(
+    coefficients: Sequence[SoftFloat], x: SoftFloat,
+    env: FPEnv | None = None,
+) -> SoftFloat:
+    """Horner's rule: ``(...(c_n x + c_{n-1}) x + ...) x + c_0`` — the
+    minimum-operation, numerically preferred scheme (coefficients in
+    ascending degree)."""
+    env = env or get_env()
+    _check(coefficients)
+    total = coefficients[-1]
+    for coefficient in reversed(coefficients[:-1]):
+        total = fp_add(fp_mul(total, x, env), coefficient, env)
+    return total
+
+
+def exact_poly(
+    coefficients: Sequence[SoftFloat], x: SoftFloat
+) -> Fraction:
+    """Exact rational evaluation (the reference)."""
+    _check(coefficients)
+    point = x.to_fraction()
+    return sum(
+        (c.to_fraction() * point**degree
+         for degree, c in enumerate(coefficients)),
+        Fraction(0),
+    )

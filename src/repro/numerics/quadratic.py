@@ -1,0 +1,77 @@
+"""The quadratic formula: the canonical cancellation case study.
+
+For ``b*b >> 4*a*c`` the textbook formula computes one root as the
+difference of two nearly equal quantities (``-b + sqrt(b^2-4ac)``) and
+loses most of its digits — catastrophic cancellation, the practical
+face of the *Ordering*/*Operation Precision* questions.  The stable
+variant computes the well-conditioned root first and recovers the
+other from the product identity ``x1 * x2 = c/a``.
+"""
+
+from __future__ import annotations
+
+from repro.fpenv.env import FPEnv, get_env
+from repro.softfloat import (
+    SoftFloat,
+    fp_add,
+    fp_div,
+    fp_fma,
+    fp_mul,
+    fp_sqrt,
+    fp_sub,
+    sf,
+)
+
+__all__ = ["quadratic_roots_textbook", "quadratic_roots_stable"]
+
+
+def _discriminant_sqrt(
+    a: SoftFloat, b: SoftFloat, c: SoftFloat, env: FPEnv
+) -> SoftFloat:
+    # fma keeps b*b - 4ac to one rounding: cancellation inside the
+    # discriminant itself is a separate classic, mitigated here so the
+    # comparison isolates the root-combination step.
+    four_ac = fp_mul(sf(4.0, a.fmt), fp_mul(a, c, env), env)
+    discriminant = fp_fma(b, b, -four_ac, env)
+    return fp_sqrt(discriminant, env)
+
+
+def quadratic_roots_textbook(
+    a: SoftFloat, b: SoftFloat, c: SoftFloat, env: FPEnv | None = None
+) -> tuple[SoftFloat, SoftFloat]:
+    """``(-b ± sqrt(b² − 4ac)) / 2a`` exactly as the textbook writes it.
+
+    One of the two roots subtracts nearly equal quantities when
+    ``|b| >> |4ac|`` and comes back with few correct digits (or as an
+    outright zero)."""
+    env = env or get_env()
+    root = _discriminant_sqrt(a, b, c, env)
+    two_a = fp_mul(sf(2.0, a.fmt), a, env)
+    plus = fp_div(fp_add(-b, root, env), two_a, env)
+    minus = fp_div(fp_sub(-b, root, env), two_a, env)
+    return plus, minus
+
+
+def quadratic_roots_stable(
+    a: SoftFloat, b: SoftFloat, c: SoftFloat, env: FPEnv | None = None
+) -> tuple[SoftFloat, SoftFloat]:
+    """Cancellation-free: compute ``q = -(b + sign(b)*sqrt(D))/2`` (an
+    addition of same-signed quantities), then ``x1 = q/a, x2 = c/q``.
+
+    Returns roots in the same (plus, minus) order as the textbook
+    variant for comparison."""
+    env = env or get_env()
+    root = _discriminant_sqrt(a, b, c, env)
+    half = sf(-0.5, a.fmt)
+    if b.is_negative:
+        q = fp_mul(half, fp_sub(b, root, env), env)
+    else:
+        q = fp_mul(half, fp_add(b, root, env), env)
+    first = fp_div(q, a, env)
+    second = fp_div(c, q, env)
+    # Match the textbook's (plus, minus) ordering: the root computed
+    # with -b + root is the larger one when b < 0, the smaller when
+    # b > 0.
+    if b.is_negative:
+        return first, second
+    return second, first

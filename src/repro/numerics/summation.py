@@ -1,0 +1,130 @@
+"""Summation algorithms, from fragile to compensated.
+
+The *Associativity* and *Saturation* quiz questions are really about
+sums: a left-to-right reduction loses the small addends.  These
+implementations run on the softfloat engine against an exact-rational
+reference, so the error of each strategy is measurable to the ulp.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+
+from repro.fpenv.env import FPEnv, get_env
+from repro.softfloat import SoftFloat, fp_add, fp_sub
+from repro.softfloat.functions import ulp
+
+__all__ = [
+    "naive_sum",
+    "pairwise_sum",
+    "kahan_sum",
+    "neumaier_sum",
+    "exact_sum",
+    "sum_error_ulps",
+]
+
+
+def _zero(values: Sequence[SoftFloat]) -> SoftFloat:
+    if not values:
+        raise ValueError("cannot sum an empty sequence")
+    return SoftFloat.zero(values[0].fmt)
+
+
+def naive_sum(
+    values: Sequence[SoftFloat], env: FPEnv | None = None
+) -> SoftFloat:
+    """Left-to-right reduction: one rounding per element; error grows
+    like O(n) and small addends are absorbed by large partials."""
+    env = env or get_env()
+    total = _zero(values)
+    for value in values:
+        total = fp_add(total, value, env)
+    return total
+
+
+def pairwise_sum(
+    values: Sequence[SoftFloat], env: FPEnv | None = None
+) -> SoftFloat:
+    """Balanced-tree reduction: O(log n) error growth — exactly the
+    shape the reassociation pass produces, used here on purpose."""
+    env = env or get_env()
+    if not values:
+        raise ValueError("cannot sum an empty sequence")
+    if len(values) == 1:
+        return values[0]
+    mid = len(values) // 2
+    return fp_add(
+        pairwise_sum(values[:mid], env),
+        pairwise_sum(values[mid:], env),
+        env,
+    )
+
+
+def kahan_sum(
+    values: Sequence[SoftFloat], env: FPEnv | None = None
+) -> SoftFloat:
+    """Kahan compensated summation: tracks the rounding error of each
+    addition in a running compensation term; error is O(1) in n.
+
+    Note: a fast-math compiler destroys this algorithm — the
+    compensation ``(t - total) - value`` is algebraically zero, and
+    ``-fassociative-math`` happily simplifies it away.  (See the
+    corresponding test.)
+    """
+    env = env or get_env()
+    total = _zero(values)
+    compensation = _zero(values)
+    for value in values:
+        adjusted = fp_sub(value, compensation, env)
+        new_total = fp_add(total, adjusted, env)
+        # (new_total - total) is the part of `adjusted` that made it in;
+        # subtracting recovers (negated) what was rounded away.
+        compensation = fp_sub(
+            fp_sub(new_total, total, env), adjusted, env
+        )
+        total = new_total
+    return total
+
+
+def neumaier_sum(
+    values: Sequence[SoftFloat], env: FPEnv | None = None
+) -> SoftFloat:
+    """Neumaier's improvement on Kahan: also correct when an addend is
+    larger than the running total (where Kahan's compensation fails)."""
+    from repro.softfloat import fp_ge
+
+    env = env or get_env()
+    total = _zero(values)
+    compensation = _zero(values)
+    for value in values:
+        new_total = fp_add(total, value, env)
+        if fp_ge(abs(total), abs(value), env):
+            lost = fp_add(
+                fp_sub(total, new_total, env), value, env
+            )
+        else:
+            lost = fp_add(
+                fp_sub(value, new_total, env), total, env
+            )
+        compensation = fp_add(compensation, lost, env)
+        total = new_total
+    return fp_add(total, compensation, env)
+
+
+def exact_sum(values: Sequence[SoftFloat]) -> Fraction:
+    """The exact rational sum (the reference everything is judged by)."""
+    if not values:
+        raise ValueError("cannot sum an empty sequence")
+    return sum((value.to_fraction() for value in values), Fraction(0))
+
+
+def sum_error_ulps(result: SoftFloat, exact: Fraction) -> float:
+    """Error of a finite summation result in ulps of the result."""
+    if not result.is_finite:
+        return float("inf")
+    gap = ulp(result).to_fraction()
+    try:
+        return float(abs(result.to_fraction() - exact) / gap)
+    except OverflowError:
+        return float("inf")

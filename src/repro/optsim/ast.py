@@ -1,0 +1,176 @@
+"""Expression IR for the optimization simulator.
+
+Nodes are immutable and format-agnostic: constants carry their source
+literal text and are converted (with correct rounding) to the machine's
+format at evaluation time, so the same expression can be run on
+binary64, binary32, or a 6-bit toy format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Iterator
+
+from repro.errors import OptimizationError
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Unary",
+    "Binary",
+    "FMA",
+    "BinOp",
+    "UnOp",
+    "expr_variables",
+    "expr_size",
+    "walk",
+]
+
+
+class BinOp(enum.Enum):
+    """Binary arithmetic operators."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    REM = "%"
+    MIN = "min"
+    MAX = "max"
+
+
+class UnOp(enum.Enum):
+    """Unary operators."""
+
+    NEG = "-"
+    ABS = "abs"
+    SQRT = "sqrt"
+
+
+@dataclasses.dataclass(frozen=True)
+class Expr:
+    """Base class for expression nodes."""
+
+    def children(self) -> tuple["Expr", ...]:
+        """Immediate sub-expressions."""
+        return ()
+
+    def with_children(self, *children: "Expr") -> "Expr":
+        """Rebuild this node with replacement children."""
+        if children:
+            raise OptimizationError(f"{type(self).__name__} takes no children")
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant, kept as its exact source text.
+
+    >>> str(Const("0.1"))
+    '0.1'
+    """
+
+    literal: str
+
+    def __str__(self) -> str:
+        return self.literal
+
+
+@dataclasses.dataclass(frozen=True)
+class Var(Expr):
+    """A free variable, bound at evaluation time."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class Unary(Expr):
+    """A unary operation."""
+
+    op: UnOp
+    operand: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def with_children(self, *children: Expr) -> "Unary":
+        (operand,) = children
+        return Unary(self.op, operand)
+
+    def __str__(self) -> str:
+        if self.op is UnOp.NEG:
+            return f"(-{self.operand})"
+        return f"{self.op.value}({self.operand})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Binary(Expr):
+    """A binary operation."""
+
+    op: BinOp
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, *children: Expr) -> "Binary":
+        left, right = children
+        return Binary(self.op, left, right)
+
+    def __str__(self) -> str:
+        if self.op in (BinOp.MIN, BinOp.MAX):
+            return f"{self.op.value}({self.left}, {self.right})"
+        return f"({self.left} {self.op.value} {self.right})"
+
+
+@dataclasses.dataclass(frozen=True)
+class FMA(Expr):
+    """Fused multiply-add node: ``a*b + c`` with a single rounding.
+
+    Produced by the contraction pass (or written directly as
+    ``fma(a, b, c)`` in the expression language).
+    """
+
+    a: Expr
+    b: Expr
+    c: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a, self.b, self.c)
+
+    def with_children(self, *children: Expr) -> "FMA":
+        a, b, c = children
+        return FMA(a, b, c)
+
+    def __str__(self) -> str:
+        return f"fma({self.a}, {self.b}, {self.c})"
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of every node in the tree."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def expr_variables(expr: Expr) -> tuple[str, ...]:
+    """Free variable names in first-occurrence order."""
+    seen: dict[str, None] = {}
+    for node in walk(expr):
+        if isinstance(node, Var):
+            seen.setdefault(node.name, None)
+    return tuple(seen)
+
+
+def expr_size(expr: Expr) -> int:
+    """Total node count (a proxy for evaluation cost)."""
+    return sum(1 for _ in walk(expr))

@@ -1,0 +1,233 @@
+"""Standard-compliance checking: does a configuration change results?
+
+The optimization quiz's answer key reduces to four checkable claims:
+contraction (``-O3``) changes results, FTZ/DAZ changes results,
+``-O2`` does not, and fast-math does.  :func:`find_divergence` proves
+the positive claims by exhibiting a concrete input where the configured
+evaluation differs bit-for-bit from strict IEEE, and supports the
+negative claim by failing to find one over a corner-heavy search space.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections.abc import Sequence
+
+from repro.optsim.ast import Expr, expr_variables
+from repro.optsim.evaluator import EvalResult, evaluate
+from repro.optsim.machine import STRICT, MachineConfig
+from repro.optsim.pipeline import optimize
+from repro.softfloat import SoftFloat, sf
+from repro.softfloat.formats import FloatFormat
+
+__all__ = [
+    "DivergenceReport",
+    "find_divergence",
+    "is_standard_compliant",
+    "noncompliance_reasons",
+    "corner_values",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DivergenceReport:
+    """Outcome of a divergence search.
+
+    ``diverged`` is True when some input produced different result bits
+    (``value_diverged``) or a different exception footprint
+    (``flags_diverged``) under the optimized configuration.
+    """
+
+    expr: Expr
+    optimized_expr: Expr
+    config: MachineConfig
+    diverged: bool
+    value_diverged: bool
+    flags_diverged: bool
+    witness: dict[str, SoftFloat] | None
+    strict_result: EvalResult | None
+    optimized_result: EvalResult | None
+    trials: int
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        if not self.diverged:
+            return (
+                f"{self.config.name}: no divergence from strict IEEE found on"
+                f" '{self.expr}' over {self.trials} inputs (compiled form:"
+                f" '{self.optimized_expr}')."
+            )
+        assert self.witness is not None
+        binding = ", ".join(f"{k}={v!s}" for k, v in self.witness.items())
+        parts = [
+            f"{self.config.name}: '{self.expr}' becomes"
+            f" '{self.optimized_expr}'; at {binding or 'constants only'}"
+        ]
+        assert self.strict_result is not None
+        assert self.optimized_result is not None
+        if self.value_diverged:
+            parts.append(
+                f"strict = {self.strict_result.value!s} but optimized ="
+                f" {self.optimized_result.value!s}"
+            )
+        if self.flags_diverged:
+            from repro.fpenv.flags import flag_names
+
+            parts.append(
+                f"strict flags {flag_names(self.strict_result.flags)} vs"
+                f" optimized flags {flag_names(self.optimized_result.flags)}"
+            )
+        return "; ".join(parts) + "."
+
+
+def corner_values(fmt: FloatFormat) -> tuple[SoftFloat, ...]:
+    """The adversarial operand set every search mixes in: zeros of both
+    signs, ±1, subnormals, the normal/subnormal boundary, huge values,
+    infinities, NaN, and rounding-sensitive near-1 values."""
+    eps = SoftFloat(fmt, fmt.one_bits(0) | 1)  # 1 + ulp
+    return (
+        SoftFloat.zero(fmt, 0),
+        SoftFloat.zero(fmt, 1),
+        SoftFloat.one(fmt, 0),
+        SoftFloat.one(fmt, 1),
+        eps,
+        -eps,
+        SoftFloat.min_subnormal(fmt),
+        SoftFloat.min_subnormal(fmt, 1),
+        SoftFloat.min_normal(fmt),
+        SoftFloat.max_finite(fmt),
+        SoftFloat.max_finite(fmt, 1),
+        SoftFloat.inf(fmt, 0),
+        SoftFloat.inf(fmt, 1),
+        SoftFloat.nan(fmt),
+        sf(3.0, fmt),
+        sf(0.1, fmt),
+    )
+
+
+def _random_value(rng: random.Random, fmt: FloatFormat) -> SoftFloat:
+    """A random bit pattern, biased toward finite values."""
+    bits = rng.getrandbits(fmt.width)
+    x = SoftFloat(fmt, bits)
+    if x.is_nan and rng.random() < 0.9:
+        return sf(rng.uniform(-4.0, 4.0), fmt)
+    return x
+
+
+def find_divergence(
+    expr: Expr,
+    config: MachineConfig,
+    *,
+    seed: int = 754,
+    trials: int = 400,
+    check_flags: bool = True,
+    extra_witnesses: Sequence[dict[str, SoftFloat]] = (),
+) -> DivergenceReport:
+    """Search for an input where ``config``'s compiled evaluation of
+    ``expr`` differs from strict IEEE evaluation.
+
+    The search tries caller-supplied witnesses first, then all-corner
+    combinations (when the variable count keeps that tractable), then
+    random operands.  Flag divergence counts as divergence only when
+    ``check_flags`` is set.
+    """
+    names = expr_variables(expr)
+    optimized = optimize(expr, config)
+    rng = random.Random(seed)
+    fmt = config.fmt
+
+    candidates: list[dict[str, SoftFloat]] = list(extra_witnesses)
+    corners = corner_values(fmt)
+    if len(names) <= 2:
+        if not names:
+            candidates.append({})
+        elif len(names) == 1:
+            candidates.extend({names[0]: v} for v in corners)
+        else:
+            candidates.extend(
+                {names[0]: v1, names[1]: v2} for v1 in corners for v2 in corners
+            )
+    else:
+        for _ in range(trials // 2):
+            candidates.append(
+                {name: rng.choice(corners) for name in names}
+            )
+    while len(candidates) < trials:
+        candidates.append({name: _random_value(rng, fmt) for name in names})
+
+    count = 0
+    for binding in candidates:
+        count += 1
+        strict_result = evaluate(expr, binding, STRICT.replace(fmt=fmt))
+        optimized_result = evaluate(optimized, binding, config)
+        value_diverged = not _same_value(
+            strict_result.value, optimized_result.value
+        )
+        flags_diverged = strict_result.flags != optimized_result.flags
+        if value_diverged or (check_flags and flags_diverged):
+            return DivergenceReport(
+                expr=expr,
+                optimized_expr=optimized,
+                config=config,
+                diverged=True,
+                value_diverged=value_diverged,
+                flags_diverged=flags_diverged,
+                witness=binding,
+                strict_result=strict_result,
+                optimized_result=optimized_result,
+                trials=count,
+            )
+    return DivergenceReport(
+        expr=expr,
+        optimized_expr=optimized,
+        config=config,
+        diverged=False,
+        value_diverged=False,
+        flags_diverged=False,
+        witness=None,
+        strict_result=None,
+        optimized_result=None,
+        trials=count,
+    )
+
+
+def _same_value(a: SoftFloat, b: SoftFloat) -> bool:
+    """Bit identity, with all NaNs considered one value (payloads are
+    not semantically meaningful for compliance)."""
+    if a.is_nan and b.is_nan:
+        return True
+    return a.same_bits(b)
+
+
+def noncompliance_reasons(config: MachineConfig) -> tuple[str, ...]:
+    """The list of reasons a config is not IEEE-754 compliant (empty for
+    a compliant one)."""
+    reasons = []
+    if config.fp_contract:
+        reasons.append(
+            "fp-contract: a*b+c fuses into FMA, removing the product rounding"
+        )
+    if config.allow_reassoc:
+        reasons.append("associative-math: +/* chains are reassociated")
+    if config.no_signed_zeros:
+        reasons.append("no-signed-zeros: the sign of zero is not preserved")
+    if config.finite_math_only:
+        reasons.append("finite-math-only: NaN/inf semantics are assumed away")
+    if config.reciprocal_math:
+        reasons.append("reciprocal-math: x/c becomes x*(1/c), double rounding")
+    if config.ftz:
+        reasons.append("FTZ: subnormal results flush to zero")
+    if config.daz:
+        reasons.append("DAZ: subnormal inputs are treated as zero")
+    return tuple(reasons)
+
+
+def is_standard_compliant(config: MachineConfig) -> bool:
+    """True when the configuration cannot change any IEEE-defined result.
+
+    >>> from repro.optsim.machine import O2, O3
+    >>> is_standard_compliant(O2), is_standard_compliant(O3)
+    (True, False)
+    """
+    return not noncompliance_reasons(config)

@@ -1,0 +1,106 @@
+"""Parse gcc-style command lines into MachineConfigs.
+
+The survey's developers face "dozens of flags that control floating
+point optimizations"; this module models the composition rules for the
+ones the simulator implements, so a whole command line can be audited::
+
+    >>> from repro.optsim.flags import config_from_flags
+    >>> from repro.optsim import noncompliance_reasons
+    >>> config = config_from_flags("gcc -O2 -ffast-math -fno-finite-math-only")
+    >>> any("associative" in r for r in noncompliance_reasons(config))
+    True
+
+Supported: ``-O0``…``-O3``, ``-Ofast``, ``-ffast-math`` and its
+``-fno-`` negation, the fast-math sub-flags (``-fassociative-math``,
+``-fno-signed-zeros``, ``-ffinite-math-only``, ``-freciprocal-math``)
+and their negations, ``-ffp-contract=fast|off|on``, and
+``-mdaz-ftz``/``-mno-daz-ftz``.  Later flags override earlier ones,
+as in gcc.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.optsim.machine import MachineConfig, optimization_level
+
+__all__ = ["config_from_flags"]
+
+_LEVELS = {"-O0", "-O1", "-O2", "-O3", "-Ofast"}
+
+_FAST_MATH_FIELDS = (
+    "allow_reassoc", "no_signed_zeros", "finite_math_only",
+    "reciprocal_math", "fp_contract", "ftz", "daz",
+)
+
+
+def config_from_flags(command_line: str) -> MachineConfig:
+    """Fold a compiler command line into a :class:`MachineConfig`.
+
+    Unrecognized tokens that look like FP-behavior flags (``-ffast*``,
+    ``-ffp-*``, ``-f*-math*``, ``-fsigned-zeros`` etc. outside the
+    supported set) raise :class:`ParseError` — silently ignoring an FP
+    flag would defeat the audit; everything else (``-Wall``, file
+    names, the compiler name) is ignored.
+    """
+    config = optimization_level("-O0").replace(name=command_line.strip())
+    for token in command_line.split():
+        if token in _LEVELS:
+            level = optimization_level(token)
+            config = config.replace(
+                **{field: getattr(level, field)
+                   for field in _FAST_MATH_FIELDS}
+            )
+        elif token == "-ffast-math":
+            fast = optimization_level("--ffast-math")
+            config = config.replace(
+                **{field: getattr(fast, field)
+                   for field in _FAST_MATH_FIELDS}
+            )
+        elif token == "-fno-fast-math":
+            config = config.replace(
+                allow_reassoc=False, no_signed_zeros=False,
+                finite_math_only=False, reciprocal_math=False,
+                fp_contract=False, ftz=False, daz=False,
+            )
+        elif token == "-fassociative-math":
+            config = config.replace(allow_reassoc=True)
+        elif token == "-fno-associative-math":
+            config = config.replace(allow_reassoc=False)
+        elif token == "-fno-signed-zeros":
+            config = config.replace(no_signed_zeros=True)
+        elif token == "-fsigned-zeros":
+            config = config.replace(no_signed_zeros=False)
+        elif token == "-ffinite-math-only":
+            config = config.replace(finite_math_only=True)
+        elif token == "-fno-finite-math-only":
+            config = config.replace(finite_math_only=False)
+        elif token == "-freciprocal-math":
+            config = config.replace(reciprocal_math=True)
+        elif token == "-fno-reciprocal-math":
+            config = config.replace(reciprocal_math=False)
+        elif token == "-ffp-contract=fast":
+            config = config.replace(fp_contract=True)
+        elif token in ("-ffp-contract=off", "-ffp-contract=on"):
+            # gcc's "on" only contracts within source expressions where
+            # the language permits; our IR has no such boundary, so we
+            # conservatively treat it as off.
+            config = config.replace(fp_contract=False)
+        elif token == "-mdaz-ftz":
+            config = config.replace(ftz=True, daz=True)
+        elif token == "-mno-daz-ftz":
+            config = config.replace(ftz=False, daz=False)
+        elif _looks_like_fp_flag(token):
+            raise ParseError(
+                f"unrecognized floating point flag {token!r} — refusing "
+                f"to silently ignore it"
+            )
+    return config
+
+
+def _looks_like_fp_flag(token: str) -> bool:
+    if not token.startswith("-"):
+        return False
+    needles = ("fast-math", "fp-contract", "math-only", "rounding-math",
+               "signed-zeros", "reciprocal-math", "associative-math",
+               "unsafe-math", "daz", "ftz", "fexcess-precision")
+    return any(needle in token for needle in needles)

@@ -1,0 +1,148 @@
+"""Machine/compiler configuration: what the toolchain is allowed to do.
+
+A :class:`MachineConfig` models the two layers the paper's optimization
+quiz probes:
+
+- **hardware controls** — destination format, rounding direction, and
+  the Intel FTZ/DAZ bits (*Flush to Zero* question);
+- **compiler permissions** — whether contraction to FMA is allowed
+  (*MADD* / *Standard-compliant Level* questions) and the fast-math
+  sub-flags gcc bundles into ``--ffast-math`` (*Fast-math* question).
+
+The named presets mirror gcc's observable behavior: ``-O0``…``-O2``
+keep strict IEEE semantics, ``-O3`` additionally permits FMA
+contraction (``-ffp-contract=fast`` being the practical default at
+high optimization for this simulator's purposes, as the paper's answer
+key states: "typically -O2, with -O3 also allowing MADD"), and
+``-Ofast`` implies ``--ffast-math``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.rounding import RoundingMode
+from repro.softfloat.formats import BINARY64, FloatFormat
+
+__all__ = [
+    "MachineConfig",
+    "STRICT",
+    "O0",
+    "O1",
+    "O2",
+    "O3",
+    "OFAST",
+    "FAST_MATH",
+    "optimization_level",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineConfig:
+    """Evaluation semantics for :func:`repro.optsim.evaluator.evaluate`.
+
+    Attributes
+    ----------
+    name:
+        Display name (e.g. ``-O2``).
+    fmt:
+        Destination floating point format.
+    rounding:
+        Rounding direction attribute.
+    ftz, daz:
+        Hardware flush-to-zero / denormals-are-zero control bits.
+    fp_contract:
+        Compiler may fuse ``a*b + c`` into a single-rounding FMA.
+    allow_reassoc:
+        Compiler may reassociate chains of ``+``/``*``
+        (gcc ``-fassociative-math``).
+    no_signed_zeros:
+        Compiler may ignore the sign of zero (``-fno-signed-zeros``).
+    finite_math_only:
+        Compiler may assume no NaNs or infinities occur
+        (``-ffinite-math-only``).
+    reciprocal_math:
+        Compiler may replace division by multiplication with a rounded
+        reciprocal (``-freciprocal-math``).
+    """
+
+    name: str = "custom"
+    fmt: FloatFormat = BINARY64
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN
+    ftz: bool = False
+    daz: bool = False
+    fp_contract: bool = False
+    allow_reassoc: bool = False
+    no_signed_zeros: bool = False
+    finite_math_only: bool = False
+    reciprocal_math: bool = False
+
+    def fresh_env(self) -> FPEnv:
+        """A new environment realizing the hardware side of this config."""
+        return FPEnv(rounding=self.rounding, ftz=self.ftz, daz=self.daz)
+
+    def replace(self, **changes: object) -> "MachineConfig":
+        """A modified copy (``dataclasses.replace`` convenience)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    @property
+    def fast_math(self) -> bool:
+        """True when every fast-math sub-flag is enabled."""
+        return (
+            self.allow_reassoc
+            and self.no_signed_zeros
+            and self.finite_math_only
+            and self.reciprocal_math
+        )
+
+
+#: Strict IEEE semantics: the reference everything is compared against.
+STRICT = MachineConfig(name="strict-ieee")
+#: ``-O0``/``-O1``: no value-changing floating point transformations.
+O0 = MachineConfig(name="-O0")
+O1 = MachineConfig(name="-O1")
+#: ``-O2``: the highest level that preserves standard-compliant behavior.
+O2 = MachineConfig(name="-O2")
+#: ``-O3``: additionally contracts multiply-add (MADD) — non-754-1985.
+O3 = MachineConfig(name="-O3", fp_contract=True)
+#: ``--ffast-math`` alone: all value-changing algebra plus FTZ/DAZ
+#: (gcc's fast-math sets abrupt-underflow mode on x86 startup).
+FAST_MATH = MachineConfig(
+    name="--ffast-math",
+    fp_contract=True,
+    allow_reassoc=True,
+    no_signed_zeros=True,
+    finite_math_only=True,
+    reciprocal_math=True,
+    ftz=True,
+    daz=True,
+)
+#: ``-Ofast`` = ``-O3`` + ``--ffast-math``.
+OFAST = FAST_MATH.replace(name="-Ofast")
+
+_LEVELS = {
+    "-O0": O0,
+    "-O1": O1,
+    "-O2": O2,
+    "-O3": O3,
+    "-Ofast": OFAST,
+    "--ffast-math": FAST_MATH,
+    "strict": STRICT,
+}
+
+
+def optimization_level(flag: str) -> MachineConfig:
+    """Look up a named optimization level (``-O0`` … ``-Ofast``,
+    ``--ffast-math``, ``strict``).
+
+    >>> optimization_level("-O2").fp_contract
+    False
+    >>> optimization_level("-O3").fp_contract
+    True
+    """
+    try:
+        return _LEVELS[flag]
+    except KeyError:
+        known = ", ".join(sorted(_LEVELS))
+        raise ValueError(f"unknown optimization level {flag!r}; known: {known}")

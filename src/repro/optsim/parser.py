@@ -1,0 +1,165 @@
+"""Infix parser for the optimization simulator's expression language.
+
+Grammar (standard precedence, left associative)::
+
+    expr    := term (('+' | '-') term)*
+    term    := unary (('*' | '/' | '%') unary)*
+    unary   := '-' unary | primary
+    primary := NUMBER | NAME | NAME '(' expr (',' expr)* ')' | '(' expr ')'
+
+Numbers accept decimal and C99 hex-float literals plus ``inf``/``nan``.
+Recognized functions: ``sqrt``, ``abs``, ``fma``, ``min``, ``max``,
+``rem``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.optsim.ast import FMA, Binary, BinOp, Const, Expr, Unary, UnOp, Var
+
+__all__ = ["parse_expr", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<number>
+            0[xX][0-9a-fA-F]*(?:\.[0-9a-fA-F]*)?(?:[pP][+-]?\d+)?
+          | \d+\.?\d*(?:[eE][+-]?\d+)?
+          | \.\d+(?:[eE][+-]?\d+)?
+        )
+      | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<punct>[-+*/%(),])
+    )""",
+    re.VERBOSE,
+)
+
+_SPECIAL_NAMES = {"inf", "infinity", "nan", "snan"}
+_FUNCTIONS = {"sqrt": 1, "abs": 1, "fma": 3, "min": 2, "max": 2, "rem": 2}
+
+
+def tokenize(text: str) -> list[tuple[str, str]]:
+    """Tokenize into ``(kind, value)`` pairs; raises ParseError on junk."""
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected character {remainder[0]!r} in expression")
+        pos = match.end()
+        for kind in ("number", "name", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    tokens.append(("end", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.index = 0
+        self.text = text
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.index]
+
+    def advance(self) -> tuple[str, str]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, got = self.advance()
+        if got != value:
+            raise ParseError(
+                f"expected {value!r} but found {got or 'end of input'!r}"
+                f" in {self.text!r}"
+            )
+
+    def parse(self) -> Expr:
+        expr = self.expr()
+        kind, value = self.peek()
+        if kind != "end":
+            raise ParseError(f"trailing input {value!r} in {self.text!r}")
+        return expr
+
+    def expr(self) -> Expr:
+        node = self.term()
+        while self.peek()[1] in ("+", "-"):
+            op = BinOp.ADD if self.advance()[1] == "+" else BinOp.SUB
+            node = Binary(op, node, self.term())
+        return node
+
+    def term(self) -> Expr:
+        node = self.unary()
+        while self.peek()[1] in ("*", "/", "%"):
+            symbol = self.advance()[1]
+            op = {"*": BinOp.MUL, "/": BinOp.DIV, "%": BinOp.REM}[symbol]
+            node = Binary(op, node, self.unary())
+        return node
+
+    def unary(self) -> Expr:
+        if self.peek()[1] == "-":
+            self.advance()
+            return Unary(UnOp.NEG, self.unary())
+        if self.peek()[1] == "+":
+            self.advance()
+            return self.unary()
+        return self.primary()
+
+    def primary(self) -> Expr:
+        kind, value = self.advance()
+        if kind == "number":
+            return Const(value)
+        if kind == "name":
+            lowered = value.lower()
+            if lowered in _SPECIAL_NAMES:
+                return Const(lowered)
+            if self.peek()[1] == "(":
+                return self.call(lowered)
+            return Var(value)
+        if value == "(":
+            node = self.expr()
+            self.expect(")")
+            return node
+        raise ParseError(f"unexpected {value or 'end of input'!r} in {self.text!r}")
+
+    def call(self, name: str) -> Expr:
+        arity = _FUNCTIONS.get(name)
+        if arity is None:
+            raise ParseError(f"unknown function {name!r}")
+        self.expect("(")
+        args = [self.expr()]
+        while self.peek()[1] == ",":
+            self.advance()
+            args.append(self.expr())
+        self.expect(")")
+        if len(args) != arity:
+            raise ParseError(f"{name} takes {arity} argument(s), got {len(args)}")
+        if name == "sqrt":
+            return Unary(UnOp.SQRT, args[0])
+        if name == "abs":
+            return Unary(UnOp.ABS, args[0])
+        if name == "fma":
+            return FMA(args[0], args[1], args[2])
+        if name == "min":
+            return Binary(BinOp.MIN, args[0], args[1])
+        if name == "max":
+            return Binary(BinOp.MAX, args[0], args[1])
+        if name == "rem":
+            return Binary(BinOp.REM, args[0], args[1])
+        raise AssertionError(f"unhandled function {name}")  # pragma: no cover
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse an infix expression into the IR.
+
+    >>> str(parse_expr("a*b + c"))
+    '((a * b) + c)'
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,32 @@
+"""Optimization passes for the simulator.
+
+``ALL_PASSES`` lists every pass in canonical pipeline order: safe
+identity cleanup first, then the value-changing algebra, reassociation,
+contraction, and finally constant folding over whatever became constant.
+"""
+
+from repro.optsim.passes.base import OptimizationPass, bottom_up
+from repro.optsim.passes.constant_fold import ConstantFold
+from repro.optsim.passes.fastmath import FastMathAlgebra, IdentitySimplify
+from repro.optsim.passes.fma_contraction import FMAContraction
+from repro.optsim.passes.reassociate import Reassociate
+
+__all__ = [
+    "OptimizationPass",
+    "bottom_up",
+    "IdentitySimplify",
+    "FastMathAlgebra",
+    "Reassociate",
+    "FMAContraction",
+    "ConstantFold",
+    "ALL_PASSES",
+]
+
+#: Canonical pipeline order.
+ALL_PASSES: tuple[OptimizationPass, ...] = (
+    IdentitySimplify(),
+    FastMathAlgebra(),
+    Reassociate(),
+    FMAContraction(),
+    ConstantFold(),
+)

@@ -1,0 +1,50 @@
+"""Optimization pass protocol.
+
+Each pass declares which :class:`~repro.optsim.machine.MachineConfig`
+permissions it needs via :meth:`OptimizationPass.enabled`; the pipeline
+only runs passes the config licenses.  A pass with requirements beyond
+strict IEEE is by definition *value-changing* — exactly the property the
+compliance checker exhibits witnesses for.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.optsim.ast import Expr
+from repro.optsim.machine import MachineConfig
+
+__all__ = ["OptimizationPass", "bottom_up"]
+
+
+class OptimizationPass(abc.ABC):
+    """A tree-to-tree rewrite gated by machine-config permissions."""
+
+    #: Short identifier used in pipeline listings and reports.
+    name: str = "<pass>"
+    #: Human description of what the pass does and why it can change values.
+    description: str = ""
+    #: True when the rewrite can never change any result bit under strict
+    #: IEEE semantics (such passes are allowed at every level).
+    value_preserving: bool = False
+
+    @abc.abstractmethod
+    def enabled(self, config: MachineConfig) -> bool:
+        """Does ``config`` license this pass?"""
+
+    @abc.abstractmethod
+    def apply(self, expr: Expr, config: MachineConfig) -> Expr:
+        """Rewrite ``expr`` (must return a well-formed tree)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def bottom_up(expr: Expr, rewrite) -> Expr:
+    """Apply ``rewrite(node) -> node`` to every node, children first."""
+    children = expr.children()
+    if children:
+        new_children = tuple(bottom_up(child, rewrite) for child in children)
+        if new_children != children:
+            expr = expr.with_children(*new_children)
+    return rewrite(expr)

@@ -1,0 +1,54 @@
+"""Compile-time constant folding.
+
+Folds constant subtrees by evaluating them with the *config's own*
+runtime semantics, so folding never changes the delivered value.  What
+folding *does* change — faithfully to real compilers — is the runtime
+exception footprint: a folded ``1.0/0.0`` no longer raises the
+divide-by-zero sticky flag at run time.  The compliance checker treats
+value divergence and flag divergence separately for exactly this case.
+"""
+
+from __future__ import annotations
+
+from repro.optsim.ast import Const, Expr
+from repro.optsim.machine import MachineConfig
+from repro.optsim.passes.base import OptimizationPass, bottom_up
+
+__all__ = ["ConstantFold"]
+
+
+class ConstantFold(OptimizationPass):
+    """Evaluate constant-only subtrees at compile time."""
+
+    name = "constant-fold"
+    description = (
+        "evaluate constant subtrees at compile time; value-preserving "
+        "but erases runtime exception flags"
+    )
+    value_preserving = True  # value, not flags
+
+    def enabled(self, config: MachineConfig) -> bool:
+        return True
+
+    def apply(self, expr: Expr, config: MachineConfig) -> Expr:
+        def fold(node: Expr) -> Expr:
+            if isinstance(node, Const) or node.children() == ():
+                return node
+            if not all(isinstance(child, Const) for child in node.children()):
+                return node
+            return self._fold_node(node, config)
+
+        return bottom_up(expr, fold)
+
+    @staticmethod
+    def _fold_node(node: Expr, config: MachineConfig) -> Expr:
+        from repro.optsim.evaluator import evaluate
+        from repro.softfloat.printing import format_hex
+
+        result = evaluate(node, {}, config)
+        value = result.value
+        if value.is_nan:
+            return Const("-nan" if value.sign else "nan")
+        if value.is_inf:
+            return Const("-inf" if value.sign else "inf")
+        return Const(format_hex(value))

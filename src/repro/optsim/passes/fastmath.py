@@ -1,0 +1,203 @@
+"""Algebraic fast-math rewrites and (safe) identity simplification.
+
+Two passes live here:
+
+- :class:`IdentitySimplify` — rewrites that are bit-exact under strict
+  IEEE semantics for *all* inputs (``x * 1``, ``x / 1``, double
+  negation) and therefore legal at every optimization level;
+- :class:`FastMathAlgebra` — the value-changing rewrites gcc performs
+  under fast-math sub-flags.  Each rewrite records which assumption
+  breaks it: ``x + 0 -> x`` is wrong for ``x = -0`` (needs
+  no-signed-zeros), ``x * 0 -> 0`` is wrong for NaN/inf (needs
+  finite-math-only) *and* for ``-5 * 0 = -0`` (needs no-signed-zeros),
+  ``x - x -> 0`` is wrong for NaN/inf, ``x / x -> 1`` is wrong for
+  NaN/inf/0, and ``x / c -> x * (1/c)`` double-rounds (reciprocal-math).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.optsim.ast import Binary, BinOp, Const, Expr, Unary, UnOp
+from repro.optsim.machine import MachineConfig
+from repro.optsim.passes.base import OptimizationPass, bottom_up
+
+__all__ = ["IdentitySimplify", "FastMathAlgebra"]
+
+
+def _const_value(expr: Expr) -> Fraction | None:
+    """Exact rational value of a finite Const node, else None."""
+    if not isinstance(expr, Const):
+        return None
+    from repro.errors import ParseError
+    from repro.softfloat.parse import _parse_exact
+
+    try:
+        return _parse_exact(expr.literal)
+    except ParseError:
+        return None  # inf/nan spellings
+
+
+def _is_const(expr: Expr, value: int) -> bool:
+    exact = _const_value(expr)
+    return exact is not None and exact == value
+
+
+class IdentitySimplify(OptimizationPass):
+    """Bit-exact simplifications, legal at every level.
+
+    ``x * 1 -> x``, ``1 * x -> x``, ``x / 1 -> x``, ``-(-x) -> x``,
+    ``abs(abs(x)) -> abs(x)``, and ``x / 2^k -> x * 2^-k`` when the
+    reciprocal is exactly representable (the one reciprocal rewrite
+    that IS standard-compliant — the contrast to reciprocal-math's
+    general ``x/c`` version).  Note that ``x + 0`` is *not* here: it
+    changes ``-0 + 0`` from ``+0`` to ``-0``.
+    """
+
+    name = "identity-simplify"
+    description = ("bit-exact identities (x*1, x/1, double negation, "
+                   "division by a power of two)")
+    value_preserving = True
+
+    def enabled(self, config: MachineConfig) -> bool:
+        return True
+
+    def apply(self, expr: Expr, config: MachineConfig) -> Expr:
+        def simplify(node: Expr) -> Expr:
+            return self._simplify(node, config)
+
+        return bottom_up(expr, simplify)
+
+    @staticmethod
+    def _simplify(node: Expr, config: MachineConfig) -> Expr:
+        if isinstance(node, Unary):
+            if node.op is UnOp.NEG:
+                inner = node.operand
+                if isinstance(inner, Unary) and inner.op is UnOp.NEG:
+                    return inner.operand
+            if node.op is UnOp.ABS:
+                inner = node.operand
+                if isinstance(inner, Unary) and inner.op is UnOp.ABS:
+                    return inner
+            return node
+        if not isinstance(node, Binary):
+            return node
+        if node.op is BinOp.MUL:
+            if _is_const(node.right, 1):
+                return node.left
+            if _is_const(node.left, 1):
+                return node.right
+        if node.op is BinOp.DIV:
+            if _is_const(node.right, 1):
+                return node.left
+            reciprocal = _exact_power_of_two_reciprocal(node.right, config)
+            if reciprocal is not None:
+                return Binary(BinOp.MUL, node.left, reciprocal)
+        return node
+
+
+def _exact_power_of_two_reciprocal(expr: Expr, config: MachineConfig):
+    """``Const(2^-k)`` when ``expr`` is a finite ±2^k whose reciprocal
+    is exactly representable as a *normal* number in the config's
+    format (subnormal reciprocals would round), else None.
+
+    The quotient of any representable x by ±2^k equals the exact
+    product x * ±2^-k, so the rewrite is bit-identical — including the
+    overflow/underflow/inexact flags, which depend only on the exact
+    value being rounded.
+    """
+    value = _const_value(expr)
+    if value is None or value == 0:
+        return None
+    magnitude = abs(value)
+    # A power of two iff the fraction is 2^k: numerator or denominator 1
+    # and the other a power of two.
+    num, den = magnitude.numerator, magnitude.denominator
+    if num & (num - 1) or den & (den - 1):
+        return None
+    reciprocal = Fraction(den, num)
+    # Exact representability as a normal number in this format.
+    exponent = (den.bit_length() - 1) - (num.bit_length() - 1)
+    fmt = config.fmt
+    if not fmt.emin <= exponent <= fmt.emax:
+        return None
+    from repro.optsim.passes.fastmath import _fraction_const
+
+    result = _fraction_const(
+        reciprocal if value > 0 else -reciprocal, config
+    )
+    return result
+
+
+class FastMathAlgebra(OptimizationPass):
+    """Value-changing algebraic rewrites under fast-math assumptions."""
+
+    name = "fast-math-algebra"
+    description = (
+        "x+0 -> x, x*0 -> 0, x-x -> 0, x/x -> 1, x/c -> x*(1/c); each "
+        "assumes no signed zeros and/or finite math only"
+    )
+    value_preserving = False
+
+    def enabled(self, config: MachineConfig) -> bool:
+        return (
+            config.no_signed_zeros
+            or config.finite_math_only
+            or config.reciprocal_math
+        )
+
+    def apply(self, expr: Expr, config: MachineConfig) -> Expr:
+        def simplify(node: Expr) -> Expr:
+            return self._simplify(node, config)
+
+        return bottom_up(expr, simplify)
+
+    @staticmethod
+    def _simplify(node: Expr, config: MachineConfig) -> Expr:
+        if not isinstance(node, Binary):
+            return node
+        nsz = config.no_signed_zeros
+        finite = config.finite_math_only
+
+        if node.op is BinOp.ADD and nsz:
+            if _is_const(node.right, 0):
+                return node.left  # wrong for x = -0
+            if _is_const(node.left, 0):
+                return node.right
+        if node.op is BinOp.SUB and nsz:
+            if _is_const(node.right, 0):
+                return node.left
+        if node.op is BinOp.MUL and nsz and finite:
+            if _is_const(node.right, 0) or _is_const(node.left, 0):
+                return Const("0.0")  # wrong for NaN, inf, and negative x
+        if node.op is BinOp.SUB and finite:
+            if node.left == node.right:
+                return Const("0.0")  # wrong for NaN and inf
+        if node.op is BinOp.DIV:
+            if finite and node.left == node.right:
+                return Const("1.0")  # wrong for NaN, inf, and zero
+            if config.reciprocal_math:
+                divisor = _const_value(node.right)
+                if divisor is not None and divisor != 0:
+                    # x / c -> x * (1/c): the reciprocal is rounded, so
+                    # the product double-rounds unless c is a power of 2.
+                    reciprocal = Fraction(1) / divisor
+                    return Binary(
+                        BinOp.MUL,
+                        node.left,
+                        _fraction_const(reciprocal, config),
+                    )
+        return node
+
+
+def _fraction_const(value: Fraction, config: MachineConfig) -> Const:
+    """Round an exact rational into the machine format and emit it as an
+    exact hex literal (what a compiler's constant pool would hold)."""
+    from repro.fpenv.env import FPEnv
+    from repro.softfloat.convert import softfloat_from_fraction
+    from repro.softfloat.printing import format_hex
+
+    rounded = softfloat_from_fraction(abs(value), config.fmt, FPEnv())
+    if value < 0:
+        rounded = -rounded
+    return Const(format_hex(rounded))

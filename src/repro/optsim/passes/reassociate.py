@@ -1,0 +1,109 @@
+"""Reassociation of addition and multiplication chains.
+
+Real arithmetic is associative; floating point arithmetic is not (the
+paper's *Associativity* question).  Compilers nevertheless reassociate
+under ``-fassociative-math`` (part of ``--ffast-math``) to expose
+vectorization and instruction-level parallelism.  This pass models the
+classic transformation: flatten a chain of the same operator, then
+rebuild it as a *balanced* tree (the shape a vectorizing compiler's
+partial-sum accumulators induce), which evaluates in a different order
+from the source's left-to-right chain.
+"""
+
+from __future__ import annotations
+
+from repro.optsim.ast import Binary, BinOp, Const, Expr, Unary, UnOp
+from repro.optsim.machine import MachineConfig
+from repro.optsim.passes.base import OptimizationPass, bottom_up
+
+__all__ = ["Reassociate", "flatten_chain", "build_balanced"]
+
+
+def flatten_chain(expr: Expr, op: BinOp) -> list[Expr]:
+    """Collect the operands of a left-leaning ``op`` chain.
+
+    Subtraction chains are handled by the caller via negation; this
+    helper only flattens the *commutative* operators ADD and MUL.
+    """
+    if isinstance(expr, Binary) and expr.op is op:
+        return flatten_chain(expr.left, op) + flatten_chain(expr.right, op)
+    return [expr]
+
+
+def build_balanced(operands: list[Expr], op: BinOp) -> Expr:
+    """Combine operands pairwise into a balanced tree."""
+    if len(operands) == 1:
+        return operands[0]
+    mid = len(operands) // 2
+    return Binary(
+        op,
+        build_balanced(operands[:mid], op),
+        build_balanced(operands[mid:], op),
+    )
+
+
+def _cancel_negated_pairs(operands: list[Expr]) -> list[Expr]:
+    """Remove (x, -x) pairs from an addition chain — algebraically zero,
+    numerically the whole point of compensated algorithms.  This is the
+    cancellation -fassociative-math licenses."""
+    remaining = list(operands)
+    changed = True
+    while changed:
+        changed = False
+        for i, candidate in enumerate(remaining):
+            negated = (
+                candidate.operand
+                if isinstance(candidate, Unary) and candidate.op is UnOp.NEG
+                else Unary(UnOp.NEG, candidate)
+            )
+            for j in range(len(remaining)):
+                if j != i and remaining[j] == negated:
+                    for index in sorted((i, j), reverse=True):
+                        del remaining[index]
+                    changed = True
+                    break
+            if changed:
+                break
+    return remaining
+
+
+class Reassociate(OptimizationPass):
+    """Rebalance ``+``/``*`` chains of length >= 3 into balanced trees."""
+
+    name = "reassociate"
+    description = (
+        "rebalance addition/multiplication chains (-fassociative-math); "
+        "changes results because FP addition is not associative"
+    )
+    value_preserving = False
+
+    def enabled(self, config: MachineConfig) -> bool:
+        return config.allow_reassoc
+
+    def apply(self, expr: Expr, config: MachineConfig) -> Expr:
+        return bottom_up(expr, self._rebalance)
+
+    @staticmethod
+    def _rebalance(node: Expr) -> Expr:
+        if not isinstance(node, Binary):
+            return node
+        if node.op is BinOp.SUB:
+            # a - b -> a + (-b) so subtraction joins addition chains,
+            # as -fassociative-math effectively treats it.
+            node = Binary(BinOp.ADD, node.left, Unary(UnOp.NEG, node.right))
+        if node.op not in (BinOp.ADD, BinOp.MUL):
+            return node
+        operands = flatten_chain(node, node.op)
+        if node.op is BinOp.ADD:
+            operands = _cancel_negated_pairs(operands)
+            if not operands:
+                # Every term cancelled algebraically — the rewrite that
+                # deletes Kahan's compensation term.
+                return Const("0.0")
+        if len(operands) < 3:
+            if len(operands) == 1:
+                return operands[0]
+            if len(operands) == 2:
+                return Binary(node.op, operands[0], operands[1])
+            return node
+        return build_balanced(operands, node.op)

@@ -1,0 +1,50 @@
+"""Pass pipeline: turn a source expression into its "compiled" form.
+
+:func:`optimize` runs every pass the config licenses, in canonical
+order, to a fixed point (bounded — passes here are contractive, but the
+bound guards against rewrite ping-pong).  The result is what the
+simulated compiler would actually execute.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OptimizationError
+from repro.optsim.ast import Expr
+from repro.optsim.machine import MachineConfig
+from repro.optsim.passes import ALL_PASSES, OptimizationPass
+
+__all__ = ["optimize", "enabled_passes"]
+
+_MAX_ITERATIONS = 8
+
+
+def enabled_passes(config: MachineConfig) -> tuple[OptimizationPass, ...]:
+    """The subset of :data:`~repro.optsim.passes.ALL_PASSES` that
+    ``config`` licenses, in pipeline order."""
+    return tuple(p for p in ALL_PASSES if p.enabled(config))
+
+
+def optimize(
+    expr: Expr,
+    config: MachineConfig,
+    *,
+    passes: tuple[OptimizationPass, ...] | None = None,
+) -> Expr:
+    """Apply the licensed passes to a fixed point and return the
+    transformed tree.
+
+    >>> from repro.optsim import parse_expr, O3
+    >>> str(optimize(parse_expr("a*b + c"), O3))
+    'fma(a, b, c)'
+    """
+    active = enabled_passes(config) if passes is None else passes
+    current = expr
+    for _ in range(_MAX_ITERATIONS):
+        previous = current
+        for pass_ in active:
+            current = pass_.apply(current, config)
+        if current == previous:
+            return current
+    raise OptimizationError(
+        f"pass pipeline failed to reach a fixed point on {expr!s}"
+    )

@@ -1,0 +1,217 @@
+"""Straight-line programs: assignment sequences over the expression IR.
+
+Models the statement-level transformations the expression passes cannot
+express, with the same strict-vs-optimized discipline:
+
+- **CSE** (common subexpression elimination) is value-preserving:
+  expressions are pure and deterministic, so reusing a computed value
+  is bit-identical — but it *removes duplicate exception raises*
+  (harmless: flags are sticky, a second raise changes nothing).
+- **DCE** (dead code elimination) preserves the returned value but can
+  erase *sticky exception flags* entirely: a dead ``x = 1.0/0.0`` no
+  longer raises divide-by-zero at run time.  Real compilers do exactly
+  this, which is one more reason a "no flags were set" observation
+  proves less than developers think (the Exception Signal question's
+  statement-level sequel).
+
+Source syntax::
+
+    t = a * b;
+    u = t + c;
+    return u / t
+
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+from repro.errors import OptimizationError, ParseError
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.optsim.ast import Expr, Var, expr_variables, walk
+from repro.optsim.evaluator import EvalResult, evaluate
+from repro.optsim.machine import STRICT, MachineConfig
+from repro.optsim.parser import parse_expr
+from repro.optsim.pipeline import optimize
+from repro.softfloat import SoftFloat
+
+__all__ = [
+    "Assign",
+    "Program",
+    "parse_program",
+    "evaluate_program",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "optimize_program",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Assign:
+    """One assignment statement."""
+
+    name: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.expr};"
+
+
+@dataclasses.dataclass(frozen=True)
+class Program:
+    """A straight-line program: assignments then a returned expression."""
+
+    statements: tuple[Assign, ...]
+    result: Expr
+
+    def __str__(self) -> str:
+        lines = [str(statement) for statement in self.statements]
+        lines.append(f"return {self.result}")
+        return "\n".join(lines)
+
+    def free_variables(self) -> tuple[str, ...]:
+        """Input variables: used before any assignment defines them."""
+        defined: set[str] = set()
+        free: dict[str, None] = {}
+        for statement in self.statements:
+            for name in expr_variables(statement.expr):
+                if name not in defined:
+                    free.setdefault(name)
+            defined.add(statement.name)
+        for name in expr_variables(self.result):
+            if name not in defined:
+                free.setdefault(name)
+        return tuple(free)
+
+
+def parse_program(source: str) -> Program:
+    """Parse semicolon/newline-separated assignments plus a final
+    ``return`` expression."""
+    statements: list[Assign] = []
+    result: Expr | None = None
+    for raw in source.replace("\n", ";").split(";"):
+        text = raw.strip()
+        if not text:
+            continue
+        if result is not None:
+            raise ParseError("statements after the return expression")
+        if text.startswith("return"):
+            result = parse_expr(text[len("return"):])
+            continue
+        name, equals, body = text.partition("=")
+        if not equals or "=" in body:
+            raise ParseError(f"expected 'name = expr' or 'return expr', "
+                             f"got {text!r}")
+        name = name.strip()
+        if not name.isidentifier():
+            raise ParseError(f"bad assignment target {name!r}")
+        statements.append(Assign(name, parse_expr(body)))
+    if result is None:
+        raise ParseError("program has no return expression")
+    return Program(tuple(statements), result)
+
+
+def evaluate_program(
+    program: Program,
+    bindings: Mapping[str, SoftFloat],
+    config: MachineConfig = STRICT,
+    env: FPEnv | None = None,
+) -> EvalResult:
+    """Run the program top to bottom under ``config``."""
+    local_env = env if env is not None else config.fresh_env()
+    scope: dict[str, SoftFloat] = dict(bindings)
+    for statement in program.statements:
+        scope[statement.name] = evaluate(
+            statement.expr, scope, config, local_env
+        ).value
+    value = evaluate(program.result, scope, config, local_env).value
+    return EvalResult(value=value, flags=local_env.flags, config=config)
+
+
+# ----------------------------------------------------------------------
+# Statement-level passes
+# ----------------------------------------------------------------------
+
+def eliminate_common_subexpressions(program: Program) -> Program:
+    """Replace every repeated assigned expression with the earlier
+    temporary (pure expressions: bit-identical by determinism).
+
+    Only whole assignment bodies are unified — enough to model the
+    classic "compute it once" transformation without an SSA dance.
+    Assignments to a name that is later *re*-assigned are left alone.
+    """
+    reassigned = _reassigned_names(program)
+    seen: dict[Expr, str] = {}
+    replacements: dict[str, str] = {}
+    statements: list[Assign] = []
+    for statement in program.statements:
+        expr = _substitute(statement.expr, replacements)
+        if (
+            expr in seen
+            and statement.name not in reassigned
+            and seen[expr] not in reassigned
+        ):
+            replacements[statement.name] = seen[expr]
+            continue  # drop the duplicate assignment
+        if statement.name not in reassigned:
+            seen.setdefault(expr, statement.name)
+        statements.append(Assign(statement.name, expr))
+    result = _substitute(program.result, replacements)
+    return Program(tuple(statements), result)
+
+
+def eliminate_dead_code(program: Program) -> Program:
+    """Drop assignments whose targets never reach the result.
+
+    Value-preserving; NOT flag-preserving (the documented divergence).
+    """
+    live: set[str] = set(expr_variables(program.result))
+    kept_reversed: list[Assign] = []
+    for statement in reversed(program.statements):
+        if statement.name in live:
+            kept_reversed.append(statement)
+            live.discard(statement.name)
+            live.update(expr_variables(statement.expr))
+    return Program(tuple(reversed(kept_reversed)), program.result)
+
+
+def optimize_program(
+    program: Program,
+    config: MachineConfig,
+    *,
+    cse: bool = True,
+    dce: bool = True,
+) -> Program:
+    """Expression passes per statement, then CSE and DCE."""
+    statements = tuple(
+        Assign(s.name, optimize(s.expr, config)) for s in program.statements
+    )
+    current = Program(statements, optimize(program.result, config))
+    if cse:
+        current = eliminate_common_subexpressions(current)
+    if dce:
+        current = eliminate_dead_code(current)
+    return current
+
+
+def _reassigned_names(program: Program) -> set[str]:
+    counts: dict[str, int] = {}
+    for statement in program.statements:
+        counts[statement.name] = counts.get(statement.name, 0) + 1
+    return {name for name, count in counts.items() if count > 1}
+
+
+def _substitute(expr: Expr, replacements: Mapping[str, str]) -> Expr:
+    if not replacements:
+        return expr
+
+    from repro.optsim.passes.base import bottom_up
+
+    def rename(node: Expr) -> Expr:
+        if isinstance(node, Var) and node.name in replacements:
+            return Var(replacements[node.name])
+        return node
+
+    return bottom_up(expr, rename)

@@ -1,0 +1,64 @@
+"""Calibrated synthetic study populations.
+
+The paper's subjects were 199 human developers and 52 students; a code
+reproduction cannot re-run them, so this package *simulates* them:
+
+1. :mod:`~repro.population.marginals` transcribes the published
+   background tables (Figures 1–11);
+2. :mod:`~repro.population.sampler` allocates backgrounds whose
+   marginals match those tables exactly;
+3. :mod:`~repro.population.ability` maps backgrounds to latent
+   abilities with factor weights tuned to the quoted effect sizes
+   (Figures 16–21);
+4. :mod:`~repro.population.calibration` fits per-question intercepts so
+   the cohort's marginal response rates match Figures 14–15;
+5. :mod:`~repro.population.response_model` draws complete survey
+   records, including Figure-22-shaped suspicion ratings.
+
+The output is ordinary :class:`repro.survey.SurveyResponse` records —
+the same schema a real survey export would use — so the analysis layer
+is agnostic to the substitution.
+"""
+
+from repro.population.ability import AbilityModel, DEFAULT_ABILITY_MODEL, sigmoid
+from repro.population.calibration import (
+    Calibration,
+    ItemParams,
+    calibrate,
+    solve_intercept,
+)
+from repro.population.marginals import PAPER_N_DEVELOPERS, PAPER_N_STUDENTS
+from repro.population.response_model import (
+    generate_mc_answer,
+    generate_response,
+    generate_tf_answer,
+    simulate_developers,
+    simulate_students,
+)
+from repro.population.sampler import (
+    allocate_factor,
+    allocate_multiselect,
+    apportion,
+    sample_backgrounds,
+)
+
+__all__ = [
+    "AbilityModel",
+    "DEFAULT_ABILITY_MODEL",
+    "sigmoid",
+    "Calibration",
+    "ItemParams",
+    "calibrate",
+    "solve_intercept",
+    "PAPER_N_DEVELOPERS",
+    "PAPER_N_STUDENTS",
+    "simulate_developers",
+    "simulate_students",
+    "generate_response",
+    "generate_tf_answer",
+    "generate_mc_answer",
+    "sample_backgrounds",
+    "apportion",
+    "allocate_factor",
+    "allocate_multiselect",
+]

@@ -1,0 +1,180 @@
+"""Latent-ability model: how background maps to quiz performance.
+
+A respondent's probability of answering a question correctly (given
+that they commit to an answer at all) follows a Rasch-style item
+response model::
+
+    P(correct | theta) = sigmoid(alpha_q + theta)
+
+where ``alpha_q`` is the per-item intercept fitted by
+:mod:`repro.population.calibration` and ``theta`` is a latent ability
+composed of additive background-factor contributions plus individual
+noise.  Separate abilities drive the core and optimization quizzes: the
+paper found codebase size the strongest core-quiz factor with *no*
+effect on the optimization quiz, where only Role and Area mattered
+(Section IV-C).
+
+The factor weights below are the model's free parameters, tuned so the
+simulated cohort reproduces the quoted effect sizes (Figures 16–21);
+see ``FACTOR_TARGETS`` in :mod:`repro.population.targets`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+
+from repro.survey.background import (
+    AreaGroup,
+    Background,
+    CodebaseSize,
+    DevRole,
+    FormalTraining,
+    FPExtent,
+)
+
+__all__ = ["AbilityModel", "DEFAULT_ABILITY_MODEL", "sigmoid"]
+
+
+def sigmoid(x: float) -> float:
+    """Numerically safe logistic function."""
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+_SIZE_WEIGHTS_CONTRIBUTED: dict[CodebaseSize, float] = {
+    CodebaseSize.NOT_REPORTED: -0.50,
+    CodebaseSize.LOC_LT_100: -0.70,
+    CodebaseSize.LOC_100_1K: -0.50,
+    CodebaseSize.LOC_1K_10K: -0.15,
+    CodebaseSize.LOC_10K_100K: 0.20,
+    CodebaseSize.LOC_100K_1M: 0.55,
+    CodebaseSize.LOC_GT_1M: 0.90,
+}
+
+_SIZE_WEIGHTS_INVOLVED: dict[CodebaseSize, float] = {
+    CodebaseSize.NOT_REPORTED: -0.30,
+    CodebaseSize.LOC_LT_100: -0.40,
+    CodebaseSize.LOC_100_1K: -0.30,
+    CodebaseSize.LOC_1K_10K: -0.15,
+    CodebaseSize.LOC_10K_100K: 0.05,
+    CodebaseSize.LOC_100K_1M: 0.25,
+    CodebaseSize.LOC_GT_1M: 0.45,
+}
+
+_AREA_WEIGHTS_CORE: dict[AreaGroup, float] = {
+    AreaGroup.EE: 0.80,
+    AreaGroup.CS: 0.40,
+    AreaGroup.CE: 0.55,
+    AreaGroup.MATH: 0.10,
+    AreaGroup.PHYS_SCI: -0.60,
+    AreaGroup.ENG: -0.55,
+    AreaGroup.OTHER: -0.45,
+}
+
+_ROLE_WEIGHTS_CORE: dict[DevRole, float] = {
+    DevRole.ENGINEER: 0.30,
+    DevRole.SUPPORT: -0.10,
+    DevRole.MANAGE_SUPPORT: -0.25,
+    DevRole.MANAGE_ENGINEERS: 0.05,
+    DevRole.NOT_REPORTED: -0.20,
+}
+
+_TRAINING_WEIGHTS_CORE: dict[FormalTraining, float] = {
+    FormalTraining.NONE: -0.20,
+    FormalTraining.LECTURES: 0.00,
+    FormalTraining.WEEKS: 0.15,
+    FormalTraining.COURSES: 0.20,
+    FormalTraining.NOT_REPORTED: 0.00,
+}
+
+_EXTENT_WEIGHTS_CORE: dict[FPExtent, float] = {
+    FPExtent.NONE: -0.25,
+    FPExtent.INCIDENTAL: -0.10,
+    FPExtent.INTRINSIC: 0.05,
+    FPExtent.INTRINSIC_OTHER_TEAM: 0.10,
+    FPExtent.INTRINSIC_TEAM: 0.25,
+    FPExtent.INTRINSIC_SELF: 0.35,
+    FPExtent.NOT_REPORTED: 0.00,
+}
+
+_AREA_WEIGHTS_OPT: dict[AreaGroup, float] = {
+    AreaGroup.EE: 0.55,
+    AreaGroup.CS: 0.40,
+    AreaGroup.CE: 0.50,
+    AreaGroup.MATH: 0.00,
+    AreaGroup.PHYS_SCI: -0.35,
+    AreaGroup.ENG: -0.30,
+    AreaGroup.OTHER: -0.25,
+}
+
+_ROLE_WEIGHTS_OPT: dict[DevRole, float] = {
+    DevRole.ENGINEER: 0.80,
+    DevRole.SUPPORT: -0.25,
+    DevRole.MANAGE_SUPPORT: -0.35,
+    DevRole.MANAGE_ENGINEERS: 0.50,
+    DevRole.NOT_REPORTED: -0.30,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class AbilityModel:
+    """Additive factor-weight model producing the two latent abilities.
+
+    ``noise_core``/``noise_opt`` are the standard deviations of the
+    respondent-level Gaussian residuals (individual variation the
+    background factors do not explain).  ``factor_scale`` globally
+    scales all factor contributions — the knob the ablation bench
+    zeroes to show the factor effects vanish.
+    """
+
+    noise_core: float = 0.55
+    noise_opt: float = 0.50
+    factor_scale: float = 1.0
+
+    def core_factor_effect(self, background: Background) -> float:
+        """Deterministic (factor-driven) part of the core-quiz ability."""
+        informal = len(background.informal_training)
+        informal_effect = -0.40 if informal == 0 else (
+            -0.20 if informal == 1 else 0.0
+        )
+        total = (
+            _SIZE_WEIGHTS_CONTRIBUTED[background.contributed_size]
+            + _SIZE_WEIGHTS_INVOLVED[background.involved_size]
+            + _AREA_WEIGHTS_CORE[background.area_group]
+            + _ROLE_WEIGHTS_CORE[background.dev_role]
+            + _TRAINING_WEIGHTS_CORE[background.formal_training]
+            + 0.5 * _EXTENT_WEIGHTS_CORE[background.contributed_fp_extent]
+            + 0.5 * _EXTENT_WEIGHTS_CORE[background.involved_fp_extent]
+            + informal_effect
+        )
+        return self.factor_scale * total
+
+    def opt_factor_effect(self, background: Background) -> float:
+        """Deterministic part of the optimization-quiz ability (Role and
+        Area only — the paper found no codebase-size effect here)."""
+        total = (
+            _AREA_WEIGHTS_OPT[background.area_group]
+            + _ROLE_WEIGHTS_OPT[background.dev_role]
+        )
+        return self.factor_scale * total
+
+    def sample_abilities(
+        self, background: Background, rng: random.Random
+    ) -> tuple[float, float]:
+        """Draw ``(theta_core, theta_opt)`` for one respondent."""
+        theta_core = self.core_factor_effect(background) + rng.gauss(
+            0.0, self.noise_core
+        )
+        theta_opt = self.opt_factor_effect(background) + rng.gauss(
+            0.0, self.noise_opt
+        )
+        return theta_core, theta_opt
+
+
+#: The tuned default used throughout the reproduction.
+DEFAULT_ABILITY_MODEL = AbilityModel()

@@ -1,0 +1,189 @@
+"""Item calibration: fit intercepts so the cohort hits Figure 14/15.
+
+For each quiz question the paper reports four marginal rates (correct,
+incorrect, don't know, unanswered).  The response model uses three
+calibrated pieces per item:
+
+- the *unanswered* rate, taken directly from the figure;
+- a *don't-know* intercept ``delta_q``: respondents say "don't know"
+  with probability ``sigmoid(delta_q - slope * theta)`` — higher
+  ability means more willingness to commit, strongly so on the
+  optimization quiz ("participants generally recognized their
+  ignorance", and the Role/Area effects in Figures 20–21 are largely
+  about *who answers at all*);
+- a *correctness* intercept ``alpha_q``: committed answers are correct
+  with probability ``sigmoid(alpha_q + theta)``.
+
+Both intercepts are found by bisection against a large seeded sample of
+abilities, so the simulated cohort's marginal rates land on the paper's
+(the don't-know fit is unconditional-in-theta; the correctness fit is
+weighted by each respondent's probability of committing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import random
+from collections.abc import Sequence
+
+from repro.errors import CalibrationError
+from repro.population.ability import AbilityModel, DEFAULT_ABILITY_MODEL, sigmoid
+from repro.population.targets import CORE_QUESTION_RATES, OPT_QUESTION_RATES
+from repro.population.sampler import sample_backgrounds
+
+__all__ = [
+    "ItemParams",
+    "Calibration",
+    "calibrate",
+    "solve_intercept",
+    "CORE_DK_SLOPE",
+    "OPT_DK_SLOPE",
+]
+
+_CALIBRATION_SAMPLE = 4000
+_CALIBRATION_SEED = 20180521  # IPDPS 2018 conference date
+
+#: How strongly ability suppresses "don't know" answers, per quiz.
+CORE_DK_SLOPE = 0.35
+OPT_DK_SLOPE = 0.95
+
+
+@dataclasses.dataclass(frozen=True)
+class ItemParams:
+    """Calibrated response parameters for one question."""
+
+    qid: str
+    intercept: float
+    dk_intercept: float
+    dk_slope: float
+    unanswered_rate: float
+    dont_know_rate: float
+    target_correct_given_answered: float
+
+    def dont_know_probability(self, theta: float) -> float:
+        """P(don't know | not skipped, ability theta)."""
+        return sigmoid(self.dk_intercept - self.dk_slope * theta)
+
+    def correct_probability(self, theta: float) -> float:
+        """P(correct | substantive answer, ability theta)."""
+        return sigmoid(self.intercept + theta)
+
+
+@dataclasses.dataclass(frozen=True)
+class Calibration:
+    """Calibrated parameters for every core and optimization question."""
+
+    core: dict[str, ItemParams]
+    optimization: dict[str, ItemParams]
+    model: AbilityModel
+
+    def item(self, qid: str) -> ItemParams:
+        """Look up any question's parameters."""
+        if qid in self.core:
+            return self.core[qid]
+        return self.optimization[qid]
+
+
+def solve_intercept(
+    thetas: Sequence[float],
+    target: float,
+    *,
+    weights: Sequence[float] | None = None,
+    tolerance: float = 1e-10,
+) -> float:
+    """Find ``alpha`` with ``weighted_mean(sigmoid(alpha + theta)) ==
+    target`` by bisection.  ``target`` must lie strictly in (0, 1)."""
+    if not 0.0 < target < 1.0:
+        raise CalibrationError(f"target rate {target} outside (0, 1)")
+    if weights is None:
+        weights = [1.0] * len(thetas)
+    total = sum(weights)
+    if total <= 0:
+        raise CalibrationError("weights must have positive total")
+    lo, hi = -30.0, 30.0
+
+    def mean_rate(alpha: float) -> float:
+        return sum(
+            w * sigmoid(alpha + theta) for w, theta in zip(weights, thetas)
+        ) / total
+
+    if mean_rate(lo) > target or mean_rate(hi) < target:
+        raise CalibrationError(
+            f"target rate {target} unreachable over the ability sample"
+        )
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if mean_rate(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tolerance:
+            break
+    return 0.5 * (lo + hi)
+
+
+def _ability_samples(
+    model: AbilityModel, sample_size: int, seed: int
+) -> tuple[list[float], list[float]]:
+    backgrounds = sample_backgrounds(sample_size, seed)
+    rng = random.Random(("calibration", seed).__repr__())
+    core, opt = [], []
+    for background in backgrounds:
+        theta_core, theta_opt = model.sample_abilities(background, rng)
+        core.append(theta_core)
+        opt.append(theta_opt)
+    return core, opt
+
+
+def _fit_item(qid, rates, thetas: list[float], dk_slope: float) -> ItemParams:
+    unanswered = rates.unanswered / 100.0
+    dk_conditional = (rates.dont_know / 100.0) / max(1e-9, 1.0 - unanswered)
+    dk_conditional = min(max(dk_conditional, 1e-6), 1.0 - 1e-6)
+    # P(DK | answered-at-all) = sigmoid(delta - slope*theta): solve delta
+    # over the negated, scaled abilities.
+    delta = solve_intercept(
+        [-dk_slope * theta for theta in thetas], dk_conditional
+    )
+    # Correctness, weighted by each respondent's commit probability.
+    weights = [
+        1.0 - sigmoid(delta - dk_slope * theta) for theta in thetas
+    ]
+    alpha = solve_intercept(
+        thetas, rates.correct_given_answered, weights=weights
+    )
+    return ItemParams(
+        qid=qid,
+        intercept=alpha,
+        dk_intercept=delta,
+        dk_slope=dk_slope,
+        unanswered_rate=unanswered,
+        dont_know_rate=rates.dont_know / 100.0,
+        target_correct_given_answered=rates.correct_given_answered,
+    )
+
+
+@functools.lru_cache(maxsize=8)
+def _calibrate_cached(
+    model: AbilityModel, sample_size: int, seed: int
+) -> Calibration:
+    core_thetas, opt_thetas = _ability_samples(model, sample_size, seed)
+    core_items = {
+        qid: _fit_item(qid, rates, core_thetas, CORE_DK_SLOPE)
+        for qid, rates in CORE_QUESTION_RATES.items()
+    }
+    opt_items = {
+        qid: _fit_item(qid, rates, opt_thetas, OPT_DK_SLOPE)
+        for qid, rates in OPT_QUESTION_RATES.items()
+    }
+    return Calibration(core=core_items, optimization=opt_items, model=model)
+
+
+def calibrate(
+    model: AbilityModel = DEFAULT_ABILITY_MODEL,
+    *,
+    sample_size: int = _CALIBRATION_SAMPLE,
+    seed: int = _CALIBRATION_SEED,
+) -> Calibration:
+    """Fit (and cache) item intercepts for the given ability model."""
+    return _calibrate_cached(model, sample_size, seed)

@@ -1,0 +1,181 @@
+"""The paper's reported background marginals (Figures 1–11), as data.
+
+These counts are transcribed directly from the tables.  The sampler
+allocates factor levels to synthetic respondents so that each factor's
+marginal matches these counts *exactly* (scaled by largest-remainder
+apportionment when the cohort size differs from 199).  The paper
+reports no cross-factor joint distributions; factors are therefore
+allocated independently, except for the two codebase-size factors,
+which are rank-paired so a participant's largest *involved* codebase is
+(almost always) at least as large as their largest *contributed* one.
+"""
+
+from __future__ import annotations
+
+from repro.survey.background import (
+    Area,
+    CodebaseSize,
+    DevRole,
+    FormalTraining,
+    FPExtent,
+    InformalTraining,
+    Position,
+)
+
+__all__ = [
+    "POSITION_COUNTS",
+    "AREA_COUNTS",
+    "FORMAL_TRAINING_COUNTS",
+    "INFORMAL_TRAINING_COUNTS",
+    "DEV_ROLE_COUNTS",
+    "FP_LANGUAGE_COUNTS",
+    "ARB_PREC_LANGUAGE_COUNTS",
+    "CONTRIBUTED_SIZE_COUNTS",
+    "CONTRIBUTED_FP_EXTENT_COUNTS",
+    "INVOLVED_SIZE_COUNTS",
+    "INVOLVED_FP_EXTENT_COUNTS",
+    "PAPER_N_DEVELOPERS",
+    "PAPER_N_STUDENTS",
+]
+
+#: Cohort sizes from the paper's abstract.
+PAPER_N_DEVELOPERS = 199
+PAPER_N_STUDENTS = 52
+
+#: Figure 1.
+POSITION_COUNTS: dict[Position, int] = {
+    Position.PHD_STUDENT: 73,
+    Position.FACULTY: 49,
+    Position.SOFTWARE_ENGINEER: 23,
+    Position.RESEARCH_STAFF: 17,
+    Position.RESEARCH_SCIENTIST: 11,
+    Position.MS_STUDENT: 8,
+    Position.UNDERGRADUATE: 7,
+    Position.POSTDOC: 4,
+    Position.MANAGER: 3,
+    Position.OTHER: 5,
+}
+
+#: Figure 2.
+AREA_COUNTS: dict[Area, int] = {
+    Area.CS: 80,
+    Area.OTHER_PHYSICAL_SCIENCE: 38,
+    Area.OTHER_ENGINEERING: 26,
+    Area.CE: 19,
+    Area.MATHEMATICS: 10,
+    Area.EE: 9,
+    Area.ECONOMICS: 2,
+    Area.OTHER_NON_PHYSICAL_SCIENCE: 2,
+    Area.CS_AND_MATH: 2,
+    Area.CS_AND_CE: 2,
+    Area.POLI_SCI_AND_STATS: 1,
+    Area.SOCIAL_SCIENCES: 1,
+    Area.ROBOTICS: 1,
+    Area.ECONOMETRICS: 1,
+    Area.BIOMEDICAL_ENGINEERING: 1,
+    Area.MMSS: 1,
+    Area.STATISTICS: 1,
+    Area.MECHANICAL_ENGINEERING: 1,
+    Area.UNREPORTED: 1,
+}
+
+#: Figure 3.
+FORMAL_TRAINING_COUNTS: dict[FormalTraining, int] = {
+    FormalTraining.LECTURES: 62,
+    FormalTraining.NONE: 52,
+    FormalTraining.WEEKS: 49,
+    FormalTraining.COURSES: 35,
+    FormalTraining.NOT_REPORTED: 1,
+}
+
+#: Figure 4 (multi-select membership counts; top 5 reported).
+INFORMAL_TRAINING_COUNTS: dict[InformalTraining, int] = {
+    InformalTraining.GOOGLED: 138,
+    InformalTraining.READ: 136,
+    InformalTraining.DISCUSSED: 89,
+    InformalTraining.MENTOR: 38,
+    InformalTraining.VIDEO: 22,
+}
+
+#: Figure 5.
+DEV_ROLE_COUNTS: dict[DevRole, int] = {
+    DevRole.SUPPORT: 119,
+    DevRole.ENGINEER: 50,
+    DevRole.MANAGE_SUPPORT: 19,
+    DevRole.MANAGE_ENGINEERS: 6,
+    DevRole.NOT_REPORTED: 5,
+}
+
+#: Figure 6 (multi-select; the 13 languages with n >= 5).
+FP_LANGUAGE_COUNTS: dict[str, int] = {
+    "Python": 142,
+    "C": 139,
+    "C++": 136,
+    "Matlab": 105,
+    "Java": 100,
+    "Fortran": 65,
+    "R": 48,
+    "C#": 26,
+    "Perl": 25,
+    "Scheme/Racket": 17,
+    "Haskell": 12,
+    "ML": 9,
+    "JavaScript": 6,
+}
+
+#: Figure 7 (multi-select; the 9 entries with n >= 5).
+ARB_PREC_LANGUAGE_COUNTS: dict[str, int] = {
+    "Mathematica": 71,
+    "Maple": 29,
+    "Other language": 20,
+    "MPFR/GNU MultiPrecision Library": 19,
+    "Scheme/Racket/LISP with BigNums": 13,
+    "Other library": 13,
+    "Matlab MultiPrecision Toolbox": 10,
+    "Haskell with arb. prec. and rationals": 8,
+    "Macsyma": 5,
+}
+
+#: Figure 8.
+CONTRIBUTED_SIZE_COUNTS: dict[CodebaseSize, int] = {
+    CodebaseSize.LOC_1K_10K: 79,
+    CodebaseSize.LOC_10K_100K: 65,
+    CodebaseSize.LOC_100_1K: 27,
+    CodebaseSize.LOC_100K_1M: 17,
+    CodebaseSize.LOC_GT_1M: 9,
+    CodebaseSize.LOC_LT_100: 1,
+    CodebaseSize.NOT_REPORTED: 1,
+}
+
+#: Figure 9.
+CONTRIBUTED_FP_EXTENT_COUNTS: dict[FPExtent, int] = {
+    FPExtent.INCIDENTAL: 77,
+    FPExtent.INTRINSIC: 63,
+    FPExtent.INTRINSIC_SELF: 29,
+    FPExtent.INTRINSIC_OTHER_TEAM: 10,
+    FPExtent.INTRINSIC_TEAM: 10,
+    FPExtent.NONE: 9,
+    FPExtent.NOT_REPORTED: 1,
+}
+
+#: Figure 10.
+INVOLVED_SIZE_COUNTS: dict[CodebaseSize, int] = {
+    CodebaseSize.LOC_10K_100K: 61,
+    CodebaseSize.LOC_1K_10K: 53,
+    CodebaseSize.LOC_GT_1M: 36,
+    CodebaseSize.LOC_100K_1M: 36,
+    CodebaseSize.LOC_100_1K: 8,
+    CodebaseSize.LOC_LT_100: 2,
+    CodebaseSize.NOT_REPORTED: 3,
+}
+
+#: Figure 11.
+INVOLVED_FP_EXTENT_COUNTS: dict[FPExtent, int] = {
+    FPExtent.INCIDENTAL: 71,
+    FPExtent.INTRINSIC: 55,
+    FPExtent.INTRINSIC_SELF: 23,
+    FPExtent.INTRINSIC_OTHER_TEAM: 17,
+    FPExtent.NONE: 15,
+    FPExtent.INTRINSIC_TEAM: 13,
+    FPExtent.NOT_REPORTED: 5,
+}

@@ -1,0 +1,169 @@
+"""Response generation: from backgrounds to survey records.
+
+For each true/false question, a respondent first lands in the
+unanswered / don't-know / substantive buckets with the item's
+calibrated probabilities, then — if substantive — answers correctly
+with probability ``sigmoid(alpha_q + theta)``.  An incorrect T/F answer
+is the negation of the correct one; an incorrect multiple choice is
+uniform over the wrong options.  Suspicion levels are drawn from the
+cohort's Figure-22 distribution.
+
+Students (the 52-person comparison group) answer only the suspicion
+quiz, as in the paper, where it was a midterm exam problem.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.population.ability import AbilityModel, DEFAULT_ABILITY_MODEL, sigmoid
+from repro.population.calibration import Calibration, ItemParams, calibrate
+from repro.population.marginals import PAPER_N_DEVELOPERS, PAPER_N_STUDENTS
+from repro.population.sampler import sample_backgrounds
+from repro.population.targets import SUSPICION_DISTRIBUTIONS
+from repro.quiz.core import CORE_QUESTIONS
+from repro.quiz.model import Question, QuestionKind, TFAnswer
+from repro.quiz.optimization import OPTIMIZATION_QUESTIONS
+from repro.quiz.suspicion import LIKERT_SCALE, SUSPICION_ORDER
+from repro.survey.background import Background
+from repro.survey.records import Cohort, SurveyResponse
+
+__all__ = [
+    "generate_tf_answer",
+    "generate_mc_answer",
+    "generate_response",
+    "simulate_developers",
+    "simulate_students",
+]
+
+
+def _draw_bucket(item: ItemParams, theta: float, rng: random.Random) -> str:
+    """Unanswered / don't-know / substantive, with the don't-know rate
+    falling as ability rises (the calibrated commit model)."""
+    if rng.random() < item.unanswered_rate:
+        return "unanswered"
+    if rng.random() < item.dont_know_probability(theta):
+        return "dont-know"
+    return "substantive"
+
+
+def generate_tf_answer(
+    question: Question, item: ItemParams, theta: float, rng: random.Random
+) -> TFAnswer:
+    """Draw one true/false response."""
+    bucket = _draw_bucket(item, theta, rng)
+    if bucket == "unanswered":
+        return TFAnswer.UNANSWERED
+    if bucket == "dont-know":
+        return TFAnswer.DONT_KNOW
+    correct = rng.random() < item.correct_probability(theta)
+    assert isinstance(question.correct, TFAnswer)
+    return question.correct if correct else question.correct.negation
+
+
+def generate_mc_answer(
+    question: Question, item: ItemParams, theta: float, rng: random.Random
+) -> str:
+    """Draw one multiple-choice response (option string or bucket)."""
+    bucket = _draw_bucket(item, theta, rng)
+    if bucket != "substantive":
+        return bucket
+    if rng.random() < item.correct_probability(theta):
+        assert isinstance(question.correct, str)
+        return question.correct
+    wrong = [c for c in question.choices if c != question.correct]
+    return rng.choice(wrong)
+
+
+def _draw_likert(
+    distribution: Sequence[float], rng: random.Random
+) -> int:
+    roll = rng.random() * sum(distribution)
+    cumulative = 0.0
+    for level, weight in zip(LIKERT_SCALE, distribution):
+        cumulative += weight
+        if roll < cumulative:
+            return level
+    return LIKERT_SCALE[-1]
+
+
+def generate_response(
+    respondent_id: str,
+    background: Background,
+    calibration: Calibration,
+    rng: random.Random,
+    *,
+    model: AbilityModel | None = None,
+) -> SurveyResponse:
+    """Generate one developer's full survey submission."""
+    ability_model = model or calibration.model
+    theta_core, theta_opt = ability_model.sample_abilities(background, rng)
+    core_answers = {
+        q.qid: generate_tf_answer(q, calibration.core[q.qid], theta_core, rng)
+        for q in CORE_QUESTIONS
+    }
+    opt_answers: dict[str, TFAnswer | str] = {}
+    for question in OPTIMIZATION_QUESTIONS:
+        item = calibration.optimization[question.qid]
+        if question.kind is QuestionKind.TRUE_FALSE:
+            opt_answers[question.qid] = generate_tf_answer(
+                question, item, theta_opt, rng
+            )
+        else:
+            opt_answers[question.qid] = generate_mc_answer(
+                question, item, theta_opt, rng
+            )
+    distributions = SUSPICION_DISTRIBUTIONS[Cohort.DEVELOPER.value]
+    suspicion = {
+        qid: _draw_likert(distributions[qid], rng) for qid in SUSPICION_ORDER
+    }
+    return SurveyResponse(
+        respondent_id=respondent_id,
+        cohort=Cohort.DEVELOPER,
+        background=background,
+        core_answers=core_answers,
+        opt_answers=opt_answers,
+        suspicion=suspicion,
+    )
+
+
+def simulate_developers(
+    n: int = PAPER_N_DEVELOPERS,
+    seed: int = 754,
+    *,
+    model: AbilityModel = DEFAULT_ABILITY_MODEL,
+    calibration: Calibration | None = None,
+) -> list[SurveyResponse]:
+    """Simulate the main study group (default n=199, seeded)."""
+    calibration = calibration or calibrate(model)
+    backgrounds = sample_backgrounds(n, seed)
+    rng = random.Random(("developers", n, seed).__repr__())
+    return [
+        generate_response(f"dev-{index:04d}", background, calibration, rng,
+                          model=model)
+        for index, background in enumerate(backgrounds, start=1)
+    ]
+
+
+def simulate_students(
+    n: int = PAPER_N_STUDENTS, seed: int = 754
+) -> list[SurveyResponse]:
+    """Simulate the student comparison group: suspicion quiz only."""
+    rng = random.Random(("students", n, seed).__repr__())
+    distributions = SUSPICION_DISTRIBUTIONS[Cohort.STUDENT.value]
+    responses = []
+    for index in range(1, n + 1):
+        suspicion = {
+            qid: _draw_likert(distributions[qid], rng)
+            for qid in SUSPICION_ORDER
+        }
+        responses.append(
+            SurveyResponse(
+                respondent_id=f"student-{index:04d}",
+                cohort=Cohort.STUDENT,
+                background=None,
+                suspicion=suspicion,
+            )
+        )
+    return responses

@@ -1,0 +1,142 @@
+"""Synthetic cohort sampling.
+
+Backgrounds are allocated so every factor's marginal matches the
+paper's table *exactly* (Figures 1–11), via largest-remainder
+apportionment when the cohort size differs from 199, with the level
+assignment shuffled across respondents by a seeded RNG.  The two
+codebase-size factors are rank-paired (a respondent's involved codebase
+is at least as large as their contributed one, as logic dictates), which
+preserves both marginals while inducing the natural correlation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+from typing import TypeVar
+
+from repro.population import marginals as m
+from repro.survey.background import Background, CodebaseSize
+
+__all__ = ["apportion", "allocate_factor", "allocate_multiselect",
+           "sample_backgrounds"]
+
+K = TypeVar("K")
+
+
+def apportion(counts: Mapping[K, int], n: int) -> dict[K, int]:
+    """Scale integer ``counts`` to total ``n`` by the largest-remainder
+    method (exact when ``n`` equals the counts' total).
+
+    >>> apportion({"a": 1, "b": 1}, 3)["a"] + apportion({"a": 1, "b": 1}, 3)["b"]
+    3
+    """
+    total = sum(counts.values())
+    if total <= 0:
+        raise ValueError("counts must sum to a positive total")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    quotas = {key: count * n / total for key, count in counts.items()}
+    floors = {key: int(quota) for key, quota in quotas.items()}
+    remainder = n - sum(floors.values())
+    by_fraction = sorted(
+        counts, key=lambda key: (quotas[key] - floors[key]), reverse=True
+    )
+    for key in by_fraction[:remainder]:
+        floors[key] += 1
+    return floors
+
+
+def allocate_factor(
+    counts: Mapping[K, int], n: int, rng: random.Random
+) -> list[K]:
+    """An n-element level assignment matching the apportioned marginal,
+    in shuffled order."""
+    allocation = apportion(counts, n)
+    levels: list[K] = []
+    for key, count in allocation.items():
+        levels.extend([key] * count)
+    rng.shuffle(levels)
+    return levels
+
+
+def allocate_multiselect(
+    counts: Mapping[K, int], population_total: int, n: int, rng: random.Random
+) -> list[set[K]]:
+    """Per-respondent membership sets for a multi-select factor.
+
+    Each item's membership count is apportioned exactly
+    (``count * n / population_total`` respondents receive it), with the
+    receiving respondents chosen independently per item.
+    """
+    memberships: list[set[K]] = [set() for _ in range(n)]
+    for key, count in counts.items():
+        assigned = apportion({True: count, False: population_total - count}, n)
+        flags = [True] * assigned.get(True, 0) + [False] * assigned.get(False, 0)
+        rng.shuffle(flags)
+        for index, flag in enumerate(flags):
+            if flag:
+                memberships[index].add(key)
+    return memberships
+
+
+def _rank_paired_sizes(
+    n: int, rng: random.Random
+) -> list[tuple[CodebaseSize, CodebaseSize]]:
+    """Pair contributed and involved codebase sizes by rank so that
+    involved >= contributed (almost surely), preserving both marginals."""
+    contributed = allocate_factor(m.CONTRIBUTED_SIZE_COUNTS, n, rng)
+    involved = allocate_factor(m.INVOLVED_SIZE_COUNTS, n, rng)
+    contributed.sort(key=lambda size: size.rank)
+    involved.sort(key=lambda size: size.rank)
+    pairs = list(zip(contributed, involved))
+    rng.shuffle(pairs)
+    return pairs
+
+
+def sample_backgrounds(
+    n: int = m.PAPER_N_DEVELOPERS, seed: int = 754
+) -> list[Background]:
+    """Sample ``n`` developer backgrounds matching the paper's marginals.
+
+    Deterministic in ``(n, seed)``.
+    """
+    rng = random.Random(("backgrounds", n, seed).__repr__())
+    positions = allocate_factor(m.POSITION_COUNTS, n, rng)
+    areas = allocate_factor(m.AREA_COUNTS, n, rng)
+    trainings = allocate_factor(m.FORMAL_TRAINING_COUNTS, n, rng)
+    roles = allocate_factor(m.DEV_ROLE_COUNTS, n, rng)
+    contributed_extents = allocate_factor(
+        m.CONTRIBUTED_FP_EXTENT_COUNTS, n, rng
+    )
+    involved_extents = allocate_factor(m.INVOLVED_FP_EXTENT_COUNTS, n, rng)
+    size_pairs = _rank_paired_sizes(n, rng)
+    informal = allocate_multiselect(
+        m.INFORMAL_TRAINING_COUNTS, m.PAPER_N_DEVELOPERS, n, rng
+    )
+    fp_langs = allocate_multiselect(
+        m.FP_LANGUAGE_COUNTS, m.PAPER_N_DEVELOPERS, n, rng
+    )
+    arb_langs = allocate_multiselect(
+        m.ARB_PREC_LANGUAGE_COUNTS, m.PAPER_N_DEVELOPERS, n, rng
+    )
+
+    backgrounds = []
+    for i in range(n):
+        contributed_size, involved_size = size_pairs[i]
+        backgrounds.append(
+            Background(
+                position=positions[i],
+                area=areas[i],
+                formal_training=trainings[i],
+                informal_training=frozenset(informal[i]),
+                dev_role=roles[i],
+                fp_languages=frozenset(fp_langs[i]),
+                arb_prec_languages=frozenset(arb_langs[i]),
+                contributed_size=contributed_size,
+                contributed_fp_extent=contributed_extents[i],
+                involved_size=involved_size,
+                involved_fp_extent=involved_extents[i],
+            )
+        )
+    return backgrounds

@@ -1,0 +1,84 @@
+"""The paper's survey quizzes as an executable instrument.
+
+Three components, mirroring Sections II-B through II-D of the paper:
+
+- :data:`~repro.quiz.core.CORE_QUESTIONS` — 15 true/false questions on
+  core IEEE 754 behavior (commutativity through exception signaling);
+- :data:`~repro.quiz.optimization.OPTIMIZATION_QUESTIONS` — 4 questions
+  on compiler/hardware optimizations (MADD, FTZ, -O levels, fast-math);
+- :data:`~repro.quiz.suspicion.SUSPICION_ITEMS` — 5 Likert items on
+  exceptional conditions.
+
+Unlike a paper appendix, every answer key entry here is *executable*:
+``question.verify_ground_truth()`` runs witness computations on the
+softfloat and optsim substrates and raises if the claimed answer cannot
+be demonstrated.
+
+>>> from repro.quiz import core_question
+>>> demo = core_question("identity").verify_ground_truth()
+>>> demo.ok
+True
+"""
+
+from repro.quiz.demos import Claim, Demonstration, claim
+from repro.quiz.model import LikertItem, Question, QuestionKind, Section, TFAnswer
+from repro.quiz.core import CORE_QUESTION_ORDER, CORE_QUESTIONS, core_question
+from repro.quiz.optimization import (
+    OPT_LEVEL_CHOICES,
+    OPTIMIZATION_QUESTION_ORDER,
+    OPTIMIZATION_QUESTIONS,
+    optimization_question,
+)
+from repro.quiz.suspicion import (
+    FLAG_FOR_ITEM,
+    LIKERT_SCALE,
+    SUSPICION_ITEMS,
+    SUSPICION_ORDER,
+    reference_ranking,
+    suspicion_item,
+)
+from repro.quiz.scoring import (
+    CORE_CHANCE,
+    OPT_TF_CHANCE,
+    QuizScore,
+    chance_score,
+    score_core,
+    score_optimization,
+    score_questions,
+)
+from repro.quiz.runner import GradeReport, all_questions, grade, run_interactive
+
+__all__ = [
+    "Question",
+    "QuestionKind",
+    "Section",
+    "TFAnswer",
+    "LikertItem",
+    "Claim",
+    "Demonstration",
+    "claim",
+    "CORE_QUESTIONS",
+    "CORE_QUESTION_ORDER",
+    "core_question",
+    "OPTIMIZATION_QUESTIONS",
+    "OPTIMIZATION_QUESTION_ORDER",
+    "OPT_LEVEL_CHOICES",
+    "optimization_question",
+    "SUSPICION_ITEMS",
+    "SUSPICION_ORDER",
+    "LIKERT_SCALE",
+    "FLAG_FOR_ITEM",
+    "suspicion_item",
+    "reference_ranking",
+    "QuizScore",
+    "score_questions",
+    "score_core",
+    "score_optimization",
+    "chance_score",
+    "CORE_CHANCE",
+    "OPT_TF_CHANCE",
+    "GradeReport",
+    "grade",
+    "run_interactive",
+    "all_questions",
+]

@@ -1,0 +1,653 @@
+"""The 15 core-quiz questions (paper Section II-B), with executable
+ground truth.
+
+Each question mirrors the survey's structure: a C-syntax snippet, an
+assertion, and a true/false answer.  The ``demonstrate`` callables prove
+every answer twice over — on the from-scratch softfloat engine and,
+where the claim concerns binary64, on the host's native IEEE doubles —
+and, for the universally quantified claims, by *exhaustive* sweeps over
+a tiny 6-bit format in which checking all pairs is tractable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.quiz.demos import Claim, Demonstration, claim
+from repro.quiz.model import Question, QuestionKind, Section, TFAnswer
+from repro.softfloat import (
+    BINARY64,
+    TINY8,
+    SoftFloat,
+    fp_add,
+    fp_div,
+    fp_eq,
+    fp_ge,
+    fp_mul,
+    fp_sub,
+    next_up,
+    sf,
+    significant_bits,
+)
+
+__all__ = ["CORE_QUESTIONS", "core_question", "CORE_QUESTION_ORDER"]
+
+
+def _tiny_values(include_special: bool = False) -> list[SoftFloat]:
+    """Every encoding of the 6-bit TINY8 format (finite only unless
+    ``include_special``), small enough for exhaustive pair sweeps."""
+    values = []
+    for bits in range(1 << TINY8.width):
+        x = SoftFloat(TINY8, bits)
+        if x.is_nan:
+            continue
+        if x.is_inf and not include_special:
+            continue
+        values.append(x)
+    return values
+
+
+# ----------------------------------------------------------------------
+# Demonstrations
+# ----------------------------------------------------------------------
+
+def demo_commutativity() -> Demonstration:
+    """a + b == b + a holds for all non-NaN operands."""
+    claims: list[Claim] = []
+    env = FPEnv()
+    holds = all(
+        fp_add(a, b, env).same_bits(fp_add(b, a, env))
+        for a, b in itertools.product(_tiny_values(include_special=True), repeat=2)
+    )
+    claims.append(claim(
+        "exhaustive tiny-format sweep: x+y is bit-identical to y+x for "
+        "every non-NaN pair (including infinities and signed zeros)",
+        holds,
+        format=TINY8.name,
+    ))
+    rng = random.Random(754)
+    native_ok = True
+    for _ in range(2000):
+        a = rng.uniform(-1e308, 1e308) * rng.choice([1.0, 1e-300, 1e300])
+        b = rng.uniform(-1e308, 1e308)
+        if (a + b) != (b + a) and not (math.isnan(a + b)):
+            native_ok = False
+            break
+    claims.append(claim(
+        "2000 random host doubles: a+b == b+a every time", native_ok
+    ))
+    return Demonstration.build("commutativity", claims)
+
+
+def demo_associativity() -> Demonstration:
+    """(a + b) + c == a + (b + c) can fail."""
+    a, b, c = sf(0.1), sf(0.2), sf(0.3)
+    lhs = (a + b) + c
+    rhs = a + (b + c)
+    claims = [claim(
+        "(0.1 + 0.2) + 0.3 differs from 0.1 + (0.2 + 0.3) on softfloat",
+        not lhs.same_bits(rhs),
+        lhs=lhs, rhs=rhs,
+    )]
+    claims.append(claim(
+        "same witness on host doubles",
+        (0.1 + 0.2) + 0.3 != 0.1 + (0.2 + 0.3),
+        lhs=repr((0.1 + 0.2) + 0.3), rhs=repr(0.1 + (0.2 + 0.3)),
+    ))
+    big, one = sf(float(2**53)), sf(1.0)
+    claims.append(claim(
+        "absorption witness: (2^53 + 1) - 2^53 == 0 but 2^53 + (1 - 2^53) != 0",
+        ((big + one) - big) == sf(0.0) and (big + (one - big)) != sf(0.0),
+        absorbed=(big + one) - big,
+    ))
+    return Demonstration.build("associativity", claims)
+
+
+def demo_distributivity() -> Demonstration:
+    """a*(b + c) == a*b + a*c can fail."""
+    found = None
+    rng = random.Random(754)
+    for _ in range(1000):
+        a = sf(rng.uniform(-3, 3))
+        b = sf(rng.uniform(-3, 3))
+        c = sf(rng.uniform(-3, 3))
+        lhs = a * (b + c)
+        rhs = a * b + a * c
+        if not lhs.same_bits(rhs) and lhs.is_finite and rhs.is_finite:
+            found = (a, b, c, lhs, rhs)
+            break
+    claims = [claim(
+        "seeded search found finite a,b,c with a*(b+c) != a*b + a*c",
+        found is not None,
+        **({} if found is None else {
+            "a": found[0], "b": found[1], "c": found[2],
+            "lhs": found[3], "rhs": found[4],
+        }),
+    )]
+    if found is not None:
+        af, bf, cf = (x.to_float() for x in found[:3])
+        claims.append(claim(
+            "the same witness separates the two sides on host doubles",
+            af * (bf + cf) != af * bf + af * cf,
+        ))
+    x, huge = sf(2.0), sf(1e308)
+    claims.append(claim(
+        "overflow witness: 2*(1e308 + (-1e308)) == 0 but 2*1e308 + 2*(-1e308)"
+        " goes through infinity and yields NaN",
+        (x * (huge + (-huge))).is_zero
+        and (x * huge + x * (-huge)).is_nan,
+    ))
+    return Demonstration.build("distributivity", claims)
+
+
+def demo_ordering() -> Demonstration:
+    """((a + b) - a) == b can fail."""
+    a, b = sf(float(2**53)), sf(1.0)
+    result = (a + b) - a
+    claims = [claim(
+        "softfloat: ((2^53 + 1.0) - 2^53) == 0.0, not 1.0 (absorption)",
+        result == sf(0.0) and result != b,
+        result=result,
+    )]
+    claims.append(claim(
+        "host doubles agree", ((2.0**53 + 1.0) - 2.0**53) != 1.0,
+        native=repr((2.0**53 + 1.0) - 2.0**53),
+    ))
+    inf = SoftFloat.inf(BINARY64)
+    one = sf(1.0)
+    claims.append(claim(
+        "infinity witness: ((1e308*10 + 1) - 1e308*10) is NaN, not 1",
+        ((inf + one) - inf).is_nan,
+    ))
+    return Demonstration.build("ordering", claims)
+
+
+def demo_identity() -> Demonstration:
+    """a == a can be FALSE (for NaN)."""
+    nan = SoftFloat.nan(BINARY64)
+    claims = [claim(
+        "softfloat: NaN == NaN is false under IEEE quiet equality",
+        not fp_eq(nan, nan),
+    )]
+    claims.append(claim(
+        "host doubles: float('nan') == float('nan') is false",
+        float("nan") != float("nan"),
+    ))
+    zero_div = fp_div(sf(0.0), sf(0.0), FPEnv())
+    claims.append(claim(
+        "a computed 0.0/0.0 result also fails a == a",
+        not fp_eq(zero_div, zero_div),
+        value=zero_div,
+    ))
+    env = FPEnv()
+    finite_ok = all(fp_eq(x, x, env) for x in _tiny_values(include_special=True))
+    claims.append(claim(
+        "but every non-NaN value (exhaustive tiny format) satisfies a == a",
+        finite_ok,
+    ))
+    return Demonstration.build("identity", claims)
+
+
+def demo_negative_zero() -> Demonstration:
+    """Two zero values can NOT compare unequal: -0 == +0."""
+    pz, nz = sf(0.0), sf(-0.0)
+    claims = [claim(
+        "softfloat: -0.0 == 0.0 despite different bit patterns",
+        fp_eq(pz, nz) and not pz.same_bits(nz),
+        pos_bits=hex(pz.bits), neg_bits=hex(nz.bits),
+    )]
+    claims.append(claim(
+        "host doubles: -0.0 == 0.0", -0.0 == 0.0,
+    ))
+    claims.append(claim(
+        "yet the zeros are distinguishable: 1/+0 = +inf, 1/-0 = -inf",
+        fp_div(sf(1.0), pz, FPEnv()).same_bits(SoftFloat.inf(BINARY64, 0))
+        and fp_div(sf(1.0), nz, FPEnv()).same_bits(SoftFloat.inf(BINARY64, 1)),
+    ))
+    return Demonstration.build("negative_zero", claims)
+
+
+def demo_square() -> Demonstration:
+    """a*a >= 0 holds for every non-NaN a (unlike integer arithmetic)."""
+    env = FPEnv()
+    zero = SoftFloat.zero(TINY8)
+    holds = all(
+        fp_ge(fp_mul(x, x, env), zero, env)
+        for x in _tiny_values(include_special=True)
+    )
+    claims = [claim(
+        "exhaustive tiny-format sweep: x*x >= 0 for every non-NaN x",
+        holds,
+    )]
+    big = SoftFloat.max_finite(BINARY64, sign=1)
+    claims.append(claim(
+        "overflowing square saturates to +infinity, which is still >= 0",
+        fp_ge(fp_mul(big, big, FPEnv()), SoftFloat.zero(BINARY64), FPEnv()),
+        square=fp_mul(big, big, FPEnv()),
+    ))
+    # The contrast that causes the confusion: int squares CAN be negative.
+    wrapped = (46341 * 46341) & 0xFFFFFFFF  # 46341^2 > 2^31
+    as_signed = wrapped - (1 << 32) if wrapped >= (1 << 31) else wrapped
+    claims.append(claim(
+        "contrast: 32-bit integer 46341*46341 wraps negative",
+        as_signed < 0,
+        wrapped=as_signed,
+    ))
+    return Demonstration.build("square", claims)
+
+
+def demo_overflow() -> Demonstration:
+    """FP overflow saturates at infinity; it does not wrap like ints."""
+    env = FPEnv()
+    big = SoftFloat.max_finite(BINARY64)
+    doubled = fp_mul(big, sf(2.0), env)
+    claims = [claim(
+        "softfloat: DBL_MAX * 2 == +inf and raises the overflow flag",
+        doubled.same_bits(SoftFloat.inf(BINARY64))
+        and env.test_flag(FPFlag.OVERFLOW),
+        result=doubled,
+    )]
+    claims.append(claim(
+        "host doubles: 1.7976931348623157e308 * 2 == inf",
+        math.isinf(1.7976931348623157e308 * 2),
+    ))
+    wrapped = (0x7FFFFFFF + 1) & 0xFFFFFFFF
+    as_signed = wrapped - (1 << 32)
+    claims.append(claim(
+        "contrast: 32-bit INT_MAX + 1 wraps to INT_MIN (modular, not "
+        "saturating)",
+        as_signed == -(1 << 31),
+        wrapped=as_signed,
+    ))
+    claims.append(claim(
+        "and the saturated infinity sticks: inf - DBL_MAX is still inf",
+        fp_sub(doubled, big, FPEnv()).same_bits(SoftFloat.inf(BINARY64)),
+    ))
+    return Demonstration.build("overflow", claims)
+
+
+def demo_divide_by_zero() -> Demonstration:
+    """1.0/0.0 IS a non-NaN value: +infinity."""
+    env = FPEnv()
+    result = fp_div(sf(1.0), sf(0.0), env)
+    claims = [claim(
+        "softfloat: 1.0/0.0 == +inf (not NaN); raises divide-by-zero, "
+        "not invalid",
+        result.same_bits(SoftFloat.inf(BINARY64))
+        and env.test_flag(FPFlag.DIV_BY_ZERO)
+        and not env.test_flag(FPFlag.INVALID),
+        result=result,
+    )]
+    env2 = FPEnv()
+    downstream = fp_div(sf(1.0), result, env2)
+    claims.append(claim(
+        "the infinity can silently wash out: 1.0/(1.0/0.0) == 0.0, an "
+        "ordinary-looking number in the output",
+        downstream == sf(0.0),
+        downstream=downstream,
+    ))
+    return Demonstration.build("divide_by_zero", claims)
+
+
+def demo_zero_divide_by_zero() -> Demonstration:
+    """0.0/0.0 is NOT a non-NaN value: it is NaN."""
+    env = FPEnv()
+    result = fp_div(sf(0.0), sf(0.0), env)
+    claims = [claim(
+        "softfloat: 0.0/0.0 is NaN and raises the invalid flag",
+        result.is_nan and env.test_flag(FPFlag.INVALID),
+        result=result,
+    )]
+    propagated = fp_add(result, sf(1.0), FPEnv())
+    claims.append(claim(
+        "the NaN propagates through later arithmetic to the output, "
+        "making the user suspicious (desirably so)",
+        propagated.is_nan,
+    ))
+    return Demonstration.build("zero_divide_by_zero", claims)
+
+
+def demo_saturation_plus() -> Demonstration:
+    """(a + 1.0) == a is possible."""
+    inf = SoftFloat.inf(BINARY64)
+    claims = [claim(
+        "saturation witness: a = +inf gives (a + 1.0) == a",
+        fp_eq(fp_add(inf, sf(1.0), FPEnv()), inf),
+    )]
+    big = sf(float(2**53))
+    claims.append(claim(
+        "rounding witness: a = 2^53 gives (a + 1.0) == a because 1.0 is "
+        "below half an ulp",
+        fp_eq(fp_add(big, sf(1.0), FPEnv()), big),
+        a=big,
+    ))
+    claims.append(claim(
+        "host doubles agree on the rounding witness",
+        (2.0**53 + 1.0) == 2.0**53,
+    ))
+    return Demonstration.build("saturation_plus", claims)
+
+
+def demo_saturation_minus() -> Demonstration:
+    """(a - 1.0) == a is possible: you cannot back off an infinity."""
+    inf = SoftFloat.inf(BINARY64)
+    claims = [claim(
+        "a = +inf: (a - 1.0) == a — subtraction does not leave saturation",
+        fp_eq(fp_sub(inf, sf(1.0), FPEnv()), inf),
+    )]
+    big = sf(float(2**53))
+    claims.append(claim(
+        "rounding witness: a = 2^53 gives (a - 1.0) != a (exact here) but "
+        "a = 2^54 gives (a - 1.0) == a",
+        not fp_eq(fp_sub(big, sf(1.0), FPEnv()), big)
+        and fp_eq(fp_sub(sf(float(2**54)), sf(1.0), FPEnv()), sf(float(2**54))),
+    ))
+    claims.append(claim(
+        "host doubles agree", (2.0**54 - 1.0) == 2.0**54,
+    ))
+    return Demonstration.build("saturation_minus", claims)
+
+
+def demo_denormal_precision() -> Demonstration:
+    """Numbers very near zero (subnormals) carry less precision."""
+    smallest = SoftFloat.min_subnormal(BINARY64)
+    claims = [claim(
+        "the smallest positive double carries 1 significant bit vs the "
+        "53 of any normal number",
+        significant_bits(smallest) == 1
+        and significant_bits(sf(1.0)) == 53,
+        value=smallest,
+    )]
+    # Precision loss in action: dividing a subnormal by 3 and multiplying
+    # back misses by far more (relatively) than the same thing at 1.0.
+    sub = SoftFloat.min_subnormal(BINARY64)
+    third = fp_div(sub, sf(3.0), FPEnv())
+    claims.append(claim(
+        "min_subnormal / 3 collapses to zero — total relative error 1.0",
+        third.is_zero,
+    ))
+    spaced = next_up(sub).to_fraction() - sub.to_fraction()
+    rel_gap_sub = spaced / sub.to_fraction()
+    rel_gap_norm = next_up(sf(1.0)).to_fraction() - 1
+    claims.append(claim(
+        "relative spacing at the smallest subnormal is 1.0 vs 2^-52 at 1.0",
+        rel_gap_sub == 1 and rel_gap_norm == sf(2.0**-52).to_fraction(),
+    ))
+    gradual = fp_div(SoftFloat.min_normal(BINARY64), sf(2.0), FPEnv())
+    claims.append(claim(
+        "gradual underflow: min_normal/2 is a nonzero subnormal, not zero",
+        gradual.is_subnormal,
+        value=gradual,
+    ))
+    return Demonstration.build("denormal_precision", claims)
+
+
+def demo_operation_precision() -> Demonstration:
+    """Operation results can have less precision than the exact result
+    of the operands (rounding)."""
+    env = FPEnv()
+    result = fp_add(sf(0.1), sf(0.2), env)
+    exact = sf(0.1).to_fraction() + sf(0.2).to_fraction()
+    claims = [claim(
+        "0.1 + 0.2 raises the inexact flag: the delivered result is not "
+        "the exact sum of the operands",
+        env.test_flag(FPFlag.INEXACT) and result.to_fraction() != exact,
+        delivered=result,
+    )]
+    env2 = FPEnv()
+    product = fp_mul(sf(1.0 + 2**-52), sf(1.0 + 2**-52), env2)
+    claims.append(claim(
+        "(1+ulp)^2 needs 105 significand bits exactly; the 53-bit result "
+        "is rounded (inexact raised)",
+        env2.test_flag(FPFlag.INEXACT),
+        delivered=product,
+    ))
+    env3 = FPEnv()
+    fp_add(sf(1.5), sf(0.25), env3)
+    claims.append(claim(
+        "contrast: representable results raise no inexact (1.5 + 0.25)",
+        not env3.test_flag(FPFlag.INEXACT),
+    ))
+    return Demonstration.build("operation_precision", claims)
+
+
+def demo_exception_signal() -> Demonstration:
+    """Exceptional results do NOT signal the application by default."""
+    env = FPEnv()  # default: all traps masked
+    outcomes = []
+    try:
+        fp_div(sf(1.0), sf(0.0), env)
+        fp_div(sf(0.0), sf(0.0), env)
+        fp_mul(SoftFloat.max_finite(BINARY64), sf(2.0), env)
+        outcomes.append(True)
+    except ArithmeticError:  # pragma: no cover - the claim is that it won't
+        outcomes.append(False)
+    claims = [claim(
+        "divide-by-zero, invalid, and overflow all executed without any "
+        "signal/exception reaching the program",
+        outcomes == [True],
+    )]
+    claims.append(claim(
+        "...but the sticky status flags silently recorded all three",
+        env.test_flag(FPFlag.DIV_BY_ZERO)
+        and env.test_flag(FPFlag.INVALID)
+        and env.test_flag(FPFlag.OVERFLOW),
+        flags=env,
+    ))
+    trap_env = FPEnv(traps=FPFlag.DIV_BY_ZERO)
+    trapped = False
+    try:
+        fp_div(sf(1.0), sf(0.0), trap_env)
+    except ArithmeticError:
+        trapped = True
+    claims.append(claim(
+        "signals exist but are opt-in: enabling the trap makes the same "
+        "operation raise",
+        trapped,
+    ))
+    claims.append(claim(
+        "contrast with integers: Python integer 1//0 does raise by default",
+        _int_division_raises(),
+    ))
+    return Demonstration.build("exception_signal", claims)
+
+
+def _int_division_raises() -> bool:
+    try:
+        _ = 1 // 0
+    except ZeroDivisionError:
+        return True
+    return False  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Question definitions (order matches Figure 14)
+# ----------------------------------------------------------------------
+
+def _tf(qid, label, prompt, snippet, correct, explanation, demo) -> Question:
+    return Question(
+        qid=qid,
+        label=label,
+        section=Section.CORE,
+        kind=QuestionKind.TRUE_FALSE,
+        prompt=prompt,
+        snippet=snippet,
+        correct=correct,
+        explanation=explanation,
+        demonstrate=demo,
+        chance_rate=0.5,
+    )
+
+
+CORE_QUESTIONS: tuple[Question, ...] = (
+    _tf(
+        "commutativity", "Commutativity",
+        "Assuming x and y never hold the result of invalid operations, "
+        "this function always returns 1.",
+        "int f(double x, double y) {\n  return (x + y) == (y + x);\n}",
+        TFAnswer.TRUE,
+        "Floating point addition is commutative (for non-NaN operands): "
+        "both orders round the same exact sum.",
+        demo_commutativity,
+    ),
+    _tf(
+        "associativity", "Associativity",
+        "Assuming a, b, and c never hold the result of invalid "
+        "operations, this function always returns 1.",
+        "int f(double a, double b, double c) {\n"
+        "  return ((a + b) + c) == (a + (b + c));\n}",
+        TFAnswer.FALSE,
+        "Each addition rounds, so grouping matters; misjudging this is a "
+        "common source of problems (e.g. parallel reductions).",
+        demo_associativity,
+    ),
+    _tf(
+        "distributivity", "Distributivity",
+        "Assuming a, b, and c never hold the result of invalid "
+        "operations, this function always returns 1.",
+        "int f(double a, double b, double c) {\n"
+        "  return (a * (b + c)) == (a*b + a*c);\n}",
+        TFAnswer.FALSE,
+        "Distributivity of real arithmetic does not survive per-operation "
+        "rounding (or intermediate overflow).",
+        demo_distributivity,
+    ),
+    _tf(
+        "ordering", "Ordering",
+        "Assuming a and b never hold the result of invalid operations, "
+        "this function always returns 1.",
+        "int f(double a, double b) {\n"
+        "  return ((a + b) - a) == b;\n}",
+        TFAnswer.FALSE,
+        "Rounding (absorption) and infinities break it: (1e16+1)-1e16 is "
+        "0, not 1.",
+        demo_ordering,
+    ),
+    _tf(
+        "identity", "Identity",
+        "For any double a — including the results of any previous "
+        "operations whatsoever — this function always returns 1.",
+        "int f(double a) {\n  return a == a;\n}",
+        TFAnswer.FALSE,
+        "If a holds the result of an invalid operation (a NaN), a == a is "
+        "false: NaNs compare unequal to everything, themselves included.",
+        demo_identity,
+    ),
+    _tf(
+        "negative_zero", "Negative Zero",
+        "Given two double values x and y that are each some form of "
+        "zero, it is possible for x == y to be false.",
+        "/* x and y are both zeros (the standard has more than one) */\n"
+        "int f(double x, double y) {\n  return x == y;\n}",
+        TFAnswer.FALSE,
+        "The standard has a negative zero, but +0 and -0 compare equal; "
+        "no pair of zeros compares unequal.",
+        demo_negative_zero,
+    ),
+    _tf(
+        "square", "Square",
+        "Assuming a never holds the result of an invalid operation, this "
+        "function always returns 1.",
+        "int f(double a) {\n  return (a * a) >= 0;\n}",
+        TFAnswer.TRUE,
+        "A square is never negative in floating point — overflow "
+        "saturates to +inf, which is still >= 0.  (Integer squares CAN "
+        "wrap negative, a common confusion.)",
+        demo_square,
+    ),
+    _tf(
+        "overflow", "Overflow",
+        "When a double arithmetic operation overflows the largest finite "
+        "value, the result wraps around, analogously to what happens "
+        "with int arithmetic.",
+        "double x = DBL_MAX;\nx = x * 2; /* what is x now? */",
+        TFAnswer.FALSE,
+        "Integer overflow wraps (modular); floating point overflow "
+        "saturates at an infinity.",
+        demo_overflow,
+    ),
+    _tf(
+        "divide_by_zero", "Divide By Zero",
+        "The result of the division below is a well-defined value, not "
+        "the indicator of an invalid operation.",
+        "double x = 1.0 / 0.0;",
+        TFAnswer.TRUE,
+        "1.0/0.0 is +infinity, which may propagate to the output looking "
+        "like an ordinary number — unlike a NaN, it can hide.",
+        demo_divide_by_zero,
+    ),
+    _tf(
+        "zero_divide_by_zero", "Zero Divide By Zero",
+        "The result of the division below is a well-defined value, not "
+        "the indicator of an invalid operation.",
+        "double x = 0.0 / 0.0;",
+        TFAnswer.FALSE,
+        "0.0/0.0 is an invalid operation producing NaN — desirably loud, "
+        "since NaN propagates to the output.",
+        demo_zero_divide_by_zero,
+    ),
+    _tf(
+        "saturation_plus", "Saturation Plus",
+        "There exists a double value a for which this function returns 1.",
+        "int f(double a) {\n  return (a + 1.0) == a;\n}",
+        TFAnswer.TRUE,
+        "a = infinity (saturation) or any a large enough that 1.0 is "
+        "under half an ulp (rounding/absorption).",
+        demo_saturation_plus,
+    ),
+    _tf(
+        "saturation_minus", "Saturation Minus",
+        "There exists a double value a for which this function returns 1.",
+        "int f(double a) {\n  return (a - 1.0) == a;\n}",
+        TFAnswer.TRUE,
+        "a = infinity: you cannot 'back off' from saturation; large "
+        "finite magnitudes also absorb the 1.0.",
+        demo_saturation_minus,
+    ),
+    _tf(
+        "denormal_precision", "Denormal Precision",
+        "Double values that are very near zero have less precision than "
+        "values further away from zero.",
+        "/* consider the smallest positive doubles */",
+        TFAnswer.TRUE,
+        "Subnormal (denormalized) numbers trade precision for gradual "
+        "underflow: the smallest carries a single significant bit.",
+        demo_denormal_precision,
+    ),
+    _tf(
+        "operation_precision", "Operation Precision",
+        "A double arithmetic operation can produce a result with lower "
+        "precision than its operands.",
+        "double z = x + y; /* can z be less precise? */",
+        TFAnswer.TRUE,
+        "Results are rounded to the format; the exact sum/product often "
+        "needs more bits than the format has.",
+        demo_operation_precision,
+    ),
+    _tf(
+        "exception_signal", "Exception Signal",
+        "Any double operation that delivers an exceptional result (an "
+        "infinity, a NaN, etc.) will inform your application of that "
+        "fact by default (e.g., via a signal).",
+        "double x = 0.0 / 0.0; /* does the program get notified? */",
+        TFAnswer.FALSE,
+        "By default exceptions only set sticky status flags; nothing "
+        "reaches the program.  A signal-free run does NOT mean no "
+        "exceptional value was generated.",
+        demo_exception_signal,
+    ),
+)
+
+#: Figure 14 row order, by question id.
+CORE_QUESTION_ORDER: tuple[str, ...] = tuple(q.qid for q in CORE_QUESTIONS)
+
+_BY_ID = {q.qid: q for q in CORE_QUESTIONS}
+
+
+def core_question(qid: str) -> Question:
+    """Look up a core question by id."""
+    return _BY_ID[qid]

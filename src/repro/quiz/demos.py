@@ -1,0 +1,69 @@
+"""Demonstration infrastructure: ground truth you can execute.
+
+A :class:`Demonstration` is a list of :class:`Claim` records, each the
+outcome of an actual computation on the softfloat substrate (usually
+cross-checked against the host's native binary64).  The test suite runs
+every question's demonstration; a quiz whose answer key cannot be
+demonstrated is a quiz you should not trust.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Claim", "Demonstration", "claim"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Claim:
+    """One verified statement with its witnesses.
+
+    ``witnesses`` maps names to rendered values that exhibit the claim
+    (e.g. ``{"a": "1e16", "lhs": "0.0", "rhs": "1.0"}``).
+    """
+
+    text: str
+    passed: bool
+    witnesses: dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def render(self) -> str:
+        """Single-line human-readable form."""
+        mark = "ok" if self.passed else "FAILED"
+        detail = ""
+        if self.witnesses:
+            pairs = ", ".join(f"{k}={v}" for k, v in self.witnesses.items())
+            detail = f"  [{pairs}]"
+        return f"[{mark}] {self.text}{detail}"
+
+
+def claim(text: str, passed: bool, **witnesses: object) -> Claim:
+    """Build a :class:`Claim`, rendering witness values to strings."""
+    return Claim(text=text, passed=bool(passed), witnesses={
+        key: str(value) for key, value in witnesses.items()
+    })
+
+
+@dataclasses.dataclass(frozen=True)
+class Demonstration:
+    """A verified bundle of claims demonstrating one question's answer."""
+
+    qid: str
+    claims: tuple[Claim, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every claim held."""
+        return all(c.passed for c in self.claims)
+
+    def render(self) -> str:
+        """Multi-line report of all claims."""
+        lines = [f"demonstration for {self.qid}:"]
+        lines.extend("  " + c.render() for c in self.claims)
+        return "\n".join(lines)
+
+    @classmethod
+    def build(cls, qid: str, claims: list[Claim]) -> "Demonstration":
+        """Assemble from a claim list (must be non-empty)."""
+        if not claims:
+            raise ValueError(f"demonstration for {qid!r} has no claims")
+        return cls(qid=qid, claims=tuple(claims))

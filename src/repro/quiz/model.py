@@ -1,0 +1,159 @@
+"""Data model for the survey's three quizzes.
+
+A :class:`Question` bundles the prompt a participant sees with the
+machine-checkable ground truth: a ``correct`` answer and a
+``demonstrate`` callable that *proves* the answer by running witness
+computations on the softfloat/optsim substrates (see
+:mod:`repro.quiz.demos`).  Question ids and labels follow the paper's
+Section II naming exactly, so analysis tables line up with Figures 14
+and 15.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Callable
+
+from repro.quiz.demos import Demonstration
+
+__all__ = [
+    "Section",
+    "QuestionKind",
+    "TFAnswer",
+    "Question",
+    "LikertItem",
+]
+
+
+class Section(enum.Enum):
+    """Survey components (paper Section II)."""
+
+    BACKGROUND = "background"
+    CORE = "core"
+    OPTIMIZATION = "optimization"
+    SUSPICION = "suspicion"
+
+
+class QuestionKind(enum.Enum):
+    """Response formats used by the instrument."""
+
+    TRUE_FALSE = "true-false"
+    MULTIPLE_CHOICE = "multiple-choice"
+    LIKERT = "likert"
+
+
+class TFAnswer(enum.Enum):
+    """A participant's response to a true/false question.
+
+    ``DONT_KNOW`` was an explicit option in the survey; ``UNANSWERED``
+    records a skipped question.  Figure 12/14/15 tabulate all four.
+    """
+
+    TRUE = "true"
+    FALSE = "false"
+    DONT_KNOW = "dont-know"
+    UNANSWERED = "unanswered"
+
+    @property
+    def is_substantive(self) -> bool:
+        """True for an actual TRUE/FALSE commitment."""
+        return self in (TFAnswer.TRUE, TFAnswer.FALSE)
+
+    @property
+    def negation(self) -> "TFAnswer":
+        """The opposite substantive answer (identity for the others)."""
+        if self is TFAnswer.TRUE:
+            return TFAnswer.FALSE
+        if self is TFAnswer.FALSE:
+            return TFAnswer.TRUE
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
+class Question:
+    """One quiz question with executable ground truth.
+
+    Attributes
+    ----------
+    qid:
+        Stable machine id (e.g. ``"associativity"``).
+    label:
+        The paper's display label (e.g. ``"Associativity"``).
+    section:
+        Which quiz the question belongs to.
+    kind:
+        Response format.
+    prompt:
+        The assertion put to the participant.
+    snippet:
+        C-syntax code fragment shown with the prompt (may be empty).
+    correct:
+        Ground truth: a :class:`TFAnswer` for true/false questions or
+        the correct choice string for multiple choice.
+    choices:
+        Option list for multiple-choice questions.
+    explanation:
+        Why the answer is what it is, in the paper's terms.
+    demonstrate:
+        Zero-argument callable producing a verified
+        :class:`~repro.quiz.demos.Demonstration`.
+    chance_rate:
+        Probability of answering correctly by uniform guessing among
+        substantive options (0.5 for T/F).
+    """
+
+    qid: str
+    label: str
+    section: Section
+    kind: QuestionKind
+    prompt: str
+    snippet: str
+    correct: TFAnswer | str
+    explanation: str
+    demonstrate: Callable[[], Demonstration] | None = None
+    choices: tuple[str, ...] = ()
+    chance_rate: float = 0.5
+
+    def grade(self, answer: TFAnswer | str) -> bool | None:
+        """True/False for substantive answers; None for don't-know or
+        unanswered (they are tabulated separately, not as wrong)."""
+        if isinstance(answer, TFAnswer):
+            if not answer.is_substantive:
+                return None
+            return answer == self.correct
+        if answer in ("dont-know", "unanswered", ""):
+            return None
+        return answer == self.correct
+
+    def verify_ground_truth(self) -> Demonstration:
+        """Run the demonstration and assert every claim held."""
+        if self.demonstrate is None:
+            raise ValueError(f"question {self.qid!r} has no demonstration")
+        demo = self.demonstrate()
+        if not demo.ok:
+            failed = [c.text for c in demo.claims if not c.passed]
+            raise AssertionError(
+                f"ground truth demonstration failed for {self.qid!r}: {failed}"
+            )
+        return demo
+
+
+@dataclasses.dataclass(frozen=True)
+class LikertItem:
+    """One suspicion-quiz item: an exceptional condition rated 1–5.
+
+    ``reference_level`` encodes the paper's "arguably reasonable
+    ranking" (Section IV-D): how suspicious a well-calibrated developer
+    *should* be. There are no wrong answers on the instrument itself.
+    """
+
+    qid: str
+    label: str
+    description: str
+    reference_level: int
+    rationale: str
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.reference_level <= 5:
+            raise ValueError("reference_level must be on the 1-5 scale")

@@ -1,0 +1,251 @@
+"""The optimization-quiz questions (paper Section II-C).
+
+Three true/false questions (MADD, Flush to Zero, Fast-math) and one
+multiple choice (Standard-compliant Level).  Ground truth is
+demonstrated with the :mod:`repro.optsim` compliance checker: each
+non-standard behavior is exhibited by a concrete divergence witness,
+and ``-O2``'s compliance by the absence of one over the witness corpus.
+"""
+
+from __future__ import annotations
+
+from repro.quiz.demos import Claim, Demonstration, claim
+from repro.quiz.model import Question, QuestionKind, Section, TFAnswer
+from repro.optsim import (
+    O2,
+    O3,
+    OFAST,
+    STRICT,
+    find_divergence,
+    is_standard_compliant,
+    optimization_level,
+    parse_expr,
+)
+from repro.optsim.evaluator import bind
+from repro.softfloat import SoftFloat, sf
+
+__all__ = [
+    "OPTIMIZATION_QUESTIONS",
+    "optimization_question",
+    "OPTIMIZATION_QUESTION_ORDER",
+    "OPT_LEVEL_CHOICES",
+]
+
+
+def demo_madd() -> Demonstration:
+    """FMA is 754-2008, not 754-1985, and it changes results."""
+    expr = parse_expr("a*b + c")
+    # A crafted witness: the product needs 106 bits; fusing keeps them.
+    a = sf(1.0 + 2.0**-27)
+    witness = {"a": a, "b": a, "c": sf(-1.0)}
+    report = find_divergence(expr, O3, extra_witnesses=[witness])
+    claims: list[Claim] = [claim(
+        "fusing a*b+c into one rounding produces a different result than "
+        "the separate multiply-then-add on a concrete input",
+        report.diverged and report.value_diverged,
+        detail=report.describe(),
+    )]
+    claims.append(claim(
+        "so MADD behavior is NOT part of the original 754-1985 two-"
+        "rounding semantics (it was standardized in 754-2008 as "
+        "fusedMultiplyAdd)",
+        True,
+    ))
+    return Demonstration.build("madd", claims)
+
+
+def demo_flush_to_zero() -> Demonstration:
+    """FTZ/DAZ eliminate gradual underflow; not standard behavior."""
+    ftz_config = STRICT.replace(name="ftz+daz", ftz=True, daz=True)
+    expr = parse_expr("a * b")
+    tiny = SoftFloat.min_normal(STRICT.fmt)
+    witness = {"a": tiny, "b": sf(0.5)}
+    report = find_divergence(expr, ftz_config, extra_witnesses=[witness])
+    claims = [claim(
+        "with FTZ set, min_normal * 0.5 flushes to zero instead of the "
+        "standard's gradual-underflow subnormal",
+        report.diverged and report.value_diverged,
+        detail=report.describe(),
+    )]
+    from repro.fpenv.env import FPEnv
+    from repro.softfloat import fp_sub, fp_eq
+
+    # Two distinct *normal* values whose difference is subnormal.
+    b = SoftFloat.min_normal(STRICT.fmt)
+    a = fp_sub(b + b, sf(0.5) * b, FPEnv())  # 1.5 * min_normal
+    strict_diff = fp_sub(a, b, FPEnv())
+    ftz_env = FPEnv(ftz=True, daz=True)
+    ftz_diff = fp_sub(a, b, ftz_env)
+    claims.append(claim(
+        "consequence: with FTZ, x != y no longer implies x - y != 0 "
+        "(catastrophic for code that divides by a checked difference)",
+        not strict_diff.is_zero and ftz_diff.is_zero
+        and not fp_eq(a, b, FPEnv()),
+        strict=strict_diff, flushed=ftz_diff,
+    ))
+    return Demonstration.build("flush_to_zero", claims)
+
+
+def demo_opt_level() -> Demonstration:
+    """-O2 preserves standard semantics; -O3 (contraction) does not."""
+    exprs = [
+        parse_expr("a*b + c"),
+        parse_expr("a + b + c + d"),
+        parse_expr("(a - b) / (a - b)"),
+        parse_expr("x / 3.0"),
+        parse_expr("sqrt(a*a + b*b)"),
+    ]
+    o2_clean = all(not find_divergence(e, O2).diverged for e in exprs)
+    claims = [claim(
+        "-O2: no divergence from strict IEEE on any witness expression",
+        o2_clean and is_standard_compliant(O2),
+    )]
+    o3_report = find_divergence(
+        exprs[0], O3,
+        extra_witnesses=[bind(O3, a=1.0 + 2.0**-27, b=1.0 + 2.0**-27, c=-1.0)],
+    )
+    claims.append(claim(
+        "-O3: diverges (MADD contraction), so it is past the highest "
+        "standard-compliant level",
+        o3_report.diverged and not is_standard_compliant(O3),
+    ))
+    claims.append(claim(
+        "-O1 is also compliant, so the *highest* compliant level is -O2",
+        is_standard_compliant(optimization_level("-O1"))
+        and is_standard_compliant(O2),
+    ))
+    return Demonstration.build("opt_level", claims)
+
+
+def demo_fast_math() -> Demonstration:
+    """--ffast-math can produce non-standard-compliant behavior."""
+    claims: list[Claim] = []
+    chain = parse_expr("a + b + c + d")
+    witnesses = [bind(OFAST, a=1e16, b=1.0, c=1.0, d=-1e16)]
+    report = find_divergence(chain, OFAST, extra_witnesses=witnesses)
+    claims.append(claim(
+        "reassociation: a left-to-right sum and the fast-math rebalanced "
+        "sum differ on concrete inputs",
+        report.diverged,
+        detail=report.describe(),
+    ))
+    xx = parse_expr("x - x")
+    nan_witness = [{"x": SoftFloat.inf(OFAST.fmt)}]
+    report2 = find_divergence(xx, OFAST, extra_witnesses=nan_witness)
+    claims.append(claim(
+        "finite-math-only: inf - inf folds to 0.0 instead of NaN",
+        report2.diverged,
+        detail=report2.describe(),
+    ))
+    recip = parse_expr("x / 3.0")
+    report3 = find_divergence(recip, OFAST)
+    claims.append(claim(
+        "reciprocal-math: x/3.0 becomes x*(1/3), double rounding",
+        report3.diverged,
+        detail=report3.describe(),
+    ))
+    return Demonstration.build("fast_math", claims)
+
+
+#: Choices for the Standard-compliant Level multiple-choice question.
+OPT_LEVEL_CHOICES: tuple[str, ...] = ("-O0", "-O1", "-O2", "-O3", "-Ofast")
+
+
+OPTIMIZATION_QUESTIONS: tuple[Question, ...] = (
+    Question(
+        qid="madd",
+        label="MADD",
+        section=Section.OPTIMIZATION,
+        kind=QuestionKind.TRUE_FALSE,
+        prompt=(
+            "Many processors provide a fused multiply-add instruction "
+            "that computes a*b + c with a single rounding at the end. "
+            "Using this instruction complies with the original IEEE 754 "
+            "floating point standard."
+        ),
+        snippet="d = a*b + c;  /* compiled to one MADD instruction */",
+        correct=TFAnswer.FALSE,
+        explanation=(
+            "MADD is in the newer 754-2008 standard but not the original "
+            "754-1985, and it can compute a different result than "
+            "separate multiply and add."
+        ),
+        demonstrate=demo_madd,
+        chance_rate=0.5,
+    ),
+    Question(
+        qid="flush_to_zero",
+        label="Flush to Zero",
+        section=Section.OPTIMIZATION,
+        kind=QuestionKind.TRUE_FALSE,
+        prompt=(
+            "Some processors have control bits (e.g. Intel's FTZ and "
+            "DAZ) that replace very small intermediate results with zero "
+            "in favor of speed.  Enabling them complies with the IEEE "
+            "754 standard."
+        ),
+        snippet="/* _MM_SET_FLUSH_ZERO_MODE(_MM_FLUSH_ZERO_ON); */",
+        correct=TFAnswer.FALSE,
+        explanation=(
+            "FTZ/DAZ eliminate the standard's gradual underflow "
+            "(denormalized numbers); on some hardware they are on by "
+            "default, surprising computations that rely on tiny values."
+        ),
+        demonstrate=demo_flush_to_zero,
+        chance_rate=0.5,
+    ),
+    Question(
+        qid="opt_level",
+        label="Standard-compliant Level",
+        section=Section.OPTIMIZATION,
+        kind=QuestionKind.MULTIPLE_CHOICE,
+        prompt=(
+            "Typical compilers offer optimization levels -O0 through "
+            "-O3 and -Ofast.  Which is generally considered the highest "
+            "level that still preserves standard-compliant floating "
+            "point behavior?"
+        ),
+        snippet="cc -O? program.c",
+        correct="-O2",
+        choices=OPT_LEVEL_CHOICES,
+        explanation=(
+            "Typically -O2; -O3 additionally allows multiply-add "
+            "contraction (MADD), and -Ofast implies --ffast-math."
+        ),
+        demonstrate=demo_opt_level,
+        chance_rate=1.0 / len(OPT_LEVEL_CHOICES),
+    ),
+    Question(
+        qid="fast_math",
+        label="Fast-math",
+        section=Section.OPTIMIZATION,
+        kind=QuestionKind.TRUE_FALSE,
+        prompt=(
+            "Compilers typically have a --ffast-math option enabling "
+            "aggressive floating point optimizations.  Using it can "
+            "result in behavior that does not comply with the IEEE 754 "
+            "standard."
+        ),
+        snippet="cc -O2 --ffast-math program.c",
+        correct=TFAnswer.TRUE,
+        explanation=(
+            "Fast-math is 'the least conforming but fastest math mode': "
+            "it reassociates, assumes finite math, ignores signed zeros, "
+            "uses reciprocals, and flushes denormals."
+        ),
+        demonstrate=demo_fast_math,
+        chance_rate=0.5,
+    ),
+)
+
+#: Figure 15 row order, by question id.
+OPTIMIZATION_QUESTION_ORDER: tuple[str, ...] = tuple(
+    q.qid for q in OPTIMIZATION_QUESTIONS
+)
+
+_BY_ID = {q.qid: q for q in OPTIMIZATION_QUESTIONS}
+
+
+def optimization_question(qid: str) -> Question:
+    """Look up an optimization question by id."""
+    return _BY_ID[qid]

@@ -1,0 +1,171 @@
+"""Interactive and batch quiz administration.
+
+:func:`run_interactive` administers the survey's quizzes on a terminal
+(used by ``python -m repro quiz``); :func:`grade` scores a response set
+and renders a report card with per-question explanations and — the part
+no paper survey could offer — the executable demonstration of each
+answer the participant missed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Mapping
+
+from repro.quiz.core import CORE_QUESTIONS
+from repro.quiz.model import Question, QuestionKind, TFAnswer
+from repro.quiz.optimization import OPTIMIZATION_QUESTIONS
+from repro.quiz.scoring import (
+    CORE_CHANCE,
+    OPT_TF_CHANCE,
+    QuizScore,
+    score_core,
+    score_optimization,
+)
+from repro.quiz.suspicion import SUSPICION_ITEMS
+
+__all__ = ["GradeReport", "grade", "run_interactive", "all_questions"]
+
+
+def all_questions() -> tuple[Question, ...]:
+    """Core followed by optimization questions, in instrument order."""
+    return CORE_QUESTIONS + OPTIMIZATION_QUESTIONS
+
+
+@dataclasses.dataclass(frozen=True)
+class GradeReport:
+    """A graded submission."""
+
+    core: QuizScore
+    optimization: QuizScore
+    missed: tuple[str, ...]  # question ids answered incorrectly
+
+    def render(self, *, show_demos: bool = False) -> str:
+        """Report card text; with ``show_demos`` each missed question's
+        ground truth demonstration is executed and included."""
+        lines = [
+            f"core quiz:         {self.core.correct}/{self.core.total} "
+            f"correct (chance {CORE_CHANCE:.1f}), "
+            f"{self.core.incorrect} incorrect, "
+            f"{self.core.dont_know} don't-know, "
+            f"{self.core.unanswered} unanswered",
+            f"optimization quiz: "
+            f"{self.optimization.correct}/{self.optimization.total} correct "
+            f"(chance {OPT_TF_CHANCE:.1f} on the T/F questions), "
+            f"{self.optimization.incorrect} incorrect, "
+            f"{self.optimization.dont_know} don't-know, "
+            f"{self.optimization.unanswered} unanswered",
+        ]
+        if self.missed:
+            lines.append("missed questions:")
+            lookup = {q.qid: q for q in all_questions()}
+            for qid in self.missed:
+                question = lookup[qid]
+                correct = (
+                    question.correct.value
+                    if isinstance(question.correct, TFAnswer)
+                    else question.correct
+                )
+                lines.append(f"  {question.label}: correct answer is "
+                             f"{correct!s} — {question.explanation}")
+                if show_demos and question.demonstrate is not None:
+                    demo = question.verify_ground_truth()
+                    lines.extend("    " + line for line in
+                                 demo.render().splitlines())
+        return "\n".join(lines)
+
+
+def grade(responses: Mapping[str, TFAnswer | str]) -> GradeReport:
+    """Grade a full response set (core + optimization question ids)."""
+    core = score_core(responses)
+    optimization = score_optimization(responses, include_multiple_choice=True)
+    missed = tuple(
+        q.qid for q in all_questions() if q.grade(
+            responses.get(q.qid, TFAnswer.UNANSWERED)
+        ) is False
+    )
+    return GradeReport(core=core, optimization=optimization, missed=missed)
+
+
+_TF_KEYS = {
+    "t": TFAnswer.TRUE,
+    "true": TFAnswer.TRUE,
+    "f": TFAnswer.FALSE,
+    "false": TFAnswer.FALSE,
+    "d": TFAnswer.DONT_KNOW,
+    "dk": TFAnswer.DONT_KNOW,
+    "": TFAnswer.UNANSWERED,
+}
+
+
+def run_interactive(
+    ask: Callable[[str], str] | None = None,
+    emit: Callable[[str], None] = print,
+    *,
+    include_suspicion: bool = True,
+    show_demos: bool = True,
+) -> GradeReport:
+    """Administer the quizzes on a terminal.
+
+    ``ask``/``emit`` are injectable for testing.  Accepts ``t``/``f``/
+    ``d`` (don't know) or empty (skip) for true/false questions, an
+    option name or number for multiple choice, and ``1``–``5`` for the
+    suspicion items.
+    """
+    if ask is None:
+        # Resolve the builtin at call time so tests can monkeypatch it.
+        import builtins
+
+        ask = builtins.input
+    responses: dict[str, TFAnswer | str] = {}
+    emit("Floating point understanding quiz (Dinda & Hetland, IPDPS 2018)")
+    emit("Answer t(rue) / f(alse) / d(on't know), or press enter to skip.\n")
+    for number, question in enumerate(all_questions(), start=1):
+        emit(f"Q{number}. {question.prompt}")
+        if question.snippet:
+            emit("    " + question.snippet.replace("\n", "\n    "))
+        if question.kind is QuestionKind.TRUE_FALSE:
+            while True:
+                raw = ask("  [t/f/d] > ").strip().lower()
+                if raw in _TF_KEYS:
+                    responses[question.qid] = _TF_KEYS[raw]
+                    break
+                emit("  please answer t, f, d, or press enter to skip")
+        else:
+            emit("  options: " + ", ".join(
+                f"{i}={c}" for i, c in enumerate(question.choices, start=1)
+            ) + ", d=don't know")
+            while True:
+                raw = ask("  > ").strip().lower()
+                if raw in ("d", "dk"):
+                    responses[question.qid] = "dont-know"
+                    break
+                if raw == "":
+                    responses[question.qid] = "unanswered"
+                    break
+                if raw in question.choices:
+                    responses[question.qid] = raw
+                    break
+                if raw.isdigit() and 1 <= int(raw) <= len(question.choices):
+                    responses[question.qid] = question.choices[int(raw) - 1]
+                    break
+                emit("  please pick an option number/name, d, or enter")
+        emit("")
+
+    if include_suspicion:
+        emit("Suspicion quiz: a simulation ran; the sticky condition codes")
+        emit("report each condition below occurred at least once. Rate your")
+        emit("suspicion of the results from 1 (none) to 5 (maximum).\n")
+        for item in SUSPICION_ITEMS:
+            emit(f"{item.label}: {item.description}")
+            while True:
+                raw = ask("  [1-5] > ").strip()
+                if raw in ("1", "2", "3", "4", "5"):
+                    responses[f"suspicion_{item.qid}"] = raw
+                    break
+                emit("  please answer 1-5")
+            emit("")
+
+    report = grade(responses)
+    emit(report.render(show_demos=show_demos))
+    return report

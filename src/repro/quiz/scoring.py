@@ -1,0 +1,122 @@
+"""Scoring for quiz responses.
+
+Matches the paper's tabulation (Figure 12): every question lands in
+exactly one of four buckets — correct, incorrect, don't know, or
+unanswered.  The optimization-quiz *score* covers only its three
+true/false questions; the multiple-choice Standard-compliant Level
+question is tabulated per-question (Figure 15) but "not included as it
+is not a T/F question" in the aggregate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping
+
+from repro.quiz.core import CORE_QUESTIONS
+from repro.quiz.model import Question, QuestionKind, TFAnswer
+from repro.quiz.optimization import OPTIMIZATION_QUESTIONS
+
+__all__ = [
+    "QuizScore",
+    "score_questions",
+    "score_core",
+    "score_optimization",
+    "chance_score",
+    "CORE_CHANCE",
+    "OPT_TF_CHANCE",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class QuizScore:
+    """Bucket counts for one participant on one quiz."""
+
+    correct: int
+    incorrect: int
+    dont_know: int
+    unanswered: int
+
+    @property
+    def total(self) -> int:
+        """Number of questions scored."""
+        return self.correct + self.incorrect + self.dont_know + self.unanswered
+
+    @property
+    def answered(self) -> int:
+        """Number of substantive (true/false or choice) commitments."""
+        return self.correct + self.incorrect
+
+    def __add__(self, other: "QuizScore") -> "QuizScore":
+        return QuizScore(
+            self.correct + other.correct,
+            self.incorrect + other.incorrect,
+            self.dont_know + other.dont_know,
+            self.unanswered + other.unanswered,
+        )
+
+
+def score_questions(
+    questions: Iterable[Question],
+    responses: Mapping[str, TFAnswer | str],
+) -> QuizScore:
+    """Score ``responses`` (a map from question id to answer) against
+    ``questions``.  Missing responses count as unanswered."""
+    correct = incorrect = dont_know = unanswered = 0
+    for question in questions:
+        answer = responses.get(question.qid, TFAnswer.UNANSWERED)
+        if isinstance(answer, TFAnswer) and answer is TFAnswer.UNANSWERED:
+            unanswered += 1
+            continue
+        if isinstance(answer, TFAnswer) and answer is TFAnswer.DONT_KNOW:
+            dont_know += 1
+            continue
+        if isinstance(answer, str) and answer in ("dont-know", ""):
+            dont_know += 1
+            continue
+        if isinstance(answer, str) and answer == "unanswered":
+            unanswered += 1
+            continue
+        graded = question.grade(answer)
+        if graded is True:
+            correct += 1
+        elif graded is False:
+            incorrect += 1
+        else:  # pragma: no cover - covered by the explicit branches above
+            dont_know += 1
+    return QuizScore(correct, incorrect, dont_know, unanswered)
+
+
+def score_core(responses: Mapping[str, TFAnswer | str]) -> QuizScore:
+    """Score the 15-question core quiz (max 15)."""
+    return score_questions(CORE_QUESTIONS, responses)
+
+
+def score_optimization(
+    responses: Mapping[str, TFAnswer | str], *, include_multiple_choice: bool = False
+) -> QuizScore:
+    """Score the optimization quiz.
+
+    By default only the three T/F questions count (max 3), matching
+    Figure 12's note; pass ``include_multiple_choice=True`` to add the
+    Standard-compliant Level question.
+    """
+    questions = [
+        q
+        for q in OPTIMIZATION_QUESTIONS
+        if include_multiple_choice or q.kind is QuestionKind.TRUE_FALSE
+    ]
+    return score_questions(questions, responses)
+
+
+def chance_score(questions: Iterable[Question]) -> float:
+    """Expected number correct under uniform guessing among substantive
+    options (the paper's 'chance' baseline: 7.5/15 core, 1.5/3 opt)."""
+    return sum(q.chance_rate for q in questions)
+
+
+#: The paper's chance baselines.
+CORE_CHANCE: float = chance_score(CORE_QUESTIONS)
+OPT_TF_CHANCE: float = chance_score(
+    q for q in OPTIMIZATION_QUESTIONS if q.kind is QuestionKind.TRUE_FALSE
+)

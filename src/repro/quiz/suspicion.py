@@ -1,0 +1,130 @@
+"""The suspicion quiz (paper Section II-D).
+
+The scenario: a scientific simulation is wrapped with code that reads
+the sticky floating point condition codes afterward and reports which
+exceptional conditions occurred at least once.  For each condition the
+participant rates, on a 5-point Likert scale, how suspicious the
+occurrence would make them of the simulation's results.
+
+There are no wrong answers on the instrument; the paper's analysis
+compares responses against an "arguably reasonable ranking": Invalid
+(NaN) is by far the most suspicious, then Overflow (infinity), with
+Underflow, Precision, and Denorm common and usually benign.  The
+``reference_level`` fields encode that ranking, and each item's
+rationale can be *exercised* with :mod:`repro.fpspy`'s workloads.
+"""
+
+from __future__ import annotations
+
+from repro.fpenv.flags import FPFlag
+from repro.quiz.model import LikertItem
+
+__all__ = [
+    "SUSPICION_ITEMS",
+    "SUSPICION_ORDER",
+    "suspicion_item",
+    "LIKERT_SCALE",
+    "FLAG_FOR_ITEM",
+    "reference_ranking",
+]
+
+#: Likert levels: 1 = not suspicious at all ... 5 = maximally suspicious.
+LIKERT_SCALE: tuple[int, ...] = (1, 2, 3, 4, 5)
+
+SUSPICION_ITEMS: tuple[LikertItem, ...] = (
+    LikertItem(
+        qid="overflow",
+        label="Overflow",
+        description=(
+            "The result of an operation was an infinity (the computation "
+            "exceeded the largest representable value at least once)."
+        ),
+        reference_level=4,
+        rationale=(
+            "Usually a sign of trouble in real code: an infinity can "
+            "wash back out (1/inf = 0) and contaminate results invisibly."
+        ),
+    ),
+    LikertItem(
+        qid="underflow",
+        label="Underflow",
+        description=(
+            "The result of an operation was a zero (a nonzero exact "
+            "result was too tiny to represent and became 0)."
+        ),
+        reference_level=2,
+        rationale=(
+            "Probably not a sign of trouble: tiny results collapsing to "
+            "zero is routine in converged iterations and probabilities."
+        ),
+    ),
+    LikertItem(
+        qid="precision",
+        label="Precision",
+        description=(
+            "The result of an operation required rounding, losing some "
+            "precision relative to the exact result."
+        ),
+        reference_level=2,
+        rationale=(
+            "Rounding is pervasive — nearly every operation rounds; it is "
+            "only a problem if the algorithm's numerics were not designed "
+            "for it."
+        ),
+    ),
+    LikertItem(
+        qid="invalid",
+        label="Invalid",
+        description=(
+            "The result of an operation was a NaN (an invalid operation "
+            "such as 0/0, inf - inf, or sqrt of a negative occurred)."
+        ),
+        reference_level=5,
+        rationale=(
+            "Almost invariably serious trouble in real code: something "
+            "mathematically meaningless happened.  Maximum suspicion is "
+            "warranted."
+        ),
+    ),
+    LikertItem(
+        qid="denorm",
+        label="Denorm",
+        description=(
+            "The result of an operation was a denormalized (subnormal) "
+            "number — a value very near zero with reduced precision."
+        ),
+        reference_level=2,
+        rationale=(
+            "Common and usually benign given sound algorithm design; "
+            "suspicious only if very tiny nonzero values are unexpected."
+        ),
+    ),
+)
+
+#: Figure 22 series order.
+SUSPICION_ORDER: tuple[str, ...] = tuple(item.qid for item in SUSPICION_ITEMS)
+
+#: Map from suspicion item to the sticky flag fpspy monitors for it.
+FLAG_FOR_ITEM: dict[str, FPFlag] = {
+    "overflow": FPFlag.OVERFLOW,
+    "underflow": FPFlag.UNDERFLOW,
+    "precision": FPFlag.INEXACT,
+    "invalid": FPFlag.INVALID,
+    "denorm": FPFlag.DENORMAL_RESULT,
+}
+
+_BY_ID = {item.qid: item for item in SUSPICION_ITEMS}
+
+
+def suspicion_item(qid: str) -> LikertItem:
+    """Look up a suspicion item by id."""
+    return _BY_ID[qid]
+
+
+def reference_ranking() -> list[str]:
+    """Item ids from most to least reference suspicion (ties broken by
+    instrument order): invalid >> overflow >> the rest."""
+    return sorted(
+        SUSPICION_ORDER,
+        key=lambda qid: (-_BY_ID[qid].reference_level, SUSPICION_ORDER.index(qid)),
+    )

@@ -1,0 +1,16 @@
+"""Plain-text rendering of tables and charts, in the paper's style."""
+
+from repro.reporting.tables import format_count_percent, render_table
+from repro.reporting.charts import (
+    render_histogram,
+    render_profile,
+    render_stacked_bars,
+)
+
+__all__ = [
+    "render_table",
+    "format_count_percent",
+    "render_histogram",
+    "render_stacked_bars",
+    "render_profile",
+]

@@ -1,0 +1,93 @@
+"""Plain-text charts: histograms, stacked bars, and Likert profiles.
+
+These render the paper's chart figures (13, 16–22) as terminal
+graphics so a bench run shows the same *shape* the paper plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_histogram", "render_stacked_bars", "render_profile"]
+
+
+def render_histogram(
+    counts: Mapping[int, int],
+    *,
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Horizontal-bar histogram keyed by integer bins.
+
+    >>> print(render_histogram({0: 2, 1: 4}, width=4))
+     0 |##    2
+     1 |####  4
+    """
+    if not counts:
+        raise ValueError("histogram needs at least one bin")
+    lines = [title] if title else []
+    peak = max(counts.values()) or 1
+    lo, hi = min(counts), max(counts)
+    for bin_value in range(lo, hi + 1):
+        count = counts.get(bin_value, 0)
+        bar = "#" * max(0, round(width * count / peak))
+        lines.append(f"{bin_value:2d} |{bar:<{width}}{count:4d}")
+    return "\n".join(lines)
+
+
+def render_stacked_bars(
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    segments: Sequence[str],
+    *,
+    title: str = "",
+    width: int = 60,
+    total: float | None = None,
+) -> str:
+    """Stacked horizontal bars (one row per factor level).
+
+    Each row maps segment name to a value; segments are drawn with
+    distinct fill characters in the given order, scaled so ``total``
+    (default: the max row sum) spans ``width`` characters.
+    """
+    fills = "#=+-.oxz"
+    if len(segments) > len(fills):
+        raise ValueError(f"at most {len(fills)} segments supported")
+    row_sums = [sum(values.get(s, 0.0) for s in segments) for _, values in rows]
+    scale_total = total if total is not None else (max(row_sums) or 1.0)
+    label_width = max((len(label) for label, _ in rows), default=0)
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{fill}={segment}" for fill, segment in zip(fills, segments)
+    )
+    lines.append(f"  [{legend}]")
+    for label, values in rows:
+        bar = ""
+        for fill, segment in zip(fills, segments):
+            chars = round(width * values.get(segment, 0.0) / scale_total)
+            bar += fill * chars
+        lines.append(f"{label:<{label_width}} |{bar}")
+    return "\n".join(lines)
+
+
+def render_profile(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object],
+    *,
+    title: str = "",
+) -> str:
+    """Tabular rendering of multi-series distributions (Figure 22 style:
+    one column per x value, one row per series, cells are percents)."""
+    lines = [title] if title else []
+    label_width = max(len(name) for name in series)
+    header = " " * label_width + "  " + "".join(
+        f"{str(x):>8}" for x in x_labels
+    )
+    lines.append(header)
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(f"series {name!r} length mismatch")
+        row = f"{name:<{label_width}}  " + "".join(
+            f"{value:8.1f}" for value in values
+        )
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Plain-text table rendering in the paper's style.
+
+Analysis results render to aligned ASCII tables so the benchmark
+harness can print exactly the rows each paper figure reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_count_percent"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+    aligns: Sequence[str] | None = None,
+) -> str:
+    """Render an aligned table.
+
+    ``aligns`` is a per-column sequence of ``"l"``/``"r"`` (defaults to
+    left for the first column, right for the rest, matching the paper's
+    n/% tables).
+    """
+    if aligns is None:
+        aligns = ["l"] + ["r"] * (len(headers) - 1)
+    if len(aligns) != len(headers):
+        raise ValueError("aligns length must match headers length")
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        cells.append([_format_cell(value) for value in row])
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    for index, row in enumerate(cells):
+        padded = [
+            cell.rjust(width) if align == "r" else cell.ljust(width)
+            for cell, width, align in zip(row, widths, aligns)
+        ]
+        lines.append(" | ".join(padded).rstrip())
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_count_percent(count: int, total: int) -> tuple[int, float]:
+    """The paper's ``n`` / ``%`` column pair."""
+    if total <= 0:
+        raise ValueError("total must be positive")
+    return count, 100.0 * count / total

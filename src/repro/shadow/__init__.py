@@ -1,0 +1,30 @@
+"""Shadow precision execution and error localization.
+
+The second tool the paper's conclusions call for: run the same
+computation at working precision and at arbitrary precision (exact
+rationals when possible, a 240-bit binary format otherwise), compare,
+and point at the operation that lost the accuracy.
+
+>>> from repro.optsim import parse_expr
+>>> from repro.shadow import shadow_evaluate
+>>> result = shadow_evaluate(parse_expr("(a + b) - a"), {"a": 2.0**53, "b": 1.0})
+>>> result.suspicious
+True
+"""
+
+from repro.shadow.shadow import (
+    WIDE_FORMAT,
+    ShadowResult,
+    shadow_evaluate,
+    ulp_distance,
+)
+from repro.shadow.localize import NodeError, localize_errors
+
+__all__ = [
+    "shadow_evaluate",
+    "ShadowResult",
+    "WIDE_FORMAT",
+    "ulp_distance",
+    "localize_errors",
+    "NodeError",
+]

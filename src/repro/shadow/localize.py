@@ -1,0 +1,83 @@
+"""Error localization: which operation in an expression loses accuracy.
+
+In the spirit of the dynamic-analysis tools the paper cites (Benz et
+al.'s accuracy-problem finder, cancellation detection), this ranks each
+operation node by the *local* error it introduces: the difference
+between the node's working-precision result and the correctly rounded
+working-precision value of its exact (shadow) result, measured in ULPs.
+Catastrophic cancellation shows up as a node whose inputs are accurate
+but whose output is far from the exact value's rounding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.optsim.ast import Const, Expr, Var, walk
+from repro.optsim.evaluator import evaluate
+from repro.optsim.machine import STRICT, MachineConfig
+from repro.shadow.shadow import WIDE_FORMAT, ulp_distance
+from repro.softfloat import SoftFloat, convert_format, sf
+
+__all__ = ["NodeError", "localize_errors"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeError:
+    """Accuracy accounting for one operation node."""
+
+    node: Expr
+    working: SoftFloat
+    shadow_exact: Fraction | None
+    total_ulps: float | None  # error of working vs exact subtree value
+
+    def describe(self) -> str:
+        ulps = "n/a" if self.total_ulps is None else f"{self.total_ulps:.2f}"
+        return f"'{self.node}' = {self.working!s} (error {ulps} ulps)"
+
+
+def localize_errors(
+    expr: Expr,
+    bindings: dict[str, object],
+    *,
+    config: MachineConfig = STRICT,
+) -> list[NodeError]:
+    """Per-node accuracy report, worst first.
+
+    Every non-leaf node is evaluated both in the working format and in
+    the wide shadow format; the ULP distance of the working value from
+    the shadow value of the *same subtree* is the node's accumulated
+    error.  The root's entry equals the full shadow comparison.
+    """
+    working_bindings = {
+        name: sf(value, config.fmt) if not isinstance(value, SoftFloat)
+        else value
+        for name, value in bindings.items()
+    }
+    wide_config = STRICT.replace(name="shadow-wide", fmt=WIDE_FORMAT)
+    wide_bindings = {
+        name: convert_format(value, WIDE_FORMAT)
+        for name, value in working_bindings.items()
+    }
+    reports = []
+    for node in walk(expr):
+        if isinstance(node, (Const, Var)):
+            continue
+        working = evaluate(node, working_bindings, config).value
+        shadow = evaluate(node, wide_bindings, wide_config).value
+        if working.is_finite and shadow.is_finite:
+            exact = shadow.to_fraction()
+            ulps = ulp_distance(working, exact)
+        else:
+            exact, ulps = None, None
+        reports.append(
+            NodeError(
+                node=node, working=working, shadow_exact=exact,
+                total_ulps=ulps,
+            )
+        )
+    reports.sort(
+        key=lambda r: (r.total_ulps is None, -(r.total_ulps or 0.0))
+    )
+    return reports

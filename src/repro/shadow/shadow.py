@@ -1,0 +1,191 @@
+"""Shadow execution: re-run floating point code at higher precision.
+
+The paper's conclusions call for a system that lets "code written using
+floating point ... be seamlessly compiled to use arbitrary precision"
+so developers can sanity-check results (and any optimizations they
+chose).  This module does that for :mod:`repro.optsim` expressions: the
+same tree is evaluated in the working format and in a reference — an
+exact rational evaluation when the expression is sqrt-free, otherwise a
+very wide binary format — and the divergence is quantified in relative
+error and ULPs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.optsim.ast import Expr, Unary, UnOp, walk
+from repro.optsim.evaluator import evaluate
+from repro.optsim.machine import STRICT, MachineConfig
+from repro.softfloat import SoftFloat, convert_format, sf
+from repro.softfloat.formats import BINARY64, FloatFormat
+
+__all__ = ["ShadowResult", "shadow_evaluate", "WIDE_FORMAT", "ulp_distance"]
+
+#: The default reference format: 64 extra significand bits over
+#: binary128 (beyond any double-rounding artifact of the workloads here).
+WIDE_FORMAT = FloatFormat(19, 240, "wide240")
+
+
+def ulp_distance(value: SoftFloat, reference: Fraction) -> float:
+    """Distance between a finite ``value`` and an exact ``reference`` in
+    units of ``value``'s last place (0.5 = best possible rounding)."""
+    from repro.softfloat.functions import ulp as ulp_of
+
+    gap = ulp_of(value).to_fraction()
+    if gap == 0:  # pragma: no cover - ulp is never zero
+        raise ZeroDivisionError("zero ulp")
+    ratio = abs(value.to_fraction() - reference) / gap
+    try:
+        return float(ratio)
+    except OverflowError:
+        return float("inf")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShadowResult:
+    """Outcome of one shadow evaluation."""
+
+    expr: Expr
+    working: SoftFloat
+    reference: SoftFloat
+    reference_exact: Fraction | None
+    abs_error: float
+    rel_error: float
+    ulps: float | None
+
+    @property
+    def suspicious(self) -> bool:
+        """True when the working result differs from the reference by
+        more than 1 ULP (i.e. beyond a single final rounding), or when
+        one side is exceptional and the other is not."""
+        if self.working.is_nan or self.reference.is_nan:
+            return self.working.is_nan != self.reference.is_nan
+        if self.working.is_inf or self.reference.is_inf:
+            return not self.working.same_bits(
+                convert_format(self.reference, self.working.fmt)
+            )
+        return self.ulps is not None and self.ulps > 1.0
+
+    def describe(self) -> str:
+        """One-line summary."""
+        ulps = "n/a" if self.ulps is None else f"{self.ulps:.2f}"
+        verdict = "SUSPICIOUS" if self.suspicious else "consistent"
+        return (
+            f"'{self.expr}': working={self.working!s} "
+            f"reference={self.reference!s} rel_err={self.rel_error:.3e} "
+            f"ulps={ulps} -> {verdict}"
+        )
+
+
+def _has_sqrt(expr: Expr) -> bool:
+    return any(
+        isinstance(node, Unary) and node.op is UnOp.SQRT for node in walk(expr)
+    )
+
+
+def _exact_evaluate(expr: Expr, bindings: dict[str, SoftFloat]) -> Fraction | None:
+    """Exact rational evaluation; None when NaN/inf arises or the tree
+    contains sqrt."""
+    from repro.optsim.ast import FMA, Binary, BinOp, Const, Var
+    from repro.errors import ParseError
+    from repro.softfloat.parse import _parse_exact
+
+    def go(node: Expr) -> Fraction | None:
+        if isinstance(node, Const):
+            try:
+                return _parse_exact(node.literal)
+            except ParseError:
+                return None  # inf/nan literal
+        if isinstance(node, Var):
+            value = bindings[node.name]
+            if not value.is_finite:
+                return None
+            return value.to_fraction()
+        if isinstance(node, Unary):
+            inner = go(node.operand)
+            if inner is None:
+                return None
+            if node.op is UnOp.NEG:
+                return -inner
+            if node.op is UnOp.ABS:
+                return abs(inner)
+            return None  # sqrt: not rational in general
+        if isinstance(node, Binary):
+            left, right = go(node.left), go(node.right)
+            if left is None or right is None:
+                return None
+            if node.op is BinOp.ADD:
+                return left + right
+            if node.op is BinOp.SUB:
+                return left - right
+            if node.op is BinOp.MUL:
+                return left * right
+            if node.op is BinOp.DIV:
+                return left / right if right != 0 else None
+            if node.op is BinOp.MIN:
+                return min(left, right)
+            if node.op is BinOp.MAX:
+                return max(left, right)
+            return None  # REM: defined, but exact rarely useful here
+        if isinstance(node, FMA):
+            a, b, c = go(node.a), go(node.b), go(node.c)
+            if a is None or b is None or c is None:
+                return None
+            return a * b + c
+        raise TypeError(f"unknown node {type(node).__name__}")
+
+    try:
+        return go(expr)
+    except ZeroDivisionError:  # pragma: no cover - guarded above
+        return None
+
+
+def shadow_evaluate(
+    expr: Expr,
+    bindings: dict[str, object],
+    *,
+    config: MachineConfig = STRICT,
+    reference_fmt: FloatFormat = WIDE_FORMAT,
+) -> ShadowResult:
+    """Evaluate ``expr`` in the working config and against the high-
+    precision/exact reference.
+
+    ``bindings`` values may be plain numbers; they are converted into
+    the working format first (the reference sees the *same* rounded
+    inputs the working run saw — shadow execution diagnoses the
+    computation, not the input conversion).
+    """
+    working_bindings = {
+        name: sf(value, config.fmt) if not isinstance(value, SoftFloat)
+        else value
+        for name, value in bindings.items()
+    }
+    working = evaluate(expr, working_bindings, config).value
+
+    exact = None if _has_sqrt(expr) else _exact_evaluate(expr, working_bindings)
+    if exact is not None:
+        reference = sf(exact, reference_fmt)
+    else:
+        wide_config = STRICT.replace(name="shadow-wide", fmt=reference_fmt)
+        wide_bindings = {
+            name: convert_format(value, reference_fmt)
+            for name, value in working_bindings.items()
+        }
+        reference = evaluate(expr, wide_bindings, wide_config).value
+
+    if working.is_nan or reference.is_nan or working.is_inf or reference.is_inf:
+        return ShadowResult(
+            expr=expr, working=working, reference=reference,
+            reference_exact=exact, abs_error=float("nan"),
+            rel_error=float("nan"), ulps=None,
+        )
+    ref_value = exact if exact is not None else reference.to_fraction()
+    err = abs(working.to_fraction() - ref_value)
+    rel = float(err / abs(ref_value)) if ref_value != 0 else float(err != 0)
+    return ShadowResult(
+        expr=expr, working=working, reference=reference,
+        reference_exact=exact, abs_error=float(err), rel_error=rel,
+        ulps=ulp_distance(working, ref_value),
+    )

@@ -1,0 +1,208 @@
+"""Correctly rounded add, subtract, multiply, divide, and remainder.
+
+Every operation follows the same shape: handle NaNs and the special
+operand classes first (raising ``invalid`` / ``divide-by-zero`` where
+IEEE 754 requires), then compute an *exact* integer intermediate and let
+:func:`repro.softfloat._round.round_and_pack` produce the correctly
+rounded encoding and the remaining flags.
+
+The exact intermediates use Python's arbitrary precision integers, so
+addition aligns operands exactly rather than with guard/round/sticky
+registers — slower than hardware technique, trivially correct.
+"""
+
+from __future__ import annotations
+
+from repro.fpenv.env import FPEnv, get_env
+from repro.fpenv.flags import FPFlag
+from repro.fpenv.rounding import RoundingMode
+from repro.softfloat._round import round_and_pack
+from repro.softfloat.value import SoftFloat
+
+__all__ = ["fp_add", "fp_sub", "fp_mul", "fp_div", "fp_remainder"]
+
+
+def _quiet(x: SoftFloat) -> SoftFloat:
+    """Return ``x`` with its NaN quiet bit set (payload preserved)."""
+    return SoftFloat(x.fmt, x.bits | x.fmt.quiet_bit)
+
+
+def propagate_nan(
+    env: FPEnv, operation: str, *operands: SoftFloat
+) -> SoftFloat:
+    """IEEE NaN propagation: raise ``invalid`` if any operand is a
+    signaling NaN, then return the first NaN operand, quieted."""
+    if any(x.is_signaling_nan for x in operands):
+        env.raise_flags(FPFlag.INVALID, operation)
+    for x in operands:
+        if x.is_nan:
+            return _quiet(x)
+    raise AssertionError("propagate_nan called without a NaN operand")
+
+
+def _invalid_nan(env: FPEnv, operation: str, fmt) -> SoftFloat:
+    """Raise ``invalid`` and return the default quiet NaN."""
+    env.raise_flags(FPFlag.INVALID, operation)
+    return SoftFloat(fmt, fmt.quiet_nan_bits())
+
+
+def _apply_daz(env: FPEnv, x: SoftFloat) -> SoftFloat:
+    """Denormals-are-zero: squash subnormal inputs to signed zero."""
+    if env.daz and x.is_subnormal:
+        return SoftFloat.zero(x.fmt, x.sign)
+    return x
+
+
+def _exact_zero_sign(env: FPEnv) -> int:
+    """Sign of an exact zero produced by cancellation: +0 except under
+    roundTowardNegative, where it is -0 (IEEE 754 §6.3)."""
+    return 1 if env.rounding is RoundingMode.TOWARD_NEGATIVE else 0
+
+
+def fp_add(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """IEEE addition: ``a + b``."""
+    env = env or get_env()
+    fmt = a.fmt
+    if a.is_nan or b.is_nan:
+        return propagate_nan(env, "add", a, b)
+    a, b = _apply_daz(env, a), _apply_daz(env, b)
+
+    if a.is_inf or b.is_inf:
+        if a.is_inf and b.is_inf:
+            if a.sign != b.sign:
+                return _invalid_nan(env, "add", fmt)  # inf + (-inf)
+            return a
+        return a if a.is_inf else b
+
+    if a.is_zero and b.is_zero:
+        if a.sign == b.sign:
+            return a
+        return SoftFloat.zero(fmt, _exact_zero_sign(env))
+    if a.is_zero:
+        return b
+    if b.is_zero:
+        return a
+
+    m1, e1 = a.significand_value()
+    m2, e2 = b.significand_value()
+    e = min(e1, e2)
+    v1 = (m1 << (e1 - e)) * (-1 if a.sign else 1)
+    v2 = (m2 << (e2 - e)) * (-1 if b.sign else 1)
+    total = v1 + v2
+    if total == 0:
+        return SoftFloat.zero(fmt, _exact_zero_sign(env))
+    sign = 1 if total < 0 else 0
+    bits = round_and_pack(fmt, env, sign, abs(total), e, 0, "add")
+    return SoftFloat(fmt, bits)
+
+
+def fp_sub(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """IEEE subtraction: ``a - b``, defined as ``a + (-b)`` with NaN
+    payloads propagated from the original operands."""
+    env = env or get_env()
+    if a.is_nan or b.is_nan:
+        return propagate_nan(env, "sub", a, b)
+    return fp_add(a, -b, env)
+
+
+def fp_mul(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """IEEE multiplication: ``a * b``."""
+    env = env or get_env()
+    fmt = a.fmt
+    if a.is_nan or b.is_nan:
+        return propagate_nan(env, "mul", a, b)
+    a, b = _apply_daz(env, a), _apply_daz(env, b)
+    sign = a.sign ^ b.sign
+
+    if a.is_inf or b.is_inf:
+        if a.is_zero or b.is_zero:
+            return _invalid_nan(env, "mul", fmt)  # 0 * inf
+        return SoftFloat.inf(fmt, sign)
+    if a.is_zero or b.is_zero:
+        return SoftFloat.zero(fmt, sign)
+
+    m1, e1 = a.significand_value()
+    m2, e2 = b.significand_value()
+    bits = round_and_pack(fmt, env, sign, m1 * m2, e1 + e2, 0, "mul")
+    return SoftFloat(fmt, bits)
+
+
+def fp_div(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """IEEE division: ``a / b``.
+
+    ``x/0`` with finite nonzero ``x`` raises *divide-by-zero* and returns
+    an exact infinity (not a NaN — the paper's *Divide By Zero*
+    question); ``0/0`` and ``inf/inf`` raise *invalid* and return NaN.
+    """
+    env = env or get_env()
+    fmt = a.fmt
+    if a.is_nan or b.is_nan:
+        return propagate_nan(env, "div", a, b)
+    a, b = _apply_daz(env, a), _apply_daz(env, b)
+    sign = a.sign ^ b.sign
+
+    if a.is_inf:
+        if b.is_inf:
+            return _invalid_nan(env, "div", fmt)  # inf / inf
+        return SoftFloat.inf(fmt, sign)
+    if b.is_inf:
+        return SoftFloat.zero(fmt, sign)
+    if b.is_zero:
+        if a.is_zero:
+            return _invalid_nan(env, "div", fmt)  # 0 / 0
+        env.raise_flags(FPFlag.DIV_BY_ZERO, "div")
+        return SoftFloat.inf(fmt, sign)
+    if a.is_zero:
+        return SoftFloat.zero(fmt, sign)
+
+    m1, e1 = a.significand_value()
+    m2, e2 = b.significand_value()
+    # Scale the numerator so the quotient carries `precision + 3`
+    # significant bits; the remainder folds into the sticky marker.
+    extra = fmt.precision + 3 + (m2.bit_length() - m1.bit_length())
+    if extra < 0:
+        extra = 0
+    quotient, remainder = divmod(m1 << extra, m2)
+    sticky = 1 if remainder else 0
+    bits = round_and_pack(fmt, env, sign, quotient, e1 - e2 - extra, sticky, "div")
+    return SoftFloat(fmt, bits)
+
+
+def fp_remainder(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """IEEE ``remainder(a, b) = a - n*b`` with ``n = rint(a/b)`` rounded
+    to nearest-even; always exact for finite operands."""
+    env = env or get_env()
+    fmt = a.fmt
+    if a.is_nan or b.is_nan:
+        return propagate_nan(env, "remainder", a, b)
+    a, b = _apply_daz(env, a), _apply_daz(env, b)
+
+    if a.is_inf or b.is_zero:
+        return _invalid_nan(env, "remainder", fmt)
+    if b.is_inf or a.is_zero:
+        return a  # remainder(x, inf) = x; remainder(±0, y) = ±0
+
+    m1, e1 = a.significand_value()
+    m2, e2 = b.significand_value()
+    # n = round-half-even(|a| / |b|), computed exactly with integers.
+    if e1 >= e2:
+        num, den = m1 << (e1 - e2), m2
+    else:
+        num, den = m1, m2 << (e2 - e1)
+    n, rem = divmod(num, den)
+    double_rem = 2 * rem
+    if double_rem > den or (double_rem == den and (n & 1)):
+        n += 1
+    if a.sign != b.sign:
+        n = -n
+
+    # r = a - n*b, exact at granularity min(e1, e2).
+    e = min(e1, e2)
+    va = (m1 << (e1 - e)) * (-1 if a.sign else 1)
+    vb = (m2 << (e2 - e)) * (-1 if b.sign else 1)
+    r = va - n * vb
+    if r == 0:
+        return SoftFloat.zero(fmt, a.sign)  # zero remainder keeps a's sign
+    sign = 1 if r < 0 else 0
+    bits = round_and_pack(fmt, env, sign, abs(r), e, 0, "remainder")
+    return SoftFloat(fmt, bits)

@@ -1,0 +1,111 @@
+"""IEEE 754-2019 augmented operations.
+
+``augmentedAddition`` and ``augmentedMultiplication`` return the
+rounded result *and the exact rounding error*, such that
+``head + tail == a op b`` exactly.  They were added to the 2019
+standard precisely to support the compensated algorithms in
+:mod:`repro.numerics` without the multi-operation TwoSum dance (and
+without the fragility fast-math introduces there).
+
+Deviations/notes: the standard specifies round-to-nearest *ties toward
+zero* for these operations; this implementation follows the softfloat
+engine's exact-intermediate design instead — the head is the
+round-to-nearest-even result and the tail is its exact complement,
+which satisfies the same head+tail identity (and matches TwoSum).  The
+difference is observable only on ties.
+"""
+
+from __future__ import annotations
+
+from repro.fpenv.env import FPEnv, get_env
+from repro.fpenv.flags import FPFlag
+from repro.softfloat._round import round_and_pack
+from repro.softfloat.arith import fp_add, fp_mul, propagate_nan
+from repro.softfloat.value import SoftFloat
+
+__all__ = ["augmented_addition", "augmented_multiplication"]
+
+
+def _exact_tail(
+    head: SoftFloat, exact_mant: int, exact_exp: int, env: FPEnv
+) -> SoftFloat:
+    """The exact remainder ``(exact) - head`` as a SoftFloat (it is
+    always representable when no over/underflow intervened)."""
+    fmt = head.fmt
+    head_mant, head_exp = head.significand_value()
+    if head.sign:
+        head_mant = -head_mant
+    e = min(exact_exp, head_exp) if head_mant else exact_exp
+    tail_value = (exact_mant << (exact_exp - e)) - (
+        head_mant << (head_exp - e)
+    )
+    if tail_value == 0:
+        return SoftFloat.zero(fmt)
+    sign = 1 if tail_value < 0 else 0
+    bits = round_and_pack(fmt, env, sign, abs(tail_value), e, 0, "augmented")
+    return SoftFloat(fmt, bits)
+
+
+def augmented_addition(
+    a: SoftFloat, b: SoftFloat, env: FPEnv | None = None
+) -> tuple[SoftFloat, SoftFloat]:
+    """``(head, tail)`` with ``head = fl(a + b)`` and
+    ``head + tail == a + b`` exactly.
+
+    Exceptional cases return ``(result, NaN-or-0)``: NaN operands and
+    infinities have no meaningful tail; on overflow of the head the
+    tail is NaN (the exact error is not representable).
+    """
+    env = env or get_env()
+    fmt = a.fmt
+    if a.is_nan or b.is_nan:
+        nan = propagate_nan(env, "augmentedAddition", a, b)
+        return nan, SoftFloat.nan(fmt)
+    head = fp_add(a, b, env)
+    if not head.is_finite:
+        return head, SoftFloat.nan(fmt)
+    if a.is_inf or b.is_inf:  # pragma: no cover - head would be inf
+        return head, SoftFloat.nan(fmt)
+    if a.is_zero and b.is_zero:
+        return head, SoftFloat.zero(fmt)
+    ma, ea = (0, 0) if a.is_zero else a.significand_value()
+    mb, eb = (0, 0) if b.is_zero else b.significand_value()
+    if a.sign:
+        ma = -ma
+    if b.sign:
+        mb = -mb
+    e = min(ea, eb)
+    exact = (ma << (ea - e)) + (mb << (eb - e))
+    scratch = FPEnv()
+    tail = _exact_tail(head, exact, e, scratch)
+    if scratch.any_flag(FPFlag.INEXACT):  # pragma: no cover - invariant
+        raise AssertionError("augmented addition tail was not exact")
+    return head, tail
+
+
+def augmented_multiplication(
+    a: SoftFloat, b: SoftFloat, env: FPEnv | None = None
+) -> tuple[SoftFloat, SoftFloat]:
+    """``(head, tail)`` with ``head = fl(a * b)`` and
+    ``head + tail == a * b`` exactly (NaN tail when not representable,
+    e.g. overflow or subnormal-range heads whose error underflows)."""
+    env = env or get_env()
+    fmt = a.fmt
+    if a.is_nan or b.is_nan:
+        nan = propagate_nan(env, "augmentedMultiplication", a, b)
+        return nan, SoftFloat.nan(fmt)
+    head = fp_mul(a, b, env)
+    if not head.is_finite:
+        return head, SoftFloat.nan(fmt)
+    if a.is_zero or b.is_zero or a.is_inf or b.is_inf:
+        return head, SoftFloat.zero(fmt)
+    ma, ea = a.significand_value()
+    mb, eb = b.significand_value()
+    exact = ma * mb * (1 if a.sign == b.sign else -1)
+    scratch = FPEnv()
+    tail = _exact_tail(head, exact, ea + eb, scratch)
+    if scratch.any_flag(FPFlag.INEXACT):
+        # The exact error is below the subnormal range: per the
+        # standard, deliver NaN (inexact tails are worse than none).
+        return head, SoftFloat.nan(fmt)
+    return head, tail

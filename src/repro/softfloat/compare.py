@@ -1,0 +1,147 @@
+"""IEEE 754 comparison predicates.
+
+Two families, per the standard (§5.6.1 / §5.11):
+
+- *quiet* predicates (``fp_eq``, ``fp_ne``, :func:`fp_compare_quiet`)
+  raise *invalid* only for signaling NaN operands;
+- *signaling* predicates (``fp_lt``, ``fp_le``, ``fp_gt``, ``fp_ge``)
+  raise *invalid* for **any** NaN operand, because an ordered comparison
+  of unordered values is meaningless.
+
+Both families return ``False`` from every ordered predicate when a NaN
+is involved — which is exactly why ``a == a`` can be false (*Identity*)
+— and treat ``-0`` and ``+0`` as equal (*Negative Zero*).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.fpenv.env import FPEnv, get_env
+from repro.fpenv.flags import FPFlag
+from repro.softfloat.value import SoftFloat
+
+__all__ = [
+    "Ordering",
+    "fp_compare_quiet",
+    "fp_compare_signaling",
+    "fp_eq",
+    "fp_ne",
+    "fp_lt",
+    "fp_le",
+    "fp_gt",
+    "fp_ge",
+    "fp_unordered",
+    "total_order_key",
+    "fp_total_order",
+]
+
+
+class Ordering(enum.Enum):
+    """Four-way comparison result."""
+
+    LESS = -1
+    EQUAL = 0
+    GREATER = 1
+    UNORDERED = None
+
+
+def _magnitude_key(x: SoftFloat) -> tuple[int, int]:
+    """Monotone key for finite/infinite magnitudes within one format.
+
+    The IEEE encodings are ordered as unsigned integers within a sign,
+    so the key is simply (biased exponent, fraction).
+    """
+    return (x.biased_exp, x.frac)
+
+
+def _ordered_compare(a: SoftFloat, b: SoftFloat) -> Ordering:
+    """Compare two non-NaN values."""
+    if a.is_zero and b.is_zero:
+        return Ordering.EQUAL  # +0 == -0
+    if a.sign != b.sign:
+        return Ordering.LESS if a.sign else Ordering.GREATER
+    ka, kb = _magnitude_key(a), _magnitude_key(b)
+    if ka == kb:
+        return Ordering.EQUAL
+    smaller_mag = ka < kb
+    if a.sign:  # both negative: larger magnitude is smaller
+        return Ordering.GREATER if smaller_mag else Ordering.LESS
+    return Ordering.LESS if smaller_mag else Ordering.GREATER
+
+
+def fp_compare_quiet(
+    a: SoftFloat, b: SoftFloat, env: FPEnv | None = None
+) -> Ordering:
+    """Quiet four-way comparison; NaNs yield ``UNORDERED`` and raise
+    *invalid* only when signaling."""
+    env = env or get_env()
+    if a.is_signaling_nan or b.is_signaling_nan:
+        env.raise_flags(FPFlag.INVALID, "compare")
+        return Ordering.UNORDERED
+    if a.is_nan or b.is_nan:
+        return Ordering.UNORDERED
+    return _ordered_compare(a, b)
+
+
+def fp_compare_signaling(
+    a: SoftFloat, b: SoftFloat, env: FPEnv | None = None
+) -> Ordering:
+    """Signaling four-way comparison; any NaN raises *invalid*."""
+    env = env or get_env()
+    if a.is_nan or b.is_nan:
+        env.raise_flags(FPFlag.INVALID, "compare")
+        return Ordering.UNORDERED
+    return _ordered_compare(a, b)
+
+
+def fp_eq(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> bool:
+    """Quiet equality: ``compareQuietEqual``.  NaN != anything."""
+    return fp_compare_quiet(a, b, env) is Ordering.EQUAL
+
+
+def fp_ne(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> bool:
+    """Quiet inequality (true when unordered)."""
+    return fp_compare_quiet(a, b, env) is not Ordering.EQUAL
+
+
+def fp_lt(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> bool:
+    """Signaling less-than."""
+    return fp_compare_signaling(a, b, env) is Ordering.LESS
+
+
+def fp_le(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> bool:
+    """Signaling less-or-equal."""
+    return fp_compare_signaling(a, b, env) in (Ordering.LESS, Ordering.EQUAL)
+
+
+def fp_gt(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> bool:
+    """Signaling greater-than."""
+    return fp_compare_signaling(a, b, env) is Ordering.GREATER
+
+
+def fp_ge(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> bool:
+    """Signaling greater-or-equal."""
+    return fp_compare_signaling(a, b, env) in (Ordering.GREATER, Ordering.EQUAL)
+
+
+def fp_unordered(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> bool:
+    """True when the operands do not compare (at least one NaN)."""
+    return fp_compare_quiet(a, b, env) is Ordering.UNORDERED
+
+
+def total_order_key(x: SoftFloat) -> int:
+    """Monotone integer key realizing IEEE 754 ``totalOrder``.
+
+    Orders ``-NaN < -inf < ... < -0 < +0 < ... < +inf < +NaN`` with NaNs
+    ordered by payload.  Never raises flags.
+    """
+    if x.sign:
+        return -x.bits
+    return x.bits + 1  # keep +0 strictly above -0
+
+
+def fp_total_order(a: SoftFloat, b: SoftFloat) -> bool:
+    """IEEE 754 ``totalOrder(a, b)``: true iff ``a`` precedes-or-equals
+    ``b`` in the total ordering."""
+    return total_order_key(a) <= total_order_key(b)

@@ -1,0 +1,112 @@
+"""Correctly rounded composite operations: ``hypot`` and integer powers.
+
+These are §9 recommended operations that naive compositions get subtly
+wrong — ``sqrt(a*a + b*b)`` overflows for large ``a`` even when the
+true hypotenuse is representable, and repeated multiplication
+accumulates rounding.  Both are computed here through *exact* integer
+intermediates with a single final rounding, which makes them useful
+both as library functions and as reference oracles for accuracy
+studies (see ``examples/mixed_precision.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.fpenv.env import FPEnv, get_env
+from repro.fpenv.flags import FPFlag
+from repro.softfloat._round import round_and_pack
+from repro.softfloat.arith import _apply_daz, propagate_nan
+from repro.softfloat.value import SoftFloat
+
+__all__ = ["fp_hypot", "fp_powi"]
+
+
+def fp_hypot(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """Correctly rounded ``sqrt(a**2 + b**2)`` with a single rounding.
+
+    Never overflows or underflows spuriously: the square sum is exact.
+    ``hypot(±inf, anything)`` is +inf — even when the other operand is a
+    quiet NaN (IEEE 754-2008 §9.2.1); signaling NaNs raise *invalid*.
+    """
+    env = env or get_env()
+    fmt = a.fmt
+    if a.is_signaling_nan or b.is_signaling_nan:
+        return propagate_nan(env, "hypot", a, b)
+    if a.is_inf or b.is_inf:
+        return SoftFloat.inf(fmt)
+    if a.is_nan or b.is_nan:
+        return propagate_nan(env, "hypot", a, b)
+    a, b = _apply_daz(env, a), _apply_daz(env, b)
+    if a.is_zero and b.is_zero:
+        return SoftFloat.zero(fmt)
+    if a.is_zero:
+        return abs(b)
+    if b.is_zero:
+        return abs(a)
+
+    ma, ea = a.significand_value()
+    mb, eb = b.significand_value()
+    # Exact a^2 + b^2 at the common granularity 2*min(ea, eb).
+    e = min(ea, eb)
+    sa = ma << (ea - e)
+    sb = mb << (eb - e)
+    total = sa * sa + sb * sb  # exact, at exponent 2e
+
+    # Integer square root with sticky for a single correct rounding.
+    target_bits = 2 * (fmt.precision + 2)
+    shift = max(0, target_bits - total.bit_length())
+    if shift % 2:
+        shift += 1
+    scaled = total << shift
+    root = math.isqrt(scaled)
+    sticky = 0 if root * root == scaled else 1
+    bits = round_and_pack(fmt, env, 0, root, e - shift // 2, sticky, "hypot")
+    return SoftFloat(fmt, bits)
+
+
+def fp_powi(x: SoftFloat, n: int, env: FPEnv | None = None) -> SoftFloat:
+    """Correctly rounded integer power ``x**n`` (single rounding).
+
+    ``x**0`` is 1 for every ``x`` including NaN and infinity (the
+    ``pown`` convention of IEEE 754-2008 §9.2).  Negative exponents go
+    through an exact rational reciprocal.  Exponent magnitude is capped
+    (|n| <= 4096) to bound the exact intermediate's size.
+    """
+    env = env or get_env()
+    fmt = x.fmt
+    if abs(n) > 4096:
+        raise ValueError("pown exponent magnitude capped at 4096")
+    if n == 0:
+        return SoftFloat.one(fmt)
+    if x.is_nan:
+        return propagate_nan(env, "pown", x)
+    x = _apply_daz(env, x)
+    sign = x.sign if n % 2 else 0
+    if x.is_inf:
+        if n > 0:
+            return SoftFloat.inf(fmt, sign)
+        return SoftFloat.zero(fmt, sign)
+    if x.is_zero:
+        if n > 0:
+            return SoftFloat.zero(fmt, sign)
+        env.raise_flags(FPFlag.DIV_BY_ZERO, "pown")
+        return SoftFloat.inf(fmt, sign)
+
+    mant, exp2 = x.significand_value()
+    power = abs(n)
+    exact_mant = mant**power  # exact
+    exact_exp = exp2 * power
+    if n > 0:
+        bits = round_and_pack(fmt, env, sign, exact_mant, exact_exp, 0, "pown")
+        return SoftFloat(fmt, bits)
+    # Negative power: exact rational 1 / (mant^|n| * 2^(exp*|n|)).
+    from repro.softfloat.convert import softfloat_from_fraction
+
+    if exact_exp >= 0:
+        value = Fraction(1, exact_mant * (1 << exact_exp))
+    else:
+        value = Fraction(1 << (-exact_exp), exact_mant)
+    result = softfloat_from_fraction(value, fmt, env)
+    return -result if sign else result

@@ -1,0 +1,82 @@
+"""Fused multiply-add: ``a*b + c`` with a single rounding.
+
+FMA is the subject of the paper's *MADD* optimization question: it was
+added in IEEE 754-2008 (it is not in 754-1985), and because it rounds
+once rather than twice it can compute a *different* result from
+``round(round(a*b) + c)``.  :mod:`repro.optsim` uses this operation to
+exhibit witnesses for that divergence.
+"""
+
+from __future__ import annotations
+
+from repro.fpenv.env import FPEnv, get_env
+from repro.fpenv.flags import FPFlag
+from repro.softfloat._round import round_and_pack
+from repro.softfloat.arith import _apply_daz, _exact_zero_sign, propagate_nan
+from repro.softfloat.value import SoftFloat
+
+__all__ = ["fp_fma"]
+
+
+def fp_fma(
+    a: SoftFloat, b: SoftFloat, c: SoftFloat, env: FPEnv | None = None
+) -> SoftFloat:
+    """Compute ``fusedMultiplyAdd(a, b, c)`` with correct single rounding.
+
+    Special-case policy (documented implementation choices where IEEE
+    754-2008 leaves latitude): ``fma(0, inf, c)`` and ``fma(inf, 0, c)``
+    raise *invalid* and return the default NaN even when ``c`` is a quiet
+    NaN, matching x86 FMA3 behavior.
+    """
+    env = env or get_env()
+    fmt = a.fmt
+
+    # Invalid 0*inf is detected before NaN propagation of `c` (x86 rule),
+    # but a signaling NaN anywhere always takes the NaN path.
+    if a.is_signaling_nan or b.is_signaling_nan or c.is_signaling_nan:
+        return propagate_nan(env, "fma", a, b, c)
+    product_invalid = (a.is_inf and b.is_zero) or (a.is_zero and b.is_inf)
+    if product_invalid and not (a.is_nan or b.is_nan):
+        env.raise_flags(FPFlag.INVALID, "fma")
+        return SoftFloat(fmt, fmt.quiet_nan_bits())
+    if a.is_nan or b.is_nan or c.is_nan:
+        return propagate_nan(env, "fma", a, b, c)
+
+    a, b, c = _apply_daz(env, a), _apply_daz(env, b), _apply_daz(env, c)
+    psign = a.sign ^ b.sign
+
+    if a.is_inf or b.is_inf:
+        if c.is_inf and c.sign != psign:
+            env.raise_flags(FPFlag.INVALID, "fma")
+            return SoftFloat(fmt, fmt.quiet_nan_bits())
+        return SoftFloat.inf(fmt, psign)
+    if c.is_inf:
+        return c
+
+    if a.is_zero or b.is_zero:
+        # Exact product of zero: result is c, except that 0 + (-0)
+        # follows the addition sign rules.
+        if c.is_zero:
+            if psign == c.sign:
+                return SoftFloat.zero(fmt, psign)
+            return SoftFloat.zero(fmt, _exact_zero_sign(env))
+        return c
+
+    m1, e1 = a.significand_value()
+    m2, e2 = b.significand_value()
+    product = m1 * m2 * (-1 if psign else 1)
+    pe = e1 + e2
+
+    if c.is_zero:
+        total, e = product, pe
+    else:
+        m3, e3 = c.significand_value()
+        v3 = m3 * (-1 if c.sign else 1)
+        e = min(pe, e3)
+        total = (product << (pe - e)) + (v3 << (e3 - e))
+
+    if total == 0:
+        return SoftFloat.zero(fmt, _exact_zero_sign(env))
+    sign = 1 if total < 0 else 0
+    bits = round_and_pack(fmt, env, sign, abs(total), e, 0, "fma")
+    return SoftFloat(fmt, bits)

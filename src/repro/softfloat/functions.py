@@ -1,0 +1,238 @@
+"""Auxiliary IEEE 754 operations: neighbors, min/max, scaling, ULPs.
+
+These are the §5.3/§5.7 recommended operations the quiz demonstrations
+lean on: ``nextafter`` walks the number line one representable value at
+a time (used to exhibit denormal precision loss), ``ulp`` measures local
+granularity (used for the *Operation Precision* and *Saturation*
+witnesses), and ``scalb``/``ilogb`` manipulate exponents exactly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormatError
+from repro.fpenv.env import FPEnv, get_env
+from repro.fpenv.flags import FPFlag
+from repro.softfloat.arith import propagate_nan
+from repro.softfloat._round import round_and_pack
+from repro.softfloat.value import SoftFloat
+
+__all__ = [
+    "next_up",
+    "next_down",
+    "next_after",
+    "fp_min",
+    "fp_max",
+    "fp_minimum",
+    "fp_maximum",
+    "fp_min_magnitude",
+    "fp_max_magnitude",
+    "fp_scalb",
+    "fp_ilogb",
+    "ulp",
+    "significant_bits",
+]
+
+
+def next_up(x: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """The least value that compares greater than ``x`` (IEEE
+    ``nextUp``).  ``nextUp(-0) = nextUp(+0)`` = smallest subnormal;
+    ``nextUp(+inf) = +inf``; NaNs propagate."""
+    env = env or get_env()
+    if x.is_nan:
+        return propagate_nan(env, "nextUp", x)
+    fmt = x.fmt
+    if x.is_zero:
+        return SoftFloat(fmt, fmt.min_subnormal_bits(0))
+    if x.sign == 0:
+        if x.is_inf:
+            return x
+        return SoftFloat(fmt, x.bits + 1)
+    # Negative: decreasing magnitude moves up.
+    if x.bits == fmt.pack(1, 0, 1):  # -min_subnormal -> -0
+        return SoftFloat.zero(fmt, 1)
+    return SoftFloat(fmt, x.bits - 1)
+
+
+def next_down(x: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """The greatest value that compares less than ``x`` (``nextDown``)."""
+    env = env or get_env()
+    if x.is_nan:
+        return propagate_nan(env, "nextDown", x)
+    return -next_up(-x, env)
+
+
+def next_after(x: SoftFloat, y: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """C's ``nextafter``: the neighbor of ``x`` in the direction of
+    ``y``; returns ``y``'s value when they compare equal."""
+    env = env or get_env()
+    if x.is_nan or y.is_nan:
+        return propagate_nan(env, "nextafter", x, y)
+    from repro.softfloat.compare import Ordering, fp_compare_quiet
+
+    order = fp_compare_quiet(x, y, env)
+    if order is Ordering.EQUAL:
+        return y
+    if order is Ordering.LESS:
+        return next_up(x, env)
+    return next_down(x, env)
+
+
+def fp_min(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """754-2008 ``minNum``: the smaller value; a single quiet NaN is
+    ignored in favor of the number; signaling NaNs raise *invalid*."""
+    env = env or get_env()
+    if a.is_nan or b.is_nan:
+        if a.is_signaling_nan or b.is_signaling_nan:
+            return propagate_nan(env, "min", a, b)
+        if a.is_nan and b.is_nan:
+            return propagate_nan(env, "min", a, b)
+        return b if a.is_nan else a
+    from repro.softfloat.compare import Ordering, fp_compare_quiet
+
+    if a.is_zero and b.is_zero:
+        return a if a.sign else b  # prefer -0 as the minimum
+    return a if fp_compare_quiet(a, b, env) is Ordering.LESS else b
+
+
+def fp_max(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """754-2008 ``maxNum`` (mirror of :func:`fp_min`)."""
+    env = env or get_env()
+    if a.is_nan or b.is_nan:
+        if a.is_signaling_nan or b.is_signaling_nan:
+            return propagate_nan(env, "max", a, b)
+        if a.is_nan and b.is_nan:
+            return propagate_nan(env, "max", a, b)
+        return b if a.is_nan else a
+    from repro.softfloat.compare import Ordering, fp_compare_quiet
+
+    if a.is_zero and b.is_zero:
+        return b if a.sign else a  # prefer +0 as the maximum
+    return a if fp_compare_quiet(a, b, env) is Ordering.GREATER else b
+
+
+def fp_scalb(x: SoftFloat, n: int, env: FPEnv | None = None) -> SoftFloat:
+    """``scaleB(x, n) = x * 2**n`` with a single rounding."""
+    env = env or get_env()
+    if x.is_nan:
+        return propagate_nan(env, "scalb", x)
+    if x.is_inf or x.is_zero:
+        return x
+    mant, exp2 = x.significand_value()
+    bits = round_and_pack(x.fmt, env, x.sign, mant, exp2 + n, 0, "scalb")
+    return SoftFloat(x.fmt, bits)
+
+
+def fp_ilogb(x: SoftFloat, env: FPEnv | None = None) -> int:
+    """``logB(x)``: the unbiased exponent of ``x`` as an integer.
+
+    Subnormals report their true (below ``emin``) exponent.  Zeros,
+    infinities, and NaNs raise *invalid* plus :class:`FormatError`.
+    """
+    env = env or get_env()
+    if x.is_nan or x.is_inf or x.is_zero:
+        env.raise_flags(FPFlag.INVALID, "ilogb")
+        raise FormatError(f"ilogb of {x!s} is undefined")
+    mant, exp2 = x.significand_value()
+    return exp2 + mant.bit_length() - 1
+
+
+def ulp(x: SoftFloat) -> SoftFloat:
+    """The unit in the last place of ``x``: the gap between consecutive
+    representable values at ``x``'s magnitude (quiet; NaN for NaN,
+    +inf for infinities)."""
+    fmt = x.fmt
+    if x.is_nan:
+        return SoftFloat.nan(fmt)
+    if x.is_inf:
+        return SoftFloat.inf(fmt)
+    if x.is_zero or x.is_subnormal:
+        return SoftFloat(fmt, fmt.min_subnormal_bits(0))
+    exponent = x.biased_exp - fmt.bias
+    lsb_exp = exponent - fmt.frac_bits
+    scratch = FPEnv()
+    bits = round_and_pack(fmt, scratch, 0, 1, lsb_exp, 0, "ulp")
+    return SoftFloat(fmt, bits)
+
+
+def significant_bits(x: SoftFloat) -> int:
+    """Number of significant bits actually carried by ``x``.
+
+    Normals always carry the full precision; subnormals carry fewer —
+    the quantitative content of the *Denormal Precision* question.
+    Zero carries none.
+    """
+    if not x.is_finite:
+        raise FormatError(f"{x!s} has no significand")
+    if x.is_zero:
+        return 0
+    if x.is_subnormal:
+        return x.frac.bit_length()
+    return x.fmt.precision
+
+
+def fp_minimum(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """754-*2019* ``minimum``: NaN-propagating, and -0 < +0.
+
+    The 2019 revision *replaced* 2008's ``minNum`` (see :func:`fp_min`)
+    after it was found non-associative in the presence of NaNs: minNum
+    ignores a single quiet NaN, minimum propagates it.  Two standards,
+    two answers — one more way "IEEE floating point" is a moving
+    target.
+    """
+    env = env or get_env()
+    if a.is_nan or b.is_nan:
+        return propagate_nan(env, "minimum", a, b)
+    if a.is_zero and b.is_zero:
+        return a if a.sign else b  # -0 is the minimum
+    from repro.softfloat.compare import Ordering, fp_compare_quiet
+
+    return a if fp_compare_quiet(a, b, env) is Ordering.LESS else b
+
+
+def fp_maximum(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """754-2019 ``maximum`` (NaN-propagating mirror of
+    :func:`fp_minimum`; +0 > -0)."""
+    env = env or get_env()
+    if a.is_nan or b.is_nan:
+        return propagate_nan(env, "maximum", a, b)
+    if a.is_zero and b.is_zero:
+        return b if a.sign else a  # +0 is the maximum
+    from repro.softfloat.compare import Ordering, fp_compare_quiet
+
+    return a if fp_compare_quiet(a, b, env) is Ordering.GREATER else b
+
+
+def fp_min_magnitude(
+    a: SoftFloat, b: SoftFloat, env: FPEnv | None = None
+) -> SoftFloat:
+    """754-2019 ``minimumMagnitude``: smaller absolute value wins
+    (ties by :func:`fp_minimum`); NaN-propagating."""
+    env = env or get_env()
+    if a.is_nan or b.is_nan:
+        return propagate_nan(env, "minimumMagnitude", a, b)
+    from repro.softfloat.compare import Ordering, fp_compare_quiet
+
+    order = fp_compare_quiet(abs(a), abs(b), env)
+    if order is Ordering.LESS:
+        return a
+    if order is Ordering.GREATER:
+        return b
+    return fp_minimum(a, b, env)
+
+
+def fp_max_magnitude(
+    a: SoftFloat, b: SoftFloat, env: FPEnv | None = None
+) -> SoftFloat:
+    """754-2019 ``maximumMagnitude`` (mirror of
+    :func:`fp_min_magnitude`)."""
+    env = env or get_env()
+    if a.is_nan or b.is_nan:
+        return propagate_nan(env, "maximumMagnitude", a, b)
+    from repro.softfloat.compare import Ordering, fp_compare_quiet
+
+    order = fp_compare_quiet(abs(a), abs(b), env)
+    if order is Ordering.GREATER:
+        return a
+    if order is Ordering.LESS:
+        return b
+    return fp_maximum(a, b, env)

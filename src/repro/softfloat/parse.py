@@ -1,0 +1,112 @@
+"""Correctly rounded parsing of decimal and hexadecimal literals.
+
+Decimal parsing goes through an exact rational, so every literal is
+converted with a *single* correct rounding — the same guarantee a
+conforming ``strtod`` provides.  C99 hex-float literals (``0x1.8p3``)
+and the special spellings ``inf``/``infinity``/``nan``/``snan`` (with
+optional sign and NaN payload in parentheses) are also accepted.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+
+from repro.errors import ParseError
+from repro.fpenv.env import FPEnv
+from repro.softfloat.convert import softfloat_from_fraction
+from repro.softfloat.formats import BINARY64, FloatFormat
+from repro.softfloat.value import SoftFloat
+
+__all__ = ["parse_softfloat"]
+
+_DECIMAL_RE = re.compile(
+    r"""^(?P<sign>[+-]?)
+        (?P<int>\d*)
+        (?:\.(?P<frac>\d*))?
+        (?:[eE](?P<exp>[+-]?\d+))?$""",
+    re.VERBOSE,
+)
+
+_HEX_RE = re.compile(
+    r"""^(?P<sign>[+-]?)0[xX]
+        (?P<int>[0-9a-fA-F]*)
+        (?:\.(?P<frac>[0-9a-fA-F]*))?
+        (?:[pP](?P<exp>[+-]?\d+))?$""",
+    re.VERBOSE,
+)
+
+_NAN_RE = re.compile(
+    r"^(?P<sign>[+-]?)(?P<kind>s?nan)(?:\((?P<payload>\d+|0[xX][0-9a-fA-F]+)\))?$",
+    re.IGNORECASE,
+)
+
+
+def parse_softfloat(
+    text: str, fmt: FloatFormat = BINARY64, env: FPEnv | None = None
+) -> SoftFloat:
+    """Parse ``text`` into a correctly rounded SoftFloat.
+
+    Raises :class:`repro.errors.ParseError` on malformed input.
+    Flags (inexact, overflow, underflow) are raised on ``env`` when
+    provided; without one, parsing is quiet — building constants in
+    tests should not perturb sticky state.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ParseError("empty string is not a floating point literal")
+    lowered = stripped.lower()
+
+    sign = 0
+    body = lowered
+    if body and body[0] in "+-":
+        sign = 1 if body[0] == "-" else 0
+        body = body[1:]
+    if body in ("inf", "infinity"):
+        return SoftFloat.inf(fmt, sign)
+
+    nan_match = _NAN_RE.match(stripped)
+    if nan_match is not None:
+        nsign = 1 if nan_match.group("sign") == "-" else 0
+        payload_text = nan_match.group("payload")
+        payload = int(payload_text, 0) if payload_text else 0
+        if nan_match.group("kind").lower() == "snan":
+            if payload == 0:
+                payload = 1
+            return SoftFloat.signaling_nan(fmt, nsign, payload)
+        return SoftFloat.nan(fmt, nsign, payload & (fmt.quiet_bit - 1))
+
+    value = _parse_exact(stripped)
+    quiet_env = env if env is not None else FPEnv()
+    result = softfloat_from_fraction(abs(value), fmt, quiet_env)
+    if value < 0 or (value == 0 and stripped.lstrip().startswith("-")):
+        result = -result
+    return result
+
+
+def _parse_exact(text: str) -> Fraction:
+    """Parse a decimal or hex literal into an exact rational."""
+    hex_match = _HEX_RE.match(text)
+    if hex_match is not None:
+        return _exact_from_match(hex_match, base=16, exp_base=2)
+    dec_match = _DECIMAL_RE.match(text)
+    if dec_match is not None:
+        if not (dec_match.group("int") or dec_match.group("frac")):
+            raise ParseError(f"{text!r} has no digits")
+        return _exact_from_match(dec_match, base=10, exp_base=10)
+    raise ParseError(f"{text!r} is not a floating point literal")
+
+
+def _exact_from_match(match: re.Match[str], base: int, exp_base: int) -> Fraction:
+    sign = -1 if match.group("sign") == "-" else 1
+    int_part = match.group("int") or ""
+    frac_part = match.group("frac") or ""
+    if not (int_part or frac_part):
+        raise ParseError("literal has no digits")
+    digits = int(int_part + frac_part, base) if (int_part + frac_part) else 0
+    scale = -len(frac_part)
+    exponent = int(match.group("exp") or "0")
+    value = Fraction(digits)
+    value *= Fraction(base) ** scale
+    value *= Fraction(exp_base) ** exponent
+    return sign * value

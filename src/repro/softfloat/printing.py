@@ -1,0 +1,145 @@
+"""Decimal and hexadecimal rendering of SoftFloat values.
+
+:func:`format_softfloat` produces the *shortest* decimal string that
+parses back to the identical bit pattern (the Steele–White/Ryū
+guarantee, implemented here by exact-rational search rather than by a
+specialized algorithm — this is a correctness library, not a printing
+speed contest).  :func:`format_hex` renders the C99 ``%a`` form, which
+is exact by construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.softfloat.value import SoftFloat
+
+__all__ = ["format_softfloat", "format_hex", "decimal_digits", "shortest_digits"]
+
+_LOG10_2 = math.log10(2.0)
+
+
+def decimal_digits(x: SoftFloat, ndigits: int) -> tuple[int, str, int]:
+    """Render a finite nonzero value to ``ndigits`` significant decimal
+    digits, correctly rounded half-even.
+
+    Returns ``(sign, digits, exponent10)`` with ``len(digits) == ndigits``
+    and value ≈ ``±0.digits * 10**(exponent10 + 1)`` — i.e. ``digits[0]``
+    has decimal weight ``10**exponent10``.
+    """
+    if ndigits < 1:
+        raise ValueError("ndigits must be >= 1")
+    mant, exp2 = x.significand_value()
+    if mant == 0:
+        raise ValueError("decimal_digits requires a nonzero value")
+
+    e10 = int(math.floor((exp2 + mant.bit_length() - 1) * _LOG10_2))
+    for _ in range(4):  # estimate fix-up loop; converges in <= 2 steps
+        digits_int = _scaled_round(mant, exp2, ndigits - 1 - e10)
+        if digits_int >= 10**ndigits:
+            e10 += 1
+            continue
+        if digits_int < 10 ** (ndigits - 1):
+            e10 -= 1
+            continue
+        return x.sign, str(digits_int), e10
+    raise AssertionError("decimal exponent estimate failed to converge")
+
+
+def _scaled_round(mant: int, exp2: int, pow10: int) -> int:
+    """Round ``mant * 2**exp2 * 10**pow10`` to the nearest integer,
+    ties to even, exactly."""
+    num = mant
+    den = 1
+    if exp2 >= 0:
+        num <<= exp2
+    else:
+        den <<= -exp2
+    if pow10 >= 0:
+        num *= 10**pow10
+    else:
+        den *= 10 ** (-pow10)
+    quotient, remainder = divmod(num, den)
+    double_rem = 2 * remainder
+    if double_rem > den or (double_rem == den and (quotient & 1)):
+        quotient += 1
+    return quotient
+
+
+def shortest_digits(x: SoftFloat) -> tuple[int, str, int]:
+    """Shortest ``(sign, digits, exponent10)`` that round-trips to ``x``'s
+    exact bit pattern through correctly rounded parsing."""
+    from fractions import Fraction
+
+    from repro.fpenv.env import FPEnv
+    from repro.softfloat.convert import softfloat_from_fraction
+
+    max_digits = int(math.ceil(x.fmt.precision * _LOG10_2)) + 2
+    for ndigits in range(1, max_digits + 1):
+        sign, digits, e10 = decimal_digits(x, ndigits)
+        scale = ndigits - 1 - e10
+        if scale >= 0:
+            candidate = Fraction(int(digits), 10**scale)
+        else:
+            candidate = Fraction(int(digits) * 10 ** (-scale))
+        back = softfloat_from_fraction(candidate, x.fmt, FPEnv())
+        if sign:
+            back = -back
+        if back.same_bits(x):
+            return sign, digits, e10
+    return decimal_digits(x, max_digits)  # pragma: no cover - guaranteed above
+
+
+def _assemble(sign: int, digits: str, e10: int) -> str:
+    """Lay out digits Python-repr style: positional for moderate
+    exponents, scientific otherwise."""
+    prefix = "-" if sign else ""
+    ndigits = len(digits)
+    if -4 <= e10 < 16:
+        if e10 >= ndigits - 1:
+            body = digits + "0" * (e10 - ndigits + 1) + ".0"
+        elif e10 >= 0:
+            body = digits[: e10 + 1] + "." + digits[e10 + 1 :]
+        else:
+            body = "0." + "0" * (-e10 - 1) + digits
+        return prefix + body
+    mantissa = digits[0] + ("." + digits[1:] if ndigits > 1 else ".0")
+    return f"{prefix}{mantissa}e{'+' if e10 >= 0 else '-'}{abs(e10):02d}"
+
+
+def format_softfloat(x: SoftFloat) -> str:
+    """Shortest round-tripping decimal form (or ``inf``/``nan`` etc.)."""
+    prefix = "-" if x.sign else ""
+    if x.is_nan:
+        kind = "snan" if x.is_signaling_nan else "nan"
+        return prefix + kind
+    if x.is_inf:
+        return prefix + "inf"
+    if x.is_zero:
+        return prefix + "0.0"
+    sign, digits, e10 = shortest_digits(x)
+    return _assemble(sign, digits.rstrip("0") or "0", e10)
+
+
+def format_hex(x: SoftFloat) -> str:
+    """C99 ``%a``-style exact hexadecimal-significand rendering."""
+    prefix = "-" if x.sign else ""
+    if x.is_nan:
+        return prefix + ("snan" if x.is_signaling_nan else "nan")
+    if x.is_inf:
+        return prefix + "inf"
+    if x.is_zero:
+        return prefix + "0x0.0p+0"
+    fmt = x.fmt
+    if x.is_subnormal:
+        lead = 0
+        frac = x.frac
+        exponent = fmt.emin
+    else:
+        lead = 1
+        frac = x.frac
+        exponent = x.biased_exp - fmt.bias
+    nibbles = (fmt.frac_bits + 3) // 4
+    frac <<= nibbles * 4 - fmt.frac_bits
+    frac_hex = f"{frac:0{nibbles}x}".rstrip("0") or "0"
+    return f"{prefix}0x{lead}.{frac_hex}p{'+' if exponent >= 0 else '-'}{abs(exponent)}"

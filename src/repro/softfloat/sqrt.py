@@ -1,0 +1,54 @@
+"""Correctly rounded square root.
+
+``sqrt`` is one of the five basic operations IEEE 754 requires to be
+correctly rounded.  The *Square* quiz question (is ``a*a >= 0`` for
+non-NaN ``a``?) is about multiplication, but its demonstration sweeps
+square roots as well to show the inverse relationship holds where exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fpenv.env import FPEnv, get_env
+from repro.fpenv.flags import FPFlag
+from repro.softfloat._round import round_and_pack
+from repro.softfloat.arith import _apply_daz, propagate_nan
+from repro.softfloat.value import SoftFloat
+
+__all__ = ["fp_sqrt"]
+
+
+def fp_sqrt(a: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
+    """Compute ``squareRoot(a)`` with correct rounding.
+
+    ``sqrt(-0) = -0`` (exact, no flags); ``sqrt`` of any other negative
+    value raises *invalid* and returns NaN; ``sqrt(+inf) = +inf``.
+    """
+    env = env or get_env()
+    fmt = a.fmt
+    if a.is_nan:
+        return propagate_nan(env, "sqrt", a)
+    a = _apply_daz(env, a)
+    if a.is_zero:
+        return a  # sqrt(±0) = ±0
+    if a.sign:
+        env.raise_flags(FPFlag.INVALID, "sqrt")
+        return SoftFloat(fmt, fmt.quiet_nan_bits())
+    if a.is_inf:
+        return a
+
+    mant, exp2 = a.significand_value()
+    # Scale so the integer square root carries `precision + 2` bits and
+    # the exponent stays even: sqrt(m * 2^e) = isqrt(m << s) * 2^((e-s)/2).
+    target_bits = 2 * (fmt.precision + 2)
+    shift = target_bits - mant.bit_length()
+    if (exp2 - shift) % 2:
+        shift += 1
+    if shift < 0:  # pragma: no cover - mantissas are always narrower
+        shift = (0 if exp2 % 2 == 0 else 1)
+    scaled = mant << shift
+    root = math.isqrt(scaled)
+    sticky = 0 if root * root == scaled else 1
+    bits = round_and_pack(fmt, env, 0, root, (exp2 - shift) // 2, sticky, "sqrt")
+    return SoftFloat(fmt, bits)

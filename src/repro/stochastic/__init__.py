@@ -1,0 +1,21 @@
+"""Monte Carlo arithmetic: estimate significance by randomized rounding.
+
+A third entry in the paper's proposed-tools space (alongside fpspy and
+shadow precision), in the spirit of MCA tools like Verificarlo: run the
+same computation many times with each operation's rounding direction
+chosen at random.  Digits that stay stable across runs are significant;
+digits that churn were manufactured by rounding.  Unlike shadow
+execution this needs no high-precision reference — only the ability to
+flip rounding modes, which most developers (per the survey) do not know
+exists.
+
+>>> from repro.optsim import parse_expr
+>>> from repro.stochastic import mca_evaluate
+>>> stable = mca_evaluate(parse_expr("a + b"), {"a": 1.0, "b": 2.0})
+>>> stable.significant_digits > 15
+True
+"""
+
+from repro.stochastic.mca import MCAResult, RandomRoundingEnv, mca_evaluate
+
+__all__ = ["mca_evaluate", "MCAResult", "RandomRoundingEnv"]

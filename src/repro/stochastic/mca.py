@@ -1,0 +1,141 @@
+"""Randomized-rounding evaluation and significance statistics.
+
+:class:`RandomRoundingEnv` draws a fresh rounding direction (toward
++inf or toward −inf, equal odds) every time an operation consults the
+environment — the "random rounding" flavor of Monte Carlo arithmetic.
+:func:`mca_evaluate` runs an expression through many such environments
+and summarizes the sample: if rounding choices can move the result,
+the spread shows how far.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from collections.abc import Mapping
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.rounding import RoundingMode
+from repro.optsim.ast import Expr
+from repro.optsim.evaluator import evaluate
+from repro.optsim.machine import STRICT, MachineConfig
+from repro.softfloat import SoftFloat, sf
+
+__all__ = ["RandomRoundingEnv", "MCAResult", "mca_evaluate"]
+
+_DIRECTED = (RoundingMode.TOWARD_POSITIVE, RoundingMode.TOWARD_NEGATIVE)
+
+
+class RandomRoundingEnv(FPEnv):
+    """An FPEnv whose rounding direction re-randomizes on every read."""
+
+    def __init__(self, rng: random.Random, **kwargs: object) -> None:
+        object.__setattr__(self, "_rng", rng)
+        super().__init__(**kwargs)  # type: ignore[arg-type]
+
+    @property
+    def rounding(self) -> RoundingMode:  # type: ignore[override]
+        return self._rng.choice(_DIRECTED)
+
+    @rounding.setter
+    def rounding(self, value: RoundingMode) -> None:
+        # The dataclass __init__ assigns the field; the randomized
+        # property ignores the stored base value by design.
+        object.__setattr__(self, "_base_rounding", value)
+
+
+@dataclasses.dataclass(frozen=True)
+class MCAResult:
+    """Summary of a randomized-rounding sample."""
+
+    expr: Expr
+    samples: tuple[SoftFloat, ...]
+    reference: SoftFloat  # the deterministic round-to-nearest result
+
+    @property
+    def values(self) -> list[float]:
+        """Sample values as host floats."""
+        return [x.to_float() for x in self.samples]
+
+    @property
+    def any_exceptional(self) -> bool:
+        """Did any sample produce NaN or an infinity?"""
+        return any(not x.is_finite for x in self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN if any sample was exceptional)."""
+        if self.any_exceptional:
+            return float("nan")
+        values = self.values
+        return sum(values) / len(values)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        if self.any_exceptional:
+            return float("nan")
+        values = self.values
+        mean = self.mean
+        return math.sqrt(
+            sum((v - mean) ** 2 for v in values) / len(values)
+        )
+
+    @property
+    def significant_digits(self) -> float:
+        """Stott-Parker significance estimate: ``-log10(std/|mean|)``,
+        capped at the format's decimal capacity.  0.0 when the mean
+        itself is noise (or exceptional)."""
+        cap = self.reference.fmt.precision * math.log10(2.0)
+        if self.any_exceptional:
+            return 0.0
+        mean, std = self.mean, self.std
+        if std == 0.0:
+            return cap
+        if mean == 0.0 or abs(mean) <= std:
+            return 0.0
+        return min(cap, -math.log10(std / abs(mean)))
+
+    def describe(self) -> str:
+        """One-line summary."""
+        if self.any_exceptional:
+            return (f"'{self.expr}': exceptional values under randomized "
+                    f"rounding — result is rounding-fragile")
+        return (f"'{self.expr}': mean={self.mean!r} std={self.std:.3e} "
+                f"~{self.significant_digits:.1f} significant digits "
+                f"(nearest-rounding value {self.reference!s})")
+
+
+def mca_evaluate(
+    expr: Expr,
+    bindings: Mapping[str, object],
+    *,
+    config: MachineConfig = STRICT,
+    samples: int = 32,
+    seed: int = 754,
+) -> MCAResult:
+    """Evaluate ``expr`` ``samples`` times under randomized per-operation
+    rounding and return the significance summary.
+
+    Inputs are converted to the config's format once (deterministically,
+    round-to-nearest): MCA diagnoses the computation's sensitivity, not
+    the input conversion's.
+    """
+    if samples < 2:
+        raise ValueError("need at least 2 samples")
+    fixed_bindings = {
+        name: value if isinstance(value, SoftFloat) else sf(value, config.fmt)
+        for name, value in bindings.items()
+    }
+    reference = evaluate(expr, fixed_bindings, config).value
+    rng = random.Random(("mca", seed).__repr__())
+    results = []
+    for _ in range(samples):
+        env = RandomRoundingEnv(rng, ftz=config.ftz, daz=config.daz)
+        results.append(
+            evaluate(expr, fixed_bindings, config, env).value
+        )
+    return MCAResult(
+        expr=expr, samples=tuple(results), reference=reference,
+    )

@@ -1,0 +1,52 @@
+"""Survey instrument: background factors and response records.
+
+The schema mirrors the paper's Section II-A exactly (display strings
+match the tables in Figures 1–11), so the analysis layer's output lines
+up row-for-row with the paper.  Records round-trip through JSON lines
+and a flat CSV (the coded shape of a forms export).
+"""
+
+from repro.survey.background import (
+    ARB_PREC_LANGUAGES,
+    FP_LANGUAGES,
+    Area,
+    AreaGroup,
+    Background,
+    CodebaseSize,
+    DevRole,
+    FormalTraining,
+    FPExtent,
+    InformalTraining,
+    Position,
+)
+from repro.survey.instrument import (
+    BACKGROUND_ITEMS,
+    BackgroundItem,
+    render_instrument,
+)
+from repro.survey.records import Cohort, SurveyResponse
+from repro.survey.io import anonymize, read_csv, read_jsonl, write_csv, write_jsonl
+
+__all__ = [
+    "Position",
+    "Area",
+    "AreaGroup",
+    "FormalTraining",
+    "InformalTraining",
+    "DevRole",
+    "CodebaseSize",
+    "FPExtent",
+    "Background",
+    "FP_LANGUAGES",
+    "ARB_PREC_LANGUAGES",
+    "BackgroundItem",
+    "BACKGROUND_ITEMS",
+    "render_instrument",
+    "Cohort",
+    "SurveyResponse",
+    "write_jsonl",
+    "read_jsonl",
+    "write_csv",
+    "read_csv",
+    "anonymize",
+]

@@ -1,0 +1,265 @@
+"""Background factors (paper Section II-A, tabulated in Figures 1–11).
+
+Every categorical factor is an enum whose ``display`` string matches the
+paper's tables exactly, so analysis output lines up row-for-row.
+Multi-select factors (informal training, language experience) are sets
+of strings/enum members.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = [
+    "Position",
+    "Area",
+    "AreaGroup",
+    "FormalTraining",
+    "InformalTraining",
+    "DevRole",
+    "CodebaseSize",
+    "FPExtent",
+    "Background",
+    "FP_LANGUAGES",
+    "ARB_PREC_LANGUAGES",
+]
+
+
+class _Displayed(enum.Enum):
+    """Enum whose value is the paper's display string."""
+
+    @property
+    def display(self) -> str:
+        return str(self.value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Position(_Displayed):
+    """Current position (Figure 1)."""
+
+    PHD_STUDENT = "Ph.D. student"
+    FACULTY = "Faculty"
+    SOFTWARE_ENGINEER = "Software engineer"
+    RESEARCH_STAFF = "Research staff"
+    RESEARCH_SCIENTIST = "Research scientist"
+    MS_STUDENT = "M.S. student"
+    UNDERGRADUATE = "Undergraduate"
+    POSTDOC = "Postdoc"
+    MANAGER = "Manager"
+    OTHER = "Other"
+
+
+class Area(_Displayed):
+    """Area of formal training (Figure 2)."""
+
+    CS = "Computer Science"
+    OTHER_PHYSICAL_SCIENCE = "Other Physical Science Field"
+    OTHER_ENGINEERING = "Other Engineering Field"
+    CE = "Computer Engineering"
+    MATHEMATICS = "Mathematics"
+    EE = "Electrical Engineering"
+    ECONOMICS = "Economics"
+    OTHER_NON_PHYSICAL_SCIENCE = "Other Non-Physical Science Field"
+    CS_AND_MATH = "CS&Math"
+    CS_AND_CE = "CS&CE"
+    POLI_SCI_AND_STATS = "Political Science and Statistics"
+    SOCIAL_SCIENCES = "Social Sciences"
+    ROBOTICS = "Robotics"
+    ECONOMETRICS = "Econometrics"
+    BIOMEDICAL_ENGINEERING = "Biomedical Engineering"
+    MMSS = "MMSS"
+    STATISTICS = "Statistics"
+    MECHANICAL_ENGINEERING = "Mechanical Engineering"
+    UNREPORTED = "Unreported"
+
+
+class AreaGroup(_Displayed):
+    """The coarse area grouping used by the factor analysis
+    (Figures 17 and 20): EE, CS, CE, Math, PhysSci, Eng, and Other."""
+
+    EE = "EE"
+    CS = "CS"
+    CE = "CE"
+    MATH = "Math"
+    PHYS_SCI = "PhysSci"
+    ENG = "Eng"
+    OTHER = "Other"
+
+
+#: Mapping from detailed Area to the factor-analysis grouping.
+_AREA_GROUPS: dict[Area, AreaGroup] = {
+    Area.CS: AreaGroup.CS,
+    Area.CS_AND_MATH: AreaGroup.CS,
+    Area.CS_AND_CE: AreaGroup.CS,
+    Area.CE: AreaGroup.CE,
+    Area.EE: AreaGroup.EE,
+    Area.MATHEMATICS: AreaGroup.MATH,
+    Area.STATISTICS: AreaGroup.MATH,
+    Area.OTHER_PHYSICAL_SCIENCE: AreaGroup.PHYS_SCI,
+    Area.OTHER_ENGINEERING: AreaGroup.ENG,
+    Area.BIOMEDICAL_ENGINEERING: AreaGroup.ENG,
+    Area.MECHANICAL_ENGINEERING: AreaGroup.ENG,
+    Area.ROBOTICS: AreaGroup.ENG,
+}
+
+
+class FormalTraining(_Displayed):
+    """Formal training in floating point (Figure 3)."""
+
+    LECTURES = "One or more lectures in course"
+    NONE = "None"
+    WEEKS = "One or more weeks within a course"
+    COURSES = "One or more courses"
+    NOT_REPORTED = "Not reported"
+
+
+class InformalTraining(_Displayed):
+    """Informal training kinds (Figure 4; multi-select)."""
+
+    GOOGLED = "Googled when necessary"
+    READ = "Read about it"
+    DISCUSSED = "Discussed with coworkers/etc"
+    MENTOR = "Trained by adviser/mentor"
+    VIDEO = "Watched video"
+
+
+class DevRole(_Displayed):
+    """Software development role (Figure 5)."""
+
+    SUPPORT = "I develop software to support my main role"
+    ENGINEER = "My main role is as a software engineer"
+    MANAGE_SUPPORT = (
+        "I manage others who develop software to support my main role"
+    )
+    MANAGE_ENGINEERS = "My main role is to manage software engineers"
+    NOT_REPORTED = "Not Reported"
+
+
+class CodebaseSize(_Displayed):
+    """Codebase size by order of magnitude (Figures 8 and 10)."""
+
+    LOC_LT_100 = "<100 lines of code"
+    LOC_100_1K = "100 to 1,000 lines of code"
+    LOC_1K_10K = "1,001 to 10,000 lines of code"
+    LOC_10K_100K = "10,001 to 100,000 lines of code"
+    LOC_100K_1M = "100,001 to 1,000,000 lines of code"
+    LOC_GT_1M = ">1,000,000 lines of code"
+    NOT_REPORTED = "Not Reported"
+
+    @property
+    def rank(self) -> int:
+        """Ordinal rank by size (NOT_REPORTED ranks lowest)."""
+        order = [
+            CodebaseSize.NOT_REPORTED,
+            CodebaseSize.LOC_LT_100,
+            CodebaseSize.LOC_100_1K,
+            CodebaseSize.LOC_1K_10K,
+            CodebaseSize.LOC_10K_100K,
+            CodebaseSize.LOC_100K_1M,
+            CodebaseSize.LOC_GT_1M,
+        ]
+        return order.index(self)
+
+
+class FPExtent(_Displayed):
+    """Floating point extent within a codebase (Figures 9 and 11)."""
+
+    NONE = "No FP involved"
+    INCIDENTAL = "FP incidental"
+    INTRINSIC = "FP intrinsic"
+    INTRINSIC_SELF = "FP intrinsic, I did numerical correctness"
+    INTRINSIC_TEAM = "FP intrinsic, my team did numeric correctness"
+    INTRINSIC_OTHER_TEAM = (
+        "FP intrinsic, other team did numerical correctness"
+    )
+    NOT_REPORTED = "No Report"
+
+
+#: The 13 floating point languages reported with n >= 5 (Figure 6).
+FP_LANGUAGES: tuple[str, ...] = (
+    "Python", "C", "C++", "Matlab", "Java", "Fortran", "R", "C#",
+    "Perl", "Scheme/Racket", "Haskell", "ML", "JavaScript",
+)
+
+#: The 9 arbitrary precision languages/libraries with n >= 5 (Figure 7).
+ARB_PREC_LANGUAGES: tuple[str, ...] = (
+    "Mathematica", "Maple", "Other language",
+    "MPFR/GNU MultiPrecision Library", "Scheme/Racket/LISP with BigNums",
+    "Other library", "Matlab MultiPrecision Toolbox",
+    "Haskell with arb. prec. and rationals", "Macsyma",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Background:
+    """A participant's full self-reported background (Section II-A)."""
+
+    position: Position
+    area: Area
+    formal_training: FormalTraining
+    informal_training: frozenset[InformalTraining]
+    dev_role: DevRole
+    fp_languages: frozenset[str]
+    arb_prec_languages: frozenset[str]
+    contributed_size: CodebaseSize
+    contributed_fp_extent: FPExtent
+    involved_size: CodebaseSize
+    involved_fp_extent: FPExtent
+
+    @property
+    def area_group(self) -> AreaGroup:
+        """Coarse area grouping for factor analysis (Figures 17/20)."""
+        return _AREA_GROUPS.get(self.area, AreaGroup.OTHER)
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize to plain strings (for CSV/JSON records)."""
+        return {
+            "position": self.position.display,
+            "area": self.area.display,
+            "formal_training": self.formal_training.display,
+            "informal_training": sorted(
+                t.display for t in self.informal_training
+            ),
+            "dev_role": self.dev_role.display,
+            "fp_languages": sorted(self.fp_languages),
+            "arb_prec_languages": sorted(self.arb_prec_languages),
+            "contributed_size": self.contributed_size.display,
+            "contributed_fp_extent": self.contributed_fp_extent.display,
+            "involved_size": self.involved_size.display,
+            "involved_fp_extent": self.involved_fp_extent.display,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Background":
+        """Inverse of :meth:`to_dict`; raises on unknown categories."""
+        from repro.errors import SurveyDataError
+
+        def lookup(enum_cls, text):
+            for member in enum_cls:
+                if member.display == text:
+                    return member
+            raise SurveyDataError(
+                f"unknown {enum_cls.__name__} value {text!r}"
+            )
+
+        return cls(
+            position=lookup(Position, data["position"]),
+            area=lookup(Area, data["area"]),
+            formal_training=lookup(FormalTraining, data["formal_training"]),
+            informal_training=frozenset(
+                lookup(InformalTraining, t)
+                for t in data.get("informal_training", [])
+            ),
+            dev_role=lookup(DevRole, data["dev_role"]),
+            fp_languages=frozenset(data.get("fp_languages", [])),
+            arb_prec_languages=frozenset(data.get("arb_prec_languages", [])),
+            contributed_size=lookup(CodebaseSize, data["contributed_size"]),
+            contributed_fp_extent=lookup(
+                FPExtent, data["contributed_fp_extent"]
+            ),
+            involved_size=lookup(CodebaseSize, data["involved_size"]),
+            involved_fp_extent=lookup(FPExtent, data["involved_fp_extent"]),
+        )

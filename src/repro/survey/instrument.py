@@ -1,0 +1,203 @@
+"""The complete survey instrument, renderable as a document.
+
+The paper's survey lived in Google Forms; this module is its portable
+equivalent: every background item (Section II-A), the core and
+optimization quizzes (II-B/II-C, *without* the answer key — "no labels
+appear in the actual survey"), and the suspicion component (II-D),
+rendered to markdown or plain text so the study can actually be
+re-administered and the responses coded into
+:class:`repro.survey.SurveyResponse` records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.quiz.core import CORE_QUESTIONS
+from repro.quiz.model import QuestionKind
+from repro.quiz.optimization import OPTIMIZATION_QUESTIONS
+from repro.quiz.suspicion import SUSPICION_ITEMS
+from repro.survey.background import (
+    ARB_PREC_LANGUAGES,
+    FP_LANGUAGES,
+    Area,
+    CodebaseSize,
+    DevRole,
+    FormalTraining,
+    FPExtent,
+    InformalTraining,
+    Position,
+)
+
+__all__ = ["BackgroundItem", "BACKGROUND_ITEMS", "render_instrument"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BackgroundItem:
+    """One background question: prompt, options, multi-select flag."""
+
+    field: str
+    prompt: str
+    options: tuple[str, ...]
+    multiple: bool = False
+    free_text: bool = False
+
+
+def _displays(enum_cls, *, skip=()) -> tuple[str, ...]:
+    return tuple(
+        member.display for member in enum_cls if member.name not in skip
+    )
+
+
+#: Section II-A, in survey order.
+BACKGROUND_ITEMS: tuple[BackgroundItem, ...] = (
+    BackgroundItem(
+        field="position",
+        prompt="What is your current position?",
+        options=_displays(Position),
+    ),
+    BackgroundItem(
+        field="area",
+        prompt="What is your area of formal training?",
+        options=_displays(Area, skip=("UNREPORTED",)),
+        free_text=True,
+    ),
+    BackgroundItem(
+        field="formal_training",
+        prompt=("How much formal training about floating point have you "
+                "received?"),
+        options=_displays(FormalTraining, skip=("NOT_REPORTED",)),
+    ),
+    BackgroundItem(
+        field="informal_training",
+        prompt=("What kinds of informal training about floating point "
+                "have you used? (select all that apply)"),
+        options=_displays(InformalTraining),
+        multiple=True,
+    ),
+    BackgroundItem(
+        field="dev_role",
+        prompt="How do you view the software development you perform?",
+        options=_displays(DevRole, skip=("NOT_REPORTED",)),
+    ),
+    BackgroundItem(
+        field="fp_languages",
+        prompt=("In which languages have you used IEEE floating point? "
+                "(select all that apply; add your own)"),
+        options=FP_LANGUAGES,
+        multiple=True,
+        free_text=True,
+    ),
+    BackgroundItem(
+        field="arb_prec_languages",
+        prompt=("Which languages/libraries supporting arbitrary "
+                "precision numbers have you used? (select all that "
+                "apply; add your own)"),
+        options=ARB_PREC_LANGUAGES,
+        multiple=True,
+        free_text=True,
+    ),
+    BackgroundItem(
+        field="contributed_size",
+        prompt=("How many lines of code is the largest codebase you "
+                "built, or your largest contribution to a shared "
+                "codebase?"),
+        options=_displays(CodebaseSize, skip=("NOT_REPORTED",)),
+    ),
+    BackgroundItem(
+        field="contributed_fp_extent",
+        prompt=("To what extent was floating point involved in that "
+                "codebase and your work within it?"),
+        options=_displays(FPExtent, skip=("NOT_REPORTED",)),
+    ),
+    BackgroundItem(
+        field="involved_size",
+        prompt=("How many lines of code is the largest codebase you "
+                "have been involved with in any capacity?"),
+        options=_displays(CodebaseSize, skip=("NOT_REPORTED",)),
+    ),
+    BackgroundItem(
+        field="involved_fp_extent",
+        prompt=("To what extent was floating point involved in that "
+                "codebase and your work within it?"),
+        options=_displays(FPExtent, skip=("NOT_REPORTED",)),
+    ),
+)
+
+
+def render_instrument(*, markdown: bool = True) -> str:
+    """Render the complete instrument (no answer key, no labels —
+    matching the survey's presentation rules)."""
+    heading = "## " if markdown else ""
+    bullet = "- " if markdown else "  * "
+    code_open = "```c" if markdown else ""
+    code_close = "```" if markdown else ""
+    lines: list[str] = []
+    out = lines.append
+
+    out("# Floating Point Understanding Survey")
+    out("")
+    out("This survey is anonymous and takes under 30 minutes. Answer "
+        "from experience; do not look things up.")
+    out("")
+
+    out(f"{heading}Part 1: Background")
+    out("")
+    for number, item in enumerate(BACKGROUND_ITEMS, start=1):
+        suffix = " (select all that apply)" if item.multiple and \
+            "select all" not in item.prompt else ""
+        out(f"{number}. {item.prompt}{suffix}")
+        for option in item.options:
+            out(f"{bullet}{option}")
+        if item.free_text:
+            out(f"{bullet}Other: ____________")
+        out("")
+
+    out(f"{heading}Part 2: Floating Point Behavior")
+    out("")
+    out("For each statement, answer **True**, **False**, or **Don't "
+        "know**. All code is C syntax; `double` is IEEE 754 binary64.")
+    out("")
+    for number, question in enumerate(CORE_QUESTIONS, start=1):
+        out(f"{number}. {question.prompt}")
+        if question.snippet:
+            out(code_open)
+            out(question.snippet)
+            out(code_close)
+        out(f"{bullet}True")
+        out(f"{bullet}False")
+        out(f"{bullet}Don't know")
+        out("")
+
+    out(f"{heading}Part 3: Optimizations")
+    out("")
+    for number, question in enumerate(OPTIMIZATION_QUESTIONS, start=1):
+        out(f"{number}. {question.prompt}")
+        if question.snippet:
+            out(code_open)
+            out(question.snippet)
+            out(code_close)
+        if question.kind is QuestionKind.MULTIPLE_CHOICE:
+            for choice in question.choices:
+                out(f"{bullet}{choice}")
+        else:
+            out(f"{bullet}True")
+            out(f"{bullet}False")
+        out(f"{bullet}Don't know")
+        out("")
+
+    out(f"{heading}Part 4: Suspicion")
+    out("")
+    out("A scientific simulation you rely on was wrapped with code "
+        "that checks the processor's floating point condition codes "
+        "after the run. For each condition below, rate how suspicious "
+        "you would be of the simulation's results if the condition "
+        "occurred one or more times during execution "
+        "(1 = not suspicious at all, 5 = maximally suspicious).")
+    out("")
+    for number, item in enumerate(SUSPICION_ITEMS, start=1):
+        out(f"{number}. {item.label}: {item.description}")
+        out(f"{bullet}1 / 2 / 3 / 4 / 5")
+        out("")
+
+    return "\n".join(lines)

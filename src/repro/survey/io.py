@@ -1,0 +1,176 @@
+"""Survey data import/export: JSON lines and flat CSV.
+
+The JSON-lines form round-trips every field.  The CSV form flattens
+answers into one column per question (the shape a Google Forms export
+takes after coding), with multi-select background fields joined by
+``;``.  :func:`anonymize` renumbers respondent ids, the one direct
+identifier the schema carries.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.errors import SurveyDataError
+from repro.quiz.core import CORE_QUESTION_ORDER
+from repro.quiz.model import TFAnswer
+from repro.quiz.optimization import OPTIMIZATION_QUESTION_ORDER
+from repro.quiz.suspicion import SUSPICION_ORDER
+from repro.survey.background import Background
+from repro.survey.records import Cohort, SurveyResponse
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "write_csv",
+    "read_csv",
+    "anonymize",
+]
+
+
+def write_jsonl(responses: Iterable[SurveyResponse], path: str | Path) -> int:
+    """Write records as JSON lines; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for response in responses:
+            handle.write(json.dumps(response.to_dict(), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> list[SurveyResponse]:
+    """Read records written by :func:`write_jsonl`."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(SurveyResponse.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise SurveyDataError(
+                    f"{path}:{line_number}: bad record: {exc}"
+                ) from exc
+    return records
+
+
+_BG_SCALAR_FIELDS = (
+    "position", "area", "formal_training", "dev_role",
+    "contributed_size", "contributed_fp_extent",
+    "involved_size", "involved_fp_extent",
+)
+_BG_LIST_FIELDS = ("informal_training", "fp_languages", "arb_prec_languages")
+
+
+def _csv_header() -> list[str]:
+    header = ["respondent_id", "cohort"]
+    header.extend(_BG_SCALAR_FIELDS)
+    header.extend(_BG_LIST_FIELDS)
+    header.extend(f"core:{qid}" for qid in CORE_QUESTION_ORDER)
+    header.extend(f"opt:{qid}" for qid in OPTIMIZATION_QUESTION_ORDER)
+    header.extend(f"suspicion:{qid}" for qid in SUSPICION_ORDER)
+    return header
+
+
+def write_csv(responses: Sequence[SurveyResponse], path: str | Path) -> int:
+    """Write a flat one-row-per-respondent CSV; returns the row count."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_csv_header())
+        writer.writeheader()
+        for response in responses:
+            row: dict[str, object] = {
+                "respondent_id": response.respondent_id,
+                "cohort": response.cohort.value,
+            }
+            if response.background is not None:
+                data = response.background.to_dict()
+                for field in _BG_SCALAR_FIELDS:
+                    row[field] = data[field]
+                for field in _BG_LIST_FIELDS:
+                    row[field] = ";".join(data[field])  # type: ignore[arg-type]
+            for qid in CORE_QUESTION_ORDER:
+                answer = response.core_answers.get(qid)
+                row[f"core:{qid}"] = "" if answer is None else answer.value
+            for qid in OPTIMIZATION_QUESTION_ORDER:
+                answer = response.opt_answers.get(qid)
+                if answer is None:
+                    row[f"opt:{qid}"] = ""
+                else:
+                    row[f"opt:{qid}"] = (
+                        answer.value if isinstance(answer, TFAnswer)
+                        else answer
+                    )
+            for qid in SUSPICION_ORDER:
+                level = response.suspicion.get(qid)
+                row[f"suspicion:{qid}"] = "" if level is None else level
+            writer.writerow(row)
+    return len(responses)
+
+
+def read_csv(path: str | Path) -> list[SurveyResponse]:
+    """Read a CSV written by :func:`write_csv`."""
+    records = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        for row_number, row in enumerate(reader, start=2):
+            try:
+                records.append(_row_to_response(row))
+            except (KeyError, ValueError) as exc:
+                raise SurveyDataError(
+                    f"{path}: row {row_number}: {exc}"
+                ) from exc
+    return records
+
+
+def _row_to_response(row: dict[str, str]) -> SurveyResponse:
+    cohort = Cohort(row["cohort"])
+    background = None
+    if cohort is Cohort.DEVELOPER:
+        data: dict[str, object] = {
+            field: row[field] for field in _BG_SCALAR_FIELDS
+        }
+        for field in _BG_LIST_FIELDS:
+            raw = row.get(field, "")
+            data[field] = [item for item in raw.split(";") if item]
+        background = Background.from_dict(data)
+    core = {}
+    for qid in CORE_QUESTION_ORDER:
+        value = row.get(f"core:{qid}", "")
+        if value:
+            core[qid] = TFAnswer(value)
+    opt: dict[str, TFAnswer | str] = {}
+    for qid in OPTIMIZATION_QUESTION_ORDER:
+        value = row.get(f"opt:{qid}", "")
+        if not value:
+            continue
+        opt[qid] = value if qid == "opt_level" else TFAnswer(value)
+    suspicion = {}
+    for qid in SUSPICION_ORDER:
+        raw = row.get(f"suspicion:{qid}", "")
+        if raw:
+            suspicion[qid] = int(raw)
+    return SurveyResponse(
+        respondent_id=row["respondent_id"],
+        cohort=cohort,
+        background=background,
+        core_answers=core,
+        opt_answers=opt,
+        suspicion=suspicion,
+    )
+
+
+def anonymize(
+    responses: Sequence[SurveyResponse], prefix: str = "anon"
+) -> list[SurveyResponse]:
+    """Replace respondent ids with sequential opaque ids (stable order)."""
+    import dataclasses
+
+    return [
+        dataclasses.replace(response, respondent_id=f"{prefix}-{index:04d}")
+        for index, response in enumerate(responses, start=1)
+    ]

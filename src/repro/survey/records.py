@@ -1,0 +1,109 @@
+"""Response records: the schema the analysis pipeline consumes.
+
+A :class:`SurveyResponse` is one (anonymous) participant's complete
+submission.  The analysis layer works only with these records, so a
+real survey export converted to this schema runs through the identical
+pipeline as the calibrated synthetic cohorts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import SurveyDataError
+from repro.quiz.model import TFAnswer
+from repro.survey.background import Background
+
+__all__ = ["Cohort", "SurveyResponse"]
+
+
+class Cohort(enum.Enum):
+    """Which study population a record belongs to."""
+
+    DEVELOPER = "developer"  # the 199-person main group
+    STUDENT = "student"      # the 52-person suspicion-only group
+
+
+@dataclasses.dataclass(frozen=True)
+class SurveyResponse:
+    """One participant's full submission.
+
+    ``core_answers`` and ``opt_answers`` map question ids to answers
+    (missing id = unanswered); ``suspicion`` maps suspicion item ids to
+    Likert levels 1–5.  Students have no background and no quiz answers
+    (they took only the suspicion component, as a midterm problem).
+    """
+
+    respondent_id: str
+    cohort: Cohort
+    background: Background | None
+    core_answers: dict[str, TFAnswer] = dataclasses.field(default_factory=dict)
+    opt_answers: dict[str, TFAnswer | str] = dataclasses.field(
+        default_factory=dict
+    )
+    suspicion: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for qid, level in self.suspicion.items():
+            if not 1 <= int(level) <= 5:
+                raise SurveyDataError(
+                    f"suspicion level {level!r} for {qid!r} not on 1-5 scale"
+                )
+        if self.cohort is Cohort.DEVELOPER and self.background is None:
+            raise SurveyDataError("developer records require a background")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict."""
+        return {
+            "respondent_id": self.respondent_id,
+            "cohort": self.cohort.value,
+            "background": (
+                None if self.background is None else self.background.to_dict()
+            ),
+            "core_answers": {
+                qid: answer.value for qid, answer in self.core_answers.items()
+            },
+            "opt_answers": {
+                qid: (answer.value if isinstance(answer, TFAnswer) else answer)
+                for qid, answer in self.opt_answers.items()
+            },
+            "suspicion": dict(self.suspicion),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "SurveyResponse":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            cohort = Cohort(data["cohort"])
+        except (KeyError, ValueError) as exc:
+            raise SurveyDataError(f"bad cohort in record: {exc}") from exc
+        background_data = data.get("background")
+        background = (
+            None
+            if background_data is None
+            else Background.from_dict(background_data)  # type: ignore[arg-type]
+        )
+        core = {
+            qid: TFAnswer(value)
+            for qid, value in dict(data.get("core_answers", {})).items()
+        }
+        opt: dict[str, TFAnswer | str] = {}
+        tf_values = {member.value for member in TFAnswer}
+        for qid, value in dict(data.get("opt_answers", {})).items():
+            opt[qid] = TFAnswer(value) if value in tf_values and qid != "opt_level" else value
+        suspicion = {
+            qid: int(level)
+            for qid, level in dict(data.get("suspicion", {})).items()
+        }
+        return cls(
+            respondent_id=str(data["respondent_id"]),
+            cohort=cohort,
+            background=background,
+            core_answers=core,
+            opt_answers=opt,
+            suspicion=suspicion,
+        )

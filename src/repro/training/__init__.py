@@ -1,0 +1,40 @@
+"""Adaptive floating point training drills.
+
+The paper's conclusions argue that training fails not because training
+cannot work but because "the community has just not found the right
+training approach yet", and propose developing one.  This package is a
+concrete attempt: an endless supply of *parameterized* drill questions
+— fresh concrete values every time, never the same memorizable item —
+whose correct answers are **computed by the softfloat/optsim substrates
+at generation time**, plus an adaptive session that steers practice
+toward the concepts a trainee keeps missing (which, per Figure 14, is
+exactly what a fixed quiz cannot do).
+
+>>> import random
+>>> from repro.training import DrillSession
+>>> session = DrillSession(rng=random.Random(7))
+>>> item = session.next_item()
+>>> outcome = session.submit(item, item.answer)   # answering correctly
+>>> outcome.correct
+True
+"""
+
+from repro.training.templates import (
+    ALL_TEMPLATES,
+    CONCEPTS,
+    DrillItem,
+    DrillTemplate,
+    template_for,
+)
+from repro.training.session import DrillOutcome, DrillSession, MasteryReport
+
+__all__ = [
+    "DrillItem",
+    "DrillTemplate",
+    "ALL_TEMPLATES",
+    "CONCEPTS",
+    "template_for",
+    "DrillSession",
+    "DrillOutcome",
+    "MasteryReport",
+]

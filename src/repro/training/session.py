@@ -1,0 +1,148 @@
+"""Adaptive drill sessions with per-concept mastery tracking.
+
+The session samples concepts in proportion to how much the trainee
+still misses them (a smoothed error rate), so practice concentrates
+where Figure 14 says developers are weak *for this trainee* — the
+adaptivity the paper's one-shot survey could diagnose but not deliver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections.abc import Sequence
+
+from repro.training.templates import (
+    ALL_TEMPLATES,
+    CONCEPTS,
+    DrillItem,
+    DrillTemplate,
+    template_for,
+)
+
+__all__ = ["DrillSession", "DrillOutcome", "MasteryReport"]
+
+#: Laplace smoothing for the per-concept error estimate: one virtual
+#: miss and one virtual hit, so unseen concepts are drilled eagerly.
+_PRIOR_MISSES = 1.0
+_PRIOR_HITS = 1.0
+#: A concept counts as mastered below this smoothed error rate.
+_MASTERY_THRESHOLD = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class DrillOutcome:
+    """The graded result of one submitted answer."""
+
+    item: DrillItem
+    response: bool
+    correct: bool
+
+    def feedback(self) -> str:
+        """Explanation text, prefixed by the verdict."""
+        verdict = "correct" if self.correct else "INCORRECT"
+        return f"[{verdict}] {self.item.explanation}"
+
+
+@dataclasses.dataclass(frozen=True)
+class MasteryReport:
+    """Per-concept progress snapshot."""
+
+    attempts: dict[str, int]
+    errors: dict[str, int]
+
+    def error_rate(self, concept: str) -> float:
+        """Smoothed error rate for a concept."""
+        attempts = self.attempts.get(concept, 0)
+        errors = self.errors.get(concept, 0)
+        return (errors + _PRIOR_MISSES) / (
+            attempts + _PRIOR_MISSES + _PRIOR_HITS
+        )
+
+    def mastered(self, concept: str) -> bool:
+        """Has the concept's smoothed error rate fallen below the
+        mastery threshold?"""
+        return self.error_rate(concept) < _MASTERY_THRESHOLD
+
+    def weakest(self) -> str:
+        """Concept with the highest smoothed error rate."""
+        return max(CONCEPTS, key=self.error_rate)
+
+    def render(self) -> str:
+        """Progress table."""
+        lines = ["concept                error-rate  attempts  mastered"]
+        for concept in CONCEPTS:
+            lines.append(
+                f"{concept:<22} {self.error_rate(concept):9.2f}"
+                f"  {self.attempts.get(concept, 0):8d}"
+                f"  {'yes' if self.mastered(concept) else 'no'}"
+            )
+        return "\n".join(lines)
+
+
+class DrillSession:
+    """An adaptive practice session.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (inject for reproducibility).
+    concepts:
+        Restrict practice to these concepts (default: all).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random | None = None,
+        concepts: Sequence[str] | None = None,
+    ) -> None:
+        self._rng = rng or random.Random()
+        if concepts is None:
+            self._templates: tuple[DrillTemplate, ...] = ALL_TEMPLATES
+        else:
+            self._templates = tuple(template_for(c) for c in concepts)
+            if not self._templates:
+                raise ValueError("need at least one concept")
+        self._attempts: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def mastery(self) -> MasteryReport:
+        """Current progress snapshot."""
+        return MasteryReport(dict(self._attempts), dict(self._errors))
+
+    def next_item(self) -> DrillItem:
+        """Generate the next drill item, biased toward weak concepts."""
+        report = self.mastery()
+        weights = [report.error_rate(t.concept) for t in self._templates]
+        total = sum(weights)
+        roll = self._rng.random() * total
+        cumulative = 0.0
+        chosen = self._templates[-1]
+        for template, weight in zip(self._templates, weights):
+            cumulative += weight
+            if roll < cumulative:
+                chosen = template
+                break
+        return chosen.generate(self._rng)
+
+    def submit(self, item: DrillItem, response: bool) -> DrillOutcome:
+        """Grade a response and update mastery statistics."""
+        correct = item.grade(response)
+        self._attempts[item.concept] = self._attempts.get(item.concept, 0) + 1
+        if not correct:
+            self._errors[item.concept] = self._errors.get(item.concept, 0) + 1
+        return DrillOutcome(item=item, response=response, correct=correct)
+
+    def run(
+        self,
+        answer,
+        *,
+        rounds: int = 20,
+    ) -> MasteryReport:
+        """Drive ``rounds`` items through an answering callable
+        (``answer(item) -> bool``); returns the final mastery report."""
+        for _ in range(rounds):
+            item = self.next_item()
+            self.submit(item, answer(item))
+        return self.mastery()

@@ -1,0 +1,352 @@
+"""Parameterized drill templates.
+
+Each template maps to one of the survey's weak spots (Figure 14/15) and
+generates an endless stream of concrete true/false items.  The crucial
+design rule: the template *computes* the answer by running the actual
+computation on the softfloat engine (or the optsim compliance checker)
+for the drawn parameters — so a template bug cannot teach a falsehood
+without also failing the test suite's verification sweep, and the same
+concept appears sometimes-true, sometimes-false, defeating pattern
+memorization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections.abc import Callable
+
+from repro.fpenv.env import FPEnv
+from repro.softfloat import (
+    BINARY64,
+    SoftFloat,
+    fp_add,
+    fp_div,
+    fp_eq,
+    fp_mul,
+    fp_sub,
+    sf,
+)
+
+__all__ = [
+    "DrillItem",
+    "DrillTemplate",
+    "ALL_TEMPLATES",
+    "CONCEPTS",
+    "template_for",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DrillItem:
+    """One concrete drill question.
+
+    ``answer`` is True/False, computed at generation time; ``witness``
+    shows the actual evaluation so an explanation can be exact.
+    """
+
+    concept: str
+    prompt: str
+    answer: bool
+    explanation: str
+
+    def grade(self, response: bool) -> bool:
+        """Was the response correct?"""
+        return response == self.answer
+
+
+@dataclasses.dataclass(frozen=True)
+class DrillTemplate:
+    """A generator of drill items for one concept."""
+
+    concept: str
+    description: str
+    generate: Callable[[random.Random], DrillItem]
+
+
+def _fmt(x: SoftFloat) -> str:
+    return str(x)
+
+
+# ----------------------------------------------------------------------
+# Core-quiz concepts
+# ----------------------------------------------------------------------
+
+def _absorption(rng: random.Random) -> DrillItem:
+    """(big + small) == big — true iff small is under the rounding
+    threshold at big's magnitude."""
+    exponent = rng.randrange(40, 70)
+    big = sf(float(2**exponent))
+    small = sf(float(rng.choice([1, 3, 2 ** (exponent - 54),
+                                 2 ** (exponent - 52), 2 ** (exponent - 50)])))
+    result = fp_add(big, small, FPEnv())
+    answer = fp_eq(result, big, FPEnv())
+    from repro.softfloat.functions import ulp
+
+    return DrillItem(
+        concept="absorption",
+        prompt=(f"double a = {_fmt(big)}, b = {_fmt(small)};\n"
+                f"True or false: (a + b) == a."),
+        answer=answer,
+        explanation=(
+            f"a + b evaluates to {_fmt(result)}; the addend is "
+            f"{'below' if answer else 'at or above'} half an ulp of a "
+            f"(ulp = {_fmt(ulp(big))}), so it is "
+            f"{'absorbed by rounding' if answer else 'not absorbed'}."
+        ),
+    )
+
+
+def _rounding_equality(rng: random.Random) -> DrillItem:
+    """Does a decimal sum equal its decimal total? True iff the binary
+    roundings happen to agree."""
+    tenths = rng.randrange(1, 9)
+    other = rng.randrange(1, 9)
+    a = sf(f"0.{tenths}")
+    b = sf(f"0.{other}")
+    total_text = f"0.{tenths + other}" if tenths + other < 10 else \
+        f"{(tenths + other) / 10:.1f}"
+    total = sf(total_text)
+    computed = fp_add(a, b, FPEnv())
+    answer = fp_eq(computed, total, FPEnv())
+    return DrillItem(
+        concept="decimal-rounding",
+        prompt=(f"True or false: 0.{tenths} + 0.{other} == {total_text} "
+                f"in double arithmetic."),
+        answer=answer,
+        explanation=(
+            f"The binary doubles nearest those decimals sum to "
+            f"{_fmt(computed)}, which {'equals' if answer else 'differs from'}"
+            f" the double nearest {total_text}."
+        ),
+    )
+
+
+def _associativity(rng: random.Random) -> DrillItem:
+    values = [sf(rng.choice([1.0, 0.1, 0.2, 0.3, 1e16, -1e16, 3.0, 7.0]))
+              for _ in range(3)]
+    a, b, c = values
+    left = fp_add(fp_add(a, b, FPEnv()), c, FPEnv())
+    right = fp_add(a, fp_add(b, c, FPEnv()), FPEnv())
+    answer = fp_eq(left, right, FPEnv())
+    return DrillItem(
+        concept="associativity",
+        prompt=(f"double a = {_fmt(a)}, b = {_fmt(b)}, c = {_fmt(c)};\n"
+                f"True or false: ((a + b) + c) == (a + (b + c))."),
+        answer=answer,
+        explanation=(
+            f"Left grouping gives {_fmt(left)}, right grouping gives "
+            f"{_fmt(right)}: grouping {'does not matter here' if answer else 'matters because each add rounds'}."
+        ),
+    )
+
+
+def _special_values(rng: random.Random) -> DrillItem:
+    numerator = rng.choice([0.0, 1.0, -1.0, 2.5])
+    num = sf(numerator)
+    zero = SoftFloat.zero(BINARY64)
+    result = fp_div(num, zero, FPEnv())
+    claims_nan = rng.random() < 0.5
+    if claims_nan:
+        answer = result.is_nan
+        claim = "an invalid-operation indicator (a NaN)"
+    else:
+        answer = result.is_inf
+        claim = "an infinity"
+    return DrillItem(
+        concept="special-values",
+        prompt=(f"True or false: in double arithmetic, {numerator!r} / 0.0 "
+                f"evaluates to {claim}."),
+        answer=answer,
+        explanation=(
+            f"{numerator!r} / 0.0 = {_fmt(result)}: division of a nonzero "
+            f"by zero is an exact infinity (divide-by-zero exception); "
+            f"only 0.0/0.0 is invalid and yields NaN."
+        ),
+    )
+
+
+def _nan_comparison(rng: random.Random) -> DrillItem:
+    make_nan = rng.random() < 0.5
+    if make_nan:
+        expr_text = "0.0 / 0.0"
+        value = fp_div(SoftFloat.zero(BINARY64), SoftFloat.zero(BINARY64),
+                       FPEnv())
+    else:
+        seed_value = rng.choice([1.5, -2.0, 1e300])
+        expr_text = f"{seed_value!r}"
+        value = sf(seed_value)
+    answer = fp_eq(value, value, FPEnv())
+    return DrillItem(
+        concept="nan-comparison",
+        prompt=(f"double x = {expr_text};\n"
+                f"True or false: (x == x) evaluates to true."),
+        answer=answer,
+        explanation=(
+            f"x is {_fmt(value)}; NaN compares unequal to everything "
+            f"including itself, while every non-NaN value equals itself."
+        ),
+    )
+
+
+def _overflow_saturation(rng: random.Random) -> DrillItem:
+    factor = rng.choice([2.0, 10.0, 1.0 + 2.0**-20])
+    big = SoftFloat.max_finite(BINARY64)
+    result = fp_mul(big, sf(factor), FPEnv())
+    answer = result.is_inf
+    return DrillItem(
+        concept="overflow",
+        prompt=(f"double x = DBL_MAX;\n"
+                f"True or false: x * {factor!r} overflows to infinity "
+                f"(rather than wrapping around like an int)."),
+        answer=answer,
+        explanation=(
+            f"DBL_MAX * {factor!r} = {_fmt(result)}: floating point "
+            f"overflow saturates at infinity"
+            + ("" if answer else
+               " — but this factor is small enough that the product "
+               "rounds back to DBL_MAX, so no overflow occurs")
+            + "."
+        ),
+    )
+
+
+def _subnormal_gradual(rng: random.Random) -> DrillItem:
+    halvings = rng.randrange(1, 5)
+    x = SoftFloat.min_normal(BINARY64)
+    for _ in range(halvings):
+        x = fp_mul(x, sf(0.5), FPEnv())
+    answer = not x.is_zero
+    return DrillItem(
+        concept="gradual-underflow",
+        prompt=(f"Starting from the smallest normal double, halve "
+                f"{halvings} time(s).\n"
+                f"True or false: the result is still nonzero."),
+        answer=answer,
+        explanation=(
+            f"The result is {_fmt(x)}: gradual underflow through the "
+            f"subnormals keeps tiny values nonzero for another 52 "
+            f"halvings before reaching zero."
+        ),
+    )
+
+
+def _cancellation(rng: random.Random) -> DrillItem:
+    k = rng.randrange(20, 60)
+    a = fp_add(sf(1.0), sf(2.0**-k), FPEnv())
+    diff = fp_sub(a, sf(1.0), FPEnv())
+    answer = fp_eq(diff, sf(2.0**-k), FPEnv())
+    return DrillItem(
+        concept="cancellation",
+        prompt=(f"double a = 1.0 + pow(2, -{k});\n"
+                f"True or false: (a - 1.0) == pow(2, -{k})."),
+        answer=answer,
+        explanation=(
+            f"(a - 1.0) = {_fmt(diff)}: for k <= 52 the tiny term "
+            f"survives the addition and subtracts back exactly; beyond "
+            f"the precision it was already rounded away."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Optimization-quiz concepts
+# ----------------------------------------------------------------------
+
+def _contraction(rng: random.Random) -> DrillItem:
+    from repro.optsim import O2, O3, find_divergence, parse_expr
+    from repro.optsim.evaluator import bind
+
+    use_o3 = rng.random() < 0.5
+    config = O3 if use_o3 else O2
+    source = rng.choice(
+        ["a*b + c", "c + a*b", "a*b - c", "a + b + c", "a * b"]
+    )
+    expr = parse_expr(source)
+    witness = bind(config, a=1.0 + 2.0**-27, b=1.0 + 2.0**-27, c=-1.0)
+    report = find_divergence(expr, config, extra_witnesses=[witness])
+    answer = report.diverged
+    return DrillItem(
+        concept="fp-contract",
+        prompt=(f"You compile `d = {source};` at {config.name}.\n"
+                f"True or false: the compiled program can produce "
+                f"different result bits than strict IEEE evaluation."),
+        answer=answer,
+        explanation=(
+            f"{config.name} {'contracts the multiply-add into a single-rounding FMA, which changes results' if answer else 'performs no value-changing floating point transformation'}"
+            f" ({report.describe()})"
+        ),
+    )
+
+
+def _flag_semantics(rng: random.Random) -> DrillItem:
+    from repro.optsim import (
+        is_standard_compliant,
+        noncompliance_reasons,
+        optimization_level,
+    )
+
+    flag = rng.choice(["-O0", "-O1", "-O2", "-O3", "-Ofast",
+                       "--ffast-math"])
+    config = optimization_level(flag)
+    answer = is_standard_compliant(config)
+    if answer:
+        detail = "compliant: it licenses no value-changing rewrites"
+    else:
+        detail = ("NOT compliant — it permits: "
+                  + "; ".join(noncompliance_reasons(config)))
+    return DrillItem(
+        concept="flag-compliance",
+        prompt=(f"True or false: compiling with {flag} preserves "
+                f"standard-compliant IEEE floating point behavior."),
+        answer=answer,
+        explanation=f"{flag} is {detail}.",
+    )
+
+
+ALL_TEMPLATES: tuple[DrillTemplate, ...] = (
+    DrillTemplate("absorption",
+                  "when does adding a small value change a big one?",
+                  _absorption),
+    DrillTemplate("decimal-rounding",
+                  "decimal identities that may not survive binary rounding",
+                  _rounding_equality),
+    DrillTemplate("associativity",
+                  "grouping sensitivity of floating point sums",
+                  _associativity),
+    DrillTemplate("special-values",
+                  "division by zero: infinity vs NaN",
+                  _special_values),
+    DrillTemplate("nan-comparison",
+                  "self-equality and NaN propagation",
+                  _nan_comparison),
+    DrillTemplate("overflow",
+                  "saturating (not modular) overflow",
+                  _overflow_saturation),
+    DrillTemplate("gradual-underflow",
+                  "subnormals and the approach to zero",
+                  _subnormal_gradual),
+    DrillTemplate("cancellation",
+                  "what survives a subtraction of near-equals",
+                  _cancellation),
+    DrillTemplate("fp-contract",
+                  "which optimization levels fuse multiply-add",
+                  _contraction),
+    DrillTemplate("flag-compliance",
+                  "which compiler flags stay standard-compliant",
+                  _flag_semantics),
+)
+
+#: Concept names, in template order.
+CONCEPTS: tuple[str, ...] = tuple(t.concept for t in ALL_TEMPLATES)
+
+_BY_CONCEPT = {t.concept: t for t in ALL_TEMPLATES}
+
+
+def template_for(concept: str) -> DrillTemplate:
+    """Look up a template by concept name."""
+    try:
+        return _BY_CONCEPT[concept]
+    except KeyError:
+        known = ", ".join(CONCEPTS)
+        raise KeyError(f"unknown concept {concept!r}; known: {known}")

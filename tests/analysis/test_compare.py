@@ -1,0 +1,232 @@
+"""Cohort comparison statistics."""
+
+import random
+
+import pytest
+
+from repro.analysis.compare import (
+    compare_suspicion,
+    mann_whitney,
+    rank_biserial,
+)
+
+
+class TestMannWhitney:
+    def test_identical_samples(self):
+        result = mann_whitney([1, 2, 3, 4] * 5, [1, 2, 3, 4] * 5)
+        assert result.effect_size == pytest.approx(0.0, abs=1e-9)
+        assert not result.significant
+
+    def test_shifted_samples_detected(self):
+        rng = random.Random(0)
+        low = [rng.gauss(0.0, 1.0) for _ in range(60)]
+        high = [rng.gauss(1.5, 1.0) for _ in range(60)]
+        result = mann_whitney(high, low)
+        assert result.significant
+        assert result.effect_size > 0.5
+
+    def test_effect_sign_convention(self):
+        assert rank_biserial([5, 5, 5], [1, 1, 1]) == pytest.approx(1.0)
+        assert rank_biserial([1, 1, 1], [5, 5, 5]) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import mannwhitneyu
+
+        rng = random.Random(1)
+        a = [rng.randrange(1, 6) for _ in range(40)]
+        b = [rng.randrange(1, 6) for _ in range(30)]
+        ours = mann_whitney(a, b)
+        theirs = mannwhitneyu(a, b, alternative="two-sided",
+                              method="asymptotic", use_continuity=False)
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney([], [1.0])
+
+
+class TestCompareSuspicion:
+    def test_full_comparison(self, study):
+        figure = compare_suspicion(list(study.responses))
+        data = figure.data
+        assert set(data) == {"overflow", "underflow", "precision",
+                             "invalid", "denorm"}
+        # Students are less suspicious of underflow/denorm: positive
+        # effect sizes (developers tend larger).
+        assert data["underflow"]["effect_size"] > 0
+        assert data["denorm"]["effect_size"] > 0
+
+    def test_render(self, study):
+        text = compare_suspicion(list(study.responses)).render()
+        assert "rank-biserial" in text
+        assert "Invalid" in text
+
+    def test_requires_both_cohorts(self, developers):
+        with pytest.raises(ValueError):
+            compare_suspicion(developers)
+
+
+class TestConfidence:
+    def test_core_confident_but_inaccurate(self, study):
+        from repro.analysis import overconfidence_figure
+
+        data = overconfidence_figure(list(study.responses)).data
+        core = data["core"]
+        # The paper's contrast: high willingness to answer...
+        assert core["mean_confidence"] > 0.75
+        # ...with accuracy not far above the coin-flip rate.
+        assert core["mean_accuracy_when_answering"] < 0.75
+        assert core["overconfident_share"] > 0.6
+
+    def test_optimization_appropriately_wary(self, study):
+        from repro.analysis import overconfidence_figure
+
+        data = overconfidence_figure(list(study.responses)).data
+        opt = data["optimization"]
+        assert opt["mean_confidence"] < 0.4  # mostly "don't know"
+
+    def test_respondent_calibration_fields(self, study):
+        from repro.analysis import respondent_calibration
+
+        calibrations = respondent_calibration(list(study.responses))
+        assert len(calibrations) == 199
+        for c in calibrations[:10]:
+            assert 0.0 <= c.confidence <= 1.0
+            assert 0.0 <= c.accuracy <= 1.0
+            assert c.overconfidence == c.confidence - c.accuracy
+
+    def test_unknown_quiz_rejected(self, study):
+        from repro.analysis import respondent_calibration
+
+        with pytest.raises(ValueError):
+            respondent_calibration(list(study.responses), quiz="bogus")
+
+
+class TestItemAnalysis:
+    def test_all_fifteen_items(self, study):
+        from repro.analysis import item_analysis
+
+        stats = item_analysis(list(study.responses))
+        assert len(stats) == 15
+
+    def test_misconception_items_flagged(self, study):
+        from repro.analysis import item_analysis
+
+        stats = {s.qid: s for s in item_analysis(list(study.responses))}
+        assert stats["identity"].flags_misconception
+        assert stats["divide_by_zero"].flags_misconception
+        assert not stats["distributivity"].flags_misconception
+
+    def test_difficulty_matches_fig14(self, study):
+        from repro.analysis import item_analysis
+
+        fig14 = study.figure("Figure 14").data
+        for s in item_analysis(list(study.responses)):
+            assert 100.0 * s.difficulty == pytest.approx(
+                fig14[s.qid]["correct"], abs=0.01
+            )
+
+    def test_discrimination_positive_for_knowledge_items(self, large_cohort):
+        """With the latent-ability model, getting any item right should
+        correlate positively with the rest-score at scale."""
+        from repro.analysis import item_analysis
+
+        for s in item_analysis(large_cohort):
+            assert s.discrimination > 0.0, s.qid
+
+    def test_empty_rejected(self):
+        from repro.analysis import item_analysis
+
+        with pytest.raises(ValueError):
+            item_analysis([])
+
+
+class TestReportWriter:
+    def test_write_report(self, study, tmp_path):
+        from repro.analysis import write_report
+
+        target = write_report(study, tmp_path / "report.md")
+        text = target.read_text()
+        assert "Figure 12" in text
+        assert "Figure 22(b)" in text
+        assert "item analysis" in text.lower()
+        assert "Confidence vs accuracy" in text
+
+    def test_report_without_students_skips_comparison(self, developers,
+                                                      tmp_path):
+        from repro.analysis import analyze, write_report
+
+        target = write_report(analyze(developers), tmp_path / "solo.md")
+        text = target.read_text()
+        assert "Mann-Whitney" not in text
+        assert "Figure 14" in text
+
+
+class TestPowerAnalysis:
+    def test_role_effect_observed_on_large_cohort(self, large_cohort):
+        from repro.analysis import role_effect_observed
+
+        direction, p = role_effect_observed(large_cohort)
+        assert direction is True
+        assert p < 0.05  # at n=3000 the effect is unmistakable
+
+    def test_detection_power_fields(self):
+        from repro.analysis import detection_power
+
+        estimate = detection_power(n=100, trials=4, seed_base=7)
+        assert estimate.n == 100 and estimate.trials == 4
+        assert 0.0 <= estimate.significant_rate <= \
+            estimate.direction_rate <= 1.0
+        assert "n=100" in estimate.render()
+
+    def test_power_grows_with_n(self):
+        from repro.analysis import detection_power
+
+        small = detection_power(n=60, trials=10, seed_base=40)
+        large = detection_power(n=600, trials=10, seed_base=40)
+        assert large.significant_rate >= small.significant_rate
+
+    def test_trials_validated(self):
+        from repro.analysis import detection_power
+
+        with pytest.raises(ValueError):
+            detection_power(trials=0)
+
+
+class TestFactorRegression:
+    def test_fits_and_reports(self, study):
+        from repro.analysis import factor_regression
+
+        result = factor_regression(list(study.responses), n_bootstrap=100)
+        assert result.n == 199
+        assert 0.0 < result.r_squared < 1.0
+        assert len(result.names) == len(result.coefficients)
+
+    def test_headline_coefficients_positive_at_scale(self, large_cohort):
+        from repro.analysis import factor_regression
+
+        result = factor_regression(large_cohort, n_bootstrap=60)
+        assert result.coefficient("contributed_size_rank") > 0
+        assert result.significant("contributed_size_rank")
+        assert result.coefficient("area=EE") > result.coefficient("area=Eng")
+
+    def test_no_strong_factor_r_squared_modest(self, large_cohort):
+        """The paper's hedge, quantified: under half the variance."""
+        from repro.analysis import factor_regression
+
+        result = factor_regression(large_cohort, n_bootstrap=40)
+        assert result.r_squared < 0.6
+
+    def test_figure_renders(self, study):
+        from repro.analysis import regression_figure
+
+        figure = regression_figure(list(study.responses), n_bootstrap=60)
+        assert "R^2" in figure.text
+        assert "contributed_size_rank" in figure.text
+
+    def test_too_few_records_rejected(self, study):
+        from repro.analysis import factor_regression
+
+        with pytest.raises(ValueError):
+            factor_regression(list(study.responses)[:10])

@@ -1,0 +1,270 @@
+"""The analysis pipeline: every figure regenerates with sane content."""
+
+import pytest
+
+from repro.analysis import (
+    analyze,
+    fig12_performance,
+    fig13_histogram,
+    fig14_core_questions,
+    fig15_opt_questions,
+    fig16_contributed_size,
+    fig17_area,
+    fig22_suspicion,
+    question_rates,
+    run_study,
+)
+from repro.population.targets import CORE_QUESTION_RATES
+from repro.quiz import core_question
+from repro.survey.records import Cohort
+
+
+class TestBackgroundFigures:
+    def test_fig01_positions(self, study):
+        figure = study.figure("Figure 1")
+        counts = figure.data["counts"]
+        assert figure.data["total"] == 199
+        assert abs(counts["Ph.D. student"] - 73) <= 1
+        assert "Faculty" in figure.text
+
+    def test_fig02_areas(self, study):
+        counts = study.figure("Figure 2").data["counts"]
+        assert abs(counts["Computer Science"] - 80) <= 1
+
+    def test_fig03_formal_training(self, study):
+        counts = study.figure("Figure 3").data["counts"]
+        assert counts["None"] == 52
+
+    def test_fig04_informal_top5(self, study):
+        figure = study.figure("Figure 4")
+        assert figure.data["counts"]["Googled when necessary"] == 138
+        # Only the top 5 rows are rendered, as in the paper.
+        assert figure.text.count("\n") <= 8
+
+    def test_fig05_roles(self, study):
+        counts = study.figure("Figure 5").data["counts"]
+        assert counts["I develop software to support my main role"] == 119
+
+    def test_fig06_languages(self, study):
+        counts = study.figure("Figure 6").data["counts"]
+        assert counts["Python"] == 142
+        assert counts["C"] == 139
+
+    def test_fig07_arb_prec(self, study):
+        counts = study.figure("Figure 7").data["counts"]
+        assert counts["Mathematica"] == 71
+
+    def test_fig08_contributed_sizes(self, study):
+        counts = study.figure("Figure 8").data["counts"]
+        assert counts["1,001 to 10,000 lines of code"] == 79
+
+    def test_fig09_contributed_extent(self, study):
+        counts = study.figure("Figure 9").data["counts"]
+        assert counts["FP incidental"] == 77
+
+    def test_fig10_involved_sizes(self, study):
+        counts = study.figure("Figure 10").data["counts"]
+        assert counts["10,001 to 100,000 lines of code"] == 61
+
+    def test_fig11_involved_extent(self, study):
+        counts = study.figure("Figure 11").data["counts"]
+        assert counts["FP incidental"] == 71
+
+
+class TestPerformanceFigures:
+    def test_fig12_sums_to_question_counts(self, study):
+        data = study.figure("Figure 12").data
+        core = data["core"]
+        assert sum(core.values()) == pytest.approx(15.0)
+        opt = data["optimization"]
+        assert sum(opt.values()) == pytest.approx(3.0)
+
+    def test_fig12_near_paper_values(self, study):
+        core = study.figure("Figure 12").data["core"]
+        # n=199 sampling noise: generous band around the paper's 8.5.
+        assert core["correct"] == pytest.approx(8.5, abs=0.8)
+        assert core["dont_know"] == pytest.approx(2.3, abs=0.7)
+
+    def test_fig12_chance_baselines(self, study):
+        data = study.figure("Figure 12").data
+        assert data["core_chance"] == 7.5
+        assert data["opt_chance"] == 1.5
+
+    def test_fig13_histogram_structure(self, study):
+        histogram = study.figure("Figure 13").data["histogram"]
+        assert set(histogram) == set(range(16))
+        assert sum(histogram.values()) == 199
+
+    def test_fig13_mean_matches_fig12(self, study):
+        assert study.figure("Figure 13").data["mean"] == pytest.approx(
+            study.figure("Figure 12").data["core"]["correct"]
+        )
+
+    def test_fig13_mass_concentrated_mid_scale(self, study):
+        histogram = study.figure("Figure 13").data["histogram"]
+        middle = sum(histogram[s] for s in range(5, 13))
+        assert middle / 199 > 0.75
+
+
+class TestQuestionFigures:
+    def test_fig14_rows_sum_to_100(self, study):
+        for qid, rates in study.figure("Figure 14").data.items():
+            assert sum(rates.values()) == pytest.approx(100.0), qid
+
+    def test_fig14_identity_answered_mostly_wrong(self, study):
+        rates = study.figure("Figure 14").data["identity"]
+        assert rates["incorrect"] > rates["correct"]
+
+    def test_fig14_divide_by_zero_answered_mostly_wrong(self, study):
+        rates = study.figure("Figure 14").data["divide_by_zero"]
+        assert rates["incorrect"] > 60.0
+
+    def test_fig14_near_paper_rates_with_sampling_noise(self, study):
+        data = study.figure("Figure 14").data
+        for qid, target in CORE_QUESTION_RATES.items():
+            assert data[qid]["correct"] == pytest.approx(
+                target.correct, abs=12.0
+            ), qid
+
+    def test_fig14_marks_chance_and_worse_rows(self, study):
+        text = study.figure("Figure 14").text
+        assert "(chance)" in text
+        assert "worse" in text
+
+    def test_fig15_dont_know_dominates(self, study):
+        for qid, rates in study.figure("Figure 15").data.items():
+            assert rates["dont_know"] > 50.0, qid
+
+    def test_question_rates_requires_developers(self):
+        with pytest.raises(ValueError):
+            question_rates([], core_question("identity"))
+
+
+class TestFactorFigures:
+    def test_fig16_monotone_trend(self, study):
+        data = study.figure("Figure 16").data
+        small = data["100 to 1,000 lines of code"]["correct"]
+        large = data[">1,000,000 lines of code"]["correct"]
+        assert large > small + 1.5
+
+    def test_fig16_reports_group_sizes(self, study):
+        data = study.figure("Figure 16").data
+        assert data["1,001 to 10,000 lines of code"]["n"] == 79
+
+    def test_fig17_ee_cs_ce_above_physsci_eng(self, study):
+        data = study.figure("Figure 17").data
+        technical = min(data["EE"]["correct"], data["CS"]["correct"])
+        non_technical = max(
+            data["PhysSci"]["correct"], data["Eng"]["correct"]
+        )
+        assert technical > non_technical
+
+    def test_fig18_engineers_slightly_better(self, large_cohort):
+        """The role effect is small ('slightly better'); at n=199 it can
+        flip by sampling noise, so assert the direction on the large
+        cohort, like the ablation benches do."""
+        from repro.analysis import analyze
+
+        data = analyze(large_cohort).figure("Figure 18").data
+        engineer = data["My main role is as a software engineer"]["correct"]
+        support = data[
+            "I develop software to support my main role"
+        ]["correct"]
+        assert engineer > support
+
+    def test_fig18_structure_at_paper_size(self, study):
+        data = study.figure("Figure 18").data
+        assert data["My main role is as a software engineer"]["n"] == 50
+
+    def test_fig19_training_effect_small(self, study):
+        data = study.figure("Figure 19").data
+        correct = [level["correct"] for level in data.values()]
+        assert max(correct) - min(correct) < 3.0
+
+    def test_fig20_21_opt_scores_bounded(self, study):
+        for figure_id in ("Figure 20", "Figure 21"):
+            for level in study.figure(figure_id).data.values():
+                total = (level["correct"] + level["incorrect"]
+                         + level["dont_know"] + level["unanswered"])
+                assert total == pytest.approx(3.0)
+
+    def test_fig21_engineers_best_on_opt(self, study):
+        data = study.figure("Figure 21").data
+        engineer = data["My main role is as a software engineer"]["correct"]
+        support = data[
+            "I develop software to support my main role"
+        ]["correct"]
+        assert engineer > support
+
+
+class TestSuspicionFigures:
+    def test_fig22a_distributions_sum_to_100(self, study):
+        for qid, dist in study.figure(
+            "Figure 22(a)"
+        ).data["distribution"].items():
+            assert sum(dist) == pytest.approx(100.0), qid
+
+    def test_fig22_invalid_most_suspicious_both_groups(self, study):
+        for part in ("a", "b"):
+            means = study.figure(f"Figure 22({part})").data["means"]
+            assert means["invalid"] == max(means.values())
+            assert means["overflow"] > means["underflow"]
+
+    def test_fig22_about_a_third_below_max_for_invalid(self, study):
+        from repro.analysis import fraction_below_max
+
+        for cohort in (Cohort.DEVELOPER, Cohort.STUDENT):
+            fraction = fraction_below_max(
+                list(study.responses), cohort, "invalid"
+            )
+            assert 0.15 < fraction < 0.5
+
+    def test_fig22_students_less_suspicious_of_underflow(self, study):
+        dev = study.figure("Figure 22(a)").data["means"]
+        student = study.figure("Figure 22(b)").data["means"]
+        assert student["underflow"] < dev["underflow"]
+        assert student["denorm"] < dev["denorm"]
+
+    def test_fig22b_n_is_52(self, study):
+        assert study.figure("Figure 22(b)").data["n"] == 52
+
+
+class TestStudyOrchestration:
+    def test_all_figures_present(self, study):
+        ids = [figure.figure_id for figure in study.figures]
+        expected = [f"Figure {i}" for i in range(1, 22)] + [
+            "Figure 22(a)", "Figure 22(b)",
+        ]
+        assert ids == expected
+
+    def test_unknown_figure_raises(self, study):
+        with pytest.raises(KeyError):
+            study.figure("Figure 99")
+
+    def test_render_contains_every_figure(self, study):
+        text = study.render()
+        assert text.count("===") >= 2 * 23
+
+    def test_analyze_without_students_omits_22b(self, developers):
+        results = analyze(developers)
+        ids = [figure.figure_id for figure in results.figures]
+        assert "Figure 22(b)" not in ids
+        assert "Figure 22(a)" in ids
+
+    def test_run_study_deterministic(self):
+        a = run_study(seed=42, n_developers=40, n_students=10)
+        b = run_study(seed=42, n_developers=40, n_students=10)
+        assert a.render() == b.render()
+
+
+class TestJsonExport:
+    def test_every_figure_in_json(self, study):
+        import json
+
+        payload = json.loads(study.to_json())
+        assert "Figure 14" in payload and "Figure 22(b)" in payload
+        assert payload["Figure 12"]["data"]["core"]["correct"] == \
+            pytest.approx(study.figure("Figure 12").data["core"]["correct"])
+
+    def test_json_is_stable(self, study):
+        assert study.to_json() == study.to_json()

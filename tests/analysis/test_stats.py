@@ -1,0 +1,135 @@
+"""Statistical helpers."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    chi_square_independence,
+    kruskal_wallis,
+    summary,
+)
+
+
+class TestChiSquare:
+    def test_independent_table_not_significant(self):
+        # Perfectly proportional rows: statistic 0, p = 1.
+        result = chi_square_independence([[10, 20], [30, 60]])
+        assert result.statistic == pytest.approx(0.0, abs=1e-9)
+        assert result.p_value == pytest.approx(1.0, abs=1e-6)
+        assert not result.significant
+
+    def test_strong_association_significant(self):
+        result = chi_square_independence([[50, 5], [5, 50]])
+        assert result.significant
+        assert result.p_value < 1e-6
+
+    def test_dof(self):
+        result = chi_square_independence([[5, 5, 5], [5, 5, 5], [5, 6, 4]])
+        assert result.dof == 4
+
+    def test_matches_scipy(self):
+        from scipy.stats import chi2_contingency
+
+        table = [[12, 7, 9], [8, 15, 5]]
+        ours = chi_square_independence(table)
+        theirs = chi2_contingency(table, correction=False)
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue)
+
+    def test_zero_margins_dropped(self):
+        result = chi_square_independence([[10, 0, 20], [30, 0, 60]])
+        assert result.dof == 1
+
+    def test_degenerate_table_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_independence([[1, 2]])
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean(self):
+        rng = random.Random(0)
+        values = [rng.gauss(10.0, 2.0) for _ in range(200)]
+        lo, hi = bootstrap_ci(values, seed=1)
+        assert lo < 10.0 < hi
+        assert hi - lo < 1.5
+
+    def test_deterministic(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(values, seed=5) == bootstrap_ci(values, seed=5)
+
+    def test_custom_statistic(self):
+        values = [1.0, 2.0, 100.0]
+        lo, hi = bootstrap_ci(
+            values, statistic=lambda v: sorted(v)[len(v) // 2], seed=1
+        )
+        assert lo >= 1.0 and hi <= 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+
+class TestKruskalWallis:
+    def test_identical_groups_not_significant(self):
+        groups = [[1, 2, 3, 4, 5]] * 3
+        result = kruskal_wallis(groups)
+        assert not result.significant
+
+    def test_shifted_groups_significant(self):
+        rng = random.Random(0)
+        a = [rng.gauss(0, 1) for _ in range(50)]
+        b = [rng.gauss(3, 1) for _ in range(50)]
+        assert kruskal_wallis([a, b]).significant
+
+    def test_matches_scipy(self):
+        from scipy.stats import kruskal
+
+        groups = [[1.0, 2.0, 2.0, 3.0], [2.0, 4.0, 5.0], [1.0, 1.0, 2.0]]
+        ours = kruskal_wallis(groups)
+        theirs = kruskal(*groups)
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue)
+
+    def test_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            kruskal_wallis([[1.0, 2.0]])
+
+
+class TestSummary:
+    def test_fields(self):
+        stats = summary([1.0, 2.0, 3.0, 4.0])
+        assert stats["n"] == 4
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["median"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+        assert stats["sd"] == pytest.approx(math.sqrt(1.25))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summary([])
+
+
+class TestAppliedToStudy:
+    def test_area_association_with_score(self, developers):
+        """The factor analysis statistic the paper's Section IV-B implies:
+        codebase size should associate more strongly than formal
+        training."""
+        from collections import defaultdict
+
+        from repro.quiz import score_core
+
+        by_size = defaultdict(list)
+        by_training = defaultdict(list)
+        for response in developers:
+            score = score_core(response.core_answers).correct
+            by_size[response.background.contributed_size.rank].append(score)
+            by_training[response.background.formal_training].append(score)
+        size_groups = [g for g in by_size.values() if len(g) >= 5]
+        training_groups = [g for g in by_training.values() if len(g) >= 5]
+        size_stat = kruskal_wallis(size_groups)
+        training_stat = kruskal_wallis(training_groups)
+        assert size_stat.statistic / size_stat.dof > \
+            training_stat.statistic / training_stat.dof

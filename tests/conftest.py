@@ -1,0 +1,37 @@
+"""Shared fixtures: simulated cohorts are expensive, so session-scoped."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The default paper-sized study (199 developers + 52 students)."""
+    from repro.analysis.study import run_study
+
+    return run_study(seed=754)
+
+
+@pytest.fixture(scope="session")
+def developers(study):
+    """The 199 simulated developer records."""
+    from repro.analysis.common import developers_only
+
+    return developers_only(study.responses)
+
+
+@pytest.fixture(scope="session")
+def large_cohort():
+    """A 3000-developer cohort for tight statistical assertions."""
+    from repro.population.response_model import simulate_developers
+
+    return simulate_developers(3000, seed=20180521)
+
+
+@pytest.fixture(scope="session")
+def calibration():
+    """The default fitted calibration."""
+    from repro.population.calibration import calibrate
+
+    return calibrate()

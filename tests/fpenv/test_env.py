@@ -1,0 +1,193 @@
+"""FPEnv: sticky flags, traps, scoping, thread isolation."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    DivisionByZeroTrap,
+    InvalidOperationTrap,
+    OverflowTrap,
+)
+from repro.fpenv import (
+    FPEnv,
+    FPFlag,
+    RoundingMode,
+    env_context,
+    flush_to_zero_context,
+    get_env,
+    rounding_context,
+)
+from repro.fpenv.flags import flag_names
+from repro.softfloat import SoftFloat, fp_div, fp_mul, sf
+
+
+class TestStickyFlags:
+    def test_flags_accumulate(self):
+        env = FPEnv()
+        env.raise_flags(FPFlag.INEXACT)
+        env.raise_flags(FPFlag.OVERFLOW)
+        assert env.test_flag(FPFlag.INEXACT | FPFlag.OVERFLOW)
+
+    def test_flags_are_sticky_across_operations(self):
+        env = FPEnv()
+        fp_div(sf(1.0), sf(0.0), env)
+        fp_mul(sf(2.0), sf(2.0), env)  # clean op does not clear
+        assert env.test_flag(FPFlag.DIV_BY_ZERO)
+
+    def test_clear_flags_selective(self):
+        env = FPEnv(flags=FPFlag.INEXACT | FPFlag.OVERFLOW)
+        env.clear_flags(FPFlag.INEXACT)
+        assert not env.test_flag(FPFlag.INEXACT)
+        assert env.test_flag(FPFlag.OVERFLOW)
+
+    def test_clear_all(self):
+        env = FPEnv(flags=FPFlag.ALL)
+        env.clear_flags()
+        assert env.flags == FPFlag.NONE
+
+    def test_any_flag(self):
+        env = FPEnv(flags=FPFlag.INEXACT)
+        assert env.any_flag()
+        assert env.any_flag(FPFlag.INEXACT | FPFlag.INVALID)
+        assert not env.any_flag(FPFlag.INVALID)
+
+    def test_raise_none_is_noop(self):
+        env = FPEnv(traps=FPFlag.ALL)
+        env.raise_flags(FPFlag.NONE)  # must not trap
+        assert env.flags == FPFlag.NONE
+
+    def test_flag_names(self):
+        assert flag_names(FPFlag.INVALID | FPFlag.OVERFLOW) == [
+            "invalid", "overflow",
+        ]
+        assert flag_names(FPFlag.NONE) == []
+
+
+class TestTraps:
+    def test_trap_raises_specific_exception(self):
+        env = FPEnv(traps=FPFlag.DIV_BY_ZERO)
+        with pytest.raises(DivisionByZeroTrap):
+            fp_div(sf(1.0), sf(0.0), env)
+
+    def test_trap_types(self):
+        with pytest.raises(InvalidOperationTrap):
+            fp_div(sf(0.0), sf(0.0), FPEnv(traps=FPFlag.INVALID))
+        with pytest.raises(OverflowTrap):
+            fp_mul(SoftFloat.max_finite(), sf(2.0),
+                   FPEnv(traps=FPFlag.OVERFLOW))
+
+    def test_sticky_flag_set_before_trap(self):
+        env = FPEnv(traps=FPFlag.DIV_BY_ZERO)
+        with pytest.raises(DivisionByZeroTrap):
+            fp_div(sf(1.0), sf(0.0), env)
+        assert env.test_flag(FPFlag.DIV_BY_ZERO)
+
+    def test_untrapped_flags_stay_silent(self):
+        env = FPEnv(traps=FPFlag.INVALID)
+        fp_div(sf(1.0), sf(0.0), env)  # div-by-zero not trapped
+        assert env.test_flag(FPFlag.DIV_BY_ZERO)
+
+    def test_trap_carries_flag_and_operation(self):
+        env = FPEnv(traps=FPFlag.DIV_BY_ZERO)
+        try:
+            fp_div(sf(1.0), sf(0.0), env)
+        except DivisionByZeroTrap as exc:
+            assert exc.flag is FPFlag.DIV_BY_ZERO
+            assert exc.operation == "div"
+        else:  # pragma: no cover
+            pytest.fail("trap did not fire")
+
+
+class TestScoping:
+    def test_default_env_exists(self):
+        assert isinstance(get_env(), FPEnv)
+
+    def test_env_context_restores_previous(self):
+        outer = get_env()
+        outer_flags = outer.flags
+        with env_context() as inner:
+            fp_div(sf(1.0), sf(0.0), inner)
+            assert inner.test_flag(FPFlag.DIV_BY_ZERO)
+        assert get_env() is outer
+        assert get_env().flags == outer_flags
+
+    def test_env_context_overrides(self):
+        with env_context(rounding=RoundingMode.TOWARD_ZERO, ftz=True) as env:
+            assert env.rounding is RoundingMode.TOWARD_ZERO
+            assert env.ftz
+
+    def test_env_context_rejects_unknown_override(self):
+        with pytest.raises(TypeError):
+            with env_context(bogus=True):
+                pass  # pragma: no cover
+
+    def test_env_context_from_template(self):
+        template = FPEnv(rounding=RoundingMode.TOWARD_POSITIVE)
+        with env_context(template) as env:
+            assert env.rounding is RoundingMode.TOWARD_POSITIVE
+            assert env is not template  # copy, not alias
+
+    def test_nested_contexts(self):
+        with env_context() as outer:
+            with env_context(rounding=RoundingMode.TOWARD_ZERO) as inner:
+                assert get_env() is inner
+            assert get_env() is outer
+
+    def test_rounding_context_scopes_only_rounding(self):
+        env = get_env()
+        env.clear_flags()
+        with rounding_context(RoundingMode.TOWARD_ZERO):
+            fp_div(sf(1.0), sf(3.0))  # uses the ambient env
+        assert env.rounding is RoundingMode.NEAREST_EVEN
+        # Flags DO propagate out of a rounding context.
+        assert env.test_flag(FPFlag.INEXACT)
+        env.clear_flags()
+
+    def test_flush_to_zero_context(self):
+        env = get_env()
+        assert not env.ftz
+        with flush_to_zero_context():
+            assert env.ftz and env.daz
+        assert not env.ftz and not env.daz
+
+    def test_default_operations_use_ambient_env(self):
+        with env_context() as env:
+            _ = sf(1.0) / sf(0.0)
+            assert env.test_flag(FPFlag.DIV_BY_ZERO)
+
+
+class TestThreadIsolation:
+    def test_each_thread_gets_its_own_env(self):
+        results = {}
+
+        def worker():
+            with env_context() as env:
+                fp_div(sf(1.0), sf(0.0), env)
+                results["thread"] = env.flags
+
+        with env_context() as main_env:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert results["thread"] == FPFlag.DIV_BY_ZERO
+            assert main_env.flags == FPFlag.NONE
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        env = FPEnv(flags=FPFlag.INEXACT)
+        clone = env.copy()
+        clone.raise_flags(FPFlag.INVALID)
+        assert not env.test_flag(FPFlag.INVALID)
+
+    def test_copy_clear(self):
+        env = FPEnv(flags=FPFlag.INEXACT, ftz=True)
+        clone = env.copy(clear=True)
+        assert clone.flags == FPFlag.NONE
+        assert clone.ftz
+
+    def test_str_rendering(self):
+        env = FPEnv(flags=FPFlag.INVALID, ftz=True)
+        text = str(env)
+        assert "invalid" in text and "ftz" in text

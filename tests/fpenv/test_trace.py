@@ -1,0 +1,91 @@
+"""Per-operation exception tracing."""
+
+import pytest
+
+from repro.fpenv import FPFlag, TracingEnv
+from repro.softfloat import SoftFloat, fp_add, fp_div, fp_mul, sf
+
+
+class TestTracingEnv:
+    def test_records_events_in_order(self):
+        env = TracingEnv()
+        fp_add(sf(0.1), sf(0.2), env)       # inexact
+        fp_div(sf(1.0), sf(0.0), env)       # div-by-zero
+        assert [e.operation for e in env.events] == ["add", "div"]
+        assert env.events[0].sequence == 1
+        assert env.events[1].flags & FPFlag.DIV_BY_ZERO
+
+    def test_clean_operations_not_recorded(self):
+        env = TracingEnv()
+        fp_add(sf(1.5), sf(0.25), env)  # exact
+        assert env.events == ()
+
+    def test_first_occurrence(self):
+        env = TracingEnv()
+        fp_add(sf(0.1), sf(0.2), env)
+        fp_div(sf(0.0), sf(0.0), env)
+        fp_div(sf(0.0), sf(0.0), env)
+        first = env.first_occurrence(FPFlag.INVALID)
+        assert first is not None and first.sequence == 2
+        assert env.first_occurrence(FPFlag.OVERFLOW) is None
+
+    def test_sticky_flags_still_work(self):
+        env = TracingEnv()
+        fp_div(sf(1.0), sf(0.0), env)
+        assert env.test_flag(FPFlag.DIV_BY_ZERO)
+
+    def test_capacity_bounds_buffer_but_keeps_firsts(self):
+        env = TracingEnv(capacity=5)
+        fp_div(sf(0.0), sf(0.0), env)  # the INVALID first
+        for _ in range(10):
+            fp_add(sf(0.1), sf(0.2), env)
+        assert len(env.events) == 5
+        assert env.first_occurrence(FPFlag.INVALID).sequence == 1
+
+    def test_count(self):
+        env = TracingEnv()
+        for _ in range(3):
+            fp_add(sf(0.1), sf(0.2), env)
+        assert env.count(FPFlag.INEXACT) == 3
+        assert env.count(FPFlag.INVALID) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TracingEnv(capacity=0)
+
+    def test_render(self):
+        env = TracingEnv()
+        fp_mul(SoftFloat.max_finite(), sf(2.0), env)
+        text = env.render()
+        assert "overflow" in text and "mul" in text
+
+    def test_constructor_accepts_env_kwargs(self):
+        env = TracingEnv(ftz=True)
+        assert env.ftz
+
+
+class TestSpyTracing:
+    def test_spy_trace_reports_first_nan_site(self):
+        from repro.fpspy import spy, workload
+
+        with spy(trace=True) as report:
+            workload("naive-variance").run()
+        first = report.trace.first_occurrence(FPFlag.INVALID)
+        assert first is not None
+        assert first.operation == "sqrt"
+
+    def test_spy_without_trace_has_none(self):
+        from repro.fpspy import spy
+
+        with spy() as report:
+            pass
+        assert report.trace is None
+
+    def test_spy_trace_does_not_leak(self):
+        from repro.fpenv import get_env
+        from repro.fpspy import spy
+
+        with spy(trace=True):
+            _ = sf(0.0) / sf(0.0)
+        assert not isinstance(get_env(), TracingEnv)
+        assert not get_env().test_flag(FPFlag.INVALID)

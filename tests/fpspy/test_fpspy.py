@@ -1,0 +1,180 @@
+"""fpspy: the runtime exception monitor and its workloads."""
+
+import numpy as np
+import pytest
+
+from repro.fpenv import FPFlag, env_context, get_env
+from repro.fpspy import (
+    WORKLOADS,
+    render_report,
+    spy,
+    suspicion_summary,
+    workload,
+)
+from repro.softfloat import SoftFloat, sf
+
+
+class TestSpyMonitor:
+    def test_captures_softfloat_flags(self):
+        with spy() as report:
+            _ = sf(1.0) / sf(0.0)
+        assert report.occurred(FPFlag.DIV_BY_ZERO)
+        assert report.softfloat_flags & FPFlag.DIV_BY_ZERO
+
+    def test_does_not_leak_flags_to_caller(self):
+        with env_context() as outer:
+            with spy() as report:
+                _ = sf(0.0) / sf(0.0)
+            assert report.occurred(FPFlag.INVALID)
+            assert outer.flags == FPFlag.NONE
+
+    def test_captures_numpy_exceptions(self):
+        with spy() as report:
+            _ = np.array([1.0]) / np.array([0.0])
+            _ = np.array([1e308]) * np.array([1e308])
+            _ = np.array([0.0]) / np.array([0.0])
+        assert report.occurred(FPFlag.DIV_BY_ZERO)
+        assert report.occurred(FPFlag.OVERFLOW)
+        assert report.occurred(FPFlag.INVALID)
+        assert report.numpy_events >= 3
+
+    def test_numpy_underflow(self):
+        with spy() as report:
+            _ = np.array([1e-300]) * np.array([1e-300])
+        assert report.occurred(FPFlag.UNDERFLOW)
+
+    def test_clean_run(self):
+        with spy() as report:
+            _ = sf(1.5) + sf(0.25)  # exact
+        assert report.clean
+        assert report.flags == FPFlag.NONE
+
+    def test_inexact_alone_is_still_clean(self):
+        with spy() as report:
+            _ = sf(0.1) + sf(0.2)
+        assert report.occurred(FPFlag.INEXACT)
+        assert report.clean
+
+    def test_env_overrides(self):
+        with spy(ftz=True) as report:
+            tiny = SoftFloat.min_normal()
+            _ = tiny * sf(0.5)
+        assert report.occurred(FPFlag.UNDERFLOW)
+        assert get_env().ftz is False  # override was scoped
+
+    def test_numpy_errstate_restored(self):
+        before = np.geterr()
+        with spy():
+            pass
+        assert np.geterr() == before
+
+
+class TestReports:
+    def test_suspicion_summary_covers_all_conditions(self):
+        with spy() as report:
+            _ = sf(0.0) / sf(0.0)
+        rows = suspicion_summary(report)
+        assert [row["condition"] for row in rows] == [
+            "Overflow", "Underflow", "Precision", "Invalid", "Denorm",
+        ]
+        invalid_row = rows[3]
+        assert invalid_row["occurred"] is True
+        assert invalid_row["reference_suspicion"] == 5
+
+    def test_nan_verdict(self):
+        with spy() as report:
+            _ = sf(0.0) / sf(0.0)
+        assert "DO NOT TRUST" in render_report(report)
+
+    def test_overflow_verdict(self):
+        with spy() as report:
+            _ = SoftFloat.max_finite() * sf(2.0)
+        text = render_report(report)
+        assert "suspicion" in text.lower()
+        assert "infinities occurred" in text
+
+    def test_clean_verdict(self):
+        with spy() as report:
+            _ = sf(1.0) + sf(2.0)
+        assert "No exceptional conditions" in render_report(report)
+
+    def test_rounding_only_verdict(self):
+        with spy() as report:
+            _ = sf(0.1) + sf(0.2)
+        assert "plausibly fine" in render_report(report)
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("item", WORKLOADS, ids=lambda w: w.name)
+    def test_expected_flags_exact(self, item):
+        """Each workload raises exactly its documented softfloat flags."""
+        with spy() as report:
+            item.run()
+        assert report.softfloat_flags == item.expected_flags, item.name
+
+    def test_lorenz_stays_on_attractor(self):
+        from repro.fpspy import lorenz_trajectory
+
+        x, y, z = lorenz_trajectory(steps=120)
+        assert all(abs(v) < 100 for v in (x, y, z))
+
+    def test_naive_variance_yields_nan(self):
+        from repro.fpspy import naive_variance
+        import math
+
+        assert math.isnan(naive_variance())
+
+    def test_compounding_growth_hits_infinity(self):
+        from repro.fpspy import compounding_growth
+        import math
+
+        assert math.isinf(compounding_growth())
+
+    def test_probability_underflow_reaches_zero(self):
+        from repro.fpspy import probability_underflow
+
+        assert probability_underflow() == 0.0
+
+    def test_logistic_map_stays_in_unit_interval(self):
+        from repro.fpspy import logistic_map
+
+        assert 0.0 <= logistic_map() <= 1.0
+
+    def test_workload_lookup(self):
+        assert workload("lorenz").name == "lorenz"
+        with pytest.raises(KeyError):
+            workload("nonexistent")
+
+    def test_no_python_exception_escapes(self):
+        """The Exception Signal ground truth, at workload scale: even
+        the NaN- and inf-producing runs complete silently."""
+        for item in WORKLOADS:
+            with spy():
+                item.run()  # must not raise
+
+
+class TestNewtonWorkload:
+    def test_newton_returns_nan_silently(self):
+        import math
+
+        from repro.fpspy import newton_no_root
+
+        assert math.isnan(newton_no_root())
+
+    def test_trace_pinpoints_the_division(self):
+        from repro.fpspy import spy, workload
+
+        with spy(trace=True) as report:
+            workload("newton-no-root").run()
+        first_div = report.trace.first_occurrence(FPFlag.DIV_BY_ZERO)
+        first_invalid = report.trace.first_occurrence(FPFlag.INVALID)
+        assert first_div.operation == "div"
+        assert first_invalid.sequence > first_div.sequence
+
+    def test_converged_well_before_iterations_cap_would_matter(self):
+        """More iterations change nothing: NaN is absorbing."""
+        import math
+
+        from repro.fpspy import newton_no_root
+
+        assert math.isnan(newton_no_root(iterations=50))

@@ -1,0 +1,328 @@
+"""Numerically careful algorithms vs their fragile textbook versions."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpenv.env import FPEnv
+from repro.numerics import (
+    compensated_dot,
+    exact_dot,
+    exact_sum,
+    fma_dot,
+    horner,
+    kahan_sum,
+    naive_dot,
+    naive_poly,
+    naive_sum,
+    neumaier_sum,
+    pairwise_sum,
+    quadratic_roots_stable,
+    quadratic_roots_textbook,
+    sum_error_ulps,
+)
+from repro.numerics.poly import exact_poly
+from repro.softfloat import SoftFloat, sf
+
+moderate = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def _nasty_sum_data(n=64, seed=0):
+    """Alternating huge/tiny values: a worst case for naive summation."""
+    rng = random.Random(seed)
+    values = []
+    for i in range(n):
+        if i % 2 == 0:
+            values.append(sf(rng.uniform(1e12, 1e13)))
+        else:
+            values.append(sf(rng.uniform(1e-6, 1e-3)))
+    # Cancelling pairs to shrink the true sum (condition number grows).
+    values.extend(-v for v in values[: n // 2 : 2])
+    return values
+
+
+class TestSummation:
+    def test_all_agree_on_exact_data(self):
+        values = [sf(v) for v in (1.5, 0.25, -0.75, 2.0)]
+        env = FPEnv()
+        exact = exact_sum(values)
+        for algorithm in (naive_sum, pairwise_sum, kahan_sum, neumaier_sum):
+            assert algorithm(values, env).to_fraction() == exact
+
+    def test_accuracy_hierarchy_on_nasty_data(self):
+        values = _nasty_sum_data()
+        exact = exact_sum(values)
+        env = FPEnv()
+        naive_err = sum_error_ulps(naive_sum(values, env), exact)
+        pairwise_err = sum_error_ulps(pairwise_sum(values, env), exact)
+        kahan_err = sum_error_ulps(kahan_sum(values, env), exact)
+        neumaier_err = sum_error_ulps(neumaier_sum(values, env), exact)
+        assert kahan_err <= naive_err
+        assert neumaier_err <= naive_err
+        assert pairwise_err <= naive_err * 4  # log n vs n growth
+        assert neumaier_err < 2.0  # compensated: ulp-level
+
+    def test_kahan_fixes_the_absorption_case(self):
+        # 1 + 2^-53 added 4096 times: naive absorbs every addend.
+        tiny = sf(2.0**-53)
+        values = [sf(1.0)] + [tiny] * 4096
+        env = FPEnv()
+        naive_result = naive_sum(values, env)
+        kahan_result = kahan_sum(values, env)
+        exact = exact_sum(values)
+        assert naive_result.to_float() == 1.0  # everything absorbed
+        assert sum_error_ulps(kahan_result, exact) < 1.0
+
+    def test_neumaier_beats_kahan_when_addend_dominates(self):
+        # Kahan's classic failure: a big addend arriving late.
+        values = [sf(1.0), sf(1e100), sf(1.0), sf(-1e100)]
+        env = FPEnv()
+        exact = exact_sum(values)  # = 2
+        assert kahan_sum(values, env).to_float() != 2.0
+        assert neumaier_sum(values, env).to_float() == 2.0
+
+    def test_fast_math_destroys_kahan(self):
+        """The compensation term is algebraically zero; reassociation
+        'simplifies' it away.  Demonstrated via the optsim pipeline on
+        the compensation expression."""
+        from repro.optsim import OFAST, optimize, parse_expr
+
+        compensation = parse_expr("((t + y) - t) - y")
+        folded = optimize(compensation, OFAST)
+        assert str(folded) == "0.0"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            naive_sum([])
+        with pytest.raises(ValueError):
+            exact_sum([])
+
+    @settings(max_examples=100)
+    @given(st.lists(moderate, min_size=1, max_size=30))
+    def test_neumaier_within_one_ulp_property(self, raw):
+        values = [sf(v) for v in raw]
+        env = FPEnv()
+        result = neumaier_sum(values, env)
+        exact = exact_sum(values)
+        if result.is_finite and exact != 0:
+            assert sum_error_ulps(result, exact) <= 1.0
+
+
+class TestDot:
+    def _vectors(self, seed=1, n=32):
+        rng = random.Random(seed)
+        xs = [sf(rng.uniform(-1e3, 1e3)) for _ in range(n)]
+        ys = [sf(rng.uniform(-1e3, 1e3)) for _ in range(n)]
+        return xs, ys
+
+    def test_all_close_on_benign_data(self):
+        xs, ys = self._vectors()
+        exact = exact_dot(xs, ys)
+        env = FPEnv()
+        for algorithm in (naive_dot, fma_dot, compensated_dot):
+            got = algorithm(xs, ys, env).to_fraction()
+            assert abs(got - exact) / abs(exact) < Fraction(1, 10**12)
+
+    def test_fma_differs_from_naive(self):
+        """The MADD divergence, at algorithm scale."""
+        rng = random.Random(3)
+        for _ in range(50):
+            xs = [sf(rng.uniform(-1, 1)) for _ in range(8)]
+            ys = [sf(rng.uniform(-1, 1)) for _ in range(8)]
+            env = FPEnv()
+            if not naive_dot(xs, ys, env).same_bits(fma_dot(xs, ys, env)):
+                return
+        pytest.fail("fma_dot never diverged from naive_dot")
+
+    def test_compensated_wins_on_cancelling_data(self):
+        # x . y with massive cancellation: pairs that nearly cancel.
+        xs = [sf(1e10), sf(1.0), sf(-1e10), sf(1.0)]
+        ys = [sf(1e10), sf(1.0), sf(1e10), sf(1.0)]
+        exact = exact_dot(xs, ys)  # = 2
+        env = FPEnv()
+        assert exact == 2
+        naive_result = naive_dot(xs, ys, env)
+        compensated_result = compensated_dot(xs, ys, env)
+        assert naive_result.to_float() != 2.0
+        assert compensated_result.to_float() == 2.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            naive_dot([sf(1.0)], [sf(1.0), sf(2.0)])
+
+    # Dot2's error bound assumes no underflow: products must stay well
+    # above the subnormal range (the standard ORO precondition).
+    no_underflow = moderate.filter(lambda v: v == 0.0 or abs(v) > 1e-100)
+
+    @settings(max_examples=60)
+    @given(st.lists(st.tuples(no_underflow, no_underflow),
+                    min_size=1, max_size=20))
+    def test_compensated_near_exact_property(self, pairs):
+        xs = [sf(x) for x, _ in pairs]
+        ys = [sf(y) for _, y in pairs]
+        env = FPEnv()
+        result = compensated_dot(xs, ys, env)
+        exact = exact_dot(xs, ys)
+        if not result.is_finite:
+            return
+        if exact == 0:
+            assert abs(result.to_float()) < 1e-3
+        else:
+            error = abs(result.to_fraction() - exact) / abs(exact)
+            assert error < Fraction(1, 10**13)
+
+
+class TestPolynomial:
+    def test_agree_on_small_cases(self):
+        coefficients = [sf(1.0), sf(-2.0), sf(3.0)]  # 1 - 2x + 3x^2
+        x = sf(0.5)
+        env = FPEnv()
+        assert naive_poly(coefficients, x, env).to_float() == 0.75
+        assert horner(coefficients, x, env).to_float() == 0.75
+
+    def test_horner_at_least_as_accurate_near_a_root(self):
+        # (x - 1)^5 expanded; evaluate just next to the root x = 1.
+        coefficients = [sf(c) for c in (-1.0, 5.0, -10.0, 10.0, -5.0, 1.0)]
+        x = sf(1.0 + 2.0**-20)
+        exact = exact_poly(coefficients, x)
+        env = FPEnv()
+        horner_err = abs(horner(coefficients, x, env).to_fraction() - exact)
+        naive_err = abs(
+            naive_poly(coefficients, x, env).to_fraction() - exact
+        )
+        assert horner_err <= naive_err * 2  # typically equal or better
+
+    def test_naive_powers_overflow_earlier(self):
+        # x^8 overflows; Horner on the same coefficients with leading
+        # zeros... use degree-8 poly with tiny leading coefficient so
+        # the true value is finite but x^8 is not.
+        coefficients = [sf(0.0)] * 8 + [sf(1e-300)]
+        x = sf(1e40)
+        env_naive, env_horner = FPEnv(), FPEnv()
+        naive_result = naive_poly(coefficients, x, env_naive)
+        horner_result = horner(coefficients, x, env_horner)
+        assert naive_result.is_inf  # x^8 = 1e320 overflows first
+        assert horner_result.is_inf or horner_result.is_finite
+        # Horner multiplies the tiny coefficient in early and survives.
+        assert horner_result.is_finite
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            horner([], sf(1.0))
+
+
+class TestQuadratic:
+    def test_agree_on_well_conditioned(self):
+        a, b, c = sf(1.0), sf(-3.0), sf(2.0)  # roots 1 and 2
+        env = FPEnv()
+        textbook = quadratic_roots_textbook(a, b, c, env)
+        stable = quadratic_roots_stable(a, b, c, env)
+        assert {r.to_float() for r in textbook} == {1.0, 2.0}
+        assert {r.to_float() for r in stable} == {1.0, 2.0}
+
+    def test_cancellation_case(self):
+        """x^2 - 1e8 x + 1: roots ~1e8 and ~1e-8.  The textbook small
+        root cancels to garbage; the stable one is correct."""
+        a, b, c = sf(1.0), sf(-1e8), sf(1.0)
+        env = FPEnv()
+        _, textbook_small = quadratic_roots_textbook(a, b, c, env)
+        _, stable_small = quadratic_roots_stable(a, b, c, env)
+        true_small = 1e-8  # to first order
+        textbook_error = abs(textbook_small.to_float() - true_small)
+        stable_error = abs(stable_small.to_float() - true_small)
+        assert stable_error < textbook_error / 100
+        assert stable_small.to_float() == pytest.approx(1e-8, rel=1e-12)
+
+    def test_positive_b_branch(self):
+        a, b, c = sf(1.0), sf(1e8), sf(1.0)
+        env = FPEnv()
+        plus, _ = quadratic_roots_stable(a, b, c, env)
+        assert plus.to_float() == pytest.approx(-1e-8, rel=1e-12)
+
+    def test_roots_satisfy_vieta(self):
+        import random as rnd
+
+        rng = rnd.Random(5)
+        env = FPEnv()
+        for _ in range(30):
+            a = sf(rng.uniform(0.5, 2.0))
+            r1, r2 = rng.uniform(-10, 10), rng.uniform(-10, 10)
+            b = sf(-(r1 + r2)) * a
+            c = sf(r1 * r2) * a
+            plus, minus = quadratic_roots_stable(a, b, c, env)
+            if plus.is_nan or minus.is_nan:
+                continue  # complex roots after rounding: out of scope
+            product = (plus * minus).to_float()
+            assert product == pytest.approx(
+                (c / a).to_float(), rel=1e-9, abs=1e-9
+            )
+
+
+class TestConditioning:
+    def test_benign_sum_is_condition_one(self):
+        from repro.numerics import sum_condition
+
+        assert sum_condition([sf(1.0), sf(2.0), sf(3.0)]) == 1.0
+
+    def test_cancelling_sum_is_ill_conditioned(self):
+        from repro.numerics import sum_condition
+
+        kappa = sum_condition([sf(1e16), sf(1.0), sf(-1e16)])
+        assert kappa == pytest.approx(2e16, rel=0.1)
+
+    def test_zero_sum_is_infinite(self):
+        from repro.numerics import sum_condition
+
+        assert sum_condition([sf(1.0), sf(-1.0)]) == float("inf")
+
+    def test_dot_condition(self):
+        from repro.numerics import dot_condition
+
+        xs = [sf(1e10), sf(1.0), sf(-1e10), sf(1.0)]
+        ys = [sf(1e10), sf(1.0), sf(1e10), sf(1.0)]
+        assert dot_condition(xs, ys) == pytest.approx(1e20, rel=0.1)
+
+    def test_validation(self):
+        from repro.numerics import dot_condition, sum_condition
+
+        with pytest.raises(ValueError):
+            sum_condition([])
+        with pytest.raises(ValueError):
+            dot_condition([sf(1.0)], [])
+
+    def test_error_scales_with_condition(self):
+        """The whole point: naive error grows with kappa; compensated
+        stays flat until kappa approaches 1/eps."""
+        from repro.numerics import (
+            exact_sum,
+            naive_sum,
+            neumaier_sum,
+            sum_condition,
+            sum_error_ulps,
+        )
+
+        def instance(scale):
+            # Irrational-ish addends: their low bits are shaved off by
+            # the big partials, unlike small integers which add exactly.
+            return [sf(scale), sf(3.141592653589793),
+                    sf(2.718281828459045), sf(-scale),
+                    sf(1.4142135623730951)]
+
+        env = FPEnv()
+        errors = []
+        for scale in (1e4, 1e8, 1e12, 1e15):
+            values = instance(scale)
+            exact = exact_sum(values)
+            errors.append((
+                sum_condition(values),
+                sum_error_ulps(naive_sum(values, env), exact),
+                sum_error_ulps(neumaier_sum(values, env), exact),
+            ))
+        # Naive error increases along the kappa ladder...
+        naive_errors = [e[1] for e in errors]
+        assert naive_errors[-1] > naive_errors[0]
+        # ...while compensated stays at the ulp level throughout.
+        assert all(e[2] <= 1.0 for e in errors)

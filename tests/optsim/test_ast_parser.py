@@ -1,0 +1,97 @@
+"""Expression IR and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.optsim import (
+    FMA,
+    Binary,
+    BinOp,
+    Const,
+    Unary,
+    UnOp,
+    Var,
+    expr_variables,
+    parse_expr,
+)
+from repro.optsim.ast import expr_size, walk
+
+
+class TestParser:
+    def test_precedence(self):
+        assert str(parse_expr("a + b * c")) == "(a + (b * c))"
+        assert str(parse_expr("(a + b) * c")) == "((a + b) * c)"
+
+    def test_left_associativity(self):
+        assert str(parse_expr("a - b - c")) == "((a - b) - c)"
+        assert str(parse_expr("a / b / c")) == "((a / b) / c)"
+
+    def test_unary_minus(self):
+        expr = parse_expr("-a * b")
+        assert isinstance(expr, Binary)
+        assert isinstance(expr.left, Unary)
+
+    def test_unary_plus_is_dropped(self):
+        assert str(parse_expr("+a")) == "a"
+
+    def test_numbers(self):
+        assert parse_expr("0.5") == Const("0.5")
+        assert parse_expr("1e-3") == Const("1e-3")
+        assert parse_expr("0x1.8p1") == Const("0x1.8p1")
+        assert parse_expr(".25") == Const(".25")
+
+    def test_special_constants(self):
+        assert parse_expr("inf") == Const("inf")
+        assert parse_expr("NaN") == Const("nan")
+
+    def test_functions(self):
+        assert parse_expr("sqrt(x)") == Unary(UnOp.SQRT, Var("x"))
+        assert parse_expr("abs(x)") == Unary(UnOp.ABS, Var("x"))
+        assert parse_expr("fma(a, b, c)") == FMA(Var("a"), Var("b"), Var("c"))
+        assert parse_expr("min(a, b)") == Binary(BinOp.MIN, Var("a"), Var("b"))
+        assert parse_expr("max(a, b)") == Binary(BinOp.MAX, Var("a"), Var("b"))
+        assert parse_expr("rem(a, b)") == Binary(BinOp.REM, Var("a"), Var("b"))
+
+    def test_percent_is_remainder(self):
+        assert parse_expr("a % b") == Binary(BinOp.REM, Var("a"), Var("b"))
+
+    @pytest.mark.parametrize("bad", [
+        "", "a +", "(a", "a)", "sqrt()", "sqrt(a, b)", "fma(a, b)",
+        "foo(a)", "a @ b", "1 2",
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_expr(bad)
+
+    def test_nested(self):
+        expr = parse_expr("sqrt(a*a + b*b) / (a + b)")
+        assert expr_size(expr) == 12
+
+
+class TestIR:
+    def test_children_and_rebuild(self):
+        expr = parse_expr("a + b")
+        rebuilt = expr.with_children(Var("x"), Var("y"))
+        assert str(rebuilt) == "(x + y)"
+
+    def test_const_takes_no_children(self):
+        from repro.errors import OptimizationError
+
+        with pytest.raises(OptimizationError):
+            Const("1.0").with_children(Var("x"))
+
+    def test_walk_preorder(self):
+        expr = parse_expr("a * b + c")
+        kinds = [type(node).__name__ for node in walk(expr)]
+        assert kinds == ["Binary", "Binary", "Var", "Var", "Var"]
+
+    def test_expr_variables_first_occurrence_order(self):
+        assert expr_variables(parse_expr("b + a*b + c")) == ("b", "a", "c")
+
+    def test_structural_equality_and_hash(self):
+        assert parse_expr("a + b") == parse_expr("a + b")
+        assert parse_expr("a + b") != parse_expr("b + a")
+        assert hash(parse_expr("a + b")) == hash(parse_expr("a + b"))
+
+    def test_fma_str(self):
+        assert str(FMA(Var("a"), Var("b"), Var("c"))) == "fma(a, b, c)"

@@ -1,0 +1,137 @@
+"""Compliance checking: the optimization quiz's ground truth engine."""
+
+import pytest
+
+from repro.optsim import (
+    FAST_MATH,
+    O0,
+    O1,
+    O2,
+    O3,
+    OFAST,
+    STRICT,
+    find_divergence,
+    is_standard_compliant,
+    noncompliance_reasons,
+    optimization_level,
+    parse_expr,
+)
+from repro.optsim.compliance import corner_values
+from repro.softfloat import BINARY32, SoftFloat
+
+
+class TestComplianceClassification:
+    def test_compliant_levels(self):
+        for config in (STRICT, O0, O1, O2):
+            assert is_standard_compliant(config)
+            assert noncompliance_reasons(config) == ()
+
+    def test_noncompliant_levels(self):
+        for config in (O3, OFAST, FAST_MATH):
+            assert not is_standard_compliant(config)
+            assert noncompliance_reasons(config)
+
+    def test_the_quiz_answer_o2_is_the_highest_compliant(self):
+        levels = ["-O0", "-O1", "-O2", "-O3", "-Ofast"]
+        compliant = [
+            level for level in levels
+            if is_standard_compliant(optimization_level(level))
+        ]
+        assert compliant[-1] == "-O2"
+
+    def test_each_fast_math_subflag_has_a_reason(self):
+        reasons = noncompliance_reasons(OFAST)
+        text = " ".join(reasons)
+        for needle in ("fp-contract", "associative", "signed-zeros",
+                       "finite", "reciprocal", "FTZ", "DAZ"):
+            assert needle in text, needle
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            optimization_level("-O7")
+
+
+class TestDivergenceSearch:
+    def test_o2_never_diverges(self):
+        for source in ("a*b + c", "a + b + c + d", "x / 3.0",
+                       "sqrt(a*a + b*b)", "(a - b) / (a - b)"):
+            report = find_divergence(parse_expr(source), O2)
+            assert not report.diverged, source
+
+    def test_o3_diverges_on_multiply_add(self):
+        report = find_divergence(parse_expr("a*b + c"), O3)
+        assert report.diverged and report.value_diverged
+        assert report.witness is not None
+        assert "fma" in str(report.optimized_expr)
+
+    def test_o3_does_not_diverge_without_multiply_add(self):
+        report = find_divergence(parse_expr("a + b"), O3)
+        assert not report.diverged
+
+    def test_fast_math_diverges_on_sums(self):
+        report = find_divergence(parse_expr("a + b + c + d"), OFAST)
+        assert report.diverged
+
+    def test_ftz_only_config_diverges(self):
+        ftz = STRICT.replace(name="ftz", ftz=True, daz=True)
+        report = find_divergence(parse_expr("a * b"), ftz)
+        assert report.diverged
+
+    def test_flag_only_divergence_detected(self):
+        """Constant folding preserves values but erases flags."""
+        report = find_divergence(parse_expr("1.0 / 0.0"), O2)
+        assert report.diverged
+        assert report.flags_diverged and not report.value_diverged
+
+    def test_flag_divergence_can_be_ignored(self):
+        report = find_divergence(
+            parse_expr("1.0 / 0.0"), O2, check_flags=False
+        )
+        assert not report.diverged
+
+    def test_extra_witnesses_tried_first(self):
+        from repro.softfloat import sf
+
+        witness = {
+            "a": sf(1.0 + 2.0**-27), "b": sf(1.0 + 2.0**-27), "c": sf(-1.0),
+        }
+        report = find_divergence(
+            parse_expr("a*b + c"), O3, extra_witnesses=[witness]
+        )
+        assert report.diverged
+        assert report.trials == 1
+
+    def test_describe_mentions_witness(self):
+        report = find_divergence(parse_expr("a*b + c"), O3)
+        text = report.describe()
+        assert "-O3" in text and "fma" in text
+
+    def test_describe_no_divergence(self):
+        report = find_divergence(parse_expr("a + b"), O2)
+        assert "no divergence" in report.describe()
+
+    def test_deterministic_given_seed(self):
+        r1 = find_divergence(parse_expr("a + b + c + d"), OFAST, seed=7)
+        r2 = find_divergence(parse_expr("a + b + c + d"), OFAST, seed=7)
+        assert r1.trials == r2.trials
+        assert r1.witness is not None and r2.witness is not None
+        assert {k: v.bits for k, v in r1.witness.items()} == \
+            {k: v.bits for k, v in r2.witness.items()}
+
+    def test_search_respects_config_format(self):
+        narrow = O3.replace(fmt=BINARY32)
+        report = find_divergence(parse_expr("a*b + c"), narrow)
+        assert report.diverged
+        assert report.witness is not None
+        assert all(v.fmt == BINARY32 for v in report.witness.values())
+
+
+class TestCornerValues:
+    def test_corner_set_covers_the_classes(self):
+        corners = corner_values(STRICT.fmt)
+        assert any(v.is_nan for v in corners)
+        assert any(v.is_inf for v in corners)
+        assert any(v.is_subnormal for v in corners)
+        assert any(v.is_zero and v.sign == 1 for v in corners)
+        assert any(v.same_bits(SoftFloat.max_finite(STRICT.fmt))
+                   for v in corners)

@@ -1,0 +1,114 @@
+"""Expression evaluation under machine configurations."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.fpenv.flags import FPFlag
+from repro.fpenv.rounding import RoundingMode
+from repro.optsim import (
+    STRICT,
+    EvalResult,
+    MachineConfig,
+    evaluate,
+    evaluate_strict,
+    parse_expr,
+)
+from repro.optsim.evaluator import bind
+from repro.softfloat import BINARY32, BINARY64, SoftFloat, sf
+
+
+class TestBasicEvaluation:
+    def test_arithmetic(self):
+        result = evaluate_strict(parse_expr("2.0 * 3.0 + 1.0"), {})
+        assert result.value.to_float() == 7.0
+
+    def test_variables(self):
+        result = evaluate_strict(
+            parse_expr("x * y"), bind(STRICT, x=2.5, y=4.0)
+        )
+        assert result.value.to_float() == 10.0
+
+    def test_unbound_variable(self):
+        with pytest.raises(OptimizationError):
+            evaluate_strict(parse_expr("x"), {})
+
+    def test_functions(self):
+        assert evaluate_strict(
+            parse_expr("sqrt(abs(-16.0))"), {}
+        ).value.to_float() == 4.0
+        assert evaluate_strict(
+            parse_expr("fma(2.0, 3.0, 1.0)"), {}
+        ).value.to_float() == 7.0
+        assert evaluate_strict(
+            parse_expr("min(2.0, 3.0) + max(2.0, 3.0)"), {}
+        ).value.to_float() == 5.0
+        assert evaluate_strict(
+            parse_expr("rem(5.0, 2.0)"), {}
+        ).value.to_float() == 1.0
+
+    def test_unary_minus(self):
+        assert evaluate_strict(
+            parse_expr("-x"), bind(STRICT, x=3.0)
+        ).value.to_float() == -3.0
+
+    def test_flags_captured(self):
+        result = evaluate_strict(parse_expr("1.0 / 0.0"), {})
+        assert result.value.is_inf
+        assert result.flags & FPFlag.DIV_BY_ZERO
+
+    def test_result_str(self):
+        result = evaluate_strict(parse_expr("0.1 + 0.2"), {})
+        assert "inexact" in str(result)
+
+
+class TestMachineSemantics:
+    def test_format_controls_precision(self):
+        narrow = STRICT.replace(fmt=BINARY32)
+        wide_result = evaluate_strict(parse_expr("1.0 / 3.0"), {})
+        narrow_result = evaluate(parse_expr("1.0 / 3.0"), {}, narrow)
+        assert wide_result.value.to_float() != narrow_result.value.to_float()
+
+    def test_binding_conversion_on_format_mismatch(self):
+        narrow = STRICT.replace(fmt=BINARY32)
+        bindings = {"x": sf(0.1, BINARY64)}  # wider than the machine
+        result = evaluate(parse_expr("x"), bindings, narrow)
+        assert result.value.fmt == BINARY32
+
+    def test_rounding_mode(self):
+        toward_zero = STRICT.replace(rounding=RoundingMode.TOWARD_ZERO)
+        # 1/5 rounds up under RNE but truncates under toward-zero.
+        up = evaluate(parse_expr("1.0 / 5.0"), {}, STRICT)
+        down = evaluate(parse_expr("1.0 / 5.0"), {}, toward_zero)
+        assert up.value.to_fraction() > down.value.to_fraction()
+
+    def test_ftz_flushes(self):
+        ftz = STRICT.replace(ftz=True)
+        tiny = {"x": SoftFloat.min_normal(BINARY64)}
+        strict_result = evaluate(parse_expr("x * 0.5"), tiny, STRICT)
+        ftz_result = evaluate(parse_expr("x * 0.5"), tiny, ftz)
+        assert strict_result.value.is_subnormal
+        assert ftz_result.value.is_zero
+
+    def test_constants_convert_quietly(self):
+        """Literal rounding is compile-time: no runtime inexact."""
+        result = evaluate_strict(parse_expr("0.1"), {})
+        assert result.flags == FPFlag.NONE
+
+    def test_explicit_env_accumulates(self):
+        from repro.fpenv.env import FPEnv
+
+        env = FPEnv()
+        evaluate(parse_expr("1.0 / 0.0"), {}, STRICT, env)
+        evaluate(parse_expr("0.0 / 0.0"), {}, STRICT, env)
+        assert env.test_flag(FPFlag.DIV_BY_ZERO | FPFlag.INVALID)
+
+
+class TestBindHelper:
+    def test_bind_converts_numbers(self):
+        bindings = bind(STRICT, a=1, b=2.5)
+        assert bindings["a"].to_float() == 1.0
+        assert bindings["b"].to_float() == 2.5
+
+    def test_bind_respects_format(self):
+        narrow = MachineConfig(fmt=BINARY32)
+        assert bind(narrow, x=0.1)["x"].fmt == BINARY32

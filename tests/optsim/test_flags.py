@@ -1,0 +1,82 @@
+"""gcc-style flag-string parsing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.optsim import (
+    config_from_flags,
+    is_standard_compliant,
+    noncompliance_reasons,
+)
+
+
+class TestFlagComposition:
+    def test_plain_o2_is_compliant(self):
+        assert is_standard_compliant(config_from_flags("gcc -O2 -Wall x.c"))
+
+    def test_o3_contracts(self):
+        assert config_from_flags("gcc -O3").fp_contract
+
+    def test_ofast_is_fast_math(self):
+        config = config_from_flags("cc -Ofast")
+        assert config.fast_math and config.ftz and config.daz
+
+    def test_fast_math_flag(self):
+        config = config_from_flags("gcc -O2 -ffast-math")
+        assert config.allow_reassoc and config.finite_math_only
+
+    def test_later_flags_override(self):
+        config = config_from_flags("gcc -ffast-math -fno-fast-math")
+        assert is_standard_compliant(config)
+        back_on = config_from_flags("gcc -fno-fast-math -ffast-math")
+        assert not is_standard_compliant(back_on)
+
+    def test_subflag_negation(self):
+        config = config_from_flags(
+            "gcc -O2 -ffast-math -fno-finite-math-only -fsigned-zeros"
+        )
+        assert not config.finite_math_only
+        assert not config.no_signed_zeros
+        assert config.allow_reassoc  # the rest of fast-math survives
+
+    def test_individual_subflags(self):
+        config = config_from_flags("gcc -O2 -fassociative-math")
+        assert config.allow_reassoc
+        assert not config.finite_math_only
+        reasons = noncompliance_reasons(config)
+        assert len(reasons) == 1 and "associative" in reasons[0]
+
+    def test_fp_contract_values(self):
+        assert config_from_flags("gcc -ffp-contract=fast").fp_contract
+        assert not config_from_flags("gcc -O3 -ffp-contract=off").fp_contract
+
+    def test_daz_ftz(self):
+        config = config_from_flags("icc -O2 -mdaz-ftz")
+        assert config.ftz and config.daz
+        off = config_from_flags("icc -Ofast -mno-daz-ftz")
+        assert not off.ftz and not off.daz
+
+    def test_level_resets_fast_math(self):
+        """'-Ofast -O2' ends at -O2 semantics (last level wins)."""
+        config = config_from_flags("gcc -Ofast -O2")
+        assert is_standard_compliant(config)
+
+    def test_unknown_fp_flag_rejected(self):
+        with pytest.raises(ParseError):
+            config_from_flags("gcc -funsafe-math-optimizations")
+        with pytest.raises(ParseError):
+            config_from_flags("gcc -frounding-math")
+
+    def test_irrelevant_tokens_ignored(self):
+        config = config_from_flags("gcc -Wall -g -o prog main.c -lm")
+        assert is_standard_compliant(config)
+
+    def test_name_records_the_command_line(self):
+        assert config_from_flags("gcc -O3").name == "gcc -O3"
+
+    def test_composed_config_actually_diverges(self):
+        from repro.optsim import find_divergence, parse_expr
+
+        config = config_from_flags("gcc -O2 -fassociative-math")
+        report = find_divergence(parse_expr("a + b + c + d"), config)
+        assert report.diverged

@@ -1,0 +1,220 @@
+"""Optimization passes: gating, rewrites, and semantics preservation."""
+
+import itertools
+
+import pytest
+
+from repro.optsim import (
+    FAST_MATH,
+    O2,
+    O3,
+    OFAST,
+    STRICT,
+    evaluate,
+    optimize,
+    parse_expr,
+)
+from repro.optsim.machine import MachineConfig
+from repro.optsim.passes import (
+    ALL_PASSES,
+    ConstantFold,
+    FastMathAlgebra,
+    FMAContraction,
+    IdentitySimplify,
+    Reassociate,
+)
+from repro.optsim.pipeline import enabled_passes
+from repro.softfloat import SoftFloat, sf
+
+
+class TestGating:
+    def test_strict_enables_only_value_preserving_passes(self):
+        for pass_ in enabled_passes(STRICT):
+            assert pass_.value_preserving, pass_.name
+
+    def test_o3_enables_contraction(self):
+        names = {p.name for p in enabled_passes(O3)}
+        assert "fma-contraction" in names
+        assert "reassociate" not in names
+
+    def test_ofast_enables_everything(self):
+        assert len(enabled_passes(OFAST)) == len(ALL_PASSES)
+
+    def test_o2_does_not_contract(self):
+        assert str(optimize(parse_expr("a*b + c"), O2)) == "((a * b) + c)"
+
+
+class TestFMAContraction:
+    contraction = FMAContraction()
+
+    @pytest.mark.parametrize("source,expected", [
+        ("a*b + c", "fma(a, b, c)"),
+        ("c + a*b", "fma(a, b, c)"),
+        ("a*b - c", "fma(a, b, (-c))"),
+        ("c - a*b", "fma((-a), b, c)"),
+        ("a + b", "(a + b)"),
+    ])
+    def test_patterns(self, source, expected):
+        rewritten = self.contraction.apply(parse_expr(source), O3)
+        assert str(rewritten) == expected
+
+    def test_nested_contraction(self):
+        rewritten = self.contraction.apply(
+            parse_expr("(a*b + c) * d + e"), O3
+        )
+        assert str(rewritten) == "fma(fma(a, b, c), d, e)"
+
+    def test_contraction_changes_results(self):
+        expr = parse_expr("a*a - 1.0")
+        a = sf(1.0 + 2.0**-27)
+        strict = evaluate(expr, {"a": a}, STRICT).value
+        fused = evaluate(optimize(expr, O3), {"a": a}, O3).value
+        assert not strict.same_bits(fused)
+
+
+class TestReassociate:
+    def test_chain_is_rebalanced(self):
+        rewritten = Reassociate().apply(parse_expr("a + b + c + d"), OFAST)
+        assert str(rewritten) == "((a + b) + (c + d))"
+
+    def test_short_chains_untouched(self):
+        assert str(Reassociate().apply(parse_expr("a + b"), OFAST)) == \
+            "(a + b)"
+
+    def test_subtraction_joins_the_chain(self):
+        rewritten = Reassociate().apply(parse_expr("a + b - c + d"), OFAST)
+        assert "(-c)" in str(rewritten)
+
+    def test_reassociation_changes_results(self):
+        expr = parse_expr("a + b + c + d")
+        # Left-to-right, each tiny addend is absorbed by the tie rule;
+        # balanced, the two tiny addends combine and survive.
+        bindings = {
+            "a": sf(1.0), "b": sf(2.0**-53), "c": sf(2.0**-53),
+            "d": sf(2.0**-53),
+        }
+        strict = evaluate(expr, bindings, STRICT).value
+        balanced = evaluate(optimize(expr, OFAST), bindings, OFAST).value
+        assert not strict.same_bits(balanced)
+
+
+class TestIdentitySimplify:
+    simplify = IdentitySimplify()
+
+    @pytest.mark.parametrize("source,expected", [
+        ("x * 1.0", "x"),
+        ("1.0 * x", "x"),
+        ("x / 1.0", "x"),
+        ("--x", "x"),
+        ("abs(abs(x))", "abs(x)"),
+        ("x + 0.0", "(x + 0.0)"),  # NOT simplified: breaks -0
+    ])
+    def test_rewrites(self, source, expected):
+        assert str(self.simplify.apply(parse_expr(source), STRICT)) == expected
+
+    def test_is_semantics_preserving_exhaustively(self):
+        """x*1 etc. hold for every binary64 corner value."""
+        from repro.optsim.compliance import corner_values
+
+        for source in ("x * 1.0", "1.0 * x", "x / 1.0", "--x"):
+            expr = parse_expr(source)
+            rewritten = self.simplify.apply(expr, STRICT)
+            for value in corner_values(STRICT.fmt):
+                before = evaluate(expr, {"x": value}, STRICT).value
+                after = evaluate(rewritten, {"x": value}, STRICT).value
+                assert before.same_bits(after) or (
+                    before.is_nan and after.is_nan
+                ), (source, str(value))
+
+
+class TestFastMathAlgebra:
+    algebra = FastMathAlgebra()
+
+    def test_x_plus_zero_requires_nsz(self):
+        nsz = MachineConfig(no_signed_zeros=True)
+        assert str(self.algebra.apply(parse_expr("x + 0.0"), nsz)) == "x"
+        finite_only = MachineConfig(finite_math_only=True)
+        assert str(
+            self.algebra.apply(parse_expr("x + 0.0"), finite_only)
+        ) == "(x + 0.0)"
+
+    def test_x_plus_zero_is_wrong_for_negative_zero(self):
+        """The rewrite's unsoundness, demonstrated."""
+        nz = SoftFloat.zero(STRICT.fmt, 1)
+        strict = evaluate(parse_expr("x + 0.0"), {"x": nz}, STRICT).value
+        assert strict.sign == 0  # -0 + 0 = +0: dropping the add flips it
+
+    def test_x_minus_x_requires_finite_math(self):
+        finite = MachineConfig(finite_math_only=True)
+        assert str(self.algebra.apply(parse_expr("x - x"), finite)) == "0.0"
+
+    def test_x_over_x(self):
+        finite = MachineConfig(finite_math_only=True)
+        assert str(self.algebra.apply(parse_expr("x / x"), finite)) == "1.0"
+
+    def test_mul_zero_requires_both_flags(self):
+        both = MachineConfig(no_signed_zeros=True, finite_math_only=True)
+        assert str(self.algebra.apply(parse_expr("x * 0.0"), both)) == "0.0"
+        only_nsz = MachineConfig(no_signed_zeros=True)
+        assert "*" in str(self.algebra.apply(parse_expr("x * 0.0"), only_nsz))
+
+    def test_reciprocal_rewrite(self):
+        recip = MachineConfig(reciprocal_math=True)
+        rewritten = self.algebra.apply(parse_expr("x / 3.0"), recip)
+        assert "*" in str(rewritten)
+        # Power-of-two divisors have exact reciprocals: still rewritten,
+        # and harmlessly so.
+        exact = self.algebra.apply(parse_expr("x / 4.0"), recip)
+        assert "*" in str(exact)
+
+    def test_reciprocal_of_zero_not_rewritten(self):
+        recip = MachineConfig(reciprocal_math=True)
+        assert "/" in str(self.algebra.apply(parse_expr("x / 0.0"), recip))
+
+    def test_double_rounding_witness(self):
+        expr = parse_expr("x / 3.0")
+        diverged = False
+        for i in range(200):
+            x = sf(1.0 + i * 0.001)
+            strict = evaluate(expr, {"x": x}, STRICT).value
+            fast = evaluate(optimize(expr, OFAST), {"x": x}, OFAST).value
+            if not strict.same_bits(fast):
+                diverged = True
+                break
+        assert diverged
+
+
+class TestConstantFold:
+    fold = ConstantFold()
+
+    def test_folds_constant_subtrees(self):
+        folded = self.fold.apply(parse_expr("2.0 * 3.0 + x"), STRICT)
+        assert str(folded) == "(0x1.8p+2 + x)"
+
+    def test_fold_preserves_value(self):
+        expr = parse_expr("0.1 + 0.2")
+        folded = self.fold.apply(expr, STRICT)
+        assert evaluate(folded, {}, STRICT).value.same_bits(
+            evaluate(expr, {}, STRICT).value
+        )
+
+    def test_fold_erases_runtime_flags(self):
+        """The documented flags-vs-value distinction."""
+        from repro.fpenv.flags import FPFlag
+
+        expr = parse_expr("1.0 / 0.0")
+        folded = self.fold.apply(expr, STRICT)
+        assert str(folded) == "inf"
+        assert evaluate(expr, {}, STRICT).flags & FPFlag.DIV_BY_ZERO
+        assert not (evaluate(folded, {}, STRICT).flags & FPFlag.DIV_BY_ZERO)
+
+    def test_fold_handles_nan(self):
+        assert str(self.fold.apply(parse_expr("0.0 / 0.0"), STRICT)) == "nan"
+
+    def test_fold_respects_machine_format(self):
+        narrow = MachineConfig(fmt=__import__(
+            "repro.softfloat", fromlist=["BINARY32"]
+        ).BINARY32)
+        folded = self.fold.apply(parse_expr("1.0 / 3.0"), narrow)
+        wide_folded = self.fold.apply(parse_expr("1.0 / 3.0"), STRICT)
+        assert folded != wide_folded

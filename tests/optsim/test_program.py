@@ -1,0 +1,152 @@
+"""Straight-line programs: parsing, evaluation, CSE, DCE."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.fpenv.flags import FPFlag
+from repro.optsim import O2, O3, STRICT
+from repro.optsim.evaluator import bind
+from repro.optsim.program import (
+    Program,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    evaluate_program,
+    optimize_program,
+    parse_program,
+)
+
+
+class TestParsing:
+    def test_basic_program(self):
+        program = parse_program("t = a * b; u = t + c; return u / t")
+        assert len(program.statements) == 2
+        assert str(program.statements[0]) == "t = (a * b);"
+        assert str(program.result) == "(u / t)"
+
+    def test_newlines_as_separators(self):
+        program = parse_program("x = 1.0\ny = x + 2.0\nreturn y")
+        assert len(program.statements) == 2
+
+    def test_free_variables(self):
+        program = parse_program("t = a * b; return t + c")
+        assert program.free_variables() == ("a", "b", "c")
+
+    def test_shadowing_not_free(self):
+        program = parse_program("a = 1.0; return a")
+        assert program.free_variables() == ()
+
+    @pytest.mark.parametrize("bad", [
+        "x = 1.0",                      # no return
+        "return 1.0; x = 2.0",          # statement after return
+        "x == 1.0; return x",           # not an assignment
+        "2x = 1.0; return 1.0",         # bad target
+        "",
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_program(bad)
+
+
+class TestEvaluation:
+    def test_sequencing(self):
+        program = parse_program("t = a + 1.0; u = t * 2.0; return u - a")
+        result = evaluate_program(program, bind(STRICT, a=3.0))
+        assert result.value.to_float() == 5.0
+
+    def test_flags_accumulate_across_statements(self):
+        program = parse_program("x = 1.0 / 0.0; y = 0.1 + 0.2; return y")
+        result = evaluate_program(program, {})
+        assert result.flags & FPFlag.DIV_BY_ZERO
+        assert result.flags & FPFlag.INEXACT
+
+    def test_reassignment(self):
+        program = parse_program("x = 1.0; x = x + 1.0; return x")
+        assert evaluate_program(program, {}).value.to_float() == 2.0
+
+
+class TestCSE:
+    def test_duplicate_assignment_unified(self):
+        program = parse_program(
+            "t = a * b; u = a * b; return t + u"
+        )
+        optimized = eliminate_common_subexpressions(program)
+        assert len(optimized.statements) == 1
+        assert str(optimized.result) == "(t + t)"
+
+    def test_transitive_replacement(self):
+        program = parse_program(
+            "t = a * b; u = a * b; v = u + 1.0; return v"
+        )
+        optimized = eliminate_common_subexpressions(program)
+        assert str(optimized.statements[1].expr) == "(t + 1.0)"
+
+    def test_value_preserving(self):
+        program = parse_program(
+            "t = a / b; u = a / b; return t + u * t"
+        )
+        optimized = eliminate_common_subexpressions(program)
+        bindings = bind(STRICT, a=0.1, b=0.3)
+        original = evaluate_program(program, bindings)
+        rewritten = evaluate_program(optimized, bindings)
+        assert original.value.same_bits(rewritten.value)
+
+    def test_reassigned_names_not_unified(self):
+        program = parse_program(
+            "t = a * b; t = t + 1.0; u = a * b; return u + t"
+        )
+        optimized = eliminate_common_subexpressions(program)
+        # u = a*b must NOT be replaced by the mutated t.
+        assert len(optimized.statements) == 3
+
+
+class TestDCE:
+    def test_dead_assignment_removed(self):
+        program = parse_program("x = 1.0 / 0.0; y = 2.0; return y")
+        optimized = eliminate_dead_code(program)
+        assert len(optimized.statements) == 1
+        assert optimized.statements[0].name == "y"
+
+    def test_live_chain_kept(self):
+        program = parse_program("x = a + 1.0; y = x * 2.0; return y")
+        optimized = eliminate_dead_code(program)
+        assert len(optimized.statements) == 2
+
+    def test_value_preserved_flags_erased(self):
+        """The documented subtlety: DCE keeps the value but silences the
+        dead statement's exception."""
+        program = parse_program("x = 1.0 / 0.0; y = 2.0; return y")
+        optimized = eliminate_dead_code(program)
+        original = evaluate_program(program, {})
+        rewritten = evaluate_program(optimized, {})
+        assert original.value.same_bits(rewritten.value)
+        assert original.flags & FPFlag.DIV_BY_ZERO
+        assert not (rewritten.flags & FPFlag.DIV_BY_ZERO)
+
+
+class TestOptimizeProgram:
+    def test_expression_passes_applied_per_statement(self):
+        program = parse_program("t = a*b + c; return t")
+        optimized = optimize_program(program, O3)
+        assert "fma" in str(optimized.statements[0].expr)
+
+    def test_o2_program_value_identical(self):
+        program = parse_program(
+            "t = a * b; u = a * b; dead = a / 0.0; return t + u"
+        )
+        optimized = optimize_program(program, O2)
+        bindings = bind(O2, a=0.7, b=1.3)
+        assert evaluate_program(program, bindings).value.same_bits(
+            evaluate_program(optimized, bindings).value
+        )
+        # And it actually optimized: 1 live statement remains.
+        assert len(optimized.statements) == 1
+
+    def test_passes_can_be_disabled(self):
+        program = parse_program("x = 1.0; y = 2.0; return y")
+        untouched = optimize_program(program, O2, cse=False, dce=False)
+        assert len(untouched.statements) == 2
+
+    def test_str_roundtrips_through_parser(self):
+        program = parse_program("t = a * b; return t + 1.0")
+        again = parse_program(str(program))
+        assert again == program

@@ -1,0 +1,131 @@
+"""Property tests over randomly generated expression trees.
+
+The strongest statement of the -O2 answer key: for *arbitrary*
+expressions, the standard-compliant pipeline never changes a result
+bit, while the fast-math pipeline is caught changing results on a
+nontrivial fraction of them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpenv.flags import FPFlag
+from repro.optsim import O2, OFAST, STRICT, evaluate, optimize
+from repro.optsim.ast import FMA, Binary, BinOp, Const, Expr, Unary, UnOp, Var
+from repro.softfloat import sf
+
+VAR_NAMES = ("a", "b", "c")
+
+constants = st.sampled_from(
+    ["0.0", "1.0", "2.0", "0.1", "3.0", "0.5", "1e16", "1e-300"]
+).map(Const)
+variables = st.sampled_from(VAR_NAMES).map(Var)
+leaves = st.one_of(constants, variables)
+
+
+def _binary(children):
+    ops = st.sampled_from([BinOp.ADD, BinOp.SUB, BinOp.MUL, BinOp.DIV])
+    return st.builds(Binary, ops, children, children)
+
+
+def _unary(children):
+    ops = st.sampled_from([UnOp.NEG, UnOp.ABS, UnOp.SQRT])
+    return st.builds(Unary, ops, children)
+
+
+expressions = st.recursive(
+    leaves,
+    lambda children: st.one_of(
+        _binary(children),
+        _unary(children),
+        st.builds(FMA, children, children, children),
+    ),
+    max_leaves=12,
+)
+
+operand = st.floats(
+    allow_nan=False, allow_infinity=False, allow_subnormal=True, width=64,
+    min_value=-1e30, max_value=1e30,
+)
+
+
+def _bindings(a, b, c):
+    return {"a": sf(a), "b": sf(b), "c": sf(c)}
+
+
+class TestCompliantPipelineIsInvisible:
+    @settings(max_examples=250, deadline=None)
+    @given(expressions, operand, operand, operand)
+    def test_o2_value_identical_on_random_trees(self, expr, a, b, c):
+        bindings = _bindings(a, b, c)
+        original = evaluate(expr, bindings, STRICT)
+        compiled = evaluate(optimize(expr, O2), bindings, O2)
+        if original.value.is_nan:
+            assert compiled.value.is_nan
+        else:
+            assert original.value.same_bits(compiled.value), str(expr)
+
+    @settings(max_examples=150, deadline=None)
+    @given(expressions, operand, operand, operand)
+    def test_o2_flags_never_gain_exceptions(self, expr, a, b, c):
+        """Folding may *erase* runtime flags; it must never invent new
+        exceptional conditions."""
+        bindings = _bindings(a, b, c)
+        original = evaluate(expr, bindings, STRICT)
+        compiled = evaluate(optimize(expr, O2), bindings, O2)
+        gained = compiled.flags & ~original.flags
+        assert gained == FPFlag.NONE, str(expr)
+
+
+class TestFastMathIsVisible:
+    def test_fast_math_changes_a_nontrivial_fraction(self):
+        """Over a deterministic corpus of random trees, -Ofast must be
+        caught red-handed on a meaningful fraction."""
+        import random
+
+        from repro.optsim import find_divergence, parse_expr
+
+        sources = [
+            "a + b + c + a",
+            "a*b + c",
+            "(a - b) / (a - b)",
+            "a / 3.0 + b / 3.0",
+            "a + 0.0 * b",
+            "sqrt(a*a + b*b) + a*b - c",
+        ]
+        diverged = sum(
+            1 for source in sources
+            if find_divergence(parse_expr(source), OFAST, seed=3).diverged
+        )
+        assert diverged >= 4
+
+
+class TestOptimizerWellFormedness:
+    @settings(max_examples=200, deadline=None)
+    @given(expressions)
+    def test_pipeline_output_parses_and_prints(self, expr):
+        """Optimized trees must render to valid syntax that parses back
+        to a semantically identical tree (a negative literal may parse
+        as a negation node — same value everywhere)."""
+        from repro.optsim import parse_expr
+
+        bindings = _bindings(1.5, -0.25, 3.0)
+        for config in (O2, OFAST):
+            optimized = optimize(expr, config)
+            reparsed = parse_expr(str(optimized))
+            original = evaluate(optimized, bindings, config).value
+            again = evaluate(reparsed, bindings, config).value
+            assert original.same_bits(again) or (
+                original.is_nan and again.is_nan
+            )
+
+
+class TestPipelineIdempotence:
+    @settings(max_examples=150, deadline=None)
+    @given(expressions)
+    def test_optimize_is_idempotent(self, expr):
+        """The pipeline runs to a fixed point: a second pass is a no-op."""
+        for config in (O2, OFAST):
+            once = optimize(expr, config)
+            twice = optimize(once, config)
+            assert once == twice, str(expr)

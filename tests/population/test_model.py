@@ -1,0 +1,264 @@
+"""Ability model, calibration, and response generation."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.population import (
+    AbilityModel,
+    calibrate,
+    sample_backgrounds,
+    sigmoid,
+    simulate_developers,
+    simulate_students,
+    solve_intercept,
+)
+from repro.population.targets import (
+    CORE_QUESTION_RATES,
+    FIG12_CORE,
+    FIG12_OPT,
+    OPT_QUESTION_RATES,
+)
+from repro.quiz import TFAnswer, score_core, score_optimization
+from repro.survey.background import AreaGroup, CodebaseSize
+from repro.survey.records import Cohort
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(0.0) == 0.5
+
+    def test_symmetry(self):
+        assert sigmoid(2.0) + sigmoid(-2.0) == pytest.approx(1.0)
+
+    def test_extremes_do_not_overflow(self):
+        assert sigmoid(1000.0) == pytest.approx(1.0)
+        assert sigmoid(-1000.0) == pytest.approx(0.0)
+
+
+class TestSolveIntercept:
+    def test_recovers_known_intercept(self):
+        rng = random.Random(0)
+        thetas = [rng.gauss(0, 1) for _ in range(4000)]
+        target = sum(sigmoid(0.7 + t) for t in thetas) / len(thetas)
+        assert solve_intercept(thetas, target) == pytest.approx(0.7, abs=1e-6)
+
+    def test_rejects_degenerate_targets(self):
+        with pytest.raises(CalibrationError):
+            solve_intercept([0.0], 0.0)
+        with pytest.raises(CalibrationError):
+            solve_intercept([0.0], 1.0)
+
+
+class TestAbilityModel:
+    def test_codebase_size_is_monotone(self):
+        model = AbilityModel()
+        backgrounds = sample_backgrounds(400, seed=1)
+        base = backgrounds[0]
+        import dataclasses
+
+        sizes = [
+            CodebaseSize.LOC_100_1K, CodebaseSize.LOC_1K_10K,
+            CodebaseSize.LOC_10K_100K, CodebaseSize.LOC_GT_1M,
+        ]
+        effects = [
+            model.core_factor_effect(
+                dataclasses.replace(base, contributed_size=size)
+            )
+            for size in sizes
+        ]
+        assert effects == sorted(effects)
+
+    def test_opt_ability_ignores_codebase_size(self):
+        import dataclasses
+
+        model = AbilityModel()
+        base = sample_backgrounds(10, seed=1)[0]
+        small = dataclasses.replace(
+            base, contributed_size=CodebaseSize.LOC_LT_100
+        )
+        large = dataclasses.replace(
+            base, contributed_size=CodebaseSize.LOC_GT_1M
+        )
+        assert model.opt_factor_effect(small) == \
+            model.opt_factor_effect(large)
+
+    def test_factor_scale_zero_flattens_effects(self):
+        model = AbilityModel(factor_scale=0.0)
+        for background in sample_backgrounds(20, seed=2):
+            assert model.core_factor_effect(background) == 0.0
+            assert model.opt_factor_effect(background) == 0.0
+
+    def test_noise_is_seeded(self):
+        model = AbilityModel()
+        background = sample_backgrounds(1, seed=3)[0]
+        a = model.sample_abilities(background, random.Random(9))
+        b = model.sample_abilities(background, random.Random(9))
+        assert a == b
+
+
+class TestCalibration:
+    def test_calibration_is_cached(self, calibration):
+        assert calibrate() is calibration
+
+    def test_all_questions_calibrated(self, calibration):
+        assert set(calibration.core) == set(CORE_QUESTION_RATES)
+        assert set(calibration.optimization) == set(OPT_QUESTION_RATES)
+
+    def test_item_lookup(self, calibration):
+        assert calibration.item("identity").qid == "identity"
+        assert calibration.item("madd").qid == "madd"
+
+    def test_intercepts_recover_target_rates(self, calibration):
+        """On a fresh large sample, P(correct | answered) must land on
+        each Figure 14 target within Monte Carlo tolerance."""
+        model = calibration.model
+        backgrounds = sample_backgrounds(6000, seed=99)
+        rng = random.Random(99)
+        thetas = [
+            model.sample_abilities(b, rng)[0] for b in backgrounds
+        ]
+        for qid in ("identity", "associativity", "divide_by_zero",
+                    "commutativity"):
+            item = calibration.core[qid]
+            rate = sum(
+                sigmoid(item.intercept + t) for t in thetas
+            ) / len(thetas)
+            assert rate == pytest.approx(
+                item.target_correct_given_answered, abs=0.03
+            ), qid
+
+    def test_hard_questions_get_low_intercepts(self, calibration):
+        """Identity and Divide-By-Zero were answered mostly wrong: their
+        intercepts must sit well below the easy questions'."""
+        assert calibration.core["identity"].intercept < \
+            calibration.core["distributivity"].intercept - 2.0
+
+
+class TestResponseGeneration:
+    def test_deterministic(self):
+        a = simulate_developers(30, seed=11)
+        b = simulate_developers(30, seed=11)
+        assert a == b
+
+    def test_every_question_answered_somehow(self):
+        for response in simulate_developers(20, seed=1):
+            assert len(response.core_answers) == 15
+            assert len(response.opt_answers) == 4
+            assert len(response.suspicion) == 5
+
+    def test_cohort_field(self):
+        assert all(
+            r.cohort is Cohort.DEVELOPER
+            for r in simulate_developers(5, seed=1)
+        )
+        assert all(
+            r.cohort is Cohort.STUDENT for r in simulate_students(5, seed=1)
+        )
+
+    def test_students_have_no_quiz_answers(self):
+        for student in simulate_students(10, seed=1):
+            assert not student.core_answers
+            assert not student.opt_answers
+            assert student.background is None
+
+    def test_mc_answers_are_valid_choices(self):
+        from repro.quiz import OPT_LEVEL_CHOICES
+
+        valid = set(OPT_LEVEL_CHOICES) | {"dont-know", "unanswered"}
+        for response in simulate_developers(100, seed=2):
+            assert response.opt_answers["opt_level"] in valid
+
+
+class TestFigure12Reproduction:
+    """The headline numbers, on a large cohort (tight tolerances)."""
+
+    def test_core_averages(self, large_cohort):
+        scores = [score_core(r.core_answers) for r in large_cohort]
+        n = len(scores)
+        assert sum(s.correct for s in scores) / n == pytest.approx(
+            FIG12_CORE["correct"], abs=0.25
+        )
+        assert sum(s.incorrect for s in scores) / n == pytest.approx(
+            FIG12_CORE["incorrect"], abs=0.25
+        )
+        assert sum(s.dont_know for s in scores) / n == pytest.approx(
+            FIG12_CORE["dont_know"], abs=0.2
+        )
+        assert sum(s.unanswered for s in scores) / n == pytest.approx(
+            FIG12_CORE["unanswered"], abs=0.1
+        )
+
+    def test_opt_averages(self, large_cohort):
+        scores = [score_optimization(r.opt_answers) for r in large_cohort]
+        n = len(scores)
+        assert sum(s.correct for s in scores) / n == pytest.approx(
+            FIG12_OPT["correct"], abs=0.15
+        )
+        assert sum(s.dont_know for s in scores) / n == pytest.approx(
+            FIG12_OPT["dont_know"], abs=0.15
+        )
+
+    def test_developers_beat_chance_but_barely(self, large_cohort):
+        """The paper's headline: above chance (7.5) but not by much."""
+        scores = [score_core(r.core_answers).correct for r in large_cohort]
+        mean = statistics.mean(scores)
+        assert 7.5 < mean < 9.5
+
+    def test_factor_effects_match_quoted_sizes(self, large_cohort):
+        """Figure 16/17 prose: top codebase level ~11/15; PhysSci and
+        Eng at chance."""
+        from collections import defaultdict
+
+        by_size = defaultdict(list)
+        by_area = defaultdict(list)
+        for response in large_cohort:
+            score = score_core(response.core_answers).correct
+            by_size[response.background.contributed_size].append(score)
+            by_area[response.background.area_group].append(score)
+        top = statistics.mean(by_size[CodebaseSize.LOC_GT_1M])
+        assert top == pytest.approx(11.0, abs=1.0)
+        phys = statistics.mean(by_area[AreaGroup.PHYS_SCI])
+        assert phys == pytest.approx(7.5, abs=0.8)
+        ee = statistics.mean(by_area[AreaGroup.EE])
+        assert ee == pytest.approx(10.5, abs=1.2)
+
+
+class TestModelMonotonicity:
+    def test_higher_ability_scores_better_stochastically(self, calibration):
+        """Direct property of the response model: sweeping theta upward
+        must raise expected correctness on every item."""
+        import random
+
+        from repro.population.response_model import generate_tf_answer
+        from repro.quiz.core import CORE_QUESTIONS
+
+        question = CORE_QUESTIONS[0]
+        item = calibration.core[question.qid]
+        rates = []
+        for theta in (-2.0, 0.0, 2.0):
+            rng = random.Random(99)
+            correct = sum(
+                1 for _ in range(800)
+                if generate_tf_answer(question, item, theta, rng)
+                == question.correct
+            )
+            rates.append(correct / 800)
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_higher_ability_commits_more_often(self, calibration):
+        """The ability-dependent don't-know model: commitment rises
+        with theta (strongly on the optimization quiz)."""
+        item = calibration.optimization["madd"]
+        low = item.dont_know_probability(-1.0)
+        high = item.dont_know_probability(1.5)
+        assert high < low
+        assert low - high > 0.3
+
+    def test_correct_probability_uses_intercept(self, calibration):
+        item = calibration.core["identity"]
+        assert item.correct_probability(0.0) == pytest.approx(
+            sigmoid(item.intercept)
+        )

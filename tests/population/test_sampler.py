@@ -1,0 +1,120 @@
+"""Background sampling: marginals must match the paper's tables."""
+
+from collections import Counter
+
+import pytest
+
+from repro.population import (
+    allocate_factor,
+    allocate_multiselect,
+    apportion,
+    sample_backgrounds,
+)
+from repro.population import marginals as m
+from repro.survey.background import CodebaseSize, InformalTraining, Position
+
+
+class TestApportion:
+    def test_identity_at_population_total(self):
+        assert apportion(m.POSITION_COUNTS, sum(m.POSITION_COUNTS.values())) \
+            == m.POSITION_COUNTS
+
+    def test_total_preserved(self):
+        for n in (1, 10, 52, 199, 1000):
+            assert sum(apportion(m.AREA_COUNTS, n).values()) == n
+
+    def test_proportionality(self):
+        scaled = apportion({"a": 75, "b": 25}, 8)
+        assert scaled == {"a": 6, "b": 2}
+
+    def test_largest_remainder(self):
+        scaled = apportion({"a": 1, "b": 1, "c": 1}, 4)
+        assert sum(scaled.values()) == 4
+        assert max(scaled.values()) == 2
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            apportion({"a": 0}, 5)
+        with pytest.raises(ValueError):
+            apportion({"a": 1}, -1)
+
+
+class TestAllocation:
+    def test_marginal_exact(self):
+        import random
+
+        levels = allocate_factor(m.POSITION_COUNTS, 199, random.Random(1))
+        # POSITION_COUNTS sums to 200 in the paper's own table; the
+        # apportionment scales to 199 dropping one from the largest
+        # remainder.
+        counts = Counter(levels)
+        assert sum(counts.values()) == 199
+        assert counts[Position.PHD_STUDENT] in (72, 73)
+
+    def test_multiselect_membership_counts(self):
+        import random
+
+        memberships = allocate_multiselect(
+            m.INFORMAL_TRAINING_COUNTS, m.PAPER_N_DEVELOPERS, 199,
+            random.Random(1),
+        )
+        googled = sum(
+            1 for s in memberships if InformalTraining.GOOGLED in s
+        )
+        assert googled == m.INFORMAL_TRAINING_COUNTS[
+            InformalTraining.GOOGLED
+        ]
+
+
+class TestSampleBackgrounds:
+    def test_deterministic(self):
+        assert sample_backgrounds(50, seed=1) == sample_backgrounds(
+            50, seed=1
+        )
+        assert sample_backgrounds(50, seed=1) != sample_backgrounds(
+            50, seed=2
+        )
+
+    def test_paper_marginals_at_199(self):
+        backgrounds = sample_backgrounds(199, seed=754)
+        positions = Counter(b.position for b in backgrounds)
+        # Paper Figure 1 counts (the table sums to 200 over n=199; the
+        # apportionment may shave one from the largest-remainder level).
+        for position, count in m.POSITION_COUNTS.items():
+            assert abs(positions[position] - count) <= 1, position
+        areas = Counter(b.area for b in backgrounds)
+        for area, count in m.AREA_COUNTS.items():
+            assert abs(areas[area] - count) <= 1, area
+        sizes = Counter(b.contributed_size for b in backgrounds)
+        assert sizes == m.CONTRIBUTED_SIZE_COUNTS
+
+    def test_involved_size_marginal(self):
+        backgrounds = sample_backgrounds(199, seed=754)
+        sizes = Counter(b.involved_size for b in backgrounds)
+        assert sizes == m.INVOLVED_SIZE_COUNTS
+
+    def test_involved_at_least_contributed(self):
+        """The rank pairing: you cannot have contributed more than you
+        were involved with (modulo the tiny not-reported levels)."""
+        backgrounds = sample_backgrounds(199, seed=754)
+        violations = sum(
+            1 for b in backgrounds
+            if b.involved_size.rank < b.contributed_size.rank
+            and b.involved_size is not CodebaseSize.NOT_REPORTED
+            and b.contributed_size is not CodebaseSize.NOT_REPORTED
+        )
+        assert violations <= 6  # boundary effects of exact marginals
+
+    def test_fp_language_counts(self):
+        backgrounds = sample_backgrounds(199, seed=754)
+        python_users = sum(
+            1 for b in backgrounds if "Python" in b.fp_languages
+        )
+        assert python_users == 142  # Figure 6
+
+    def test_scales_to_other_sizes(self):
+        backgrounds = sample_backgrounds(1000, seed=5)
+        assert len(backgrounds) == 1000
+        positions = Counter(b.position for b in backgrounds)
+        # ~36.7% PhD students.
+        assert 350 <= positions[Position.PHD_STUDENT] <= 380

@@ -1,0 +1,73 @@
+"""The encoded paper targets: internal consistency checks."""
+
+import pytest
+
+from repro.population.targets import (
+    CORE_QUESTION_RATES,
+    FACTOR_TARGETS,
+    FIG12_CORE,
+    FIG12_OPT,
+    OPT_QUESTION_RATES,
+    QuestionRates,
+    SUSPICION_DISTRIBUTIONS,
+)
+
+
+class TestQuestionRates:
+    def test_rows_sum_to_about_100(self):
+        for qid, rates in {**CORE_QUESTION_RATES,
+                           **OPT_QUESTION_RATES}.items():
+            total = (rates.correct + rates.incorrect + rates.dont_know
+                     + rates.unanswered)
+            assert 97.0 <= total <= 103.0, qid
+
+    def test_validation_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            QuestionRates(10.0, 10.0, 10.0, 10.0)
+
+    def test_fig12_follows_from_fig14(self):
+        """The Figure 12 averages are the Figure 14 column sums / 100 —
+        the paper's own internal consistency, preserved in the data."""
+        expected_correct = sum(
+            r.correct for r in CORE_QUESTION_RATES.values()
+        ) / 100.0
+        assert expected_correct == pytest.approx(
+            FIG12_CORE["correct"], abs=0.15
+        )
+        tf_opt = [OPT_QUESTION_RATES[q] for q in
+                  ("madd", "flush_to_zero", "fast_math")]
+        assert sum(r.correct for r in tf_opt) / 100.0 == pytest.approx(
+            FIG12_OPT["correct"], abs=0.1
+        )
+
+    def test_correct_given_answered_in_unit_interval(self):
+        for rates in CORE_QUESTION_RATES.values():
+            assert 0.0 < rates.correct_given_answered < 1.0
+
+
+class TestSuspicionTargets:
+    def test_distributions_sum_to_100(self):
+        for cohort, conditions in SUSPICION_DISTRIBUTIONS.items():
+            for qid, dist in conditions.items():
+                assert sum(dist) == pytest.approx(100.0), (cohort, qid)
+                assert len(dist) == 5
+
+    def test_invalid_is_top_heavy_in_both_cohorts(self):
+        for cohort in ("developer", "student"):
+            dist = SUSPICION_DISTRIBUTIONS[cohort]["invalid"]
+            assert dist[4] > 50.0
+
+    def test_students_encode_less_suspicion_of_underflow(self):
+        dev = SUSPICION_DISTRIBUTIONS["developer"]["underflow"]
+        student = SUSPICION_DISTRIBUTIONS["student"]["underflow"]
+        dev_mean = sum((i + 1) * p for i, p in enumerate(dev))
+        student_mean = sum((i + 1) * p for i, p in enumerate(student))
+        assert student_mean < dev_mean
+
+
+class TestFactorTargets:
+    def test_every_target_has_a_quote(self):
+        for key, target in FACTOR_TARGETS.items():
+            assert target.quote, key
+            assert target.quiz in ("core", "optimization")
+            assert target.soft  # all chart-derived targets are soft

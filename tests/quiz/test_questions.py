@@ -1,0 +1,175 @@
+"""The quiz instrument: structure, answer key, executable ground truth."""
+
+import pytest
+
+from repro.quiz import (
+    CORE_QUESTION_ORDER,
+    CORE_QUESTIONS,
+    OPT_LEVEL_CHOICES,
+    OPTIMIZATION_QUESTION_ORDER,
+    OPTIMIZATION_QUESTIONS,
+    Question,
+    QuestionKind,
+    Section,
+    TFAnswer,
+    core_question,
+    optimization_question,
+)
+
+
+class TestInstrumentStructure:
+    def test_fifteen_core_questions(self):
+        assert len(CORE_QUESTIONS) == 15
+
+    def test_four_optimization_questions(self):
+        assert len(OPTIMIZATION_QUESTIONS) == 4
+
+    def test_core_order_matches_figure_14(self):
+        assert CORE_QUESTION_ORDER == (
+            "commutativity", "associativity", "distributivity", "ordering",
+            "identity", "negative_zero", "square", "overflow",
+            "divide_by_zero", "zero_divide_by_zero", "saturation_plus",
+            "saturation_minus", "denormal_precision", "operation_precision",
+            "exception_signal",
+        )
+
+    def test_opt_order_matches_figure_15(self):
+        assert OPTIMIZATION_QUESTION_ORDER == (
+            "madd", "flush_to_zero", "opt_level", "fast_math",
+        )
+
+    def test_ids_unique(self):
+        ids = [q.qid for q in CORE_QUESTIONS + OPTIMIZATION_QUESTIONS]
+        assert len(set(ids)) == len(ids)
+
+    def test_sections(self):
+        assert all(q.section is Section.CORE for q in CORE_QUESTIONS)
+        assert all(
+            q.section is Section.OPTIMIZATION for q in OPTIMIZATION_QUESTIONS
+        )
+
+    def test_all_have_prompt_snippet_explanation_demo(self):
+        for q in CORE_QUESTIONS + OPTIMIZATION_QUESTIONS:
+            assert q.prompt and q.explanation
+            assert q.demonstrate is not None
+
+    def test_core_all_true_false(self):
+        assert all(
+            q.kind is QuestionKind.TRUE_FALSE for q in CORE_QUESTIONS
+        )
+
+    def test_opt_level_is_multiple_choice(self):
+        q = optimization_question("opt_level")
+        assert q.kind is QuestionKind.MULTIPLE_CHOICE
+        assert q.choices == OPT_LEVEL_CHOICES
+        assert q.correct == "-O2"
+        assert q.chance_rate == pytest.approx(0.2)
+
+    def test_lookup(self):
+        assert core_question("identity").label == "Identity"
+        with pytest.raises(KeyError):
+            core_question("nope")
+
+
+class TestAnswerKey:
+    """The key, exactly as Section II-B/II-C of the paper states it."""
+
+    EXPECTED = {
+        "commutativity": TFAnswer.TRUE,
+        "associativity": TFAnswer.FALSE,
+        "distributivity": TFAnswer.FALSE,
+        "ordering": TFAnswer.FALSE,
+        "identity": TFAnswer.FALSE,
+        "negative_zero": TFAnswer.FALSE,
+        "square": TFAnswer.TRUE,
+        "overflow": TFAnswer.FALSE,
+        "divide_by_zero": TFAnswer.TRUE,
+        "zero_divide_by_zero": TFAnswer.FALSE,
+        "saturation_plus": TFAnswer.TRUE,
+        "saturation_minus": TFAnswer.TRUE,
+        "denormal_precision": TFAnswer.TRUE,
+        "operation_precision": TFAnswer.TRUE,
+        "exception_signal": TFAnswer.FALSE,
+        "madd": TFAnswer.FALSE,
+        "flush_to_zero": TFAnswer.FALSE,
+        "fast_math": TFAnswer.TRUE,
+    }
+
+    @pytest.mark.parametrize("qid,expected", sorted(EXPECTED.items()))
+    def test_key(self, qid, expected):
+        questions = {
+            q.qid: q for q in CORE_QUESTIONS + OPTIMIZATION_QUESTIONS
+        }
+        assert questions[qid].correct == expected
+
+
+class TestGroundTruthDemonstrations:
+    """Every answer must be demonstrable by running witness code."""
+
+    @pytest.mark.parametrize(
+        "question",
+        CORE_QUESTIONS + OPTIMIZATION_QUESTIONS,
+        ids=lambda q: q.qid,
+    )
+    def test_demonstration_verifies(self, question):
+        demo = question.verify_ground_truth()
+        assert demo.ok
+        assert demo.qid
+        assert len(demo.claims) >= 2 or question.qid in (
+            "madd", "divide_by_zero", "zero_divide_by_zero",
+        )
+
+    def test_demo_render_mentions_every_claim(self):
+        demo = core_question("identity").verify_ground_truth()
+        text = demo.render()
+        assert text.count("[ok]") == len(demo.claims)
+
+    def test_failed_demo_raises(self):
+        import dataclasses
+
+        from repro.quiz.demos import Claim, Demonstration
+
+        bad = Demonstration.build("fake", [Claim("nope", False)])
+        question = dataclasses.replace(
+            core_question("identity"), demonstrate=lambda: bad
+        )
+        with pytest.raises(AssertionError):
+            question.verify_ground_truth()
+
+    def test_question_without_demo_raises(self):
+        import dataclasses
+
+        question = dataclasses.replace(
+            core_question("identity"), demonstrate=None
+        )
+        with pytest.raises(ValueError):
+            question.verify_ground_truth()
+
+
+class TestGrading:
+    def test_grade_correct(self):
+        q = core_question("identity")
+        assert q.grade(TFAnswer.FALSE) is True
+        assert q.grade(TFAnswer.TRUE) is False
+
+    def test_grade_dont_know_is_neither(self):
+        q = core_question("identity")
+        assert q.grade(TFAnswer.DONT_KNOW) is None
+        assert q.grade(TFAnswer.UNANSWERED) is None
+
+    def test_grade_multiple_choice(self):
+        q = optimization_question("opt_level")
+        assert q.grade("-O2") is True
+        assert q.grade("-O3") is False
+        assert q.grade("dont-know") is None
+        assert q.grade("") is None
+
+    def test_negation(self):
+        assert TFAnswer.TRUE.negation is TFAnswer.FALSE
+        assert TFAnswer.FALSE.negation is TFAnswer.TRUE
+        assert TFAnswer.DONT_KNOW.negation is TFAnswer.DONT_KNOW
+
+    def test_is_substantive(self):
+        assert TFAnswer.TRUE.is_substantive
+        assert not TFAnswer.DONT_KNOW.is_substantive
+        assert not TFAnswer.UNANSWERED.is_substantive

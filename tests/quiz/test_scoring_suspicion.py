@@ -1,0 +1,189 @@
+"""Scoring, chance baselines, the suspicion instrument, and the runner."""
+
+import pytest
+
+from repro.quiz import (
+    CORE_CHANCE,
+    FLAG_FOR_ITEM,
+    LIKERT_SCALE,
+    OPT_TF_CHANCE,
+    SUSPICION_ITEMS,
+    SUSPICION_ORDER,
+    QuizScore,
+    TFAnswer,
+    grade,
+    reference_ranking,
+    score_core,
+    score_optimization,
+    suspicion_item,
+)
+from repro.quiz.core import CORE_QUESTIONS
+from repro.quiz.runner import run_interactive
+
+
+class TestChanceBaselines:
+    def test_core_chance_is_7_5(self):
+        assert CORE_CHANCE == pytest.approx(7.5)
+
+    def test_opt_tf_chance_is_1_5(self):
+        assert OPT_TF_CHANCE == pytest.approx(1.5)
+
+
+class TestScoring:
+    def test_perfect_core_score(self):
+        responses = {q.qid: q.correct for q in CORE_QUESTIONS}
+        score = score_core(responses)
+        assert (score.correct, score.incorrect) == (15, 0)
+
+    def test_all_wrong(self):
+        responses = {
+            q.qid: q.correct.negation for q in CORE_QUESTIONS
+        }
+        score = score_core(responses)
+        assert (score.correct, score.incorrect) == (0, 15)
+
+    def test_missing_answers_are_unanswered(self):
+        score = score_core({})
+        assert score.unanswered == 15
+
+    def test_dont_know_bucket(self):
+        responses = {q.qid: TFAnswer.DONT_KNOW for q in CORE_QUESTIONS}
+        assert score_core(responses).dont_know == 15
+
+    def test_mixed(self):
+        responses = {
+            "identity": TFAnswer.FALSE,       # correct
+            "square": TFAnswer.FALSE,         # incorrect
+            "overflow": TFAnswer.DONT_KNOW,
+        }
+        score = score_core(responses)
+        assert (score.correct, score.incorrect, score.dont_know,
+                score.unanswered) == (1, 1, 1, 12)
+
+    def test_total_and_answered(self):
+        score = QuizScore(8, 4, 2, 1)
+        assert score.total == 15
+        assert score.answered == 12
+
+    def test_score_addition(self):
+        total = QuizScore(1, 2, 3, 4) + QuizScore(4, 3, 2, 1)
+        assert total == QuizScore(5, 5, 5, 5)
+
+    def test_opt_excludes_mc_by_default(self):
+        responses = {
+            "madd": TFAnswer.FALSE,
+            "flush_to_zero": TFAnswer.FALSE,
+            "fast_math": TFAnswer.TRUE,
+            "opt_level": "-O2",
+        }
+        assert score_optimization(responses).total == 3
+        assert score_optimization(responses).correct == 3
+        with_mc = score_optimization(responses,
+                                     include_multiple_choice=True)
+        assert with_mc.total == 4 and with_mc.correct == 4
+
+    def test_opt_mc_string_buckets(self):
+        assert score_optimization(
+            {"opt_level": "dont-know"}, include_multiple_choice=True
+        ).dont_know >= 1
+        assert score_optimization(
+            {"opt_level": "unanswered"}, include_multiple_choice=True
+        ).unanswered >= 1
+
+
+class TestGradeReport:
+    def test_missed_list(self):
+        report = grade({"identity": TFAnswer.TRUE})
+        assert "identity" in report.missed
+
+    def test_render_contains_explanations(self):
+        report = grade({"divide_by_zero": TFAnswer.FALSE})
+        text = report.render()
+        assert "Divide By Zero" in text
+        assert "infinity" in text
+
+    def test_render_with_demos_runs_them(self):
+        report = grade({"identity": TFAnswer.TRUE})
+        text = report.render(show_demos=True)
+        assert "[ok]" in text
+
+
+class TestSuspicionInstrument:
+    def test_five_items_in_paper_order(self):
+        assert SUSPICION_ORDER == (
+            "overflow", "underflow", "precision", "invalid", "denorm",
+        )
+
+    def test_reference_ranking(self):
+        ranking = reference_ranking()
+        assert ranking[0] == "invalid"
+        assert ranking[1] == "overflow"
+        assert set(ranking[2:]) == {"underflow", "precision", "denorm"}
+
+    def test_reference_levels(self):
+        assert suspicion_item("invalid").reference_level == 5
+        assert suspicion_item("overflow").reference_level == 4
+        for qid in ("underflow", "precision", "denorm"):
+            assert suspicion_item(qid).reference_level == 2
+
+    def test_likert_scale(self):
+        assert LIKERT_SCALE == (1, 2, 3, 4, 5)
+
+    def test_every_item_maps_to_a_flag(self):
+        from repro.fpenv import FPFlag
+
+        assert set(FLAG_FOR_ITEM) == set(SUSPICION_ORDER)
+        assert FLAG_FOR_ITEM["precision"] is FPFlag.INEXACT
+        assert FLAG_FOR_ITEM["invalid"] is FPFlag.INVALID
+
+    def test_bad_reference_level_rejected(self):
+        from repro.quiz.model import LikertItem
+
+        with pytest.raises(ValueError):
+            LikertItem("x", "X", "d", 6, "r")
+
+
+class TestInteractiveRunner:
+    def test_scripted_session(self):
+        answers = iter(
+            # 15 core T/F answers:
+            ["t", "f", "f", "f", "f", "f", "t", "f", "t", "f",
+             "t", "t", "t", "t", "f"]
+            # madd, flush (T/F), opt_level (MC), fast-math (T/F):
+            + ["f", "f", "3", "t"]
+            # suspicion 5 items:
+            + ["4", "2", "1", "5", "2"]
+        )
+        output = []
+        report = run_interactive(
+            ask=lambda prompt: next(answers),
+            emit=output.append,
+            show_demos=False,
+        )
+        assert report.core.correct == 15
+        assert report.optimization.correct == 4
+        assert any("core quiz" in line for line in output)
+
+    def test_invalid_input_reprompts(self):
+        answers = iter(
+            ["xyz", "t"] + ["d"] * 14 + ["d", "d", "bogus", "d", "d"]
+            + ["9", "3"] * 5
+        )
+        output = []
+        report = run_interactive(
+            ask=lambda prompt: next(answers),
+            emit=output.append,
+            show_demos=False,
+        )
+        assert report.core.correct == 1  # commutativity answered 't'
+        assert any("please answer" in line for line in output)
+
+    def test_skip_suspicion(self):
+        answers = iter([""] * 19)
+        report = run_interactive(
+            ask=lambda prompt: next(answers),
+            emit=lambda line: None,
+            include_suspicion=False,
+            show_demos=False,
+        )
+        assert report.core.unanswered == 15

@@ -1,0 +1,153 @@
+"""Shadow precision execution and error localization."""
+
+import pytest
+
+from repro.optsim import OFAST, STRICT, parse_expr
+from repro.shadow import (
+    WIDE_FORMAT,
+    localize_errors,
+    shadow_evaluate,
+    ulp_distance,
+)
+from repro.softfloat import BINARY32, SoftFloat, sf
+
+
+class TestShadowEvaluate:
+    def test_benign_computation_is_consistent(self):
+        result = shadow_evaluate(
+            parse_expr("sqrt(x*x + y*y)"), {"x": 3.0, "y": 4.0}
+        )
+        assert not result.suspicious
+        assert result.working.to_float() == 5.0
+        assert result.ulps == pytest.approx(0.0, abs=0.5)
+
+    def test_correct_rounding_is_half_ulp(self):
+        result = shadow_evaluate(parse_expr("1.0 / 3.0"), {})
+        assert result.ulps is not None and result.ulps <= 0.5
+        assert not result.suspicious
+
+    def test_absorption_flagged(self):
+        result = shadow_evaluate(
+            parse_expr("(a + b) - a"), {"a": 2.0**53, "b": 1.0}
+        )
+        assert result.suspicious
+        assert result.working.to_float() == 0.0
+        assert result.reference.to_float() == 1.0
+        assert result.rel_error == pytest.approx(1.0)
+
+    def test_cancellation_flagged(self):
+        result = shadow_evaluate(
+            parse_expr("(a*a - b*b) / (a - b)"),
+            {"a": 1.0 + 2.0**-30, "b": 1.0},
+        )
+        assert result.suspicious
+        assert result.ulps is not None and result.ulps > 1e5
+
+    def test_exact_reference_used_when_sqrt_free(self):
+        result = shadow_evaluate(parse_expr("a + b"), {"a": 0.1, "b": 0.2})
+        assert result.reference_exact is not None
+
+    def test_wide_reference_used_with_sqrt(self):
+        result = shadow_evaluate(parse_expr("sqrt(x)"), {"x": 2.0})
+        assert result.reference_exact is None
+        assert result.reference.fmt == WIDE_FORMAT
+
+    def test_reference_sees_working_inputs(self):
+        """Shadow diagnoses the computation, not input conversion: an
+        exactly representable computation on rounded inputs is clean."""
+        result = shadow_evaluate(parse_expr("x * 2.0"), {"x": 0.1})
+        assert result.ulps == pytest.approx(0.0)
+
+    def test_nan_mismatch_is_suspicious(self):
+        # x - x with x = inf: working NaN, exact reference unavailable,
+        # wide reference also NaN -> consistent (both exceptional).
+        result = shadow_evaluate(
+            parse_expr("x - x"), {"x": SoftFloat.inf(STRICT.fmt)}
+        )
+        assert not result.suspicious
+        # But under fast-math the optimizer folds it to 0 while the
+        # strict wide reference is NaN: shadowing the OPTIMIZED program
+        # needs the optimized tree, which shadow_evaluate(config=...)
+        # evaluates without rewriting; value still NaN.
+        assert result.working.is_nan
+
+    def test_left_to_right_chain_accumulates_beyond_one_ulp(self):
+        """Each tiny addend is absorbed by the tie rule; the chain ends
+        1.5 ulps from the exact sum — a genuine (small) accuracy loss
+        the shadow run surfaces."""
+        strict = shadow_evaluate(
+            parse_expr("a + b + c + d"),
+            {"a": 1.0, "b": 2.0**-53, "c": 2.0**-53, "d": 2.0**-53},
+        )
+        assert strict.suspicious
+        assert strict.ulps == pytest.approx(1.5)
+
+    def test_narrow_format_config(self):
+        narrow = STRICT.replace(fmt=BINARY32)
+        result = shadow_evaluate(
+            parse_expr("x / 3.0"), {"x": 1.0}, config=narrow
+        )
+        assert result.working.fmt == BINARY32
+        assert not result.suspicious
+
+    def test_describe(self):
+        result = shadow_evaluate(
+            parse_expr("(a + b) - a"), {"a": 2.0**53, "b": 1.0}
+        )
+        assert "SUSPICIOUS" in result.describe()
+
+
+class TestUlpDistance:
+    def test_exact_is_zero(self):
+        assert ulp_distance(sf(1.5), sf(1.5).to_fraction()) == 0.0
+
+    def test_one_ulp(self):
+        from fractions import Fraction
+
+        reference = sf(1.0).to_fraction() + Fraction(1, 2**52)
+        assert ulp_distance(sf(1.0), reference) == pytest.approx(1.0)
+
+    def test_huge_distance_saturates_to_inf(self):
+        assert ulp_distance(sf(0.0) if False else SoftFloat.min_subnormal(),
+                            sf(1.0).to_fraction()) > 1e300
+
+
+class TestLocalization:
+    def test_cancellation_localized_to_subtraction(self):
+        reports = localize_errors(
+            parse_expr("(a*a - b*b) / (a - b)"),
+            {"a": 1.0 + 2.0**-30, "b": 1.0},
+        )
+        worst = reports[0]
+        assert worst.total_ulps is not None and worst.total_ulps > 1e5
+        texts = [str(r.node) for r in reports[:2]]
+        assert any("-" in t for t in texts)
+        # The products themselves are accurate.
+        products = [r for r in reports if str(r.node) == "(a * a)"]
+        assert products and products[0].total_ulps < 1.0
+
+    def test_clean_expression_all_small(self):
+        reports = localize_errors(
+            parse_expr("a * b + c"), {"a": 1.1, "b": 2.2, "c": 3.3}
+        )
+        assert all(
+            r.total_ulps is not None and r.total_ulps < 2.0 for r in reports
+        )
+
+    def test_leaves_are_skipped(self):
+        reports = localize_errors(parse_expr("a + b"), {"a": 1.0, "b": 2.0})
+        assert len(reports) == 1  # only the addition node
+
+    def test_sorted_worst_first(self):
+        reports = localize_errors(
+            parse_expr("((a + b) - a) * (c + c)"),
+            {"a": 2.0**53, "b": 1.0, "c": 0.5},
+        )
+        ulps = [r.total_ulps for r in reports if r.total_ulps is not None]
+        assert ulps == sorted(ulps, reverse=True)
+
+    def test_describe(self):
+        (report,) = localize_errors(
+            parse_expr("a + b"), {"a": 1.0, "b": 2.0}
+        )
+        assert "ulps" in report.describe()

@@ -1,0 +1,257 @@
+"""Directed tests for add/sub/mul/div/remainder special cases."""
+
+import pytest
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.fpenv.rounding import RoundingMode
+from repro.softfloat import (
+    BINARY64,
+    SoftFloat,
+    fp_add,
+    fp_div,
+    fp_mul,
+    fp_remainder,
+    fp_sub,
+    sf,
+)
+
+INF = SoftFloat.inf(BINARY64)
+NINF = SoftFloat.inf(BINARY64, 1)
+NAN = SoftFloat.nan(BINARY64)
+PZ = SoftFloat.zero(BINARY64)
+NZ = SoftFloat.zero(BINARY64, 1)
+ONE = sf(1.0)
+
+
+class TestAddSpecials:
+    def test_inf_plus_inf_same_sign(self):
+        env = FPEnv()
+        assert fp_add(INF, INF, env).same_bits(INF)
+        assert env.flags == FPFlag.NONE
+
+    def test_inf_minus_inf_is_invalid(self):
+        env = FPEnv()
+        result = fp_add(INF, NINF, env)
+        assert result.is_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_inf_plus_finite(self):
+        assert fp_add(INF, sf(-1e300), FPEnv()).same_bits(INF)
+
+    def test_zero_plus_zero_signs(self):
+        env = FPEnv()
+        assert fp_add(PZ, PZ, env).same_bits(PZ)
+        assert fp_add(NZ, NZ, env).same_bits(NZ)
+        assert fp_add(PZ, NZ, env).same_bits(PZ)  # RNE: +0
+
+    def test_opposite_zeros_round_down_mode(self):
+        env = FPEnv(rounding=RoundingMode.TOWARD_NEGATIVE)
+        assert fp_add(PZ, NZ, env).same_bits(NZ)
+
+    def test_exact_cancellation_gives_positive_zero(self):
+        env = FPEnv()
+        result = fp_add(sf(5.0), sf(-5.0), env)
+        assert result.same_bits(PZ)
+
+    def test_exact_cancellation_round_down_gives_negative_zero(self):
+        env = FPEnv(rounding=RoundingMode.TOWARD_NEGATIVE)
+        assert fp_add(sf(5.0), sf(-5.0), env).same_bits(NZ)
+
+    def test_x_plus_zero_returns_x(self):
+        x = sf(2.5)
+        assert fp_add(x, PZ, FPEnv()).same_bits(x)
+        assert fp_add(NZ, x, FPEnv()).same_bits(x)
+
+    def test_nan_propagates(self):
+        assert fp_add(NAN, ONE, FPEnv()).is_nan
+        assert fp_add(ONE, NAN, FPEnv()).is_nan
+
+    def test_signaling_nan_raises_invalid(self):
+        env = FPEnv()
+        result = fp_add(SoftFloat.signaling_nan(), ONE, env)
+        assert result.is_quiet_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_quiet_nan_does_not_raise_invalid(self):
+        env = FPEnv()
+        fp_add(NAN, ONE, env)
+        assert not env.test_flag(FPFlag.INVALID)
+
+    def test_huge_exponent_gap_is_absorbed(self):
+        big, tiny = sf(1e300), SoftFloat.min_subnormal(BINARY64)
+        env = FPEnv()
+        assert fp_add(big, tiny, env).same_bits(big)
+        assert env.test_flag(FPFlag.INEXACT)
+
+    def test_overflow_on_add(self):
+        env = FPEnv()
+        big = SoftFloat.max_finite(BINARY64)
+        assert fp_add(big, big, env).same_bits(INF)
+        assert env.test_flag(FPFlag.OVERFLOW)
+
+
+class TestSubSpecials:
+    def test_sub_is_add_of_negation(self):
+        assert fp_sub(sf(3.0), sf(1.0), FPEnv()).to_float() == 2.0
+
+    def test_sub_nan_payload_preserved(self):
+        payload_nan = SoftFloat.nan(payload=7)
+        result = fp_sub(payload_nan, ONE, FPEnv())
+        assert result.frac & 0x7FF == 7
+
+    def test_x_minus_itself(self):
+        assert fp_sub(sf(1.5), sf(1.5), FPEnv()).same_bits(PZ)
+
+    def test_neg_zero_minus_zero(self):
+        assert fp_sub(NZ, PZ, FPEnv()).same_bits(NZ)
+
+
+class TestMulSpecials:
+    def test_zero_times_inf_is_invalid(self):
+        env = FPEnv()
+        assert fp_mul(PZ, INF, env).is_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_sign_of_product(self):
+        assert fp_mul(sf(-2.0), sf(3.0), FPEnv()).to_float() == -6.0
+        assert fp_mul(sf(-2.0), sf(-3.0), FPEnv()).to_float() == 6.0
+
+    def test_zero_product_sign(self):
+        assert fp_mul(NZ, sf(5.0), FPEnv()).same_bits(NZ)
+        assert fp_mul(NZ, sf(-5.0), FPEnv()).same_bits(PZ)
+
+    def test_inf_times_finite(self):
+        assert fp_mul(INF, sf(-2.0), FPEnv()).same_bits(NINF)
+
+    def test_underflow_to_subnormal(self):
+        env = FPEnv()
+        tiny = SoftFloat.min_normal(BINARY64)
+        result = fp_mul(tiny, sf(0.25), env)
+        assert result.is_subnormal
+        assert env.test_flag(FPFlag.DENORMAL_RESULT)
+
+    def test_daz_squashes_subnormal_inputs(self):
+        env = FPEnv(daz=True)
+        sub = SoftFloat.min_subnormal(BINARY64)
+        assert fp_mul(sub, sf(1e300), env).same_bits(PZ)
+
+    def test_without_daz_subnormal_inputs_work(self):
+        env = FPEnv()
+        sub = SoftFloat.min_subnormal(BINARY64)
+        assert fp_mul(sub, sf(2.0), env).to_float() == 1e-323
+
+
+class TestDivSpecials:
+    def test_one_over_zero_infinity_and_flag(self):
+        env = FPEnv()
+        assert fp_div(ONE, PZ, env).same_bits(INF)
+        assert env.test_flag(FPFlag.DIV_BY_ZERO)
+        assert not env.test_flag(FPFlag.INVALID)
+
+    def test_one_over_negative_zero(self):
+        assert fp_div(ONE, NZ, FPEnv()).same_bits(NINF)
+
+    def test_zero_over_zero_invalid(self):
+        env = FPEnv()
+        assert fp_div(PZ, PZ, env).is_nan
+        assert env.test_flag(FPFlag.INVALID)
+        assert not env.test_flag(FPFlag.DIV_BY_ZERO)
+
+    def test_inf_over_inf_invalid(self):
+        env = FPEnv()
+        assert fp_div(INF, INF, env).is_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_finite_over_inf_is_signed_zero(self):
+        assert fp_div(sf(-1.0), INF, FPEnv()).same_bits(NZ)
+
+    def test_zero_over_finite(self):
+        assert fp_div(NZ, sf(4.0), FPEnv()).same_bits(NZ)
+
+    def test_exact_division_no_inexact(self):
+        env = FPEnv()
+        assert fp_div(sf(1.0), sf(4.0), env).to_float() == 0.25
+        assert not env.test_flag(FPFlag.INEXACT)
+
+    def test_inexact_division(self):
+        env = FPEnv()
+        assert fp_div(sf(1.0), sf(3.0), env).to_float() == 1.0 / 3.0
+        assert env.test_flag(FPFlag.INEXACT)
+
+    def test_div_overflow(self):
+        env = FPEnv()
+        result = fp_div(sf(1e308), sf(1e-308), env)
+        assert result.same_bits(INF)
+        assert env.test_flag(FPFlag.OVERFLOW)
+
+    def test_div_underflow(self):
+        env = FPEnv()
+        result = fp_div(sf(1e-308), sf(1e308), env)
+        assert result.is_zero or result.is_subnormal
+        assert env.test_flag(FPFlag.UNDERFLOW)
+
+
+class TestRemainder:
+    def test_basic_remainder(self):
+        assert fp_remainder(sf(5.0), sf(2.0), FPEnv()).to_float() == 1.0
+
+    def test_ties_to_even_quotient(self):
+        # remainder(3, 2): n = rint(1.5) = 2 (even), r = 3 - 4 = -1.
+        assert fp_remainder(sf(3.0), sf(2.0), FPEnv()).to_float() == -1.0
+
+    def test_matches_math_remainder(self):
+        import math
+
+        cases = [(5.1, 2.0), (-7.5, 2.25), (0.7, 0.2), (1e10, 3.7)]
+        for a, b in cases:
+            got = fp_remainder(sf(a), sf(b), FPEnv()).to_float()
+            assert got == math.remainder(a, b), (a, b)
+
+    def test_zero_remainder_keeps_dividend_sign(self):
+        result = fp_remainder(sf(-4.0), sf(2.0), FPEnv())
+        assert result.is_zero and result.sign == 1
+
+    def test_remainder_of_inf_invalid(self):
+        env = FPEnv()
+        assert fp_remainder(INF, sf(2.0), env).is_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_remainder_by_zero_invalid(self):
+        env = FPEnv()
+        assert fp_remainder(ONE, PZ, env).is_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_remainder_by_inf_is_identity(self):
+        x = sf(3.25)
+        assert fp_remainder(x, INF, FPEnv()).same_bits(x)
+
+    def test_remainder_is_always_exact(self):
+        env = FPEnv()
+        fp_remainder(sf(97.0), sf(0.125), env)
+        assert not env.test_flag(FPFlag.INEXACT)
+
+
+class TestDirectedRounding:
+    @pytest.mark.parametrize("mode,expected_third", [
+        (RoundingMode.TOWARD_ZERO, "down"),
+        (RoundingMode.TOWARD_NEGATIVE, "down"),
+        (RoundingMode.TOWARD_POSITIVE, "up"),
+    ])
+    def test_one_third_brackets(self, mode, expected_third):
+        env = FPEnv(rounding=mode)
+        result = fp_div(sf(1.0), sf(3.0), env).to_fraction()
+        from fractions import Fraction
+
+        if expected_third == "down":
+            assert result < Fraction(1, 3)
+        else:
+            assert result > Fraction(1, 3)
+
+    def test_interval_arithmetic_brackets_sum(self):
+        down = FPEnv(rounding=RoundingMode.TOWARD_NEGATIVE)
+        up = FPEnv(rounding=RoundingMode.TOWARD_POSITIVE)
+        lo = fp_add(sf(0.1), sf(0.2), down).to_fraction()
+        hi = fp_add(sf(0.1), sf(0.2), up).to_fraction()
+        exact = sf(0.1).to_fraction() + sf(0.2).to_fraction()
+        assert lo < exact < hi

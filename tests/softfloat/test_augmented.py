@@ -1,0 +1,122 @@
+"""Augmented operations: head + tail == exact, always."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpenv.env import FPEnv
+from repro.softfloat import (
+    BINARY64,
+    SoftFloat,
+    augmented_addition,
+    augmented_multiplication,
+    sf,
+)
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, allow_subnormal=True, width=64
+)
+safe = st.floats(min_value=-1e150, max_value=1e150, allow_nan=False)
+
+
+class TestAugmentedAddition:
+    def test_classic_example(self):
+        head, tail = augmented_addition(sf(0.1), sf(0.2), FPEnv())
+        assert head.to_float() == 0.30000000000000004
+        assert head.to_fraction() + tail.to_fraction() == \
+            sf(0.1).to_fraction() + sf(0.2).to_fraction()
+
+    def test_exact_addition_has_zero_tail(self):
+        head, tail = augmented_addition(sf(1.5), sf(0.25), FPEnv())
+        assert head.to_float() == 1.75
+        assert tail.is_zero
+
+    @settings(max_examples=300)
+    @given(finite, finite)
+    def test_identity_property(self, a, b):
+        head, tail = augmented_addition(sf(a), sf(b), FPEnv())
+        if head.is_finite and not tail.is_nan:
+            assert head.to_fraction() + tail.to_fraction() == \
+                sf(a).to_fraction() + sf(b).to_fraction(), (a, b)
+
+    def test_tail_matches_two_sum(self):
+        from repro.numerics.dot import _two_sum
+
+        env = FPEnv()
+        for a, b in ((0.1, 0.2), (1e16, 1.0), (-3.7, 3.7000001)):
+            head, tail = augmented_addition(sf(a), sf(b), FPEnv())
+            ts_head, ts_tail = _two_sum(sf(a), sf(b), env)
+            assert head.same_bits(ts_head)
+            assert tail.same_bits(ts_tail) or (
+                tail.is_zero and ts_tail.is_zero
+            )
+
+    def test_overflow_head_gives_nan_tail(self):
+        big = SoftFloat.max_finite(BINARY64)
+        head, tail = augmented_addition(big, big, FPEnv())
+        assert head.is_inf
+        assert tail.is_nan
+
+    def test_nan_operand(self):
+        head, tail = augmented_addition(SoftFloat.nan(), sf(1.0), FPEnv())
+        assert head.is_nan and tail.is_nan
+
+    def test_zero_operands(self):
+        head, tail = augmented_addition(
+            SoftFloat.zero(BINARY64), SoftFloat.zero(BINARY64, 1), FPEnv()
+        )
+        assert head.is_zero and tail.is_zero
+
+
+class TestAugmentedMultiplication:
+    def test_classic_example(self):
+        head, tail = augmented_multiplication(sf(0.1), sf(0.1), FPEnv())
+        assert head.to_fraction() + tail.to_fraction() == \
+            sf(0.1).to_fraction() ** 2
+
+    def test_exact_product_zero_tail(self):
+        head, tail = augmented_multiplication(sf(1.5), sf(2.0), FPEnv())
+        assert head.to_float() == 3.0 and tail.is_zero
+
+    @settings(max_examples=300)
+    @given(safe, safe)
+    def test_identity_property(self, a, b):
+        head, tail = augmented_multiplication(sf(a), sf(b), FPEnv())
+        if head.is_finite and not tail.is_nan:
+            assert head.to_fraction() + tail.to_fraction() == \
+                sf(a).to_fraction() * sf(b).to_fraction(), (a, b)
+
+    def test_tail_matches_two_product(self):
+        from repro.numerics.dot import _two_product
+
+        env = FPEnv()
+        for a, b in ((0.1, 0.3), (1.0 + 2**-30, 1.0 - 2**-30), (7.1, 9.3)):
+            head, tail = augmented_multiplication(sf(a), sf(b), FPEnv())
+            tp_head, tp_tail = _two_product(sf(a), sf(b), env)
+            assert head.same_bits(tp_head)
+            assert tail.same_bits(tp_tail) or (
+                tail.is_zero and tp_tail.is_zero
+            )
+
+    def test_unrepresentable_tail_is_nan(self):
+        """A subnormal-range head whose exact error lies below the
+        smallest subnormal: the tail honestly reports NaN."""
+        # (1+2^-52)^2 needs 105 significand bits; at exponent 2^-1060
+        # the error term sits at 2^-1164, far below min_subnormal.
+        a = sf((1.0 + 2.0**-52) * 2.0**-1000)
+        b = sf((1.0 + 2.0**-52) * 2.0**-60)
+        head, tail = augmented_multiplication(a, b, FPEnv())
+        assert head.is_finite and not head.is_zero
+        assert tail.is_nan
+
+    def test_inf_times_finite(self):
+        head, tail = augmented_multiplication(
+            SoftFloat.inf(), sf(2.0), FPEnv()
+        )
+        assert head.is_inf and tail.is_nan
+
+    def test_zero_product(self):
+        head, tail = augmented_multiplication(
+            SoftFloat.zero(BINARY64), sf(5.0), FPEnv()
+        )
+        assert head.is_zero and tail.is_zero

@@ -1,0 +1,149 @@
+"""Comparison predicates: quiet vs signaling, NaN, signed zero, total
+order."""
+
+import pytest
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.softfloat import (
+    BINARY64,
+    Ordering,
+    SoftFloat,
+    fp_compare_quiet,
+    fp_compare_signaling,
+    fp_eq,
+    fp_ge,
+    fp_gt,
+    fp_le,
+    fp_lt,
+    fp_ne,
+    fp_total_order,
+    fp_unordered,
+    sf,
+    total_order_key,
+)
+
+NAN = SoftFloat.nan(BINARY64)
+SNAN = SoftFloat.signaling_nan(BINARY64)
+INF = SoftFloat.inf(BINARY64)
+NINF = SoftFloat.inf(BINARY64, 1)
+PZ = SoftFloat.zero(BINARY64)
+NZ = SoftFloat.zero(BINARY64, 1)
+
+
+class TestOrderedValues:
+    def test_basic_ordering(self):
+        env = FPEnv()
+        assert fp_lt(sf(1.0), sf(2.0), env)
+        assert fp_gt(sf(2.0), sf(1.0), env)
+        assert fp_le(sf(1.0), sf(1.0), env)
+        assert fp_ge(sf(1.0), sf(1.0), env)
+
+    def test_negative_ordering(self):
+        env = FPEnv()
+        assert fp_lt(sf(-2.0), sf(-1.0), env)
+        assert fp_lt(sf(-1.0), sf(1.0), env)
+
+    def test_infinities_bound_everything(self):
+        env = FPEnv()
+        big = SoftFloat.max_finite(BINARY64)
+        assert fp_lt(big, INF, env)
+        assert fp_lt(NINF, -big, env)
+        assert fp_eq(INF, INF, env)
+
+    def test_subnormal_ordering(self):
+        env = FPEnv()
+        assert fp_lt(PZ, SoftFloat.min_subnormal(BINARY64), env)
+        assert fp_lt(
+            SoftFloat.min_subnormal(BINARY64),
+            SoftFloat.min_normal(BINARY64),
+            env,
+        )
+
+
+class TestSignedZero:
+    def test_zeros_compare_equal(self):
+        env = FPEnv()
+        assert fp_eq(PZ, NZ, env)
+        assert not fp_lt(NZ, PZ, env)
+        assert fp_le(NZ, PZ, env) and fp_ge(NZ, PZ, env)
+
+
+class TestNaNSemantics:
+    def test_nan_eq_is_false_quietly(self):
+        env = FPEnv()
+        assert not fp_eq(NAN, NAN, env)
+        assert fp_ne(NAN, NAN, env)
+        assert env.flags == FPFlag.NONE  # quiet NaN, quiet predicate
+
+    def test_ordered_predicates_on_nan_raise_invalid(self):
+        for predicate in (fp_lt, fp_le, fp_gt, fp_ge):
+            env = FPEnv()
+            assert not predicate(NAN, sf(1.0), env)
+            assert env.test_flag(FPFlag.INVALID), predicate.__name__
+
+    def test_signaling_nan_raises_invalid_even_for_eq(self):
+        env = FPEnv()
+        assert not fp_eq(SNAN, sf(1.0), env)
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_unordered(self):
+        env = FPEnv()
+        assert fp_unordered(NAN, sf(1.0), env)
+        assert not fp_unordered(sf(1.0), sf(2.0), env)
+
+    def test_compare_quiet_four_way(self):
+        env = FPEnv()
+        assert fp_compare_quiet(sf(1.0), sf(2.0), env) is Ordering.LESS
+        assert fp_compare_quiet(sf(2.0), sf(1.0), env) is Ordering.GREATER
+        assert fp_compare_quiet(sf(1.0), sf(1.0), env) is Ordering.EQUAL
+        assert fp_compare_quiet(NAN, sf(1.0), env) is Ordering.UNORDERED
+
+    def test_compare_signaling_flags_any_nan(self):
+        env = FPEnv()
+        fp_compare_signaling(NAN, sf(1.0), env)
+        assert env.test_flag(FPFlag.INVALID)
+
+
+class TestTotalOrder:
+    def test_canonical_chain(self):
+        chain = [
+            SoftFloat.nan(BINARY64, sign=1),
+            NINF,
+            sf(-1.0),
+            NZ,
+            PZ,
+            SoftFloat.min_subnormal(BINARY64),
+            sf(1.0),
+            INF,
+            NAN,
+        ]
+        for earlier, later in zip(chain, chain[1:]):
+            assert fp_total_order(earlier, later), (str(earlier), str(later))
+            assert not fp_total_order(later, earlier)
+
+    def test_reflexive(self):
+        for x in (NAN, PZ, NZ, sf(3.0)):
+            assert fp_total_order(x, x)
+
+    def test_key_sorts_like_value_order_for_ordered_values(self):
+        values = [sf(v) for v in (-3.0, -0.5, 0.0, 0.25, 7.0)]
+        keys = [total_order_key(v) for v in values]
+        assert keys == sorted(keys)
+
+
+class TestOperatorIntegration:
+    def test_dunder_comparisons(self):
+        assert sf(1.0) < sf(2.0)
+        assert sf(2.0) >= sf(2.0)
+        assert sf(1.0) == 1.0
+        assert sf(1.5) != 2
+
+    def test_eq_against_foreign_type(self):
+        assert (sf(1.0) == "hello") is False
+        assert (sf(1.0) != "hello") is True
+
+    def test_quiz_identity_question_via_operators(self):
+        nan = sf("nan")
+        assert not (nan == nan)
+        assert nan != nan

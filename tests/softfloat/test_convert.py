@@ -1,0 +1,205 @@
+"""Conversions: format-to-format, int, fraction, integral rounding."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import FormatError
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.fpenv.rounding import RoundingMode
+from repro.softfloat import (
+    BFLOAT16,
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    SoftFloat,
+    convert_format,
+    round_to_integral,
+    sf,
+    softfloat_from_fraction,
+    softfloat_from_int,
+    softfloat_to_int,
+)
+
+
+class TestFormatConversion:
+    def test_widening_is_exact(self):
+        env = FPEnv()
+        x = sf(0.1, BINARY32)
+        wide = convert_format(x, BINARY64, env)
+        assert wide.to_fraction() == x.to_fraction()
+        assert env.flags == FPFlag.NONE
+
+    def test_narrowing_rounds_and_flags(self):
+        env = FPEnv()
+        x = sf(0.1)
+        narrow = convert_format(x, BINARY32, env)
+        assert env.test_flag(FPFlag.INEXACT)
+        assert narrow.to_fraction() != x.to_fraction()
+
+    def test_narrowing_matches_numpy(self):
+        import numpy as np
+
+        for value in (0.1, 1.5, 3.141592653589793, 1e-40, 65520.0, -2.7e38):
+            narrow = convert_format(sf(value), BINARY32, FPEnv())
+            assert narrow.to_float() == float(np.float32(value)), value
+
+    def test_overflow_to_inf_on_narrowing(self):
+        env = FPEnv()
+        narrow = convert_format(sf(1e300), BINARY32, env)
+        assert narrow.is_inf
+        assert env.test_flag(FPFlag.OVERFLOW)
+
+    def test_binary16_overflow(self):
+        narrow = convert_format(sf(65520.0), BINARY16, FPEnv())
+        assert narrow.is_inf  # 65520 rounds to 65536 > 65504 max
+
+    def test_underflow_to_subnormal_on_narrowing(self):
+        env = FPEnv()
+        narrow = convert_format(sf(1e-40), BINARY32, env)
+        assert narrow.is_subnormal
+        assert env.test_flag(FPFlag.UNDERFLOW)
+
+    def test_inf_and_zero_preserved(self):
+        assert convert_format(SoftFloat.inf(BINARY64, 1), BINARY16,
+                              FPEnv()).same_bits(SoftFloat.inf(BINARY16, 1))
+        assert convert_format(SoftFloat.zero(BINARY64, 1), BINARY16,
+                              FPEnv()).same_bits(SoftFloat.zero(BINARY16, 1))
+
+    def test_nan_payload_moves_across(self):
+        nan = SoftFloat.nan(BINARY64, payload=0xABC)
+        narrow = convert_format(nan, BINARY32, FPEnv())
+        assert narrow.is_quiet_nan
+        wide = convert_format(narrow, BINARY64, FPEnv())
+        assert wide.is_quiet_nan
+
+    def test_signaling_nan_is_quieted_with_invalid(self):
+        env = FPEnv()
+        out = convert_format(SoftFloat.signaling_nan(BINARY64), BINARY32, env)
+        assert out.is_quiet_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_same_format_identity(self):
+        x = sf(2.5)
+        assert convert_format(x, BINARY64, FPEnv()).same_bits(x)
+
+    def test_bfloat16_truncates_precision_keeps_range(self):
+        x = convert_format(sf(1e38), BFLOAT16, FPEnv())
+        assert x.is_finite  # binary16 would overflow; bfloat16 keeps range
+        y = convert_format(sf(1.0009765625), BFLOAT16, FPEnv())
+        assert y.to_float() == 1.0  # only 8 significand bits
+
+
+class TestIntConversion:
+    def test_small_ints_exact(self):
+        env = FPEnv()
+        for n in (0, 1, -1, 2**52, -(2**53)):
+            assert softfloat_from_int(n, BINARY64, env).to_float() == float(n)
+        assert not env.test_flag(FPFlag.INEXACT)
+
+    def test_big_int_rounds(self):
+        env = FPEnv()
+        got = softfloat_from_int(2**53 + 1, BINARY64, env)
+        assert got.to_float() == 2.0**53
+        assert env.test_flag(FPFlag.INEXACT)
+
+    def test_to_int_exact(self):
+        assert softfloat_to_int(sf(42.0)) == 42
+        assert softfloat_to_int(sf(-3.0)) == -3
+
+    def test_to_int_rounds_nearest_even(self):
+        assert softfloat_to_int(sf(2.5)) == 2
+        assert softfloat_to_int(sf(3.5)) == 4
+        assert softfloat_to_int(sf(-2.5)) == -2
+
+    def test_to_int_directed_modes(self):
+        assert softfloat_to_int(sf(2.7), RoundingMode.TOWARD_ZERO) == 2
+        assert softfloat_to_int(sf(-2.7), RoundingMode.TOWARD_ZERO) == -2
+        assert softfloat_to_int(sf(2.2), RoundingMode.TOWARD_POSITIVE) == 3
+        assert softfloat_to_int(sf(-2.2), RoundingMode.TOWARD_NEGATIVE) == -3
+
+    def test_to_int_of_nan_raises(self):
+        env = FPEnv()
+        with pytest.raises(FormatError):
+            softfloat_to_int(SoftFloat.nan(), env=env)
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_to_int_of_inf_raises(self):
+        with pytest.raises(FormatError):
+            softfloat_to_int(SoftFloat.inf())
+
+    def test_to_int_inexact_flag(self):
+        env = FPEnv()
+        softfloat_to_int(sf(2.5), env=env)
+        assert env.test_flag(FPFlag.INEXACT)
+
+
+class TestFractionConversion:
+    def test_exact_dyadic(self):
+        env = FPEnv()
+        x = softfloat_from_fraction(Fraction(3, 8), BINARY64, env)
+        assert x.to_float() == 0.375
+        assert not env.test_flag(FPFlag.INEXACT)
+
+    def test_one_third_matches_division(self):
+        x = softfloat_from_fraction(Fraction(1, 3), BINARY64, FPEnv())
+        assert x.to_float() == 1.0 / 3.0
+
+    def test_huge_fraction_overflows(self):
+        env = FPEnv()
+        x = softfloat_from_fraction(Fraction(10**400), BINARY64, env)
+        assert x.is_inf
+        assert env.test_flag(FPFlag.OVERFLOW)
+
+    def test_tiny_fraction_underflows(self):
+        env = FPEnv()
+        x = softfloat_from_fraction(Fraction(1, 10**400), BINARY64, env)
+        assert x.is_zero or x.is_subnormal
+        assert env.test_flag(FPFlag.UNDERFLOW)
+
+    def test_roundtrip_through_fraction(self):
+        for value in (0.1, -2.5, 5e-324, 1.7976931348623157e308):
+            x = sf(value)
+            back = softfloat_from_fraction(x.to_fraction(), BINARY64, FPEnv())
+            assert back.same_bits(x)
+
+
+class TestRoundToIntegral:
+    def test_already_integral(self):
+        x = sf(42.0)
+        assert round_to_integral(x).same_bits(x)
+
+    def test_halfway_to_even(self):
+        assert round_to_integral(sf(0.5)).to_float() == 0.0
+        assert round_to_integral(sf(1.5)).to_float() == 2.0
+        assert round_to_integral(sf(2.5)).to_float() == 2.0
+
+    def test_directed(self):
+        assert round_to_integral(
+            sf(1.2), RoundingMode.TOWARD_POSITIVE
+        ).to_float() == 2.0
+        assert round_to_integral(
+            sf(-1.2), RoundingMode.TOWARD_NEGATIVE
+        ).to_float() == -2.0
+
+    def test_sign_of_zero_result_preserved(self):
+        result = round_to_integral(sf(-0.25))
+        assert result.is_zero and result.sign == 1
+
+    def test_specials_pass_through(self):
+        assert round_to_integral(SoftFloat.inf()).is_inf
+        assert round_to_integral(SoftFloat.nan()).is_nan
+        assert round_to_integral(SoftFloat.zero(sign=1)).same_bits(
+            SoftFloat.zero(BINARY64, 1)
+        )
+
+    def test_exact_variant_signals(self):
+        env = FPEnv()
+        round_to_integral(sf(1.5), env=env, signal_inexact=True)
+        assert env.test_flag(FPFlag.INEXACT)
+
+    def test_default_variant_is_quiet(self):
+        env = FPEnv()
+        round_to_integral(sf(1.5), env=env)
+        assert not env.test_flag(FPFlag.INEXACT)

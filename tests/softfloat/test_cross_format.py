@@ -1,0 +1,128 @@
+"""Cross-format properties: conversions and arithmetic across the
+format ladder (binary16/bfloat16/binary32/binary64/binary128)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.softfloat import (
+    BFLOAT16,
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    BINARY128,
+    SoftFloat,
+    convert_format,
+    fp_add,
+    fp_mul,
+    sf,
+)
+
+any_double = st.floats(
+    allow_nan=False, allow_infinity=True, allow_subnormal=True, width=64
+)
+
+NARROW = [BINARY16, BFLOAT16, BINARY32]
+LADDER = [BINARY16, BINARY32, BINARY64, BINARY128]
+
+
+class TestRoundTrips:
+    @settings(max_examples=200)
+    @given(any_double)
+    def test_widen_then_narrow_is_identity(self, value):
+        """binary64 -> binary128 -> binary64 must be exact."""
+        x = sf(value)
+        wide = convert_format(x, BINARY128, FPEnv())
+        back = convert_format(wide, BINARY64, FPEnv())
+        assert back.same_bits(x)
+
+    @settings(max_examples=200)
+    @given(any_double)
+    def test_narrow_then_widen_then_narrow_is_stable(self, value):
+        """Once narrowed, further round trips through wider formats are
+        the identity (idempotence of rounding)."""
+        for narrow_fmt in NARROW:
+            narrowed = convert_format(sf(value), narrow_fmt, FPEnv())
+            wide = convert_format(narrowed, BINARY64, FPEnv())
+            again = convert_format(wide, narrow_fmt, FPEnv())
+            assert again.same_bits(narrowed), narrow_fmt.name
+
+    def test_no_double_rounding_via_direct_conversion(self):
+        """Direct binary64->binary16 must equal the correctly rounded
+        result; going through binary32 first CAN double-round — find a
+        witness and confirm the direct path avoids it."""
+        # x = 1 + 2^-11 + 2^-26: just above the binary16 tie at
+        # 1 + 2^-11, but within half a binary32 ulp of it.  Rounding
+        # through binary32 lands exactly ON the tie, and the second
+        # rounding (ties-to-even) goes DOWN to 1.0; direct conversion
+        # correctly rounds UP to 1 + 2^-10.
+        candidate = sf(1.0 + 2.0**-11 + 2.0**-26)
+        direct = convert_format(candidate, BINARY16, FPEnv())
+        via32 = convert_format(
+            convert_format(candidate, BINARY32, FPEnv()),
+            BINARY16, FPEnv(),
+        )
+        assert direct.to_float() == 1.0 + 2.0**-10
+        assert via32.to_float() == 1.0
+        assert not direct.same_bits(via32)
+
+
+class TestLadderSemantics:
+    def test_every_format_answers_the_quiz_the_same_way(self):
+        """The quiz's qualitative answers are format-independent."""
+        for fmt in LADDER:
+            env = FPEnv()
+            nan = SoftFloat.nan(fmt)
+            assert not (nan == nan)                        # Identity
+            assert sf("-0.0", fmt) == sf("0.0", fmt)       # Negative Zero
+            big = SoftFloat.max_finite(fmt)
+            assert fp_mul(big, sf(2.0, fmt), env).is_inf   # Overflow
+            inf = SoftFloat.inf(fmt)
+            assert fp_add(inf, sf(1.0, fmt), env) == inf   # Saturation
+
+    def test_absorption_threshold_scales_with_precision(self):
+        """(2^p + 1) == 2^p at each format's own precision."""
+        for fmt in LADDER:
+            p = fmt.precision
+            big = sf(2**p, fmt)
+            env = FPEnv()
+            assert fp_add(big, sf(1.0, fmt), env) == big, fmt.name
+            # One bit below the threshold, the addition is exact.
+            smaller = sf(2 ** (p - 1), fmt)
+            assert fp_add(smaller, sf(1.0, fmt), env) != smaller
+
+    def test_subnormal_count_per_format(self):
+        """Each format has exactly 2^frac_bits - 1 positive subnormals."""
+        for fmt in (BINARY16, BFLOAT16):
+            count = sum(
+                1 for bits in range(1 << fmt.width)
+                if SoftFloat(fmt, bits).is_subnormal
+                and not SoftFloat(fmt, bits).is_negative
+            )
+            assert count == (1 << fmt.frac_bits) - 1, fmt.name
+
+    @settings(max_examples=150)
+    @given(any_double, any_double)
+    def test_wider_arithmetic_never_less_accurate(self, a, b):
+        """fl64(a+b) is at least as close to the exact sum as
+        fl32(fl32(a)+fl32(b)) widened — monotonicity of the ladder."""
+        from fractions import Fraction
+
+        x64, y64 = sf(a), sf(b)
+        if not (x64.is_finite and y64.is_finite):
+            return
+        exact = x64.to_fraction() + y64.to_fraction()
+        sum64 = fp_add(x64, y64, FPEnv())
+        x32 = convert_format(x64, BINARY32, FPEnv())
+        y32 = convert_format(y64, BINARY32, FPEnv())
+        sum32 = fp_add(x32, y32, FPEnv())
+        if not (sum64.is_finite and sum32.is_finite):
+            return
+        err64 = abs(sum64.to_fraction() - exact)
+        # sum32's inputs were rounded: compare against ITS exact sum to
+        # isolate the operation error, then against the true exact sum
+        # for the end-to-end claim.
+        err32_total = abs(sum32.to_fraction() - exact)
+        assert err64 <= err32_total or err64 == 0

@@ -1,0 +1,166 @@
+"""Correctly rounded hypot and integer power."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.softfloat import (
+    BINARY64,
+    SoftFloat,
+    fp_hypot,
+    fp_mul,
+    fp_powi,
+    fp_sqrt,
+    sf,
+)
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, allow_subnormal=True, width=64
+)
+
+
+class TestHypot:
+    def test_pythagorean_triples_exact(self):
+        env = FPEnv()
+        for a, b, c in ((3, 4, 5), (5, 12, 13), (8, 15, 17)):
+            assert fp_hypot(sf(float(a)), sf(float(b)), env).to_float() == c
+        assert not env.test_flag(FPFlag.INEXACT)
+
+    def test_no_spurious_overflow(self):
+        """sqrt(a*a + b*b) computed naively overflows here; hypot must
+        not."""
+        a = sf(1e200)
+        naive = fp_sqrt(
+            fp_mul(a, a, FPEnv()) + fp_mul(a, a, FPEnv()), FPEnv()
+        )
+        assert naive.is_inf  # the naive composition fails...
+        assert fp_hypot(a, a, FPEnv()).is_finite  # ...hypot does not
+
+    def test_no_spurious_underflow(self):
+        tiny = SoftFloat.min_subnormal(BINARY64)
+        result = fp_hypot(tiny, tiny, FPEnv())
+        assert not result.is_zero
+
+    def test_matches_host_hypot(self):
+        for a, b in ((0.1, 0.2), (1e-300, 1e-300), (7.25, -0.5),
+                     (1e308, 1e308), (123.456, 654.321)):
+            got = fp_hypot(sf(a), sf(b), FPEnv()).to_float()
+            assert got == math.hypot(a, b), (a, b)
+
+    @settings(max_examples=300)
+    @given(finite, finite)
+    def test_correctly_rounded_against_exact(self, a, b):
+        got = fp_hypot(sf(a), sf(b), FPEnv())
+        exact = Fraction(a) ** 2 + Fraction(b) ** 2
+        if exact == 0:
+            assert got.is_zero
+            return
+        if got.is_inf:
+            # Legitimate overflow only: the true hypotenuse exceeds max.
+            max_finite = SoftFloat.max_finite(BINARY64).to_fraction()
+            assert exact > max_finite**2
+            return
+        # Check |got^2 - exact| places got within the correct rounding:
+        # got must be between the two doubles bracketing sqrt(exact).
+        from repro.softfloat import next_down, next_up
+
+        below = next_down(got).to_fraction() ** 2
+        upper_neighbor = next_up(got)
+        assert below <= exact
+        if upper_neighbor.is_finite:
+            assert exact <= upper_neighbor.to_fraction() ** 2
+
+    def test_inf_dominates_even_nan(self):
+        assert fp_hypot(SoftFloat.inf(), SoftFloat.nan(), FPEnv()).is_inf
+        assert fp_hypot(
+            SoftFloat.nan(), SoftFloat.inf(BINARY64, 1), FPEnv()
+        ).is_inf
+
+    def test_nan_without_inf(self):
+        assert fp_hypot(SoftFloat.nan(), sf(1.0), FPEnv()).is_nan
+
+    def test_signaling_nan_raises(self):
+        env = FPEnv()
+        fp_hypot(SoftFloat.signaling_nan(), SoftFloat.inf(), env)
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_zero_arm(self):
+        assert fp_hypot(sf(0.0), sf(-3.0), FPEnv()).to_float() == 3.0
+        assert fp_hypot(sf(0.0), sf(0.0), FPEnv()).is_zero
+
+    def test_result_is_always_nonnegative(self):
+        assert fp_hypot(sf(-3.0), sf(-4.0), FPEnv()).to_float() == 5.0
+
+
+class TestPowi:
+    def test_small_powers_exact(self):
+        env = FPEnv()
+        assert fp_powi(sf(2.0), 10, env).to_float() == 1024.0
+        assert fp_powi(sf(-3.0), 3, env).to_float() == -27.0
+        assert not env.test_flag(FPFlag.INEXACT)
+
+    def test_x_to_zero_is_one_for_everything(self):
+        for x in (sf(2.0), SoftFloat.nan(), SoftFloat.inf(),
+                  SoftFloat.zero(BINARY64)):
+            assert fp_powi(x, 0, FPEnv()).to_float() == 1.0
+
+    def test_negative_exponent(self):
+        assert fp_powi(sf(2.0), -3, FPEnv()).to_float() == 0.125
+        assert fp_powi(sf(3.0), -2, FPEnv()).to_float() == 3.0**-2
+
+    def test_single_rounding_beats_repeated_multiplication(self):
+        """pown rounds once; the loop rounds n-1 times and can differ."""
+        x = sf(1.0 + 2.0**-26)
+        n = 100
+        loop = sf(1.0)
+        for _ in range(n):
+            loop = fp_mul(loop, x, FPEnv())
+        single = fp_powi(x, n, FPEnv())
+        exact = x.to_fraction() ** n
+        assert abs(single.to_fraction() - exact) <= \
+            abs(loop.to_fraction() - exact)
+
+    @settings(max_examples=150)
+    @given(st.floats(min_value=-1e10, max_value=1e10, allow_nan=False),
+           st.integers(min_value=1, max_value=30))
+    def test_positive_powers_correctly_rounded(self, x, n):
+        got = fp_powi(sf(x), n, FPEnv())
+        exact = Fraction(x) ** n
+        if got.is_inf:
+            assert abs(exact) > SoftFloat.max_finite(BINARY64).to_fraction()
+            return
+        reference = SoftFloat.from_fraction(exact, BINARY64, FPEnv()) \
+            if exact else None
+        if exact == 0:
+            assert got.is_zero
+        else:
+            assert got.to_fraction() == reference.to_fraction()
+
+    def test_sign_rules(self):
+        assert fp_powi(sf(-2.0), 2, FPEnv()).to_float() == 4.0
+        assert fp_powi(sf(-2.0), 3, FPEnv()).to_float() == -8.0
+        assert fp_powi(SoftFloat.inf(BINARY64, 1), 3, FPEnv()).sign == 1
+        assert fp_powi(SoftFloat.inf(BINARY64, 1), 2, FPEnv()).sign == 0
+
+    def test_zero_to_negative_power(self):
+        env = FPEnv()
+        result = fp_powi(SoftFloat.zero(BINARY64, 1), -1, env)
+        assert result.is_inf and result.sign == 1
+        assert env.test_flag(FPFlag.DIV_BY_ZERO)
+
+    def test_inf_to_negative_power(self):
+        assert fp_powi(SoftFloat.inf(), -2, FPEnv()).is_zero
+
+    def test_exponent_cap(self):
+        with pytest.raises(ValueError):
+            fp_powi(sf(2.0), 5000, FPEnv())
+
+    def test_overflow_flagged(self):
+        env = FPEnv()
+        assert fp_powi(sf(10.0), 400, env).is_inf
+        assert env.test_flag(FPFlag.OVERFLOW)

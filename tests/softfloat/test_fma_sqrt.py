@@ -1,0 +1,151 @@
+"""Directed tests for fused multiply-add and square root."""
+
+import math
+
+import pytest
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.softfloat import (
+    BINARY64,
+    SoftFloat,
+    fp_add,
+    fp_fma,
+    fp_mul,
+    fp_sqrt,
+    sf,
+)
+
+INF = SoftFloat.inf(BINARY64)
+NINF = SoftFloat.inf(BINARY64, 1)
+NAN = SoftFloat.nan(BINARY64)
+PZ = SoftFloat.zero(BINARY64)
+NZ = SoftFloat.zero(BINARY64, 1)
+ONE = sf(1.0)
+
+
+class TestFMA:
+    def test_basic(self):
+        assert fp_fma(sf(2.0), sf(3.0), sf(4.0), FPEnv()).to_float() == 10.0
+
+    def test_single_rounding_differs_from_two(self):
+        """The MADD question's crux: one rounding vs two."""
+        a = sf(1.0 + 2.0**-27)
+        c = sf(-1.0)
+        env = FPEnv()
+        fused = fp_fma(a, a, c, env)
+        separate = fp_add(fp_mul(a, a, FPEnv()), c, FPEnv())
+        assert not fused.same_bits(separate)
+        # The fused result is the correctly rounded exact value.
+        exact = a.to_fraction() * a.to_fraction() - 1
+        assert fused.to_fraction() == exact  # representable exactly here
+
+    def test_zero_times_inf_invalid_even_with_quiet_nan_addend(self):
+        env = FPEnv()
+        result = fp_fma(PZ, INF, NAN, env)
+        assert result.is_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_inf_product_with_opposite_inf_addend_invalid(self):
+        env = FPEnv()
+        assert fp_fma(INF, ONE, NINF, env).is_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_inf_product_with_same_sign_addend(self):
+        assert fp_fma(INF, ONE, INF, FPEnv()).same_bits(INF)
+
+    def test_inf_addend_dominates_finite_product(self):
+        assert fp_fma(sf(2.0), sf(3.0), NINF, FPEnv()).same_bits(NINF)
+
+    def test_nan_operand_propagates(self):
+        assert fp_fma(NAN, ONE, ONE, FPEnv()).is_nan
+        assert fp_fma(ONE, NAN, ONE, FPEnv()).is_nan
+        assert fp_fma(ONE, ONE, NAN, FPEnv()).is_nan
+
+    def test_signaling_nan_raises_invalid(self):
+        env = FPEnv()
+        fp_fma(SoftFloat.signaling_nan(), ONE, ONE, env)
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_zero_product_keeps_addend(self):
+        c = sf(7.5)
+        assert fp_fma(PZ, sf(5.0), c, FPEnv()).same_bits(c)
+
+    def test_zero_product_zero_addend_sign_rules(self):
+        # (+0 * 5) + +0 = +0;  (-0 * 5) + +0 = +0 (opposite signs).
+        assert fp_fma(PZ, sf(5.0), PZ, FPEnv()).same_bits(PZ)
+        assert fp_fma(NZ, sf(5.0), PZ, FPEnv()).same_bits(PZ)
+        assert fp_fma(NZ, sf(5.0), NZ, FPEnv()).same_bits(NZ)
+
+    def test_exact_cancellation_gives_positive_zero(self):
+        result = fp_fma(sf(2.0), sf(3.0), sf(-6.0), FPEnv())
+        assert result.same_bits(PZ)
+
+    def test_no_intermediate_overflow(self):
+        """The product may exceed the format range as long as the final
+        result does not — fused evaluation must survive that."""
+        big = SoftFloat.max_finite(BINARY64)
+        result = fp_fma(big, sf(2.0), -big, FPEnv())
+        assert result.is_finite
+        assert result.same_bits(big)
+
+    def test_subnormal_fma(self):
+        env = FPEnv()
+        tiny = SoftFloat.min_subnormal(BINARY64)
+        result = fp_fma(tiny, ONE, tiny, env)
+        assert result.to_float() == 1e-323
+
+
+class TestSqrt:
+    def test_perfect_squares_exact(self):
+        env = FPEnv()
+        for value in (4.0, 9.0, 2.25, 1e10 * 1e10):
+            assert fp_sqrt(sf(value), env).to_float() == math.sqrt(value)
+        assert not env.test_flag(FPFlag.INEXACT)
+
+    def test_inexact_flag(self):
+        env = FPEnv()
+        fp_sqrt(sf(2.0), env)
+        assert env.test_flag(FPFlag.INEXACT)
+
+    def test_sqrt_of_negative_zero_is_negative_zero(self):
+        env = FPEnv()
+        assert fp_sqrt(NZ, env).same_bits(NZ)
+        assert env.flags == FPFlag.NONE
+
+    def test_sqrt_of_negative_invalid(self):
+        env = FPEnv()
+        assert fp_sqrt(sf(-1.0), env).is_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_sqrt_of_negative_inf_invalid(self):
+        env = FPEnv()
+        assert fp_sqrt(NINF, env).is_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_sqrt_of_positive_inf(self):
+        assert fp_sqrt(INF, FPEnv()).same_bits(INF)
+
+    def test_sqrt_of_nan_propagates(self):
+        assert fp_sqrt(NAN, FPEnv()).is_nan
+
+    def test_sqrt_of_subnormal(self):
+        sub = SoftFloat.min_subnormal(BINARY64)
+        got = fp_sqrt(sub, FPEnv()).to_float()
+        assert got == math.sqrt(5e-324)
+
+    def test_sqrt_never_underflows_or_overflows(self):
+        env = FPEnv()
+        fp_sqrt(SoftFloat.max_finite(BINARY64), env)
+        fp_sqrt(SoftFloat.min_subnormal(BINARY64), env)
+        assert not env.test_flag(FPFlag.OVERFLOW)
+        assert not env.test_flag(FPFlag.UNDERFLOW)
+
+    @pytest.mark.parametrize("value", [
+        0.5, 2.0, 3.0, 10.0, 1e-300, 1e300, 1.0 + 2**-52,
+    ])
+    def test_sqrt_squared_within_one_ulp_relation(self, value):
+        root = fp_sqrt(sf(value), FPEnv())
+        squared = fp_mul(root, root, FPEnv())
+        # Correctly rounded sqrt: |sqrt(x)^2 - x| is ulp-scale relative.
+        assert abs(squared.to_float() - value) <= 2**-50 * value

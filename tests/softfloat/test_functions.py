@@ -1,0 +1,199 @@
+"""Auxiliary operations: neighbors, min/max, scalb, ilogb, ulp."""
+
+import math
+
+import pytest
+
+from repro.errors import FormatError
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.softfloat import (
+    BINARY64,
+    SoftFloat,
+    fp_ilogb,
+    fp_max,
+    fp_min,
+    fp_scalb,
+    next_after,
+    next_down,
+    next_up,
+    sf,
+    significant_bits,
+    ulp,
+)
+
+
+class TestNeighbors:
+    def test_next_up_basic(self):
+        assert next_up(sf(1.0)).to_float() == 1.0 + 2.0**-52
+
+    def test_next_up_matches_host(self):
+        for value in (0.0, -0.0, 1.0, -1.0, 1e300, -1e300, 5e-324,
+                      -5e-324, 2.2250738585072014e-308):
+            assert next_up(sf(value)).to_float() == math.nextafter(
+                value, math.inf
+            ), value
+
+    def test_next_down_matches_host(self):
+        for value in (0.0, 1.0, -1.0, 5e-324):
+            assert next_down(sf(value)).to_float() == math.nextafter(
+                value, -math.inf
+            ), value
+
+    def test_next_up_of_zero_is_min_subnormal(self):
+        assert next_up(SoftFloat.zero(BINARY64)).same_bits(
+            SoftFloat.min_subnormal(BINARY64)
+        )
+        assert next_up(SoftFloat.zero(BINARY64, 1)).same_bits(
+            SoftFloat.min_subnormal(BINARY64)
+        )
+
+    def test_next_up_of_neg_min_subnormal_is_neg_zero(self):
+        x = next_up(SoftFloat.min_subnormal(BINARY64, 1))
+        assert x.is_zero and x.sign == 1
+
+    def test_next_up_of_max_finite_is_inf(self):
+        assert next_up(SoftFloat.max_finite(BINARY64)).is_inf
+
+    def test_next_up_of_inf_saturates(self):
+        assert next_up(SoftFloat.inf(BINARY64)).is_inf
+        assert next_up(SoftFloat.inf(BINARY64, 1)).same_bits(
+            SoftFloat.max_finite(BINARY64, 1)
+        )
+
+    def test_next_after(self):
+        assert next_after(sf(1.0), sf(2.0), FPEnv()).to_float() == \
+            math.nextafter(1.0, 2.0)
+        assert next_after(sf(1.0), sf(0.0), FPEnv()).to_float() == \
+            math.nextafter(1.0, 0.0)
+
+    def test_next_after_equal_returns_second(self):
+        result = next_after(SoftFloat.zero(BINARY64),
+                            SoftFloat.zero(BINARY64, 1), FPEnv())
+        assert result.sign == 1  # returns y (i.e. -0)
+
+    def test_nan_propagation(self):
+        assert next_up(SoftFloat.nan(), FPEnv()).is_nan
+        assert next_after(sf(1.0), SoftFloat.nan(), FPEnv()).is_nan
+
+    def test_next_up_down_inverse_walk(self):
+        x = sf(3.7)
+        for _ in range(10):
+            x = next_up(x)
+        for _ in range(10):
+            x = next_down(x)
+        assert x.same_bits(sf(3.7))
+
+
+class TestMinMax:
+    def test_ordinary(self):
+        assert fp_min(sf(1.0), sf(2.0), FPEnv()).to_float() == 1.0
+        assert fp_max(sf(1.0), sf(2.0), FPEnv()).to_float() == 2.0
+
+    def test_single_quiet_nan_is_ignored(self):
+        """754-2008 minNum/maxNum: the number wins over one quiet NaN."""
+        env = FPEnv()
+        assert fp_min(SoftFloat.nan(), sf(3.0), env).to_float() == 3.0
+        assert fp_max(sf(3.0), SoftFloat.nan(), env).to_float() == 3.0
+        assert not env.test_flag(FPFlag.INVALID)
+
+    def test_two_nans_give_nan(self):
+        assert fp_min(SoftFloat.nan(), SoftFloat.nan(), FPEnv()).is_nan
+
+    def test_signaling_nan_raises(self):
+        env = FPEnv()
+        assert fp_min(SoftFloat.signaling_nan(), sf(1.0), env).is_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+    def test_zero_sign_preference(self):
+        pz, nz = SoftFloat.zero(BINARY64), SoftFloat.zero(BINARY64, 1)
+        assert fp_min(pz, nz, FPEnv()).sign == 1
+        assert fp_max(nz, pz, FPEnv()).sign == 0
+
+
+class TestScalbIlogb:
+    def test_scalb_powers(self):
+        assert fp_scalb(sf(1.5), 4, FPEnv()).to_float() == 24.0
+        assert fp_scalb(sf(1.5), -4, FPEnv()).to_float() == 1.5 / 16
+
+    def test_scalb_matches_ldexp(self):
+        for value, n in [(0.7, 10), (-3.3, -20), (1.0, 1000), (1.0, -1080)]:
+            assert fp_scalb(sf(value), n, FPEnv()).to_float() == \
+                math.ldexp(value, n), (value, n)
+
+    def test_scalb_overflow(self):
+        env = FPEnv()
+        assert fp_scalb(sf(1.0), 5000, env).is_inf
+        assert env.test_flag(FPFlag.OVERFLOW)
+
+    def test_scalb_underflow_is_correctly_rounded(self):
+        env = FPEnv()
+        result = fp_scalb(sf(1.5), -1074, env)
+        assert result.to_float() == 1e-323  # 3 * min_subnormal / 2 -> 2 ulps
+        assert env.test_flag(FPFlag.UNDERFLOW)
+
+    def test_scalb_specials(self):
+        assert fp_scalb(SoftFloat.inf(), 3, FPEnv()).is_inf
+        assert fp_scalb(SoftFloat.zero(BINARY64, 1), 3, FPEnv()).same_bits(
+            SoftFloat.zero(BINARY64, 1)
+        )
+
+    def test_ilogb(self):
+        assert fp_ilogb(sf(1.0)) == 0
+        assert fp_ilogb(sf(3.9)) == 1
+        assert fp_ilogb(sf(0.5)) == -1
+        assert fp_ilogb(SoftFloat.min_normal(BINARY64)) == -1022
+        assert fp_ilogb(SoftFloat.min_subnormal(BINARY64)) == -1074
+
+    def test_ilogb_errors(self):
+        for bad in (SoftFloat.zero(BINARY64), SoftFloat.inf(),
+                    SoftFloat.nan()):
+            env = FPEnv()
+            with pytest.raises(FormatError):
+                fp_ilogb(bad, env)
+            assert env.test_flag(FPFlag.INVALID)
+
+
+class TestUlpAndPrecision:
+    def test_ulp_at_one(self):
+        assert ulp(sf(1.0)).to_float() == 2.0**-52
+
+    def test_ulp_grows_with_magnitude(self):
+        assert ulp(sf(2.0**53)).to_float() == 2.0
+        assert ulp(sf(2.0**54)).to_float() == 4.0
+
+    def test_ulp_in_subnormal_range_is_min_subnormal(self):
+        assert ulp(SoftFloat.min_subnormal(BINARY64)).to_float() == 5e-324
+        assert ulp(SoftFloat.zero(BINARY64)).to_float() == 5e-324
+
+    def test_ulp_specials(self):
+        assert ulp(SoftFloat.nan()).is_nan
+        assert ulp(SoftFloat.inf()).is_inf
+
+    def test_significant_bits_normal(self):
+        assert significant_bits(sf(1.0)) == 53
+        assert significant_bits(sf(0.1)) == 53
+
+    def test_significant_bits_decreases_through_subnormals(self):
+        """The Denormal Precision question, quantitatively: precision
+        degrades one bit per halving below min_normal."""
+        x = SoftFloat.min_normal(BINARY64)
+        expected = 53
+        values = []
+        for _ in range(5):
+            from repro.softfloat import fp_div
+
+            x = fp_div(x, sf(2.0), FPEnv())
+            expected -= 1
+            values.append((significant_bits(x), expected))
+        assert all(got == want for got, want in values)
+
+    def test_significant_bits_of_min_subnormal_is_one(self):
+        assert significant_bits(SoftFloat.min_subnormal(BINARY64)) == 1
+
+    def test_significant_bits_of_zero(self):
+        assert significant_bits(SoftFloat.zero(BINARY64)) == 0
+
+    def test_significant_bits_rejects_nonfinite(self):
+        with pytest.raises(FormatError):
+            significant_bits(SoftFloat.inf())

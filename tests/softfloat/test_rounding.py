@@ -1,0 +1,183 @@
+"""Rounding-direction semantics: the decision table and round_and_pack."""
+
+import pytest
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.fpenv.rounding import RoundingMode
+from repro.softfloat._round import (
+    overflow_result_bits,
+    round_and_pack,
+    split_mantissa,
+)
+from repro.softfloat.formats import BINARY64, TINY8
+from repro.softfloat.value import SoftFloat
+
+RNE = RoundingMode.NEAREST_EVEN
+RNA = RoundingMode.NEAREST_AWAY
+RTZ = RoundingMode.TOWARD_ZERO
+RUP = RoundingMode.TOWARD_POSITIVE
+RDN = RoundingMode.TOWARD_NEGATIVE
+
+ALL_MODES = [RNE, RNA, RTZ, RUP, RDN]
+
+
+class TestRoundsAway:
+    def test_exact_never_rounds(self):
+        for mode in ALL_MODES:
+            for sign in (0, 1):
+                for lsb in (0, 1):
+                    assert not mode.rounds_away(sign, lsb, 0, 0)
+
+    def test_nearest_even_tie_behavior(self):
+        assert not RNE.rounds_away(0, 0, 1, 0)  # tie, even lsb: stay
+        assert RNE.rounds_away(0, 1, 1, 0)      # tie, odd lsb: away
+        assert RNE.rounds_away(0, 0, 1, 1)      # above half: away
+        assert not RNE.rounds_away(0, 1, 0, 1)  # below half: stay
+
+    def test_nearest_away_tie_behavior(self):
+        assert RNA.rounds_away(0, 0, 1, 0)
+        assert RNA.rounds_away(0, 1, 1, 0)
+        assert not RNA.rounds_away(0, 0, 0, 1)
+
+    def test_toward_zero_always_truncates(self):
+        for sign in (0, 1):
+            assert not RTZ.rounds_away(sign, 1, 1, 1)
+
+    def test_directed_modes_follow_sign(self):
+        assert RUP.rounds_away(0, 0, 0, 1)
+        assert not RUP.rounds_away(1, 0, 0, 1)
+        assert RDN.rounds_away(1, 0, 0, 1)
+        assert not RDN.rounds_away(0, 0, 0, 1)
+
+    def test_is_nearest(self):
+        assert RNE.is_nearest and RNA.is_nearest
+        assert not RTZ.is_nearest
+
+
+class TestSplitMantissa:
+    def test_positive_shift_extracts_grs(self):
+        kept, round_bit, sticky = split_mantissa(0b10111, 3, 0)
+        assert (kept, round_bit, sticky) == (0b10, 1, 1)
+
+    def test_zero_low_bits_clear_sticky(self):
+        kept, round_bit, sticky = split_mantissa(0b10100, 3, 0)
+        assert (kept, round_bit, sticky) == (0b10, 1, 0)
+
+    def test_negative_shift_is_exact(self):
+        kept, round_bit, sticky = split_mantissa(0b101, -2, 0)
+        assert (kept, round_bit, sticky) == (0b10100, 0, 0)
+
+    def test_incoming_sticky_is_preserved(self):
+        assert split_mantissa(0b100, 1, 1)[2] == 1
+        assert split_mantissa(0b100, -1, 1)[2] == 1
+
+
+class TestRoundAndPack:
+    def test_exact_value_raises_no_flags(self):
+        env = FPEnv()
+        bits = round_and_pack(BINARY64, env, 0, 3, 0)  # exactly 3.0
+        assert SoftFloat(BINARY64, bits).to_float() == 3.0
+        assert env.flags == FPFlag.NONE
+
+    def test_inexact_flag_on_rounding(self):
+        env = FPEnv()
+        # 2^53 + 1 is not representable.
+        round_and_pack(BINARY64, env, 0, (1 << 53) + 1, 0)
+        assert env.test_flag(FPFlag.INEXACT)
+
+    def test_requires_positive_mantissa(self):
+        with pytest.raises(AssertionError):
+            round_and_pack(BINARY64, FPEnv(), 0, 0, 0)
+
+    @pytest.mark.parametrize("mode,expected", [
+        (RNE, float("inf")),
+        (RNA, float("inf")),
+        (RTZ, 1.7976931348623157e308),
+        (RUP, float("inf")),
+        (RDN, 1.7976931348623157e308),
+    ])
+    def test_positive_overflow_per_mode(self, mode, expected):
+        env = FPEnv(rounding=mode)
+        bits = round_and_pack(BINARY64, env, 0, 1, 2000)
+        assert SoftFloat(BINARY64, bits).to_float() == expected
+        assert env.test_flag(FPFlag.OVERFLOW | FPFlag.INEXACT)
+
+    @pytest.mark.parametrize("mode,expected", [
+        (RNE, -float("inf")),
+        (RTZ, -1.7976931348623157e308),
+        (RUP, -1.7976931348623157e308),
+        (RDN, -float("inf")),
+    ])
+    def test_negative_overflow_per_mode(self, mode, expected):
+        env = FPEnv(rounding=mode)
+        bits = round_and_pack(BINARY64, env, 1, 1, 2000)
+        assert SoftFloat(BINARY64, bits).to_float() == expected
+
+    def test_overflow_result_bits_consistency(self):
+        for mode in ALL_MODES:
+            for sign in (0, 1):
+                env = FPEnv(rounding=mode)
+                via_pack = round_and_pack(BINARY64, env, sign, 1, 5000)
+                assert via_pack == overflow_result_bits(BINARY64, mode, sign)
+
+    def test_subnormal_result_raises_denormal_flag(self):
+        env = FPEnv()
+        bits = round_and_pack(BINARY64, env, 0, 1, -1074)
+        value = SoftFloat(BINARY64, bits)
+        assert value.is_subnormal
+        assert env.test_flag(FPFlag.DENORMAL_RESULT)
+        assert not env.test_flag(FPFlag.UNDERFLOW)  # exact: not underflow
+
+    def test_tiny_and_inexact_raises_underflow(self):
+        env = FPEnv()
+        # min_subnormal * 1.5: tiny and inexact.
+        bits = round_and_pack(BINARY64, env, 0, 3, -1075)
+        assert env.test_flag(FPFlag.UNDERFLOW | FPFlag.INEXACT)
+        assert SoftFloat(BINARY64, bits).is_subnormal
+
+    def test_tiny_rounds_down_to_zero(self):
+        env = FPEnv()
+        bits = round_and_pack(BINARY64, env, 0, 1, -1076)  # quarter of min
+        value = SoftFloat(BINARY64, bits)
+        assert value.is_zero and value.sign == 0
+        assert env.test_flag(FPFlag.UNDERFLOW | FPFlag.INEXACT)
+
+    def test_ftz_flushes_subnormal_to_zero(self):
+        env = FPEnv(ftz=True)
+        bits = round_and_pack(BINARY64, env, 1, 1, -1074)
+        value = SoftFloat(BINARY64, bits)
+        assert value.is_zero and value.sign == 1
+        assert env.test_flag(FPFlag.UNDERFLOW)
+
+    def test_carry_out_of_significand(self):
+        # 0x1.fffffffffffffp0 rounds up to exactly 2.0 when a half-ulp
+        # is added: mantissa all-ones + round bit set.
+        env = FPEnv()
+        mant = (1 << 54) - 1  # 53 ones and a trailing 1 (the round bit)
+        bits = round_and_pack(BINARY64, env, 0, mant, -53)
+        assert SoftFloat(BINARY64, bits).to_float() == 2.0
+
+    def test_subnormal_rounds_up_to_min_normal(self):
+        env = FPEnv()
+        # Just below min_normal, inexact: rounds up across the boundary.
+        mant = (1 << 53) - 1
+        bits = round_and_pack(BINARY64, env, 0, mant, -1075)
+        value = SoftFloat(BINARY64, bits)
+        assert value.is_normal
+        assert value.to_float() == 2.2250738585072014e-308
+        assert env.test_flag(FPFlag.UNDERFLOW)  # tiny before rounding
+
+    def test_sticky_marker_breaks_tie(self):
+        # Exactly halfway would round to even (down); sticky forces up.
+        # 2^53 + 1 is exactly halfway between 2^53 and 2^53 + 2.
+        even = round_and_pack(BINARY64, FPEnv(), 0, (1 << 53) + 1, 0)
+        nudged = round_and_pack(BINARY64, FPEnv(), 0, (1 << 53) + 1, 0, 1)
+        assert SoftFloat(BINARY64, even).to_float() == 2.0**53
+        assert nudged == even + 1
+
+    def test_tiny_format_all_rounding_modes_stay_in_range(self):
+        for mode in ALL_MODES:
+            env = FPEnv(rounding=mode)
+            bits = round_and_pack(TINY8, env, 0, 0b10101, -3)
+            assert 0 <= bits < (1 << TINY8.width)

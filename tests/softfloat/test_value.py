@@ -1,0 +1,178 @@
+"""SoftFloat construction, classification, and value access."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import FormatError
+from repro.softfloat import BINARY32, BINARY64, FPClass, SoftFloat, sf
+
+
+class TestConstruction:
+    def test_from_float_roundtrips_bits(self):
+        import struct
+
+        for value in (0.0, -0.0, 1.5, -2.25, 1e300, 5e-324, float("inf")):
+            x = SoftFloat.from_float(value)
+            host = struct.unpack("<Q", struct.pack("<d", value))[0]
+            assert x.bits == host
+
+    def test_from_int_exact(self):
+        assert SoftFloat.from_int(12345).to_float() == 12345.0
+
+    def test_from_int_rounds_huge(self):
+        huge = 2**64 + 1
+        assert SoftFloat.from_int(huge).to_float() == float(2**64)
+
+    def test_from_fraction(self):
+        x = SoftFloat.from_fraction(Fraction(1, 3))
+        assert x.to_float() == 1.0 / 3.0
+
+    def test_from_str(self):
+        assert SoftFloat.from_str("2.5").to_float() == 2.5
+
+    def test_sf_accepts_all_types(self):
+        assert sf(1.5).to_float() == 1.5
+        assert sf(3).to_float() == 3.0
+        assert sf("0.5").to_float() == 0.5
+        assert sf(Fraction(1, 4)).to_float() == 0.25
+        assert sf(sf(1.0)) is sf(sf(1.0)) or sf(sf(1.0)) == sf(1.0)
+
+    def test_sf_converts_between_formats(self):
+        narrow = sf(sf(0.1), BINARY32)
+        assert narrow.fmt == BINARY32
+
+    def test_sf_rejects_bool_and_junk(self):
+        with pytest.raises(TypeError):
+            sf(True)
+        with pytest.raises(TypeError):
+            sf(object())
+
+    def test_out_of_range_bits_rejected(self):
+        with pytest.raises(FormatError):
+            SoftFloat(BINARY64, 1 << 64)
+
+    def test_immutability(self):
+        x = sf(1.0)
+        with pytest.raises(AttributeError):
+            x.bits = 0
+
+
+class TestClassification:
+    @pytest.mark.parametrize("builder,cls", [
+        (lambda: SoftFloat.nan(), FPClass.QUIET_NAN),
+        (lambda: SoftFloat.signaling_nan(), FPClass.SIGNALING_NAN),
+        (lambda: SoftFloat.inf(), FPClass.POSITIVE_INFINITY),
+        (lambda: SoftFloat.inf(sign=1), FPClass.NEGATIVE_INFINITY),
+        (lambda: SoftFloat.zero(), FPClass.POSITIVE_ZERO),
+        (lambda: SoftFloat.zero(sign=1), FPClass.NEGATIVE_ZERO),
+        (lambda: SoftFloat.min_subnormal(), FPClass.POSITIVE_SUBNORMAL),
+        (lambda: SoftFloat.min_subnormal(sign=1), FPClass.NEGATIVE_SUBNORMAL),
+        (lambda: sf(1.0), FPClass.POSITIVE_NORMAL),
+        (lambda: sf(-1.0), FPClass.NEGATIVE_NORMAL),
+    ])
+    def test_classify(self, builder, cls):
+        assert builder().classify() is cls
+
+    def test_predicates_are_mutually_exclusive(self):
+        values = [
+            SoftFloat.nan(), SoftFloat.inf(), SoftFloat.zero(),
+            SoftFloat.min_subnormal(), sf(1.0),
+        ]
+        for x in values:
+            kinds = [x.is_nan, x.is_inf, x.is_zero, x.is_subnormal,
+                     x.is_normal]
+            assert sum(kinds) == 1
+
+    def test_finite_covers_zero_subnormal_normal(self):
+        assert SoftFloat.zero().is_finite
+        assert SoftFloat.min_subnormal().is_finite
+        assert sf(1.0).is_finite
+        assert not SoftFloat.inf().is_finite
+        assert not SoftFloat.nan().is_finite
+
+    def test_nan_quiet_vs_signaling(self):
+        assert SoftFloat.nan().is_quiet_nan
+        assert not SoftFloat.nan().is_signaling_nan
+        assert SoftFloat.signaling_nan().is_signaling_nan
+        assert not SoftFloat.signaling_nan().is_quiet_nan
+
+    def test_negative_detection_includes_nan_and_zero(self):
+        assert SoftFloat.zero(sign=1).is_negative
+        assert SoftFloat.nan(sign=1).is_negative
+        assert not sf(1.0).is_negative
+
+
+class TestValueAccess:
+    def test_significand_value_normal(self):
+        mant, exp2 = sf(1.5).significand_value()
+        assert mant * 2.0**exp2 == 1.5
+
+    def test_significand_value_subnormal(self):
+        mant, exp2 = SoftFloat.min_subnormal().significand_value()
+        assert (mant, exp2) == (1, -1074)
+
+    def test_significand_value_rejects_nonfinite(self):
+        with pytest.raises(FormatError):
+            SoftFloat.inf().significand_value()
+
+    def test_to_fraction_is_exact(self):
+        assert sf(0.1).to_fraction() == Fraction(
+            3602879701896397, 2**55
+        )
+
+    def test_to_fraction_sign(self):
+        assert sf(-1.5).to_fraction() == Fraction(-3, 2)
+
+    def test_to_float_roundtrip_binary32(self):
+        x = sf(0.1, BINARY32)
+        import numpy as np
+
+        assert x.to_float() == float(np.float32(0.1))
+
+
+class TestSignOperations:
+    def test_neg_flips_only_the_sign_bit(self):
+        x = sf(1.5)
+        assert (-x).to_float() == -1.5
+        assert (-(-x)).same_bits(x)
+
+    def test_neg_on_nan_is_quiet(self):
+        nan = SoftFloat.nan()
+        assert (-nan).is_nan and (-nan).sign == 1
+
+    def test_abs(self):
+        assert abs(sf(-2.0)).to_float() == 2.0
+        assert abs(SoftFloat.zero(sign=1)).sign == 0
+
+    def test_pos_is_identity(self):
+        x = sf(3.0)
+        assert (+x).same_bits(x)
+
+    def test_copysign(self):
+        assert sf(3.0).copysign(sf(-1.0)).to_float() == -3.0
+        assert sf(-3.0).copysign(sf(1.0)).to_float() == 3.0
+
+
+class TestHashingAndIdentity:
+    def test_same_bits_distinguishes_zeros(self):
+        assert not SoftFloat.zero().same_bits(SoftFloat.zero(sign=1))
+        assert SoftFloat.zero() == SoftFloat.zero(sign=1)
+
+    def test_equal_zeros_hash_equal(self):
+        assert hash(SoftFloat.zero()) == hash(SoftFloat.zero(sign=1))
+
+    def test_repr_and_str(self):
+        assert "1.5" in repr(sf(1.5))
+        assert str(sf(1.5)) == "1.5"
+
+    def test_mixed_format_arithmetic_rejected(self):
+        with pytest.raises(FormatError):
+            sf(1.0) + sf(1.0, BINARY32)
+
+    def test_operator_coercion_from_python_numbers(self):
+        assert (sf(1.0) + 1).to_float() == 2.0
+        assert (1 + sf(1.0)).to_float() == 2.0
+        assert (sf(2.0) * 0.5).to_float() == 1.0
+        assert (1.0 / sf(2.0)).to_float() == 0.5
+        assert (3 - sf(1.0)).to_float() == 2.0

@@ -1,0 +1,95 @@
+"""Monte Carlo arithmetic: randomized rounding significance estimates."""
+
+import pytest
+
+from repro.optsim import parse_expr
+from repro.softfloat import BINARY32
+from repro.stochastic import MCAResult, RandomRoundingEnv, mca_evaluate
+
+
+class TestRandomRoundingEnv:
+    def test_rounding_varies_across_reads(self):
+        import random
+
+        from repro.fpenv.rounding import RoundingMode
+
+        env = RandomRoundingEnv(random.Random(0))
+        seen = {env.rounding for _ in range(50)}
+        assert seen == {RoundingMode.TOWARD_POSITIVE,
+                        RoundingMode.TOWARD_NEGATIVE}
+
+    def test_flags_still_sticky(self):
+        import random
+
+        from repro.fpenv import FPFlag
+        from repro.softfloat import fp_div, sf
+
+        env = RandomRoundingEnv(random.Random(0))
+        fp_div(sf(1.0), sf(0.0), env)
+        assert env.test_flag(FPFlag.DIV_BY_ZERO)
+
+
+class TestMCAEvaluate:
+    def test_exact_computation_full_significance(self):
+        result = mca_evaluate(parse_expr("a + b"), {"a": 1.0, "b": 2.0})
+        assert result.std == 0.0
+        assert result.significant_digits == pytest.approx(15.95, abs=0.1)
+
+    def test_single_rounding_keeps_nearly_full_significance(self):
+        result = mca_evaluate(parse_expr("a / 3.0"), {"a": 1.0})
+        assert result.significant_digits > 14.0
+
+    def test_cancellation_loses_digits(self):
+        result = mca_evaluate(
+            parse_expr("(a*a - b*b) / (a - b)"),
+            {"a": 1.0 + 2.0**-30, "b": 1.0},
+        )
+        assert result.significant_digits < 10.0
+        assert result.significant_digits > 2.0
+
+    def test_total_cancellation_is_zero_digits(self):
+        result = mca_evaluate(
+            parse_expr("(a + b) - a"), {"a": 2.0**53, "b": 1.0},
+        )
+        # Randomized rounding dithers the absorbed addend back and
+        # forth: the sample mean is pure noise.
+        assert result.significant_digits == pytest.approx(0.0, abs=1.0)
+
+    def test_deterministic_given_seed(self):
+        a = mca_evaluate(parse_expr("a / 3.0"), {"a": 1.0}, seed=5)
+        b = mca_evaluate(parse_expr("a / 3.0"), {"a": 1.0}, seed=5)
+        assert a.values == b.values
+
+    def test_sample_count(self):
+        result = mca_evaluate(parse_expr("a / 3.0"), {"a": 1.0}, samples=8)
+        assert len(result.samples) == 8
+
+    def test_samples_bracket_nearest_result(self):
+        result = mca_evaluate(parse_expr("a / 3.0"), {"a": 1.0})
+        reference = result.reference.to_float()
+        assert min(result.values) <= reference <= max(result.values)
+
+    def test_narrow_format(self):
+        from repro.optsim.machine import STRICT
+
+        result = mca_evaluate(
+            parse_expr("a / 3.0"), {"a": 1.0},
+            config=STRICT.replace(fmt=BINARY32),
+        )
+        assert result.significant_digits < 9.0  # binary32 capacity
+
+    def test_exceptional_samples_reported(self):
+        result = mca_evaluate(
+            parse_expr("a / (a - a)"), {"a": 1.0},
+        )
+        assert result.any_exceptional
+        assert result.significant_digits == 0.0
+        assert "fragile" in result.describe()
+
+    def test_describe(self):
+        text = mca_evaluate(parse_expr("a / 3.0"), {"a": 1.0}).describe()
+        assert "significant digits" in text
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            mca_evaluate(parse_expr("a"), {"a": 1.0}, samples=1)

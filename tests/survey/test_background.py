@@ -1,0 +1,122 @@
+"""Background factors: display strings, grouping, serialization."""
+
+import pytest
+
+from repro.errors import SurveyDataError
+from repro.survey.background import (
+    Area,
+    AreaGroup,
+    Background,
+    CodebaseSize,
+    DevRole,
+    FormalTraining,
+    FPExtent,
+    InformalTraining,
+    Position,
+)
+
+
+def make_background(**overrides):
+    defaults = dict(
+        position=Position.PHD_STUDENT,
+        area=Area.CS,
+        formal_training=FormalTraining.LECTURES,
+        informal_training=frozenset({InformalTraining.GOOGLED}),
+        dev_role=DevRole.SUPPORT,
+        fp_languages=frozenset({"Python", "C"}),
+        arb_prec_languages=frozenset({"Mathematica"}),
+        contributed_size=CodebaseSize.LOC_1K_10K,
+        contributed_fp_extent=FPExtent.INCIDENTAL,
+        involved_size=CodebaseSize.LOC_10K_100K,
+        involved_fp_extent=FPExtent.INTRINSIC,
+    )
+    defaults.update(overrides)
+    return Background(**defaults)
+
+
+class TestDisplayStrings:
+    """Display strings must match the paper's tables verbatim, so the
+    regenerated figures line up row-for-row."""
+
+    def test_positions(self):
+        assert Position.PHD_STUDENT.display == "Ph.D. student"
+        assert Position.SOFTWARE_ENGINEER.display == "Software engineer"
+
+    def test_areas(self):
+        assert Area.OTHER_PHYSICAL_SCIENCE.display == \
+            "Other Physical Science Field"
+        assert Area.CS_AND_MATH.display == "CS&Math"
+
+    def test_training(self):
+        assert FormalTraining.LECTURES.display == \
+            "One or more lectures in course"
+        assert InformalTraining.GOOGLED.display == "Googled when necessary"
+
+    def test_roles(self):
+        assert DevRole.SUPPORT.display == \
+            "I develop software to support my main role"
+
+    def test_sizes(self):
+        assert CodebaseSize.LOC_1K_10K.display == \
+            "1,001 to 10,000 lines of code"
+        assert CodebaseSize.LOC_GT_1M.display == ">1,000,000 lines of code"
+
+    def test_extents(self):
+        assert FPExtent.INTRINSIC_SELF.display == \
+            "FP intrinsic, I did numerical correctness"
+
+
+class TestAreaGrouping:
+    @pytest.mark.parametrize("area,group", [
+        (Area.CS, AreaGroup.CS),
+        (Area.CS_AND_MATH, AreaGroup.CS),
+        (Area.CS_AND_CE, AreaGroup.CS),
+        (Area.CE, AreaGroup.CE),
+        (Area.EE, AreaGroup.EE),
+        (Area.MATHEMATICS, AreaGroup.MATH),
+        (Area.STATISTICS, AreaGroup.MATH),
+        (Area.OTHER_PHYSICAL_SCIENCE, AreaGroup.PHYS_SCI),
+        (Area.OTHER_ENGINEERING, AreaGroup.ENG),
+        (Area.MECHANICAL_ENGINEERING, AreaGroup.ENG),
+        (Area.ECONOMICS, AreaGroup.OTHER),
+        (Area.MMSS, AreaGroup.OTHER),
+    ])
+    def test_grouping(self, area, group):
+        assert make_background(area=area).area_group is group
+
+
+class TestSizeRanks:
+    def test_rank_order(self):
+        ordered = [
+            CodebaseSize.NOT_REPORTED, CodebaseSize.LOC_LT_100,
+            CodebaseSize.LOC_100_1K, CodebaseSize.LOC_1K_10K,
+            CodebaseSize.LOC_10K_100K, CodebaseSize.LOC_100K_1M,
+            CodebaseSize.LOC_GT_1M,
+        ]
+        assert [size.rank for size in ordered] == list(range(7))
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        background = make_background()
+        assert Background.from_dict(background.to_dict()) == background
+
+    def test_roundtrip_all_positions(self):
+        for position in Position:
+            background = make_background(position=position)
+            assert Background.from_dict(background.to_dict()) == background
+
+    def test_unknown_category_rejected(self):
+        data = make_background().to_dict()
+        data["position"] = "Space Cowboy"
+        with pytest.raises(SurveyDataError):
+            Background.from_dict(data)
+
+    def test_multiselect_fields_serialize_sorted(self):
+        background = make_background(
+            informal_training=frozenset({
+                InformalTraining.VIDEO, InformalTraining.GOOGLED,
+            })
+        )
+        data = background.to_dict()
+        assert data["informal_training"] == sorted(data["informal_training"])

@@ -1,0 +1,68 @@
+"""The renderable survey instrument."""
+
+from repro.survey import BACKGROUND_ITEMS, render_instrument
+
+
+class TestBackgroundItems:
+    def test_eleven_items_in_section_order(self):
+        fields = [item.field for item in BACKGROUND_ITEMS]
+        assert fields == [
+            "position", "area", "formal_training", "informal_training",
+            "dev_role", "fp_languages", "arb_prec_languages",
+            "contributed_size", "contributed_fp_extent",
+            "involved_size", "involved_fp_extent",
+        ]
+
+    def test_multiselect_flags(self):
+        by_field = {item.field: item for item in BACKGROUND_ITEMS}
+        assert by_field["informal_training"].multiple
+        assert by_field["fp_languages"].multiple
+        assert not by_field["position"].multiple
+
+    def test_options_match_schema_displays(self):
+        by_field = {item.field: item for item in BACKGROUND_ITEMS}
+        assert "Ph.D. student" in by_field["position"].options
+        assert "Python" in by_field["fp_languages"].options
+        # Not-reported pseudo-levels are not offered to participants.
+        assert "Not reported" not in by_field["formal_training"].options
+
+
+class TestRenderedInstrument:
+    def test_four_parts(self):
+        text = render_instrument()
+        for part in ("Part 1: Background", "Part 2: Floating Point "
+                     "Behavior", "Part 3: Optimizations",
+                     "Part 4: Suspicion"):
+            assert part in text
+
+    def test_every_question_present(self):
+        from repro.quiz import all_questions
+
+        text = render_instrument()
+        for question in all_questions():
+            # The full prompt text appears verbatim.
+            assert question.prompt.split("\n")[0][:40] in text, question.qid
+
+    def test_no_answer_key_leaks(self):
+        """The survey shows no labels and no answers (Section II)."""
+        text = render_instrument()
+        assert "correct answer" not in text.lower()
+        assert "True." not in text  # no graded statements
+        # Question labels like 'Saturation Plus' never appear.
+        assert "Saturation Plus" not in text
+        assert "Exception Signal" not in text
+
+    def test_likert_scale_present(self):
+        assert "1 / 2 / 3 / 4 / 5" in render_instrument()
+
+    def test_plain_text_mode(self):
+        text = render_instrument(markdown=False)
+        assert "```" not in text
+        assert "## " not in text
+
+    def test_dont_know_offered_for_every_quiz_question(self):
+        from repro.quiz import all_questions
+
+        text = render_instrument()
+        # One occurrence per question plus the Part 2 instruction line.
+        assert text.count("Don't know") == len(all_questions()) + 1

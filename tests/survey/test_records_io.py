@@ -1,0 +1,133 @@
+"""SurveyResponse records and CSV/JSONL round trips."""
+
+import pytest
+
+from repro.errors import SurveyDataError
+from repro.quiz.model import TFAnswer
+from repro.survey import (
+    Cohort,
+    SurveyResponse,
+    anonymize,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from tests.survey.test_background import make_background
+
+
+def make_response(**overrides):
+    defaults = dict(
+        respondent_id="dev-0001",
+        cohort=Cohort.DEVELOPER,
+        background=make_background(),
+        core_answers={"identity": TFAnswer.FALSE,
+                      "square": TFAnswer.DONT_KNOW},
+        opt_answers={"madd": TFAnswer.FALSE, "opt_level": "-O2"},
+        suspicion={"invalid": 5, "overflow": 3},
+    )
+    defaults.update(overrides)
+    return SurveyResponse(**defaults)
+
+
+class TestRecordValidation:
+    def test_valid_record(self):
+        assert make_response().respondent_id == "dev-0001"
+
+    def test_developer_requires_background(self):
+        with pytest.raises(SurveyDataError):
+            make_response(background=None)
+
+    def test_student_needs_no_background(self):
+        student = SurveyResponse(
+            respondent_id="s-1", cohort=Cohort.STUDENT, background=None,
+            suspicion={"invalid": 5},
+        )
+        assert student.cohort is Cohort.STUDENT
+
+    def test_suspicion_range_validated(self):
+        with pytest.raises(SurveyDataError):
+            make_response(suspicion={"invalid": 6})
+        with pytest.raises(SurveyDataError):
+            make_response(suspicion={"invalid": 0})
+
+
+class TestDictRoundtrip:
+    def test_developer_roundtrip(self):
+        response = make_response()
+        assert SurveyResponse.from_dict(response.to_dict()) == response
+
+    def test_student_roundtrip(self):
+        student = SurveyResponse(
+            respondent_id="s-1", cohort=Cohort.STUDENT, background=None,
+            suspicion={"invalid": 4, "denorm": 1},
+        )
+        assert SurveyResponse.from_dict(student.to_dict()) == student
+
+    def test_bad_cohort_rejected(self):
+        data = make_response().to_dict()
+        data["cohort"] = "martian"
+        with pytest.raises(SurveyDataError):
+            SurveyResponse.from_dict(data)
+
+    def test_mc_answer_survives_roundtrip_as_string(self):
+        response = make_response(opt_answers={"opt_level": "-O3"})
+        back = SurveyResponse.from_dict(response.to_dict())
+        assert back.opt_answers["opt_level"] == "-O3"
+
+
+class TestFileRoundtrips:
+    def test_jsonl(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        records = [make_response(respondent_id=f"dev-{i}") for i in range(5)]
+        assert write_jsonl(records, path) == 5
+        assert read_jsonl(path) == records
+
+    def test_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        write_jsonl([make_response()], path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_jsonl(path)) == 1
+
+    def test_jsonl_reports_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(SurveyDataError):
+            read_jsonl(path)
+
+    def test_csv_roundtrip_simulated_cohort(self, tmp_path):
+        from repro.population import simulate_developers, simulate_students
+
+        records = simulate_developers(20, seed=3) + simulate_students(
+            5, seed=3
+        )
+        path = tmp_path / "cohort.csv"
+        assert write_csv(records, path) == 25
+        reloaded = read_csv(path)
+        assert reloaded == records
+
+    def test_csv_blank_cells_stay_missing(self, tmp_path):
+        """A blank cell means 'not part of this submission' (e.g.
+        students): it must not be invented as an answer on read."""
+        path = tmp_path / "records.csv"
+        write_csv([make_response()], path)
+        (record,) = read_csv(path)
+        assert "overflow" not in record.core_answers
+        # Scoring still treats the missing key as unanswered.
+        from repro.quiz import score_core
+
+        assert score_core(record.core_answers).unanswered == 13
+
+
+class TestAnonymize:
+    def test_ids_replaced_sequentially(self):
+        records = [make_response(respondent_id=f"alice-{i}")
+                   for i in range(3)]
+        anonymized = anonymize(records)
+        assert [r.respondent_id for r in anonymized] == [
+            "anon-0001", "anon-0002", "anon-0003",
+        ]
+
+    def test_content_untouched(self):
+        (anon,) = anonymize([make_response()])
+        assert anon.core_answers == make_response().core_answers

@@ -1,0 +1,56 @@
+"""The exception hierarchy: catchability and trap metadata."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    DivisionByZeroTrap,
+    FloatingPointTrap,
+    FormatError,
+    InvalidOperationTrap,
+    OptimizationError,
+    OverflowTrap,
+    ParseError,
+    ReproError,
+    SurveyDataError,
+    UnderflowTrap,
+)
+from repro.fpenv import FPFlag
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (FormatError, ParseError, FloatingPointTrap,
+                         CalibrationError, SurveyDataError,
+                         OptimizationError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_value_errors_double_as_valueerror(self):
+        assert issubclass(FormatError, ValueError)
+        assert issubclass(ParseError, ValueError)
+        assert issubclass(SurveyDataError, ValueError)
+
+    def test_traps_are_arithmetic_errors(self):
+        for trap in (InvalidOperationTrap, DivisionByZeroTrap,
+                     OverflowTrap, UnderflowTrap):
+            assert issubclass(trap, ArithmeticError)
+            assert issubclass(trap, FloatingPointTrap)
+
+    def test_trap_metadata(self):
+        trap = DivisionByZeroTrap(FPFlag.DIV_BY_ZERO, "div")
+        assert trap.flag is FPFlag.DIV_BY_ZERO
+        assert trap.operation == "div"
+        assert "div_by_zero" in str(trap)
+
+    def test_one_except_clause_covers_the_library(self):
+        """The promise the module docstring makes."""
+        try:
+            raise CalibrationError("nope")
+        except ReproError:
+            pass
+
+    def test_version_exists(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)

@@ -1,0 +1,112 @@
+"""Reporting primitives: tables, histograms, stacked bars, profiles."""
+
+import pytest
+
+from repro.reporting import (
+    format_count_percent,
+    render_histogram,
+    render_profile,
+    render_stacked_bars,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment_defaults(self):
+        text = render_table(["name", "n", "%"], [("alpha", 5, 12.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].count("+") == 2  # separator
+        assert "12.5" in lines[2]
+
+    def test_title(self):
+        text = render_table(["a"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [(3.14159,)])
+        assert "3.1" in text and "3.14159" not in text
+
+    def test_bool_formatting(self):
+        text = render_table(["ok"], [(True,), (False,)])
+        assert "yes" in text and "no" in text
+
+    def test_column_count_validation(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_aligns_validation(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [(1,)], aligns=["l", "r"])
+
+    def test_explicit_left_alignment(self):
+        text = render_table(
+            ["x", "y"], [("a", "b")], aligns=["l", "l"]
+        )
+        row = text.splitlines()[2]
+        assert row.startswith("a")
+
+    def test_count_percent(self):
+        assert format_count_percent(73, 199) == (73, pytest.approx(36.68,
+                                                                   abs=0.01))
+        with pytest.raises(ValueError):
+            format_count_percent(1, 0)
+
+
+class TestRenderHistogram:
+    def test_bars_scale_to_peak(self):
+        text = render_histogram({0: 1, 1: 4}, width=8)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 2
+        assert lines[1].count("#") == 8
+
+    def test_missing_bins_filled_with_zero(self):
+        text = render_histogram({0: 1, 3: 1})
+        assert len(text.splitlines()) == 4
+
+    def test_title(self):
+        assert render_histogram({0: 1}, title="T").splitlines()[0] == "T"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_histogram({})
+
+
+class TestStackedBars:
+    def test_segments_rendered_in_order(self):
+        text = render_stacked_bars(
+            [("row", {"a": 2.0, "b": 1.0})], ["a", "b"], width=6,
+            total=3.0,
+        )
+        bar_line = text.splitlines()[-1]
+        assert "####==" in bar_line
+
+    def test_legend_present(self):
+        text = render_stacked_bars([("r", {"x": 1.0})], ["x"])
+        assert "#=x" in text
+
+    def test_too_many_segments_rejected(self):
+        with pytest.raises(ValueError):
+            render_stacked_bars([("r", {})], [str(i) for i in range(10)])
+
+    def test_scaling_by_max_row(self):
+        text = render_stacked_bars(
+            [("small", {"a": 1.0}), ("big", {"a": 2.0})], ["a"], width=10,
+        )
+        lines = text.splitlines()
+        assert lines[-1].count("#") == 10
+        assert lines[-2].count("#") == 5
+
+
+class TestProfile:
+    def test_columns_per_x_value(self):
+        text = render_profile(
+            {"series": [10.0, 90.0]}, [1, 2],
+        )
+        assert "10.0" in text and "90.0" in text
+        header = text.splitlines()[0]
+        assert "1" in header and "2" in header
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_profile({"s": [1.0]}, [1, 2])

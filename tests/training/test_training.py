@@ -1,0 +1,162 @@
+"""Training drills: generated answers must be true, sessions adaptive."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.training import (
+    ALL_TEMPLATES,
+    CONCEPTS,
+    DrillSession,
+    template_for,
+)
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("template", ALL_TEMPLATES,
+                             ids=lambda t: t.concept)
+    def test_generates_well_formed_items(self, template):
+        rng = random.Random(42)
+        for _ in range(10):
+            item = template.generate(rng)
+            assert item.concept == template.concept
+            assert item.prompt and item.explanation
+            assert isinstance(item.answer, bool)
+
+    @pytest.mark.parametrize("template", ALL_TEMPLATES,
+                             ids=lambda t: t.concept)
+    def test_not_a_constant_quiz(self, template):
+        """Over many draws, prompts must vary (no memorizable item) and
+        — for most concepts — both answers must occur."""
+        rng = random.Random(7)
+        items = [template.generate(rng) for _ in range(40)]
+        prompts = {item.prompt for item in items}
+        assert len(prompts) >= 3, template.concept
+        answers = {item.answer for item in items}
+        # Concepts whose truth varies with the drawn parameters must
+        # produce both answers; always-true concepts are exempt.
+        varying = {
+            "absorption", "decimal-rounding", "associativity",
+            "special-values", "nan-comparison", "cancellation",
+            "fp-contract", "flag-compliance",
+        }
+        if template.concept in varying:
+            assert answers == {True, False}, template.concept
+
+    def test_absorption_answers_verified_against_softfloat(self):
+        """Spot-verify the computed answers independently."""
+        rng = random.Random(3)
+        template = template_for("absorption")
+        for _ in range(15):
+            item = template.generate(rng)
+            # Parse the operands back out of the prompt and recompute.
+            line = item.prompt.splitlines()[0]
+            parts = line.replace("double a = ", "").rstrip(";")
+            a_text, b_text = [p.split("= ")[-1] for p in parts.split(", b ")]
+            assert (float(a_text) + float(b_text) == float(a_text)) == \
+                item.answer
+
+    def test_flag_compliance_answers_match_compliance_checker(self):
+        from repro.optsim import is_standard_compliant, optimization_level
+
+        rng = random.Random(5)
+        template = template_for("flag-compliance")
+        for _ in range(20):
+            item = template.generate(rng)
+            flag = item.prompt.split("compiling with ")[1].split(" ")[0]
+            assert item.answer == is_standard_compliant(
+                optimization_level(flag)
+            )
+
+    def test_grade(self):
+        item = template_for("overflow").generate(random.Random(1))
+        assert item.grade(item.answer)
+        assert not item.grade(not item.answer)
+
+    def test_template_lookup(self):
+        assert template_for("absorption").concept == "absorption"
+        with pytest.raises(KeyError):
+            template_for("nonsense")
+
+    def test_concepts_unique(self):
+        assert len(set(CONCEPTS)) == len(CONCEPTS)
+
+
+class TestSession:
+    def test_submit_updates_mastery(self):
+        session = DrillSession(rng=random.Random(1))
+        item = session.next_item()
+        outcome = session.submit(item, item.answer)
+        assert outcome.correct
+        report = session.mastery()
+        assert report.attempts[item.concept] == 1
+        assert report.errors.get(item.concept, 0) == 0
+
+    def test_wrong_answer_recorded(self):
+        session = DrillSession(rng=random.Random(1))
+        item = session.next_item()
+        outcome = session.submit(item, not item.answer)
+        assert not outcome.correct
+        assert "INCORRECT" in outcome.feedback()
+        assert session.mastery().errors[item.concept] == 1
+
+    def test_perfect_student_reaches_mastery(self):
+        session = DrillSession(rng=random.Random(2))
+        report = session.run(lambda item: item.answer, rounds=120)
+        mastered = [c for c in CONCEPTS if report.mastered(c)]
+        assert len(mastered) >= 8
+
+    def test_random_guesser_masters_nothing(self):
+        rng = random.Random(3)
+        session = DrillSession(rng=random.Random(2))
+        report = session.run(
+            lambda item: rng.random() < 0.5, rounds=150
+        )
+        mastered = [c for c in CONCEPTS if report.mastered(c)]
+        assert len(mastered) <= 2
+
+    def test_adaptivity_targets_weak_concepts(self):
+        """A student who only misses 'absorption' should see it far more
+        often than a mastered concept."""
+        session = DrillSession(rng=random.Random(4))
+        seen = Counter()
+        for _ in range(400):
+            item = session.next_item()
+            seen[item.concept] += 1
+            session.submit(
+                item,
+                (not item.answer) if item.concept == "absorption"
+                else item.answer,
+            )
+        others_mean = sum(
+            v for k, v in seen.items() if k != "absorption"
+        ) / (len(CONCEPTS) - 1)
+        assert seen["absorption"] > 2.0 * others_mean
+
+    def test_concept_restriction(self):
+        session = DrillSession(
+            rng=random.Random(5), concepts=["overflow", "cancellation"]
+        )
+        for _ in range(20):
+            assert session.next_item().concept in (
+                "overflow", "cancellation",
+            )
+
+    def test_unknown_concept_rejected(self):
+        with pytest.raises(KeyError):
+            DrillSession(concepts=["bogus"])
+
+    def test_weakest_and_render(self):
+        session = DrillSession(rng=random.Random(6))
+        for _ in range(30):
+            item = session.next_item()
+            session.submit(
+                item,
+                (not item.answer) if item.concept == "overflow"
+                else item.answer,
+            )
+        report = session.mastery()
+        assert report.weakest() == "overflow"
+        rendered = report.render()
+        assert "overflow" in rendered and "error-rate" in rendered
