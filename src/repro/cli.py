@@ -23,6 +23,9 @@ Commands
     Adaptive training drills with computed answers.
 ``instrument``
     Print the full survey document (no answer key).
+``oracle``
+    Differential conformance testing of the softfloat engine against
+    the exact-rounding oracle (and the host's native floats).
 """
 
 from __future__ import annotations
@@ -95,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="-O0..-O3, -Ofast, --ffast-math, or a full command line "
              "like 'gcc -O2 -fassociative-math'",
     )
+    optsim.add_argument(
+        "--oracle-check", action="store_true",
+        help="cross-validate the strict-IEEE side of the verdict "
+             "against the exact-rounding oracle",
+    )
 
     shadow = sub.add_parser(
         "shadow", help="shadow-evaluate an expression at high precision",
@@ -133,6 +141,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     instrument.add_argument("--plain", action="store_true",
                             help="plain text instead of markdown")
+
+    oracle = sub.add_parser(
+        "oracle", help="exact-rounding conformance testing",
+    )
+    oracle_sub = oracle.add_subparsers(dest="oracle_command", required=True)
+    oracle_run = oracle_sub.add_parser(
+        "run", help="differential sweep: engine vs exact oracle vs native",
+    )
+    oracle_run.add_argument(
+        "--format", default="binary16", dest="fmt",
+        choices=["tiny8", "e4m3", "e5m2", "bfloat16", "binary16",
+                 "binary32", "binary64", "binary128"],
+        help="destination format under test",
+    )
+    oracle_run.add_argument(
+        "--ops", default="add,sub,mul,div,sqrt,fma",
+        help="comma-separated operations (add,sub,mul,div,sqrt,fma)",
+    )
+    oracle_run.add_argument(
+        "--budget", type=int, default=10000,
+        help="evaluations per operation across the mode/FTZ matrix",
+    )
+    oracle_run.add_argument("--seed", type=int, default=754)
+    oracle_run.add_argument(
+        "--modes", default="all",
+        help="rounding modes: 'all' or comma list of rne,rna,rtz,rtp,rtn",
+    )
+    oracle_run.add_argument(
+        "--ftz", choices=["off", "on", "both"], default="both",
+        help="flush-to-zero settings to drive",
+    )
+    oracle_run.add_argument(
+        "--daz", choices=["off", "on", "both"], default="both",
+        help="denormals-are-zero settings to drive",
+    )
+    oracle_run.add_argument(
+        "--tininess", choices=["before", "after"], default="before",
+        help="underflow tininess-detection convention the oracle models",
+    )
+    oracle_run.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the JSON conformance report here",
+    )
+    oracle_run.add_argument(
+        "--no-native", action="store_true",
+        help="skip the native-hardware third opinion",
+    )
     return parser
 
 
@@ -230,9 +285,62 @@ def _cmd_optsim(args: argparse.Namespace) -> int:
     reasons = noncompliance_reasons(config)
     if reasons:
         print("non-standard permissions: " + "; ".join(reasons))
-    report = find_divergence(expr, config)
+    report = find_divergence(expr, config, oracle_check=args.oracle_check)
     print(report.describe())
     return 0
+
+
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    from repro.oracle import FORMATS_BY_NAME, MODE_ALIASES, run_conformance
+
+    fmt = FORMATS_BY_NAME[args.fmt]
+    ops = [op.strip() for op in args.ops.split(",") if op.strip()]
+    if not ops:
+        print("no operations given; --ops wants a comma list like"
+              " add,mul,fma", file=sys.stderr)
+        return 2
+    if args.budget < 1:
+        print(f"--budget must be >= 1, got {args.budget} (a conformance"
+              f" verdict needs at least one evaluation)", file=sys.stderr)
+        return 2
+    if args.modes == "all":
+        modes = None
+    else:
+        try:
+            modes = [MODE_ALIASES[m.strip().lower()]
+                     for m in args.modes.split(",") if m.strip()]
+        except KeyError as exc:
+            print(f"unknown rounding mode {exc.args[0]!r}; choose from"
+                  f" {sorted(MODE_ALIASES)}", file=sys.stderr)
+            return 2
+    switch = {"off": (False,), "on": (True,), "both": (False, True)}
+    env_combos = [
+        (ftz, daz)
+        for ftz in switch[args.ftz]
+        for daz in switch[args.daz]
+    ]
+    try:
+        report = run_conformance(
+            fmt, ops,
+            budget=args.budget,
+            seed=args.seed,
+            modes=modes,
+            env_combos=env_combos,
+            tininess=args.tininess,
+            native=not args.no_native,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.json:
+        try:
+            report.write_json(args.json)
+        except OSError as exc:
+            print(f"cannot write JSON report: {exc}", file=sys.stderr)
+            return 2
+        print(f"\nwrote JSON conformance report to {args.json}")
+    return 0 if report.clean else 1
 
 
 def _cmd_shadow(args: argparse.Namespace) -> int:
@@ -325,6 +433,7 @@ _COMMANDS = {
     "mca": _cmd_mca,
     "drill": _cmd_drill,
     "instrument": _cmd_instrument,
+    "oracle": _cmd_oracle,
 }
 
 

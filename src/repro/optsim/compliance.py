@@ -23,6 +23,7 @@ from repro.softfloat.formats import FloatFormat
 
 __all__ = [
     "DivergenceReport",
+    "cross_validate",
     "find_divergence",
     "is_standard_compliant",
     "noncompliance_reasons",
@@ -37,6 +38,11 @@ class DivergenceReport:
     ``diverged`` is True when some input produced different result bits
     (``value_diverged``) or a different exception footprint
     (``flags_diverged``) under the optimized configuration.
+
+    ``oracle_checked`` records that the strict-IEEE side of this
+    verdict was recomputed through the exact-rounding oracle
+    (:func:`cross_validate`), so the verdict does not rest on the
+    softfloat engine alone.
     """
 
     expr: Expr
@@ -49,14 +55,16 @@ class DivergenceReport:
     strict_result: EvalResult | None
     optimized_result: EvalResult | None
     trials: int
+    oracle_checked: bool = False
 
     def describe(self) -> str:
         """One-paragraph human-readable summary."""
+        checked = " [oracle-checked]" if self.oracle_checked else ""
         if not self.diverged:
             return (
                 f"{self.config.name}: no divergence from strict IEEE found on"
                 f" '{self.expr}' over {self.trials} inputs (compiled form:"
-                f" '{self.optimized_expr}')."
+                f" '{self.optimized_expr}').{checked}"
             )
         assert self.witness is not None
         binding = ", ".join(f"{k}={v!s}" for k, v in self.witness.items())
@@ -78,7 +86,7 @@ class DivergenceReport:
                 f"strict flags {flag_names(self.strict_result.flags)} vs"
                 f" optimized flags {flag_names(self.optimized_result.flags)}"
             )
-        return "; ".join(parts) + "."
+        return "; ".join(parts) + "." + checked
 
 
 def corner_values(fmt: FloatFormat) -> tuple[SoftFloat, ...]:
@@ -123,6 +131,7 @@ def find_divergence(
     trials: int = 400,
     check_flags: bool = True,
     extra_witnesses: Sequence[dict[str, SoftFloat]] = (),
+    oracle_check: bool = False,
 ) -> DivergenceReport:
     """Search for an input where ``config``'s compiled evaluation of
     ``expr`` differs from strict IEEE evaluation.
@@ -130,7 +139,8 @@ def find_divergence(
     The search tries caller-supplied witnesses first, then all-corner
     combinations (when the variable count keeps that tractable), then
     random operands.  Flag divergence counts as divergence only when
-    ``check_flags`` is set.
+    ``check_flags`` is set.  With ``oracle_check`` the verdict is
+    passed through :func:`cross_validate` before being returned.
     """
     names = expr_variables(expr)
     optimized = optimize(expr, config)
@@ -166,7 +176,7 @@ def find_divergence(
         )
         flags_diverged = strict_result.flags != optimized_result.flags
         if value_diverged or (check_flags and flags_diverged):
-            return DivergenceReport(
+            report = DivergenceReport(
                 expr=expr,
                 optimized_expr=optimized,
                 config=config,
@@ -178,7 +188,8 @@ def find_divergence(
                 optimized_result=optimized_result,
                 trials=count,
             )
-    return DivergenceReport(
+            return cross_validate(report) if oracle_check else report
+    report = DivergenceReport(
         expr=expr,
         optimized_expr=optimized,
         config=config,
@@ -190,6 +201,63 @@ def find_divergence(
         optimized_result=None,
         trials=count,
     )
+    return cross_validate(report) if oracle_check else report
+
+
+def cross_validate(
+    report: DivergenceReport, *, max_bindings: int = 32
+) -> DivergenceReport:
+    """Recompute the strict-IEEE side of a verdict through the
+    exact-rounding oracle (:mod:`repro.oracle`).
+
+    For a diverged report the witness binding is revalidated: the
+    engine's strict result must match the oracle bit-for-bit, flags
+    included.  For a no-divergence report the corner lattice is
+    sampled (up to ``max_bindings``) and every strict evaluation is
+    revalidated the same way, so "compliant" never rests on a shared
+    engine bug.  Raises :class:`repro.oracle.OracleMismatch` when the
+    engine and the oracle disagree; otherwise returns the report with
+    ``oracle_checked`` set.
+    """
+    from repro.oracle.optcheck import oracle_evaluate
+    from repro.oracle.runner import OracleMismatch
+
+    fmt = report.config.fmt
+    strict_config = STRICT.replace(fmt=fmt)
+    if report.witness is not None:
+        bindings_list = [report.witness]
+    else:
+        names = expr_variables(report.expr)
+        corners = corner_values(fmt)
+        if not names:
+            bindings_list = [{}]
+        elif len(names) == 1:
+            bindings_list = [{names[0]: v} for v in corners]
+        else:
+            rng = random.Random(754)
+            bindings_list = [{names[0]: v1, names[1]: v2}
+                             for v1 in corners for v2 in corners]
+            if len(names) > 2:
+                for binding in bindings_list:
+                    for name in names[2:]:
+                        binding[name] = rng.choice(corners)
+            rng.shuffle(bindings_list)
+    for binding in bindings_list[:max_bindings]:
+        strict = evaluate(report.expr, binding, strict_config)
+        check = oracle_evaluate(report.expr, binding, strict_config)
+        if (not _same_value(strict.value, check.value)
+                or strict.flags != check.flags):
+            from repro.fpenv.flags import flag_names
+
+            shown = ", ".join(f"{k}={v!s}" for k, v in binding.items())
+            raise OracleMismatch(
+                f"strict evaluation of '{report.expr}' at"
+                f" {shown or 'constants only'} disagrees with the exact"
+                f" oracle: engine {strict.value!s}"
+                f" {flag_names(strict.flags)} vs oracle {check.value!s}"
+                f" {flag_names(check.flags)}"
+            )
+    return dataclasses.replace(report, oracle_checked=True)
 
 
 def _same_value(a: SoftFloat, b: SoftFloat) -> bool:

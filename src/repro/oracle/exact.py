@@ -1,0 +1,414 @@
+"""The exact-rounding reference: IEEE 754 computed over exact rationals.
+
+This module is the *oracle* half of the conformance subsystem: every
+operation is computed exactly on :class:`fractions.Fraction` (or, for
+square root, by integer-square-root with exact square comparisons) and
+then correctly rounded into the destination format by comparing the
+exact remainder against the halfway point.  Nothing here shares code
+with the engine's round-and-pack path — the engine works on shifted
+integer mantissas with guard/sticky markers, the oracle on rational
+remainder comparisons — so a bug has to appear *twice, independently*
+to escape the differential runner.
+
+The oracle reproduces the engine's *documented* latitude choices so
+that agreement can be demanded bit-for-bit:
+
+- NaN propagation returns the first NaN operand, quieted, raising
+  *invalid* iff some operand was signaling;
+- ``fma(0, inf, c)`` is invalid with the default NaN even for quiet
+  NaN ``c`` (the x86 FMA3 rule);
+- exact zeros from cancellation are ``+0`` except under
+  roundTowardNegative;
+- tininess is detected before rounding by default (the x86/SSE choice);
+  pass ``tininess="after"`` for the other 754-sanctioned convention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from fractions import Fraction
+
+from repro.fpenv.flags import FPFlag
+from repro.fpenv.rounding import RoundingMode
+from repro.softfloat.formats import FloatFormat
+from repro.softfloat.value import SoftFloat
+
+__all__ = [
+    "OracleConfig",
+    "OracleResult",
+    "ORACLE_OPS",
+    "OP_ARITY",
+    "oracle_add",
+    "oracle_sub",
+    "oracle_mul",
+    "oracle_div",
+    "oracle_sqrt",
+    "oracle_fma",
+    "oracle_operation",
+    "round_fraction_exact",
+]
+
+# How the discarded part of an exact value compares to half a ULP.
+_EXACT, _BELOW_HALF, _HALF, _ABOVE_HALF = range(4)
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleConfig:
+    """Environment parameters the oracle evaluates under.
+
+    ``tininess`` selects the underflow-detection convention: ``"before"``
+    (tiny iff the exact value is below the smallest normal; x86/SSE) or
+    ``"after"`` (tiny iff the result rounded as if the exponent range
+    were unbounded is below it; PowerPC/ARM FPSCR).
+    """
+
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN
+    ftz: bool = False
+    daz: bool = False
+    tininess: str = "before"
+
+    def __post_init__(self) -> None:
+        if self.tininess not in ("before", "after"):
+            raise ValueError(f"tininess must be 'before' or 'after', got"
+                             f" {self.tininess!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleResult:
+    """What the oracle says an operation must deliver: the exact result
+    encoding and the exact sticky-flag set."""
+
+    bits: int
+    flags: FPFlag
+
+    def value(self, fmt: FloatFormat) -> SoftFloat:
+        """The result as a SoftFloat in ``fmt``."""
+        return SoftFloat(fmt, self.bits)
+
+
+# ----------------------------------------------------------------------
+# Correct rounding of an exact rational magnitude
+# ----------------------------------------------------------------------
+def _ilog2(num: int, den: int) -> int:
+    """``floor(log2(num/den))`` for positive integers, exactly."""
+    k = num.bit_length() - den.bit_length()
+    # 2**k <= num/den  iff  num >= den * 2**k
+    if k >= 0:
+        return k if num >= (den << k) else k - 1
+    return k if (num << -k) >= den else k - 1
+
+
+def _rounds_up(mode: RoundingMode, sign: int, odd: bool, state: int) -> bool:
+    """Independent reimplementation of the five rounding decisions."""
+    if state == _EXACT:
+        return False
+    if mode is RoundingMode.NEAREST_EVEN:
+        return state == _ABOVE_HALF or (state == _HALF and odd)
+    if mode is RoundingMode.NEAREST_AWAY:
+        return state in (_HALF, _ABOVE_HALF)
+    if mode is RoundingMode.TOWARD_ZERO:
+        return False
+    if mode is RoundingMode.TOWARD_POSITIVE:
+        return sign == 0
+    if mode is RoundingMode.TOWARD_NEGATIVE:
+        return sign == 1
+    raise AssertionError(f"unhandled rounding mode {mode!r}")
+
+
+def _overflow_bits(fmt: FloatFormat, mode: RoundingMode, sign: int) -> int:
+    """Result encoding on overflow (inf or max-finite per direction)."""
+    if mode in (RoundingMode.NEAREST_EVEN, RoundingMode.NEAREST_AWAY):
+        return fmt.inf_bits(sign)
+    if mode is RoundingMode.TOWARD_ZERO:
+        return fmt.max_finite_bits(sign)
+    if mode is RoundingMode.TOWARD_POSITIVE:
+        return fmt.inf_bits(0) if sign == 0 else fmt.max_finite_bits(1)
+    return fmt.inf_bits(1) if sign == 1 else fmt.max_finite_bits(0)
+
+
+def _finish(
+    fmt: FloatFormat,
+    cfg: OracleConfig,
+    sign: int,
+    n: int,
+    q: int,
+    state: int,
+    tiny_before: bool,
+) -> OracleResult:
+    """Deliver the truncated significand ``n`` at granularity ``2**q``
+    whose discarded part compares to half a ULP as ``state``."""
+    precision = fmt.precision
+    inexact = state != _EXACT
+    if _rounds_up(cfg.rounding, sign, bool(n & 1), state):
+        n += 1
+        if n == (1 << precision):  # carry out of the significand
+            n >>= 1
+            q += 1
+
+    if n == 0:
+        # A tiny value rounded all the way down to zero.
+        return OracleResult(fmt.zero_bits(sign),
+                            FPFlag.INEXACT | FPFlag.UNDERFLOW)
+
+    msb_exp = q + n.bit_length() - 1
+    if msb_exp > fmt.emax:
+        return OracleResult(_overflow_bits(fmt, cfg.rounding, sign),
+                            FPFlag.OVERFLOW | FPFlag.INEXACT)
+
+    subnormal = n.bit_length() < precision
+    if cfg.tininess == "before":
+        tiny = tiny_before
+    else:
+        tiny = tiny_before and subnormal
+    flags = FPFlag.NONE
+    if inexact:
+        flags |= FPFlag.INEXACT
+        if tiny:
+            flags |= FPFlag.UNDERFLOW
+
+    if not subnormal:
+        return OracleResult(fmt.pack(sign, msb_exp + fmt.bias,
+                                     n & fmt.sig_mask), flags)
+
+    if q != fmt.emin - (precision - 1):  # pragma: no cover - invariant
+        raise AssertionError("subnormal delivered at the wrong granularity")
+    if cfg.ftz:
+        return OracleResult(fmt.zero_bits(sign),
+                            flags | FPFlag.UNDERFLOW | FPFlag.INEXACT)
+    return OracleResult(fmt.pack(sign, 0, n), flags | FPFlag.DENORMAL_RESULT)
+
+
+def round_fraction_exact(
+    fmt: FloatFormat, magnitude: Fraction, cfg: OracleConfig, sign: int = 0
+) -> OracleResult:
+    """Correctly round the positive rational ``magnitude`` into ``fmt``
+    with the exact flag set.  This is the oracle's core primitive."""
+    if magnitude <= 0:
+        raise ValueError("round_fraction_exact needs a positive magnitude")
+    num, den = magnitude.numerator, magnitude.denominator
+    e = _ilog2(num, den)
+    tiny_before = e < fmt.emin
+    q = (fmt.emin if tiny_before else e) - (fmt.precision - 1)
+    # n = floor(magnitude / 2**q), remainder compared against half a ULP.
+    if q >= 0:
+        den <<= q
+    else:
+        num <<= -q
+    n, rem = divmod(num, den)
+    if rem == 0:
+        state = _EXACT
+    else:
+        doubled = 2 * rem
+        state = (_BELOW_HALF if doubled < den
+                 else _HALF if doubled == den else _ABOVE_HALF)
+    return _finish(fmt, cfg, sign, n, q, state, tiny_before)
+
+
+def _sqrt_exact(fmt: FloatFormat, magnitude: Fraction,
+                cfg: OracleConfig) -> OracleResult:
+    """Correctly round ``sqrt(magnitude)``: integer square root plus
+    exact square comparisons against the halfway point."""
+    num, den = magnitude.numerator, magnitude.denominator
+    e_r = _ilog2(num, den) // 2  # floor exponent of the square root
+    tiny_before = e_r < fmt.emin
+    q = (fmt.emin if tiny_before else e_r) - (fmt.precision - 1)
+    # sqrt(magnitude)/2**q = sqrt(M) with M = magnitude * 4**(-q).
+    if q >= 0:
+        den <<= 2 * q
+    else:
+        num <<= -2 * q
+    # floor(sqrt(num/den)) = floor(isqrt(num*den) / den).
+    n = math.isqrt(num * den) // den
+    if n * n * den == num:
+        state = _EXACT
+    else:
+        # Compare M against (n + 1/2)**2 = (2n+1)**2 / 4.
+        lhs, rhs = 4 * num, (2 * n + 1) ** 2 * den
+        state = (_BELOW_HALF if lhs < rhs
+                 else _HALF if lhs == rhs else _ABOVE_HALF)
+    return _finish(fmt, cfg, 0, n, q, state, tiny_before)
+
+
+# ----------------------------------------------------------------------
+# Special-operand policy (independent restatement of the engine's rules)
+# ----------------------------------------------------------------------
+def _propagated_nan(fmt: FloatFormat, *operands: SoftFloat) -> OracleResult:
+    flags = (FPFlag.INVALID
+             if any(x.is_signaling_nan for x in operands) else FPFlag.NONE)
+    for x in operands:
+        if x.is_nan:
+            return OracleResult(x.bits | fmt.quiet_bit, flags)
+    raise AssertionError("no NaN operand to propagate")
+
+
+def _default_nan(fmt: FloatFormat) -> OracleResult:
+    return OracleResult(fmt.quiet_nan_bits(), FPFlag.INVALID)
+
+
+def _daz(cfg: OracleConfig, x: SoftFloat) -> SoftFloat:
+    if cfg.daz and x.is_subnormal:
+        return SoftFloat.zero(x.fmt, x.sign)
+    return x
+
+
+def _cancel_zero_sign(cfg: OracleConfig) -> int:
+    return 1 if cfg.rounding is RoundingMode.TOWARD_NEGATIVE else 0
+
+
+def _passthrough(x: SoftFloat) -> OracleResult:
+    return OracleResult(x.bits, FPFlag.NONE)
+
+
+# ----------------------------------------------------------------------
+# Operations
+# ----------------------------------------------------------------------
+def oracle_add(cfg: OracleConfig, a: SoftFloat, b: SoftFloat) -> OracleResult:
+    """Exact-rounding reference for IEEE addition."""
+    fmt = a.fmt
+    if a.is_nan or b.is_nan:
+        return _propagated_nan(fmt, a, b)
+    a, b = _daz(cfg, a), _daz(cfg, b)
+    if a.is_inf or b.is_inf:
+        if a.is_inf and b.is_inf:
+            if a.sign != b.sign:
+                return _default_nan(fmt)
+            return _passthrough(a)
+        return _passthrough(a if a.is_inf else b)
+    if a.is_zero and b.is_zero:
+        if a.sign == b.sign:
+            return _passthrough(a)
+        return OracleResult(fmt.zero_bits(_cancel_zero_sign(cfg)), FPFlag.NONE)
+    if a.is_zero:
+        return _passthrough(b)
+    if b.is_zero:
+        return _passthrough(a)
+    exact = a.to_fraction() + b.to_fraction()
+    if exact == 0:
+        return OracleResult(fmt.zero_bits(_cancel_zero_sign(cfg)), FPFlag.NONE)
+    sign = 1 if exact < 0 else 0
+    return round_fraction_exact(fmt, abs(exact), cfg, sign)
+
+
+def oracle_sub(cfg: OracleConfig, a: SoftFloat, b: SoftFloat) -> OracleResult:
+    """Exact-rounding reference for IEEE subtraction (NaN payloads come
+    from the *original* operands, then ``a + (-b)``)."""
+    if a.is_nan or b.is_nan:
+        return _propagated_nan(a.fmt, a, b)
+    return oracle_add(cfg, a, -b)
+
+
+def oracle_mul(cfg: OracleConfig, a: SoftFloat, b: SoftFloat) -> OracleResult:
+    """Exact-rounding reference for IEEE multiplication."""
+    fmt = a.fmt
+    if a.is_nan or b.is_nan:
+        return _propagated_nan(fmt, a, b)
+    a, b = _daz(cfg, a), _daz(cfg, b)
+    sign = a.sign ^ b.sign
+    if a.is_inf or b.is_inf:
+        if a.is_zero or b.is_zero:
+            return _default_nan(fmt)
+        return OracleResult(fmt.inf_bits(sign), FPFlag.NONE)
+    if a.is_zero or b.is_zero:
+        return OracleResult(fmt.zero_bits(sign), FPFlag.NONE)
+    exact = a.to_fraction() * b.to_fraction()
+    return round_fraction_exact(fmt, abs(exact), cfg, sign)
+
+
+def oracle_div(cfg: OracleConfig, a: SoftFloat, b: SoftFloat) -> OracleResult:
+    """Exact-rounding reference for IEEE division."""
+    fmt = a.fmt
+    if a.is_nan or b.is_nan:
+        return _propagated_nan(fmt, a, b)
+    a, b = _daz(cfg, a), _daz(cfg, b)
+    sign = a.sign ^ b.sign
+    if a.is_inf:
+        if b.is_inf:
+            return _default_nan(fmt)
+        return OracleResult(fmt.inf_bits(sign), FPFlag.NONE)
+    if b.is_inf:
+        return OracleResult(fmt.zero_bits(sign), FPFlag.NONE)
+    if b.is_zero:
+        if a.is_zero:
+            return _default_nan(fmt)
+        return OracleResult(fmt.inf_bits(sign), FPFlag.DIV_BY_ZERO)
+    if a.is_zero:
+        return OracleResult(fmt.zero_bits(sign), FPFlag.NONE)
+    exact = a.to_fraction() / b.to_fraction()
+    return round_fraction_exact(fmt, abs(exact), cfg, sign)
+
+
+def oracle_sqrt(cfg: OracleConfig, a: SoftFloat) -> OracleResult:
+    """Exact-rounding reference for IEEE square root."""
+    fmt = a.fmt
+    if a.is_nan:
+        return _propagated_nan(fmt, a)
+    a = _daz(cfg, a)
+    if a.is_zero:
+        return _passthrough(a)  # sqrt(±0) = ±0
+    if a.sign:
+        return _default_nan(fmt)
+    if a.is_inf:
+        return _passthrough(a)
+    return _sqrt_exact(fmt, a.to_fraction(), cfg)
+
+
+def oracle_fma(
+    cfg: OracleConfig, a: SoftFloat, b: SoftFloat, c: SoftFloat
+) -> OracleResult:
+    """Exact-rounding reference for fused multiply-add (one rounding)."""
+    fmt = a.fmt
+    if a.is_signaling_nan or b.is_signaling_nan or c.is_signaling_nan:
+        return _propagated_nan(fmt, a, b, c)
+    product_invalid = (a.is_inf and b.is_zero) or (a.is_zero and b.is_inf)
+    if product_invalid and not (a.is_nan or b.is_nan):
+        return _default_nan(fmt)
+    if a.is_nan or b.is_nan or c.is_nan:
+        return _propagated_nan(fmt, a, b, c)
+    a, b, c = _daz(cfg, a), _daz(cfg, b), _daz(cfg, c)
+    psign = a.sign ^ b.sign
+    if a.is_inf or b.is_inf:
+        if c.is_inf and c.sign != psign:
+            return _default_nan(fmt)
+        return OracleResult(fmt.inf_bits(psign), FPFlag.NONE)
+    if c.is_inf:
+        return _passthrough(c)
+    if a.is_zero or b.is_zero:
+        if c.is_zero:
+            sign = psign if psign == c.sign else _cancel_zero_sign(cfg)
+            return OracleResult(fmt.zero_bits(sign), FPFlag.NONE)
+        return _passthrough(c)
+    exact = a.to_fraction() * b.to_fraction() + c.to_fraction()
+    if exact == 0:
+        return OracleResult(fmt.zero_bits(_cancel_zero_sign(cfg)), FPFlag.NONE)
+    sign = 1 if exact < 0 else 0
+    return round_fraction_exact(fmt, abs(exact), cfg, sign)
+
+
+#: Oracle dispatch by operation name.
+ORACLE_OPS = {
+    "add": oracle_add,
+    "sub": oracle_sub,
+    "mul": oracle_mul,
+    "div": oracle_div,
+    "sqrt": oracle_sqrt,
+    "fma": oracle_fma,
+}
+
+#: Operand count by operation name.
+OP_ARITY = {"add": 2, "sub": 2, "mul": 2, "div": 2, "sqrt": 1, "fma": 3}
+
+
+def oracle_operation(
+    op: str, cfg: OracleConfig, *operands: SoftFloat
+) -> OracleResult:
+    """Run the named operation through the exact-rounding reference."""
+    try:
+        fn = ORACLE_OPS[op]
+    except KeyError:
+        raise ValueError(f"oracle has no operation {op!r};"
+                         f" knows {sorted(ORACLE_OPS)}") from None
+    if len(operands) != OP_ARITY[op]:
+        raise ValueError(f"{op} takes {OP_ARITY[op]} operands,"
+                         f" got {len(operands)}")
+    return fn(cfg, *operands)

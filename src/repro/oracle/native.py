@@ -1,0 +1,69 @@
+"""Third opinion: the host hardware's IEEE implementation via numpy.
+
+Where the format is one the host natively implements (binary32 and
+binary64) and the environment is the hardware default (round to nearest
+even, no FTZ/DAZ), the runner also computes each case on native floats
+and compares result *bits*.  Exception flags are not observable from
+Python, and NaN payload propagation is hardware-specific, so the native
+check compares values only and treats all NaNs as one value — it is a
+sanity cross-check on both the engine and the oracle, not a full
+conformance judge.
+
+``fma`` has no native implementation available here (``math.fma``
+arrived in Python 3.13 and numpy exposes none), so it is skipped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.softfloat.formats import BINARY32, BINARY64, FloatFormat
+
+__all__ = ["native_supported", "native_result_bits", "native_agrees"]
+
+_DTYPES = {
+    BINARY32.name: (np.float32, np.uint32),
+    BINARY64.name: (np.float64, np.uint64),
+}
+
+_BINARY = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+}
+
+
+def native_supported(op: str, fmt: FloatFormat) -> bool:
+    """True when the host can render a verdict for this op/format."""
+    return fmt.name in _DTYPES and (op in _BINARY or op == "sqrt")
+
+
+def native_result_bits(op: str, fmt: FloatFormat,
+                       operands: tuple[int, ...]) -> int | None:
+    """Compute the case on host hardware; returns result bits, or
+    ``None`` when unsupported."""
+    if not native_supported(op, fmt):
+        return None
+    float_t, uint_t = _DTYPES[fmt.name]
+    values = [np.array(bits, dtype=uint_t).view(float_t)
+              for bits in operands]
+    with np.errstate(all="ignore"):
+        if op == "sqrt":
+            result = np.sqrt(values[0])
+        else:
+            result = _BINARY[op](values[0], values[1])
+    return int(np.asarray(result, dtype=float_t).view(uint_t))
+
+
+def native_agrees(fmt: FloatFormat, native_bits: int, engine_bits: int) -> bool:
+    """Value agreement: bit identity, with every NaN one value."""
+    if native_bits == engine_bits:
+        return True
+    exp_mask = fmt.max_biased_exp << fmt.frac_bits
+    sig_mask = fmt.sig_mask
+
+    def _is_nan(bits: int) -> bool:
+        return (bits & exp_mask) == exp_mask and (bits & sig_mask) != 0
+
+    return _is_nan(native_bits) and _is_nan(engine_bits)

@@ -1,0 +1,191 @@
+"""Structured conformance results: discrepancies, per-op stats, JSON.
+
+The JSON layout is stable and flat on purpose — it is meant to be
+diffed across runs and archived next to EXPERIMENTS.md entries, so a
+regression shows up as a one-line change in a counter, not as a prose
+paragraph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.fpenv.flags import FPFlag, flag_names
+
+__all__ = ["Discrepancy", "OpStats", "ConformanceReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Discrepancy:
+    """One case where the engine and the exact oracle disagreed."""
+
+    op: str
+    fmt_name: str
+    operands: tuple[int, ...]
+    rounding: str
+    ftz: bool
+    daz: bool
+    tininess: str
+    engine_bits: int
+    oracle_bits: int
+    engine_flags: FPFlag
+    oracle_flags: FPFlag
+    kind: str  # "value" | "flags" | "both"
+    shrunk_operands: tuple[int, ...] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        width = max(len(f"{b:x}") for b in (self.operands + (0,)))
+        return {
+            "op": self.op,
+            "format": self.fmt_name,
+            "operands": [f"0x{b:0{width}x}" for b in self.operands],
+            "rounding": self.rounding,
+            "ftz": self.ftz,
+            "daz": self.daz,
+            "tininess": self.tininess,
+            "engine": f"0x{self.engine_bits:x}",
+            "oracle": f"0x{self.oracle_bits:x}",
+            "engine_flags": flag_names(self.engine_flags),
+            "oracle_flags": flag_names(self.oracle_flags),
+            "kind": self.kind,
+            "shrunk_operands": (
+                None if self.shrunk_operands is None
+                else [f"0x{b:x}" for b in self.shrunk_operands]
+            ),
+        }
+
+    def describe(self) -> str:
+        ops = ", ".join(f"0x{b:x}" for b in self.operands)
+        return (
+            f"{self.op}({ops}) [{self.rounding}"
+            f"{' ftz' if self.ftz else ''}{' daz' if self.daz else ''}]:"
+            f" engine 0x{self.engine_bits:x}"
+            f" {flag_names(self.engine_flags)} vs oracle"
+            f" 0x{self.oracle_bits:x} {flag_names(self.oracle_flags)}"
+            f" ({self.kind})"
+        )
+
+
+@dataclasses.dataclass
+class OpStats:
+    """Per-operation tallies across every (mode, FTZ/DAZ) combination."""
+
+    op: str
+    cases: int = 0
+    evals: int = 0
+    value_agree: int = 0
+    flag_agree: int = 0
+    discrepancies: int = 0
+    native_evals: int = 0
+    native_agree: int = 0
+
+    @property
+    def flag_agreement_rate(self) -> float:
+        return self.flag_agree / self.evals if self.evals else 1.0
+
+    @property
+    def value_agreement_rate(self) -> float:
+        return self.value_agree / self.evals if self.evals else 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "cases": self.cases,
+            "evals": self.evals,
+            "value_agree": self.value_agree,
+            "value_agreement_rate": round(self.value_agreement_rate, 6),
+            "flag_agree": self.flag_agree,
+            "flag_agreement_rate": round(self.flag_agreement_rate, 6),
+            "discrepancies": self.discrepancies,
+            "native_evals": self.native_evals,
+            "native_agree": self.native_agree,
+        }
+
+
+@dataclasses.dataclass
+class ConformanceReport:
+    """Everything one ``oracle run`` produced."""
+
+    fmt_name: str
+    seed: int
+    budget: int
+    tininess: str
+    rounding_modes: tuple[str, ...]
+    env_combos: tuple[tuple[bool, bool], ...]  # (ftz, daz)
+    op_stats: dict[str, OpStats] = dataclasses.field(default_factory=dict)
+    discrepancies: list[Discrepancy] = dataclasses.field(default_factory=list)
+
+    @property
+    def total_evals(self) -> int:
+        return sum(s.evals for s in self.op_stats.values())
+
+    @property
+    def clean(self) -> bool:
+        """True when the engine matched the oracle on every case."""
+        return not self.discrepancies
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": self.fmt_name,
+            "seed": self.seed,
+            "budget": self.budget,
+            "tininess": self.tininess,
+            "rounding_modes": list(self.rounding_modes),
+            "env_combos": [
+                {"ftz": ftz, "daz": daz} for ftz, daz in self.env_combos
+            ],
+            "total_evals": self.total_evals,
+            "clean": self.clean,
+            "ops": {name: stats.to_dict()
+                    for name, stats in sorted(self.op_stats.items())},
+            "discrepancies": [d.to_dict() for d in self.discrepancies],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def summary(self) -> str:
+        """Human-readable run summary (what the CLI prints)."""
+        lines = [
+            f"oracle conformance: {self.fmt_name}, seed={self.seed},"
+            f" budget={self.budget}/op, tininess={self.tininess}",
+            f"modes: {', '.join(self.rounding_modes)};"
+            f" envs: " + ", ".join(
+                f"ftz={'on' if f else 'off'}/daz={'on' if d else 'off'}"
+                for f, d in self.env_combos
+            ),
+            "",
+            f"{'op':<6} {'cases':>9} {'evals':>9} {'value-agree':>12}"
+            f" {'flag-agree':>11} {'native':>13} {'discrep':>8}",
+        ]
+        for name in sorted(self.op_stats):
+            s = self.op_stats[name]
+            native = (f"{s.native_agree}/{s.native_evals}"
+                      if s.native_evals else "-")
+            lines.append(
+                f"{name:<6} {s.cases:>9} {s.evals:>9}"
+                f" {s.value_agree:>12} {s.flag_agree:>11}"
+                f" {native:>13} {s.discrepancies:>8}"
+            )
+        lines.append("")
+        if self.clean:
+            lines.append(
+                f"RESULT: conformant — {self.total_evals} evaluations,"
+                f" zero discrepancies"
+            )
+        else:
+            lines.append(
+                f"RESULT: {len(self.discrepancies)} discrepancies"
+            )
+            for d in self.discrepancies[:20]:
+                lines.append("  " + d.describe())
+            if len(self.discrepancies) > 20:
+                lines.append(f"  ... and {len(self.discrepancies) - 20} more")
+        return "\n".join(lines)

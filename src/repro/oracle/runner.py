@@ -1,0 +1,271 @@
+"""The differential conformance runner.
+
+For every generated case the runner executes the operation three ways —
+
+1. the softfloat **engine** under a fresh :class:`FPEnv`,
+2. the exact-rounding **oracle** (:mod:`repro.oracle.exact`),
+3. where the host natively implements the format and the environment
+   is the hardware default, **native** floats via numpy —
+
+and demands bit-for-bit value agreement plus exact sticky-flag
+agreement between engine and oracle.  Disagreements are shrunk toward
+minimal failing bit patterns and recorded as structured
+:class:`~repro.oracle.report.Discrepancy` records.
+
+Every environment combination the quiz references is driven: all five
+rounding directions crossed with FTZ/DAZ off and on.  Boundary-lattice
+cases are checked under *every* combination; random-stream cases cycle
+through the matrix round-robin so a budget buys breadth first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import zlib
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.fpenv.env import FPEnv
+from repro.fpenv.rounding import RoundingMode
+from repro.oracle.cases import (
+    EXHAUSTIVE_WIDTH_LIMIT,
+    boundary_operands,
+    generate_cases,
+)
+from repro.oracle.exact import OP_ARITY, OracleConfig, oracle_operation
+from repro.oracle.native import (
+    native_agrees,
+    native_result_bits,
+    native_supported,
+)
+from repro.oracle.report import ConformanceReport, Discrepancy, OpStats
+from repro.oracle.shrink import shrink_case
+from repro.softfloat.arith import fp_add, fp_div, fp_mul, fp_sub
+from repro.softfloat.fma import fp_fma
+from repro.softfloat.formats import (
+    BFLOAT16,
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    BINARY128,
+    E4M3,
+    E5M2,
+    TINY8,
+    FloatFormat,
+)
+from repro.softfloat.sqrt import fp_sqrt
+from repro.softfloat.value import SoftFloat
+
+__all__ = [
+    "ENGINE_OPS",
+    "FORMATS_BY_NAME",
+    "MODE_ALIASES",
+    "OracleMismatch",
+    "run_conformance",
+    "check_case",
+]
+
+ENGINE_OPS = {
+    "add": fp_add,
+    "sub": fp_sub,
+    "mul": fp_mul,
+    "div": fp_div,
+    "sqrt": fp_sqrt,
+    "fma": fp_fma,
+}
+
+FORMATS_BY_NAME: dict[str, FloatFormat] = {
+    f.name: f
+    for f in (TINY8, E4M3, E5M2, BFLOAT16, BINARY16, BINARY32, BINARY64,
+              BINARY128)
+}
+
+#: CLI spellings for rounding modes.
+MODE_ALIASES = {
+    "rne": RoundingMode.NEAREST_EVEN,
+    "rna": RoundingMode.NEAREST_AWAY,
+    "rtz": RoundingMode.TOWARD_ZERO,
+    "rtp": RoundingMode.TOWARD_POSITIVE,
+    "rtn": RoundingMode.TOWARD_NEGATIVE,
+}
+
+
+class OracleMismatch(ReproError):
+    """Raised by callers that demand conformance (e.g. the optsim
+    cross-validation path) when the engine and oracle disagree."""
+
+
+def _engine_run(
+    op: str,
+    fmt: FloatFormat,
+    operands: tuple[int, ...],
+    mode: RoundingMode,
+    ftz: bool,
+    daz: bool,
+) -> tuple[int, object]:
+    """Execute one case on the softfloat engine; returns (bits, flags)."""
+    env = FPEnv(rounding=mode, ftz=ftz, daz=daz)
+    values = tuple(SoftFloat(fmt, bits) for bits in operands)
+    result = ENGINE_OPS[op](*values, env)
+    return result.bits, env.flags
+
+
+def _check(
+    op: str,
+    fmt: FloatFormat,
+    operands: tuple[int, ...],
+    mode: RoundingMode,
+    ftz: bool,
+    daz: bool,
+    tininess: str,
+) -> tuple[int, Discrepancy | None]:
+    """One differential evaluation; returns (engine_bits, discrepancy)."""
+    engine_bits, engine_flags = _engine_run(op, fmt, operands, mode, ftz, daz)
+    cfg = OracleConfig(rounding=mode, ftz=ftz, daz=daz, tininess=tininess)
+    oracle = oracle_operation(
+        op, cfg, *(SoftFloat(fmt, bits) for bits in operands))
+    value_ok = engine_bits == oracle.bits
+    flags_ok = engine_flags == oracle.flags
+    if value_ok and flags_ok:
+        return engine_bits, None
+    kind = ("both" if not value_ok and not flags_ok
+            else "value" if not value_ok else "flags")
+    return engine_bits, Discrepancy(
+        op=op,
+        fmt_name=fmt.name,
+        operands=operands,
+        rounding=mode.value,
+        ftz=ftz,
+        daz=daz,
+        tininess=tininess,
+        engine_bits=engine_bits,
+        oracle_bits=oracle.bits,
+        engine_flags=engine_flags,
+        oracle_flags=oracle.flags,
+        kind=kind,
+    )
+
+
+def check_case(
+    op: str,
+    fmt: FloatFormat,
+    operands: tuple[int, ...],
+    mode: RoundingMode,
+    *,
+    ftz: bool = False,
+    daz: bool = False,
+    tininess: str = "before",
+) -> Discrepancy | None:
+    """Run one case differentially; ``None`` means engine == oracle."""
+    _, disc = _check(op, fmt, operands, mode, ftz, daz, tininess)
+    return disc
+
+
+def _shrunk(disc: Discrepancy, fmt: FloatFormat) -> Discrepancy:
+    """Attach a minimized witness to a discrepancy."""
+    mode = RoundingMode(disc.rounding)
+
+    def fails(operands: tuple[int, ...]) -> bool:
+        return check_case(
+            disc.op, fmt, operands, mode,
+            ftz=disc.ftz, daz=disc.daz, tininess=disc.tininess,
+        ) is not None
+
+    minimal = shrink_case(fails, disc.operands, fmt)
+    return dataclasses.replace(disc, shrunk_operands=minimal)
+
+
+def run_conformance(
+    fmt: FloatFormat,
+    ops: Sequence[str],
+    *,
+    budget: int = 10000,
+    seed: int = 754,
+    modes: Sequence[RoundingMode] | None = None,
+    env_combos: Sequence[tuple[bool, bool]] = ((False, False), (True, True)),
+    tininess: str = "before",
+    native: bool = True,
+    max_discrepancies: int = 100,
+) -> ConformanceReport:
+    """Run the full differential sweep and build the report.
+
+    ``budget`` bounds the number of *evaluations* per operation (one
+    evaluation = one case under one rounding/FTZ combination).  Boundary
+    cases are driven under every combination in the matrix; the random
+    stream then cycles combinations round-robin until the budget is
+    spent.  Shrinking stops after ``max_discrepancies`` so a broken
+    engine still terminates quickly.
+    """
+    modes = tuple(modes) if modes else tuple(RoundingMode)
+    env_combos = tuple(env_combos)
+    unknown = sorted(set(ops) - set(ENGINE_OPS))
+    if unknown:
+        raise ValueError(f"unknown ops {unknown}; choose from"
+                         f" {sorted(ENGINE_OPS)}")
+
+    report = ConformanceReport(
+        fmt_name=fmt.name,
+        seed=seed,
+        budget=budget,
+        tininess=tininess,
+        rounding_modes=tuple(m.value for m in modes),
+        env_combos=env_combos,
+    )
+    matrix = tuple(itertools.product(modes, env_combos))
+
+    for op in ops:
+        stats = OpStats(op=op)
+        report.op_stats[op] = stats
+        arity = OP_ARITY[op]
+        combo_cycle = itertools.cycle(matrix)
+
+        # Boundary cases (and exhaustive tiny formats) get the full
+        # matrix; how many cases that allows within budget:
+        full_matrix_cases = max(1, budget // (4 * len(matrix)))
+        if fmt.width <= EXHAUSTIVE_WIDTH_LIMIT:
+            space = (1 << fmt.width) ** arity
+            if space * len(matrix) <= budget:
+                full_matrix_cases = space
+        else:
+            n_corners = len(boundary_operands(fmt))
+            full_matrix_cases = min(full_matrix_cases, n_corners ** min(arity, 2))
+
+        case_seed = seed ^ (zlib.crc32(op.encode()) & 0xFFFF)
+        for index, operands in enumerate(
+            generate_cases(fmt, arity, budget, case_seed)
+        ):
+            if stats.evals >= budget:
+                break
+            if index < full_matrix_cases:
+                combos = matrix
+            else:
+                combos = (next(combo_cycle),)
+            stats.cases += 1
+            for mode, (ftz, daz) in combos:
+                if stats.evals >= budget:
+                    break
+                stats.evals += 1
+                engine_bits, disc = _check(
+                    op, fmt, operands, mode, ftz, daz, tininess)
+                if disc is None:
+                    stats.value_agree += 1
+                    stats.flag_agree += 1
+                else:
+                    stats.discrepancies += 1
+                    if disc.kind == "flags":
+                        stats.value_agree += 1
+                    elif disc.kind == "value":
+                        stats.flag_agree += 1
+                    if len(report.discrepancies) < max_discrepancies:
+                        report.discrepancies.append(_shrunk(disc, fmt))
+                # Native third opinion under the hardware-default env.
+                if (native and not ftz and not daz
+                        and mode is RoundingMode.NEAREST_EVEN
+                        and native_supported(op, fmt)):
+                    native_bits = native_result_bits(op, fmt, operands)
+                    if native_bits is not None:
+                        stats.native_evals += 1
+                        if native_agrees(fmt, native_bits, engine_bits):
+                            stats.native_agree += 1
+    return report

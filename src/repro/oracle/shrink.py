@@ -1,0 +1,81 @@
+"""Input shrinking: reduce a failing case toward a minimal bit pattern.
+
+When the runner finds a discrepancy it usually finds it on a random
+64-bit pattern with dozens of set bits.  The shrinker greedily rewrites
+one operand at a time toward "simpler" encodings — fewer set bits,
+exponent closer to bias, landmark values — re-running the failure
+predicate after each rewrite, so the reported witness is as close to a
+human-readable counterexample as greedy descent can get.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.softfloat.formats import FloatFormat
+
+__all__ = ["shrink_case", "simplicity_key"]
+
+#: Hard cap on predicate evaluations per shrink, so a pathological
+#: failure cannot stall the whole conformance run.
+_MAX_PROBES = 400
+
+
+def simplicity_key(bits: int) -> tuple[int, int]:
+    """Ordering used by the greedy descent: fewer set bits first, then
+    smaller encoding."""
+    return (bits.bit_count(), bits)
+
+
+def _candidates(fmt: FloatFormat, bits: int) -> list[int]:
+    """Simpler rewrites of one operand, most aggressive first."""
+    sign, biased_exp, frac = fmt.unpack(bits)
+    out = [
+        fmt.zero_bits(0),
+        fmt.one_bits(0),
+        fmt.min_subnormal_bits(0),
+        fmt.min_normal_bits(0),
+    ]
+    if sign:
+        out.append(fmt.pack(0, biased_exp, frac))  # drop the sign
+    if frac:
+        out.append(fmt.pack(sign, biased_exp, 0))          # clear the frac
+        out.append(fmt.pack(sign, biased_exp, frac & (frac - 1)))  # drop a bit
+        out.append(fmt.pack(sign, biased_exp, frac >> 1))  # halve it
+    if 0 < biased_exp < fmt.max_biased_exp and biased_exp != fmt.bias:
+        # Walk the exponent halfway toward bias (value toward ~1.0).
+        towards = biased_exp + (fmt.bias - biased_exp + (
+            1 if biased_exp < fmt.bias else -1)) // 2
+        if towards != biased_exp and 0 < towards < fmt.max_biased_exp:
+            out.append(fmt.pack(sign, towards, frac))
+    return out
+
+
+def shrink_case(
+    fails: Callable[[tuple[int, ...]], bool],
+    operands: Sequence[int],
+    fmt: FloatFormat,
+) -> tuple[int, ...]:
+    """Greedily minimize ``operands`` while ``fails`` stays true.
+
+    ``fails`` re-runs the differential check; it must be true for the
+    input case (otherwise the case is returned unchanged).
+    """
+    current = tuple(operands)
+    probes = 0
+    improved = True
+    while improved and probes < _MAX_PROBES:
+        improved = False
+        for index in range(len(current)):
+            for candidate in _candidates(fmt, current[index]):
+                if simplicity_key(candidate) >= simplicity_key(current[index]):
+                    continue
+                trial = current[:index] + (candidate,) + current[index + 1:]
+                probes += 1
+                if fails(trial):
+                    current = trial
+                    improved = True
+                    break
+                if probes >= _MAX_PROBES:
+                    return current
+    return current

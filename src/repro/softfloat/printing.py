@@ -19,6 +19,19 @@ __all__ = ["format_softfloat", "format_hex", "decimal_digits", "shortest_digits"
 _LOG10_2 = math.log10(2.0)
 
 
+def _nan_spelling(x: SoftFloat) -> str:
+    """``nan``/``snan`` with the payload in parentheses whenever it
+    differs from the constructor default (0 for quiet, 1 for
+    signaling), so NaN bit patterns survive a print/parse round trip.
+    """
+    prefix = "-" if x.sign else ""
+    if x.is_signaling_nan:
+        payload = x.frac
+        return prefix + ("snan" if payload == 1 else f"snan(0x{payload:x})")
+    payload = x.frac & (x.fmt.quiet_bit - 1)
+    return prefix + ("nan" if payload == 0 else f"nan(0x{payload:x})")
+
+
 def decimal_digits(x: SoftFloat, ndigits: int) -> tuple[int, str, int]:
     """Render a finite nonzero value to ``ndigits`` significant decimal
     digits, correctly rounded half-even.
@@ -111,8 +124,7 @@ def format_softfloat(x: SoftFloat) -> str:
     """Shortest round-tripping decimal form (or ``inf``/``nan`` etc.)."""
     prefix = "-" if x.sign else ""
     if x.is_nan:
-        kind = "snan" if x.is_signaling_nan else "nan"
-        return prefix + kind
+        return _nan_spelling(x)
     if x.is_inf:
         return prefix + "inf"
     if x.is_zero:
@@ -125,7 +137,7 @@ def format_hex(x: SoftFloat) -> str:
     """C99 ``%a``-style exact hexadecimal-significand rendering."""
     prefix = "-" if x.sign else ""
     if x.is_nan:
-        return prefix + ("snan" if x.is_signaling_nan else "nan")
+        return _nan_spelling(x)
     if x.is_inf:
         return prefix + "inf"
     if x.is_zero:

@@ -1,8 +1,35 @@
-"""Shared fixtures: simulated cohorts are expensive, so session-scoped."""
+"""Shared fixtures and the ``slow`` marker policy.
+
+Simulated cohorts are expensive, so session-scoped.  Tests marked
+``@pytest.mark.slow`` (exhaustive tiny-format sweeps, long
+differential runs) are skipped by default; run them with ``-m slow``
+or ``--run-slow``.
+"""
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (exhaustive sweeps)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    # An explicit -m expression (e.g. ``-m slow``) takes over marker
+    # selection entirely; only apply the default skip when the user
+    # hasn't asked for slow tests one way or the other.
+    if config.option.markexpr or config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow: use -m slow or --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,83 @@
+"""CLI coverage for ``repro oracle run`` and ``optsim --oracle-check``."""
+
+import json
+
+from repro.cli import main
+
+
+class TestOracleRunCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["oracle", "run", "--format", "tiny8",
+                     "--ops", "add,sqrt", "--budget", "300",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "RESULT: conformant" in out
+        assert "zero discrepancies" in out
+
+    def test_json_report_written(self, capsys, tmp_path):
+        path = tmp_path / "conformance.json"
+        assert main(["oracle", "run", "--format", "tiny8", "--ops", "add",
+                     "--budget", "200", "--seed", "7",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["format"] == "tiny8"
+        assert data["seed"] == 7
+        assert data["clean"] is True
+        assert data["ops"]["add"]["evals"] > 0
+
+    def test_mode_subset(self, capsys):
+        assert main(["oracle", "run", "--format", "tiny8", "--ops", "add",
+                     "--budget", "100", "--modes", "rne,rtz",
+                     "--ftz", "off", "--daz", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "nearest-even" in out and "toward-zero" in out
+
+    def test_tininess_after_finds_convention_gap(self, capsys):
+        # The engine detects tininess before rounding; asking the oracle
+        # to model the after-rounding convention must surface flag
+        # discrepancies (and exit nonzero).
+        assert main(["oracle", "run", "--format", "binary16", "--ops", "mul",
+                     "--budget", "4000", "--seed", "1",
+                     "--tininess", "after"]) == 1
+        out = capsys.readouterr().out
+        assert "underflow" in out
+
+    def test_unknown_op_rejected(self, capsys):
+        assert main(["oracle", "run", "--format", "tiny8",
+                     "--ops", "cbrt", "--budget", "10"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_zero_budget_rejected(self, capsys):
+        # A zero/negative budget must not print "conformant" over zero
+        # evaluations — that is a vacuous verdict, not a pass.
+        assert main(["oracle", "run", "--format", "tiny8", "--ops", "add",
+                     "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_empty_ops_rejected(self, capsys):
+        assert main(["oracle", "run", "--format", "tiny8", "--ops", ",,",
+                     "--budget", "10"]) == 2
+        assert "no operations" in capsys.readouterr().err
+
+    def test_unknown_mode_rejected(self, capsys):
+        assert main(["oracle", "run", "--format", "tiny8", "--ops", "add",
+                     "--modes", "bogus", "--budget", "10"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestOptsimOracleCheck:
+    def test_divergent_verdict_cross_validated(self, capsys):
+        assert main(["optsim", "a*b + c", "--level=-O3",
+                     "--oracle-check"]) == 0
+        assert "[oracle-checked]" in capsys.readouterr().out
+
+    def test_compliant_verdict_cross_validated(self, capsys):
+        assert main(["optsim", "a + b", "--level=-O2",
+                     "--oracle-check"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergence" in out
+        assert "[oracle-checked]" in out
+
+    def test_without_flag_no_annotation(self, capsys):
+        assert main(["optsim", "a + b", "--level=-O2"]) == 0
+        assert "[oracle-checked]" not in capsys.readouterr().out

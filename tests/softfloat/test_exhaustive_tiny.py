@@ -171,3 +171,74 @@ def test_round_trip_printing_exhaustive():
             continue
         back = SoftFloat.from_str(str(x), TINY8)
         assert back.same_bits(x), (x.bits, str(x))
+
+
+def test_round_trip_printing_exhaustive_including_nans():
+    """Every TINY8 encoding — NaN payloads and -0 included — survives
+    parse(print(x)) bit-exactly, in both decimal and hex form."""
+    from repro.softfloat import format_hex, parse_softfloat
+
+    for x in ALL:
+        back = parse_softfloat(str(x), TINY8)
+        assert back.same_bits(x), (hex(x.bits), str(x), hex(back.bits))
+        back_hex = parse_softfloat(format_hex(x), TINY8)
+        assert back_hex.same_bits(x), (hex(x.bits), format_hex(x))
+
+
+# ---------------------------------------------------------------------------
+# Differential sweeps against the exact-rounding oracle (repro.oracle).
+#
+# Unlike the rational-reference tests above, these also check the exact
+# sticky-flag footprint, special-case policy (NaN propagation, signed
+# zeros), and the FTZ path — the oracle models all of it independently.
+# ---------------------------------------------------------------------------
+
+from repro.oracle import check_case  # noqa: E402
+from repro.oracle.cases import boundary_operands  # noqa: E402
+
+SUBNORMAL_BITS = [x.bits for x in ALL if x.is_subnormal]
+CORNER_BITS = boundary_operands(TINY8)
+INTERESTING_BITS = sorted({*SUBNORMAL_BITS, *CORNER_BITS})
+
+
+@pytest.mark.parametrize("mode", list(RoundingMode))
+@pytest.mark.parametrize("ftz", [False, True])
+def test_sqrt_oracle_exhaustive(mode, ftz):
+    """sqrt over every TINY8 encoding vs the oracle, flags included."""
+    for bits in range(1 << TINY8.width):
+        disc = check_case("sqrt", TINY8, (bits,), mode, ftz=ftz, daz=ftz)
+        assert disc is None, disc.describe()
+
+
+@pytest.mark.parametrize("mode", list(RoundingMode))
+def test_fma_oracle_subnormal_and_halfway(mode):
+    """fma over the corner lattice (subnormals, halfway-ulp neighbors,
+    specials, NaN payloads) cubed — the rounding-decision hot spots."""
+    for operands in itertools.product(INTERESTING_BITS, repeat=3):
+        disc = check_case("fma", TINY8, operands, mode)
+        assert disc is None, disc.describe()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mode", list(RoundingMode))
+@pytest.mark.parametrize("ftz", [False, True])
+def test_fma_oracle_exhaustive_slow(mode, ftz):
+    """All 64^3 fma operand triples vs the oracle, per mode and FTZ."""
+    space = range(1 << TINY8.width)
+    for operands in itertools.product(space, repeat=3):
+        disc = check_case("fma", TINY8, operands, mode, ftz=ftz, daz=ftz)
+        assert disc is None, disc.describe()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("op", ["add", "sub", "mul", "div"])
+@pytest.mark.parametrize("mode", list(RoundingMode))
+@pytest.mark.parametrize("ftz", [False, True])
+def test_binary_ops_oracle_exhaustive_slow(op, mode, ftz):
+    """All 64^2 operand pairs for each binary op vs the oracle —
+    including the NaN/inf/zero special cases the rational reference
+    above must skip, and the exact flag footprint."""
+    space = range(1 << TINY8.width)
+    for operands in itertools.product(space, repeat=2):
+        disc = check_case(op, TINY8, operands, mode, ftz=ftz, daz=ftz)
+        assert disc is None, disc.describe()

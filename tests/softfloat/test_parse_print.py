@@ -184,6 +184,43 @@ class TestPrinting:
         assert format_softfloat(sf(0.0001)) == "0.0001"
 
 
+class TestNaNPayloadRoundTrip:
+    def test_default_nans_keep_bare_spelling(self):
+        assert format_softfloat(SoftFloat.nan(BINARY64)) == "nan"
+        assert format_softfloat(SoftFloat.signaling_nan(BINARY64)) == "snan"
+        assert format_hex(SoftFloat.nan(BINARY64)) == "nan"
+
+    def test_payload_printed_in_hex(self):
+        assert format_softfloat(SoftFloat.nan(BINARY64, 0, 42)) == "nan(0x2a)"
+        assert format_softfloat(SoftFloat.nan(BINARY64, 1, 42)) == "-nan(0x2a)"
+        assert (format_softfloat(SoftFloat.signaling_nan(BINARY64, 0, 7))
+                == "snan(0x7)")
+
+    def test_quiet_payload_round_trips(self):
+        for payload in (0, 1, 42, 0xDEAD):
+            x = SoftFloat.nan(BINARY64, 1, payload)
+            assert parse_softfloat(str(x)).same_bits(x), str(x)
+
+    def test_signaling_payload_round_trips(self):
+        for payload in (1, 2, 3, 0xBEEF):
+            x = SoftFloat.signaling_nan(BINARY64, 0, payload)
+            assert parse_softfloat(str(x)).same_bits(x), str(x)
+            assert parse_softfloat(str(x)).is_signaling_nan
+
+    def test_hex_formatter_round_trips_nans_too(self):
+        x = SoftFloat.signaling_nan(BINARY32, 1, 5)
+        assert parse_softfloat(format_hex(x), BINARY32).same_bits(x)
+
+    def test_binary16_every_nan_round_trips(self):
+        from repro.softfloat import BINARY16
+
+        max_biased = BINARY16.max_biased_exp
+        for sign in (0, 1):
+            for frac in range(1, 1 << BINARY16.frac_bits):
+                x = SoftFloat(BINARY16, BINARY16.pack(sign, max_biased, frac))
+                assert parse_softfloat(str(x), BINARY16).same_bits(x), str(x)
+
+
 class TestWideFormatPrinting:
     def test_binary128_round_trips(self):
         from repro.softfloat import BINARY128, convert_format

@@ -1,0 +1,148 @@
+"""Property-based tests for the softfloat engine.
+
+Algebraic laws that must hold for *every* operand bit pattern, checked
+over randomized encodings (uniform over the encoding space, so
+subnormals, infinities, and NaNs all appear).  Uses hypothesis when
+installed; otherwise a seeded in-repo sampler runs the same properties
+so minimal environments lose examples, not coverage.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.rounding import RoundingMode
+from repro.softfloat import (
+    BINARY16,
+    BINARY32,
+    TINY8,
+    SoftFloat,
+    fp_add,
+    fp_div,
+    fp_le,
+    fp_mul,
+    fp_sub,
+)
+
+FORMATS = [TINY8, BINARY16, BINARY32]
+FORMAT_IDS = [f.name for f in FORMATS]
+N_EXAMPLES = 200
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the test extras
+    HAVE_HYPOTHESIS = False
+
+
+def forall_bits(arity: int):
+    """Decorate ``test(fmt, *bits)`` to run over ``arity`` random
+    encodings of ``fmt``.  Bits are drawn 32 wide and masked down so
+    one strategy serves every format (hypothesis strategies cannot
+    depend on the pytest-parametrized ``fmt`` argument).
+    """
+    if HAVE_HYPOTHESIS:
+
+        def wrap(test):
+            raw_strategy = st.tuples(
+                *[st.integers(min_value=0, max_value=(1 << 32) - 1)] * arity
+            )
+
+            @settings(max_examples=N_EXAMPLES, deadline=None)
+            @given(raw=raw_strategy)
+            def inner(fmt, raw):
+                mask = (1 << fmt.width) - 1
+                test(fmt, *(r & mask for r in raw))
+
+            inner.__name__ = test.__name__
+            inner.__doc__ = test.__doc__
+            return inner
+
+        return wrap
+
+    def wrap(test):
+        def inner(fmt):
+            rng = random.Random(754 + arity)
+            for _ in range(N_EXAMPLES):
+                bits = tuple(rng.getrandbits(fmt.width) for _ in range(arity))
+                test(fmt, *bits)
+
+        inner.__name__ = test.__name__
+        inner.__doc__ = test.__doc__
+        return inner
+
+    return wrap
+
+
+def _agree(x: SoftFloat, y: SoftFloat) -> bool:
+    """Bit identity, all NaNs equal (payloads follow operand order)."""
+    return x.same_bits(y) or (x.is_nan and y.is_nan)
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+@forall_bits(2)
+def test_add_commutative(fmt, a_bits, b_bits):
+    a, b = SoftFloat(fmt, a_bits), SoftFloat(fmt, b_bits)
+    env_ab, env_ba = FPEnv(), FPEnv()
+    assert _agree(fp_add(a, b, env_ab), fp_add(b, a, env_ba))
+    assert env_ab.flags == env_ba.flags
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+@forall_bits(2)
+def test_mul_commutative(fmt, a_bits, b_bits):
+    a, b = SoftFloat(fmt, a_bits), SoftFloat(fmt, b_bits)
+    env_ab, env_ba = FPEnv(), FPEnv()
+    assert _agree(fp_mul(a, b, env_ab), fp_mul(b, a, env_ba))
+    assert env_ab.flags == env_ba.flags
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+@forall_bits(1)
+def test_x_minus_x_is_positive_zero_rne(fmt, bits):
+    x = SoftFloat(fmt, bits)
+    if not x.is_finite:
+        return
+    got = fp_sub(x, x, FPEnv())
+    assert got.is_zero and got.sign == 0, (str(x), str(got))
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+@forall_bits(2)
+def test_rounding_mode_monotonicity(fmt, a_bits, b_bits):
+    """Directed rounding brackets round-to-nearest for every op:
+    result(RTN) <= result(RNE) <= result(RTP)."""
+    a, b = SoftFloat(fmt, a_bits), SoftFloat(fmt, b_bits)
+    for op in (fp_add, fp_sub, fp_mul, fp_div):
+        down = op(a, b, FPEnv(rounding=RoundingMode.TOWARD_NEGATIVE))
+        near = op(a, b, FPEnv(rounding=RoundingMode.NEAREST_EVEN))
+        up = op(a, b, FPEnv(rounding=RoundingMode.TOWARD_POSITIVE))
+        if down.is_nan or near.is_nan or up.is_nan:
+            assert down.is_nan and near.is_nan and up.is_nan
+            continue
+        cmp_env = FPEnv()
+        assert fp_le(down, near, cmp_env), (
+            op.__name__, str(a), str(b), str(down), str(near))
+        assert fp_le(near, up, cmp_env), (
+            op.__name__, str(a), str(b), str(near), str(up))
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+@forall_bits(2)
+def test_sticky_flags_idempotent(fmt, a_bits, b_bits):
+    """Flags are sticky: repeating the identical operation on the same
+    environment neither clears a raised flag nor raises a new one, and
+    the result is unaffected by the accumulated flag state."""
+    a, b = SoftFloat(fmt, a_bits), SoftFloat(fmt, b_bits)
+    for op in (fp_add, fp_mul, fp_div):
+        env = FPEnv()
+        first = op(a, b, env)
+        flags_once = env.flags
+        second = op(a, b, env)
+        assert env.flags == flags_once, op.__name__
+        assert _agree(first, second), op.__name__
