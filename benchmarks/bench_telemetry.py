@@ -1,0 +1,79 @@
+"""Telemetry overhead: the disabled path must be free, the enabled
+path cheap.
+
+The acceptance bar for the observability layer is that running with
+telemetry *off* (the default) costs softfloat arithmetic under 5%
+versus an uninstrumented build — the disabled path is one ``is not
+None`` test per operation.  These benchmarks pin down both sides so a
+regression in either direction is visible: the bare-engine baseline,
+the same workload under an enabled session, and the unit costs of the
+individual instruments.
+"""
+
+import pytest
+
+from repro.fpenv import FPEnv
+from repro.softfloat import fp_add, fp_mul, sf
+from repro.telemetry import Telemetry, telemetry_session
+
+
+def test_fp_add_telemetry_disabled(benchmark):
+    """Baseline: the hot softfloat path with the default null session."""
+    env = FPEnv()
+    a, b = sf(0.1), sf(0.2)
+    benchmark(fp_add, a, b, env)
+
+
+def test_fp_add_telemetry_enabled(benchmark):
+    """Same operation with counters + event stream live."""
+    with telemetry_session():
+        env = FPEnv()
+        a, b = sf(0.1), sf(0.2)
+        benchmark(fp_add, a, b, env)
+
+
+def test_fp_mul_exact_telemetry_enabled(benchmark):
+    """Exact product: op counter fires, no exception event."""
+    with telemetry_session():
+        env = FPEnv()
+        a, b = sf(1.5), sf(2.0)
+        benchmark(fp_mul, a, b, env)
+
+
+def test_span_enter_exit(benchmark):
+    session = Telemetry.create()
+
+    def one_span():
+        with session.tracer.span("bench"):
+            pass
+
+    benchmark(one_span)
+
+
+def test_counter_inc_cached(benchmark):
+    session = Telemetry.create()
+    counter = session.metrics.counter("bench_total", op="add")
+    benchmark(counter.inc)
+
+
+def test_counter_lookup_and_inc(benchmark):
+    """The common call shape: registry lookup plus increment."""
+    session = Telemetry.create()
+
+    def lookup_inc():
+        session.metrics.counter("bench_total", op="add").inc()
+
+    benchmark(lookup_inc)
+
+
+def test_histogram_observe(benchmark):
+    session = Telemetry.create()
+    histogram = session.metrics.histogram("bench_seconds")
+    benchmark(histogram.observe, 0.001)
+
+
+def test_event_record_with_retention(benchmark):
+    from repro.fpenv import FPFlag
+
+    session = Telemetry.create()
+    benchmark(session.stream.record, "add", FPFlag.INEXACT)

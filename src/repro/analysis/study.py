@@ -29,6 +29,7 @@ from repro.population.response_model import (
     simulate_students,
 )
 from repro.survey.records import Cohort, SurveyResponse
+from repro.telemetry import get_telemetry
 
 __all__ = ["StudyResults", "analyze", "run_study"]
 
@@ -72,23 +73,31 @@ class StudyResults:
 
 def analyze(responses: Sequence[SurveyResponse]) -> StudyResults:
     """Regenerate every figure from arbitrary response records."""
+    telemetry = get_telemetry()
     responses = tuple(responses)
     figures: list[FigureResult] = []
-    for generator in ALL_BACKGROUND_FIGURES:
-        figures.append(generator(responses))
-    figures.append(fig12_performance(responses))
-    figures.append(fig13_histogram(responses))
-    figures.append(fig14_core_questions(responses))
-    figures.append(fig15_opt_questions(responses))
-    figures.append(fig16_contributed_size(responses))
-    figures.append(fig17_area(responses))
-    figures.append(fig18_dev_role(responses))
-    figures.append(fig19_formal_training(responses))
-    figures.append(fig20_area_opt(responses))
-    figures.append(fig21_dev_role_opt(responses))
-    figures.append(fig22_suspicion(responses, Cohort.DEVELOPER))
-    if any(r.cohort is Cohort.STUDENT for r in responses):
-        figures.append(fig22_suspicion(responses, Cohort.STUDENT))
+
+    def generate(generator, *args) -> None:
+        with telemetry.tracer.span("study.figure", figure=generator.__name__):
+            figures.append(generator(responses, *args))
+        telemetry.metrics.counter("study.figures_generated_total").inc()
+
+    with telemetry.tracer.span("study.analyze", responses=len(responses)):
+        for generator in ALL_BACKGROUND_FIGURES:
+            generate(generator)
+        generate(fig12_performance)
+        generate(fig13_histogram)
+        generate(fig14_core_questions)
+        generate(fig15_opt_questions)
+        generate(fig16_contributed_size)
+        generate(fig17_area)
+        generate(fig18_dev_role)
+        generate(fig19_formal_training)
+        generate(fig20_area_opt)
+        generate(fig21_dev_role_opt)
+        generate(fig22_suspicion, Cohort.DEVELOPER)
+        if any(r.cohort is Cohort.STUDENT for r in responses):
+            generate(fig22_suspicion, Cohort.STUDENT)
     return StudyResults(figures=tuple(figures), responses=responses)
 
 
@@ -96,7 +105,10 @@ def run_study(
     seed: int = 754, n_developers: int = 199, n_students: int = 52
 ) -> StudyResults:
     """Simulate both cohorts and regenerate the paper's full evaluation."""
-    responses = simulate_developers(n_developers, seed) + simulate_students(
-        n_students, seed
-    )
-    return analyze(responses)
+    with get_telemetry().tracer.span(
+        "study.run", seed=seed, developers=n_developers, students=n_students
+    ):
+        responses = simulate_developers(
+            n_developers, seed
+        ) + simulate_students(n_students, seed)
+        return analyze(responses)

@@ -26,15 +26,57 @@ Commands
 ``oracle``
     Differential conformance testing of the softfloat engine against
     the exact-rounding oracle (and the host's native floats).
+``telemetry``
+    Inspect recorded traces/metrics, or run an instrumented demo.
+
+The ``study``, ``optsim``, and ``oracle run`` commands accept
+``--trace PATH`` (dump the span tree and FP-exception events as JSONL)
+and ``--metrics-out PATH`` (dump the metrics registry as JSON); either
+flag enables the telemetry session for the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH", dest="trace_out",
+        help="record a telemetry trace (spans + FP-exception events)"
+             " to this JSONL file",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics registry (counters, latency"
+             " histograms, gauges) to this JSON file",
+    )
+
+
+@contextlib.contextmanager
+def _telemetry_scope(args: argparse.Namespace) -> Iterator[None]:
+    """Enable telemetry for a command when it asked for exports."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        yield
+        return
+    from repro.telemetry import telemetry_session
+    from repro.telemetry.export import write_metrics_json, write_trace_jsonl
+
+    with telemetry_session() as session:
+        yield
+    if trace_out:
+        count = write_trace_jsonl(trace_out, session)
+        print(f"wrote {count} trace records to {trace_out}")
+    if metrics_out:
+        write_metrics_json(metrics_out, session.metrics.snapshot())
+        print(f"wrote {len(session.metrics)} metrics to {metrics_out}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, metavar="PATH",
         help="write the full markdown report (all figures + extensions)",
     )
+    _add_telemetry_flags(study)
 
     demo = sub.add_parser(
         "demo", help="run a question's ground-truth demonstration",
@@ -103,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-validate the strict-IEEE side of the verdict "
              "against the exact-rounding oracle",
     )
+    _add_telemetry_flags(optsim)
 
     shadow = sub.add_parser(
         "shadow", help="shadow-evaluate an expression at high precision",
@@ -188,6 +232,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-native", action="store_true",
         help="skip the native-hardware third opinion",
     )
+    _add_telemetry_flags(oracle_run)
+
+    telemetry = sub.add_parser(
+        "telemetry", help="inspect recorded traces and metrics",
+    )
+    telemetry_sub = telemetry.add_subparsers(
+        dest="telemetry_command", required=True,
+    )
+    telemetry_view = telemetry_sub.add_parser(
+        "view", help="render a recorded trace JSONL or metrics JSON",
+    )
+    telemetry_view.add_argument(
+        "path", help="file written by --trace or --metrics-out",
+    )
+    telemetry_demo = telemetry_sub.add_parser(
+        "demo", help="run a small instrumented workload and print the"
+                     " span tree, metrics, and exception events",
+    )
+    telemetry_demo.add_argument("--budget", type=int, default=500)
     return parser
 
 
@@ -204,24 +267,25 @@ def _cmd_quiz(args: argparse.Namespace) -> int:
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.analysis.study import run_study
 
-    study = run_study(
-        seed=args.seed, n_developers=args.developers,
-        n_students=args.students,
-    )
-    if args.figure is not None:
-        print(study.figure(args.figure).render())
-    else:
-        print(study.render())
-    if args.export:
-        from repro.survey.io import write_csv
+    with _telemetry_scope(args):
+        study = run_study(
+            seed=args.seed, n_developers=args.developers,
+            n_students=args.students,
+        )
+        if args.figure is not None:
+            print(study.figure(args.figure).render())
+        else:
+            print(study.render())
+        if args.export:
+            from repro.survey.io import write_csv
 
-        count = write_csv(list(study.responses), args.export)
-        print(f"\nwrote {count} records to {args.export}")
-    if args.report:
-        from repro.analysis.report import write_report
+            count = write_csv(list(study.responses), args.export)
+            print(f"\nwrote {count} records to {args.export}")
+        if args.report:
+            from repro.analysis.report import write_report
 
-        target = write_report(study, args.report)
-        print(f"wrote full report to {target}")
+            target = write_report(study, args.report)
+            print(f"wrote full report to {target}")
     return 0
 
 
@@ -280,13 +344,14 @@ def _cmd_optsim(args: argparse.Namespace) -> int:
 
         config = config_from_flags(args.level)
     expr = parse_expr(args.expr)
-    print(f"source:   {expr}")
-    print(f"compiled: {optimize(expr, config)}   [{config.name}]")
-    reasons = noncompliance_reasons(config)
-    if reasons:
-        print("non-standard permissions: " + "; ".join(reasons))
-    report = find_divergence(expr, config, oracle_check=args.oracle_check)
-    print(report.describe())
+    with _telemetry_scope(args):
+        print(f"source:   {expr}")
+        print(f"compiled: {optimize(expr, config)}   [{config.name}]")
+        reasons = noncompliance_reasons(config)
+        if reasons:
+            print("non-standard permissions: " + "; ".join(reasons))
+        report = find_divergence(expr, config, oracle_check=args.oracle_check)
+        print(report.describe())
     return 0
 
 
@@ -320,15 +385,16 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         for daz in switch[args.daz]
     ]
     try:
-        report = run_conformance(
-            fmt, ops,
-            budget=args.budget,
-            seed=args.seed,
-            modes=modes,
-            env_combos=env_combos,
-            tininess=args.tininess,
-            native=not args.no_native,
-        )
+        with _telemetry_scope(args):
+            report = run_conformance(
+                fmt, ops,
+                budget=args.budget,
+                seed=args.seed,
+                modes=modes,
+                env_combos=env_combos,
+                tininess=args.tininess,
+                native=not args.no_native,
+            )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -416,6 +482,70 @@ def _cmd_drill(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_view(path: str) -> int:
+    import json
+
+    from repro.telemetry.export import (
+        load_metrics_json,
+        load_trace_jsonl,
+        render_metrics,
+        render_span_tree,
+    )
+
+    try:
+        spans, events = load_trace_jsonl(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        trace_error = exc
+    else:
+        if spans:
+            print(render_span_tree(spans))
+        if events:
+            if spans:
+                print()
+            print(f"fp exception events ({len(events)}):")
+            for event in events:
+                flags = ",".join(event.get("flags", ()))
+                where = event.get("span") or "-"
+                print(f"  #{event.get('sequence')}"
+                      f" {event.get('operation')}: {flags}  [{where}]")
+        if not spans and not events:
+            print(f"{path}: empty trace")
+        return 0
+    # Not a trace; maybe a metrics snapshot.
+    try:
+        snapshot = load_metrics_json(path)
+    except (OSError, ValueError, json.JSONDecodeError):
+        print(f"cannot read {path} as a trace or metrics file:"
+              f" {trace_error}", file=sys.stderr)
+        return 2
+    print(render_metrics(snapshot))
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    if args.telemetry_command == "view":
+        return _telemetry_view(args.path)
+
+    # demo: run a small instrumented workload end to end.
+    from repro.oracle import FORMATS_BY_NAME, run_conformance
+    from repro.optsim import find_divergence, optimization_level, parse_expr
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session() as session:
+        run_conformance(
+            FORMATS_BY_NAME["binary16"], ["add", "mul"],
+            budget=args.budget, native=False,
+        )
+        find_divergence(parse_expr("(a + b) + c"), optimization_level("-O3"))
+    print(session.tracer.render_tree())
+    print()
+    print(session.metrics.render())
+    if session.events is not None and session.events.events:
+        print()
+        print(session.events.render())
+    return 0
+
+
 def _cmd_instrument(args: argparse.Namespace) -> int:
     from repro.survey import render_instrument
 
@@ -434,6 +564,7 @@ _COMMANDS = {
     "drill": _cmd_drill,
     "instrument": _cmd_instrument,
     "oracle": _cmd_oracle,
+    "telemetry": _cmd_telemetry,
 }
 
 

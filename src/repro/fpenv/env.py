@@ -32,6 +32,7 @@ from repro.errors import (
 )
 from repro.fpenv.flags import FPFlag
 from repro.fpenv.rounding import RoundingMode
+from repro.telemetry.runtime import active_recorder
 
 __all__ = [
     "FPEnv",
@@ -70,6 +71,15 @@ class FPEnv:
         Sticky exception flags accumulated since the last clear.
     traps:
         Flags whose occurrence raises a :class:`FloatingPointTrap`.
+    recorder:
+        Telemetry hook (see :mod:`repro.telemetry.recorder`).  Defaults
+        to the active telemetry session's recorder — ``None`` when
+        telemetry is off, so every instrumented site reduces to one
+        attribute test.  Metrics hooks live *here*, on the environment,
+        rather than inside the softfloat operations: the env already
+        flows through every operation, so instrumentation follows it
+        for free (including into scoped/copied environments) without
+        per-operation branching.
     """
 
     rounding: RoundingMode = RoundingMode.NEAREST_EVEN
@@ -77,17 +87,29 @@ class FPEnv:
     daz: bool = False
     flags: FPFlag = FPFlag.NONE
     traps: FPFlag = FPFlag.NONE
+    recorder: object | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.recorder is None:
+            self.recorder = active_recorder()
 
     def raise_flags(self, flags: FPFlag, operation: str = "<op>") -> None:
         """Set sticky ``flags``; raise if any of them is trap-enabled.
 
         The sticky bits are set *before* any trap fires, matching
         hardware where the status word records the exception even when a
-        trap handler runs.
+        trap handler runs (and the telemetry event is emitted before
+        the trap for the same reason — a trapped exception must still
+        be observable).
         """
         if flags is FPFlag.NONE:
             return
         self.flags |= flags
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record_flags(operation, flags)
         trapped = flags & self.traps
         if trapped:
             for member, exc in _TRAP_CLASSES.items():
@@ -114,6 +136,7 @@ class FPEnv:
             daz=self.daz,
             flags=FPFlag.NONE if clear else self.flags,
             traps=self.traps,
+            recorder=self.recorder,
         )
         return out
 

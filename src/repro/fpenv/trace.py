@@ -6,31 +6,36 @@ actual debugging session.  :class:`TracingEnv` is a drop-in
 :class:`~repro.fpenv.FPEnv` that additionally records every flag-raise
 as a :class:`TraceEvent` (operation name, flags, sequence number), with
 a bounded buffer so monitoring a long run cannot exhaust memory.
+
+Since the telemetry layer landed, this module is a *compatibility
+shim*: the recording machinery lives in :mod:`repro.telemetry.events`
+(an :class:`~repro.telemetry.events.ExceptionStream` fanning events out
+to subscriber sinks; retention is a
+:class:`~repro.telemetry.events.BoundedEventLog` — an O(1) deque ring,
+replacing the original quadratic ``list.pop(0)`` buffer).
+:class:`TracingEnv` keeps its historical surface (``events``,
+``first_occurrence``, ``count``, ``render``) by delegating to one such
+log, and additionally exposes the stream for extra subscribers.
+``TraceEvent`` is the stream's event type under its historical name.
 """
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.fpenv.env import FPEnv
-from repro.fpenv.flags import FPFlag, flag_names
+from repro.fpenv.flags import FPFlag
+from repro.telemetry.events import (
+    BoundedEventLog,
+    ExceptionStream,
+    FPExceptionEvent,
+)
 
 __all__ = ["TraceEvent", "TracingEnv"]
 
 _DEFAULT_CAPACITY = 10_000
 
-
-@dataclasses.dataclass(frozen=True)
-class TraceEvent:
-    """One recorded flag-raise."""
-
-    sequence: int
-    operation: str
-    flags: FPFlag
-
-    def render(self) -> str:
-        names = ",".join(flag_names(self.flags))
-        return f"#{self.sequence} {self.operation}: {names}"
+#: Historical name for the stream's event record (same field order:
+#: ``sequence, operation, flags``; ``render()`` output is unchanged).
+TraceEvent = FPExceptionEvent
 
 
 class TracingEnv(FPEnv):
@@ -39,6 +44,11 @@ class TracingEnv(FPEnv):
     ``capacity`` bounds the retained events (oldest are dropped, but
     the *first* occurrence of each distinct flag is always kept — the
     piece of evidence a debugger wants most).
+
+    Every flag-raise is published on :attr:`stream` before the sticky
+    bits/traps are processed, so external sinks (counters, JSONL
+    writers) can observe exactly what the bounded log observes:
+    ``env.subscribe(lambda event: ...)``.
     """
 
     def __init__(self, capacity: int = _DEFAULT_CAPACITY, **kwargs) -> None:
@@ -46,49 +56,38 @@ class TracingEnv(FPEnv):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
-        self._events: list[TraceEvent] = []
-        self._first_by_flag: dict[FPFlag, TraceEvent] = {}
-        self._sequence = 0
-        self._operations = 0
+        self._stream = ExceptionStream()
+        self._log = BoundedEventLog(capacity)
+        self._stream.subscribe(self._log)
 
     # FPEnv is a plain dataclass; keep attribute assignment working.
     def raise_flags(self, flags: FPFlag, operation: str = "<op>") -> None:
         if flags is not FPFlag.NONE:
-            self._sequence += 1
-            event = TraceEvent(self._sequence, operation, flags)
-            if len(self._events) >= self._capacity:
-                self._events.pop(0)
-            self._events.append(event)
-            for member in FPFlag:
-                if member in (FPFlag.NONE, FPFlag.ALL, FPFlag.IEEE):
-                    continue
-                if member in flags and member not in self._first_by_flag:
-                    self._first_by_flag[member] = event
+            self._stream.record(operation, flags)
         super().raise_flags(flags, operation)
+
+    @property
+    def stream(self) -> ExceptionStream:
+        """The underlying event stream (for extra subscribers)."""
+        return self._stream
+
+    def subscribe(self, sink) -> None:
+        """Attach ``sink`` (a callable taking one event) to the stream."""
+        self._stream.subscribe(sink)
 
     @property
     def events(self) -> tuple[TraceEvent, ...]:
         """Recorded events, oldest first (bounded by capacity)."""
-        return tuple(self._events)
+        return self._log.events
 
     def first_occurrence(self, flag: FPFlag) -> TraceEvent | None:
         """The first event that raised ``flag`` (never evicted)."""
-        return self._first_by_flag.get(flag)
+        return self._log.first_occurrence(flag)
 
     def count(self, flag: FPFlag) -> int:
         """Number of retained events that raised ``flag``."""
-        return sum(1 for event in self._events if flag & event.flags)
+        return self._log.count(flag)
 
     def render(self, limit: int = 20) -> str:
         """The first occurrences plus the most recent events."""
-        lines = ["first occurrences:"]
-        for flag, event in sorted(
-            self._first_by_flag.items(), key=lambda kv: kv[1].sequence
-        ):
-            lines.append(f"  {flag.name.lower():<16} {event.render()}")
-        if not self._first_by_flag:
-            lines.append("  (none)")
-        recent = self._events[-limit:]
-        lines.append(f"most recent {len(recent)} event(s):")
-        lines.extend(f"  {event.render()}" for event in recent)
-        return "\n".join(lines)
+        return self._log.render(limit)

@@ -20,6 +20,7 @@ from repro.optsim.machine import STRICT, MachineConfig
 from repro.optsim.pipeline import optimize
 from repro.softfloat import SoftFloat, sf
 from repro.softfloat.formats import FloatFormat
+from repro.telemetry import get_telemetry
 
 __all__ = [
     "DivergenceReport",
@@ -142,6 +143,35 @@ def find_divergence(
     ``check_flags`` is set.  With ``oracle_check`` the verdict is
     passed through :func:`cross_validate` before being returned.
     """
+    telemetry = get_telemetry()
+    with telemetry.tracer.span(
+        "optsim.find_divergence", config=config.name, expr=str(expr)
+    ) as span:
+        report = _search_divergence(
+            expr, config, telemetry,
+            seed=seed, trials=trials, check_flags=check_flags,
+            extra_witnesses=extra_witnesses, oracle_check=oracle_check,
+        )
+        span.set("diverged", report.diverged)
+        span.set("trials", report.trials)
+        return report
+
+
+def _search_divergence(
+    expr: Expr,
+    config: MachineConfig,
+    telemetry,
+    *,
+    seed: int,
+    trials: int,
+    check_flags: bool,
+    extra_witnesses: Sequence[dict[str, SoftFloat]],
+    oracle_check: bool,
+) -> DivergenceReport:
+    """The search body of :func:`find_divergence` (span managed there)."""
+    trials_total = telemetry.metrics.counter(
+        "optsim.divergence_trials_total", config=config.name
+    )
     names = expr_variables(expr)
     optimized = optimize(expr, config)
     rng = random.Random(seed)
@@ -169,6 +199,7 @@ def find_divergence(
     count = 0
     for binding in candidates:
         count += 1
+        trials_total.inc()
         strict_result = evaluate(expr, binding, STRICT.replace(fmt=fmt))
         optimized_result = evaluate(optimized, binding, config)
         value_diverged = not _same_value(
@@ -176,6 +207,9 @@ def find_divergence(
         )
         flags_diverged = strict_result.flags != optimized_result.flags
         if value_diverged or (check_flags and flags_diverged):
+            telemetry.metrics.counter(
+                "optsim.divergences_found_total", config=config.name
+            ).inc()
             report = DivergenceReport(
                 expr=expr,
                 optimized_expr=optimized,

@@ -12,6 +12,7 @@ from repro.errors import OptimizationError
 from repro.optsim.ast import Expr
 from repro.optsim.machine import MachineConfig
 from repro.optsim.passes import ALL_PASSES, OptimizationPass
+from repro.telemetry import get_telemetry
 
 __all__ = ["optimize", "enabled_passes"]
 
@@ -38,13 +39,23 @@ def optimize(
     'fma(a, b, c)'
     """
     active = enabled_passes(config) if passes is None else passes
-    current = expr
-    for _ in range(_MAX_ITERATIONS):
-        previous = current
-        for pass_ in active:
-            current = pass_.apply(current, config)
-        if current == previous:
-            return current
+    telemetry = get_telemetry()
+    with telemetry.tracer.span(
+        "optsim.optimize", config=config.name, expr=str(expr)
+    ) as span:
+        current = expr
+        for _ in range(_MAX_ITERATIONS):
+            previous = current
+            for pass_ in active:
+                rewritten = pass_.apply(current, config)
+                if telemetry.enabled and rewritten != current:
+                    telemetry.metrics.counter(
+                        "optsim.pass_rewrites_total", **{"pass": pass_.name}
+                    ).inc()
+                current = rewritten
+            if current == previous:
+                span.set("compiled", str(current))
+                return current
     raise OptimizationError(
         f"pass pipeline failed to reach a fixed point on {expr!s}"
     )

@@ -70,7 +70,13 @@ class Discrepancy:
 
 @dataclasses.dataclass
 class OpStats:
-    """Per-operation tallies across every (mode, FTZ/DAZ) combination."""
+    """Per-operation tallies across every (mode, FTZ/DAZ) combination.
+
+    ``wall_seconds`` is the measured wall time of the operation's whole
+    differential loop, so recorded runs double as throughput baselines
+    (``evals_per_sec``) and BENCH trajectories can be derived from
+    archived JSON reports instead of re-benchmarking.
+    """
 
     op: str
     cases: int = 0
@@ -80,6 +86,7 @@ class OpStats:
     discrepancies: int = 0
     native_evals: int = 0
     native_agree: int = 0
+    wall_seconds: float = 0.0
 
     @property
     def flag_agreement_rate(self) -> float:
@@ -88,6 +95,10 @@ class OpStats:
     @property
     def value_agreement_rate(self) -> float:
         return self.value_agree / self.evals if self.evals else 1.0
+
+    @property
+    def evals_per_sec(self) -> float:
+        return self.evals / self.wall_seconds if self.wall_seconds else 0.0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -101,6 +112,8 @@ class OpStats:
             "discrepancies": self.discrepancies,
             "native_evals": self.native_evals,
             "native_agree": self.native_agree,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "evals_per_sec": round(self.evals_per_sec, 1),
         }
 
 
@@ -163,16 +176,18 @@ class ConformanceReport:
             ),
             "",
             f"{'op':<6} {'cases':>9} {'evals':>9} {'value-agree':>12}"
-            f" {'flag-agree':>11} {'native':>13} {'discrep':>8}",
+            f" {'flag-agree':>11} {'native':>13} {'discrep':>8}"
+            f" {'evals/s':>9}",
         ]
         for name in sorted(self.op_stats):
             s = self.op_stats[name]
             native = (f"{s.native_agree}/{s.native_evals}"
                       if s.native_evals else "-")
+            rate = f"{s.evals_per_sec:.0f}" if s.wall_seconds else "-"
             lines.append(
                 f"{name:<6} {s.cases:>9} {s.evals:>9}"
                 f" {s.value_agree:>12} {s.flag_agree:>11}"
-                f" {native:>13} {s.discrepancies:>8}"
+                f" {native:>13} {s.discrepancies:>8} {rate:>9}"
             )
         lines.append("")
         if self.clean:

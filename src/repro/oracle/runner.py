@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import time
 import zlib
 from collections.abc import Sequence
 
@@ -56,6 +57,7 @@ from repro.softfloat.formats import (
 )
 from repro.softfloat.sqrt import fp_sqrt
 from repro.softfloat.value import SoftFloat
+from repro.telemetry import get_telemetry
 
 __all__ = [
     "ENGINE_OPS",
@@ -165,8 +167,12 @@ def check_case(
 def _shrunk(disc: Discrepancy, fmt: FloatFormat) -> Discrepancy:
     """Attach a minimized witness to a discrepancy."""
     mode = RoundingMode(disc.rounding)
+    shrink_evals = get_telemetry().metrics.counter(
+        "oracle.shrink_evals_total", op=disc.op
+    )
 
     def fails(operands: tuple[int, ...]) -> bool:
+        shrink_evals.inc()
         return check_case(
             disc.op, fmt, operands, mode,
             ftz=disc.ftz, daz=disc.daz, tininess=disc.tininess,
@@ -214,7 +220,45 @@ def run_conformance(
     )
     matrix = tuple(itertools.product(modes, env_combos))
 
-    for op in ops:
+    telemetry = get_telemetry()
+    run_span = telemetry.tracer.span(
+        "oracle.run", format=fmt.name, budget=budget, seed=seed,
+        ops=",".join(ops),
+    )
+    with run_span:
+        for op in ops:
+            _run_op(report, telemetry, op, fmt, budget, seed, matrix, tininess,
+                    native, max_discrepancies)
+    return report
+
+
+def _run_op(
+    report: ConformanceReport,
+    telemetry,
+    op: str,
+    fmt: FloatFormat,
+    budget: int,
+    seed: int,
+    matrix: tuple,
+    tininess: str,
+    native: bool,
+    max_discrepancies: int,
+) -> None:
+    """Drive one operation's differential loop (one ``oracle.op`` span).
+
+    When telemetry is enabled every evaluation is individually timed
+    into a latency histogram; disabled, the only cost over the original
+    loop is two clock reads per *operation* (for the JSON report's
+    wall-time/evals-per-sec fields).
+    """
+    instrumented = telemetry.enabled
+    metrics = telemetry.metrics
+    evals_total = metrics.counter("oracle.evals_total", op=op)
+    discrepancies_total = metrics.counter("oracle.discrepancies_total", op=op)
+    latency = metrics.histogram("oracle.eval_seconds", op=op)
+
+    with telemetry.tracer.span("oracle.op", op=op, format=fmt.name) as span:
+        op_started = time.perf_counter()
         stats = OpStats(op=op)
         report.op_stats[op] = stats
         arity = OP_ARITY[op]
@@ -246,13 +290,19 @@ def run_conformance(
                 if stats.evals >= budget:
                     break
                 stats.evals += 1
+                if instrumented:
+                    check_started = time.perf_counter()
                 engine_bits, disc = _check(
                     op, fmt, operands, mode, ftz, daz, tininess)
+                if instrumented:
+                    latency.observe(time.perf_counter() - check_started)
+                    evals_total.inc()
                 if disc is None:
                     stats.value_agree += 1
                     stats.flag_agree += 1
                 else:
                     stats.discrepancies += 1
+                    discrepancies_total.inc()
                     if disc.kind == "flags":
                         stats.value_agree += 1
                     elif disc.kind == "value":
@@ -268,4 +318,11 @@ def run_conformance(
                         stats.native_evals += 1
                         if native_agrees(fmt, native_bits, engine_bits):
                             stats.native_agree += 1
-    return report
+
+        stats.wall_seconds = time.perf_counter() - op_started
+        span.set("evals", stats.evals)
+        span.set("discrepancies", stats.discrepancies)
+        if instrumented:
+            metrics.gauge("oracle.evals_per_sec", op=op).set(
+                stats.evals_per_sec
+            )

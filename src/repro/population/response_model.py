@@ -28,6 +28,7 @@ from repro.quiz.optimization import OPTIMIZATION_QUESTIONS
 from repro.quiz.suspicion import LIKERT_SCALE, SUSPICION_ORDER
 from repro.survey.background import Background
 from repro.survey.records import Cohort, SurveyResponse
+from repro.telemetry import get_telemetry
 
 __all__ = [
     "generate_tf_answer",
@@ -136,34 +137,46 @@ def simulate_developers(
     calibration: Calibration | None = None,
 ) -> list[SurveyResponse]:
     """Simulate the main study group (default n=199, seeded)."""
-    calibration = calibration or calibrate(model)
-    backgrounds = sample_backgrounds(n, seed)
-    rng = random.Random(("developers", n, seed).__repr__())
-    return [
-        generate_response(f"dev-{index:04d}", background, calibration, rng,
-                          model=model)
-        for index, background in enumerate(backgrounds, start=1)
-    ]
+    telemetry = get_telemetry()
+    with telemetry.tracer.span("study.simulate_developers", n=n, seed=seed):
+        calibration = calibration or calibrate(model)
+        backgrounds = sample_backgrounds(n, seed)
+        rng = random.Random(("developers", n, seed).__repr__())
+        responses = [
+            generate_response(f"dev-{index:04d}", background, calibration,
+                              rng, model=model)
+            for index, background in enumerate(backgrounds, start=1)
+        ]
+    telemetry.metrics.counter(
+        "study.respondents_simulated", cohort="developer"
+    ).inc(n)
+    return responses
 
 
 def simulate_students(
     n: int = PAPER_N_STUDENTS, seed: int = 754
 ) -> list[SurveyResponse]:
     """Simulate the student comparison group: suspicion quiz only."""
+    telemetry = get_telemetry()
+    span = telemetry.tracer.span("study.simulate_students", n=n, seed=seed)
+    telemetry.metrics.counter(
+        "study.respondents_simulated", cohort="student"
+    ).inc(n)
     rng = random.Random(("students", n, seed).__repr__())
     distributions = SUSPICION_DISTRIBUTIONS[Cohort.STUDENT.value]
     responses = []
-    for index in range(1, n + 1):
-        suspicion = {
-            qid: _draw_likert(distributions[qid], rng)
-            for qid in SUSPICION_ORDER
-        }
-        responses.append(
-            SurveyResponse(
-                respondent_id=f"student-{index:04d}",
-                cohort=Cohort.STUDENT,
-                background=None,
-                suspicion=suspicion,
+    with span:
+        for index in range(1, n + 1):
+            suspicion = {
+                qid: _draw_likert(distributions[qid], rng)
+                for qid in SUSPICION_ORDER
+            }
+            responses.append(
+                SurveyResponse(
+                    respondent_id=f"student-{index:04d}",
+                    cohort=Cohort.STUDENT,
+                    background=None,
+                    suspicion=suspicion,
+                )
             )
-        )
     return responses

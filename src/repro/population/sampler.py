@@ -17,6 +17,7 @@ from typing import TypeVar
 
 from repro.population import marginals as m
 from repro.survey.background import Background, CodebaseSize
+from repro.telemetry import get_telemetry
 
 __all__ = ["apportion", "allocate_factor", "allocate_multiselect",
            "sample_backgrounds"]
@@ -101,6 +102,15 @@ def sample_backgrounds(
 
     Deterministic in ``(n, seed)``.
     """
+    telemetry = get_telemetry()
+    span = telemetry.tracer.span("population.sample_backgrounds", n=n,
+                                 seed=seed)
+    telemetry.metrics.counter("study.backgrounds_sampled_total").inc(n)
+    with span:
+        return _sample_backgrounds(n, seed)
+
+
+def _sample_backgrounds(n: int, seed: int) -> list[Background]:
     rng = random.Random(("backgrounds", n, seed).__repr__())
     positions = allocate_factor(m.POSITION_COUNTS, n, rng)
     areas = allocate_factor(m.AREA_COUNTS, n, rng)

@@ -23,6 +23,7 @@ from repro.quiz.scoring import (
     score_optimization,
 )
 from repro.quiz.suspicion import SUSPICION_ITEMS
+from repro.telemetry import get_telemetry
 
 __all__ = ["GradeReport", "grade", "run_interactive", "all_questions"]
 
@@ -77,13 +78,19 @@ class GradeReport:
 
 def grade(responses: Mapping[str, TFAnswer | str]) -> GradeReport:
     """Grade a full response set (core + optimization question ids)."""
-    core = score_core(responses)
-    optimization = score_optimization(responses, include_multiple_choice=True)
-    missed = tuple(
-        q.qid for q in all_questions() if q.grade(
-            responses.get(q.qid, TFAnswer.UNANSWERED)
-        ) is False
-    )
+    telemetry = get_telemetry()
+    with telemetry.tracer.span("quiz.grade", responses=len(responses)):
+        core = score_core(responses)
+        optimization = score_optimization(
+            responses, include_multiple_choice=True
+        )
+        missed = tuple(
+            q.qid for q in all_questions() if q.grade(
+                responses.get(q.qid, TFAnswer.UNANSWERED)
+            ) is False
+        )
+    telemetry.metrics.counter("quiz.submissions_graded_total").inc()
+    telemetry.metrics.counter("quiz.questions_missed_total").inc(len(missed))
     return GradeReport(core=core, optimization=optimization, missed=missed)
 
 

@@ -9,6 +9,12 @@ rounded encoding and the remaining flags.
 The exact intermediates use Python's arbitrary precision integers, so
 addition aligns operands exactly rather than with guard/round/sticky
 registers — slower than hardware technique, trivially correct.
+
+Telemetry: each public operation notifies ``env.recorder`` once on
+entry (the hook state lives on the environment — see
+:mod:`repro.telemetry.recorder`), so op counters exist without any
+branching inside the arithmetic; when telemetry is off the cost is a
+single attribute test.
 """
 
 from __future__ import annotations
@@ -62,9 +68,20 @@ def _exact_zero_sign(env: FPEnv) -> int:
 def fp_add(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
     """IEEE addition: ``a + b``."""
     env = env or get_env()
-    fmt = a.fmt
+    if env.recorder is not None:
+        env.recorder.record_op("add", a.fmt.name)
     if a.is_nan or b.is_nan:
         return propagate_nan(env, "add", a, b)
+    return _add_core(a, b, env)
+
+
+def _add_core(a: SoftFloat, b: SoftFloat, env: FPEnv) -> SoftFloat:
+    """Shared non-NaN addition body (sub delegates here with ``-b``).
+
+    Flags stay labelled ``add`` on this path, matching the historical
+    ``a + (-b)`` definition of subtraction.
+    """
+    fmt = a.fmt
     a, b = _apply_daz(env, a), _apply_daz(env, b)
 
     if a.is_inf or b.is_inf:
@@ -100,14 +117,18 @@ def fp_sub(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
     """IEEE subtraction: ``a - b``, defined as ``a + (-b)`` with NaN
     payloads propagated from the original operands."""
     env = env or get_env()
+    if env.recorder is not None:
+        env.recorder.record_op("sub", a.fmt.name)
     if a.is_nan or b.is_nan:
         return propagate_nan(env, "sub", a, b)
-    return fp_add(a, -b, env)
+    return _add_core(a, -b, env)
 
 
 def fp_mul(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
     """IEEE multiplication: ``a * b``."""
     env = env or get_env()
+    if env.recorder is not None:
+        env.recorder.record_op("mul", a.fmt.name)
     fmt = a.fmt
     if a.is_nan or b.is_nan:
         return propagate_nan(env, "mul", a, b)
@@ -135,6 +156,8 @@ def fp_div(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
     question); ``0/0`` and ``inf/inf`` raise *invalid* and return NaN.
     """
     env = env or get_env()
+    if env.recorder is not None:
+        env.recorder.record_op("div", a.fmt.name)
     fmt = a.fmt
     if a.is_nan or b.is_nan:
         return propagate_nan(env, "div", a, b)
@@ -172,6 +195,8 @@ def fp_remainder(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFl
     """IEEE ``remainder(a, b) = a - n*b`` with ``n = rint(a/b)`` rounded
     to nearest-even; always exact for finite operands."""
     env = env or get_env()
+    if env.recorder is not None:
+        env.recorder.record_op("remainder", a.fmt.name)
     fmt = a.fmt
     if a.is_nan or b.is_nan:
         return propagate_nan(env, "remainder", a, b)

@@ -29,6 +29,8 @@ def fp_fma(
     NaN, matching x86 FMA3 behavior.
     """
     env = env or get_env()
+    if env.recorder is not None:
+        env.recorder.record_op("fma", a.fmt.name)
     fmt = a.fmt
 
     # Invalid 0*inf is detected before NaN propagation of `c` (x86 rule),

@@ -26,6 +26,8 @@ def fp_sqrt(a: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
     value raises *invalid* and returns NaN; ``sqrt(+inf) = +inf``.
     """
     env = env or get_env()
+    if env.recorder is not None:
+        env.recorder.record_op("sqrt", a.fmt.name)
     fmt = a.fmt
     if a.is_nan:
         return propagate_nan(env, "sqrt", a)

@@ -1,0 +1,165 @@
+"""The FP-exception event stream.
+
+Every flag-raise the environment layer observes becomes an
+:class:`FPExceptionEvent` — a FlowFPX-style *exception coordinate*
+carrying the operation, the raised flags, a monotonically increasing
+sequence number, and (when tracing is active) the span path at which
+it occurred.  An :class:`ExceptionStream` fans events out to any
+number of subscriber *sinks* (plain callables), so one run can feed a
+bounded in-memory log, a JSONL file, and a live counter at once.
+
+:class:`BoundedEventLog` is the standard retention sink: a
+``collections.deque(maxlen=capacity)`` ring (O(1) eviction — the
+original ``TracingEnv`` used ``list.pop(0)``, quadratic at capacity)
+plus guaranteed retention of the *first* occurrence of each distinct
+flag, the piece of evidence a debugger wants most.
+
+This module deliberately does not import :mod:`repro.fpenv`: flags are
+handled as generic :class:`enum.Flag` values (single-bit members are
+decomposed structurally), which keeps the dependency arrow pointing
+from the environment layer into telemetry and never back.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import enum
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "FPExceptionEvent",
+    "ExceptionStream",
+    "BoundedEventLog",
+    "single_flags",
+]
+
+
+def single_flags(flags: enum.Flag) -> Iterable[enum.Flag]:
+    """The single-bit members set in ``flags`` (composites skipped)."""
+    for member in type(flags):
+        value = member.value
+        if value and not (value & (value - 1)) and member in flags:
+            yield member
+
+
+def _flag_names(flags: enum.Flag) -> list[str]:
+    return sorted(
+        (member.name or "?").lower() for member in single_flags(flags)
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class FPExceptionEvent:
+    """One flag-raise, as an attributable coordinate.
+
+    The first three fields match the legacy ``TraceEvent`` layout so
+    existing positional constructions keep working.
+    """
+
+    sequence: int
+    operation: str
+    flags: enum.Flag
+    fmt: str | None = None
+    span_path: str | None = None
+
+    def render(self) -> str:
+        names = ",".join(_flag_names(self.flags))
+        return f"#{self.sequence} {self.operation}: {names}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "fp_event",
+            "sequence": self.sequence,
+            "operation": self.operation,
+            "flags": _flag_names(self.flags),
+            "fmt": self.fmt,
+            "span": self.span_path,
+        }
+
+
+class ExceptionStream:
+    """Assigns sequence numbers and fans events out to subscribers."""
+
+    def __init__(self) -> None:
+        self._sequence = 0
+        self._sinks: list[Callable[[FPExceptionEvent], None]] = []
+
+    def subscribe(self, sink: Callable[[FPExceptionEvent], None]) -> None:
+        """Register ``sink`` (called with every future event)."""
+        self._sinks.append(sink)
+
+    def unsubscribe(self, sink: Callable[[FPExceptionEvent], None]) -> None:
+        self._sinks.remove(sink)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._sinks)
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted (independent of any sink's retention)."""
+        return self._sequence
+
+    def record(
+        self,
+        operation: str,
+        flags: enum.Flag,
+        *,
+        fmt: str | None = None,
+        span_path: str | None = None,
+    ) -> FPExceptionEvent:
+        """Build the next event and deliver it to every subscriber."""
+        self._sequence += 1
+        event = FPExceptionEvent(
+            self._sequence, operation, flags, fmt=fmt, span_path=span_path
+        )
+        for sink in self._sinks:
+            sink(event)
+        return event
+
+
+class BoundedEventLog:
+    """Ring-buffer sink with first-occurrence-per-flag retention."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: collections.deque[FPExceptionEvent] = collections.deque(
+            maxlen=capacity
+        )
+        self._first_by_flag: dict[enum.Flag, FPExceptionEvent] = {}
+
+    def __call__(self, event: FPExceptionEvent) -> None:
+        self._events.append(event)
+        for member in single_flags(event.flags):
+            self._first_by_flag.setdefault(member, event)
+
+    @property
+    def events(self) -> tuple[FPExceptionEvent, ...]:
+        """Retained events, oldest first (bounded by capacity)."""
+        return tuple(self._events)
+
+    def first_occurrence(self, flag: enum.Flag) -> FPExceptionEvent | None:
+        """The first event that raised ``flag`` (never evicted)."""
+        return self._first_by_flag.get(flag)
+
+    def count(self, flag: enum.Flag) -> int:
+        """Number of retained events that raised ``flag``."""
+        return sum(1 for event in self._events if flag & event.flags)
+
+    def render(self, limit: int = 20) -> str:
+        """The first occurrences plus the most recent events."""
+        lines = ["first occurrences:"]
+        for flag, event in sorted(
+            self._first_by_flag.items(), key=lambda kv: kv[1].sequence
+        ):
+            name = (flag.name or "?").lower()
+            lines.append(f"  {name:<16} {event.render()}")
+        if not self._first_by_flag:
+            lines.append("  (none)")
+        recent = list(self._events)[-limit:]
+        lines.append(f"most recent {len(recent)} event(s):")
+        lines.extend(f"  {event.render()}" for event in recent)
+        return "\n".join(lines)

@@ -1,0 +1,272 @@
+"""Metrics registry: counters, gauges, and bounded histograms.
+
+Metrics are named and optionally labelled —
+``registry.counter("softfloat.ops_total", op="add", format="binary64")``
+— and each (name, labels) pair maps to one instrument for the life of
+the registry.  Histograms keep a bounded, deterministically decimated
+sample set, so quantile summaries (p50/p95/p99) stay exact up to the
+capacity and degrade gracefully (every second order statistic) beyond
+it; ``count``/``sum``/``min``/``max`` are always exact.
+
+:class:`NullMetrics` is the disabled registry: instrument lookups
+return shared no-op instances so instrumented code pays one call and
+no allocation when telemetry is off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "format_metric_name",
+]
+
+_DEFAULT_HISTOGRAM_CAPACITY = 2048
+
+
+def format_metric_name(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    """Canonical ``name{k=v,...}`` spelling used in exports."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Bounded distribution summary with quantile estimates.
+
+    Observations beyond ``capacity`` trigger a deterministic decimation:
+    the retained (sorted) samples are thinned to every second one and
+    the sampling stride doubles, so memory stays bounded while the
+    retained set remains an even spread of the order statistics.
+    """
+
+    __slots__ = ("capacity", "count", "total", "min", "max",
+                 "_samples", "_stride", "_pending")
+    kind = "histogram"
+
+    def __init__(self, capacity: int = _DEFAULT_HISTOGRAM_CAPACITY) -> None:
+        if capacity < 2:
+            raise ValueError("histogram capacity must be at least 2")
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._samples: list[float] = []
+        self._stride = 1
+        self._pending = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self._samples.append(value)
+            if len(self._samples) >= self.capacity:
+                self._samples.sort()
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        """Linear-interpolated quantile of the retained samples
+        (``None`` when nothing has been observed)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        position = q * (len(ordered) - 1)
+        lo = int(position)
+        hi = min(lo + 1, len(ordered) - 1)
+        fraction = position - lo
+        return ordered[lo] * (1.0 - fraction) + ordered[hi] * fraction
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": self.kind, **self.summary()}
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Creates instruments on demand and snapshots them for export."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}
+
+    def _get(self, kind: str, name: str, labels: dict[str, Any],
+             **kwargs: Any) -> Any:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = _KINDS[kind](**kwargs)
+        elif metric.kind != kind:
+            raise TypeError(
+                f"metric {format_metric_name(*key)!r} already registered"
+                f" as a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, *, capacity: int | None = None,
+                  **labels: Any) -> Histogram:
+        kwargs = {} if capacity is None else {"capacity": capacity}
+        return self._get("histogram", name, labels, **kwargs)
+
+    def __iter__(self) -> Iterable:
+        return iter(sorted(self._metrics.items()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view: ``{"name{labels}": {...}}``, sorted."""
+        return {
+            format_metric_name(name, labels): metric.to_dict()
+            for (name, labels), metric in sorted(self._metrics.items())
+        }
+
+    def render(self) -> str:
+        """Human-readable table of every instrument."""
+        from repro.telemetry.export import render_metrics
+
+        return render_metrics(self.snapshot())
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetrics:
+    """The disabled registry: shared no-op instruments, empty snapshot."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, *, capacity: int | None = None,
+                  **labels: Any) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+    def render(self) -> str:
+        return "(metrics disabled)"
+
+
+#: Shared disabled registry.
+NULL_METRICS = NullMetrics()

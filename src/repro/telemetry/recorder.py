@@ -1,0 +1,56 @@
+"""The bridge between the environment layer and telemetry.
+
+:class:`TelemetryRecorder` is what an :class:`~repro.fpenv.FPEnv`
+holds in its ``recorder`` slot while a telemetry session is active.
+The environment layer calls exactly two hooks:
+
+- :meth:`record_op` — once per softfloat operation entry (this is why
+  ``softfloat.ops_total`` counters exist without any per-op branching
+  inside the arithmetic: the op functions test one env attribute);
+- :meth:`record_flags` — from ``FPEnv.raise_flags`` whenever sticky
+  flags are set, which both bumps per-flag counters and emits an
+  :class:`~repro.telemetry.events.FPExceptionEvent` tagged with the
+  current span path.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.telemetry.events import ExceptionStream, single_flags
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+__all__ = ["TelemetryRecorder"]
+
+
+class TelemetryRecorder:
+    """Routes env-layer hooks into a metrics registry and event stream."""
+
+    __slots__ = ("metrics", "stream", "tracer")
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        stream: ExceptionStream,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.metrics = metrics
+        self.stream = stream
+        self.tracer = tracer
+
+    def record_op(self, operation: str, fmt_name: str) -> None:
+        """One softfloat operation executed."""
+        self.metrics.counter(
+            "softfloat.ops_total", op=operation, format=fmt_name
+        ).inc()
+
+    def record_flags(self, operation: str, flags: enum.Flag) -> None:
+        """Sticky flags were raised by ``operation``."""
+        span_path = self.tracer.current_path() if self.tracer else None
+        self.stream.record(operation, flags, span_path=span_path or None)
+        counter = self.metrics.counter
+        for member in single_flags(flags):
+            counter(
+                "fpenv.exceptions_total", flag=(member.name or "?").lower()
+            ).inc()

@@ -1,0 +1,138 @@
+"""The ambient telemetry session.
+
+One :class:`Telemetry` object bundles the three pillars — tracer,
+metrics registry, FP-exception stream — plus the recorder that plugs
+them into the environment layer.  The active instance is thread-local
+(mirroring :mod:`repro.fpenv.env`); :data:`NULL_TELEMETRY` is the
+default and makes every instrumented call site a no-op.
+
+Usage::
+
+    with telemetry_session() as tel:
+        run_conformance(...)
+    print(tel.tracer.render_tree())
+    print(tel.metrics.render())
+
+New :class:`~repro.fpenv.FPEnv` instances pick up the active
+recorder automatically (see ``FPEnv.__post_init__``), so code that
+creates fresh environments deep inside a run — the oracle's
+differential loop, ``env_context`` blocks — is observed without any
+parameter threading.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+from collections.abc import Iterator
+
+from repro.telemetry.events import BoundedEventLog, ExceptionStream
+from repro.telemetry.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.telemetry.recorder import TelemetryRecorder
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+    "active_recorder",
+]
+
+_DEFAULT_EVENT_CAPACITY = 10_000
+
+
+@dataclasses.dataclass(frozen=True)
+class Telemetry:
+    """One observability session: tracer + metrics + exception stream."""
+
+    tracer: Tracer | NullTracer
+    metrics: MetricsRegistry | NullMetrics
+    stream: ExceptionStream
+    events: BoundedEventLog | None
+    recorder: TelemetryRecorder | None
+    enabled: bool
+
+    @staticmethod
+    def create(
+        *,
+        event_capacity: int = _DEFAULT_EVENT_CAPACITY,
+        max_spans: int | None = None,
+    ) -> "Telemetry":
+        """A fully enabled session with an in-memory retention sink."""
+        tracer = Tracer() if max_spans is None else Tracer(max_spans)
+        metrics = MetricsRegistry()
+        stream = ExceptionStream()
+        events = BoundedEventLog(event_capacity)
+        stream.subscribe(events)
+        recorder = TelemetryRecorder(metrics, stream, tracer)
+        return Telemetry(
+            tracer=tracer,
+            metrics=metrics,
+            stream=stream,
+            events=events,
+            recorder=recorder,
+            enabled=True,
+        )
+
+
+#: The default, disabled session: every hook is a no-op.
+NULL_TELEMETRY = Telemetry(
+    tracer=NULL_TRACER,
+    metrics=NULL_METRICS,
+    stream=ExceptionStream(),
+    events=None,
+    recorder=None,
+    enabled=False,
+)
+
+
+class _TelemetryState(threading.local):
+    def __init__(self) -> None:
+        self.current: Telemetry = NULL_TELEMETRY
+
+
+_STATE = _TelemetryState()
+
+
+def get_telemetry() -> Telemetry:
+    """The thread's active telemetry session (NULL_TELEMETRY when off)."""
+    return _STATE.current
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as active; returns the previous session."""
+    previous = _STATE.current
+    _STATE.current = telemetry
+    return previous
+
+
+def active_recorder() -> TelemetryRecorder | None:
+    """The active session's env-layer recorder (``None`` when off).
+
+    This is the hot accessor ``FPEnv.__post_init__`` uses; keep it a
+    plain attribute chase.
+    """
+    return _STATE.current.recorder
+
+
+@contextlib.contextmanager
+def telemetry_session(
+    telemetry: Telemetry | None = None,
+    *,
+    event_capacity: int = _DEFAULT_EVENT_CAPACITY,
+) -> Iterator[Telemetry]:
+    """Run a block under an enabled telemetry session.
+
+    The session object outlives the block, so callers can export its
+    spans/metrics/events after the work finishes.  The previous
+    session (usually :data:`NULL_TELEMETRY`) is restored on exit.
+    """
+    session = telemetry or Telemetry.create(event_capacity=event_capacity)
+    previous = set_telemetry(session)
+    try:
+        yield session
+    finally:
+        set_telemetry(previous)

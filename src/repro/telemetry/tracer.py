@@ -1,0 +1,231 @@
+"""Span tracing: nested, timed scopes with attributes.
+
+A :class:`Tracer` records a tree of *spans* — named scopes with wall
+and CPU time plus arbitrary attributes — via a context-manager API
+(``with tracer.span("oracle.run", format="binary32"):``) or a
+decorator (``@tracer.traced()``).  Finished spans accumulate as
+:class:`SpanRecord` values that the exporters in
+:mod:`repro.telemetry.export` dump to JSONL and render as a tree.
+
+Disabled tracing must cost nothing: :class:`NullTracer` exposes the
+same surface but ``span()`` returns a shared no-op context manager, so
+an instrumented call site pays one attribute lookup and one trivial
+call when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = ["SpanRecord", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+_DEFAULT_MAX_SPANS = 100_000
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    ``start`` is seconds since the tracer's epoch (its creation), so
+    records from one tracer are mutually comparable; ``parent_id`` is 0
+    for roots.
+    """
+
+    span_id: int
+    parent_id: int
+    name: str
+    path: str
+    start: float
+    wall: float
+    cpu: float
+    attrs: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "path": self.path,
+            "start": round(self.start, 9),
+            "wall": round(self.wall, 9),
+            "cpu": round(self.cpu, 9),
+            "attrs": self.attrs,
+        }
+
+
+class Span:
+    """An in-flight span; also its own context manager."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_id", "_parent_id",
+                 "_path", "_start", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute on the open span."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._parent_id = stack[-1]._id if stack else 0
+        self._id = tracer._next_id()
+        parent_path = stack[-1]._path if stack else ""
+        self._path = f"{parent_path}/{self.name}" if parent_path else self.name
+        stack.append(self)
+        self._start = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = time.perf_counter() - self._start
+        cpu = time.process_time() - self._cpu0
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(SpanRecord(
+            span_id=self._id,
+            parent_id=self._parent_id,
+            name=self.name,
+            path=self._path,
+            start=self._start - self._tracer._epoch,
+            wall=wall,
+            cpu=cpu,
+            attrs=self.attrs,
+        ))
+
+
+class Tracer:
+    """Collects a bounded list of finished spans (oldest kept)."""
+
+    def __init__(self, max_spans: int = _DEFAULT_MAX_SPANS) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be positive")
+        self._max_spans = max_spans
+        self._records: list[SpanRecord] = []
+        self._dropped = 0
+        self._epoch = time.perf_counter()
+        self._counter = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- internals -----------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._counter += 1
+            return self._counter
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._records) < self._max_spans:
+                self._records.append(record)
+            else:
+                self._dropped += 1
+
+    # -- public API ----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A context manager timing the enclosed block as a span."""
+        return Span(self, name, attrs)
+
+    def traced(self, name: str | None = None,
+               **attrs: Any) -> Callable[[Callable], Callable]:
+        """Decorator form: the function body becomes a span."""
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name, **attrs):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def current_path(self) -> str:
+        """Slash-joined names of the open spans ('' outside any span)."""
+        stack = self._stack()
+        return stack[-1]._path if stack else ""
+
+    @property
+    def spans(self) -> tuple[SpanRecord, ...]:
+        """Finished spans, in completion order."""
+        return tuple(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded after ``max_spans`` was reached."""
+        return self._dropped
+
+    def render_tree(self) -> str:
+        """Indented tree of finished spans with wall/CPU times."""
+        from repro.telemetry.export import render_span_tree
+
+        return render_span_tree([r.to_dict() for r in self._records])
+
+
+class _NullSpan:
+    """Shared do-nothing span."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: same surface, no recording, no timing."""
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def traced(self, name: str | None = None,
+               **attrs: Any) -> Callable[[Callable], Callable]:
+        def decorate(fn: Callable) -> Callable:
+            return fn
+
+        return decorate
+
+    def current_path(self) -> str:
+        return ""
+
+    @property
+    def spans(self) -> tuple[SpanRecord, ...]:
+        return ()
+
+    @property
+    def dropped(self) -> int:
+        return 0
+
+    def render_tree(self) -> str:
+        return "(tracing disabled)"
+
+
+#: Shared disabled tracer (stateless, safe to reuse everywhere).
+NULL_TRACER = NullTracer()

@@ -149,7 +149,23 @@ class TestRunConformance:
     def test_reproducible_by_seed(self):
         a = run_conformance(TINY8, ["mul"], budget=300, seed=42)
         b = run_conformance(TINY8, ["mul"], budget=300, seed=42)
-        assert a.to_dict() == b.to_dict()
+
+        def without_timing(report):
+            data = report.to_dict()
+            for stats in data["ops"].values():
+                stats.pop("wall_seconds")
+                stats.pop("evals_per_sec")
+            return data
+
+        assert without_timing(a) == without_timing(b)
+
+    def test_op_stats_record_wall_time(self):
+        report = run_conformance(TINY8, ["mul"], budget=300, seed=42)
+        stats = report.op_stats["mul"]
+        assert stats.wall_seconds > 0
+        assert stats.evals_per_sec > 0
+        data = stats.to_dict()
+        assert data["wall_seconds"] > 0 and data["evals_per_sec"] > 0
 
 
 class TestReportOutput:

@@ -1,0 +1,106 @@
+"""CLI: telemetry subcommand and the --trace/--metrics-out flags."""
+
+import json
+
+from repro.cli import main
+
+
+class TestOracleRunExports:
+    def test_metrics_out_has_per_op_counters_and_latency(self, tmp_path,
+                                                         capsys):
+        metrics_path = tmp_path / "m.json"
+        code = main([
+            "oracle", "run", "--format", "binary16", "--ops", "add,mul",
+            "--budget", "200", "--no-native",
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["oracle.evals_total{op=add}"]["value"] == 200
+        assert snapshot["oracle.evals_total{op=mul}"]["value"] == 200
+        assert snapshot["softfloat.ops_total{format=binary16,op=add}"][
+            "value"] == 200
+        latency = snapshot["oracle.eval_seconds{op=add}"]
+        assert latency["count"] == 200
+        assert latency["p50"] is not None and latency["p95"] is not None
+        assert snapshot["oracle.evals_per_sec{op=add}"]["value"] > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_out_is_valid_jsonl(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        code = main([
+            "oracle", "run", "--format", "binary16", "--ops", "add",
+            "--budget", "100", "--no-native", "--trace", str(trace_path),
+        ])
+        assert code == 0
+        types = set()
+        names = set()
+        for line in trace_path.read_text().splitlines():
+            record = json.loads(line)
+            types.add(record["type"])
+            if record["type"] == "span":
+                names.add(record["name"])
+        assert "span" in types
+        assert {"oracle.run", "oracle.op"} <= names
+
+
+class TestTelemetryView:
+    def test_view_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        main(["oracle", "run", "--format", "binary16", "--ops", "add",
+              "--budget", "100", "--no-native", "--trace", str(trace_path)])
+        capsys.readouterr()
+        assert main(["telemetry", "view", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "oracle.run" in out and "wall=" in out
+
+    def test_view_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        main(["oracle", "run", "--format", "binary16", "--ops", "add",
+              "--budget", "100", "--no-native",
+              "--metrics-out", str(metrics_path)])
+        capsys.readouterr()
+        assert main(["telemetry", "view", str(metrics_path)]) == 0
+        assert "oracle.evals_total{op=add}" in capsys.readouterr().out
+
+    def test_view_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["telemetry", "view", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_view_garbage_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "garbage.txt"
+        path.write_text("not json at all\n")
+        assert main(["telemetry", "view", str(path)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestTelemetryDemo:
+    def test_demo_prints_tree_and_metrics(self, capsys):
+        assert main(["telemetry", "demo", "--budget", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle.run" in out
+        assert "softfloat.ops_total" in out
+        assert "first occurrences:" in out
+
+
+class TestStudyExports:
+    def test_study_trace_and_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.json"
+        code = main([
+            "study", "--developers", "10", "--students", "3",
+            "--figure", "Figure 14",
+            "--trace", str(trace_path), "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["study.respondents_simulated{cohort=developer}"][
+            "value"] == 10
+        assert snapshot["study.respondents_simulated{cohort=student}"][
+            "value"] == 3
+        names = {
+            json.loads(line)["name"]
+            for line in trace_path.read_text().splitlines()
+            if json.loads(line)["type"] == "span"
+        }
+        assert "study.run" in names and "study.analyze" in names

@@ -1,0 +1,115 @@
+"""FP-exception stream, bounded log, and the TracingEnv shim."""
+
+import enum
+
+import pytest
+
+from repro.fpenv import FPFlag, TracingEnv
+from repro.softfloat import fp_add, fp_div, sf
+from repro.telemetry import (
+    BoundedEventLog,
+    ExceptionStream,
+    FPExceptionEvent,
+    single_flags,
+)
+
+
+class TestSingleFlags:
+    def test_decomposes_composites(self):
+        combined = FPFlag.INEXACT | FPFlag.UNDERFLOW
+        members = set(single_flags(combined))
+        assert members == {FPFlag.INEXACT, FPFlag.UNDERFLOW}
+
+    def test_works_on_any_flag_enum(self):
+        class Other(enum.Flag):
+            A = 1
+            B = 2
+            BOTH = 3
+
+        assert set(single_flags(Other.BOTH)) == {Other.A, Other.B}
+
+
+class TestExceptionStream:
+    def test_sequences_and_fanout(self):
+        stream = ExceptionStream()
+        seen: list[FPExceptionEvent] = []
+        stream.subscribe(seen.append)
+        stream.record("add", FPFlag.INEXACT)
+        stream.record("div", FPFlag.DIV_BY_ZERO, span_path="a/b")
+        assert [event.sequence for event in seen] == [1, 2]
+        assert seen[1].span_path == "a/b"
+        assert stream.emitted == 2
+
+    def test_unsubscribe(self):
+        stream = ExceptionStream()
+        seen: list[FPExceptionEvent] = []
+        stream.subscribe(seen.append)
+        stream.unsubscribe(seen.append)
+        stream.record("add", FPFlag.INEXACT)
+        assert seen == []
+        assert stream.subscriber_count == 0
+
+    def test_multiple_sinks_all_receive(self):
+        stream = ExceptionStream()
+        first: list[FPExceptionEvent] = []
+        second: list[FPExceptionEvent] = []
+        stream.subscribe(first.append)
+        stream.subscribe(second.append)
+        stream.record("mul", FPFlag.OVERFLOW)
+        assert len(first) == len(second) == 1
+
+
+class TestBoundedEventLog:
+    def test_ring_buffer_evicts_oldest(self):
+        log = BoundedEventLog(capacity=3)
+        for sequence in range(1, 6):
+            log(FPExceptionEvent(sequence, "add", FPFlag.INEXACT))
+        assert [event.sequence for event in log.events] == [3, 4, 5]
+
+    def test_first_occurrence_survives_eviction(self):
+        log = BoundedEventLog(capacity=2)
+        log(FPExceptionEvent(1, "div", FPFlag.DIV_BY_ZERO))
+        for sequence in range(2, 10):
+            log(FPExceptionEvent(sequence, "add", FPFlag.INEXACT))
+        first = log.first_occurrence(FPFlag.DIV_BY_ZERO)
+        assert first is not None and first.sequence == 1
+        assert log.first_occurrence(FPFlag.OVERFLOW) is None
+
+    def test_count_over_retained(self):
+        log = BoundedEventLog(capacity=10)
+        log(FPExceptionEvent(1, "add", FPFlag.INEXACT | FPFlag.UNDERFLOW))
+        log(FPExceptionEvent(2, "add", FPFlag.INEXACT))
+        assert log.count(FPFlag.INEXACT) == 2
+        assert log.count(FPFlag.UNDERFLOW) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedEventLog(capacity=0)
+
+    def test_render_mentions_first_occurrences(self):
+        log = BoundedEventLog()
+        log(FPExceptionEvent(1, "add", FPFlag.INEXACT))
+        text = log.render()
+        assert "first occurrences:" in text
+        assert "#1 add: inexact" in text
+
+
+class TestTracingEnvShim:
+    """TracingEnv is now a facade over the event stream."""
+
+    def test_capacity_is_a_deque_maxlen(self):
+        env = TracingEnv(capacity=2)
+        fp_add(sf(0.1), sf(0.2), env)
+        fp_div(sf(1.0), sf(0.0), env)
+        fp_div(sf(0.0), sf(0.0), env)
+        assert len(env.events) == 2
+        # Oldest evicted in O(1); latest two retained.
+        assert [event.operation for event in env.events] == ["div", "div"]
+
+    def test_extra_sink_sees_live_events(self):
+        env = TracingEnv()
+        seen = []
+        env.subscribe(seen.append)
+        fp_add(sf(0.1), sf(0.2), env)
+        assert len(seen) == 1
+        assert seen[0].flags & FPFlag.INEXACT

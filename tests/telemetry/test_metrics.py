@@ -1,0 +1,128 @@
+"""Metrics registry: instruments, labels, and histogram quantiles."""
+
+import pytest
+
+from repro.telemetry import NULL_METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.metrics import format_metric_name
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+
+class TestHistogram:
+    def test_empty_quantiles_are_none(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.5) is None
+        assert histogram.mean is None
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None and summary["p99"] is None
+
+    def test_single_sample_is_every_quantile(self):
+        histogram = Histogram()
+        histogram.observe(7.0)
+        assert histogram.quantile(0.0) == 7.0
+        assert histogram.quantile(0.5) == 7.0
+        assert histogram.quantile(1.0) == 7.0
+        assert histogram.min == histogram.max == 7.0
+        assert histogram.mean == 7.0
+
+    def test_quantile_bounds_checked(self):
+        histogram = Histogram()
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_exact_quantiles_below_capacity(self):
+        histogram = Histogram(capacity=256)
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+        assert histogram.quantile(0.5) == pytest.approx(50.5)
+        assert histogram.quantile(0.95) == pytest.approx(95.05)
+
+    def test_decimation_keeps_count_exact_and_quantiles_close(self):
+        histogram = Histogram(capacity=64)
+        n = 10_000
+        for value in range(n):
+            histogram.observe(float(value))
+        assert histogram.count == n
+        assert histogram.min == 0.0 and histogram.max == float(n - 1)
+        # Retained samples stay bounded and spread across the range.
+        assert len(histogram._samples) < 64
+        p50 = histogram.quantile(0.5)
+        assert p50 is not None
+        assert abs(p50 - n / 2) < n * 0.2
+
+    def test_capacity_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            Histogram(capacity=1)
+
+
+class TestRegistry:
+    def test_same_name_labels_is_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", op="add")
+        b = registry.counter("ops", op="add")
+        c = registry.counter("ops", op="mul")
+        assert a is b and a is not c
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", op="add", format="binary32")
+        b = registry.counter("ops", format="binary32", op="add")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_keys_and_contents(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", op="add").inc(3)
+        registry.gauge("rate").set(1.5)
+        registry.histogram("latency").observe(0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["ops_total{op=add}"] == {"type": "counter", "value": 3}
+        assert snapshot["rate"]["value"] == 1.5
+        assert snapshot["latency"]["count"] == 1
+        assert len(registry) == 3
+
+    def test_format_metric_name(self):
+        assert format_metric_name("n", ()) == "n"
+        assert format_metric_name(
+            "n", (("a", "1"), ("b", "2"))
+        ) == "n{a=1,b=2}"
+
+
+class TestNullMetrics:
+    def test_instruments_are_shared_noops(self):
+        a = NULL_METRICS.counter("anything", op="add")
+        b = NULL_METRICS.counter("else")
+        assert a is b
+        a.inc(100)
+        assert a.value == 0
+        NULL_METRICS.gauge("g").set(5.0)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.snapshot() == {}
+        assert len(NULL_METRICS) == 0

@@ -1,0 +1,113 @@
+"""Span tracing: nesting, timing, bounds, and the null tracer."""
+
+import time
+
+import pytest
+
+from repro.telemetry import NULL_TRACER, Tracer
+from repro.telemetry.tracer import _NULL_SPAN
+
+
+class TestSpans:
+    def test_nesting_builds_parent_links_and_paths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        by_name = {record.name: record for record in tracer.spans}
+        assert by_name["outer"].parent_id == 0
+        assert by_name["middle"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].parent_id == by_name["middle"].span_id
+        assert by_name["inner"].path == "outer/middle/inner"
+
+    def test_completion_order_is_innermost_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [record.name for record in tracer.spans] == ["outer", "inner"][::-1]
+
+    def test_timing_is_monotone(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                time.sleep(0.002)
+        child, parent = tracer.spans[0], tracer.spans[1]
+        assert child.wall >= 0.002
+        # The parent's wall clock covers the child's.
+        assert parent.wall >= child.wall
+        assert parent.start <= child.start
+        assert child.cpu >= 0.0
+
+    def test_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("op", fixed="yes") as span:
+            span.set("late", 42)
+        record = tracer.spans[0]
+        assert record.attrs == {"fixed": "yes", "late": 42}
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        record = tracer.spans[0]
+        assert record.attrs["error"] == "RuntimeError"
+
+    def test_current_path(self):
+        tracer = Tracer()
+        assert tracer.current_path() == ""
+        with tracer.span("a"):
+            with tracer.span("b"):
+                assert tracer.current_path() == "a/b"
+        assert tracer.current_path() == ""
+
+    def test_decorator(self):
+        tracer = Tracer()
+
+        @tracer.traced()
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert tracer.spans[0].name.endswith("work")
+
+    def test_max_spans_bound(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_render_tree_nests(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+        tree = tracer.render_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  leaf")
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        span = NULL_TRACER.span("anything", key="value")
+        assert span is _NULL_SPAN
+        with span as entered:
+            entered.set("ignored", 1)
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.dropped == 0
+        assert NULL_TRACER.current_path() == ""
+
+    def test_traced_returns_function_unwrapped(self):
+        def fn():
+            return "x"
+
+        assert NULL_TRACER.traced()(fn) is fn
