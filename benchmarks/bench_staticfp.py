@@ -1,0 +1,71 @@
+"""Static analyzer benchmarks: abstract interpretation, lint engine,
+and the gotcha-corpus sweep.
+
+The analyzer is meant to be cheap enough to run on every expression the
+toolchain touches, so these benchmarks double as a smoke test: each one
+asserts the analysis result it times (detection stays 16/16, safe
+verdicts stay safe) rather than just measuring wall-clock.
+
+Run with ``pytest benchmarks/bench_staticfp.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+from repro.optsim.machine import STRICT, optimization_level
+from repro.optsim.parser import parse_expr
+from repro.staticfp import analyze, lint
+from repro.staticfp.corpus import GOTCHA_CORPUS, precision_summary
+from repro.staticfp.safety import predict_pass_safety
+
+MIDSIZE = "sqrt(a*a + b*b) / (a + b + c) - fma(a, b, c) + (a - b) * (a + b)"
+
+
+def test_analyze_midsize_expression(benchmark):
+    expr = parse_expr(MIDSIZE)
+    config = optimization_level("-O3")
+
+    analysis = benchmark(analyze, expr, None, config)
+
+    root = analysis.root
+    assert root is not None
+    assert len(analysis.order) == len(set(id(n) for n in analysis.order))
+    print(f"\nanalyzed {len(analysis.order)} unique nodes")
+
+
+def test_lint_end_to_end(benchmark):
+    config = optimization_level("--ffast-math")
+
+    report = benchmark(lint, MIDSIZE, config)
+
+    assert report.has_findings
+    print(f"\n{len(report.diagnostics)} diagnostics, "
+          f"ids: {sorted(report.gotcha_ids)}")
+
+
+def test_pass_safety_prediction(benchmark):
+    expr = parse_expr("a*b + c")
+    config = optimization_level("-O3")
+
+    report = benchmark(predict_pass_safety, expr, config)
+
+    assert not report.value_safe  # fma contraction is value-changing
+
+
+def test_strict_stays_safe(benchmark):
+    expr = parse_expr(MIDSIZE)
+
+    report = benchmark(predict_pass_safety, expr, STRICT)
+
+    assert report.value_safe
+
+
+def test_corpus_sweep(benchmark):
+    """The full 16-gotcha + 6-clean corpus, asserting perfect recall."""
+    summary = benchmark(precision_summary)
+
+    assert summary["gotchas_detected"] == len(GOTCHA_CORPUS)
+    assert summary["missed"] == []
+    assert summary["false_positives"] == []
+    print(f"\ncorpus: {summary['gotchas_detected']}"
+          f"/{summary['gotchas_total']} detected, "
+          f"{len(summary['false_positives'])} false positives")

@@ -76,7 +76,29 @@ def fast_math_story() -> None:
     print("   -fassociative-math cancels t with -t and y with -y: the")
     print("   compensated algorithm silently degrades to naive "
           "summation.")
-    print("   (This is why numerics libraries pin their FP flags.)")
+    print("   (This is why numerics libraries pin their FP flags.)\n")
+
+
+def lint_story() -> None:
+    print("== 5. the linter sees it coming — without running anything ==")
+    from repro.optsim.machine import STRICT, optimization_level
+    from repro.optsim.parser import parse_expr
+    from repro.staticfp import lint
+    from repro.staticfp.safety import predict_pass_safety
+
+    expr = "((t + y) - t) - y"
+    bindings = {"t": ("1e8", "1e9"), "y": ("1e-8", "1e-7")}
+    strict = predict_pass_safety(parse_expr(expr), STRICT, bindings)
+    fast = lint(expr, optimization_level("--ffast-math"), bindings)
+    print("   static verdict at strict IEEE: "
+          f"value-preserving = {strict.value_safe}")
+    print("   the same expression under --ffast-math:")
+    for diag in fast.diagnostics:
+        if diag.severity != "info":
+            print(f"     [{diag.severity}] {diag.gotcha_id} @ {diag.node}: "
+                  f"{diag.message}")
+    print("   `python -m repro lint` gives you this scan at the shell;")
+    print("   exit code 1 means the flags you chose change your results.")
 
 
 if __name__ == "__main__":
@@ -84,3 +106,4 @@ if __name__ == "__main__":
     dot_story()
     quadratic_story()
     fast_math_story()
+    lint_story()

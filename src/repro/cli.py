@@ -15,6 +15,10 @@ Commands
 ``optsim``
     Compile an expression at an optimization level and search for a
     divergence from strict IEEE.
+``lint``
+    Statically analyze an expression for floating-point hazards
+    (cancellation, absorption, overflow, NaN introduction, unsafe
+    rewrites) without running it.
 ``shadow``
     Shadow-evaluate an expression at high precision.
 ``mca``
@@ -146,7 +150,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-validate the strict-IEEE side of the verdict "
              "against the exact-rounding oracle",
     )
+    optsim.add_argument(
+        "--analyze", action="store_true",
+        help="also run the static analyzer: lint diagnostics, per-pass "
+             "safety verdicts, and static-vs-dynamic agreement",
+    )
     _add_telemetry_flags(optsim)
+
+    lint = sub.add_parser(
+        "lint", help="statically analyze an expression for FP hazards",
+    )
+    lint.add_argument(
+        "expr", nargs="?", default=None,
+        help="expression, e.g. '(a + b) - a' (omit with --corpus)",
+    )
+    lint.add_argument(
+        "--level", default="strict",
+        help="machine configuration: strict (default), -O0..-O3, -Ofast,"
+             " --ffast-math, or a full command line",
+    )
+    lint.add_argument(
+        "--format", default=None, dest="fmt",
+        choices=["tiny8", "e4m3", "e5m2", "bfloat16", "binary16",
+                 "binary32", "binary64", "binary128"],
+        help="analysis format (default: the level's format, binary64)",
+    )
+    lint.add_argument(
+        "--bind-range", action="append", default=[], metavar="NAME=LO,HI",
+        help="variable range (repeatable); NAME=V pins a point",
+    )
+    lint.add_argument(
+        "--assume-nan-inputs", action="store_true",
+        help="let unbound variables be NaN too (default: NaN verdicts "
+             "mark where NaNs are introduced, not propagated)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit the diagnostics as JSON instead of text",
+    )
+    lint.add_argument(
+        "--explain", action="store_true",
+        help="also print the per-node abstract values and pass verdicts",
+    )
+    lint.add_argument(
+        "--corpus", action="store_true",
+        help="lint the built-in gotcha corpus, print the precision "
+             "summary, and diff against the golden file",
+    )
+    lint.add_argument(
+        "--write-golden", action="store_true",
+        help="with --corpus: regenerate the golden diagnostics file",
+    )
+    _add_telemetry_flags(lint)
 
     shadow = sub.add_parser(
         "shadow", help="shadow-evaluate an expression at high precision",
@@ -352,7 +407,38 @@ def _cmd_optsim(args: argparse.Namespace) -> int:
             print("non-standard permissions: " + "; ".join(reasons))
         report = find_divergence(expr, config, oracle_check=args.oracle_check)
         print(report.describe())
+        if args.analyze:
+            from repro.staticfp import lint, predict_pass_safety
+
+            print()
+            print(lint(expr, config).render())
+            safety = predict_pass_safety(expr, config)
+            print()
+            print(safety.describe())
+            print()
+            print(_agreement_line(safety, report))
     return 0
+
+
+def _agreement_line(safety, report) -> str:
+    """One-line static-vs-dynamic verdict comparison.
+
+    The static contract is one-directional: a safe verdict must mean
+    the search finds nothing, but an unsafe verdict is an admission of
+    ignorance, so "unsafe + no divergence found" is still agreement.
+    """
+    if safety.value_safe and report.value_diverged:
+        return ("static/dynamic DISAGREE: statically value-preserving, "
+                "but the search found a value divergence (analyzer bug)")
+    if safety.flags_safe and report.diverged:
+        return ("static/dynamic DISAGREE: statically flag-preserving, "
+                "but the search found a divergence (analyzer bug)")
+    static = "value-preserving" if safety.value_safe \
+        else "possibly-value-changing"
+    dynamic = "found a divergence" if report.diverged \
+        else "found no divergence"
+    return (f"static/dynamic agreement: statically {static}, "
+            f"dynamic search {dynamic}")
 
 
 def _cmd_oracle(args: argparse.Namespace) -> int:
@@ -407,6 +493,117 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
             return 2
         print(f"\nwrote JSON conformance report to {args.json}")
     return 0 if report.clean else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.errors import OptimizationError, ParseError
+    from repro.optsim import optimization_level
+
+    if args.corpus:
+        if args.expr is not None:
+            print("--corpus does not take an expression", file=sys.stderr)
+            return 2
+        return _lint_corpus(args)
+    if args.expr is None:
+        print("expected an expression (or --corpus)", file=sys.stderr)
+        return 2
+    try:
+        config = optimization_level(args.level)
+    except ValueError:
+        from repro.optsim import config_from_flags
+
+        try:
+            config = config_from_flags(args.level)
+        except ValueError as exc:
+            print(f"bad --level: {exc}", file=sys.stderr)
+            return 2
+    if args.fmt is not None:
+        from repro.softfloat import STANDARD_FORMATS
+
+        config = config.replace(
+            fmt=next(f for f in STANDARD_FORMATS if f.name == args.fmt)
+        )
+    bindings = _parse_range_bindings(args.bind_range)
+    if bindings is None:
+        return 2
+    from repro.staticfp import lint
+
+    try:
+        with _telemetry_scope(args):
+            report = lint(
+                args.expr, config, bindings,
+                assume_nan_inputs=args.assume_nan_inputs,
+            )
+    except (OptimizationError, ParseError) as exc:
+        print(f"cannot analyze {args.expr!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+        if args.explain:
+            print()
+            print(report.analysis.describe())
+            print()
+            print(report.safety.describe())
+    return 1 if report.has_findings else 0
+
+
+def _lint_corpus(args: argparse.Namespace) -> int:
+    from repro.staticfp.corpus import (
+        GOLDEN_PATH,
+        check_golden,
+        precision_summary,
+        write_golden,
+    )
+
+    with _telemetry_scope(args):
+        if args.write_golden:
+            snapshot = write_golden()
+            print(f"wrote {len(snapshot)} golden entries to {GOLDEN_PATH}")
+        summary = precision_summary()
+        print(f"gotchas detected: {summary['gotchas_detected']}"
+              f"/{summary['gotchas_total']}")
+        if summary["missed"]:
+            print("  missed: " + ", ".join(summary["missed"]))
+        print(f"clean-corpus false positives:"
+              f" {len(summary['false_positives'])}/{summary['clean_total']}")
+        if summary["false_positives"]:
+            print("  " + ", ".join(summary["false_positives"]))
+        drift = check_golden()
+    if drift:
+        print(f"golden drift ({len(drift)} entries):")
+        for line in drift:
+            print("  " + line)
+        return 1
+    print("golden file: no drift")
+    ok = (
+        summary["gotchas_detected"] == summary["gotchas_total"]
+        and not summary["false_positives"]
+    )
+    return 0 if ok else 1
+
+
+def _parse_range_bindings(pairs):
+    """``NAME=LO,HI`` range / ``NAME=V`` point bindings for lint.
+
+    Values stay strings so exact decimal literals reach the analyzer's
+    correctly-rounded parser untouched.
+    """
+    bindings: dict[str, object] = {}
+    for item in pairs:
+        name, eq, value = item.partition("=")
+        if not name or not eq or not value:
+            print(f"bad --bind-range {item!r}; expected NAME=LO,HI or"
+                  f" NAME=VALUE", file=sys.stderr)
+            return None
+        lo, comma, hi = value.partition(",")
+        if comma and (not lo or not hi):
+            print(f"bad --bind-range {item!r}; expected NAME=LO,HI",
+                  file=sys.stderr)
+            return None
+        bindings[name] = (lo, hi) if comma else value
+    return bindings
 
 
 def _cmd_shadow(args: argparse.Namespace) -> int:
@@ -559,6 +756,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "spy": _cmd_spy,
     "optsim": _cmd_optsim,
+    "lint": _cmd_lint,
     "shadow": _cmd_shadow,
     "mca": _cmd_mca,
     "drill": _cmd_drill,

@@ -20,7 +20,6 @@ from fractions import Fraction
 
 from repro.errors import ReproError
 from repro.fpenv.env import FPEnv
-from repro.fpenv.rounding import RoundingMode
 from repro.softfloat import (
     BINARY64,
     SoftFloat,
@@ -33,6 +32,7 @@ from repro.softfloat import (
     fp_sub,
     sf,
 )
+from repro.softfloat.directed import down_env, up_env
 from repro.softfloat.formats import FloatFormat
 
 __all__ = ["Interval", "IntervalError"]
@@ -43,11 +43,11 @@ class IntervalError(ReproError, ValueError):
 
 
 def _down(fmt: FloatFormat) -> FPEnv:
-    return FPEnv(rounding=RoundingMode.TOWARD_NEGATIVE)
+    return down_env()
 
 
 def _up(fmt: FloatFormat) -> FPEnv:
-    return FPEnv(rounding=RoundingMode.TOWARD_POSITIVE)
+    return up_env()
 
 
 @dataclasses.dataclass(frozen=True)

@@ -25,7 +25,9 @@ __all__ = [
     "UnOp",
     "expr_variables",
     "expr_size",
+    "unique_size",
     "walk",
+    "walk_unique",
 ]
 
 
@@ -156,21 +158,55 @@ class FMA(Expr):
 
 
 def walk(expr: Expr) -> Iterator[Expr]:
-    """Pre-order traversal of every node in the tree."""
+    """Pre-order traversal of every node in the tree.
+
+    A node object shared between several parents (a DAG built by the
+    rewrite passes, which reuse subtree objects) is yielded once per
+    *occurrence*; use :func:`walk_unique` to visit each distinct node
+    object exactly once.
+    """
     yield expr
     for child in expr.children():
         yield from walk(child)
 
 
+def walk_unique(expr: Expr) -> Iterator[Expr]:
+    """Pre-order traversal visiting each node *object* exactly once.
+
+    Rewrite passes reuse subtree objects, so an optimized expression is
+    really a DAG; the plain :func:`walk` revisits shared subtrees once
+    per parent (exponentially, in the worst case).  Memoizing on object
+    identity — not structural equality, so two equal-but-distinct
+    source occurrences are still both visited — makes traversal linear
+    in the number of distinct nodes and lets the static analyzer emit
+    one diagnostic per node.
+    """
+    seen: set[int] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(reversed(node.children()))
+
+
 def expr_variables(expr: Expr) -> tuple[str, ...]:
     """Free variable names in first-occurrence order."""
     seen: dict[str, None] = {}
-    for node in walk(expr):
+    for node in walk_unique(expr):
         if isinstance(node, Var):
             seen.setdefault(node.name, None)
     return tuple(seen)
 
 
 def expr_size(expr: Expr) -> int:
-    """Total node count (a proxy for evaluation cost)."""
+    """Total occurrence count (a proxy for naive evaluation cost)."""
     return sum(1 for _ in walk(expr))
+
+
+def unique_size(expr: Expr) -> int:
+    """Distinct node-object count (DAG size; a proxy for analyzed or
+    memoized-evaluation cost)."""
+    return sum(1 for _ in walk_unique(expr))

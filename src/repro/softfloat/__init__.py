@@ -60,6 +60,13 @@ from repro.softfloat.convert import (
     softfloat_to_float,
     softfloat_to_int,
 )
+from repro.softfloat.directed import (
+    directed_bounds,
+    directed_envs,
+    down_env,
+    probe_op,
+    up_env,
+)
 from repro.softfloat.parse import parse_softfloat
 from repro.softfloat.printing import format_hex, format_softfloat
 from repro.softfloat.augmented import (
@@ -149,6 +156,12 @@ __all__ = [
     "fp_ilogb",
     "ulp",
     "significant_bits",
+    # directed rounding
+    "down_env",
+    "up_env",
+    "directed_envs",
+    "directed_bounds",
+    "probe_op",
 ]
 
 

@@ -1,0 +1,67 @@
+"""Static floating-point hazard analysis over the optsim IR.
+
+Three cooperating abstract domains —
+
+- **intervals** with directed-rounding endpoints and explicit
+  ±0/±inf/NaN possibility tracking (:mod:`repro.staticfp.domain`),
+- **exception reachability**: which sticky flags each node *may* /
+  *must* raise (:mod:`repro.staticfp.analyze`),
+- **condition numbers**: catastrophic-cancellation and absorption
+  sites (:mod:`repro.staticfp.analyze`),
+
+— feed a **lint engine** (:mod:`repro.staticfp.lints`) whose
+diagnostics carry the paper's quiz ids, and a **pass-safety
+predictor** (:mod:`repro.staticfp.safety`) that classifies optimizer
+rewrites as value-preserving or possibly-value-changing before any
+dynamic search runs.  The property suite holds every verdict against
+the softfloat engine; the differential suite holds the predictor
+against :func:`repro.optsim.compliance.find_divergence`.
+
+Quick use::
+
+    from repro.staticfp import lint
+    report = lint("(a + b) - a", bindings={"a": ("1", "1e30"), "b": ("1", "2")})
+    assert "ordering" in report.gotcha_ids
+"""
+
+from repro.staticfp.analyze import (
+    AbsorptionInfo,
+    Analysis,
+    CancellationInfo,
+    NodeFact,
+    analyze,
+    as_abstract,
+)
+from repro.staticfp.domain import (
+    AbstractValue,
+    AnalysisContext,
+    TransferResult,
+    transfer,
+    transfer_literal,
+)
+from repro.staticfp.lints import Diagnostic, LintReport, lint
+from repro.staticfp.safety import (
+    PassVerdict,
+    SafetyReport,
+    predict_pass_safety,
+)
+
+__all__ = [
+    "AbstractValue",
+    "AnalysisContext",
+    "TransferResult",
+    "transfer",
+    "transfer_literal",
+    "Analysis",
+    "NodeFact",
+    "CancellationInfo",
+    "AbsorptionInfo",
+    "analyze",
+    "as_abstract",
+    "Diagnostic",
+    "LintReport",
+    "lint",
+    "PassVerdict",
+    "SafetyReport",
+    "predict_pass_safety",
+]

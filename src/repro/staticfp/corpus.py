@@ -1,0 +1,185 @@
+"""The lint corpus: one expression per lintable gotcha, plus a clean
+set that must produce no warnings.
+
+Every Figure-14/15 gotcha the analyzer can see statically gets an
+entry pinning the expression, the optimization level, and the variable
+ranges under which ``repro lint`` must report the matching quiz id.
+The clean corpus pins the other direction: well-conditioned
+expressions on benign ranges must raise *zero* warnings (info
+diagnostics are allowed — "results round" is true of almost
+everything).  A golden file records the exact diagnostic sets so CI
+can fail on drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.optsim.machine import MachineConfig, optimization_level
+from repro.staticfp.lints import LintReport, lint
+
+__all__ = [
+    "CorpusEntry",
+    "GOTCHA_CORPUS",
+    "CLEAN_CORPUS",
+    "GOLDEN_PATH",
+    "run_entry",
+    "run_corpus",
+    "precision_summary",
+    "check_golden",
+    "write_golden",
+]
+
+GOLDEN_PATH = Path(__file__).with_name("golden_lints.json")
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusEntry:
+    """One pinned lint scenario."""
+
+    key: str
+    expr: str
+    level: str = "strict"
+    bindings: tuple[tuple[str, tuple[str, str]], ...] = ()
+    expect_id: str | None = None  # gotcha id that must appear (None: clean)
+
+    def config(self) -> MachineConfig:
+        return optimization_level(self.level)
+
+    def binding_map(self) -> dict[str, tuple[str, str]]:
+        return dict(self.bindings)
+
+
+def _entry(key, expr, level="strict", expect=None, **ranges):
+    return CorpusEntry(
+        key=key,
+        expr=expr,
+        level=level,
+        bindings=tuple(sorted(ranges.items())),
+        expect_id=expect,
+    )
+
+
+#: Figure-14 and Figure-15 gotchas the analyzer must detect, each with
+#: the quiz id its diagnostic must carry.
+GOTCHA_CORPUS: tuple[CorpusEntry, ...] = (
+    # --- Figure 14 ------------------------------------------------
+    _entry("identity", "sqrt(a)", expect="identity"),
+    _entry("associativity", "a + b + c", expect="associativity",
+           a=("1", "4"), b=("1", "4"), c=("1", "4")),
+    _entry("ordering", "(a + b) - a", expect="ordering",
+           a=("1", "1e30"), b=("1", "2")),
+    _entry("overflow", "a * b", expect="overflow",
+           a=("1e300", "1e308"), b=("10", "100")),
+    _entry("divide_by_zero", "1.0 / a", expect="divide_by_zero",
+           a=("-1", "1")),
+    _entry("zero_divide_by_zero", "a / b", expect="zero_divide_by_zero",
+           a=("0", "1"), b=("0", "1")),
+    _entry("saturation_plus", "a + 1.0", expect="saturation_plus",
+           a=("1e17", "1e60")),
+    _entry("saturation_minus", "a - 1.0", expect="saturation_minus",
+           a=("1e17", "1e60")),
+    _entry("denormal_precision", "a * b", expect="denormal_precision",
+           a=("1e-300", "1e-290"), b=("1e-20", "1")),
+    _entry("operation_precision", "0.1 + 0.2", expect="operation_precision"),
+    _entry("exception_signal", "1.0 / a", expect="exception_signal",
+           a=("-1", "1")),
+    _entry("negative_zero", "a * b", expect="negative_zero",
+           a=("-1", "1"), b=("-1", "1")),
+    # --- Figure 15 ------------------------------------------------
+    _entry("madd", "a*b + c", level="-O3", expect="madd",
+           a=("1", "2"), b=("1", "2"), c=("1", "2")),
+    _entry("flush_to_zero", "a - b", level="--ffast-math",
+           expect="flush_to_zero",
+           a=("2e-308", "3e-308"), b=("1e-308", "2e-308")),
+    _entry("opt_level", "a*b + c", level="-O3", expect="opt_level",
+           a=("1", "2"), b=("1", "2"), c=("1", "2")),
+    _entry("fast_math", "((t + y) - t) - y", level="--ffast-math",
+           expect="fast_math", t=("1e8", "1e9"), y=("1e-8", "1e-7")),
+)
+
+#: Benign expressions on benign ranges: must emit no warnings at all.
+CLEAN_CORPUS: tuple[CorpusEntry, ...] = (
+    _entry("clean_mean", "(a + b) * 0.5", a=("1", "2"), b=("1", "2")),
+    _entry("clean_hypot", "sqrt(a*a + b*b)", a=("1", "2"), b=("1", "2")),
+    _entry("clean_fma", "fma(a, b, c)",
+           a=("1", "2"), b=("1", "2"), c=("1", "2")),
+    _entry("clean_scaled_diff", "(a - b) / 2.0", a=("4", "8"), b=("1", "2")),
+    _entry("clean_ratio", "a / b", a=("1", "2"), b=("1", "2")),
+    _entry("clean_minmax", "min(a, b)", a=("1", "2"), b=("3", "4")),
+)
+
+
+def run_entry(entry: CorpusEntry) -> LintReport:
+    """Lint one corpus entry."""
+    return lint(entry.expr, entry.config(), entry.binding_map())
+
+
+def run_corpus() -> dict[str, LintReport]:
+    """Lint the full corpus (gotchas + clean), keyed by entry key."""
+    return {
+        e.key: run_entry(e) for e in GOTCHA_CORPUS + CLEAN_CORPUS
+    }
+
+
+def precision_summary() -> dict:
+    """Analyzer precision over the corpus: the EXPERIMENTS metric.
+
+    ``detected``: gotcha entries whose expected quiz id appears in the
+    diagnostics.  ``false_positives``: clean entries that raised any
+    warning-or-worse diagnostic.
+    """
+    reports = run_corpus()
+    detected = [
+        e.key for e in GOTCHA_CORPUS
+        if e.expect_id in reports[e.key].gotcha_ids
+    ]
+    missed = [e.key for e in GOTCHA_CORPUS if e.key not in detected]
+    false_positives = [
+        e.key for e in CLEAN_CORPUS if reports[e.key].has_findings
+    ]
+    return {
+        "gotchas_total": len(GOTCHA_CORPUS),
+        "gotchas_detected": len(detected),
+        "missed": missed,
+        "clean_total": len(CLEAN_CORPUS),
+        "false_positives": false_positives,
+    }
+
+
+def _snapshot(reports: dict[str, LintReport]) -> dict:
+    return {
+        key: sorted(
+            f"{d.severity}:{d.gotcha_id}" for d in report.diagnostics
+        )
+        for key, report in sorted(reports.items())
+    }
+
+
+def write_golden(path: Path = GOLDEN_PATH) -> dict:
+    """Regenerate the golden diagnostic sets (returns the snapshot)."""
+    snapshot = _snapshot(run_corpus())
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return snapshot
+
+
+def check_golden(path: Path = GOLDEN_PATH) -> list[str]:
+    """Diff current diagnostics against the golden file.
+
+    Returns human-readable drift lines (empty == no drift).
+    """
+    golden = json.loads(path.read_text())
+    current = _snapshot(run_corpus())
+    drift: list[str] = []
+    for key in sorted(set(golden) | set(current)):
+        want = golden.get(key)
+        got = current.get(key)
+        if want is None:
+            drift.append(f"{key}: new entry not in golden file")
+        elif got is None:
+            drift.append(f"{key}: entry missing (in golden file only)")
+        elif want != got:
+            drift.append(f"{key}: golden {want} != current {got}")
+    return drift

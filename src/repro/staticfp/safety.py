@@ -1,0 +1,301 @@
+"""Static pass-safety prediction.
+
+For a given expression, machine configuration, and (optional) variable
+ranges, classify every optsim pass application as value-preserving or
+possibly-value-changing *without running a divergence search* — then
+let the differential tests hold the verdicts against
+:func:`repro.optsim.compliance.find_divergence`.
+
+The contract is one-directional by design: a ``value_safe`` verdict is
+a *proof sketch* (dynamic search must find no value divergence), while
+"possibly-value-changing" is an admission of ignorance, not a
+guarantee of divergence.  The same split applies to ``flags_safe`` for
+the sticky-flag footprint, which rewrites can change even when values
+are identical (folding ``0.1 + 0.2`` erases its INEXACT).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+from repro.fpenv.flags import FPFlag
+from repro.optsim.ast import Binary, BinOp, Expr, Unary, UnOp
+from repro.optsim.compliance import _same_value
+from repro.optsim.evaluator import evaluate
+from repro.optsim.machine import STRICT, MachineConfig
+from repro.optsim.pipeline import _MAX_ITERATIONS, enabled_passes
+from repro.softfloat import SoftFloat
+from repro.staticfp.analyze import Analysis, analyze
+
+__all__ = [
+    "PassVerdict",
+    "SafetyReport",
+    "predict_pass_safety",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PassVerdict:
+    """Static classification of one pass (merged over pipeline
+    iterations)."""
+
+    pass_name: str
+    applied: bool
+    value_safe: bool
+    flags_safe: bool
+    reason: str
+    before: Expr
+    after: Expr
+
+    def describe(self) -> str:
+        if not self.applied:
+            return f"{self.pass_name}: not applied"
+        value = "value-preserving" if self.value_safe \
+            else "possibly-value-changing"
+        flags = "" if self.flags_safe else ", may change sticky flags"
+        return (
+            f"{self.pass_name}: '{self.before}' -> '{self.after}'"
+            f" [{value}{flags}] ({self.reason})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SafetyReport:
+    """All pass verdicts plus the environment verdict for one
+    expression/config pair."""
+
+    expr: Expr
+    compiled: Expr
+    config: MachineConfig
+    verdicts: tuple[PassVerdict, ...]
+    env_value_safe: bool
+    env_flags_safe: bool
+    env_reason: str
+    analysis: Analysis
+
+    @property
+    def value_safe(self) -> bool:
+        """Statically proven: the configured evaluation of the compiled
+        form equals strict IEEE evaluation of the source, bit for bit,
+        on every admitted binding."""
+        return self.env_value_safe and all(v.value_safe for v in self.verdicts)
+
+    @property
+    def flags_safe(self) -> bool:
+        """As ``value_safe``, but for the sticky-flag footprint too."""
+        return (
+            self.value_safe
+            and self.env_flags_safe
+            and all(v.flags_safe for v in self.verdicts)
+        )
+
+    @property
+    def applied(self) -> tuple[PassVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.applied)
+
+    @property
+    def value_changing_applied(self) -> tuple[PassVerdict, ...]:
+        return tuple(
+            v for v in self.verdicts if v.applied and not v.value_safe
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"pass safety for '{self.expr}' under {self.config.name}:"
+            f" compiled to '{self.compiled}'"
+        ]
+        for verdict in self.verdicts:
+            lines.append(f"  {verdict.describe()}")
+        env = "bit-identical to strict IEEE" if self.env_value_safe \
+            else f"may diverge ({self.env_reason})"
+        lines.append(f"  environment: {env}")
+        overall = "value-preserving" if self.value_safe \
+            else "possibly-value-changing"
+        lines.append(f"  overall: {overall}")
+        return "\n".join(lines)
+
+
+def predict_pass_safety(
+    expr: Expr,
+    config: MachineConfig,
+    bindings: Mapping[str, object] | None = None,
+) -> SafetyReport:
+    """Statically classify every licensed pass application on ``expr``.
+
+    Replays the pipeline's fixed-point loop pass by pass, classifying
+    each application; verdicts for a pass that fired in several
+    iterations are merged conservatively (any unsafe application makes
+    the pass unsafe).
+    """
+    active = enabled_passes(config)
+    merged: dict[str, PassVerdict] = {
+        p.name: PassVerdict(
+            pass_name=p.name, applied=False, value_safe=True,
+            flags_safe=True, reason="not applied", before=expr, after=expr,
+        )
+        for p in active
+    }
+    point_bindings = _as_point_bindings(expr, config, bindings)
+    current = expr
+    for _ in range(_MAX_ITERATIONS):
+        previous = current
+        for pass_ in active:
+            rewritten = pass_.apply(current, config)
+            if rewritten != current:
+                verdict = _classify(
+                    pass_, current, rewritten, config, point_bindings
+                )
+                merged[pass_.name] = _merge(merged[pass_.name], verdict)
+            current = rewritten
+        if current == previous:
+            break
+    analysis = analyze(current, bindings, config)
+    env_value, env_flags, env_reason = _env_verdict(analysis, config)
+    return SafetyReport(
+        expr=expr,
+        compiled=current,
+        config=config,
+        verdicts=tuple(merged[p.name] for p in active),
+        env_value_safe=env_value,
+        env_flags_safe=env_flags,
+        env_reason=env_reason,
+        analysis=analysis,
+    )
+
+
+def _merge(old: PassVerdict, new: PassVerdict) -> PassVerdict:
+    if not old.applied:
+        return new
+    return PassVerdict(
+        pass_name=old.pass_name,
+        applied=True,
+        value_safe=old.value_safe and new.value_safe,
+        flags_safe=old.flags_safe and new.flags_safe,
+        reason=old.reason if not old.value_safe else new.reason,
+        before=old.before,
+        after=new.after,
+    )
+
+
+def _as_point_bindings(
+    expr: Expr,
+    config: MachineConfig,
+    bindings: Mapping[str, object] | None,
+) -> dict[str, SoftFloat] | None:
+    """Concrete bindings when every variable is pinned to one non-NaN
+    value (enabling exact per-pass evaluation), else None."""
+    from repro.optsim.ast import expr_variables
+    from repro.staticfp.analyze import as_abstract
+
+    names = expr_variables(expr)
+    if not names:
+        return {}
+    if bindings is None:
+        return None
+    out: dict[str, SoftFloat] = {}
+    for name in names:
+        if name not in bindings:
+            return None
+        av = as_abstract(bindings[name], config.fmt)
+        if not av.is_point:
+            return None
+        assert av.lo is not None
+        value = av.lo
+        if value.is_zero:
+            value = SoftFloat.zero(config.fmt, 1 if av.neg_zero else 0)
+        out[name] = value
+    return out
+
+
+def _classify(
+    pass_,
+    before: Expr,
+    after: Expr,
+    config: MachineConfig,
+    point_bindings: dict[str, SoftFloat] | None,
+) -> PassVerdict:
+    strict = STRICT.replace(fmt=config.fmt)
+    if pass_.value_preserving:
+        # Value-preservation is the pass's contract; flag preservation
+        # is not (folding or deleting an operation erases its sticky
+        # contribution), so flags are safe only when the rewritten
+        # expression provably raises no flags at all.
+        may = analyze(before, None, strict).may_flags
+        flags_safe = may == FPFlag.NONE
+        reason = "value-preserving rewrite"
+        if not flags_safe:
+            reason += "; removed operations may have raised sticky flags"
+        return PassVerdict(
+            pass_name=pass_.name, applied=True, value_safe=True,
+            flags_safe=flags_safe, reason=reason,
+            before=before, after=after,
+        )
+    if _canonical_subs(before) == _canonical_subs(after):
+        return PassVerdict(
+            pass_name=pass_.name, applied=True, value_safe=True,
+            flags_safe=True,
+            reason="a-b == a+(-b) canonicalization only (bit-exact)",
+            before=before, after=after,
+        )
+    if point_bindings is not None:
+        lhs = evaluate(before, point_bindings, strict)
+        rhs = evaluate(after, point_bindings, strict)
+        value_safe = _same_value(lhs.value, rhs.value)
+        flags_safe = value_safe and lhs.flags == rhs.flags
+        reason = (
+            "concretely equal at the bound point" if value_safe
+            else f"concrete counterexample: {lhs.value!s} vs {rhs.value!s}"
+        )
+        return PassVerdict(
+            pass_name=pass_.name, applied=True, value_safe=value_safe,
+            flags_safe=flags_safe, reason=reason,
+            before=before, after=after,
+        )
+    return PassVerdict(
+        pass_name=pass_.name, applied=True, value_safe=False,
+        flags_safe=False,
+        reason=pass_.description or "rewrite is not value-preserving",
+        before=before, after=after,
+    )
+
+
+def _canonical_subs(expr: Expr) -> Expr:
+    """Normalize ``a - b`` to ``a + (-b)`` (bit-identical by the IEEE
+    definition of subtraction) so a pass that only performs this
+    canonicalization is not misreported as value-changing."""
+    children = expr.children()
+    if children:
+        expr = expr.with_children(*(_canonical_subs(c) for c in children))
+    if isinstance(expr, Binary) and expr.op is BinOp.SUB:
+        return Binary(BinOp.ADD, expr.left, Unary(UnOp.NEG, expr.right))
+    return expr
+
+
+def _env_verdict(
+    analysis: Analysis, config: MachineConfig
+) -> tuple[bool, bool, str]:
+    """Does the configured *environment* (not the rewrites) preserve
+    strict results for the compiled expression on these ranges?
+
+    FTZ/DAZ only bite when subnormals are reachable; the abstract
+    verdicts decide that statically.
+    """
+    if config.rounding is not STRICT.rounding:
+        return False, False, f"non-default rounding {config.rounding.name}"
+    reasons = []
+    if config.daz:
+        subnormal_inputs = any(
+            analysis.fact(node).value.can_subnormal
+            for node in analysis.order
+            if analysis.fact(node).op == "var"
+        )
+        if subnormal_inputs:
+            reasons.append("DAZ with subnormal-possible inputs")
+    if config.ftz:
+        tiny = FPFlag.UNDERFLOW | FPFlag.DENORMAL_RESULT
+        if analysis.may_flags & tiny:
+            reasons.append("FTZ with subnormal-possible results")
+    if reasons:
+        return False, False, "; ".join(reasons)
+    return True, True, "environment cannot change results on these ranges"

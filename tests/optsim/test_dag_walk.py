@@ -1,0 +1,76 @@
+"""DAG traversal: ``walk_unique`` / ``unique_size`` vs the occurrence
+walk.
+
+Rewrite passes reuse subtree objects, so optimized expressions are
+DAGs; the occurrence walk revisits shared subtrees once per parent
+(exponentially in the worst case), while ``walk_unique`` is linear in
+distinct nodes.
+"""
+
+from repro.optsim.ast import (
+    Binary,
+    BinOp,
+    Var,
+    expr_size,
+    expr_variables,
+    unique_size,
+    walk,
+    walk_unique,
+)
+
+
+def _shared_chain(depth: int):
+    """x_{n} = x_{n-1} + x_{n-1} with shared children: 2n+1 unique
+    nodes but 2^(n+1)-1 occurrences."""
+    node = Var("x")
+    for _ in range(depth):
+        node = Binary(BinOp.ADD, node, node)
+    return node
+
+
+class TestWalkUnique:
+    def test_tree_visits_match_walk(self):
+        expr = Binary(BinOp.ADD, Var("a"), Binary(BinOp.MUL, Var("b"), Var("c")))
+        assert [str(n) for n in walk_unique(expr)] == [
+            str(n) for n in walk(expr)
+        ]
+
+    def test_preorder(self):
+        expr = Binary(BinOp.ADD, Var("a"), Var("b"))
+        nodes = list(walk_unique(expr))
+        assert nodes[0] is expr
+        assert nodes[1] is expr.left
+        assert nodes[2] is expr.right
+
+    def test_shared_subtree_visited_once(self):
+        shared = Binary(BinOp.ADD, Var("a"), Var("b"))
+        expr = Binary(BinOp.MUL, shared, shared)
+        nodes = list(walk_unique(expr))
+        assert sum(1 for n in nodes if n is shared) == 1
+        assert len(nodes) == 4  # mul, add, a, b
+
+    def test_equal_but_distinct_objects_both_visited(self):
+        # Structural equality must NOT merge distinct source nodes:
+        # two textual occurrences of ``a + b`` are separate program
+        # points and each deserves its own diagnostic.
+        left = Binary(BinOp.ADD, Var("a"), Var("b"))
+        right = Binary(BinOp.ADD, Var("a"), Var("b"))
+        assert left == right
+        expr = Binary(BinOp.MUL, left, right)
+        nodes = list(walk_unique(expr))
+        assert sum(1 for n in nodes if n is left) == 1
+        assert sum(1 for n in nodes if n is right) == 1
+
+    def test_exponential_dag_stays_linear(self):
+        expr = _shared_chain(40)
+        assert unique_size(expr) == 41
+        # The occurrence count would be 2**41 - 1: never materialize it.
+
+    def test_small_dag_sizes(self):
+        expr = _shared_chain(3)
+        assert unique_size(expr) == 4
+        assert expr_size(expr) == 15
+
+    def test_expr_variables_on_dag(self):
+        expr = _shared_chain(30)
+        assert expr_variables(expr) == ("x",)

@@ -1,0 +1,109 @@
+"""Analyzer tests: per-node facts, DAG handling, condition tracking."""
+
+from repro.fpenv.flags import FPFlag
+from repro.optsim.ast import Binary, BinOp, Var
+from repro.optsim.machine import STRICT
+from repro.optsim.parser import parse_expr
+from repro.softfloat import BINARY16
+from repro.staticfp import analyze
+
+
+class TestBasics:
+    def test_const_expression_folds_to_point(self):
+        a = analyze(parse_expr("0.1 + 0.2"))
+        assert a.root.value.is_point
+        assert a.may_flags == FPFlag.INEXACT
+        assert a.must_flags == FPFlag.INEXACT
+
+    def test_unbound_variables_are_not_nan(self):
+        a = analyze(parse_expr("a + b"))
+        assert not a.root.value.maybe_nan or a.may_flags & FPFlag.INVALID
+        # inf + (-inf) is reachable with unbound vars, so NaN *is*
+        # possible at the add — but only as an introduction, flagged
+        # INVALID, never silently imported from the inputs.
+        var_facts = [a.fact(n) for n in a.order if a.fact(n).op == "var"]
+        assert var_facts
+        assert all(not f.value.maybe_nan for f in var_facts)
+
+    def test_assume_nan_inputs(self):
+        a = analyze(parse_expr("a"), assume_nan_inputs=True)
+        assert a.root.value.maybe_nan
+
+    def test_range_bindings(self):
+        a = analyze(parse_expr("a * b"), {"a": ("1", "2"), "b": ("3", "4")})
+        from repro.softfloat import sf
+
+        assert a.root.value.admits(sf("6"))
+        assert not a.root.value.admits(sf("1"))
+
+    def test_point_binding(self):
+        a = analyze(parse_expr("a + 1"), {"a": "2"})
+        assert a.root.value.is_point
+
+    def test_format_follows_config(self):
+        a = analyze(
+            parse_expr("a + b"), config=STRICT.replace(fmt=BINARY16)
+        )
+        assert a.root.value.fmt == BINARY16
+
+
+class TestDagHandling:
+    def test_shared_node_analyzed_once(self):
+        shared = Binary(BinOp.ADD, Var("a"), Var("b"))
+        expr = Binary(BinOp.MUL, shared, shared)
+        a = analyze(expr, {"a": ("1", "2"), "b": ("1", "2")})
+        # walk_unique visits the shared subtree once: 4 unique nodes
+        # (mul, add, a, b), not 7 as the occurrence walk would.
+        assert len(a.order) == 4
+        assert a.fact(shared) is a.fact(expr.left)
+
+    def test_flag_union_over_unique_nodes(self):
+        shared = Binary(BinOp.ADD, Var("a"), Var("b"))
+        expr = Binary(BinOp.MUL, shared, shared)
+        dup = Binary(
+            BinOp.MUL,
+            Binary(BinOp.ADD, Var("a"), Var("b")),
+            Binary(BinOp.ADD, Var("a"), Var("b")),
+        )
+        bindings = {"a": ("0.1", "0.2"), "b": ("0.1", "0.2")}
+        assert (
+            analyze(expr, bindings).may_flags
+            == analyze(dup, bindings).may_flags
+        )
+
+
+class TestConditioning:
+    def test_catastrophic_cancellation_flagged(self):
+        a = analyze(
+            parse_expr("a - b"), {"a": ("1", "2"), "b": ("1", "2")}
+        )
+        cancel = a.root.cancellation
+        assert cancel is not None and cancel.catastrophic
+        assert cancel.bits_lost == 53
+
+    def test_well_separated_no_cancellation(self):
+        a = analyze(
+            parse_expr("a - b"), {"a": ("100", "200"), "b": ("1", "2")}
+        )
+        cancel = a.root.cancellation
+        assert cancel is None or not cancel.catastrophic
+
+    def test_absorption_detected(self):
+        a = analyze(parse_expr("a + 1.0"), {"a": ("1e17", "1e60")})
+        absorb = a.root.absorption
+        assert absorb is not None and absorb.possible
+
+    def test_no_absorption_on_similar_magnitudes(self):
+        a = analyze(
+            parse_expr("a + b"), {"a": ("1", "2"), "b": ("1", "2")}
+        )
+        absorb = a.root.absorption
+        assert absorb is None or not absorb.possible
+
+
+class TestReporting:
+    def test_describe_mentions_every_node(self):
+        a = analyze(parse_expr("(a + b) - a"), {"a": ("1", "1e30")})
+        text = a.describe()
+        assert "(a + b)" in text
+        assert "overall:" in text

@@ -1,0 +1,110 @@
+"""CLI coverage for ``repro lint`` and ``optsim --analyze``.
+
+Exit-code contract: 0 clean (info-only is clean), 1 findings,
+2 usage error.
+"""
+
+import json
+
+from repro.cli import main
+
+
+class TestLintExitCodes:
+    def test_findings_exit_1(self, capsys):
+        code = main([
+            "lint", "(a + b) - a",
+            "--bind-range", "a=1,1e30", "--bind-range", "b=1,2",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "ordering" in out
+
+    def test_clean_exit_0(self, capsys):
+        code = main([
+            "lint", "a / b",
+            "--bind-range", "a=1,2", "--bind-range", "b=1,2",
+        ])
+        assert code == 0
+        assert "operation_precision" in capsys.readouterr().out
+
+    def test_missing_expression_exit_2(self, capsys):
+        assert main(["lint"]) == 2
+        assert "expected an expression" in capsys.readouterr().err
+
+    def test_bad_expression_exit_2(self, capsys):
+        assert main(["lint", "a +"]) == 2
+        assert "cannot analyze" in capsys.readouterr().err
+
+    def test_bad_binding_exit_2(self, capsys):
+        assert main(["lint", "a", "--bind-range", "a=zz"]) == 2
+
+    def test_malformed_binding_exit_2(self, capsys):
+        assert main(["lint", "a", "--bind-range", "nope"]) == 2
+        assert "bad --bind-range" in capsys.readouterr().err
+
+    def test_corpus_with_expression_exit_2(self, capsys):
+        assert main(["lint", "x", "--corpus"]) == 2
+
+
+class TestLintOutput:
+    def test_json_output(self, capsys):
+        assert main(["lint", "0.1 + 0.2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["expr"] == "(0.1 + 0.2)"
+        assert data["has_findings"] is False
+
+    def test_level_flag(self, capsys):
+        code = main(["lint", "a*b + c", "--level=-O3"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "madd" in out
+        assert "fma(a, b, c)" in out
+
+    def test_format_flag(self, capsys):
+        code = main([
+            "lint", "a * b", "--format", "binary16",
+            "--bind-range", "a=100,200", "--bind-range", "b=300,400",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "binary16" in out
+        assert "overflow" in out
+
+    def test_point_binding(self, capsys):
+        assert main(["lint", "1.0 / a", "--bind-range", "a=0"]) == 1
+        out = capsys.readouterr().out
+        assert "[error] divide_by_zero" in out
+
+    def test_explain_prints_analysis(self, capsys):
+        main([
+            "lint", "(a + b) - a", "--explain",
+            "--bind-range", "a=1,1e30", "--bind-range", "b=1,2",
+        ])
+        out = capsys.readouterr().out
+        assert "analysis of" in out
+        assert "pass safety for" in out
+
+
+class TestLintCorpus:
+    def test_corpus_clean(self, capsys):
+        assert main(["lint", "--corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "gotchas detected: 16/16" in out
+        assert "no drift" in out
+
+
+class TestOptsimAnalyze:
+    def test_analyze_flag(self, capsys):
+        assert main(["optsim", "a*b + c", "--level=-O3", "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "pass safety for" in out
+        assert "static/dynamic agreement" in out
+        assert "DISAGREE" not in out
+
+    def test_analyze_strict_agreement(self, capsys):
+        assert main([
+            "optsim", "a + b", "--level=-O2", "--analyze",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "found no divergence" in out
+        assert "DISAGREE" not in out

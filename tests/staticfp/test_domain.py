@@ -1,0 +1,194 @@
+"""Unit tests for the abstract value domain and transfer functions."""
+
+import pytest
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.flags import FPFlag
+from repro.fpenv.rounding import RoundingMode
+from repro.optsim.machine import STRICT
+from repro.softfloat import BINARY16, BINARY64, SoftFloat, parse_softfloat, sf
+from repro.staticfp import AbstractValue, AnalysisContext, transfer
+
+
+def av(lo, hi, fmt=BINARY64):
+    env = FPEnv()
+    return AbstractValue.from_range(
+        parse_softfloat(str(lo), fmt, env), parse_softfloat(str(hi), fmt, env)
+    )
+
+
+def pt(value, fmt=BINARY64):
+    return AbstractValue.point(parse_softfloat(str(value), fmt, FPEnv()))
+
+
+CTX = AnalysisContext.from_config(STRICT)
+
+
+class TestAbstractValue:
+    def test_point_is_point(self):
+        one = pt("1")
+        assert one.is_point
+        assert not one.maybe_nan
+        assert one.admits(sf("1"))
+        assert not one.admits(sf("2"))
+
+    def test_point_zero_tracks_sign(self):
+        pz = pt("0")
+        nz = pt("-0")
+        assert pz.pos_zero and not pz.neg_zero
+        assert nz.neg_zero and not nz.pos_zero
+        assert pz.admits(sf("0"))
+        assert not pz.admits(sf("-0"))
+
+    def test_zero_spanning_range_admits_both_zeros(self):
+        v = av("-1", "1")
+        assert v.pos_zero and v.neg_zero
+        assert v.admits(sf("0")) and v.admits(sf("-0"))
+
+    def test_positive_range_admits_no_zero(self):
+        v = av("1", "2")
+        assert not v.can_zero
+        assert not v.admits(sf("0"))
+
+    def test_from_literal_point_and_range(self):
+        half = AbstractValue.from_literal("0.5")
+        assert half.is_point
+        tenth = AbstractValue.from_literal("0.1")
+        assert not tenth.is_point  # 0.1 is inexact: directed parses differ
+        assert tenth.admits(sf("0.1"))
+
+    def test_nan_only(self):
+        v = AbstractValue.nan_only(BINARY64)
+        assert v.maybe_nan and v.lo is None
+        assert v.admits(SoftFloat.nan(BINARY64))
+        assert not v.admits(sf("1"))
+
+    def test_join(self):
+        j = pt("1").join(pt("4"))
+        assert j.admits(sf("1")) and j.admits(sf("4")) and j.admits(sf("2"))
+        assert not j.admits(sf("5"))
+
+    def test_top_admits_everything_but_nan(self):
+        t = AbstractValue.top(BINARY64)
+        assert t.admits(SoftFloat.inf(BINARY64))
+        assert t.admits(sf("-0"))
+        assert not t.admits(SoftFloat.nan(BINARY64))
+        assert AbstractValue.top(BINARY64, nan=True).admits(
+            SoftFloat.nan(BINARY64)
+        )
+
+
+class TestTransfer:
+    def test_point_add_exact(self):
+        r = transfer("add", [pt("1"), pt("2")], CTX)
+        assert r.value.is_point
+        assert r.value.admits(sf("3"))
+        assert r.may == FPFlag.NONE
+        assert r.must == FPFlag.NONE
+
+    def test_point_add_inexact_flags_are_must(self):
+        r = transfer("add", [pt("0.1"), pt("0.2")], CTX)
+        assert r.value.is_point
+        assert r.may == FPFlag.INEXACT
+        assert r.must == FPFlag.INEXACT
+
+    def test_range_add_brackets_result(self):
+        r = transfer("add", [av("1", "2"), av("10", "20")], CTX)
+        assert r.value.admits(sf("11")) and r.value.admits(sf("22"))
+        assert not r.value.admits(sf("5"))
+
+    def test_inf_minus_inf_invalid(self):
+        inf = AbstractValue.point(SoftFloat.inf(BINARY64))
+        r = transfer("sub", [inf, inf], CTX)
+        assert r.value.maybe_nan
+        assert r.may & FPFlag.INVALID
+
+    def test_zero_times_inf_invalid(self):
+        r = transfer(
+            "mul",
+            [av("0", "1"), AbstractValue.point(SoftFloat.inf(BINARY64))],
+            CTX,
+        )
+        assert r.value.maybe_nan
+        assert r.may & FPFlag.INVALID
+
+    def test_div_by_zero_spanning_divisor_widens(self):
+        r = transfer("div", [pt("1"), av("-1", "1")], CTX)
+        # 1/tiny is huge: the quotient must admit values of any magnitude.
+        assert r.value.admits(SoftFloat.inf(BINARY64))
+        assert r.value.admits(sf("1e300"))
+        assert r.may & FPFlag.DIV_BY_ZERO
+
+    def test_div_must_div_by_zero(self):
+        r = transfer("div", [pt("1"), pt("0")], CTX)
+        assert r.must & FPFlag.DIV_BY_ZERO
+        assert r.value.can_pinf
+
+    def test_zero_div_zero_nan(self):
+        r = transfer("div", [pt("0"), pt("0")], CTX)
+        assert r.value.maybe_nan
+        assert r.must & FPFlag.INVALID
+
+    def test_sqrt_negative_must_invalid(self):
+        r = transfer("sqrt", [av("-4", "-1")], CTX)
+        assert r.value.maybe_nan
+        assert r.must & FPFlag.INVALID
+
+    def test_sqrt_negative_zero_is_not_invalid(self):
+        r = transfer("sqrt", [pt("-0")], CTX)
+        assert r.must == FPFlag.NONE
+        assert r.value.neg_zero
+
+    def test_sqrt_range_with_zero_not_must(self):
+        r = transfer("sqrt", [av("-1", "0")], CTX)
+        assert r.may & FPFlag.INVALID
+        assert not (r.must & FPFlag.INVALID)
+
+    def test_min_with_nan_falls_back_to_other(self):
+        nan = AbstractValue.nan_only(BINARY64)
+        r = transfer("min", [nan, pt("3")], CTX)
+        # minNum(NaN, 3) = 3: the result is not necessarily NaN.
+        assert r.value.admits(sf("3"))
+
+    def test_overflow_detected(self):
+        r = transfer("mul", [av("1e300", "1e308"), av("10", "100")], CTX)
+        assert r.value.can_pinf
+        assert r.may & FPFlag.OVERFLOW
+
+    def test_tiny_rule_underflow(self):
+        r = transfer("mul", [av("1e-300", "1e-290"), av("1e-20", "1")], CTX)
+        assert r.may & FPFlag.UNDERFLOW
+        assert r.may & FPFlag.INEXACT
+
+    def test_exact_small_format(self):
+        ctx16 = AnalysisContext.from_config(STRICT.replace(fmt=BINARY16))
+        r = transfer(
+            "add", [pt("1", BINARY16), pt("2", BINARY16)], ctx16
+        )
+        assert r.may == FPFlag.NONE
+
+    def test_neg_is_quiet(self):
+        r = transfer("neg", [av("-1", "1")], CTX)
+        assert r.may == FPFlag.NONE
+        assert r.value.admits(sf("-1")) and r.value.admits(sf("1"))
+
+    def test_directed_rounding_context_is_tight_on_points(self):
+        ctx = AnalysisContext.from_config(
+            STRICT.replace(rounding=RoundingMode.TOWARD_ZERO)
+        )
+        r = transfer("add", [pt("0.1"), pt("0.2")], ctx)
+        from repro.softfloat import fp_add
+
+        rtz = fp_add(
+            sf("0.1"), sf("0.2"), FPEnv(rounding=RoundingMode.TOWARD_ZERO)
+        )
+        # Point operands under a fixed rounding mode: the abstraction is
+        # exact — it admits the configured mode's result and nothing else.
+        assert r.value.is_point
+        assert r.value.admits(rtz)
+
+    def test_ftz_context_admits_flushed_zero(self):
+        ctx = AnalysisContext.from_config(STRICT.replace(ftz=True, daz=True))
+        tiny = av("1e-310", "2e-310")
+        r = transfer("add", [tiny, tiny], ctx)
+        assert r.value.can_zero

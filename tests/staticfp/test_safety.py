@@ -1,0 +1,142 @@
+"""Differential tests: the static pass-safety predictor vs the dynamic
+divergence search.
+
+The contract is one-directional.  A static ``value_safe`` verdict is a
+claim of bit-identity with strict IEEE on every input, so the search
+must find no value divergence; ``flags_safe`` extends that to the
+sticky-flag footprint.  The unsafe direction promises nothing: the
+predictor may say "possibly-value-changing" for a rewrite the search
+cannot actually distinguish.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optsim.compliance import corner_values, find_divergence
+from repro.optsim.machine import STRICT, optimization_level
+from repro.optsim.parser import parse_expr
+from repro.staticfp.corpus import CLEAN_CORPUS, GOTCHA_CORPUS
+from repro.staticfp.safety import predict_pass_safety
+
+ALL_ENTRIES = GOTCHA_CORPUS + CLEAN_CORPUS
+ENTRY_IDS = [e.key for e in ALL_ENTRIES]
+
+
+@pytest.mark.parametrize("entry", ALL_ENTRIES, ids=ENTRY_IDS)
+def test_value_safe_implies_no_value_divergence(entry):
+    expr = parse_expr(entry.expr)
+    config = entry.config()
+    report = predict_pass_safety(expr, config)
+    search = find_divergence(expr, config, trials=200, check_flags=False)
+    if report.value_safe:
+        assert not search.diverged, (
+            f"statically value-preserving but diverged: "
+            f"{search.describe()}"
+        )
+
+
+@pytest.mark.parametrize("entry", ALL_ENTRIES, ids=ENTRY_IDS)
+def test_flags_safe_implies_no_divergence_at_all(entry):
+    expr = parse_expr(entry.expr)
+    config = entry.config()
+    report = predict_pass_safety(expr, config)
+    search = find_divergence(expr, config, trials=200, check_flags=True)
+    if report.flags_safe:
+        assert not search.diverged, (
+            f"statically flag-preserving but diverged: "
+            f"{search.describe()}"
+        )
+
+
+class TestKnownVerdicts:
+    """The Figure-15 gotchas must be flagged unsafe, with dynamic
+    counterexamples confirming each unsafe verdict is earned."""
+
+    @pytest.mark.parametrize(
+        "key", ["madd", "flush_to_zero", "opt_level", "fast_math"]
+    )
+    def test_figure15_entries_unsafe_and_confirmed(self, key):
+        entry = next(e for e in GOTCHA_CORPUS if e.key == key)
+        expr = parse_expr(entry.expr)
+        config = entry.config()
+        report = predict_pass_safety(expr, config)
+        assert not report.value_safe
+        search = find_divergence(expr, config, trials=400)
+        assert search.diverged, (
+            "unsafe verdict should come with a dynamic witness here"
+        )
+        assert search.witness is not None
+
+    def test_strict_is_always_safe(self):
+        for entry in ALL_ENTRIES:
+            if entry.level != "strict":
+                continue
+            report = predict_pass_safety(parse_expr(entry.expr),
+                                         entry.config())
+            assert report.value_safe, entry.key
+
+    def test_constant_fold_erases_inexact(self):
+        report = predict_pass_safety(parse_expr("0.1 + 0.2"), STRICT)
+        assert report.value_safe
+        assert not report.flags_safe
+
+    def test_exact_constant_fold_keeps_flags(self):
+        report = predict_pass_safety(parse_expr("1.0 + 2.0"), STRICT)
+        assert report.value_safe
+        assert report.flags_safe
+
+
+class TestPointBindings:
+    """Point bindings let the predictor evaluate concretely."""
+
+    def test_fma_contraction_safe_at_benign_point(self):
+        # At a=b=1, c=0: fma(1,1,0) == 1*1+0 exactly, so the
+        # contraction is concretely harmless at this point.
+        report = predict_pass_safety(
+            parse_expr("a*b + c"), optimization_level("-O3"),
+            {"a": "1", "b": "1", "c": "0"},
+        )
+        fma = next(v for v in report.verdicts
+                   if v.pass_name == "fma-contraction")
+        assert fma.applied and fma.value_safe
+
+    def test_fma_contraction_unsafe_at_witness_point(self):
+        # The classic double-rounding witness: the product rounds, the
+        # fma does not, and the sums differ.
+        report = predict_pass_safety(
+            parse_expr("a*b + c"), optimization_level("-O3"),
+            {"a": "0.1", "b": "0.1", "c": "-0.01"},
+        )
+        fma = next(v for v in report.verdicts
+                   if v.pass_name == "fma-contraction")
+        assert fma.applied and not fma.value_safe
+        assert "counterexample" in fma.reason
+
+
+class TestCornerWitnesses:
+    """Static safe verdicts survive the dynamic corner sweep too."""
+
+    @pytest.mark.parametrize(
+        "entry",
+        [e for e in ALL_ENTRIES if e.level == "strict"],
+        ids=[e.key for e in ALL_ENTRIES if e.level == "strict"],
+    )
+    def test_corner_sweep_agrees(self, entry):
+        expr = parse_expr(entry.expr)
+        config = entry.config()
+        report = predict_pass_safety(expr, config)
+        if not report.value_safe:
+            pytest.skip("only safe verdicts make a universal claim")
+        from repro.optsim.ast import expr_variables
+
+        names = expr_variables(expr)
+        witnesses = [
+            {name: value for name in names}
+            for value in corner_values(config.fmt)
+        ]
+        search = find_divergence(
+            expr, config, trials=50, extra_witnesses=witnesses,
+            check_flags=False,
+        )
+        assert not search.diverged

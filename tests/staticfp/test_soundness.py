@@ -1,0 +1,219 @@
+"""Soundness properties: the analyzer must bracket the evaluator.
+
+For random expressions, random in-range bindings, and every machine
+configuration flavor, three properties must hold:
+
+- **value containment**: the concrete result is admitted by the root's
+  abstract value;
+- **may-completeness**: every sticky flag the evaluation raises is in
+  the analysis's may set;
+- **must-correctness**: every flag in the must set is raised.
+
+Uses hypothesis when installed; otherwise a seeded in-repo generator
+runs the same properties (minimal environments lose shrinking, not
+coverage).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fpenv.env import FPEnv
+from repro.fpenv.rounding import RoundingMode
+from repro.optsim.ast import (
+    FMA,
+    Binary,
+    BinOp,
+    Const,
+    Unary,
+    UnOp,
+    Var,
+    expr_variables,
+)
+from repro.optsim.evaluator import evaluate
+from repro.optsim.machine import STRICT
+from repro.softfloat import (
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    fp_add,
+    fp_div,
+    fp_lt,
+    parse_softfloat,
+)
+from repro.staticfp import AbstractValue, analyze
+
+FORMATS = [BINARY16, BINARY32, BINARY64]
+FORMAT_IDS = [f.name for f in FORMATS]
+N_EXAMPLES = 150
+
+CONFIG_FLAVORS = {
+    "strict": lambda fmt: STRICT.replace(fmt=fmt),
+    "ftz-daz": lambda fmt: STRICT.replace(fmt=fmt, ftz=True, daz=True),
+    "rtz": lambda fmt: STRICT.replace(
+        fmt=fmt, rounding=RoundingMode.TOWARD_ZERO
+    ),
+    "rtp": lambda fmt: STRICT.replace(
+        fmt=fmt, rounding=RoundingMode.TOWARD_POSITIVE
+    ),
+}
+
+_BINOPS = [BinOp.ADD, BinOp.SUB, BinOp.MUL, BinOp.DIV, BinOp.MIN, BinOp.MAX]
+_UNOPS = [UnOp.NEG, UnOp.ABS, UnOp.SQRT]
+_LITERALS = [
+    "0", "-0", "1", "2", "0.1", "1e3", "-3.5", "1e-40", "1e-310",
+    "1e30", "inf", "-1", "5e-324", "0.5",
+]
+
+
+def _rand_expr(rng: random.Random, depth: int):
+    if depth == 0 or rng.random() < 0.3:
+        if rng.random() < 0.6:
+            return Var(rng.choice(["a", "b"]))
+        return Const(rng.choice(_LITERALS))
+    shape = rng.random()
+    if shape < 0.65:
+        return Binary(
+            rng.choice(_BINOPS),
+            _rand_expr(rng, depth - 1),
+            _rand_expr(rng, depth - 1),
+        )
+    if shape < 0.85:
+        return Unary(rng.choice(_UNOPS), _rand_expr(rng, depth - 1))
+    return FMA(
+        _rand_expr(rng, depth - 1),
+        _rand_expr(rng, depth - 1),
+        _rand_expr(rng, depth - 1),
+    )
+
+
+def _rand_scenario(rng: random.Random, fmt):
+    """An expression plus consistent (range, in-range point) bindings."""
+    expr = _rand_expr(rng, rng.choice([1, 2, 3]))
+    env = FPEnv()
+    ranges = {}
+    points = {}
+    for name in expr_variables(expr):
+        lo = parse_softfloat(rng.choice(_LITERALS), fmt, env)
+        hi = parse_softfloat(rng.choice(_LITERALS), fmt, env)
+        if fp_lt(hi, lo, FPEnv()):
+            lo, hi = hi, lo
+        ranges[name] = AbstractValue.from_range(lo, hi)
+        candidates = [lo, hi]
+        two = parse_softfloat("2", fmt, env)
+        mid = fp_div(fp_add(lo, hi, FPEnv()), two, FPEnv())
+        if not mid.is_nan and ranges[name].admits(mid):
+            candidates.append(mid)
+        points[name] = rng.choice(candidates)
+    return expr, ranges, points
+
+
+def _check_soundness(fmt, config, seed: int) -> None:
+    rng = random.Random(seed)
+    expr, ranges, points = _rand_scenario(rng, fmt)
+    analysis = analyze(expr, ranges, config)
+    result = evaluate(expr, points, config)
+    context = (
+        f"expr={expr} config={config.name} fmt={fmt.name} "
+        f"bindings={ {k: str(v) for k, v in points.items()} }"
+    )
+    assert analysis.root.value.admits(result.value), (
+        f"value containment violated: got {result.value}, abstract "
+        f"{analysis.root.value.describe()} [{context}]"
+    )
+    unexpected = result.flags & ~analysis.may_flags
+    assert not unexpected, (
+        f"may-flags incomplete: raised {result.flags}, may only "
+        f"{analysis.may_flags} [{context}]"
+    )
+    missing = analysis.must_flags & ~result.flags
+    assert not missing, (
+        f"must-flags wrong: promised {analysis.must_flags}, raised "
+        f"{result.flags} [{context}]"
+    )
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the test extras
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+    @pytest.mark.parametrize("flavor", sorted(CONFIG_FLAVORS))
+    @settings(max_examples=N_EXAMPLES, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_analysis_sound(fmt, flavor, seed):
+        _check_soundness(fmt, CONFIG_FLAVORS[flavor](fmt), seed)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+    @pytest.mark.parametrize("flavor", sorted(CONFIG_FLAVORS))
+    def test_analysis_sound(fmt, flavor):
+        rng = random.Random(754)
+        for _ in range(N_EXAMPLES):
+            _check_soundness(
+                fmt, CONFIG_FLAVORS[flavor](fmt), rng.getrandbits(32)
+            )
+
+
+class TestRegressions:
+    """Pinned scenarios that once looked like soundness traps."""
+
+    def test_sqrt_of_negative_zero(self):
+        expr = Unary(UnOp.SQRT, Var("a"))
+        analysis = analyze(expr, {"a": "-0"})
+        result = evaluate(expr, {"a": parse_softfloat("-0", BINARY64, FPEnv())},
+                          STRICT)
+        assert analysis.root.value.admits(result.value)
+        assert analysis.must_flags == result.flags
+
+    def test_division_by_zero_spanning_range(self):
+        expr = Binary(BinOp.DIV, Const("1"), Var("a"))
+        analysis = analyze(expr, {"a": ("-1", "1")})
+        for point in ("1e-300", "-1e-300", "0", "-0", "1"):
+            value = parse_softfloat(point, BINARY64, FPEnv())
+            result = evaluate(expr, {"a": value}, STRICT)
+            assert analysis.root.value.admits(result.value), point
+            assert not result.flags & ~analysis.may_flags, point
+
+    def test_exact_cancellation_zero_sign_rne(self):
+        expr = Binary(BinOp.SUB, Var("a"), Var("a"))
+        analysis = analyze(expr, {"a": ("1", "2")})
+        result = evaluate(
+            expr, {"a": parse_softfloat("1.5", BINARY64, FPEnv())}, STRICT
+        )
+        assert result.value.is_zero and not result.value.is_negative
+        assert analysis.root.value.admits(result.value)
+
+    def test_exact_cancellation_zero_sign_rtn(self):
+        config = STRICT.replace(rounding=RoundingMode.TOWARD_NEGATIVE)
+        expr = Binary(BinOp.SUB, Var("a"), Var("a"))
+        analysis = analyze(expr, {"a": ("1", "2")}, config)
+        result = evaluate(
+            expr, {"a": parse_softfloat("1.5", BINARY64, FPEnv())}, config
+        )
+        assert result.value.is_zero and result.value.is_negative
+        assert analysis.root.value.admits(result.value)
+
+    def test_daz_flushes_subnormal_input(self):
+        config = STRICT.replace(ftz=True, daz=True)
+        expr = Binary(BinOp.SUB, Var("a"), Var("b"))
+        bindings = {"a": ("2e-308", "3e-308"), "b": ("1e-308", "2e-308")}
+        analysis = analyze(expr, bindings, config)
+        env = FPEnv()
+        points = {
+            "a": parse_softfloat("2e-308", BINARY64, env),
+            "b": parse_softfloat("2e-308", BINARY64, env),
+        }
+        result = evaluate(expr, points, config)
+        assert analysis.root.value.admits(result.value)
+        assert not result.flags & ~analysis.may_flags
