@@ -62,6 +62,56 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallel", type=int, default=0, metavar="N",
+        help="run the sweep on the sharded execution engine with N"
+             " worker processes (0: serial, the default; results are"
+             " bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="PATH", dest="cache_path",
+        help="JSONL disk tier for the engine's result cache (default:"
+             " the user cache dir; only used with --parallel)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the engine's result cache entirely",
+    )
+
+
+def _build_engine(args: argparse.Namespace):
+    """An :class:`~repro.engine.Engine` per the command's flags."""
+    from repro.engine import Engine, EngineConfig, default_cache_path
+
+    cache_path = None
+    if not args.no_cache:
+        cache_path = args.cache_path or default_cache_path()
+    return Engine(EngineConfig(
+        workers=max(0, args.parallel),
+        cache_enabled=not args.no_cache,
+        cache_path=cache_path,
+    ))
+
+
+def _engine_summary(engine) -> str:
+    report = engine.last_report
+    line = (
+        f"engine: {report.shards} shards, {report.from_cache} cached,"
+        f" {report.executed} executed"
+        f" ({'pool' if report.parallel else 'in-process'},"
+        f" {report.elapsed_seconds:.2f}s)"
+    )
+    if report.pool is not None:
+        pool = report.pool
+        faults = pool.retries + pool.timeouts + pool.worker_deaths
+        if faults:
+            line += (f"; faults: {pool.retries} retries,"
+                     f" {pool.timeouts} timeouts,"
+                     f" {pool.worker_deaths} worker deaths")
+    return line
+
+
 @contextlib.contextmanager
 def _telemetry_scope(args: argparse.Namespace) -> Iterator[None]:
     """Enable telemetry for a command when it asked for exports."""
@@ -123,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full markdown report (all figures + extensions)",
     )
     _add_telemetry_flags(study)
+    _add_engine_flags(study)
 
     demo = sub.add_parser(
         "demo", help="run a question's ground-truth demonstration",
@@ -202,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --corpus: regenerate the golden diagnostics file",
     )
     _add_telemetry_flags(lint)
+    _add_engine_flags(lint)
 
     shadow = sub.add_parser(
         "shadow", help="shadow-evaluate an expression at high precision",
@@ -287,7 +339,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-native", action="store_true",
         help="skip the native-hardware third opinion",
     )
+    oracle_run.add_argument(
+        "--no-timing", action="store_true",
+        help="omit wall-clock fields from the JSON report, making"
+             " serial and --parallel runs byte-identical",
+    )
     _add_telemetry_flags(oracle_run)
+    _add_engine_flags(oracle_run)
+
+    engine = sub.add_parser(
+        "engine", help="the sharded parallel execution engine",
+    )
+    engine_sub = engine.add_subparsers(dest="engine_command", required=True)
+    engine_run = engine_sub.add_parser(
+        "run", help="run a registered task across shards",
+    )
+    engine_run.add_argument(
+        "task", help="registered task name (see 'engine status')",
+    )
+    engine_run.add_argument(
+        "--param", action="append", default=[], metavar="JSON",
+        help="one shard's params as a JSON object (repeatable; shard"
+             " order follows flag order)",
+    )
+    engine_run.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run N shards with empty params (alternative to --param)",
+    )
+    engine_run.add_argument("--seed", type=int, default=754)
+    engine_run.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0: in-process serial)",
+    )
+    engine_run.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-shard timeout in seconds",
+    )
+    engine_run.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the ordered shard results to this JSON file",
+    )
+    _add_telemetry_flags(engine_run)
+    engine_status = engine_sub.add_parser(
+        "status", help="registered tasks, machine fingerprint, cache",
+    )
+    engine_status.add_argument(
+        "--cache", default=None, metavar="PATH", dest="cache_path",
+        help="inspect this cache file instead of the default",
+    )
+    engine_cache = engine_sub.add_parser(
+        "cache", help="inspect or clear the disk result cache",
+    )
+    engine_cache.add_argument("action", choices=["show", "clear"])
+    engine_cache.add_argument(
+        "--cache", default=None, metavar="PATH", dest="cache_path",
+        help="cache file (default: the user cache dir)",
+    )
 
     telemetry = sub.add_parser(
         "telemetry", help="inspect recorded traces and metrics",
@@ -322,11 +429,20 @@ def _cmd_quiz(args: argparse.Namespace) -> int:
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.analysis.study import run_study
 
+    engine = _build_engine(args) if args.parallel > 0 else None
     with _telemetry_scope(args):
-        study = run_study(
-            seed=args.seed, n_developers=args.developers,
-            n_students=args.students,
-        )
+        if engine is not None:
+            from repro.engine.adapters import run_study_sharded
+
+            study = run_study_sharded(
+                engine, seed=args.seed, n_developers=args.developers,
+                n_students=args.students,
+            )
+        else:
+            study = run_study(
+                seed=args.seed, n_developers=args.developers,
+                n_students=args.students,
+            )
         if args.figure is not None:
             print(study.figure(args.figure).render())
         else:
@@ -341,6 +457,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
             target = write_report(study, args.report)
             print(f"wrote full report to {target}")
+    if engine is not None:
+        print(f"\n{_engine_summary(engine)}")
     return 0
 
 
@@ -470,24 +588,40 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         for ftz in switch[args.ftz]
         for daz in switch[args.daz]
     ]
+    engine = _build_engine(args) if args.parallel > 0 else None
     try:
         with _telemetry_scope(args):
-            report = run_conformance(
-                fmt, ops,
-                budget=args.budget,
-                seed=args.seed,
-                modes=modes,
-                env_combos=env_combos,
-                tininess=args.tininess,
-                native=not args.no_native,
-            )
+            if engine is not None:
+                from repro.engine.adapters import run_conformance_sharded
+
+                report = run_conformance_sharded(
+                    fmt, ops, engine,
+                    budget=args.budget,
+                    seed=args.seed,
+                    modes=modes,
+                    env_combos=env_combos,
+                    tininess=args.tininess,
+                    native=not args.no_native,
+                )
+            else:
+                report = run_conformance(
+                    fmt, ops,
+                    budget=args.budget,
+                    seed=args.seed,
+                    modes=modes,
+                    env_combos=env_combos,
+                    tininess=args.tininess,
+                    native=not args.no_native,
+                )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     print(report.summary())
+    if engine is not None:
+        print(f"\n{_engine_summary(engine)}")
     if args.json:
         try:
-            report.write_json(args.json)
+            report.write_json(args.json, timing=not args.no_timing)
         except OSError as exc:
             print(f"cannot write JSON report: {exc}", file=sys.stderr)
             return 2
@@ -557,11 +691,17 @@ def _lint_corpus(args: argparse.Namespace) -> int:
         write_golden,
     )
 
+    engine = _build_engine(args) if args.parallel > 0 else None
     with _telemetry_scope(args):
         if args.write_golden:
             snapshot = write_golden()
             print(f"wrote {len(snapshot)} golden entries to {GOLDEN_PATH}")
-        summary = precision_summary()
+        outcomes = None
+        if engine is not None:
+            from repro.engine.adapters import run_corpus_sharded
+
+            outcomes = run_corpus_sharded(engine)
+        summary = precision_summary(outcomes)
         print(f"gotchas detected: {summary['gotchas_detected']}"
               f"/{summary['gotchas_total']}")
         if summary["missed"]:
@@ -570,7 +710,9 @@ def _lint_corpus(args: argparse.Namespace) -> int:
               f" {len(summary['false_positives'])}/{summary['clean_total']}")
         if summary["false_positives"]:
             print("  " + ", ".join(summary["false_positives"]))
-        drift = check_golden()
+        drift = check_golden(outcomes=outcomes)
+    if engine is not None:
+        print(_engine_summary(engine))
     if drift:
         print(f"golden drift ({len(drift)} entries):")
         for line in drift:
@@ -750,6 +892,93 @@ def _cmd_instrument(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine(args: argparse.Namespace) -> int:
+    from repro.engine import default_cache_path
+
+    if args.engine_command == "status":
+        import multiprocessing
+        import os
+
+        from repro.engine import machine_fingerprint, registered_tasks
+        from repro.engine.cache import ResultCache
+
+        print("registered tasks:")
+        for name in registered_tasks():
+            print(f"  {name}")
+        print("machine fingerprint:")
+        for key, value in machine_fingerprint().items():
+            print(f"  {key}: {value}")
+        print(f"cpus: {os.cpu_count()}")
+        print(f"start method: {multiprocessing.get_start_method()}")
+        path = args.cache_path or default_cache_path()
+        cache = ResultCache(disk_path=path)
+        print(f"cache file: {path} ({cache.disk_entries} entries)")
+        return 0
+
+    if args.engine_command == "cache":
+        from repro.engine.cache import ResultCache
+
+        path = args.cache_path or default_cache_path()
+        cache = ResultCache(disk_path=path)
+        if args.action == "clear":
+            entries = cache.disk_entries
+            cache.clear()
+            print(f"cleared {entries} entries from {path}")
+        else:
+            print(cache.describe())
+        return 0
+
+    # engine run
+    import json
+
+    from repro.engine import Engine, EngineConfig, get_task, make_job
+    from repro.errors import EngineError, ShardError
+
+    if args.param and args.shards is not None:
+        print("--param and --shards are mutually exclusive", file=sys.stderr)
+        return 2
+    try:
+        get_task(args.task)
+    except EngineError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.param:
+        try:
+            param_list = [json.loads(p) for p in args.param]
+        except ValueError as exc:
+            print(f"bad --param JSON: {exc}", file=sys.stderr)
+            return 2
+        if not all(isinstance(p, dict) for p in param_list):
+            print("each --param must be a JSON object", file=sys.stderr)
+            return 2
+    else:
+        param_list = [{} for _ in range(args.shards or 1)]
+    engine = Engine(EngineConfig(
+        workers=max(0, args.workers),
+        shard_timeout=args.timeout,
+        cache_enabled=False,
+    ))
+    with _telemetry_scope(args):
+        job = make_job(args.task, args.task, param_list,
+                       seed=args.seed, cacheable=False)
+        try:
+            results = engine.run(job)
+        except ShardError as exc:
+            print(str(exc), file=sys.stderr)
+            if exc.details:
+                print(exc.details, file=sys.stderr)
+            return 1
+    print(_engine_summary(engine))
+    payload = json.dumps(results, indent=2, default=str)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {len(results)} shard results to {args.json}")
+    else:
+        print(payload)
+    return 0
+
+
 _COMMANDS = {
     "quiz": _cmd_quiz,
     "study": _cmd_study,
@@ -763,6 +992,7 @@ _COMMANDS = {
     "instrument": _cmd_instrument,
     "oracle": _cmd_oracle,
     "telemetry": _cmd_telemetry,
+    "engine": _cmd_engine,
 }
 
 

@@ -1,0 +1,85 @@
+"""Sharded parallel execution for the repo's heavyweight sweeps.
+
+The engine re-expresses the expensive computations — the oracle's
+differential conformance sweep, the study simulation, divergence
+searches, the lint-corpus sweep — as **jobs**: ordered lists of pure,
+JSON-serializable **shards** executed on a fault-tolerant
+multiprocessing worker pool, fronted by a content-addressed result
+cache.
+
+The non-negotiable contract is *bit-identity*: a job's merged result
+is byte-for-byte the serial code path's result, at any worker count,
+with any shard served from cache.  Three mechanisms carry it:
+
+- per-shard randomness is **derived from position**, never drawn from
+  a shared sequential stream (:func:`~repro.engine.tasks.derive_seed`,
+  :func:`~repro.population.response_model.respondent_rng`);
+- shard boundaries are computed in **closed form** so a shard knows
+  its slice of a global budget without replaying the prefix
+  (:func:`~repro.oracle.runner.plan_op_slices`);
+- merges run in **shard-index order** regardless of completion order.
+
+Layering::
+
+    tasks.py     job model, task registry, seed derivation
+    cache.py     content-addressed result cache (LRU + JSONL disk)
+    events.py    EngineFlag fault events on the telemetry stream
+    worker.py    worker-process entry point
+    pool.py      multiprocessing pool: batching, heartbeats, retries
+    engine.py    the facade: cache -> pool/serial -> ordered merge
+    adapters.py  sharded twins of oracle/study/optsim/staticfp runs
+    testing.py   fault-injection tasks (crash/hang/fail probes)
+"""
+
+from repro.engine.cache import (
+    MISS,
+    CacheStats,
+    ResultCache,
+    cache_key,
+    default_cache_path,
+    machine_fingerprint,
+)
+from repro.engine.engine import Engine, EngineConfig, RunReport
+from repro.engine.events import EngineFlag, PoolStats, emit_engine_event
+from repro.engine.pool import PoolConfig, WorkerPool
+from repro.engine.tasks import (
+    Job,
+    Shard,
+    ShardContext,
+    TaskSpec,
+    derive_seed,
+    ensure_tasks_loaded,
+    execute_task,
+    get_task,
+    make_job,
+    registered_tasks,
+    task,
+)
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "EngineFlag",
+    "RunReport",
+    "PoolConfig",
+    "PoolStats",
+    "WorkerPool",
+    "Job",
+    "Shard",
+    "ShardContext",
+    "TaskSpec",
+    "derive_seed",
+    "make_job",
+    "task",
+    "get_task",
+    "registered_tasks",
+    "execute_task",
+    "ensure_tasks_loaded",
+    "emit_engine_event",
+    "MISS",
+    "CacheStats",
+    "ResultCache",
+    "cache_key",
+    "machine_fingerprint",
+    "default_cache_path",
+]

@@ -1,0 +1,88 @@
+"""Engine fault events, delivered through the telemetry event stream.
+
+The telemetry layer's :class:`~repro.telemetry.events.ExceptionStream`
+is deliberately flag-generic (any ``enum.Flag``), so the engine reuses
+it verbatim: a retry, a shard timeout, a worker death, or a serial
+fallback becomes an event with an :class:`EngineFlag` instead of an
+:class:`~repro.fpenv.flags.FPFlag`.  Subscribed sinks — the bounded
+event log, JSONL trace export, live counters — see engine faults
+interleaved with FP exceptions in one sequence, and the log's
+first-occurrence retention applies per fault kind for free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any
+
+from repro.telemetry import get_telemetry
+
+__all__ = ["EngineFlag", "PoolStats", "emit_engine_event"]
+
+
+class EngineFlag(enum.Flag):
+    """Fault-event kinds the engine can raise (combinable)."""
+
+    NONE = 0
+    RETRY = enum.auto()
+    TIMEOUT = enum.auto()
+    WORKER_DEATH = enum.auto()
+    SERIAL_FALLBACK = enum.auto()
+    RETRIES_EXHAUSTED = enum.auto()
+
+
+def emit_engine_event(flag: EngineFlag, operation: str) -> None:
+    """Record one engine fault on the ambient telemetry stream.
+
+    ``operation`` follows the FP-event convention of naming the site,
+    e.g. ``"engine.shard[7]"``.  A no-op (beyond a sequence number)
+    when no session is active, exactly like FP-exception recording.
+    """
+    telemetry = get_telemetry()
+    telemetry.stream.record(
+        operation, flag, span_path=telemetry.tracer.current_path() or None
+    )
+
+
+@dataclasses.dataclass
+class PoolStats:
+    """One pool run's fault/throughput accounting."""
+
+    shards: int = 0
+    completed: int = 0
+    from_cache: int = 0
+    batches: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    serial_fallbacks: int = 0
+    heartbeats: int = 0
+    workers_spawned: int = 0
+    max_queue_depth: int = 0
+    elapsed_seconds: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "completed": self.completed,
+            "from_cache": self.from_cache,
+            "batches": self.batches,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "serial_fallbacks": self.serial_fallbacks,
+            "heartbeats": self.heartbeats,
+            "workers_spawned": self.workers_spawned,
+            "max_queue_depth": self.max_queue_depth,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.completed}/{self.shards} shards"
+            f" ({self.from_cache} cached) in {self.elapsed_seconds:.2f}s;"
+            f" {self.batches} batches, {self.retries} retries,"
+            f" {self.timeouts} timeouts, {self.worker_deaths} worker"
+            f" deaths, {self.serial_fallbacks} serial fallbacks"
+        )

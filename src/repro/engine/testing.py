@@ -1,0 +1,80 @@
+"""Fault-injection tasks: the engine's own test instruments.
+
+These tasks deliberately violate the things real tasks must never do
+(die, hang, depend on the retry attempt) so the pool's fault paths can
+be exercised deterministically.  Jobs built from them must set
+``cacheable=False`` — their results are functions of execution
+history, not of their spec.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.engine.tasks import task
+
+__all__ = ["crash_job_params"]
+
+
+@task("engine.test.echo")
+def _echo(params: dict, ctx) -> dict:
+    """Return the shard's own coordinates (scheduling probe)."""
+    return {
+        "payload": params.get("payload"),
+        "index": ctx.index,
+        "n_shards": ctx.n_shards,
+        "pid": os.getpid(),
+    }
+
+
+@task("engine.test.sleep")
+def _sleep(params: dict, ctx) -> float:
+    """Sleep ``seconds`` and return it (timeout/throughput probe)."""
+    seconds = float(params.get("seconds", 0.01))
+    time.sleep(seconds)
+    return seconds
+
+
+@task("engine.test.crash_once")
+def _crash_once(params: dict, ctx) -> dict:
+    """Kill the whole worker process on the first ``crashes`` attempts.
+
+    ``os._exit`` bypasses every handler — from the parent's point of
+    view this is indistinguishable from an OOM kill or a segfault,
+    which is the point.
+    """
+    if ctx.attempt < int(params.get("crashes", 1)):
+        os._exit(13)
+    return {"index": ctx.index, "survived_attempt": ctx.attempt}
+
+
+@task("engine.test.hang_once")
+def _hang_once(params: dict, ctx) -> dict:
+    """Hang far past any sane shard timeout on the first attempt."""
+    if ctx.attempt == 0:
+        time.sleep(float(params.get("hang_seconds", 3600.0)))
+    return {"index": ctx.index, "survived_attempt": ctx.attempt}
+
+
+@task("engine.test.fail")
+def _fail(params: dict, ctx) -> None:
+    """Raise a deterministic task error (the no-retry path)."""
+    raise ValueError(params.get("message", "engine.test.fail"))
+
+
+@task("engine.test.rng_draw")
+def _rng_draw(params: dict, ctx) -> list[int]:
+    """Draw from the shard's derived seed (determinism probe)."""
+    rng = random.Random(ctx.seed)
+    return [rng.randrange(1 << 30) for _ in range(int(params.get("n", 3)))]
+
+
+def crash_job_params(n_shards: int, crash_index: int,
+                     crashes: int = 1) -> list[dict]:
+    """Params for a job where exactly one shard kills its worker."""
+    return [
+        {"crashes": crashes if index == crash_index else 0}
+        for index in range(n_shards)
+    ]

@@ -1,0 +1,78 @@
+"""Worker-process entry point.
+
+Kept to a module-level function so it survives both ``fork`` and
+``spawn`` start methods.  The bootstrap order matters:
+
+1. :func:`repro.telemetry.reset_for_process` — a forked child inherits
+   the parent's ambient telemetry session as thread-local state;
+   recording into it would be silent data loss (the objects are dead
+   copies).  Workers start from an explicit NULL session.
+2. :func:`repro.engine.tasks.ensure_tasks_loaded` — materialize the
+   task registry in this process (a no-op under ``fork``, essential
+   under ``spawn``).
+
+The message protocol (worker side):
+
+- pull ``("batch", units)`` from this worker's private task queue;
+  each unit is ``(shard_index, n_shards, task, params, seed,
+  attempt)``;
+- per unit: ``("start", ...)`` then ``("done", ..., result)`` or
+  ``("task_error", ..., repr, traceback)``;
+- send ``("hb", worker_id)`` whenever the task queue is idle past the
+  heartbeat interval, so a silent worker is distinguishable from a
+  starved one;
+- exit on ``("stop",)``.
+
+Workers never acknowledge receipt: outbound messages ride an async
+feeder thread that a dying process may never flush, so the parent
+tracks assignment on its own side and treats everything it assigned
+to a dead worker as lost.  ``done`` messages that *did* flush before
+a death are deduplicated by the parent.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import traceback
+
+__all__ = ["worker_main"]
+
+
+def worker_main(worker_id: int, task_queue, result_queue,
+                heartbeat_interval: float) -> None:
+    """Run the worker loop until a stop sentinel (or a fatal signal)."""
+    from repro.telemetry import reset_for_process
+
+    reset_for_process()
+
+    from repro.engine.tasks import ShardContext, ensure_tasks_loaded, \
+        execute_task
+
+    ensure_tasks_loaded()
+
+    while True:
+        try:
+            message = task_queue.get(timeout=heartbeat_interval)
+        except queue_module.Empty:
+            result_queue.put(("hb", worker_id))
+            continue
+        if message[0] == "stop":
+            return
+        for shard_index, n_shards, task_name, params, seed, attempt \
+                in message[1]:
+            result_queue.put(("start", worker_id, shard_index, attempt))
+            ctx = ShardContext(
+                index=shard_index, n_shards=n_shards, seed=seed,
+                attempt=attempt,
+            )
+            try:
+                result = execute_task(task_name, params, ctx)
+            except Exception as exc:
+                result_queue.put((
+                    "task_error", worker_id, shard_index, attempt,
+                    repr(exc), traceback.format_exc(),
+                ))
+            else:
+                result_queue.put((
+                    "done", worker_id, shard_index, attempt, result,
+                ))

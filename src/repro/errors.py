@@ -21,6 +21,8 @@ __all__ = [
     "CalibrationError",
     "SurveyDataError",
     "OptimizationError",
+    "EngineError",
+    "ShardError",
 ]
 
 
@@ -79,3 +81,21 @@ class SurveyDataError(ReproError, ValueError):
 
 class OptimizationError(ReproError, RuntimeError):
     """An optimization pass produced an ill-formed expression tree."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """The execution engine was misconfigured or misused (unknown task,
+    bad job spec, unusable cache file, ...)."""
+
+
+class ShardError(EngineError):
+    """A shard failed permanently: its task raised, or every retry of a
+    dying/hung worker was exhausted.  ``shard_index`` identifies the
+    shard; ``details`` carries the worker-side traceback when one
+    exists."""
+
+    def __init__(self, shard_index: int, message: str,
+                 details: str | None = None) -> None:
+        self.shard_index = shard_index
+        self.details = details
+        super().__init__(f"shard {shard_index}: {message}")

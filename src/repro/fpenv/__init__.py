@@ -22,7 +22,7 @@ Example
 True
 """
 
-from repro.fpenv.flags import FPFlag, FLAG_ORDER, flag_names
+from repro.fpenv.flags import FPFlag, FLAG_ORDER, flag_names, flags_from_names
 from repro.fpenv.rounding import RoundingMode
 from repro.fpenv.trace import TraceEvent, TracingEnv
 from repro.fpenv.env import (
@@ -38,6 +38,7 @@ __all__ = [
     "FPFlag",
     "FLAG_ORDER",
     "flag_names",
+    "flags_from_names",
     "RoundingMode",
     "FPEnv",
     "TracingEnv",

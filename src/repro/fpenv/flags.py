@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 
-__all__ = ["FPFlag", "FLAG_ORDER", "flag_names"]
+__all__ = ["FPFlag", "FLAG_ORDER", "flag_names", "flags_from_names"]
 
 
 class FPFlag(enum.Flag):
@@ -71,3 +71,16 @@ def flag_names(flags: FPFlag) -> list[str]:
         and member in flags
     ]
     return sorted(names)
+
+
+def flags_from_names(names: list[str] | tuple[str, ...]) -> FPFlag:
+    """Rebuild a flag set from :func:`flag_names` output (its inverse).
+
+    >>> flags_from_names(['inexact', 'invalid']) == (
+    ...     FPFlag.INVALID | FPFlag.INEXACT)
+    True
+    """
+    flags = FPFlag.NONE
+    for name in names:
+        flags |= FPFlag[name.upper()]
+    return flags

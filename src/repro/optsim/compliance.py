@@ -25,6 +25,8 @@ from repro.telemetry import get_telemetry
 __all__ = [
     "DivergenceReport",
     "cross_validate",
+    "divergence_candidates",
+    "check_binding",
     "find_divergence",
     "is_standard_compliant",
     "noncompliance_reasons",
@@ -157,23 +159,25 @@ def find_divergence(
         return report
 
 
-def _search_divergence(
+def divergence_candidates(
     expr: Expr,
     config: MachineConfig,
-    telemetry,
     *,
     seed: int,
     trials: int,
-    check_flags: bool,
-    extra_witnesses: Sequence[dict[str, SoftFloat]],
-    oracle_check: bool,
-) -> DivergenceReport:
-    """The search body of :func:`find_divergence` (span managed there)."""
-    trials_total = telemetry.metrics.counter(
-        "optsim.divergence_trials_total", config=config.name
-    )
+    extra_witnesses: Sequence[dict[str, SoftFloat]] = (),
+) -> list[dict[str, SoftFloat]]:
+    """The deterministic candidate list a divergence search walks.
+
+    Pure in ``(expr, config, seed, trials, extra_witnesses)``: caller
+    witnesses first, then the corner lattice (all combinations when the
+    variable count keeps that tractable, corner-biased random picks
+    otherwise), then random operands up to ``trials``.  Sharded
+    searches regenerate this list per shard and walk disjoint slices,
+    which is what keeps a parallel search's verdict — first diverging
+    index wins — identical to the serial walk.
+    """
     names = expr_variables(expr)
-    optimized = optimize(expr, config)
     rng = random.Random(seed)
     fmt = config.fmt
 
@@ -195,17 +199,55 @@ def _search_divergence(
             )
     while len(candidates) < trials:
         candidates.append({name: _random_value(rng, fmt) for name in names})
+    return candidates
+
+
+def check_binding(
+    expr: Expr,
+    optimized: Expr,
+    binding: dict[str, SoftFloat],
+    config: MachineConfig,
+) -> tuple[EvalResult, EvalResult, bool, bool]:
+    """Evaluate one candidate both ways; report what diverged.
+
+    Returns ``(strict, optimized, value_diverged, flags_diverged)``.
+    """
+    strict_result = evaluate(expr, binding, STRICT.replace(fmt=config.fmt))
+    optimized_result = evaluate(optimized, binding, config)
+    value_diverged = not _same_value(
+        strict_result.value, optimized_result.value
+    )
+    flags_diverged = strict_result.flags != optimized_result.flags
+    return strict_result, optimized_result, value_diverged, flags_diverged
+
+
+def _search_divergence(
+    expr: Expr,
+    config: MachineConfig,
+    telemetry,
+    *,
+    seed: int,
+    trials: int,
+    check_flags: bool,
+    extra_witnesses: Sequence[dict[str, SoftFloat]],
+    oracle_check: bool,
+) -> DivergenceReport:
+    """The search body of :func:`find_divergence` (span managed there)."""
+    trials_total = telemetry.metrics.counter(
+        "optsim.divergence_trials_total", config=config.name
+    )
+    optimized = optimize(expr, config)
+    candidates = divergence_candidates(
+        expr, config, seed=seed, trials=trials,
+        extra_witnesses=extra_witnesses,
+    )
 
     count = 0
     for binding in candidates:
         count += 1
         trials_total.inc()
-        strict_result = evaluate(expr, binding, STRICT.replace(fmt=fmt))
-        optimized_result = evaluate(optimized, binding, config)
-        value_diverged = not _same_value(
-            strict_result.value, optimized_result.value
-        )
-        flags_diverged = strict_result.flags != optimized_result.flags
+        strict_result, optimized_result, value_diverged, flags_diverged = \
+            check_binding(expr, optimized, binding, config)
         if value_diverged or (check_flags and flags_diverged):
             telemetry.metrics.counter(
                 "optsim.divergences_found_total", config=config.name

@@ -91,7 +91,8 @@ def random_operands(fmt: FloatFormat, rng: random.Random) -> Iterator[int]:
 
 
 def generate_cases(
-    fmt: FloatFormat, arity: int, budget: int, seed: int
+    fmt: FloatFormat, arity: int, budget: int, seed: int,
+    *, rng: random.Random | None = None,
 ) -> Iterator[tuple[int, ...]]:
     """Yield up to ``budget`` operand tuples for an operation of the
     given arity: boundary-lattice combinations first (exhaustively for
@@ -99,9 +100,15 @@ def generate_cases(
 
     For formats within :data:`EXHAUSTIVE_WIDTH_LIMIT` the boundary phase
     is replaced by full enumeration when it fits the budget.
+
+    All randomness comes from the injectable ``rng`` (freshly seeded
+    from ``seed`` when omitted, and never shared module state), so the
+    stream for a given ``(fmt, arity, budget, seed)`` is reproducible
+    anywhere — including inside engine worker processes replaying a
+    slice of the same stream.
     """
     produced = 0
-    rng = random.Random(seed)
+    rng = rng or random.Random(seed)
 
     if fmt.width <= EXHAUSTIVE_WIDTH_LIMIT:
         space = (1 << fmt.width) ** arity

@@ -12,7 +12,7 @@ import dataclasses
 import json
 from typing import Any
 
-from repro.fpenv.flags import FPFlag, flag_names
+from repro.fpenv.flags import FPFlag, flag_names, flags_from_names
 
 __all__ = ["Discrepancy", "OpStats", "ConformanceReport"]
 
@@ -55,6 +55,29 @@ class Discrepancy:
                 else [f"0x{b:x}" for b in self.shrunk_operands]
             ),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Discrepancy":
+        """Inverse of :meth:`to_dict` (the engine's shard transport)."""
+        shrunk = data.get("shrunk_operands")
+        return cls(
+            op=data["op"],
+            fmt_name=data["format"],
+            operands=tuple(int(b, 16) for b in data["operands"]),
+            rounding=data["rounding"],
+            ftz=data["ftz"],
+            daz=data["daz"],
+            tininess=data["tininess"],
+            engine_bits=int(data["engine"], 16),
+            oracle_bits=int(data["oracle"], 16),
+            engine_flags=flags_from_names(data["engine_flags"]),
+            oracle_flags=flags_from_names(data["oracle_flags"]),
+            kind=data["kind"],
+            shrunk_operands=(
+                None if shrunk is None
+                else tuple(int(b, 16) for b in shrunk)
+            ),
+        )
 
     def describe(self) -> str:
         ops = ", ".join(f"0x{b:x}" for b in self.operands)
@@ -100,8 +123,8 @@ class OpStats:
     def evals_per_sec(self) -> float:
         return self.evals / self.wall_seconds if self.wall_seconds else 0.0
 
-    def to_dict(self) -> dict[str, Any]:
-        return {
+    def to_dict(self, *, timing: bool = True) -> dict[str, Any]:
+        data = {
             "op": self.op,
             "cases": self.cases,
             "evals": self.evals,
@@ -112,9 +135,44 @@ class OpStats:
             "discrepancies": self.discrepancies,
             "native_evals": self.native_evals,
             "native_agree": self.native_agree,
-            "wall_seconds": round(self.wall_seconds, 6),
-            "evals_per_sec": round(self.evals_per_sec, 1),
         }
+        if timing:
+            data["wall_seconds"] = round(self.wall_seconds, 6)
+            data["evals_per_sec"] = round(self.evals_per_sec, 1)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "OpStats":
+        """Inverse of :meth:`to_dict` (derived rate fields ignored)."""
+        return cls(
+            op=data["op"],
+            cases=data["cases"],
+            evals=data["evals"],
+            value_agree=data["value_agree"],
+            flag_agree=data["flag_agree"],
+            discrepancies=data["discrepancies"],
+            native_evals=data["native_evals"],
+            native_agree=data["native_agree"],
+            wall_seconds=data.get("wall_seconds", 0.0),
+        )
+
+    def absorb(self, other: "OpStats") -> None:
+        """Fold another slice of the same op's sweep into this one.
+
+        Counters add; ``wall_seconds`` adds too, which for parallel
+        runs makes it *aggregate worker seconds* rather than elapsed
+        wall time (the engine reports elapsed time separately).
+        """
+        if other.op != self.op:
+            raise ValueError(f"cannot merge {other.op!r} into {self.op!r}")
+        self.cases += other.cases
+        self.evals += other.evals
+        self.value_agree += other.value_agree
+        self.flag_agree += other.flag_agree
+        self.discrepancies += other.discrepancies
+        self.native_evals += other.native_evals
+        self.native_agree += other.native_agree
+        self.wall_seconds += other.wall_seconds
 
 
 @dataclasses.dataclass
@@ -139,7 +197,7 @@ class ConformanceReport:
         """True when the engine matched the oracle on every case."""
         return not self.discrepancies
 
-    def to_dict(self) -> dict[str, Any]:
+    def to_dict(self, *, timing: bool = True) -> dict[str, Any]:
         return {
             "format": self.fmt_name,
             "seed": self.seed,
@@ -151,17 +209,26 @@ class ConformanceReport:
             ],
             "total_evals": self.total_evals,
             "clean": self.clean,
-            "ops": {name: stats.to_dict()
+            "ops": {name: stats.to_dict(timing=timing)
                     for name, stats in sorted(self.op_stats.items())},
             "discrepancies": [d.to_dict() for d in self.discrepancies],
         }
 
-    def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+    def to_json(self, indent: int = 2, *, timing: bool = True) -> str:
+        return json.dumps(self.to_dict(timing=timing), indent=indent)
 
-    def write_json(self, path: str) -> None:
+    def canonical_json(self) -> str:
+        """The deterministic report: everything except wall-clock
+        fields, which are the only values that legitimately differ
+        between two runs of the same sweep.  Serial and engine-sharded
+        runs of one spec must produce byte-identical canonical JSON —
+        the conformance artifact the EXPERIMENTS log archives.
+        """
+        return self.to_json(timing=False)
+
+    def write_json(self, path: str, *, timing: bool = True) -> None:
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
+            handle.write(self.to_json(timing=timing))
             handle.write("\n")
 
     def summary(self) -> str:

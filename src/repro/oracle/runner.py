@@ -66,6 +66,10 @@ __all__ = [
     "OracleMismatch",
     "run_conformance",
     "check_case",
+    "op_case_count",
+    "eval_offset",
+    "plan_op_slices",
+    "run_op_slice",
 ]
 
 ENGINE_OPS = {
@@ -251,78 +255,224 @@ def _run_op(
     loop is two clock reads per *operation* (for the JSON report's
     wall-time/evals-per-sec fields).
     """
+    with telemetry.tracer.span("oracle.op", op=op, format=fmt.name) as span:
+        op_started = time.perf_counter()
+        stats = OpStats(op=op)
+        report.op_stats[op] = stats
+        _drive_op_cases(
+            op, fmt, budget, seed, matrix, tininess, native,
+            stats=stats, sink=report.discrepancies,
+            sink_cap=max_discrepancies,
+        )
+        stats.wall_seconds = time.perf_counter() - op_started
+        span.set("evals", stats.evals)
+        span.set("discrepancies", stats.discrepancies)
+        if telemetry.enabled:
+            telemetry.metrics.gauge("oracle.evals_per_sec", op=op).set(
+                stats.evals_per_sec
+            )
+
+
+def _full_matrix_cases(
+    fmt: FloatFormat, arity: int, budget: int, matrix_len: int
+) -> int:
+    """How many leading cases are driven under *every* matrix combo.
+
+    Boundary cases (and exhaustive tiny formats) get the full matrix;
+    this is the budget split the serial loop has always used, factored
+    out so shard planning computes the identical number.
+    """
+    full_matrix_cases = max(1, budget // (4 * matrix_len))
+    if fmt.width <= EXHAUSTIVE_WIDTH_LIMIT:
+        space = (1 << fmt.width) ** arity
+        if space * matrix_len <= budget:
+            full_matrix_cases = space
+    else:
+        n_corners = len(boundary_operands(fmt))
+        full_matrix_cases = min(full_matrix_cases, n_corners ** min(arity, 2))
+    return full_matrix_cases
+
+
+def _generated_case_count(fmt: FloatFormat, arity: int, budget: int) -> int:
+    """How many cases :func:`generate_cases` yields for these params."""
+    if fmt.width <= EXHAUSTIVE_WIDTH_LIMIT:
+        space = (1 << fmt.width) ** arity
+        if space <= budget:
+            return space
+    return budget
+
+
+def eval_offset(
+    case_index: int, full_matrix_cases: int, matrix_len: int, budget: int
+) -> int:
+    """Evaluations the serial loop has spent before ``case_index``.
+
+    Closed-form: the first ``full_matrix_cases`` cases cost
+    ``matrix_len`` evaluations each, every later case costs one, and
+    the loop never exceeds ``budget``.  This is what lets a shard know
+    its position in the op's global budget without replaying the
+    prefix.
+    """
+    ideal = (matrix_len * min(case_index, full_matrix_cases)
+             + max(0, case_index - full_matrix_cases))
+    return min(ideal, budget)
+
+
+def op_case_count(
+    fmt: FloatFormat, op: str, budget: int, matrix_len: int
+) -> int:
+    """The number of cases the serial loop processes for one op."""
+    arity = OP_ARITY[op]
+    fmc = _full_matrix_cases(fmt, arity, budget, matrix_len)
+    generated = _generated_case_count(fmt, arity, budget)
+    if budget <= fmc * matrix_len:
+        exhausted_at = -(-budget // matrix_len)  # ceil division
+    else:
+        exhausted_at = fmc + (budget - fmc * matrix_len)
+    return min(generated, exhausted_at)
+
+
+def plan_op_slices(
+    fmt: FloatFormat, op: str, budget: int, matrix_len: int, n_slices: int
+) -> list[tuple[int, int]]:
+    """Split one op's case stream into up to ``n_slices`` contiguous
+    ``(case_lo, case_hi)`` ranges, balanced by *evaluation* count (the
+    leading full-matrix cases are ``matrix_len`` times heavier than the
+    round-robin tail).  Concatenating the slices reproduces the serial
+    sweep exactly; the split only chooses where the seams fall.
+    """
+    n_cases = op_case_count(fmt, op, budget, matrix_len)
+    if n_cases == 0:
+        return []
+    arity = OP_ARITY[op]
+    fmc = _full_matrix_cases(fmt, arity, budget, matrix_len)
+    total_evals = eval_offset(n_cases, fmc, matrix_len, budget)
+    boundaries = [0]
+    for j in range(1, n_slices):
+        target = j * total_evals // n_slices
+        if target <= fmc * matrix_len:
+            case = target // matrix_len
+        else:
+            case = fmc + (target - fmc * matrix_len)
+        boundaries.append(min(max(case, boundaries[-1]), n_cases))
+    boundaries.append(n_cases)
+    return [
+        (lo, hi)
+        for lo, hi in zip(boundaries, boundaries[1:])
+        if hi > lo
+    ]
+
+
+def run_op_slice(
+    fmt: FloatFormat,
+    op: str,
+    budget: int,
+    seed: int,
+    matrix: tuple,
+    tininess: str,
+    native: bool,
+    max_discrepancies: int,
+    case_lo: int,
+    case_hi: int,
+) -> tuple[OpStats, list[Discrepancy]]:
+    """Run cases ``[case_lo, case_hi)`` of one op's differential sweep.
+
+    A pure function of its arguments: the case stream is regenerated
+    from the seed and fast-forwarded, and the shard's position in the
+    op's evaluation budget is computed in closed form — so the union
+    of disjoint slices is bit-identical to the serial sweep.
+    """
+    stats = OpStats(op=op)
+    sink: list[Discrepancy] = []
+    started = time.perf_counter()
+    _drive_op_cases(
+        op, fmt, budget, seed, matrix, tininess, native,
+        stats=stats, sink=sink, sink_cap=max_discrepancies,
+        case_lo=case_lo, case_hi=case_hi,
+    )
+    stats.wall_seconds = time.perf_counter() - started
+    return stats, sink
+
+
+def _drive_op_cases(
+    op: str,
+    fmt: FloatFormat,
+    budget: int,
+    seed: int,
+    matrix: tuple,
+    tininess: str,
+    native: bool,
+    *,
+    stats: OpStats,
+    sink: list[Discrepancy],
+    sink_cap: int,
+    case_lo: int = 0,
+    case_hi: int | None = None,
+) -> None:
+    """The differential loop over one op's case stream (or a slice).
+
+    Serial runs drive ``[0, None)`` with the report's shared
+    discrepancy list as ``sink``; engine shards drive ``[lo, hi)``
+    with a private sink.  Either way the per-case behavior — combo
+    selection, budget cutoff, shrinking — depends only on the case
+    index, never on which process is executing.
+    """
+    telemetry = get_telemetry()
     instrumented = telemetry.enabled
     metrics = telemetry.metrics
     evals_total = metrics.counter("oracle.evals_total", op=op)
     discrepancies_total = metrics.counter("oracle.discrepancies_total", op=op)
     latency = metrics.histogram("oracle.eval_seconds", op=op)
 
-    with telemetry.tracer.span("oracle.op", op=op, format=fmt.name) as span:
-        op_started = time.perf_counter()
-        stats = OpStats(op=op)
-        report.op_stats[op] = stats
-        arity = OP_ARITY[op]
-        combo_cycle = itertools.cycle(matrix)
+    arity = OP_ARITY[op]
+    matrix_len = len(matrix)
+    fmc = _full_matrix_cases(fmt, arity, budget, matrix_len)
+    case_seed = seed ^ (zlib.crc32(op.encode()) & 0xFFFF)
+    evals_spent = eval_offset(case_lo, fmc, matrix_len, budget)
 
-        # Boundary cases (and exhaustive tiny formats) get the full
-        # matrix; how many cases that allows within budget:
-        full_matrix_cases = max(1, budget // (4 * len(matrix)))
-        if fmt.width <= EXHAUSTIVE_WIDTH_LIMIT:
-            space = (1 << fmt.width) ** arity
-            if space * len(matrix) <= budget:
-                full_matrix_cases = space
+    cases = generate_cases(fmt, arity, budget, case_seed)
+    if case_lo:
+        cases = itertools.islice(cases, case_lo, None)
+    for index, operands in enumerate(cases, start=case_lo):
+        if case_hi is not None and index >= case_hi:
+            break
+        if evals_spent >= budget:
+            break
+        if index < fmc:
+            combos = matrix
         else:
-            n_corners = len(boundary_operands(fmt))
-            full_matrix_cases = min(full_matrix_cases, n_corners ** min(arity, 2))
-
-        case_seed = seed ^ (zlib.crc32(op.encode()) & 0xFFFF)
-        for index, operands in enumerate(
-            generate_cases(fmt, arity, budget, case_seed)
-        ):
-            if stats.evals >= budget:
+            combos = (matrix[(index - fmc) % matrix_len],)
+        stats.cases += 1
+        for mode, (ftz, daz) in combos:
+            if evals_spent >= budget:
                 break
-            if index < full_matrix_cases:
-                combos = matrix
+            evals_spent += 1
+            stats.evals += 1
+            if instrumented:
+                check_started = time.perf_counter()
+            engine_bits, disc = _check(
+                op, fmt, operands, mode, ftz, daz, tininess)
+            if instrumented:
+                latency.observe(time.perf_counter() - check_started)
+                evals_total.inc()
+            if disc is None:
+                stats.value_agree += 1
+                stats.flag_agree += 1
             else:
-                combos = (next(combo_cycle),)
-            stats.cases += 1
-            for mode, (ftz, daz) in combos:
-                if stats.evals >= budget:
-                    break
-                stats.evals += 1
-                if instrumented:
-                    check_started = time.perf_counter()
-                engine_bits, disc = _check(
-                    op, fmt, operands, mode, ftz, daz, tininess)
-                if instrumented:
-                    latency.observe(time.perf_counter() - check_started)
-                    evals_total.inc()
-                if disc is None:
+                stats.discrepancies += 1
+                discrepancies_total.inc()
+                if disc.kind == "flags":
                     stats.value_agree += 1
+                elif disc.kind == "value":
                     stats.flag_agree += 1
-                else:
-                    stats.discrepancies += 1
-                    discrepancies_total.inc()
-                    if disc.kind == "flags":
-                        stats.value_agree += 1
-                    elif disc.kind == "value":
-                        stats.flag_agree += 1
-                    if len(report.discrepancies) < max_discrepancies:
-                        report.discrepancies.append(_shrunk(disc, fmt))
-                # Native third opinion under the hardware-default env.
-                if (native and not ftz and not daz
-                        and mode is RoundingMode.NEAREST_EVEN
-                        and native_supported(op, fmt)):
-                    native_bits = native_result_bits(op, fmt, operands)
-                    if native_bits is not None:
-                        stats.native_evals += 1
-                        if native_agrees(fmt, native_bits, engine_bits):
-                            stats.native_agree += 1
-
-        stats.wall_seconds = time.perf_counter() - op_started
-        span.set("evals", stats.evals)
-        span.set("discrepancies", stats.discrepancies)
-        if instrumented:
-            metrics.gauge("oracle.evals_per_sec", op=op).set(
-                stats.evals_per_sec
-            )
+                if len(sink) < sink_cap:
+                    sink.append(_shrunk(disc, fmt))
+            # Native third opinion under the hardware-default env.
+            if (native and not ftz and not daz
+                    and mode is RoundingMode.NEAREST_EVEN
+                    and native_supported(op, fmt)):
+                native_bits = native_result_bits(op, fmt, operands)
+                if native_bits is not None:
+                    stats.native_evals += 1
+                    if native_agrees(fmt, native_bits, engine_bits):
+                        stats.native_agree += 1

@@ -10,6 +10,16 @@ cohort's Figure-22 distribution.
 
 Students (the 52-person comparison group) answer only the suspicion
 quiz, as in the paper, where it was a midterm exam problem.
+
+Randomness is *per respondent*: every respondent draws from their own
+:class:`random.Random` seeded by ``(cohort, n, seed, index)`` (see
+:func:`respondent_rng`).  That makes each record a pure function of
+the cohort parameters and its index, so any contiguous slice of a
+cohort — ``simulate_developers(n, seed, start=lo, stop=hi)`` — is
+bit-identical to the same slice of the full run.  The execution
+engine's study adapter leans on exactly this property to shard
+simulation across worker processes without changing a single byte of
+the merged study output.
 """
 
 from __future__ import annotations
@@ -34,9 +44,22 @@ __all__ = [
     "generate_tf_answer",
     "generate_mc_answer",
     "generate_response",
+    "respondent_rng",
     "simulate_developers",
     "simulate_students",
 ]
+
+
+def respondent_rng(
+    cohort: str, n: int, seed: int, index: int
+) -> random.Random:
+    """The RNG for one respondent (1-based ``index``) of a cohort.
+
+    Derivation is positional, not sequential: respondent *i*'s stream
+    never depends on how many respondents were generated before it, so
+    cohort slices reproduce exactly under any sharding.
+    """
+    return random.Random((cohort, n, seed, index).__repr__())
 
 
 def _draw_bucket(item: ItemParams, theta: float, rng: random.Random) -> str:
@@ -135,38 +158,51 @@ def simulate_developers(
     *,
     model: AbilityModel = DEFAULT_ABILITY_MODEL,
     calibration: Calibration | None = None,
+    start: int = 0,
+    stop: int | None = None,
 ) -> list[SurveyResponse]:
-    """Simulate the main study group (default n=199, seeded)."""
+    """Simulate the main study group (default n=199, seeded).
+
+    ``start``/``stop`` select a contiguous slice of the cohort
+    (0-based, half-open); the records returned are bit-identical to
+    ``simulate_developers(n, seed)[start:stop]`` because every
+    respondent owns a positionally derived RNG.
+    """
+    stop = n if stop is None else min(stop, n)
     telemetry = get_telemetry()
-    with telemetry.tracer.span("study.simulate_developers", n=n, seed=seed):
+    with telemetry.tracer.span("study.simulate_developers", n=n, seed=seed,
+                               start=start, stop=stop):
         calibration = calibration or calibrate(model)
         backgrounds = sample_backgrounds(n, seed)
-        rng = random.Random(("developers", n, seed).__repr__())
         responses = [
-            generate_response(f"dev-{index:04d}", background, calibration,
-                              rng, model=model)
-            for index, background in enumerate(backgrounds, start=1)
+            generate_response(
+                f"dev-{index:04d}", backgrounds[index - 1], calibration,
+                respondent_rng("developer", n, seed, index), model=model,
+            )
+            for index in range(start + 1, stop + 1)
         ]
     telemetry.metrics.counter(
         "study.respondents_simulated", cohort="developer"
-    ).inc(n)
+    ).inc(len(responses))
     return responses
 
 
 def simulate_students(
-    n: int = PAPER_N_STUDENTS, seed: int = 754
+    n: int = PAPER_N_STUDENTS, seed: int = 754,
+    *, start: int = 0, stop: int | None = None,
 ) -> list[SurveyResponse]:
-    """Simulate the student comparison group: suspicion quiz only."""
+    """Simulate the student comparison group: suspicion quiz only.
+
+    Sliceable exactly like :func:`simulate_developers`.
+    """
+    stop = n if stop is None else min(stop, n)
     telemetry = get_telemetry()
     span = telemetry.tracer.span("study.simulate_students", n=n, seed=seed)
-    telemetry.metrics.counter(
-        "study.respondents_simulated", cohort="student"
-    ).inc(n)
-    rng = random.Random(("students", n, seed).__repr__())
     distributions = SUSPICION_DISTRIBUTIONS[Cohort.STUDENT.value]
     responses = []
     with span:
-        for index in range(1, n + 1):
+        for index in range(start + 1, stop + 1):
+            rng = respondent_rng("student", n, seed, index)
             suspicion = {
                 qid: _draw_likert(distributions[qid], rng)
                 for qid in SUSPICION_ORDER
@@ -179,4 +215,7 @@ def simulate_students(
                     suspicion=suspicion,
                 )
             )
+    telemetry.metrics.counter(
+        "study.respondents_simulated", cohort="student"
+    ).inc(len(responses))
     return responses

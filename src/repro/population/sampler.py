@@ -96,22 +96,29 @@ def _rank_paired_sizes(
 
 
 def sample_backgrounds(
-    n: int = m.PAPER_N_DEVELOPERS, seed: int = 754
+    n: int = m.PAPER_N_DEVELOPERS, seed: int = 754,
+    *, rng: random.Random | None = None,
 ) -> list[Background]:
     """Sample ``n`` developer backgrounds matching the paper's marginals.
 
-    Deterministic in ``(n, seed)``.
+    Deterministic in ``(n, seed)``.  All randomness flows through one
+    injectable ``rng`` (derived from ``(n, seed)`` when omitted) — no
+    module-level RNG state is consulted, which is what lets the
+    execution engine prove that sharded simulation reproduces the
+    serial cohort bit-for-bit.
     """
     telemetry = get_telemetry()
     span = telemetry.tracer.span("population.sample_backgrounds", n=n,
                                  seed=seed)
     telemetry.metrics.counter("study.backgrounds_sampled_total").inc(n)
     with span:
-        return _sample_backgrounds(n, seed)
+        return _sample_backgrounds(n, seed, rng)
 
 
-def _sample_backgrounds(n: int, seed: int) -> list[Background]:
-    rng = random.Random(("backgrounds", n, seed).__repr__())
+def _sample_backgrounds(
+    n: int, seed: int, rng: random.Random | None = None
+) -> list[Background]:
+    rng = rng or random.Random(("backgrounds", n, seed).__repr__())
     positions = allocate_factor(m.POSITION_COUNTS, n, rng)
     areas = allocate_factor(m.AREA_COUNTS, n, rng)
     trainings = allocate_factor(m.FORMAL_TRAINING_COUNTS, n, rng)

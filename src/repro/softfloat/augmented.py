@@ -35,10 +35,16 @@ def _exact_tail(
     head_mant, head_exp = head.significand_value()
     if head.sign:
         head_mant = -head_mant
-    e = min(exact_exp, head_exp) if head_mant else exact_exp
-    tail_value = (exact_mant << (exact_exp - e)) - (
-        head_mant << (head_exp - e)
-    )
+    if head_mant:
+        e = min(exact_exp, head_exp)
+        tail_value = (exact_mant << (exact_exp - e)) - (
+            head_mant << (head_exp - e)
+        )
+    else:
+        # head rounded to zero: the tail is the exact value itself
+        # (head_exp is zero's storage exponent and may exceed e).
+        e = exact_exp
+        tail_value = exact_mant
     if tail_value == 0:
         return SoftFloat.zero(fmt)
     sign = 1 if tail_value < 0 else 0

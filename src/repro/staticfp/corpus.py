@@ -25,8 +25,11 @@ __all__ = [
     "GOTCHA_CORPUS",
     "CLEAN_CORPUS",
     "GOLDEN_PATH",
+    "entry_by_key",
+    "entry_outcome",
     "run_entry",
     "run_corpus",
+    "corpus_outcomes",
     "precision_summary",
     "check_golden",
     "write_golden",
@@ -112,9 +115,35 @@ CLEAN_CORPUS: tuple[CorpusEntry, ...] = (
 )
 
 
+def entry_by_key(key: str) -> CorpusEntry:
+    """Look a corpus entry up by key (gotcha and clean sets)."""
+    for entry in GOTCHA_CORPUS + CLEAN_CORPUS:
+        if entry.key == key:
+            return entry
+    raise KeyError(f"no corpus entry named {key!r}")
+
+
 def run_entry(entry: CorpusEntry) -> LintReport:
     """Lint one corpus entry."""
     return lint(entry.expr, entry.config(), entry.binding_map())
+
+
+def entry_outcome(entry: CorpusEntry) -> dict:
+    """Lint one entry down to its JSON-able verdict.
+
+    This is the per-entry unit of work a sharded corpus sweep ships
+    back: everything :func:`precision_summary` and :func:`check_golden`
+    need, nothing engine-specific.
+    """
+    report = run_entry(entry)
+    return {
+        "key": entry.key,
+        "snapshot": sorted(
+            f"{d.severity}:{d.gotcha_id}" for d in report.diagnostics
+        ),
+        "has_findings": report.has_findings,
+        "gotcha_ids": sorted(report.gotcha_ids),
+    }
 
 
 def run_corpus() -> dict[str, LintReport]:
@@ -124,21 +153,31 @@ def run_corpus() -> dict[str, LintReport]:
     }
 
 
-def precision_summary() -> dict:
+def corpus_outcomes() -> dict[str, dict]:
+    """Serial equivalent of a sharded sweep: every entry's outcome."""
+    return {
+        e.key: entry_outcome(e) for e in GOTCHA_CORPUS + CLEAN_CORPUS
+    }
+
+
+def precision_summary(outcomes: dict[str, dict] | None = None) -> dict:
     """Analyzer precision over the corpus: the EXPERIMENTS metric.
 
     ``detected``: gotcha entries whose expected quiz id appears in the
     diagnostics.  ``false_positives``: clean entries that raised any
-    warning-or-worse diagnostic.
+    warning-or-worse diagnostic.  Pass precomputed ``outcomes`` (from
+    :func:`corpus_outcomes` or a sharded sweep) to summarize without
+    re-linting.
     """
-    reports = run_corpus()
+    if outcomes is None:
+        outcomes = corpus_outcomes()
     detected = [
         e.key for e in GOTCHA_CORPUS
-        if e.expect_id in reports[e.key].gotcha_ids
+        if e.expect_id in outcomes[e.key]["gotcha_ids"]
     ]
     missed = [e.key for e in GOTCHA_CORPUS if e.key not in detected]
     false_positives = [
-        e.key for e in CLEAN_CORPUS if reports[e.key].has_findings
+        e.key for e in CLEAN_CORPUS if outcomes[e.key]["has_findings"]
     ]
     return {
         "gotchas_total": len(GOTCHA_CORPUS),
@@ -149,29 +188,30 @@ def precision_summary() -> dict:
     }
 
 
-def _snapshot(reports: dict[str, LintReport]) -> dict:
+def _snapshot(outcomes: dict[str, dict]) -> dict:
     return {
-        key: sorted(
-            f"{d.severity}:{d.gotcha_id}" for d in report.diagnostics
-        )
-        for key, report in sorted(reports.items())
+        key: list(outcome["snapshot"])
+        for key, outcome in sorted(outcomes.items())
     }
 
 
 def write_golden(path: Path = GOLDEN_PATH) -> dict:
     """Regenerate the golden diagnostic sets (returns the snapshot)."""
-    snapshot = _snapshot(run_corpus())
+    snapshot = _snapshot(corpus_outcomes())
     path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     return snapshot
 
 
-def check_golden(path: Path = GOLDEN_PATH) -> list[str]:
+def check_golden(path: Path = GOLDEN_PATH,
+                 outcomes: dict[str, dict] | None = None) -> list[str]:
     """Diff current diagnostics against the golden file.
 
-    Returns human-readable drift lines (empty == no drift).
+    Returns human-readable drift lines (empty == no drift).  Pass
+    precomputed ``outcomes`` to diff without re-linting.
     """
     golden = json.loads(path.read_text())
-    current = _snapshot(run_corpus())
+    current = _snapshot(outcomes if outcomes is not None
+                        else corpus_outcomes())
     drift: list[str] = []
     for key in sorted(set(golden) | set(current)):
         want = golden.get(key)

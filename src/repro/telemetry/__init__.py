@@ -40,6 +40,7 @@ from repro.telemetry.runtime import (
     Telemetry,
     active_recorder,
     get_telemetry,
+    reset_for_process,
     set_telemetry,
     telemetry_session,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "Tracer",
     "active_recorder",
     "get_telemetry",
+    "reset_for_process",
     "set_telemetry",
     "single_flags",
     "telemetry_session",

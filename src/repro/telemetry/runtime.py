@@ -18,12 +18,28 @@ recorder automatically (see ``FPEnv.__post_init__``), so code that
 creates fresh environments deep inside a run — the oracle's
 differential loop, ``env_context`` blocks — is observed without any
 parameter threading.
+
+Processes, not just threads
+---------------------------
+
+A ``fork()``-ed worker inherits the forking thread's thread-local
+state, including an *enabled* ambient session whose spans, metrics,
+and event sinks all live in the parent — recording into them from the
+child is silent data loss (the objects are copies the parent never
+sees).  The session is therefore pinned to the PID that installed it:
+:func:`get_telemetry` and :func:`active_recorder` detect that the
+current process is not the installing process and reset the ambient
+session to :data:`NULL_TELEMETRY`.  Worker processes that *want*
+telemetry must re-initialize their own recorder explicitly —
+:func:`reset_for_process` is the bootstrap hook the execution engine's
+workers call before touching any instrumented code.
 """
 
 from __future__ import annotations
 
 import contextlib
 import dataclasses
+import os
 import threading
 from collections.abc import Iterator
 
@@ -39,6 +55,7 @@ __all__ = [
     "set_telemetry",
     "telemetry_session",
     "active_recorder",
+    "reset_for_process",
 ]
 
 _DEFAULT_EVENT_CAPACITY = 10_000
@@ -92,30 +109,57 @@ NULL_TELEMETRY = Telemetry(
 class _TelemetryState(threading.local):
     def __init__(self) -> None:
         self.current: Telemetry = NULL_TELEMETRY
+        self.pid: int = os.getpid()
 
 
 _STATE = _TelemetryState()
 
 
 def get_telemetry() -> Telemetry:
-    """The thread's active telemetry session (NULL_TELEMETRY when off)."""
-    return _STATE.current
+    """The thread's active telemetry session (NULL_TELEMETRY when off).
+
+    Sessions are per-process: if the installing process forked, the
+    inherited session belongs to the parent and is dropped here (see
+    the module docstring).  The PID check only runs while a session is
+    enabled, so the disabled-telemetry hot path stays one attribute
+    chase.
+    """
+    state = _STATE
+    if state.current is not NULL_TELEMETRY and state.pid != os.getpid():
+        state.current = NULL_TELEMETRY
+    return state.current
 
 
 def set_telemetry(telemetry: Telemetry) -> Telemetry:
     """Install ``telemetry`` as active; returns the previous session."""
     previous = _STATE.current
     _STATE.current = telemetry
+    _STATE.pid = os.getpid()
     return previous
+
+
+def reset_for_process() -> None:
+    """Drop any inherited ambient session in a (possibly forked) child.
+
+    Idempotent; worker bootstraps call this before any instrumented
+    code so that recording starts from an explicit, process-local
+    state instead of a dead copy of the parent's session.
+    """
+    _STATE.current = NULL_TELEMETRY
+    _STATE.pid = os.getpid()
 
 
 def active_recorder() -> TelemetryRecorder | None:
     """The active session's env-layer recorder (``None`` when off).
 
     This is the hot accessor ``FPEnv.__post_init__`` uses; keep it a
-    plain attribute chase.
+    plain attribute chase (plus the same fork guard as
+    :func:`get_telemetry`, paid only while telemetry is on).
     """
-    return _STATE.current.recorder
+    state = _STATE
+    if state.current is not NULL_TELEMETRY and state.pid != os.getpid():
+        state.current = NULL_TELEMETRY
+    return state.current.recorder
 
 
 @contextlib.contextmanager

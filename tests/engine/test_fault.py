@@ -1,0 +1,125 @@
+"""Fault tolerance: worker death, shard timeout, retries, fallback.
+
+The satellite requirement this file pins: kill a worker mid-shard and
+prove the shard was retried, the merged result is unaffected, and the
+retry landed in the telemetry event stream.
+"""
+
+import pytest
+
+from repro.engine import Engine, EngineConfig, EngineFlag, make_job
+from repro.engine.testing import crash_job_params
+from repro.errors import ShardError
+from repro.telemetry import telemetry_session
+
+
+def _engine(**overrides) -> Engine:
+    defaults = dict(workers=2, shard_timeout=30.0, cache_enabled=False,
+                    backoff_base=0.01, backoff_cap=0.05)
+    defaults.update(overrides)
+    return Engine(EngineConfig(**defaults))
+
+
+def _engine_events(session):
+    return [e for e in session.events.events
+            if isinstance(e.flags, EngineFlag)]
+
+
+class TestWorkerDeath:
+    def test_killed_worker_shard_is_retried_and_result_unaffected(self):
+        job = make_job("crash", "engine.test.crash_once",
+                       crash_job_params(4, crash_index=2), cacheable=False)
+        with telemetry_session() as session:
+            eng = _engine()
+            out = eng.run(job)
+
+        # every shard completed, in order, with the right identity
+        assert [o["index"] for o in out] == [0, 1, 2, 3]
+        # the crashing shard came back on a retry attempt
+        assert out[2]["survived_attempt"] >= 1
+        pool = eng.last_report.pool
+        assert pool.completed == 4
+        assert pool.worker_deaths >= 1
+        assert pool.retries >= 1
+        assert pool.workers_spawned >= 3  # the replacement was spawned
+
+        # the retry is visible in the telemetry event stream
+        events = _engine_events(session)
+        assert any(e.flags & EngineFlag.WORKER_DEATH for e in events)
+        retried = [e for e in events if e.flags & EngineFlag.RETRY]
+        assert any("engine.shard[2]" in e.operation for e in retried)
+
+    def test_death_does_not_corrupt_other_shards(self):
+        params = crash_job_params(6, crash_index=0)
+        crashed = _engine().run(
+            make_job("crash", "engine.test.crash_once", params,
+                     cacheable=False)
+        )
+        assert [o["index"] for o in crashed] == list(range(6))
+
+
+class TestShardTimeout:
+    def test_hung_shard_is_killed_and_retried(self):
+        job = make_job(
+            "hang", "engine.test.hang_once",
+            [{"hang_seconds": 60.0 if i == 1 else 0.0} for i in range(3)],
+            cacheable=False,
+        )
+        with telemetry_session() as session:
+            eng = _engine(shard_timeout=0.5)
+            out = eng.run(job)
+        assert [o["index"] for o in out] == [0, 1, 2]
+        assert out[1]["survived_attempt"] == 1
+        pool = eng.last_report.pool
+        assert pool.timeouts >= 1
+        events = _engine_events(session)
+        assert any(e.flags & EngineFlag.TIMEOUT for e in events)
+
+
+class TestTaskErrors:
+    def test_task_exception_fails_fast_without_retry(self):
+        job = make_job(
+            "fail", "engine.test.fail",
+            [{"message": "boom"}, {"message": "boom2"}], cacheable=False,
+        )
+        eng = _engine()
+        with pytest.raises(ShardError, match="ValueError"):
+            eng.run(job)
+
+    def test_shard_error_carries_worker_traceback(self):
+        job = make_job(
+            "fail", "engine.test.fail",
+            [{"message": "boom"}, {}], cacheable=False,
+        )
+        try:
+            _engine().run(job)
+        except ShardError as exc:
+            assert exc.details is not None
+            assert "ValueError" in exc.details
+        else:  # pragma: no cover
+            pytest.fail("ShardError not raised")
+
+
+class TestRetryExhaustion:
+    def test_serial_fallback_completes_the_job(self):
+        # Two crashes with max_retries=1: the pool gives up and the
+        # parent runs the shard in-process (attempt 2 survives).
+        job = make_job("crash", "engine.test.crash_once",
+                       crash_job_params(3, crash_index=1, crashes=2),
+                       cacheable=False)
+        with telemetry_session() as session:
+            eng = _engine(max_retries=1)
+            out = eng.run(job)
+        assert [o["index"] for o in out] == [0, 1, 2]
+        assert eng.last_report.pool.serial_fallbacks == 1
+        events = _engine_events(session)
+        assert any(e.flags & EngineFlag.RETRIES_EXHAUSTED for e in events)
+        assert any(e.flags & EngineFlag.SERIAL_FALLBACK for e in events)
+
+    def test_no_fallback_raises(self):
+        job = make_job("crash", "engine.test.crash_once",
+                       crash_job_params(3, crash_index=1, crashes=3),
+                       cacheable=False)
+        eng = _engine(max_retries=1, fallback_serial=False)
+        with pytest.raises(ShardError, match="retries exhausted"):
+            eng.run(job)

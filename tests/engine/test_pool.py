@@ -1,0 +1,112 @@
+"""The engine facade and worker pool on healthy workloads."""
+
+import os
+
+from repro.engine import Engine, EngineConfig, make_job
+
+
+def _engine(workers: int, **overrides) -> Engine:
+    defaults = dict(workers=workers, shard_timeout=60.0,
+                    cache_enabled=False)
+    defaults.update(overrides)
+    return Engine(EngineConfig(**defaults))
+
+
+class TestSerialEngine:
+    def test_empty_job(self):
+        out = _engine(0).run(make_job("empty", "engine.test.echo", []))
+        assert out == []
+
+    def test_results_in_shard_order(self):
+        eng = _engine(0)
+        out = eng.run(make_job(
+            "j", "engine.test.echo", [{"payload": i} for i in range(7)]
+        ))
+        assert [o["payload"] for o in out] == list(range(7))
+        assert [o["index"] for o in out] == list(range(7))
+        report = eng.last_report
+        assert not report.parallel
+        assert report.executed == 7
+
+    def test_merge_receives_ordered_results(self):
+        job = make_job(
+            "j", "engine.test.echo", [{"payload": i} for i in range(4)],
+            merge=lambda results: [r["payload"] for r in results],
+        )
+        assert _engine(0).run(job) == [0, 1, 2, 3]
+
+    def test_one_worker_runs_in_process(self):
+        eng = _engine(1)
+        out = eng.run(make_job("j", "engine.test.echo", [{}, {}]))
+        assert {o["pid"] for o in out} == {os.getpid()}
+        assert not eng.last_report.parallel
+
+
+class TestWorkerPool:
+    def test_runs_in_worker_processes(self):
+        eng = _engine(2)
+        out = eng.run(make_job(
+            "j", "engine.test.echo", [{"payload": i} for i in range(6)]
+        ))
+        assert [o["payload"] for o in out] == list(range(6))
+        assert os.getpid() not in {o["pid"] for o in out}
+        report = eng.last_report
+        assert report.parallel
+        assert report.pool.completed == 6
+        assert report.pool.worker_deaths == 0
+        assert report.pool.workers_spawned == 2
+
+    def test_batching(self):
+        eng = _engine(2, batch_size=3)
+        out = eng.run(make_job(
+            "j", "engine.test.echo", [{"payload": i} for i in range(9)]
+        ))
+        assert [o["payload"] for o in out] == list(range(9))
+        assert eng.last_report.pool.batches <= 5
+
+    def test_pool_matches_serial_bit_for_bit(self):
+        """The determinism probe: shard seeds drive identical draws."""
+        params = [{"n": 5} for _ in range(6)]
+        serial = _engine(0).run(make_job("j", "engine.test.rng_draw", params))
+        pooled = _engine(2).run(make_job("j", "engine.test.rng_draw", params))
+        assert serial == pooled
+
+    def test_single_miss_runs_serial(self):
+        """A one-shard job never pays pool startup."""
+        eng = _engine(4)
+        out = eng.run(make_job("j", "engine.test.echo", [{}]))
+        assert out[0]["pid"] == os.getpid()
+        assert not eng.last_report.parallel
+
+
+class TestResultCacheIntegration:
+    def test_repeat_run_hits_cache(self):
+        eng = Engine(EngineConfig(workers=0, cache_enabled=True))
+        job = make_job("j", "engine.test.rng_draw",
+                       [{"n": 3} for _ in range(5)])
+        first = eng.run(job)
+        second = eng.run(job)
+        assert first == second
+        assert eng.last_report.from_cache == 5
+        assert eng.last_report.executed == 0
+        assert eng.cache.stats.hits == 5
+
+    def test_uncacheable_job_recomputes(self):
+        eng = Engine(EngineConfig(workers=0, cache_enabled=True))
+        job = make_job("j", "engine.test.rng_draw",
+                       [{"n": 3}], cacheable=False)
+        eng.run(job)
+        eng.run(job)
+        assert eng.last_report.from_cache == 0
+        assert eng.cache.stats.lookups == 0
+
+    def test_disk_tier_spans_engines(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        job = make_job("j", "engine.test.rng_draw",
+                       [{"n": 3} for _ in range(4)])
+        first = Engine(EngineConfig(workers=0, cache_path=path))
+        results = first.run(job)
+        second = Engine(EngineConfig(workers=0, cache_path=path))
+        assert second.run(job) == results
+        assert second.last_report.from_cache == 4
+        assert second.cache.stats.disk_hits == 4

@@ -1,0 +1,98 @@
+"""Job model: seed derivation, canonical specs, the task registry."""
+
+import pytest
+
+from repro.engine import (
+    ShardContext,
+    TaskSpec,
+    derive_seed,
+    execute_task,
+    get_task,
+    make_job,
+    registered_tasks,
+    task,
+)
+from repro.errors import EngineError
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(754, "x", 3) == derive_seed(754, "x", 3)
+
+    def test_positional_independence(self):
+        """Shard 3's seed is the same no matter how many shards exist."""
+        few = [derive_seed(754, "t", i) for i in range(4)]
+        many = [derive_seed(754, "t", i) for i in range(100)]
+        assert many[:4] == few
+
+    def test_distinct_across_key_parts(self):
+        seeds = {
+            derive_seed(754, "a", 0),
+            derive_seed(754, "a", 1),
+            derive_seed(754, "b", 0),
+            derive_seed(755, "a", 0),
+        }
+        assert len(seeds) == 4
+
+    def test_63_bit_range(self):
+        for i in range(50):
+            assert 0 <= derive_seed(1, i) < (1 << 63)
+
+
+class TestTaskSpec:
+    def test_canonical_sorts_keys(self):
+        a = TaskSpec("t", {"b": 1, "a": 2})
+        b = TaskSpec("t", {"a": 2, "b": 1})
+        assert a.canonical() == b.canonical()
+
+    def test_canonical_distinguishes_values(self):
+        assert (TaskSpec("t", {"a": 1}).canonical()
+                != TaskSpec("t", {"a": 2}).canonical())
+
+
+class TestMakeJob:
+    def test_shards_ordered_and_seeded(self):
+        job = make_job("j", "engine.test.echo", [{"payload": i}
+                                                for i in range(5)])
+        assert [s.index for s in job.shards] == [0, 1, 2, 3, 4]
+        assert len({s.seed for s in job.shards}) == 5
+        assert job.shards[2].seed == derive_seed(754, "engine.test.echo", 2)
+
+    def test_cacheable_default(self):
+        job = make_job("j", "engine.test.echo", [{}])
+        assert job.cacheable
+
+
+class TestRegistry:
+    def test_known_tasks_registered(self):
+        names = registered_tasks()
+        assert "oracle.op_slice" in names
+        assert "study.simulate_slice" in names
+        assert "optsim.divergence_slice" in names
+        assert "staticfp.lint_entries" in names
+        assert "engine.test.crash_once" in names
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(EngineError, match="unknown task"):
+            get_task("no.such.task")
+
+    def test_double_registration_raises(self):
+        @task("engine.test.once_only")
+        def _once(params, ctx):
+            return None
+
+        with pytest.raises(EngineError, match="registered twice"):
+            task("engine.test.once_only")(lambda params, ctx: None)
+
+    def test_execute_task(self):
+        ctx = ShardContext(index=1, n_shards=3, seed=99)
+        out = execute_task("engine.test.echo", {"payload": "hi"}, ctx)
+        assert out["payload"] == "hi"
+        assert out["index"] == 1
+        assert out["n_shards"] == 3
+
+    def test_rng_draw_depends_only_on_seed(self):
+        ctx_a = ShardContext(index=0, n_shards=2, seed=42)
+        ctx_b = ShardContext(index=1, n_shards=9, seed=42)
+        assert (execute_task("engine.test.rng_draw", {"n": 4}, ctx_a)
+                == execute_task("engine.test.rng_draw", {"n": 4}, ctx_b))
