@@ -340,6 +340,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the native-hardware third opinion",
     )
     oracle_run.add_argument(
+        "--engine-backend", default="scalar",
+        choices=["scalar", "batch", "native", "auto"],
+        help="softfloat backend computing the engine side of each"
+             " evaluation (batched backends vectorize the sweep;"
+             " verdicts are bit-identical across backends)",
+    )
+    oracle_run.add_argument(
         "--no-timing", action="store_true",
         help="omit wall-clock fields from the JSON report, making"
              " serial and --parallel runs byte-identical",
@@ -602,6 +609,7 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
                     env_combos=env_combos,
                     tininess=args.tininess,
                     native=not args.no_native,
+                    engine_backend=args.engine_backend,
                 )
             else:
                 report = run_conformance(
@@ -612,6 +620,7 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
                     env_combos=env_combos,
                     tininess=args.tininess,
                     native=not args.no_native,
+                    engine_backend=args.engine_backend,
                 )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)

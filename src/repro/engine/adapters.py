@@ -69,6 +69,7 @@ def _oracle_op_slice(params: dict, ctx) -> dict:
         params["max_discrepancies"],
         params["case_lo"],
         params["case_hi"],
+        engine_backend=params.get("engine_backend", "scalar"),
     )
     return {
         "stats": stats.to_dict(),
@@ -89,6 +90,7 @@ def run_conformance_sharded(
     native: bool = True,
     max_discrepancies: int = 100,
     slices_per_op: int | None = None,
+    engine_backend: str = "scalar",
 ):
     """The sharded twin of :func:`repro.oracle.runner.run_conformance`.
 
@@ -121,6 +123,7 @@ def run_conformance_sharded(
         "tininess": tininess,
         "native": native,
         "max_discrepancies": max_discrepancies,
+        "engine_backend": engine_backend,
     }
     param_list = []
     op_slice_counts = []
@@ -240,7 +243,14 @@ def run_study_sharded(
 
 @task("optsim.divergence_slice")
 def _optsim_divergence_slice(params: dict, ctx) -> dict:
-    """Walk candidates ``[lo, hi)`` of a divergence search."""
+    """Walk candidates ``[lo, hi)`` of a divergence search.
+
+    An optional ``backend`` param evaluates the whole slice in
+    vectorized softfloat-backend lanes (both the strict and the
+    optimized side) instead of candidate by candidate; the verdict —
+    the first diverging index — is unchanged, and the parent re-checks
+    that single binding scalar when it builds the report.
+    """
     from repro.optsim import optimize, parse_expr
     from repro.optsim.compliance import check_binding, divergence_candidates
 
@@ -251,13 +261,31 @@ def _optsim_divergence_slice(params: dict, ctx) -> dict:
         expr, config, seed=params["seed"], trials=params["trials"],
     )
     lo, hi = params["lo"], params["hi"]
-    for index in range(lo, min(hi, len(candidates))):
+    hi = min(hi, len(candidates))
+    backend = params.get("backend")
+    if backend is not None and hi > lo:
+        from repro.optsim.batch_eval import evaluate_many
+        from repro.optsim.compliance import _same_value
+        from repro.optsim.machine import STRICT
+
+        chunk = candidates[lo:hi]
+        strict_config = STRICT.replace(fmt=config.fmt)
+        strict_results = evaluate_many(expr, chunk, strict_config, backend)
+        optimized_results = evaluate_many(optimized, chunk, config, backend)
+        for offset, (s, o) in enumerate(zip(strict_results,
+                                            optimized_results)):
+            value_diverged = not _same_value(s.value, o.value)
+            flags_diverged = s.flags != o.flags
+            if value_diverged or (params["check_flags"] and flags_diverged):
+                return {"index": lo + offset, "checked": offset + 1}
+        return {"index": None, "checked": hi - lo}
+    for index in range(lo, hi):
         _, _, value_diverged, flags_diverged = check_binding(
             expr, optimized, candidates[index], config
         )
         if value_diverged or (params["check_flags"] and flags_diverged):
             return {"index": index, "checked": index - lo + 1}
-    return {"index": None, "checked": max(0, min(hi, len(candidates)) - lo)}
+    return {"index": None, "checked": max(0, hi - lo)}
 
 
 def _resolve_level(level: str):
@@ -278,6 +306,7 @@ def find_divergence_sharded(
     trials: int = 400,
     check_flags: bool = True,
     n_slices: int | None = None,
+    backend: str | None = None,
 ):
     """The sharded twin of :func:`repro.optsim.find_divergence`.
 
@@ -318,6 +347,7 @@ def find_divergence_sharded(
             "check_flags": check_flags,
             "lo": lo,
             "hi": hi,
+            "backend": backend,
         }
         for lo, hi in zip(boundaries, boundaries[1:])
         if hi > lo

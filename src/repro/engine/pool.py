@@ -18,11 +18,15 @@ never depends on worker-side bookkeeping:
 - **heartbeats** — idle workers beat every ``heartbeat_interval``
   seconds; the beat is bookkeeping (liveness + stats), the real death
   check is ``Process.is_alive`` on every pump;
-- **worker death** — every unit assigned-but-unfinished is requeued
-  with ``attempt + 1`` after an exponential backoff delay, the dead
-  process is reaped and a replacement spawned, and a
+- **worker death** — every unit assigned-but-unfinished is requeued,
+  the dead process is reaped and a replacement spawned, and a
   :data:`~repro.engine.events.EngineFlag.WORKER_DEATH` event lands in
-  the telemetry stream.  Duplicate completions (a ``done`` already in
+  the telemetry stream.  Only a unit *known* to have been executing
+  (last observed ``start``, or a sole assignment) is charged a retry
+  with ``attempt + 1`` and backoff; the rest are quarantined — rerun
+  one-per-idle-worker so a repeat death charges the true crasher, and
+  innocent bystanders can never exhaust their retry budget riding
+  behind one.  Duplicate completions (a ``done`` already in
   the pipe when its worker died) are deduplicated by shard index;
 - **per-shard timeouts** — a unit running longer than
   ``shard_timeout`` gets its worker terminated, which funnels into the
@@ -93,6 +97,9 @@ class _Unit:
     n_shards: int
     attempt: int = 0
     not_before: float = 0.0
+    #: survived a worker death: rerun alone on an idle worker so a
+    #: repeat death identifies the culprit unambiguously
+    isolate: bool = False
 
     def wire(self) -> tuple:
         """The tuple shipped to workers (JSON-able scalars only)."""
@@ -178,9 +185,32 @@ class WorkerPool:
 
     def _reap(self, handle: _WorkerHandle, pending: deque,
               failures: dict[int, int], flag: EngineFlag) -> None:
-        """Recover every unit a dead/killed worker was assigned."""
+        """Recover every unit a dead/killed worker was assigned.
+
+        Exactly one unit was executing when the worker died, and only a
+        unit *known* to be the one is charged a retry: the last
+        ``start`` the parent saw, or a sole assignment.  A dying
+        worker's feeder thread can lose every message it ever queued,
+        so when several units are assigned and no ``start`` survived,
+        the culprit is unknowable — charging bystanders would let a
+        shard co-queued behind a crasher exhaust its retry budget
+        without ever having run (and send the parent serially running
+        shards it could have pooled).  Instead, every reaped unit is
+        *quarantined*: requeued to run alone on an idle worker, where
+        the next death is a sole assignment and charges the true
+        crasher.  Quarantine converges — bystanders complete on their
+        solo run, repeat crashers accumulate real failures until retry
+        exhaustion."""
+        running_index = handle.running[0] if handle.running else None
+        if running_index not in handle.assigned and len(handle.assigned) == 1:
+            running_index = next(iter(handle.assigned))
         for unit in handle.assigned.values():
-            self._requeue(unit, pending, flag, failures)
+            unit.isolate = True
+            if unit.shard.index == running_index:
+                self._requeue(unit, pending, flag, failures)
+            else:
+                unit.not_before = time.monotonic()
+                pending.append(unit)
         handle.assigned.clear()
         handle.running = None
         handle.process.join(timeout=1.0)
@@ -247,13 +277,24 @@ class WorkerPool:
                 now = time.monotonic()
 
                 # 1. dispatch ready units to workers with headroom.
+                #    Quarantined units ride alone: one per batch, only
+                #    onto an idle worker, with nothing batched behind
+                #    them (see _reap).
                 for handle in workers.values():
+                    if any(u.isolate for u in handle.assigned.values()):
+                        continue
                     while (pending and pending[0].not_before <= now
                            and handle.capacity < max_outstanding):
-                        batch: list[_Unit] = []
-                        while (pending and pending[0].not_before <= now
-                               and len(batch) < config.batch_size):
-                            batch.append(pending.popleft())
+                        if pending[0].isolate and handle.capacity > 0:
+                            break
+                        if pending[0].isolate:
+                            batch = [pending.popleft()]
+                        else:
+                            batch = []
+                            while (pending and pending[0].not_before <= now
+                                   and len(batch) < config.batch_size
+                                   and not pending[0].isolate):
+                                batch.append(pending.popleft())
                         try:
                             handle.task_queue.put_nowait(
                                 ("batch", [u.wire() for u in batch])
@@ -264,6 +305,8 @@ class WorkerPool:
                         for unit in batch:
                             handle.assigned[unit.shard.index] = unit
                         self.stats.batches += 1
+                        if batch[0].isolate:
+                            break
                 outstanding = sum(h.capacity for h in workers.values())
                 self.stats.max_queue_depth = max(
                     self.stats.max_queue_depth, outstanding

@@ -50,6 +50,7 @@ from repro.optsim.machine import (
     optimization_level,
 )
 from repro.optsim.evaluator import EvalResult, evaluate, evaluate_strict
+from repro.optsim.batch_eval import evaluate_many
 from repro.optsim.flags import config_from_flags
 from repro.optsim.pipeline import optimize
 from repro.optsim.program import (
@@ -91,6 +92,7 @@ __all__ = [
     "FAST_MATH",
     "evaluate",
     "evaluate_strict",
+    "evaluate_many",
     "EvalResult",
     "optimize",
     "Assign",

@@ -135,6 +135,7 @@ def find_divergence(
     check_flags: bool = True,
     extra_witnesses: Sequence[dict[str, SoftFloat]] = (),
     oracle_check: bool = False,
+    backend: str | None = None,
 ) -> DivergenceReport:
     """Search for an input where ``config``'s compiled evaluation of
     ``expr`` differs from strict IEEE evaluation.
@@ -144,6 +145,14 @@ def find_divergence(
     random operands.  Flag divergence counts as divergence only when
     ``check_flags`` is set.  With ``oracle_check`` the verdict is
     passed through :func:`cross_validate` before being returned.
+
+    ``backend`` names a softfloat backend (``"batch"``, ``"auto"``, …)
+    to evaluate the whole candidate list in vectorized lanes via
+    :func:`repro.optsim.batch_eval.evaluate_many`; the first diverging
+    candidate is then re-evaluated scalar for the definitive report, so
+    the returned verdict — witness, trial count, both result sides — is
+    identical to the serial walk's.  ``None`` keeps the historical
+    candidate-by-candidate search.
     """
     telemetry = get_telemetry()
     with telemetry.tracer.span(
@@ -153,6 +162,7 @@ def find_divergence(
             expr, config, telemetry,
             seed=seed, trials=trials, check_flags=check_flags,
             extra_witnesses=extra_witnesses, oracle_check=oracle_check,
+            backend=backend,
         )
         span.set("diverged", report.diverged)
         span.set("trials", report.trials)
@@ -231,6 +241,7 @@ def _search_divergence(
     check_flags: bool,
     extra_witnesses: Sequence[dict[str, SoftFloat]],
     oracle_check: bool,
+    backend: str | None = None,
 ) -> DivergenceReport:
     """The search body of :func:`find_divergence` (span managed there)."""
     trials_total = telemetry.metrics.counter(
@@ -241,6 +252,13 @@ def _search_divergence(
         expr, config, seed=seed, trials=trials,
         extra_witnesses=extra_witnesses,
     )
+
+    if backend is not None:
+        return _search_divergence_batched(
+            expr, optimized, candidates, config, telemetry, backend,
+            check_flags=check_flags, oracle_check=oracle_check,
+            trials_total=trials_total,
+        )
 
     count = 0
     for binding in candidates:
@@ -276,6 +294,72 @@ def _search_divergence(
         strict_result=None,
         optimized_result=None,
         trials=count,
+    )
+    return cross_validate(report) if oracle_check else report
+
+
+def _search_divergence_batched(
+    expr: Expr,
+    optimized: Expr,
+    candidates: list[dict[str, SoftFloat]],
+    config: MachineConfig,
+    telemetry,
+    backend: str,
+    *,
+    check_flags: bool,
+    oracle_check: bool,
+    trials_total,
+) -> DivergenceReport:
+    """Vectorized candidate walk: both evaluation sides run over the
+    whole candidate list in backend lanes, then the first diverging
+    index (the serial walk's stop point) is re-checked scalar to build
+    the definitive report."""
+    from repro.optsim.batch_eval import evaluate_many
+
+    strict_config = STRICT.replace(fmt=config.fmt)
+    strict_results = evaluate_many(expr, candidates, strict_config, backend)
+    optimized_results = evaluate_many(optimized, candidates, config, backend)
+    for count, (strict_result, optimized_result) in enumerate(
+        zip(strict_results, optimized_results), start=1
+    ):
+        trials_total.inc()
+        value_diverged = not _same_value(
+            strict_result.value, optimized_result.value
+        )
+        flags_diverged = strict_result.flags != optimized_result.flags
+        if value_diverged or (check_flags and flags_diverged):
+            binding = candidates[count - 1]
+            # Definitive scalar re-evaluation of the winning candidate:
+            # the report's result objects never rest on the batch path.
+            strict_result, optimized_result, value_diverged, flags_diverged = \
+                check_binding(expr, optimized, binding, config)
+            telemetry.metrics.counter(
+                "optsim.divergences_found_total", config=config.name
+            ).inc()
+            report = DivergenceReport(
+                expr=expr,
+                optimized_expr=optimized,
+                config=config,
+                diverged=True,
+                value_diverged=value_diverged,
+                flags_diverged=flags_diverged,
+                witness=binding,
+                strict_result=strict_result,
+                optimized_result=optimized_result,
+                trials=count,
+            )
+            return cross_validate(report) if oracle_check else report
+    report = DivergenceReport(
+        expr=expr,
+        optimized_expr=optimized,
+        config=config,
+        diverged=False,
+        value_diverged=False,
+        flags_diverged=False,
+        witness=None,
+        strict_result=None,
+        optimized_result=None,
+        trials=len(candidates),
     )
     return cross_validate(report) if oracle_check else report
 

@@ -117,6 +117,60 @@ def _engine_run(
     return result.bits, env.flags
 
 
+#: Batch granularity for backend-driven engine evaluation.  Large enough
+#: to amortize numpy dispatch, small enough to keep the working set in
+#: cache for wide formats.
+_ENGINE_CHUNK = 4096
+
+
+def _batched_engine_results(
+    op: str,
+    fmt: FloatFormat,
+    plan: list[tuple[int, tuple[int, ...], RoundingMode, bool, bool]],
+    backend,
+) -> list[tuple[int, object]]:
+    """Run a slice's evaluation plan through a softfloat backend.
+
+    ``plan`` rows are ``(case_index, operands, mode, ftz, daz)``.
+    Evaluations are grouped by environment — one ``run_packed`` call
+    handles a whole (mode, FTZ, DAZ) cell at a time — and results come
+    back aligned with the plan, as the same ``(bits, FPFlag)`` pairs
+    :func:`_engine_run` would have produced.  Cells the backend does
+    not support (e.g. binary128 on the integer-lane batch kernels)
+    fall back to the scalar engine lane by lane, so the plan always
+    completes and the differential verdict never depends on backend
+    coverage.
+    """
+    import numpy as np
+
+    from repro.fpenv.flags import FPFlag
+
+    results: list[tuple[int, object] | None] = [None] * len(plan)
+    groups: dict[tuple, list[int]] = {}
+    for pos, (_, _, mode, ftz, daz) in enumerate(plan):
+        groups.setdefault((mode, ftz, daz), []).append(pos)
+    for (mode, ftz, daz), positions in groups.items():
+        if not backend.supports(op, fmt, mode, ftz, daz):
+            for pos in positions:
+                operands = plan[pos][1]
+                results[pos] = _engine_run(op, fmt, operands, mode, ftz, daz)
+            continue
+        for start in range(0, len(positions), _ENGINE_CHUNK):
+            chunk = positions[start:start + _ENGINE_CHUNK]
+            arity = len(plan[chunk[0]][1])
+            lanes = [
+                np.array([plan[pos][1][slot] for pos in chunk],
+                         dtype=np.uint64)
+                for slot in range(arity)
+            ]
+            batch = backend.run_packed(op, fmt, lanes, mode, ftz, daz)
+            for lane, pos in enumerate(chunk):
+                results[pos] = (
+                    int(batch.bits[lane]), FPFlag(int(batch.flags[lane]))
+                )
+    return results  # type: ignore[return-value]
+
+
 def _check(
     op: str,
     fmt: FloatFormat,
@@ -128,6 +182,25 @@ def _check(
 ) -> tuple[int, Discrepancy | None]:
     """One differential evaluation; returns (engine_bits, discrepancy)."""
     engine_bits, engine_flags = _engine_run(op, fmt, operands, mode, ftz, daz)
+    return _check_with_engine(
+        op, fmt, operands, mode, ftz, daz, tininess,
+        engine_bits, engine_flags,
+    )
+
+
+def _check_with_engine(
+    op: str,
+    fmt: FloatFormat,
+    operands: tuple[int, ...],
+    mode: RoundingMode,
+    ftz: bool,
+    daz: bool,
+    tininess: str,
+    engine_bits: int,
+    engine_flags: object,
+) -> tuple[int, Discrepancy | None]:
+    """The oracle half of :func:`_check`, for precomputed engine results
+    (the batched-backend path computes the engine side in bulk)."""
     cfg = OracleConfig(rounding=mode, ftz=ftz, daz=daz, tininess=tininess)
     oracle = oracle_operation(
         op, cfg, *(SoftFloat(fmt, bits) for bits in operands))
@@ -197,6 +270,7 @@ def run_conformance(
     tininess: str = "before",
     native: bool = True,
     max_discrepancies: int = 100,
+    engine_backend: str = "scalar",
 ) -> ConformanceReport:
     """Run the full differential sweep and build the report.
 
@@ -206,6 +280,14 @@ def run_conformance(
     stream then cycles combinations round-robin until the budget is
     spent.  Shrinking stops after ``max_discrepancies`` so a broken
     engine still terminates quickly.
+
+    ``engine_backend`` selects how the engine side of every evaluation
+    is computed (see :func:`repro.softfloat.get_backend`): ``"scalar"``
+    is the historical one-case-at-a-time path; ``"batch"``, ``"native"``
+    and ``"auto"`` compute the engine results in vectorized blocks and
+    then replay the same per-case differential verdicts.  The verdicts
+    are bit-identical across backends — that identity is itself covered
+    by the cross-backend differential suite.
     """
     modes = tuple(modes) if modes else tuple(RoundingMode)
     env_combos = tuple(env_combos)
@@ -232,7 +314,7 @@ def run_conformance(
     with run_span:
         for op in ops:
             _run_op(report, telemetry, op, fmt, budget, seed, matrix, tininess,
-                    native, max_discrepancies)
+                    native, max_discrepancies, engine_backend)
     return report
 
 
@@ -247,6 +329,7 @@ def _run_op(
     tininess: str,
     native: bool,
     max_discrepancies: int,
+    engine_backend: str = "scalar",
 ) -> None:
     """Drive one operation's differential loop (one ``oracle.op`` span).
 
@@ -263,6 +346,7 @@ def _run_op(
             op, fmt, budget, seed, matrix, tininess, native,
             stats=stats, sink=report.discrepancies,
             sink_cap=max_discrepancies,
+            engine_backend=engine_backend,
         )
         stats.wall_seconds = time.perf_counter() - op_started
         span.set("evals", stats.evals)
@@ -374,13 +458,17 @@ def run_op_slice(
     max_discrepancies: int,
     case_lo: int,
     case_hi: int,
+    engine_backend: str = "scalar",
 ) -> tuple[OpStats, list[Discrepancy]]:
     """Run cases ``[case_lo, case_hi)`` of one op's differential sweep.
 
     A pure function of its arguments: the case stream is regenerated
     from the seed and fast-forwarded, and the shard's position in the
     op's evaluation budget is computed in closed form — so the union
-    of disjoint slices is bit-identical to the serial sweep.
+    of disjoint slices is bit-identical to the serial sweep.  Because
+    ``engine_backend`` never changes *which* evaluations a slice
+    performs (only how the engine side is computed), batched shards
+    compose with the worker pool exactly as scalar ones do.
     """
     stats = OpStats(op=op)
     sink: list[Discrepancy] = []
@@ -389,9 +477,55 @@ def run_op_slice(
         op, fmt, budget, seed, matrix, tininess, native,
         stats=stats, sink=sink, sink_cap=max_discrepancies,
         case_lo=case_lo, case_hi=case_hi,
+        engine_backend=engine_backend,
     )
     stats.wall_seconds = time.perf_counter() - started
     return stats, sink
+
+
+def _iter_evals(
+    op: str,
+    fmt: FloatFormat,
+    budget: int,
+    seed: int,
+    matrix: tuple,
+    case_lo: int,
+    case_hi: int | None,
+):
+    """Yield one op's evaluation stream (or a slice of it).
+
+    Each item is ``(index, first_of_case, operands, mode, ftz, daz)``
+    where ``first_of_case`` marks the first evaluation of a new case
+    (the per-case statistics hook).  This generator is the single
+    source of truth for combo selection and budget cutoff — the scalar
+    loop and the batched plan both consume it, which is what makes
+    their evaluation streams identical by construction.
+    """
+    arity = OP_ARITY[op]
+    matrix_len = len(matrix)
+    fmc = _full_matrix_cases(fmt, arity, budget, matrix_len)
+    case_seed = seed ^ (zlib.crc32(op.encode()) & 0xFFFF)
+    evals_spent = eval_offset(case_lo, fmc, matrix_len, budget)
+
+    cases = generate_cases(fmt, arity, budget, case_seed)
+    if case_lo:
+        cases = itertools.islice(cases, case_lo, None)
+    for index, operands in enumerate(cases, start=case_lo):
+        if case_hi is not None and index >= case_hi:
+            return
+        if evals_spent >= budget:
+            return
+        if index < fmc:
+            combos = matrix
+        else:
+            combos = (matrix[(index - fmc) % matrix_len],)
+        first = True
+        for mode, (ftz, daz) in combos:
+            if evals_spent >= budget:
+                break
+            evals_spent += 1
+            yield index, first, operands, mode, ftz, daz
+            first = False
 
 
 def _drive_op_cases(
@@ -408,6 +542,7 @@ def _drive_op_cases(
     sink_cap: int,
     case_lo: int = 0,
     case_hi: int | None = None,
+    engine_backend: str = "scalar",
 ) -> None:
     """The differential loop over one op's case stream (or a slice).
 
@@ -416,6 +551,12 @@ def _drive_op_cases(
     with a private sink.  Either way the per-case behavior — combo
     selection, budget cutoff, shrinking — depends only on the case
     index, never on which process is executing.
+
+    With a non-scalar ``engine_backend`` the engine side of every
+    evaluation is computed up front in vectorized blocks (grouped by
+    rounding/FTZ/DAZ cell), and the oracle comparison replays over the
+    precomputed results in stream order; the per-evaluation latency
+    histogram then times the oracle half only.
     """
     telemetry = get_telemetry()
     instrumented = telemetry.enabled
@@ -424,55 +565,54 @@ def _drive_op_cases(
     discrepancies_total = metrics.counter("oracle.discrepancies_total", op=op)
     latency = metrics.histogram("oracle.eval_seconds", op=op)
 
-    arity = OP_ARITY[op]
-    matrix_len = len(matrix)
-    fmc = _full_matrix_cases(fmt, arity, budget, matrix_len)
-    case_seed = seed ^ (zlib.crc32(op.encode()) & 0xFFFF)
-    evals_spent = eval_offset(case_lo, fmc, matrix_len, budget)
+    stream = _iter_evals(op, fmt, budget, seed, matrix, case_lo, case_hi)
+    engine_results = None
+    if engine_backend != "scalar":
+        from repro.softfloat.backend import get_backend
 
-    cases = generate_cases(fmt, arity, budget, case_seed)
-    if case_lo:
-        cases = itertools.islice(cases, case_lo, None)
-    for index, operands in enumerate(cases, start=case_lo):
-        if case_hi is not None and index >= case_hi:
-            break
-        if evals_spent >= budget:
-            break
-        if index < fmc:
-            combos = matrix
-        else:
-            combos = (matrix[(index - fmc) % matrix_len],)
-        stats.cases += 1
-        for mode, (ftz, daz) in combos:
-            if evals_spent >= budget:
-                break
-            evals_spent += 1
-            stats.evals += 1
-            if instrumented:
-                check_started = time.perf_counter()
+        backend = get_backend(engine_backend)
+        plan = [
+            (index, operands, mode, ftz, daz)
+            for index, _, operands, mode, ftz, daz in stream
+        ]
+        engine_results = _batched_engine_results(op, fmt, plan, backend)
+        stream = _iter_evals(op, fmt, budget, seed, matrix, case_lo, case_hi)
+
+    for pos, (index, first, operands, mode, ftz, daz) in enumerate(stream):
+        if first:
+            stats.cases += 1
+        stats.evals += 1
+        if instrumented:
+            check_started = time.perf_counter()
+        if engine_results is None:
             engine_bits, disc = _check(
                 op, fmt, operands, mode, ftz, daz, tininess)
-            if instrumented:
-                latency.observe(time.perf_counter() - check_started)
-                evals_total.inc()
-            if disc is None:
+        else:
+            engine_bits, engine_flags = engine_results[pos]
+            engine_bits, disc = _check_with_engine(
+                op, fmt, operands, mode, ftz, daz, tininess,
+                engine_bits, engine_flags)
+        if instrumented:
+            latency.observe(time.perf_counter() - check_started)
+            evals_total.inc()
+        if disc is None:
+            stats.value_agree += 1
+            stats.flag_agree += 1
+        else:
+            stats.discrepancies += 1
+            discrepancies_total.inc()
+            if disc.kind == "flags":
                 stats.value_agree += 1
+            elif disc.kind == "value":
                 stats.flag_agree += 1
-            else:
-                stats.discrepancies += 1
-                discrepancies_total.inc()
-                if disc.kind == "flags":
-                    stats.value_agree += 1
-                elif disc.kind == "value":
-                    stats.flag_agree += 1
-                if len(sink) < sink_cap:
-                    sink.append(_shrunk(disc, fmt))
-            # Native third opinion under the hardware-default env.
-            if (native and not ftz and not daz
-                    and mode is RoundingMode.NEAREST_EVEN
-                    and native_supported(op, fmt)):
-                native_bits = native_result_bits(op, fmt, operands)
-                if native_bits is not None:
-                    stats.native_evals += 1
-                    if native_agrees(fmt, native_bits, engine_bits):
-                        stats.native_agree += 1
+            if len(sink) < sink_cap:
+                sink.append(_shrunk(disc, fmt))
+        # Native third opinion under the hardware-default env.
+        if (native and not ftz and not daz
+                and mode is RoundingMode.NEAREST_EVEN
+                and native_supported(op, fmt)):
+            native_bits = native_result_bits(op, fmt, operands)
+            if native_bits is not None:
+                stats.native_evals += 1
+                if native_agrees(fmt, native_bits, engine_bits):
+                    stats.native_agree += 1

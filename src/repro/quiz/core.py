@@ -11,12 +11,14 @@ a tiny 6-bit format in which checking all pairs is tractable.
 
 from __future__ import annotations
 
-import itertools
 import math
 import random
 
+import numpy as np
+
 from repro.fpenv.env import FPEnv
 from repro.fpenv.flags import FPFlag
+from repro.fpenv.rounding import RoundingMode
 from repro.quiz.demos import Claim, Demonstration, claim
 from repro.quiz.model import Question, QuestionKind, Section, TFAnswer
 from repro.softfloat import (
@@ -29,10 +31,12 @@ from repro.softfloat import (
     fp_ge,
     fp_mul,
     fp_sub,
+    get_backend,
     next_up,
     sf,
     significant_bits,
 )
+from repro.softfloat.backend import ORD_EQUAL, ORD_GREATER
 
 __all__ = ["CORE_QUESTIONS", "core_question", "CORE_QUESTION_ORDER"]
 
@@ -51,6 +55,20 @@ def _tiny_values(include_special: bool = False) -> list[SoftFloat]:
     return values
 
 
+def _tiny_lanes(include_special: bool = False) -> np.ndarray:
+    """The same sweep domain as packed uint64 lanes for the batch
+    backend (the exhaustive pair sweeps ride vectorized kernels)."""
+    return np.array(
+        [v.bits for v in _tiny_values(include_special)], dtype=np.uint64
+    )
+
+
+def _tiny_pairs(include_special: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """All ordered pairs of the sweep domain, as two lane arrays."""
+    lanes = _tiny_lanes(include_special)
+    return np.repeat(lanes, lanes.shape[0]), np.tile(lanes, lanes.shape[0])
+
+
 # ----------------------------------------------------------------------
 # Demonstrations
 # ----------------------------------------------------------------------
@@ -58,11 +76,15 @@ def _tiny_values(include_special: bool = False) -> list[SoftFloat]:
 def demo_commutativity() -> Demonstration:
     """a + b == b + a holds for all non-NaN operands."""
     claims: list[Claim] = []
-    env = FPEnv()
-    holds = all(
-        fp_add(a, b, env).same_bits(fp_add(b, a, env))
-        for a, b in itertools.product(_tiny_values(include_special=True), repeat=2)
+    backend = get_backend("batch")
+    a, b = _tiny_pairs(include_special=True)
+    forward = backend.run_packed(
+        "add", TINY8, [a, b], RoundingMode.NEAREST_EVEN, False, False
     )
+    reverse = backend.run_packed(
+        "add", TINY8, [b, a], RoundingMode.NEAREST_EVEN, False, False
+    )
+    holds = bool(np.array_equal(forward.bits, reverse.bits))
     claims.append(claim(
         "exhaustive tiny-format sweep: x+y is bit-identical to y+x for "
         "every non-NaN pair (including infinities and signed zeros)",
@@ -183,8 +205,12 @@ def demo_identity() -> Demonstration:
         not fp_eq(zero_div, zero_div),
         value=zero_div,
     ))
-    env = FPEnv()
-    finite_ok = all(fp_eq(x, x, env) for x in _tiny_values(include_special=True))
+    lanes = _tiny_lanes(include_special=True)
+    codes = get_backend("batch").run_packed(
+        "compare_quiet", TINY8, [lanes, lanes],
+        RoundingMode.NEAREST_EVEN, False, False,
+    )
+    finite_ok = bool(np.all(codes.bits == ORD_EQUAL))
     claims.append(claim(
         "but every non-NaN value (exhaustive tiny format) satisfies a == a",
         finite_ok,
@@ -213,12 +239,18 @@ def demo_negative_zero() -> Demonstration:
 
 def demo_square() -> Demonstration:
     """a*a >= 0 holds for every non-NaN a (unlike integer arithmetic)."""
-    env = FPEnv()
-    zero = SoftFloat.zero(TINY8)
-    holds = all(
-        fp_ge(fp_mul(x, x, env), zero, env)
-        for x in _tiny_values(include_special=True)
+    backend = get_backend("batch")
+    lanes = _tiny_lanes(include_special=True)
+    squares = backend.run_packed(
+        "mul", TINY8, [lanes, lanes], RoundingMode.NEAREST_EVEN, False, False
     )
+    zeros = np.full(lanes.shape[0], SoftFloat.zero(TINY8).bits,
+                    dtype=np.uint64)
+    codes = backend.run_packed(
+        "compare_signaling", TINY8, [squares.bits, zeros],
+        RoundingMode.NEAREST_EVEN, False, False,
+    )
+    holds = bool(np.all((codes.bits == ORD_EQUAL) | (codes.bits == ORD_GREATER)))
     claims = [claim(
         "exhaustive tiny-format sweep: x*x >= 0 for every non-NaN x",
         holds,

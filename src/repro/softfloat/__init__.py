@@ -67,6 +67,16 @@ from repro.softfloat.directed import (
     probe_op,
     up_env,
 )
+from repro.softfloat.backend import (
+    BACKEND_OP_ARITY,
+    BACKEND_OPS,
+    AutoBackend,
+    BatchResult,
+    ScalarBackend,
+    SoftFloatBackend,
+    available_backends,
+    get_backend,
+)
 from repro.softfloat.parse import parse_softfloat
 from repro.softfloat.printing import format_hex, format_softfloat
 from repro.softfloat.augmented import (
@@ -156,6 +166,15 @@ __all__ = [
     "fp_ilogb",
     "ulp",
     "significant_bits",
+    # backends
+    "BACKEND_OPS",
+    "BACKEND_OP_ARITY",
+    "SoftFloatBackend",
+    "BatchResult",
+    "ScalarBackend",
+    "AutoBackend",
+    "available_backends",
+    "get_backend",
     # directed rounding
     "down_env",
     "up_env",

@@ -25,7 +25,7 @@ from repro.fpenv.rounding import RoundingMode
 from repro.softfloat._round import round_and_pack
 from repro.softfloat.value import SoftFloat
 
-__all__ = ["fp_add", "fp_sub", "fp_mul", "fp_div", "fp_remainder"]
+__all__ = ["fp_add", "fp_sub", "fp_mul", "fp_div", "fp_remainder", "SCALAR_KERNELS"]
 
 
 def _quiet(x: SoftFloat) -> SoftFloat:
@@ -231,3 +231,14 @@ def fp_remainder(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> SoftFl
     sign = 1 if r < 0 else 0
     bits = round_and_pack(fmt, env, sign, abs(r), e, 0, "remainder")
     return SoftFloat(fmt, bits)
+
+
+#: Per-op scalar kernels, keyed by backend op name (consumed by
+#: :mod:`repro.softfloat.backend`; kept here so the backend layer never
+#: needs to reach into private helpers).
+SCALAR_KERNELS = {
+    "add": fp_add,
+    "sub": fp_sub,
+    "mul": fp_mul,
+    "div": fp_div,
+}

@@ -23,6 +23,8 @@ from repro.softfloat.value import SoftFloat
 
 __all__ = [
     "Ordering",
+    "ORDERING_CODES",
+    "compare_code",
     "fp_compare_quiet",
     "fp_compare_signaling",
     "fp_eq",
@@ -93,6 +95,32 @@ def fp_compare_signaling(
         env.raise_flags(FPFlag.INVALID, "compare")
         return Ordering.UNORDERED
     return _ordered_compare(a, b)
+
+
+#: Dense unsigned lane codes for the four-way comparison result, shared
+#: with the batched backends (``Ordering.UNORDERED`` is ``None`` and so
+#: cannot ride in an integer lane).
+ORDERING_CODES: dict[Ordering, int] = {
+    Ordering.LESS: 0,
+    Ordering.EQUAL: 1,
+    Ordering.GREATER: 2,
+    Ordering.UNORDERED: 3,
+}
+
+
+def compare_code(
+    a: SoftFloat,
+    b: SoftFloat,
+    env: FPEnv | None = None,
+    *,
+    signaling: bool = False,
+) -> int:
+    """Four-way comparison delivered as a dense integer code (see
+    :data:`ORDERING_CODES`); the backend-protocol form of the compare
+    predicates."""
+    if signaling:
+        return ORDERING_CODES[fp_compare_signaling(a, b, env)]
+    return ORDERING_CODES[fp_compare_quiet(a, b, env)]
 
 
 def fp_eq(a: SoftFloat, b: SoftFloat, env: FPEnv | None = None) -> bool:

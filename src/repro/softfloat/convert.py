@@ -22,6 +22,7 @@ from repro.softfloat.value import SoftFloat
 
 __all__ = [
     "convert_format",
+    "convert_bits",
     "softfloat_from_float",
     "softfloat_to_float",
     "softfloat_from_int",
@@ -59,6 +60,14 @@ def convert_format(
     mant, exp2 = x.significand_value()
     bits = round_and_pack(fmt, env, x.sign, mant, exp2, 0, "convert")
     return SoftFloat(fmt, bits)
+
+
+def convert_bits(
+    bits: int, src_fmt: FloatFormat, dst_fmt: FloatFormat, env: FPEnv | None = None
+) -> int:
+    """Packed-encoding form of :func:`convert_format`, used by the
+    backend protocol: ``src_fmt`` bits in, ``dst_fmt`` bits out."""
+    return convert_format(SoftFloat(src_fmt, bits), dst_fmt, env).bits
 
 
 def softfloat_from_float(value: float, fmt: FloatFormat = BINARY64) -> SoftFloat:

@@ -15,7 +15,7 @@ from repro.softfloat._round import round_and_pack
 from repro.softfloat.arith import _apply_daz, _exact_zero_sign, propagate_nan
 from repro.softfloat.value import SoftFloat
 
-__all__ = ["fp_fma"]
+__all__ = ["fp_fma", "SCALAR_KERNELS"]
 
 
 def fp_fma(
@@ -82,3 +82,7 @@ def fp_fma(
     sign = 1 if total < 0 else 0
     bits = round_and_pack(fmt, env, sign, abs(total), e, 0, "fma")
     return SoftFloat(fmt, bits)
+
+
+#: Backend kernel table (see :mod:`repro.softfloat.backend`).
+SCALAR_KERNELS = {"fma": fp_fma}

@@ -16,7 +16,7 @@ from repro.softfloat._round import round_and_pack
 from repro.softfloat.arith import _apply_daz, propagate_nan
 from repro.softfloat.value import SoftFloat
 
-__all__ = ["fp_sqrt"]
+__all__ = ["fp_sqrt", "SCALAR_KERNELS"]
 
 
 def fp_sqrt(a: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
@@ -54,3 +54,7 @@ def fp_sqrt(a: SoftFloat, env: FPEnv | None = None) -> SoftFloat:
     sticky = 0 if root * root == scaled else 1
     bits = round_and_pack(fmt, env, 0, root, (exp2 - shift) // 2, sticky, "sqrt")
     return SoftFloat(fmt, bits)
+
+
+#: Backend kernel table (see :mod:`repro.softfloat.backend`).
+SCALAR_KERNELS = {"sqrt": fp_sqrt}

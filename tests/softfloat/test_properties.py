@@ -9,8 +9,6 @@ so minimal environments lose examples, not coverage.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro.fpenv.env import FPEnv
@@ -27,56 +25,10 @@ from repro.softfloat import (
     fp_sub,
 )
 
+from tests.strategies import forall_bits
+
 FORMATS = [TINY8, BINARY16, BINARY32]
 FORMAT_IDS = [f.name for f in FORMATS]
-N_EXAMPLES = 200
-
-try:
-    from hypothesis import given, settings
-    from hypothesis import strategies as st
-
-    HAVE_HYPOTHESIS = True
-except ImportError:  # pragma: no cover - hypothesis is in the test extras
-    HAVE_HYPOTHESIS = False
-
-
-def forall_bits(arity: int):
-    """Decorate ``test(fmt, *bits)`` to run over ``arity`` random
-    encodings of ``fmt``.  Bits are drawn 32 wide and masked down so
-    one strategy serves every format (hypothesis strategies cannot
-    depend on the pytest-parametrized ``fmt`` argument).
-    """
-    if HAVE_HYPOTHESIS:
-
-        def wrap(test):
-            raw_strategy = st.tuples(
-                *[st.integers(min_value=0, max_value=(1 << 32) - 1)] * arity
-            )
-
-            @settings(max_examples=N_EXAMPLES, deadline=None)
-            @given(raw=raw_strategy)
-            def inner(fmt, raw):
-                mask = (1 << fmt.width) - 1
-                test(fmt, *(r & mask for r in raw))
-
-            inner.__name__ = test.__name__
-            inner.__doc__ = test.__doc__
-            return inner
-
-        return wrap
-
-    def wrap(test):
-        def inner(fmt):
-            rng = random.Random(754 + arity)
-            for _ in range(N_EXAMPLES):
-                bits = tuple(rng.getrandbits(fmt.width) for _ in range(arity))
-                test(fmt, *bits)
-
-        inner.__name__ = test.__name__
-        inner.__doc__ = test.__doc__
-        return inner
-
-    return wrap
 
 
 def _agree(x: SoftFloat, y: SoftFloat) -> bool:

@@ -44,6 +44,7 @@ from repro.softfloat import (
     parse_softfloat,
 )
 from repro.staticfp import AbstractValue, analyze
+from tests.strategies import forall_seeds
 
 FORMATS = [BINARY16, BINARY32, BINARY64]
 FORMAT_IDS = [f.name for f in FORMATS]
@@ -135,34 +136,11 @@ def _check_soundness(fmt, config, seed: int) -> None:
     )
 
 
-try:
-    from hypothesis import given, settings
-    from hypothesis import strategies as st
-
-    HAVE_HYPOTHESIS = True
-except ImportError:  # pragma: no cover - hypothesis is in the test extras
-    HAVE_HYPOTHESIS = False
-
-
-if HAVE_HYPOTHESIS:
-
-    @pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
-    @pytest.mark.parametrize("flavor", sorted(CONFIG_FLAVORS))
-    @settings(max_examples=N_EXAMPLES, deadline=None)
-    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
-    def test_analysis_sound(fmt, flavor, seed):
-        _check_soundness(fmt, CONFIG_FLAVORS[flavor](fmt), seed)
-
-else:  # pragma: no cover - exercised only without hypothesis
-
-    @pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
-    @pytest.mark.parametrize("flavor", sorted(CONFIG_FLAVORS))
-    def test_analysis_sound(fmt, flavor):
-        rng = random.Random(754)
-        for _ in range(N_EXAMPLES):
-            _check_soundness(
-                fmt, CONFIG_FLAVORS[flavor](fmt), rng.getrandbits(32)
-            )
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+@pytest.mark.parametrize("flavor", sorted(CONFIG_FLAVORS))
+@forall_seeds(n_examples=N_EXAMPLES)
+def test_analysis_sound(fmt, flavor, seed):
+    _check_soundness(fmt, CONFIG_FLAVORS[flavor](fmt), seed)
 
 
 class TestRegressions:

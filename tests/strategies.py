@@ -1,0 +1,175 @@
+"""Shared test-input strategies: hypothesis with a seeded fallback.
+
+Several suites (softfloat properties, staticfp soundness, the
+cross-backend differential harness) want the same discipline — property
+-based generation via hypothesis when installed, and a seeded in-repo
+sampler running the *same* checks otherwise, so minimal environments
+lose shrinking and example diversity, not coverage.  This module is the
+single home for that pattern plus the deterministic operand corpora the
+suites share:
+
+- :func:`forall_bits` — run a test over random packed encodings of a
+  pytest-parametrized format;
+- :func:`forall_seeds` — run a test over random 32-bit scenario seeds;
+- :func:`special_bits` — the boundary-value encoding corpus (signed
+  zeros, NaN payloads, subnormal extremes, overflow thresholds);
+- :data:`ENV_MATRIX` / :data:`HARDWARE_DEFAULT` — the rounding ×
+  FTZ/DAZ environment lattice the quiz scenarios care about.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fpenv.rounding import RoundingMode
+from repro.softfloat import SoftFloat
+from repro.softfloat.formats import FloatFormat
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the test extras
+    HAVE_HYPOTHESIS = False
+
+__all__ = [
+    "HAVE_HYPOTHESIS",
+    "ENV_MATRIX",
+    "HARDWARE_DEFAULT",
+    "forall_bits",
+    "forall_seeds",
+    "special_bits",
+    "special_pairs",
+]
+
+#: Every environment combination the quiz references: all five rounding
+#: directions crossed with FTZ/DAZ off and on.
+ENV_MATRIX: tuple[tuple[RoundingMode, bool, bool], ...] = tuple(
+    (mode, ftz, daz)
+    for mode in RoundingMode
+    for ftz in (False, True)
+    for daz in (False, True)
+)
+
+#: The hardware power-on environment: round-to-nearest-even, no flushing.
+HARDWARE_DEFAULT: tuple[RoundingMode, bool, bool] = (
+    RoundingMode.NEAREST_EVEN, False, False,
+)
+
+
+def forall_bits(arity: int, *, n_examples: int = 200, seed: int = 754):
+    """Decorate ``test(fmt, *bits)`` to run over ``arity`` random
+    encodings of ``fmt``.  Bits are drawn 64 wide and masked down so one
+    strategy serves every format (hypothesis strategies cannot depend on
+    the pytest-parametrized ``fmt`` argument); uniform over the encoding
+    space, so subnormals, infinities, and NaNs all appear.
+    """
+    if HAVE_HYPOTHESIS:
+
+        def wrap(test):
+            raw_strategy = st.tuples(
+                *[st.integers(min_value=0, max_value=(1 << 64) - 1)] * arity
+            )
+
+            @settings(max_examples=n_examples, deadline=None)
+            @given(raw=raw_strategy)
+            def inner(fmt, raw):
+                mask = (1 << fmt.width) - 1
+                test(fmt, *(r & mask for r in raw))
+
+            inner.__name__ = test.__name__
+            inner.__doc__ = test.__doc__
+            return inner
+
+        return wrap
+
+    def wrap(test):
+        def inner(fmt):
+            rng = random.Random(seed + arity)
+            for _ in range(n_examples):
+                bits = tuple(rng.getrandbits(fmt.width) for _ in range(arity))
+                test(fmt, *bits)
+
+        inner.__name__ = test.__name__
+        inner.__doc__ = test.__doc__
+        return inner
+
+    return wrap
+
+
+def forall_seeds(*, n_examples: int = 150, fallback_seed: int = 754):
+    """Decorate a test whose *last* parameter is named ``seed`` to run
+    over random 32-bit scenario seeds — the pattern for tests that
+    derive a whole random scenario (expression, bindings, …) from one
+    integer.  Earlier parameters stay visible to pytest (parametrize
+    and fixtures work unchanged); only ``seed`` is supplied here.
+    """
+    if HAVE_HYPOTHESIS:
+
+        def wrap(test):
+            return settings(max_examples=n_examples, deadline=None)(
+                given(seed=st.integers(min_value=0, max_value=2**32 - 1))(test)
+            )
+
+        return wrap
+
+    def wrap(test):
+        import inspect
+
+        def inner(*args, **kwargs):
+            rng = random.Random(fallback_seed)
+            for _ in range(n_examples):
+                test(*args, **kwargs, seed=rng.getrandbits(32))
+
+        sig = inspect.signature(test)
+        inner.__signature__ = sig.replace(parameters=[
+            p for name, p in sig.parameters.items() if name != "seed"
+        ])
+        inner.__name__ = test.__name__
+        inner.__doc__ = test.__doc__
+        return inner
+
+    return wrap
+
+
+def special_bits(fmt: FloatFormat) -> list[int]:
+    """The boundary-value encoding corpus for one format.
+
+    Signed zeros and ones, infinities, quiet NaNs with and without
+    payload, a signaling NaN, both subnormal extremes, the subnormal/
+    normal threshold, the overflow threshold, and the rounding-sensitive
+    ``1 + ulp`` — deduplicated, order-stable.
+    """
+    payload = min(3, fmt.quiet_bit - 1) if fmt.quiet_bit > 1 else 0
+    landmarks = [
+        SoftFloat.zero(fmt, 0),
+        SoftFloat.zero(fmt, 1),
+        SoftFloat.one(fmt, 0),
+        SoftFloat.one(fmt, 1),
+        SoftFloat(fmt, fmt.one_bits(0) | 1),       # 1 + ulp
+        SoftFloat.min_subnormal(fmt, 0),
+        SoftFloat.min_subnormal(fmt, 1),
+        SoftFloat(fmt, fmt.pack(0, 0, fmt.sig_mask)),  # max subnormal
+        SoftFloat.min_normal(fmt, 0),
+        SoftFloat.min_normal(fmt, 1),
+        SoftFloat.max_finite(fmt, 0),
+        SoftFloat.max_finite(fmt, 1),
+        SoftFloat.inf(fmt, 0),
+        SoftFloat.inf(fmt, 1),
+        SoftFloat.nan(fmt),
+        SoftFloat(fmt, fmt.quiet_nan_bits(1, payload)),
+        SoftFloat.signaling_nan(fmt),
+    ]
+    out: list[int] = []
+    for x in landmarks:
+        if x.bits not in out:
+            out.append(x.bits)
+    return out
+
+
+def special_pairs(fmt: FloatFormat) -> list[tuple[int, int]]:
+    """All ordered pairs of the boundary corpus (the two-operand sweep
+    every differential suite drives)."""
+    corpus = special_bits(fmt)
+    return [(a, b) for a in corpus for b in corpus]
