@@ -206,6 +206,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the static analyzer: lint diagnostics, per-pass "
              "safety verdicts, and static-vs-dynamic agreement",
     )
+    optsim.add_argument(
+        "--strategy", default="random",
+        choices=["random", "guided", "exhaustive"],
+        help="divergence search strategy: random corner-biased sampling "
+             "(default), analysis-guided region search, or an exhaustive "
+             "sweep (small formats)",
+    )
     _add_telemetry_flags(optsim)
 
     lint = sub.add_parser(
@@ -251,6 +258,22 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--write-golden", action="store_true",
         help="with --corpus: regenerate the golden diagnostics file",
+    )
+    lint.add_argument(
+        "--witness", action="store_true",
+        help="back every unsafe verdict with a verified counterexample: "
+             "guided search plus localization and flag-flow coverage "
+             "(with --corpus: resolve all 22 entries and diff witness "
+             "outcomes against the golden file)",
+    )
+    lint.add_argument(
+        "--witness-strategy", default="guided",
+        choices=["guided", "random", "exhaustive"],
+        help="witness search strategy (default: guided)",
+    )
+    lint.add_argument(
+        "--witness-trials", type=int, default=2000,
+        help="candidate budget for the witness search (default: 2000)",
     )
     _add_telemetry_flags(lint)
     _add_engine_flags(lint)
@@ -530,7 +553,10 @@ def _cmd_optsim(args: argparse.Namespace) -> int:
         reasons = noncompliance_reasons(config)
         if reasons:
             print("non-standard permissions: " + "; ".join(reasons))
-        report = find_divergence(expr, config, oracle_check=args.oracle_check)
+        report = find_divergence(
+            expr, config, oracle_check=args.oracle_check,
+            strategy=args.strategy,
+        )
         print(report.describe())
         if args.analyze:
             from repro.staticfp import lint, predict_pass_safety
@@ -676,6 +702,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             report = lint(
                 args.expr, config, bindings,
                 assume_nan_inputs=args.assume_nan_inputs,
+                witness=args.witness,
+                witness_strategy=args.witness_strategy,
+                witness_trials=args.witness_trials,
             )
     except (OptimizationError, ParseError) as exc:
         print(f"cannot analyze {args.expr!r}: {exc}", file=sys.stderr)
@@ -696,15 +725,23 @@ def _lint_corpus(args: argparse.Namespace) -> int:
     from repro.staticfp.corpus import (
         GOLDEN_PATH,
         check_golden,
+        check_golden_witnesses,
         precision_summary,
+        witness_outcomes,
+        witness_summary,
         write_golden,
     )
 
     engine = _build_engine(args) if args.parallel > 0 else None
     with _telemetry_scope(args):
+        witnesses = None
+        if args.witness or args.write_golden:
+            witnesses = witness_outcomes(trials=args.witness_trials)
         if args.write_golden:
-            snapshot = write_golden()
-            print(f"wrote {len(snapshot)} golden entries to {GOLDEN_PATH}")
+            document = write_golden(witnesses=witnesses)
+            print(f"wrote {len(document['entries'])} golden entries and "
+                  f"{len(document['witnesses'])} witness outcomes to "
+                  f"{GOLDEN_PATH}")
         outcomes = None
         if engine is not None:
             from repro.engine.adapters import run_corpus_sharded
@@ -720,6 +757,18 @@ def _lint_corpus(args: argparse.Namespace) -> int:
         if summary["false_positives"]:
             print("  " + ", ".join(summary["false_positives"]))
         drift = check_golden(outcomes=outcomes)
+        witness_ok = True
+        if witnesses is not None:
+            wsummary = witness_summary(witnesses)
+            print(f"witness resolution: {wsummary['resolved']}"
+                  f"/{wsummary['total']}"
+                  f" ({len(wsummary['witnessed'])} witnessed,"
+                  f" {len(wsummary['refuted'])} refuted,"
+                  f" {len(wsummary['proved-safe'])} proved safe)")
+            if wsummary["unresolved"]:
+                print("  unresolved: " + ", ".join(wsummary["unresolved"]))
+                witness_ok = False
+            drift += check_golden_witnesses(outcomes=witnesses)
     if engine is not None:
         print(_engine_summary(engine))
     if drift:
@@ -731,6 +780,7 @@ def _lint_corpus(args: argparse.Namespace) -> int:
     ok = (
         summary["gotchas_detected"] == summary["gotchas_total"]
         and not summary["false_positives"]
+        and witness_ok
     )
     return 0 if ok else 1
 

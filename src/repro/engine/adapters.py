@@ -41,6 +41,7 @@ __all__ = [
     "run_conformance_sharded",
     "run_study_sharded",
     "find_divergence_sharded",
+    "witness_sweep_sharded",
     "run_corpus_sharded",
 ]
 
@@ -387,6 +388,127 @@ def find_divergence_sharded(
         span.set("diverged", report.diverged)
         span.set("trials", report.trials)
         return report
+
+
+# ----------------------------------------------------------------------
+# optsim: exhaustive witness sweep
+# ----------------------------------------------------------------------
+
+@task("optsim.witness_slice")
+def _optsim_witness_slice(params: dict, ctx) -> dict:
+    """Sweep index slice ``[start, stop)`` of an exhaustive witness
+    search over serialized bit regions."""
+    from repro.optsim.guided import sweep_slice
+
+    return sweep_slice(
+        params["expr"],
+        params["level"],
+        params["regions"],
+        params["start"],
+        params["stop"],
+        check_flags=params["check_flags"],
+        backend=params.get("backend", "auto"),
+        fmt=params.get("fmt"),
+    )
+
+
+def witness_sweep_sharded(
+    expr_text: str,
+    level: str,
+    engine,
+    *,
+    bindings=None,
+    check_flags: bool = True,
+    n_slices: int | None = None,
+    backend: str = "auto",
+    fmt: str | None = None,
+):
+    """The sharded twin of :func:`repro.optsim.guided.exhaustive_sweep`.
+
+    The parent plans the per-variable bit regions once, serializes
+    them into every shard, and splits the mixed-radix index space into
+    contiguous slices; the merged verdict is the minimum diverging
+    index (first-hit-wins, like the serial sweep), re-checked scalar
+    in the parent to build the identical
+    :class:`~repro.optsim.guided.SweepResult`.  ``fmt`` optionally
+    overrides the level's format by name (TINY8 proof sweeps of
+    wide-format levels).
+    """
+    from repro.optsim import optimize, parse_expr
+    from repro.optsim.guided import SweepResult, sweep_regions
+    from repro.telemetry import get_telemetry
+
+    config = _resolve_level(level)
+    if fmt is not None:
+        from repro.oracle import FORMATS_BY_NAME
+
+        config = config.replace(fmt=FORMATS_BY_NAME[fmt])
+    expr = parse_expr(expr_text)
+    optimized = optimize(expr, config)
+    regions = sweep_regions(expr, optimized, config, bindings)
+    region_dicts = {name: r.to_dict() for name, r in regions.items()}
+    total = 1
+    for region in regions.values():
+        total *= region.size
+    if n_slices is None:
+        n_slices = max(1, engine.config.workers) * 2
+    n_slices = max(1, min(n_slices, total)) if total else 1
+    boundaries = [total * j // n_slices for j in range(n_slices + 1)]
+    param_list = [
+        {
+            "expr": expr_text,
+            "level": level,
+            "regions": region_dicts,
+            "start": lo,
+            "stop": hi,
+            "check_flags": check_flags,
+            "backend": backend,
+            "fmt": fmt,
+        }
+        for lo, hi in zip(boundaries, boundaries[1:])
+        if hi > lo
+    ]
+
+    def merge(results: list[dict]) -> SweepResult:
+        from repro.optsim.compliance import check_binding
+        from repro.optsim.guided import exhaustive_sweep
+
+        checked = sum(r["checked"] for r in results)
+        hits = [r["index"] for r in results if r["index"] is not None]
+        if not hits:
+            return SweepResult(
+                found_index=None, witness=None, value_diverged=False,
+                flags_diverged=False, states=total, checked=checked,
+            )
+        index = min(hits)
+        # Re-materialize the diverging binding by sweeping the
+        # single-state slice [index, index + 1) in the parent.
+        single = exhaustive_sweep(
+            expr, optimized, config, regions=regions,
+            check_flags=check_flags, backend=backend,
+            start=index, stop=index + 1, max_states=1 << 62,
+        )
+        binding = single.witness
+        assert binding is not None
+        _, _, vdiv, fdiv = check_binding(expr, optimized, binding, config)
+        return SweepResult(
+            found_index=index, witness=binding, value_diverged=vdiv,
+            flags_diverged=fdiv, states=total, checked=checked,
+        )
+
+    telemetry = get_telemetry()
+    with telemetry.tracer.span(
+        "optsim.witness_sweep", config=config.name, expr=str(expr),
+        states=total,
+    ) as span:
+        job = _spec_seeded_job(
+            f"witness.{config.name}", "optsim.witness_slice", param_list,
+            seed=0, merge=merge,
+        )
+        result = engine.run(job)
+        span.set("found", result.found_index is not None)
+        span.set("checked", result.checked)
+        return result
 
 
 # ----------------------------------------------------------------------

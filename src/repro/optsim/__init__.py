@@ -50,8 +50,15 @@ from repro.optsim.machine import (
     optimization_level,
 )
 from repro.optsim.evaluator import EvalResult, evaluate, evaluate_strict
-from repro.optsim.batch_eval import evaluate_many
+from repro.optsim.batch_eval import evaluate_lanes, evaluate_many
 from repro.optsim.flags import config_from_flags
+from repro.optsim.guided import (
+    FlowCoverage,
+    GuidedResult,
+    SweepResult,
+    exhaustive_sweep,
+    guided_search,
+)
 from repro.optsim.pipeline import optimize
 from repro.optsim.program import (
     Assign,
@@ -93,7 +100,13 @@ __all__ = [
     "evaluate",
     "evaluate_strict",
     "evaluate_many",
+    "evaluate_lanes",
     "EvalResult",
+    "FlowCoverage",
+    "GuidedResult",
+    "SweepResult",
+    "guided_search",
+    "exhaustive_sweep",
     "optimize",
     "Assign",
     "Program",

@@ -37,7 +37,7 @@ from repro.softfloat import (
 )
 from repro.softfloat.backend import SoftFloatBackend, get_backend
 
-__all__ = ["evaluate_many"]
+__all__ = ["evaluate_lanes", "evaluate_many"]
 
 #: Binary AST operations carried by the backend protocol.
 _BACKEND_BINOPS = {
@@ -81,8 +81,23 @@ def evaluate_many(
     flags = np.zeros(n, dtype=np.uint8)
     if n == 0:
         return []
-    bits = _eval_lanes(expr, bindings_list, config, backend_obj, flags)
     fmt = config.fmt
+
+    def var_source(name: str, flags: np.ndarray) -> np.ndarray:
+        out = np.zeros(n, dtype=np.uint64)
+        for i, bindings in enumerate(bindings_list):
+            try:
+                value = bindings[name]
+            except KeyError:
+                raise OptimizationError(f"unbound variable {name!r}")
+            if value.fmt != fmt:
+                env = config.fresh_env()
+                value = convert_format(value, fmt, env)
+                flags[i] |= np.uint8(env.flags.value)
+            out[i] = value.bits
+        return out
+
+    bits = _eval_lanes(expr, var_source, n, config, backend_obj, flags)
     return [
         EvalResult(
             value=SoftFloat(fmt, int(bits[i])),
@@ -91,6 +106,38 @@ def evaluate_many(
         )
         for i in range(n)
     ]
+
+
+def evaluate_lanes(
+    expr: Expr,
+    var_lanes: Mapping[str, np.ndarray],
+    config: MachineConfig = STRICT,
+    backend: SoftFloatBackend | str = "auto",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bits-level twin of :func:`evaluate_many` for pre-packed lanes.
+
+    ``var_lanes`` maps each variable to a ``uint64`` array of packed
+    encodings *already in the config's format* (no per-lane conversion
+    happens — this is the hot path exhaustive sweeps drive, where the
+    operands come straight out of a bit-region enumerator rather than
+    from SoftFloat binding dicts).  Returns ``(bits, flags)`` arrays:
+    packed result encodings and per-lane sticky-flag bytes.
+    """
+    sizes = {lane.shape[0] for lane in var_lanes.values()}
+    if len(sizes) > 1:
+        raise ValueError(f"ragged variable lanes: {sorted(sizes)}")
+    n = sizes.pop() if sizes else 1
+    flags = np.zeros(n, dtype=np.uint8)
+
+    def var_source(name: str, flags: np.ndarray) -> np.ndarray:
+        try:
+            return np.asarray(var_lanes[name], dtype=np.uint64)
+        except KeyError:
+            raise OptimizationError(f"unbound variable {name!r}")
+
+    bits = _eval_lanes(expr, var_source, n, config, get_backend(backend),
+                       flags)
+    return bits, flags
 
 
 def _scalar_sweep(
@@ -133,33 +180,26 @@ def _run_op(
 
 def _eval_lanes(
     expr: Expr,
-    bindings_list: Sequence[Mapping[str, SoftFloat]],
+    var_source,
+    n: int,
     config: MachineConfig,
     backend: SoftFloatBackend,
     flags: np.ndarray,
 ) -> np.ndarray:
-    """The vectorized mirror of ``evaluator._eval``: packed bits lanes."""
+    """The vectorized mirror of ``evaluator._eval``: packed bits lanes.
+
+    ``var_source(name, flags)`` supplies each variable's lane array —
+    how :func:`evaluate_many` (SoftFloat dicts, converting) and
+    :func:`evaluate_lanes` (pre-packed bits) share one walk."""
     fmt = config.fmt
-    n = len(bindings_list)
     if isinstance(expr, Const):
         # Compile-time constant conversion: quiet, like the evaluator.
         value = parse_softfloat(expr.literal, fmt)
         return np.full(n, value.bits, dtype=np.uint64)
     if isinstance(expr, Var):
-        out = np.zeros(n, dtype=np.uint64)
-        for i, bindings in enumerate(bindings_list):
-            try:
-                value = bindings[expr.name]
-            except KeyError:
-                raise OptimizationError(f"unbound variable {expr.name!r}")
-            if value.fmt != fmt:
-                env = config.fresh_env()
-                value = convert_format(value, fmt, env)
-                flags[i] |= np.uint8(env.flags.value)
-            out[i] = value.bits
-        return out
+        return var_source(expr.name, flags)
     if isinstance(expr, Unary):
-        operand = _eval_lanes(expr.operand, bindings_list, config, backend,
+        operand = _eval_lanes(expr.operand, var_source, n, config, backend,
                               flags)
         signbit = np.uint64(1 << (fmt.width - 1))
         if expr.op is UnOp.NEG:
@@ -170,8 +210,9 @@ def _eval_lanes(
             return _run_op("sqrt", config, backend, flags, operand)
         raise AssertionError(f"unhandled unary op {expr.op}")  # pragma: no cover
     if isinstance(expr, Binary):
-        left = _eval_lanes(expr.left, bindings_list, config, backend, flags)
-        right = _eval_lanes(expr.right, bindings_list, config, backend, flags)
+        left = _eval_lanes(expr.left, var_source, n, config, backend, flags)
+        right = _eval_lanes(expr.right, var_source, n, config, backend,
+                            flags)
         if expr.op in _BACKEND_BINOPS:
             return _run_op(
                 _BACKEND_BINOPS[expr.op], config, backend, flags, left, right
@@ -182,8 +223,8 @@ def _eval_lanes(
             )
         raise AssertionError(f"unhandled binary op {expr.op}")  # pragma: no cover
     if isinstance(expr, FMA):
-        a = _eval_lanes(expr.a, bindings_list, config, backend, flags)
-        b = _eval_lanes(expr.b, bindings_list, config, backend, flags)
-        c = _eval_lanes(expr.c, bindings_list, config, backend, flags)
+        a = _eval_lanes(expr.a, var_source, n, config, backend, flags)
+        b = _eval_lanes(expr.b, var_source, n, config, backend, flags)
+        c = _eval_lanes(expr.c, var_source, n, config, backend, flags)
         return _run_op("fma", config, backend, flags, a, b, c)
     raise OptimizationError(f"cannot evaluate node {type(expr).__name__}")

@@ -46,6 +46,13 @@ class DivergenceReport:
     verdict was recomputed through the exact-rounding oracle
     (:func:`cross_validate`), so the verdict does not rest on the
     softfloat engine alone.
+
+    ``strategy`` names the search that produced the verdict
+    (``"random"``, ``"guided"``, or ``"exhaustive"``); ``coverage``
+    carries the guided search's exception-flow coverage map, and
+    ``exhausted`` is True when an exhaustive sweep covered the whole
+    admitted domain — turning a no-divergence verdict into a proof
+    over it.
     """
 
     expr: Expr
@@ -59,15 +66,26 @@ class DivergenceReport:
     optimized_result: EvalResult | None
     trials: int
     oracle_checked: bool = False
+    strategy: str = "random"
+    coverage: object | None = None
+    exhausted: bool = False
 
     def describe(self) -> str:
         """One-paragraph human-readable summary."""
         checked = " [oracle-checked]" if self.oracle_checked else ""
+        trailer = ""
+        if self.exhausted and not self.diverged:
+            trailer = (
+                " The sweep was exhaustive: this is an equivalence proof"
+                " over the admitted domain."
+            )
+        if self.coverage is not None:
+            trailer += "\n" + self.coverage.describe()
         if not self.diverged:
             return (
                 f"{self.config.name}: no divergence from strict IEEE found on"
                 f" '{self.expr}' over {self.trials} inputs (compiled form:"
-                f" '{self.optimized_expr}').{checked}"
+                f" '{self.optimized_expr}').{checked}" + trailer
             )
         assert self.witness is not None
         binding = ", ".join(f"{k}={v!s}" for k, v in self.witness.items())
@@ -89,40 +107,47 @@ class DivergenceReport:
                 f"strict flags {flag_names(self.strict_result.flags)} vs"
                 f" optimized flags {flag_names(self.optimized_result.flags)}"
             )
-        return "; ".join(parts) + "." + checked
+        return "; ".join(parts) + "." + checked + trailer
 
 
 def corner_values(fmt: FloatFormat) -> tuple[SoftFloat, ...]:
-    """The adversarial operand set every search mixes in: zeros of both
-    signs, ±1, subnormals, the normal/subnormal boundary, huge values,
-    infinities, NaN, and rounding-sensitive near-1 values."""
+    """The adversarial operand set every search mixes in.
+
+    The shared boundary-value corpus
+    (:func:`repro.softfloat.landmarks.special_values` — the same list
+    the differential test harness and the guided witness engine's
+    landmark tier draw from) plus a few search-specific extras: the
+    negative rounding-sensitive ``-(1 + ulp)`` and two plain values
+    whose decimal conversions are inexact."""
+    from repro.softfloat.landmarks import special_values
+
     eps = SoftFloat(fmt, fmt.one_bits(0) | 1)  # 1 + ulp
-    return (
-        SoftFloat.zero(fmt, 0),
-        SoftFloat.zero(fmt, 1),
-        SoftFloat.one(fmt, 0),
-        SoftFloat.one(fmt, 1),
-        eps,
-        -eps,
-        SoftFloat.min_subnormal(fmt),
-        SoftFloat.min_subnormal(fmt, 1),
-        SoftFloat.min_normal(fmt),
-        SoftFloat.max_finite(fmt),
-        SoftFloat.max_finite(fmt, 1),
-        SoftFloat.inf(fmt, 0),
-        SoftFloat.inf(fmt, 1),
-        SoftFloat.nan(fmt),
-        sf(3.0, fmt),
-        sf(0.1, fmt),
-    )
+    extras = (-eps, sf(3.0, fmt), sf(0.1, fmt))
+    seen: set[int] = set()
+    out: list[SoftFloat] = []
+    for value in (*special_values(fmt), *extras):
+        if value.bits not in seen:
+            seen.add(value.bits)
+            out.append(value)
+    return tuple(out)
 
 
 def _random_value(rng: random.Random, fmt: FloatFormat) -> SoftFloat:
-    """A random bit pattern, biased toward finite values."""
+    """A random bit pattern, biased toward finite values.
+
+    Every call consumes exactly three draws from ``rng`` — the bit
+    pattern, the bias roll, and the finite fallback — regardless of
+    which one is returned, so a candidate stream's tail is a pure
+    function of the seed and its position, not of which earlier draws
+    happened to be NaN.  (The historical version rolled the bias die
+    only on NaN draws, silently desynchronizing streams and discarding
+    the drawn pattern.)"""
     bits = rng.getrandbits(fmt.width)
+    roll = rng.random()
+    finite = sf(rng.uniform(-4.0, 4.0), fmt)
     x = SoftFloat(fmt, bits)
-    if x.is_nan and rng.random() < 0.9:
-        return sf(rng.uniform(-4.0, 4.0), fmt)
+    if x.is_nan and roll < 0.9:
+        return finite
     return x
 
 
@@ -136,15 +161,30 @@ def find_divergence(
     extra_witnesses: Sequence[dict[str, SoftFloat]] = (),
     oracle_check: bool = False,
     backend: str | None = None,
+    strategy: str = "random",
+    bindings=None,
 ) -> DivergenceReport:
     """Search for an input where ``config``'s compiled evaluation of
     ``expr`` differs from strict IEEE evaluation.
 
-    The search tries caller-supplied witnesses first, then all-corner
-    combinations (when the variable count keeps that tractable), then
-    random operands.  Flag divergence counts as divergence only when
-    ``check_flags`` is set.  With ``oracle_check`` the verdict is
-    passed through :func:`cross_validate` before being returned.
+    ``strategy`` selects the search:
+
+    - ``"random"`` (default, the historical behavior): caller-supplied
+      witnesses first, then all-corner combinations (when the variable
+      count keeps that tractable), then random operands.
+    - ``"guided"``: analysis-steered sampling inside the feasible
+      divergence regions of :func:`repro.staticfp.regions
+      .divergence_goals`, with exception-flow coverage attached to the
+      report (:mod:`repro.optsim.guided`).
+    - ``"exhaustive"``: enumerate every admitted operand combination
+      (small formats only); a no-divergence verdict is then a proof
+      over the admitted domain (``report.exhausted``).
+
+    ``bindings`` (guided/exhaustive) restricts variables to admitted
+    abstract ranges, as in :func:`repro.staticfp.analyze.analyze`.
+    Flag divergence counts as divergence only when ``check_flags`` is
+    set.  With ``oracle_check`` the verdict is passed through
+    :func:`cross_validate` before being returned.
 
     ``backend`` names a softfloat backend (``"batch"``, ``"auto"``, …)
     to evaluate the whole candidate list in vectorized lanes via
@@ -156,17 +196,93 @@ def find_divergence(
     """
     telemetry = get_telemetry()
     with telemetry.tracer.span(
-        "optsim.find_divergence", config=config.name, expr=str(expr)
+        "optsim.find_divergence", config=config.name, expr=str(expr),
+        strategy=strategy,
     ) as span:
-        report = _search_divergence(
-            expr, config, telemetry,
-            seed=seed, trials=trials, check_flags=check_flags,
-            extra_witnesses=extra_witnesses, oracle_check=oracle_check,
-            backend=backend,
-        )
+        if strategy == "random":
+            report = _search_divergence(
+                expr, config, telemetry,
+                seed=seed, trials=trials, check_flags=check_flags,
+                extra_witnesses=extra_witnesses, oracle_check=oracle_check,
+                backend=backend,
+            )
+        elif strategy in ("guided", "exhaustive"):
+            report = _search_divergence_strategic(
+                expr, config, strategy,
+                seed=seed, trials=trials, check_flags=check_flags,
+                extra_witnesses=extra_witnesses, bindings=bindings,
+                backend=backend, oracle_check=oracle_check,
+            )
+        else:
+            raise ValueError(f"unknown search strategy {strategy!r}")
         span.set("diverged", report.diverged)
         span.set("trials", report.trials)
         return report
+
+
+def _search_divergence_strategic(
+    expr: Expr,
+    config: MachineConfig,
+    strategy: str,
+    *,
+    seed: int,
+    trials: int,
+    check_flags: bool,
+    extra_witnesses: Sequence[dict[str, SoftFloat]],
+    bindings,
+    backend: str | None,
+    oracle_check: bool,
+) -> DivergenceReport:
+    """Adapt the guided/exhaustive engines to a DivergenceReport."""
+    from repro.optsim.guided import exhaustive_sweep, guided_search
+
+    optimized = optimize(expr, config)
+    if strategy == "guided":
+        result = guided_search(
+            expr, optimized, config, bindings=bindings, seed=seed,
+            trials=trials, check_flags=check_flags,
+            extra_witnesses=extra_witnesses,
+        )
+        witness = result.witness
+        strict_result = result.strict_result
+        optimized_result = result.optimized_result
+        value_diverged = result.value_diverged
+        flags_diverged = result.flags_diverged
+        count = result.evals
+        coverage, exhausted = result.coverage, False
+    else:
+        sweep = exhaustive_sweep(
+            expr, optimized, config, bindings=bindings,
+            check_flags=check_flags, backend=backend or "auto",
+        )
+        witness = sweep.witness
+        value_diverged = sweep.value_diverged
+        flags_diverged = sweep.flags_diverged
+        count = sweep.checked
+        coverage = None
+        exhausted = sweep.found_index is None and sweep.is_proof
+        strict_result = optimized_result = None
+        if witness is not None:
+            strict_result, optimized_result, _, _ = check_binding(
+                expr, optimized, witness, config
+            )
+    diverged = value_diverged or (check_flags and flags_diverged)
+    report = DivergenceReport(
+        expr=expr,
+        optimized_expr=optimized,
+        config=config,
+        diverged=diverged,
+        value_diverged=value_diverged,
+        flags_diverged=flags_diverged,
+        witness=witness if diverged else None,
+        strict_result=strict_result if diverged else None,
+        optimized_result=optimized_result if diverged else None,
+        trials=count,
+        strategy=strategy,
+        coverage=coverage,
+        exhausted=exhausted,
+    )
+    return cross_validate(report) if oracle_check else report
 
 
 def divergence_candidates(

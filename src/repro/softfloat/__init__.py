@@ -77,6 +77,7 @@ from repro.softfloat.backend import (
     available_backends,
     get_backend,
 )
+from repro.softfloat.landmarks import special_bits, special_pairs, special_values
 from repro.softfloat.parse import parse_softfloat
 from repro.softfloat.printing import format_hex, format_softfloat
 from repro.softfloat.augmented import (
@@ -152,6 +153,9 @@ __all__ = [
     "parse_softfloat",
     "format_softfloat",
     "format_hex",
+    "special_bits",
+    "special_pairs",
+    "special_values",
     # auxiliaries
     "next_up",
     "next_down",

@@ -1,0 +1,68 @@
+"""The boundary-value operand corpus every search and test suite shares.
+
+One deduplicated, order-stable list of the encodings where IEEE-754
+behavior changes character: signed zeros and ones, ``1 + ulp``, both
+subnormal extremes, the subnormal/normal threshold, the overflow
+threshold, infinities, and the NaN family (quiet, payload-carrying,
+signaling).  The differential test harness (``tests/strategies.py``),
+the divergence search corner tier
+(:func:`repro.optsim.compliance.corner_values`), and the guided
+witness engine's landmark tier all draw from here, so "the corners"
+mean the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.softfloat.formats import FloatFormat
+from repro.softfloat.value import SoftFloat
+
+__all__ = ["special_values", "special_bits", "special_pairs"]
+
+
+def special_values(fmt: FloatFormat) -> list[SoftFloat]:
+    """The boundary-value corpus for one format, as softfloats.
+
+    Signed zeros and ones, infinities, quiet NaNs with and without
+    payload, a signaling NaN, both subnormal extremes, the subnormal/
+    normal threshold, the overflow threshold, and the rounding-sensitive
+    ``1 + ulp`` — deduplicated, order-stable.
+    """
+    payload = min(3, fmt.quiet_bit - 1) if fmt.quiet_bit > 1 else 0
+    landmarks = [
+        SoftFloat.zero(fmt, 0),
+        SoftFloat.zero(fmt, 1),
+        SoftFloat.one(fmt, 0),
+        SoftFloat.one(fmt, 1),
+        SoftFloat(fmt, fmt.one_bits(0) | 1),       # 1 + ulp
+        SoftFloat.min_subnormal(fmt, 0),
+        SoftFloat.min_subnormal(fmt, 1),
+        SoftFloat(fmt, fmt.pack(0, 0, fmt.sig_mask)),  # max subnormal
+        SoftFloat.min_normal(fmt, 0),
+        SoftFloat.min_normal(fmt, 1),
+        SoftFloat.max_finite(fmt, 0),
+        SoftFloat.max_finite(fmt, 1),
+        SoftFloat.inf(fmt, 0),
+        SoftFloat.inf(fmt, 1),
+        SoftFloat.nan(fmt),
+        SoftFloat(fmt, fmt.quiet_nan_bits(1, payload)),
+        SoftFloat.signaling_nan(fmt),
+    ]
+    seen: set[int] = set()
+    out: list[SoftFloat] = []
+    for x in landmarks:
+        if x.bits not in seen:
+            seen.add(x.bits)
+            out.append(x)
+    return out
+
+
+def special_bits(fmt: FloatFormat) -> list[int]:
+    """:func:`special_values` as packed encodings."""
+    return [x.bits for x in special_values(fmt)]
+
+
+def special_pairs(fmt: FloatFormat) -> list[tuple[int, int]]:
+    """All ordered pairs of the boundary corpus (the two-operand sweep
+    every differential suite drives)."""
+    corpus = special_bits(fmt)
+    return [(a, b) for a in corpus for b in corpus]

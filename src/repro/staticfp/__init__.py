@@ -40,10 +40,25 @@ from repro.staticfp.domain import (
     transfer_literal,
 )
 from repro.staticfp.lints import Diagnostic, LintReport, lint
+from repro.staticfp.regions import (
+    BitRegion,
+    SearchGoal,
+    divergence_goals,
+    refine_toward,
+    variable_regions,
+)
 from repro.staticfp.safety import (
     PassVerdict,
     SafetyReport,
     predict_pass_safety,
+)
+from repro.staticfp.witness import (
+    Localization,
+    Witness,
+    WitnessReport,
+    find_witness,
+    localize_divergence,
+    verify_witness,
 )
 
 __all__ = [
@@ -64,4 +79,15 @@ __all__ = [
     "PassVerdict",
     "SafetyReport",
     "predict_pass_safety",
+    "BitRegion",
+    "SearchGoal",
+    "variable_regions",
+    "refine_toward",
+    "divergence_goals",
+    "Localization",
+    "Witness",
+    "WitnessReport",
+    "find_witness",
+    "localize_divergence",
+    "verify_witness",
 ]

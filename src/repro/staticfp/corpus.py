@@ -25,13 +25,18 @@ __all__ = [
     "GOTCHA_CORPUS",
     "CLEAN_CORPUS",
     "GOLDEN_PATH",
+    "WITNESS_PROOF_FORMAT",
     "entry_by_key",
     "entry_outcome",
+    "entry_witness_outcome",
     "run_entry",
     "run_corpus",
     "corpus_outcomes",
     "precision_summary",
+    "witness_outcomes",
+    "witness_summary",
     "check_golden",
+    "check_golden_witnesses",
     "write_golden",
 ]
 
@@ -188,6 +193,97 @@ def precision_summary(outcomes: dict[str, dict] | None = None) -> dict:
     }
 
 
+#: Format used for exhaustive refutations and safety proofs: small
+#: enough that a sweep over every representable binding terminates in
+#: seconds, rich enough (subnormals, infinities, NaNs, signed zeros)
+#: that the gotchas it is asked about still exist.
+WITNESS_PROOF_FORMAT = "tiny8"
+
+
+def entry_witness_outcome(entry: CorpusEntry, *,
+                          trials: int = 4000) -> dict:
+    """Resolve one entry's dynamic witness obligation.
+
+    Every statically flags-unsafe verdict must ship a
+    ``check_binding``-verified counterexample (guided search first);
+    when none exists the static verdict is an over-approximation, and
+    the entry is instead *refuted* by an exhaustive sweep of the tiny
+    format.  Statically safe entries get the same exhaustive sweep as
+    a ``proved-safe`` certificate — a safe verdict that yields a
+    witness is analyzer unsoundness and shows up as ``witnessed``.
+    """
+    from repro.optsim.parser import parse_expr
+    from repro.oracle import FORMATS_BY_NAME
+    from repro.staticfp.safety import predict_pass_safety
+    from repro.staticfp.witness import find_witness
+
+    config = entry.config()
+    bindings = entry.binding_map() or None
+    expr = parse_expr(entry.expr)
+    safety = predict_pass_safety(expr, config, bindings)
+    tiny = config.replace(fmt=FORMATS_BY_NAME[WITNESS_PROOF_FORMAT])
+    if safety.flags_safe:
+        report = find_witness(
+            expr, tiny, bindings, strategy="exhaustive", expect_safe=True,
+        )
+    else:
+        report = find_witness(
+            expr, config, bindings, strategy="guided", trials=trials,
+            safety=safety, expect_safe=False,
+        )
+        if not report.witnessed:
+            # No witness in the native format within budget: decide the
+            # question exhaustively on the tiny format instead.
+            report = find_witness(
+                expr, tiny, bindings, strategy="exhaustive",
+                expect_safe=False,
+            )
+    out = {
+        "key": entry.key,
+        "verdict": "safe" if safety.flags_safe else "unsafe",
+        "outcome": report.outcome,
+        "strategy": report.strategy,
+        "verified": report.witness.verified if report.witness else None,
+        "evals": report.evals,
+        "states": report.states,
+        "resolved": report.outcome != "unresolved",
+    }
+    if report.witness is not None:
+        out["witness"] = report.witness.to_dict()
+    if report.coverage is not None:
+        out["coverage"] = report.coverage.to_dict()
+    return out
+
+
+def witness_outcomes(*, trials: int = 4000) -> dict[str, dict]:
+    """Witness resolution for every corpus entry (the CI witness gate)."""
+    return {
+        e.key: entry_witness_outcome(e, trials=trials)
+        for e in GOTCHA_CORPUS + CLEAN_CORPUS
+    }
+
+
+def witness_summary(outcomes: dict[str, dict] | None = None) -> dict:
+    """Aggregate witness resolution: every entry must land in
+    ``witnessed`` (unsafe, counterexample verified), ``refuted``
+    (statically unsafe, exhaustively shown equivalent), or
+    ``proved-safe``; anything in ``unresolved`` fails the gate."""
+    if outcomes is None:
+        outcomes = witness_outcomes()
+    by_outcome: dict[str, list[str]] = {
+        "witnessed": [], "refuted": [], "proved-safe": [], "unresolved": [],
+    }
+    for key in sorted(outcomes):
+        by_outcome.setdefault(outcomes[key]["outcome"], []).append(key)
+    return {
+        "total": len(outcomes),
+        "resolved": sum(
+            1 for o in outcomes.values() if o["outcome"] != "unresolved"
+        ),
+        **by_outcome,
+    }
+
+
 def _snapshot(outcomes: dict[str, dict]) -> dict:
     return {
         key: list(outcome["snapshot"])
@@ -195,11 +291,46 @@ def _snapshot(outcomes: dict[str, dict]) -> dict:
     }
 
 
-def write_golden(path: Path = GOLDEN_PATH) -> dict:
-    """Regenerate the golden diagnostic sets (returns the snapshot)."""
-    snapshot = _snapshot(corpus_outcomes())
-    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
-    return snapshot
+def _witness_snapshot(outcomes: dict[str, dict]) -> dict:
+    """The drift-stable slice of witness outcomes: resolution kind and
+    strategy only — search-effort counters and binding bits may move
+    with heuristic tuning without the *verdict* changing."""
+    return {
+        key: {
+            "verdict": outcome["verdict"],
+            "outcome": outcome["outcome"],
+            "strategy": outcome["strategy"],
+            "verified": outcome["verified"],
+        }
+        for key, outcome in sorted(outcomes.items())
+    }
+
+
+def write_golden(path: Path = GOLDEN_PATH,
+                 witnesses: dict[str, dict] | None = None) -> dict:
+    """Regenerate the golden file (returns the document written).
+
+    The v2 document pins both the diagnostic sets and the witness
+    resolutions: ``{"entries": {key: [sev:id, ...]},
+    "witnesses": {key: {verdict, outcome, strategy, verified}}}``.
+    Pass precomputed ``witnesses`` (from :func:`witness_outcomes`) to
+    avoid re-running the searches.
+    """
+    document = {
+        "entries": _snapshot(corpus_outcomes()),
+        "witnesses": _witness_snapshot(
+            witnesses if witnesses is not None else witness_outcomes()
+        ),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def _golden_entries(golden: dict) -> dict:
+    # v1 golden files were the flat {key: snapshot} map; v2 nests it.
+    if "entries" in golden and isinstance(golden["entries"], dict):
+        return golden["entries"]
+    return golden
 
 
 def check_golden(path: Path = GOLDEN_PATH,
@@ -209,7 +340,7 @@ def check_golden(path: Path = GOLDEN_PATH,
     Returns human-readable drift lines (empty == no drift).  Pass
     precomputed ``outcomes`` to diff without re-linting.
     """
-    golden = json.loads(path.read_text())
+    golden = _golden_entries(json.loads(path.read_text()))
     current = _snapshot(outcomes if outcomes is not None
                         else corpus_outcomes())
     drift: list[str] = []
@@ -220,6 +351,33 @@ def check_golden(path: Path = GOLDEN_PATH,
             drift.append(f"{key}: new entry not in golden file")
         elif got is None:
             drift.append(f"{key}: entry missing (in golden file only)")
+        elif want != got:
+            drift.append(f"{key}: golden {want} != current {got}")
+    return drift
+
+
+def check_golden_witnesses(
+    path: Path = GOLDEN_PATH,
+    outcomes: dict[str, dict] | None = None,
+) -> list[str]:
+    """Diff current witness resolutions against the golden file.
+
+    Complements :func:`check_golden` for the witness section of the v2
+    document.  A v1 golden file (no witness section) drifts on every
+    entry, prompting regeneration.
+    """
+    golden = json.loads(path.read_text()).get("witnesses", {})
+    current = _witness_snapshot(
+        outcomes if outcomes is not None else witness_outcomes()
+    )
+    drift: list[str] = []
+    for key in sorted(set(golden) | set(current)):
+        want = golden.get(key)
+        got = current.get(key)
+        if want is None:
+            drift.append(f"{key}: witness outcome not in golden file")
+        elif got is None:
+            drift.append(f"{key}: witness outcome in golden file only")
         elif want != got:
             drift.append(f"{key}: golden {want} != current {got}")
     return drift

@@ -463,6 +463,7 @@ def transfer(
     """
     if ctx.daz:
         operands = tuple(_daz_widen(v) for v in operands)
+    operands = tuple(_materialize_zeros(v) for v in operands)
     if op == "neg":
         return _transfer_neg(operands[0])
     if op == "abs":
@@ -484,6 +485,19 @@ def transfer(
     if op == "fma":
         return _transfer_fma(operands[0], operands[1], operands[2], ctx)
     raise ValueError(f"unknown operation {op!r}")
+
+
+def _materialize_zeros(v: AbstractValue) -> AbstractValue:
+    """Re-express a zero-or-NaN operand (``lo is None`` but a zero bit
+    set, e.g. the result of ``sqrt`` on a negative-or-``-0`` range) with
+    its attainable zeros as the hull, so every ``lo is None`` test below
+    means *necessarily NaN* — the binary transfers would otherwise drop
+    the zero members and return an unsound NaN-only result."""
+    if v.lo is not None or not v.can_zero:
+        return v
+    lo = SoftFloat.zero(v.fmt, 1 if v.neg_zero else 0)
+    hi = SoftFloat.zero(v.fmt, 0 if v.pos_zero else 1)
+    return dataclasses.replace(v, lo=lo, hi=hi)
 
 
 def _daz_widen(v: AbstractValue) -> AbstractValue:

@@ -59,6 +59,10 @@ class LintReport:
     diagnostics: tuple[Diagnostic, ...]
     analysis: Analysis
     safety: SafetyReport
+    #: The witness engine's dynamic follow-up (a
+    #: :class:`repro.staticfp.witness.WitnessReport`), when the lint
+    #: ran with witness search enabled.
+    witness_report: object | None = None
 
     @property
     def has_findings(self) -> bool:
@@ -87,10 +91,13 @@ class LintReport:
             lines.append(f"  {d.render()}")
         if str(self.safety.compiled) != str(self.expr):
             lines.append(f"  compiled: '{self.safety.compiled}'")
+        if self.witness_report is not None:
+            for line in self.witness_report.describe().splitlines():
+                lines.append(f"  {line}")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "expr": str(self.expr),
             "config": self.config.name,
             "format": self.config.fmt.name,
@@ -102,6 +109,9 @@ class LintReport:
             "flags_safe": self.safety.flags_safe,
             "has_findings": self.has_findings,
         }
+        if self.witness_report is not None:
+            out["witness"] = self.witness_report.to_dict()
+        return out
 
     def to_json(self) -> str:
         import json
@@ -115,12 +125,22 @@ def lint(
     bindings=None,
     *,
     assume_nan_inputs: bool = False,
+    witness: bool = False,
+    witness_strategy: str = "guided",
+    witness_trials: int = 2000,
 ) -> LintReport:
     """Run every gotcha rule over ``expr`` under ``config``.
 
     ``bindings`` may constrain variables to ranges (see
     :func:`repro.staticfp.analyze.as_abstract`); unbound variables
     default to any non-NaN value of the format.
+
+    With ``witness`` the static verdict gets its dynamic follow-up: a
+    verified counterexample (or an exhaustive proof / an unresolved
+    search) from :func:`repro.staticfp.witness.find_witness`, attached
+    to the report and to its safety verdict.  A witness search only
+    runs when the static verdict is unsafe (value or flags) — a safe
+    verdict promises there is nothing to find.
     """
     if isinstance(expr, str):
         expr = parse_expr(expr)
@@ -132,6 +152,17 @@ def lint(
             expr, bindings, config, assume_nan_inputs=assume_nan_inputs
         )
         safety = predict_pass_safety(expr, config, bindings)
+        witness_report = None
+        if witness and not safety.flags_safe:
+            from repro.staticfp.witness import find_witness
+
+            witness_report = find_witness(
+                expr, config, bindings,
+                strategy=witness_strategy, trials=witness_trials,
+                safety=safety, expect_safe=False,
+            )
+            safety = safety.with_witness(witness_report)
+            span.set("witness_outcome", witness_report.outcome)
         diagnostics = _run_rules(analysis, safety, config)
         span.set("diagnostics", len(diagnostics))
         for d in diagnostics:
@@ -144,6 +175,7 @@ def lint(
             diagnostics=diagnostics,
             analysis=analysis,
             safety=safety,
+            witness_report=witness_report,
         )
 
 

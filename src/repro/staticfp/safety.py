@@ -73,6 +73,13 @@ class SafetyReport:
     env_flags_safe: bool
     env_reason: str
     analysis: Analysis
+    #: Attached by the witness engine (see
+    #: :func:`repro.staticfp.witness.find_witness` and
+    #: :meth:`with_witness`): the dynamic follow-up to this static
+    #: verdict — a verified counterexample, an exhaustive-sweep proof,
+    #: or an unresolved search, with localization and flag-flow
+    #: coverage inside.
+    witness_report: object | None = None
 
     @property
     def value_safe(self) -> bool:
@@ -113,7 +120,14 @@ class SafetyReport:
         overall = "value-preserving" if self.value_safe \
             else "possibly-value-changing"
         lines.append(f"  overall: {overall}")
+        if self.witness_report is not None:
+            for line in self.witness_report.describe().splitlines():
+                lines.append(f"  {line}")
         return "\n".join(lines)
+
+    def with_witness(self, witness_report) -> "SafetyReport":
+        """A copy carrying the witness engine's dynamic follow-up."""
+        return dataclasses.replace(self, witness_report=witness_report)
 
 
 def predict_pass_safety(

@@ -14,6 +14,7 @@ from repro.engine.adapters import (
     run_conformance_sharded,
     run_corpus_sharded,
     run_study_sharded,
+    witness_sweep_sharded,
 )
 from repro.oracle import FORMATS_BY_NAME
 from repro.oracle.runner import run_conformance
@@ -124,6 +125,35 @@ class TestOptsimAdapter:
         assert not sharded.diverged
         assert sharded.describe() == serial.describe()
         assert sharded.trials == serial.trials
+
+
+class TestWitnessSweepAdapter:
+    def test_sharded_sweep_matches_serial_witness(self):
+        from repro.optsim import exhaustive_sweep, optimize, \
+            optimization_level, parse_expr
+        from repro.oracle import FORMATS_BY_NAME as FORMATS
+
+        config = optimization_level("-O3").replace(fmt=FORMATS["tiny8"])
+        expr = parse_expr("a*b + c")
+        serial = exhaustive_sweep(expr, optimize(expr, config), config)
+        sharded = witness_sweep_sharded(
+            "a*b + c", "-O3", _engine(2), fmt="tiny8", n_slices=5,
+        )
+        assert sharded.found_index == serial.found_index
+        assert sharded.states == serial.states
+        assert sharded.value_diverged == serial.value_diverged
+        assert sharded.flags_diverged == serial.flags_diverged
+        assert {k: v.bits for k, v in sharded.witness.items()} == \
+            {k: v.bits for k, v in serial.witness.items()}
+
+    def test_sharded_proof_matches_serial(self):
+        sharded = witness_sweep_sharded(
+            "(a - b) / 2.0", "strict", _engine(0), fmt="tiny8",
+            bindings={"a": ("4", "8"), "b": ("1", "2")}, n_slices=3,
+        )
+        assert sharded.found_index is None
+        assert sharded.is_proof
+        assert sharded.checked == sharded.states
 
 
 class TestCorpusAdapter:

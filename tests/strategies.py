@@ -133,43 +133,8 @@ def forall_seeds(*, n_examples: int = 150, fallback_seed: int = 754):
     return wrap
 
 
-def special_bits(fmt: FloatFormat) -> list[int]:
-    """The boundary-value encoding corpus for one format.
-
-    Signed zeros and ones, infinities, quiet NaNs with and without
-    payload, a signaling NaN, both subnormal extremes, the subnormal/
-    normal threshold, the overflow threshold, and the rounding-sensitive
-    ``1 + ulp`` — deduplicated, order-stable.
-    """
-    payload = min(3, fmt.quiet_bit - 1) if fmt.quiet_bit > 1 else 0
-    landmarks = [
-        SoftFloat.zero(fmt, 0),
-        SoftFloat.zero(fmt, 1),
-        SoftFloat.one(fmt, 0),
-        SoftFloat.one(fmt, 1),
-        SoftFloat(fmt, fmt.one_bits(0) | 1),       # 1 + ulp
-        SoftFloat.min_subnormal(fmt, 0),
-        SoftFloat.min_subnormal(fmt, 1),
-        SoftFloat(fmt, fmt.pack(0, 0, fmt.sig_mask)),  # max subnormal
-        SoftFloat.min_normal(fmt, 0),
-        SoftFloat.min_normal(fmt, 1),
-        SoftFloat.max_finite(fmt, 0),
-        SoftFloat.max_finite(fmt, 1),
-        SoftFloat.inf(fmt, 0),
-        SoftFloat.inf(fmt, 1),
-        SoftFloat.nan(fmt),
-        SoftFloat(fmt, fmt.quiet_nan_bits(1, payload)),
-        SoftFloat.signaling_nan(fmt),
-    ]
-    out: list[int] = []
-    for x in landmarks:
-        if x.bits not in out:
-            out.append(x.bits)
-    return out
-
-
-def special_pairs(fmt: FloatFormat) -> list[tuple[int, int]]:
-    """All ordered pairs of the boundary corpus (the two-operand sweep
-    every differential suite drives)."""
-    corpus = special_bits(fmt)
-    return [(a, b) for a in corpus for b in corpus]
+# The boundary-value corpus moved into the library proper
+# (repro.softfloat.landmarks) so the divergence search's corner tier,
+# the guided witness engine, and this harness share one operand set;
+# re-exported here so test suites keep importing from one place.
+from repro.softfloat.landmarks import special_bits, special_pairs  # noqa: E402,F401
