@@ -94,6 +94,13 @@ def _build_engine(args: argparse.Namespace):
     ))
 
 
+def _engine_interrupted():
+    """The exception a drained Ctrl-C raises (lazy import)."""
+    from repro.errors import EngineInterrupted
+
+    return EngineInterrupted
+
+
 def _engine_summary(engine) -> str:
     report = engine.last_report
     line = (
@@ -443,6 +450,45 @@ def build_parser() -> argparse.ArgumentParser:
                      " span tree, metrics, and exception events",
     )
     telemetry_demo.add_argument("--budget", type=int, default=500)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async FP-analysis service (quiz/lint/oracle/study"
+             " over newline-delimited JSON)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0: pick a free one and print it)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="engine worker processes for oracle/study jobs (0: run"
+             " them in-process)",
+    )
+    serve.add_argument(
+        "--dispatchers", type=int, default=8,
+        help="concurrent request dispatcher tasks",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=2000.0,
+        help="per-client sustained requests/second (token bucket rate)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=500.0,
+        help="per-client burst allowance (token bucket capacity)",
+    )
+    serve.add_argument("--seed", type=int, default=754)
+    serve.add_argument(
+        "--backend", default="auto",
+        choices=["scalar", "batch", "native", "auto"],
+        help="softfloat backend for batched op.eval requests",
+    )
+    serve.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="serve for S seconds then drain and exit (smoke tests;"
+             " default: until SIGINT/SIGTERM)",
+    )
     return parser
 
 
@@ -625,18 +671,20 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     try:
         with _telemetry_scope(args):
             if engine is not None:
+                from repro.engine import graceful_shutdown
                 from repro.engine.adapters import run_conformance_sharded
 
-                report = run_conformance_sharded(
-                    fmt, ops, engine,
-                    budget=args.budget,
-                    seed=args.seed,
-                    modes=modes,
-                    env_combos=env_combos,
-                    tininess=args.tininess,
-                    native=not args.no_native,
-                    engine_backend=args.engine_backend,
-                )
+                with graceful_shutdown():
+                    report = run_conformance_sharded(
+                        fmt, ops, engine,
+                        budget=args.budget,
+                        seed=args.seed,
+                        modes=modes,
+                        env_combos=env_combos,
+                        tininess=args.tininess,
+                        native=not args.no_native,
+                        engine_backend=args.engine_backend,
+                    )
             else:
                 report = run_conformance(
                     fmt, ops,
@@ -651,6 +699,9 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    except _engine_interrupted() as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
     print(report.summary())
     if engine is not None:
         print(f"\n{_engine_summary(engine)}")
@@ -1018,15 +1069,21 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         cache_enabled=False,
     ))
     with _telemetry_scope(args):
+        from repro.engine import graceful_shutdown
+
         job = make_job(args.task, args.task, param_list,
                        seed=args.seed, cacheable=False)
         try:
-            results = engine.run(job)
+            with graceful_shutdown():
+                results = engine.run(job)
         except ShardError as exc:
             print(str(exc), file=sys.stderr)
             if exc.details:
                 print(exc.details, file=sys.stderr)
             return 1
+        except _engine_interrupted() as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            return 130
     print(_engine_summary(engine))
     payload = json.dumps(results, indent=2, default=str)
     if args.json:
@@ -1036,6 +1093,55 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     else:
         print(payload)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.engine import Engine, EngineConfig
+    from repro.service import FPService, ServiceConfig
+
+    engine = Engine(EngineConfig(
+        workers=max(0, args.workers), cache_enabled=True,
+    ))
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        service_seed=args.seed,
+        dispatchers=max(1, args.dispatchers),
+        rate=args.rate,
+        burst=args.burst,
+        backend=args.backend,
+    )
+
+    async def run() -> int:
+        service = FPService(config, engine=engine)
+        await service.start()
+        print(f"serving on {config.host}:{service.port}"
+              f" ({config.dispatchers} dispatchers,"
+              f" {args.workers} engine workers,"
+              f" {config.rate:g} req/s per client)", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or exotic platform
+        try:
+            await asyncio.wait_for(stop.wait(), timeout=args.max_seconds)
+        except asyncio.TimeoutError:
+            pass
+        print("draining...", flush=True)
+        await service.stop()
+        stats = service.stats()
+        print(f"served {stats['answered']} requests"
+              f" ({stats['errors']} errors, {stats['limited']} limited,"
+              f" {stats['shed']} shed)")
+        return 0
+
+    return asyncio.run(run())
 
 
 _COMMANDS = {
@@ -1052,6 +1158,7 @@ _COMMANDS = {
     "oracle": _cmd_oracle,
     "telemetry": _cmd_telemetry,
     "engine": _cmd_engine,
+    "serve": _cmd_serve,
 }
 
 

@@ -27,6 +27,7 @@ Layering::
     worker.py    worker-process entry point
     pool.py      multiprocessing pool: batching, heartbeats, retries
     engine.py    the facade: cache -> pool/serial -> ordered merge
+    shutdown.py  drain-first SIGINT/SIGTERM handling
     adapters.py  sharded twins of oracle/study/optsim/staticfp runs
     testing.py   fault-injection tasks (crash/hang/fail probes)
 """
@@ -41,7 +42,13 @@ from repro.engine.cache import (
 )
 from repro.engine.engine import Engine, EngineConfig, RunReport
 from repro.engine.events import EngineFlag, PoolStats, emit_engine_event
-from repro.engine.pool import PoolConfig, WorkerPool
+from repro.engine.pool import (
+    PoolConfig,
+    WorkerPool,
+    active_pools,
+    request_stop_all,
+)
+from repro.engine.shutdown import graceful_shutdown
 from repro.engine.tasks import (
     Job,
     Shard,
@@ -64,6 +71,9 @@ __all__ = [
     "PoolConfig",
     "PoolStats",
     "WorkerPool",
+    "active_pools",
+    "request_stop_all",
+    "graceful_shutdown",
     "Job",
     "Shard",
     "ShardContext",

@@ -31,7 +31,7 @@ from repro.engine.cache import cache_key as compute_cache_key
 from repro.engine.events import PoolStats
 from repro.engine.pool import PoolConfig, WorkerPool
 from repro.engine.tasks import Job, Shard, ShardContext, execute_task
-from repro.errors import ShardError
+from repro.errors import EngineError, ShardError
 from repro.telemetry import get_telemetry
 
 __all__ = ["EngineConfig", "Engine", "RunReport"]
@@ -110,6 +110,8 @@ class Engine:
             disk_path=self.config.cache_path,
         ) if self.config.cache_enabled else None
         self.last_report: RunReport | None = None
+        self._active_pool: WorkerPool | None = None
+        self._closed = False
 
     # -- internals -----------------------------------------------------
 
@@ -165,6 +167,8 @@ class Engine:
 
     def run(self, job: Job) -> Any:
         """Execute ``job`` and return its merged result."""
+        if self._closed:
+            raise EngineError(f"engine is closed; cannot run {job.name!r}")
         telemetry = get_telemetry()
         started = time.monotonic()
         pool_stats: PoolStats | None = None
@@ -176,7 +180,11 @@ class Engine:
             parallel = self.config.workers >= 2 and len(misses) > 1
             if parallel:
                 pool = WorkerPool(self.config.pool_config())
-                fresh = pool.run(misses)
+                self._active_pool = pool
+                try:
+                    fresh = pool.run(misses)
+                finally:
+                    self._active_pool = None
                 pool_stats = pool.stats
                 pool_stats.from_cache = len(cached)
             elif misses:
@@ -198,3 +206,26 @@ class Engine:
             pool=pool_stats,
         )
         return job.merge(ordered) if job.merge is not None else ordered
+
+    def close(self, timeout: float = 2.0) -> None:
+        """Shut the engine down gracefully.
+
+        Any in-flight pool run is asked to drain: currently executing
+        shards finish (up to ``timeout`` seconds), nothing new is
+        dispatched, and every worker process is reaped — the running
+        :meth:`run` call raises
+        :class:`~repro.errors.EngineInterrupted`.  Subsequent ``run``
+        calls are refused.  Idempotent; safe to call from another
+        thread (the service's drain path) or after SIGTERM/SIGINT.
+        """
+        self._closed = True
+        pool = self._active_pool
+        if pool is not None:
+            pool.request_stop(drain_timeout=timeout)
+            pool.finished.wait(timeout + 2.0)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

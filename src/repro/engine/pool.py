@@ -47,17 +47,45 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import queue as queue_module
+import threading
 import time
+import weakref
 from collections import deque
 from typing import Any
 
-from repro.errors import EngineError, ShardError
+from repro.errors import EngineError, EngineInterrupted, ShardError
 from repro.engine.events import EngineFlag, PoolStats, emit_engine_event
 from repro.engine.tasks import Shard, ShardContext, execute_task
 from repro.engine.worker import worker_main
 from repro.telemetry import get_telemetry
 
-__all__ = ["PoolConfig", "WorkerPool"]
+__all__ = [
+    "PoolConfig",
+    "WorkerPool",
+    "active_pools",
+    "request_stop_all",
+]
+
+#: Pools currently inside :meth:`WorkerPool.run`, for signal handlers
+#: that must reach a pool they hold no reference to.  Guarded by
+#: ``_ACTIVE_LOCK`` — signal handlers run between bytecodes of the
+#: pump itself.
+_ACTIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+_ACTIVE_LOCK = threading.Lock()
+
+
+def active_pools() -> "list[WorkerPool]":
+    """Pools currently executing a run."""
+    with _ACTIVE_LOCK:
+        return list(_ACTIVE_POOLS)
+
+
+def request_stop_all(drain_timeout: float = 2.0) -> int:
+    """Ask every active pool to drain and stop; returns how many."""
+    pools = active_pools()
+    for pool in pools:
+        pool.request_stop(drain_timeout=drain_timeout)
+    return len(pools)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -145,6 +173,23 @@ class WorkerPool:
         )
         self._next_worker_id = 0
         self._result_queue = None
+        self._stop = threading.Event()
+        self._stop_deadline = 0.0
+        #: set when :meth:`run` has fully unwound (workers reaped);
+        #: what :meth:`repro.engine.engine.Engine.close` waits on.
+        self.finished = threading.Event()
+
+    def request_stop(self, *, drain_timeout: float = 2.0) -> None:
+        """Ask the pump to stop gracefully: dispatch nothing new, let
+        in-flight shards finish (up to ``drain_timeout``), reap every
+        worker, then raise :class:`~repro.errors.EngineInterrupted`.
+
+        Safe to call from any thread or from a signal handler; the
+        pump picks the flag up on its next iteration.  Calling it on a
+        pool that is not running is a no-op.
+        """
+        self._stop_deadline = time.monotonic() + drain_timeout
+        self._stop.set()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -271,16 +316,25 @@ class WorkerPool:
                 self._spawn_worker() for _ in range(config.workers)
             )
         }
+        with _ACTIVE_LOCK:
+            _ACTIVE_POOLS.add(self)
 
         try:
             while len(results) < n_shards:
                 now = time.monotonic()
 
+                # 0. graceful stop: drain in-flight, dispatch nothing.
+                if self._stop.is_set():
+                    in_flight = sum(h.capacity for h in workers.values())
+                    if in_flight == 0 or now > self._stop_deadline:
+                        raise EngineInterrupted(len(results), n_shards)
+
                 # 1. dispatch ready units to workers with headroom.
                 #    Quarantined units ride alone: one per batch, only
                 #    onto an idle worker, with nothing batched behind
-                #    them (see _reap).
-                for handle in workers.values():
+                #    them (see _reap).  A stopping pool dispatches
+                #    nothing — it only drains what is already out.
+                for handle in () if self._stop.is_set() else workers.values():
                     if any(u.isolate for u in handle.assigned.values()):
                         continue
                     while (pending and pending[0].not_before <= now
@@ -365,8 +419,11 @@ class WorkerPool:
                     if unit is not None and index not in results:
                         self._run_exhausted(unit, results)
         finally:
+            with _ACTIVE_LOCK:
+                _ACTIVE_POOLS.discard(self)
             self._shutdown(workers)
             self.stats.elapsed_seconds = time.monotonic() - started
+            self.finished.set()
 
         return results
 

@@ -99,3 +99,31 @@ class ShardError(EngineError):
         self.shard_index = shard_index
         self.details = details
         super().__init__(f"shard {shard_index}: {message}")
+
+
+class EngineInterrupted(EngineError):
+    """A pool run was stopped before every shard completed (graceful
+    shutdown).  In-flight shards were drained and workers reaped;
+    ``completed``/``total`` say how far the job got."""
+
+    def __init__(self, completed: int, total: int) -> None:
+        self.completed = completed
+        self.total = total
+        super().__init__(
+            f"pool stopped after {completed}/{total} shards (graceful "
+            f"shutdown requested)"
+        )
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The serving layer rejected or failed a request.  ``code`` is the
+    HTTP-style status the protocol carries (429, 503, ...);
+    ``retry_after`` is the suggested backoff in seconds when the
+    rejection is transient."""
+
+    def __init__(self, code: int, message: str,
+                 retry_after: float | None = None) -> None:
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+        super().__init__(f"[{code}] {message}")

@@ -1,0 +1,79 @@
+"""The serving layer: the library's analyses as a concurrent service.
+
+Everything below this package exists to answer one question per call
+(*what does IEEE 754 say here?*); this package answers many at once.
+It serves quiz sessions, ``lint`` verdicts, oracle conformance slices,
+and study figures to concurrent clients over newline-delimited JSON,
+with the properties a shared deployment needs:
+
+- **fairness** — per-client token buckets at the front door (429 +
+  ``retry_after``) and a deficit-round-robin queue behind it, so one
+  greedy client cannot starve the rest;
+- **batching** — compatible requests coalesce into single PR 5
+  batch-backend calls (``op.eval``) or single multi-shard engine jobs
+  (``oracle.slice``), amortizing dispatch without changing a single
+  result bit (the backends are lane-wise bit-identical and shard
+  seeds are spec-addressed);
+- **backpressure** — bounded queues that shed (503) instead of
+  buffering unboundedly, and graceful drain on shutdown: every
+  accepted request is answered;
+- **observability** — each request runs under its own task-local
+  telemetry session (``contextvars``), and queue/handle latency plus
+  raised FP flags ride back on the response.
+
+Layering::
+
+    protocol.py   NDJSON wire format: Request/Response, error codes
+    ratelimit.py  TokenBucket admission + FairQueue (DRR) scheduling
+    sessions.py   stateful quiz sessions, deterministically seeded
+    batching.py   MicroBatcher (op.eval) + JobCoalescer (engine jobs)
+    handlers.py   method table; single-flight response caches
+    server.py     FPService: readers -> admission -> queue -> dispatch
+    client.py     async multiplexing client (pipelined, id-correlated)
+"""
+
+from repro.service.batching import BatchStats, JobCoalescer, MicroBatcher
+from repro.service.client import ServiceClient, connect
+from repro.service.handlers import Handlers, SingleFlightCache
+from repro.service.protocol import (
+    BAD_REQUEST,
+    INTERNAL_ERROR,
+    MAX_LINE_BYTES,
+    NOT_FOUND,
+    OVERLOADED,
+    RATE_LIMITED,
+    Request,
+    Response,
+    decode_request,
+    encode,
+)
+from repro.service.ratelimit import FairQueue, TokenBucket
+from repro.service.server import FPService, ServiceConfig
+from repro.service.sessions import QuizSession, SessionStore, session_seed
+
+__all__ = [
+    "BAD_REQUEST",
+    "BatchStats",
+    "FPService",
+    "FairQueue",
+    "Handlers",
+    "INTERNAL_ERROR",
+    "JobCoalescer",
+    "MAX_LINE_BYTES",
+    "MicroBatcher",
+    "NOT_FOUND",
+    "OVERLOADED",
+    "QuizSession",
+    "RATE_LIMITED",
+    "Request",
+    "Response",
+    "ServiceClient",
+    "ServiceConfig",
+    "SessionStore",
+    "SingleFlightCache",
+    "TokenBucket",
+    "connect",
+    "decode_request",
+    "encode",
+    "session_seed",
+]

@@ -1,0 +1,159 @@
+"""An async client for the NDJSON service.
+
+:class:`ServiceClient` multiplexes any number of concurrent ``call``\\ s
+over one connection: each request gets a fresh id, responses are
+correlated back by id (the server pipelines, so order is not
+guaranteed), and awaiting callers are woken individually.
+
+``call`` returns the decoded :class:`~repro.service.protocol.Response`
+— inspect ``ok``/``error_code`` for flow control (the load generator
+counts 429s and 503s rather than raising).  ``call_checked`` raises
+:class:`~repro.errors.ServiceError` on any error, and
+``call_retrying`` additionally honors 429 ``retry_after`` hints with a
+bounded number of attempts — the well-behaved-client loop the rate
+limiter is designed for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    RATE_LIMITED,
+    Response,
+    encode,
+)
+
+__all__ = ["ServiceClient", "connect"]
+
+
+class ServiceClient:
+    """One connection to an :class:`~repro.service.server.FPService`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.create_task(self._read_loop())
+        self._closed = False
+
+    @staticmethod
+    async def open(host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return ServiceClient(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                payload = json.loads(line)
+                error = payload.get("error") or {}
+                response = Response(
+                    id=payload.get("id"),
+                    ok=bool(payload.get("ok")),
+                    result=payload.get("result"),
+                    error_code=error.get("code"),
+                    error_message=error.get("message"),
+                    retry_after=error.get("retry_after"),
+                    telemetry=payload.get("telemetry"),
+                )
+                future = self._pending.pop(response.id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.CancelledError, ValueError):
+            pass
+        finally:
+            self._fail_pending(ConnectionError("connection closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def call(self, method: str, params: dict[str, Any] | None = None,
+                   *, client: str | None = None) -> Response:
+        """Send one request and await its response."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id = next(self._ids)
+        payload: dict[str, Any] = {
+            "id": request_id, "method": method, "params": params or {},
+        }
+        if client is not None:
+            payload["client"] = client
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode(payload))
+        await self._writer.drain()
+        return await future
+
+    async def call_checked(self, method: str,
+                           params: dict[str, Any] | None = None, *,
+                           client: str | None = None) -> Any:
+        """``call`` that raises :class:`ServiceError` on error."""
+        return (await self.call(method, params, client=client)) \
+            .raise_for_error()
+
+    async def call_retrying(self, method: str,
+                            params: dict[str, Any] | None = None, *,
+                            client: str | None = None,
+                            attempts: int = 8,
+                            max_backoff: float = 1.0) -> Any:
+        """``call_checked`` that honors 429 ``retry_after`` hints."""
+        last: ServiceError | None = None
+        for attempt in range(attempts):
+            response = await self.call(method, params, client=client)
+            if response.ok:
+                return response.result
+            if response.error_code != RATE_LIMITED:
+                response.raise_for_error()
+            last = ServiceError(
+                RATE_LIMITED, response.error_message or "rate limited",
+                retry_after=response.retry_after,
+            )
+            if response.retry_after is None:
+                break  # never-satisfiable (zero-rate / burst > capacity)
+            await asyncio.sleep(
+                min(max_backoff, response.retry_after) + 0.001 * attempt
+            )
+        raise last if last is not None else ServiceError(
+            RATE_LIMITED, "rate limited"
+        )
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+
+async def connect(host: str, port: int) -> ServiceClient:
+    """Open a client connection (module-level convenience)."""
+    return await ServiceClient.open(host, port)

@@ -1,0 +1,155 @@
+"""The wire protocol: newline-delimited JSON requests and responses.
+
+One TCP connection carries a stream of independent requests; each line
+is a JSON object.  Responses carry the request's ``id`` and may arrive
+out of order (the server pipelines), so clients correlate by id.
+
+Request::
+
+    {"id": 7, "method": "lint", "params": {"expr": "a*b + c"},
+     "client": "tenant-3"}
+
+``client`` is optional — it names the rate-limit identity; requests
+without one share the connection's default identity.
+
+Response::
+
+    {"id": 7, "ok": true, "result": {...},
+     "telemetry": {"queue_ms": 0.4, "handle_ms": 2.1, "batched": 64,
+                   "fp_events": ["DIVBYZERO"]}}
+
+    {"id": 7, "ok": false,
+     "error": {"code": 429, "message": "rate limited",
+               "retry_after": 0.05}}
+
+Error codes follow HTTP where a precedent exists: 400 malformed
+request, 404 unknown method/session, 429 over rate limit (with
+``retry_after`` seconds), 500 handler error, 503 overloaded or
+shutting down (load shed; safe to retry elsewhere/later).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "Request",
+    "Response",
+    "encode",
+    "decode_request",
+    "BAD_REQUEST",
+    "NOT_FOUND",
+    "RATE_LIMITED",
+    "INTERNAL_ERROR",
+    "OVERLOADED",
+    "MAX_LINE_BYTES",
+]
+
+BAD_REQUEST = 400
+NOT_FOUND = 404
+RATE_LIMITED = 429
+INTERNAL_ERROR = 500
+OVERLOADED = 503
+
+#: One request must fit one line; a 4 MiB line is an attack or a bug.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One decoded request line."""
+
+    id: int | str
+    method: str
+    params: dict[str, Any]
+    client: str | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Response:
+    """One response line (success or error)."""
+
+    id: int | str | None
+    ok: bool
+    result: Any = None
+    error_code: int | None = None
+    error_message: str | None = None
+    retry_after: float | None = None
+    telemetry: dict[str, Any] | None = None
+
+    @staticmethod
+    def success(request_id: int | str, result: Any,
+                telemetry: dict[str, Any] | None = None) -> "Response":
+        return Response(id=request_id, ok=True, result=result,
+                        telemetry=telemetry)
+
+    @staticmethod
+    def failure(request_id: int | str | None, code: int, message: str,
+                retry_after: float | None = None) -> "Response":
+        return Response(id=request_id, ok=False, error_code=code,
+                        error_message=message, retry_after=retry_after)
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.ok:
+            payload: dict[str, Any] = {
+                "id": self.id, "ok": True, "result": self.result,
+            }
+            if self.telemetry is not None:
+                payload["telemetry"] = self.telemetry
+            return payload
+        error: dict[str, Any] = {
+            "code": self.error_code, "message": self.error_message,
+        }
+        if self.retry_after is not None:
+            error["retry_after"] = round(self.retry_after, 6)
+        return {"id": self.id, "ok": False, "error": error}
+
+    def raise_for_error(self) -> Any:
+        """Return the result, raising :class:`ServiceError` on error."""
+        if self.ok:
+            return self.result
+        raise ServiceError(
+            self.error_code or INTERNAL_ERROR,
+            self.error_message or "request failed",
+            retry_after=self.retry_after,
+        )
+
+
+def encode(payload: dict[str, Any]) -> bytes:
+    """One canonical protocol line (compact JSON + newline).
+
+    Compact separators keep the hot path cheap; key order is the
+    writer's insertion order, which is deterministic for our dataclass
+    spellings — bit-identity assertions compare decoded payloads, not
+    raw bytes, so ordering is cosmetic.
+    """
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_request(line: bytes) -> Request:
+    """Parse one request line, raising :class:`ServiceError` (400) on
+    anything malformed — the server answers those without dispatching."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(BAD_REQUEST, f"malformed JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(BAD_REQUEST, "request must be a JSON object")
+    request_id = payload.get("id")
+    if not isinstance(request_id, (int, str)):
+        raise ServiceError(BAD_REQUEST, "request needs an int or str 'id'")
+    method = payload.get("method")
+    if not isinstance(method, str) or not method:
+        raise ServiceError(BAD_REQUEST, "request needs a 'method' string")
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ServiceError(BAD_REQUEST, "'params' must be an object")
+    client = payload.get("client")
+    if client is not None and not isinstance(client, str):
+        raise ServiceError(BAD_REQUEST, "'client' must be a string")
+    return Request(id=request_id, method=method, params=params,
+                   client=client)

@@ -1,0 +1,181 @@
+"""Admission control: per-client token buckets + fair queueing.
+
+Two cooperating mechanisms keep one greedy client from degrading
+everyone else:
+
+- a :class:`TokenBucket` per client at the front door decides *whether
+  a request may enter at all*.  Buckets refill continuously at
+  ``rate`` tokens/second up to ``capacity`` (the burst allowance); a
+  request that finds no token is answered ``429`` with the exact
+  ``retry_after`` the bucket computes — clients that honor it
+  self-pace onto the sustainable rate;
+- a :class:`FairQueue` behind the door decides *whose admitted
+  requests run next*.  It is a deficit-round-robin over per-client
+  FIFOs: each turn a client's deficit grows by its weight and it may
+  dequeue while the deficit covers the next item's cost.  A client
+  with a thousand queued requests still yields the dispatcher to a
+  client with one — fairness holds even when bursts out-run the
+  bucket (e.g. equal buckets, unequal offered load).
+
+Both are clock-injectable and synchronous; the asyncio layer wraps
+them without locks because the event loop serializes access.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from collections.abc import Callable
+from typing import Any
+
+__all__ = ["TokenBucket", "FairQueue"]
+
+
+class TokenBucket:
+    """A continuously refilling token bucket.
+
+    ``rate`` is tokens/second; ``capacity`` is the maximum balance
+    (the burst cap).  ``rate=0`` is a legal degenerate bucket: it
+    never refills, so once the initial capacity is spent every request
+    is refused with no finite retry hint.
+    """
+
+    __slots__ = ("rate", "capacity", "tokens", "_clock", "_last")
+
+    def __init__(self, rate: float, capacity: float, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)  # a fresh client may burst
+        self._clock = clock
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        if elapsed > 0 and self.rate > 0:
+            # capped at capacity: a long-idle client earns one burst,
+            # not an unbounded credit line
+            self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+
+    def try_acquire(self, n: float = 1.0) -> float | None:
+        """Take ``n`` tokens if available.
+
+        Returns ``0.0`` on success, the seconds until ``n`` tokens
+        will exist on refusal, or ``None`` when ``n`` can never be
+        satisfied (``n > capacity``, or a zero-rate bucket that has
+        run dry) — the caller turns ``None`` into a 429 with no
+        ``retry_after``.
+        """
+        self._refill()
+        if self.tokens >= n:
+            self.tokens -= n
+            return 0.0
+        if n > self.capacity or self.rate == 0:
+            return None
+        return (n - self.tokens) / self.rate
+
+    def peek(self) -> float:
+        """Current balance (after refill), for stats endpoints."""
+        self._refill()
+        return self.tokens
+
+
+class FairQueue:
+    """Deficit-round-robin fan-in over per-client FIFO queues.
+
+    ``push`` refuses (returns False) beyond ``per_client_depth`` or
+    ``total_depth`` — the caller turns refusal into a 503 load-shed.
+    ``pop`` serves clients in round-robin order, letting each client
+    spend its accumulated deficit (``weight`` per turn, default 1.0)
+    before moving on; with unit costs this degenerates to weighted
+    round-robin, which is exactly the fairness the service wants: a
+    backlog of N requests from one client never translates into N
+    consecutive dispatches.
+    """
+
+    def __init__(self, *, per_client_depth: int = 256,
+                 total_depth: int = 4096) -> None:
+        self._queues: "OrderedDict[str, deque[Any]]" = OrderedDict()
+        self._deficit: dict[str, float] = {}
+        self._weights: dict[str, float] = {}
+        self.per_client_depth = per_client_depth
+        self.total_depth = total_depth
+        self._total = 0
+        #: lifetime dequeues per client, for fairness assertions
+        self.served: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return self._total
+
+    def set_weight(self, client: str, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be > 0")
+        self._weights[client] = float(weight)
+
+    def depth(self, client: str) -> int:
+        queue = self._queues.get(client)
+        return len(queue) if queue is not None else 0
+
+    def push(self, client: str, item: Any) -> bool:
+        """Enqueue for ``client``; False when a depth bound refuses it."""
+        if self._total >= self.total_depth:
+            return False
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = deque()
+            self._queues[client] = queue
+            self._deficit.setdefault(client, 0.0)
+        elif len(queue) >= self.per_client_depth:
+            return False
+        queue.append(item)
+        self._total += 1
+        return True
+
+    def pop(self) -> Any | None:
+        """Dequeue the next item under DRR fairness (None when empty).
+
+        The client at the front of the rotation serves while its
+        deficit covers unit-cost items (≈ ``weight`` consecutive
+        dispatches per rotation), then tops up and rotates to the
+        back.  A queue that empties forfeits its remaining deficit —
+        the classic DRR rule that stops an idle client banking
+        credit.
+        """
+        if self._total == 0:
+            return None
+        while True:
+            client, queue = next(iter(self._queues.items()))
+            if not queue:
+                # lazily drop empty queues so departed clients don't
+                # slow the rotation (their deficit resets with them)
+                del self._queues[client]
+                self._deficit.pop(client, None)
+                continue
+            deficit = self._deficit.get(client, 0.0)
+            if deficit >= 1.0:
+                self._deficit[client] = deficit - 1.0
+                self._total -= 1
+                self.served[client] = self.served.get(client, 0) + 1
+                item = queue.popleft()
+                if not queue:
+                    self._deficit[client] = 0.0
+                return item
+            # end of this client's turn: top up, rotate to the back
+            self._deficit[client] = deficit + self._weights.get(client, 1.0)
+            self._queues.move_to_end(client)
+
+    def drain_all(self) -> list[Any]:
+        """Every queued item, fairness-ordered (used at shutdown)."""
+        items = []
+        while self._total:
+            item = self.pop()
+            if item is None:  # pragma: no cover - defensive
+                break
+            items.append(item)
+        return items

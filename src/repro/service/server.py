@@ -1,0 +1,413 @@
+"""The asyncio service: admission → fair queue → dispatchers → handlers.
+
+Request lifecycle::
+
+    connection reader ──► token bucket ──► fair queue ──► dispatcher
+        (per conn)         (per client)      (global)      (N tasks)
+                              │ 429             │ 503         │
+                              ▼                 ▼             ▼
+                           refused            shed        handler →
+                                                          response
+
+- The **reader** per connection parses NDJSON lines and answers
+  protocol errors (400) inline without touching the queue.
+- **Admission** charges the request's ``client`` identity (or the
+  connection's default) one token; an empty bucket answers 429 with
+  the bucket's exact ``retry_after``.
+- The **fair queue** bounds memory (per-client and total depth; a
+  full queue answers 503) and orders dispatch by deficit round-robin,
+  so one client's backlog never starves another's single request.
+- **Dispatchers** are ``config.dispatchers`` long-lived tasks.  Each
+  pops under fairness and runs the handler inside its own
+  ``telemetry_session`` — task-local via ``contextvars``, so
+  concurrent requests never share a session — then attaches
+  ``queue_ms``/``handle_ms``/``fp_events`` to the response.
+- **Shutdown** (:meth:`FPService.stop`) stops accepting, lets the
+  queue drain, flushes the micro-batchers, closes the engine
+  gracefully (draining in-flight shards), and only then cancels the
+  dispatchers.  Every accepted request is answered.
+
+The server binds a TCP port (``port=0`` picks a free one) so the load
+generator, the CLI, and tests all exercise the real wire path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.fpenv.flags import FPFlag, flag_names
+from repro.service.batching import JobCoalescer, MicroBatcher
+from repro.service.handlers import Handlers
+from repro.service.protocol import (
+    INTERNAL_ERROR,
+    MAX_LINE_BYTES,
+    OVERLOADED,
+    RATE_LIMITED,
+    Response,
+    decode_request,
+    encode,
+)
+from repro.service.ratelimit import FairQueue, TokenBucket
+from repro.service.sessions import SessionStore
+from repro.telemetry import Telemetry, telemetry_session
+
+__all__ = ["ServiceConfig", "FPService"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`FPService`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; read FPService.port after start
+    service_seed: int = 754
+    dispatchers: int = 8
+    #: per-client token bucket: sustained requests/second and burst cap
+    rate: float = 2000.0
+    burst: float = 500.0
+    per_client_depth: int = 512
+    total_depth: int = 4096
+    batch_max_lanes: int = 4096
+    batch_max_delay: float = 0.002
+    job_max_riders: int = 16
+    job_max_delay: float = 0.01
+    backend: str = "auto"
+    cache_entries: int = 4096
+    drain_timeout: float = 5.0
+
+
+def _flag_labels(flags) -> list[str]:
+    """Names for one event's flags.  The stream carries more than FP
+    flags (engine fault events use their own Flag enum), so decompose
+    generically rather than assuming :class:`FPFlag`."""
+    if isinstance(flags, FPFlag):
+        return flag_names(flags)
+    return [
+        member.name.lower()
+        for member in type(flags)
+        if member.name and member.value
+        and (member.value & (member.value - 1)) == 0  # single bit
+        and member in flags
+    ]
+
+
+class _ClientState:
+    __slots__ = ("bucket", "limited", "shed")
+
+    def __init__(self, bucket: TokenBucket) -> None:
+        self.bucket = bucket
+        self.limited = 0
+        self.shed = 0
+
+
+@dataclasses.dataclass
+class _Work:
+    """One admitted request waiting for a dispatcher."""
+
+    request: Any
+    writer: asyncio.StreamWriter
+    write_lock: asyncio.Lock
+    enqueued: float
+
+
+class FPService:
+    """The serving subsystem.  Start/stop, or use as an async CM."""
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 engine=None) -> None:
+        self.config = config or ServiceConfig()
+        self.engine = engine
+        #: service-owned aggregate telemetry (not ambient; per-request
+        #: sessions are separate and task-local)
+        self.telemetry = Telemetry.create()
+        sessions = SessionStore(self.config.service_seed)
+        from repro.softfloat.backend import get_backend
+
+        batcher = MicroBatcher(
+            get_backend(self.config.backend),
+            max_lanes=self.config.batch_max_lanes,
+            max_delay=self.config.batch_max_delay,
+        )
+        coalescer = None
+        if engine is not None:
+            coalescer = JobCoalescer(
+                engine,
+                max_jobs=self.config.job_max_riders,
+                max_delay=self.config.job_max_delay,
+                seed=self.config.service_seed,
+            )
+        self.handlers = Handlers(
+            service_seed=self.config.service_seed,
+            engine=engine,
+            backend=self.config.backend,
+            sessions=sessions,
+            batcher=batcher,
+            coalescer=coalescer,
+            cache_entries=self.config.cache_entries,
+        )
+        self.queue = FairQueue(
+            per_client_depth=self.config.per_client_depth,
+            total_depth=self.config.total_depth,
+        )
+        self._clients: dict[str, _ClientState] = {}
+        self._wakeup = asyncio.Event()
+        self._server: asyncio.base_events.Server | None = None
+        self._dispatchers: list[asyncio.Task] = []
+        self._conn_serial = 0
+        self._accepting = False
+        self._stopped = False
+        self.port: int | None = None
+        #: lifetime counters, exposed by the ``stats`` method
+        self.accepted = 0
+        self.answered = 0
+        self.limited = 0
+        self.shed = 0
+        self.errors = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._accepting = True
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch_loop(), name=f"dispatch-{i}")
+            for i in range(self.config.dispatchers)
+        ]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: answer everything accepted, then exit."""
+        if self._stopped:
+            return
+        self._accepting = False  # new requests now answered 503
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_timeout
+        while len(self.queue) and time.monotonic() < deadline:
+            self._wakeup.set()
+            await asyncio.sleep(0.005)
+        await self.handlers.drain()
+        # wait for dispatchers to finish their in-flight handler calls
+        while (self.answered + self.errors < self.accepted
+               and time.monotonic() < deadline):
+            await asyncio.sleep(0.005)
+        self._stopped = True
+        for task in self._dispatchers:
+            task.cancel()
+        await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        if self.engine is not None:
+            await asyncio.to_thread(
+                self.engine.close, self.config.drain_timeout
+            )
+
+    async def __aenter__(self) -> "FPService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # -- connection reader ---------------------------------------------
+
+    def _client_state(self, client: str) -> _ClientState:
+        state = self._clients.get(client)
+        if state is None:
+            state = _ClientState(
+                TokenBucket(self.config.rate, self.config.burst)
+            )
+            self._clients[client] = state
+        return state
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self._conn_serial += 1
+        default_client = f"conn-{self._conn_serial}"
+        write_lock = asyncio.Lock()
+        metrics = self.telemetry.metrics
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(
+                        writer, write_lock,
+                        Response.failure(None, 400, "request line too long"),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_request(line)
+                except ServiceError as exc:
+                    await self._write(
+                        writer, write_lock,
+                        Response.failure(None, exc.code, exc.message),
+                    )
+                    continue
+                client = request.client or default_client
+                metrics.counter(
+                    "service.requests_total", method=request.method
+                ).inc()
+                if not self._accepting:
+                    await self._write(
+                        writer, write_lock,
+                        Response.failure(
+                            request.id, OVERLOADED, "service shutting down"
+                        ),
+                    )
+                    continue
+                state = self._client_state(client)
+                verdict = state.bucket.try_acquire()
+                if verdict != 0.0:
+                    state.limited += 1
+                    self.limited += 1
+                    metrics.counter("service.limited_total").inc()
+                    await self._write(
+                        writer, write_lock,
+                        Response.failure(
+                            request.id, RATE_LIMITED, "rate limited",
+                            retry_after=verdict,
+                        ),
+                    )
+                    continue
+                work = _Work(
+                    request=request,
+                    writer=writer,
+                    write_lock=write_lock,
+                    enqueued=time.monotonic(),
+                )
+                if not self.queue.push(client, work):
+                    state.shed += 1
+                    self.shed += 1
+                    metrics.counter("service.shed_total").inc()
+                    await self._write(
+                        writer, write_lock,
+                        Response.failure(
+                            request.id, OVERLOADED, "queue full, shed"
+                        ),
+                    )
+                    continue
+                self.accepted += 1
+                self._wakeup.set()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- dispatchers -----------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            work = self.queue.pop()
+            if work is None:
+                self._wakeup.clear()
+                if len(self.queue):
+                    continue  # racing producer refilled before clear
+                await self._wakeup.wait()
+                continue
+            await self._handle(work)
+
+    async def _handle(self, work: _Work) -> None:
+        request = work.request
+        started = time.monotonic()
+        queue_ms = (started - work.enqueued) * 1e3
+        if request.method == "stats":
+            response = Response.success(request.id, self.stats())
+            self.answered += 1
+            await self._write(work.writer, work.write_lock, response)
+            return
+        try:
+            with telemetry_session() as session:
+                result = await self.handlers.dispatch(
+                    request.method, request.params
+                )
+            handle_ms = (time.monotonic() - started) * 1e3
+            events = sorted({
+                name
+                for event in (session.events.events if session.events
+                              else ())
+                for name in _flag_labels(event.flags)
+            })
+            response = Response.success(
+                request.id, result,
+                telemetry={
+                    "queue_ms": round(queue_ms, 3),
+                    "handle_ms": round(handle_ms, 3),
+                    "fp_events": events,
+                },
+            )
+            self.answered += 1
+        except asyncio.CancelledError:
+            # shutdown cancelled us mid-handler: still answer
+            response = Response.failure(
+                request.id, OVERLOADED, "service shutting down"
+            )
+            self.errors += 1
+            await self._write(work.writer, work.write_lock, response)
+            raise
+        except ServiceError as exc:
+            response = Response.failure(
+                request.id, exc.code, exc.message,
+                retry_after=exc.retry_after,
+            )
+            self.errors += 1
+        except Exception as exc:  # handler bug: answer, keep serving
+            response = Response.failure(
+                request.id, INTERNAL_ERROR, f"{type(exc).__name__}: {exc}"
+            )
+            self.errors += 1
+            self.telemetry.metrics.counter("service.internal_errors").inc()
+        self.telemetry.metrics.histogram(
+            "service.handle_ms", method=request.method
+        ).observe((time.monotonic() - started) * 1e3)
+        await self._write(work.writer, work.write_lock, response)
+
+    @staticmethod
+    async def _write(writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                     response: Response) -> None:
+        payload = encode(response.to_dict())
+        try:
+            async with lock:
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; nothing to answer
+
+    # -- stats -----------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        per_client = {
+            client: {
+                "limited": state.limited,
+                "shed": state.shed,
+                "tokens": round(state.bucket.peek(), 3),
+                "served": self.queue.served.get(client, 0),
+            }
+            for client, state in sorted(self._clients.items())
+        }
+        return {
+            "accepted": self.accepted,
+            "answered": self.answered,
+            "errors": self.errors,
+            "limited": self.limited,
+            "shed": self.shed,
+            "queued": len(self.queue),
+            "clients": per_client,
+            "handlers": self.handlers.stats(),
+        }

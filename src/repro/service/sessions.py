@@ -1,0 +1,200 @@
+"""Stateful quiz sessions with deterministic, replayable seeding.
+
+A session walks a participant through the survey's questions one at a
+time (``quiz.open`` → ``quiz.question``/``quiz.answer`` … →
+``quiz.grade``).  Question order is shuffled per session so concurrent
+participants don't pace each other through identical sequences — but
+*deterministically*: the per-session RNG seed is derived exactly the
+way the engine derives shard seeds,
+``derive_seed(service_seed, "quiz-session", session_id)``, so a
+session replays bit-identically regardless of how many other sessions
+were interleaved with it, in what order sessions were opened, or on
+which server process it lands (same discipline as
+:func:`repro.engine.tasks.derive_seed` for shards and
+``respondent_rng`` for respondents).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections import OrderedDict
+from typing import Any
+
+from repro.engine.tasks import derive_seed
+from repro.errors import ServiceError
+from repro.quiz.model import Question, QuestionKind, TFAnswer
+from repro.quiz.runner import GradeReport, all_questions, grade
+from repro.quiz.scoring import QuizScore
+from repro.service.protocol import BAD_REQUEST, NOT_FOUND
+
+__all__ = ["QuizSession", "SessionStore", "session_seed"]
+
+_SESSION_NAMESPACE = "quiz-session"
+
+
+def session_seed(service_seed: int, session_id: str) -> int:
+    """The per-session RNG seed: positional, never sequential."""
+    return derive_seed(service_seed, _SESSION_NAMESPACE, session_id)
+
+
+def _serialize_question(question: Question, position: int,
+                        total: int) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "qid": question.qid,
+        "label": question.label,
+        "kind": question.kind.name.lower(),
+        "prompt": question.prompt,
+        "position": position,
+        "total": total,
+    }
+    if question.snippet:
+        payload["snippet"] = question.snippet
+    if question.kind is QuestionKind.MULTIPLE_CHOICE:
+        payload["choices"] = list(question.choices)
+    return payload
+
+
+def _score_dict(score: QuizScore) -> dict[str, int]:
+    return {
+        "correct": score.correct,
+        "incorrect": score.incorrect,
+        "dont_know": score.dont_know,
+        "unanswered": score.unanswered,
+        "total": score.total,
+    }
+
+
+def grade_report_dict(report: GradeReport) -> dict[str, Any]:
+    """A JSON-able grade report (shared with the direct-call path, so
+    service responses are comparable bit-for-bit)."""
+    return {
+        "core": _score_dict(report.core),
+        "optimization": _score_dict(report.optimization),
+        "missed": list(report.missed),
+    }
+
+
+_TF_WIRE = {
+    "true": TFAnswer.TRUE,
+    "false": TFAnswer.FALSE,
+    "dont-know": TFAnswer.DONT_KNOW,
+    "unanswered": TFAnswer.UNANSWERED,
+}
+
+
+@dataclasses.dataclass
+class QuizSession:
+    """One participant's in-flight quiz."""
+
+    session_id: str
+    seed: int
+    order: tuple[Question, ...]
+    cursor: int = 0
+    responses: dict[str, TFAnswer | str] = dataclasses.field(
+        default_factory=dict
+    )
+
+    @staticmethod
+    def open(service_seed: int, session_id: str) -> "QuizSession":
+        seed = session_seed(service_seed, session_id)
+        questions = list(all_questions())
+        random.Random(seed).shuffle(questions)
+        return QuizSession(
+            session_id=session_id, seed=seed, order=tuple(questions)
+        )
+
+    @property
+    def finished(self) -> bool:
+        return self.cursor >= len(self.order)
+
+    def current(self) -> dict[str, Any]:
+        if self.finished:
+            return {"done": True, "answered": len(self.responses)}
+        question = self.order[self.cursor]
+        payload = _serialize_question(
+            question, self.cursor, len(self.order)
+        )
+        payload["done"] = False
+        return payload
+
+    def answer(self, answer: str) -> dict[str, Any]:
+        """Record an answer for the current question and advance."""
+        if self.finished:
+            raise ServiceError(BAD_REQUEST, "quiz already complete")
+        question = self.order[self.cursor]
+        if question.kind is QuestionKind.TRUE_FALSE:
+            parsed = _TF_WIRE.get(answer)
+            if parsed is None:
+                raise ServiceError(
+                    BAD_REQUEST,
+                    f"bad true/false answer {answer!r} "
+                    f"(true/false/dont-know/unanswered)",
+                )
+            self.responses[question.qid] = parsed
+        else:
+            if answer not in question.choices \
+                    and answer not in ("dont-know", "unanswered"):
+                raise ServiceError(
+                    BAD_REQUEST,
+                    f"bad choice {answer!r} for {question.qid}",
+                )
+            self.responses[question.qid] = answer
+        self.cursor += 1
+        return self.current()
+
+    def grade(self) -> dict[str, Any]:
+        report = grade(self.responses)
+        payload = grade_report_dict(report)
+        payload["session"] = self.session_id
+        payload["answered"] = len(self.responses)
+        return payload
+
+
+class SessionStore:
+    """All live sessions, LRU-bounded.
+
+    Session ids are assigned sequentially (``s000001``, …) unless the
+    client names its own; either way the *seed* depends only on
+    ``(service_seed, session_id)``, so id assignment order — a racy,
+    load-dependent artifact — never leaks into any session's
+    randomness.
+    """
+
+    def __init__(self, service_seed: int, *, max_sessions: int = 10_000
+                 ) -> None:
+        self.service_seed = service_seed
+        self.max_sessions = max_sessions
+        self._sessions: "OrderedDict[str, QuizSession]" = OrderedDict()
+        self._next_serial = 1
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def open(self, session_id: str | None = None) -> QuizSession:
+        if session_id is None:
+            session_id = f"s{self._next_serial:06d}"
+            self._next_serial += 1
+        if session_id in self._sessions:
+            raise ServiceError(
+                BAD_REQUEST, f"session {session_id!r} already open"
+            )
+        session = QuizSession.open(self.service_seed, session_id)
+        self._sessions[session_id] = session
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self.evicted += 1
+        return session
+
+    def get(self, session_id: str) -> QuizSession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise ServiceError(
+                NOT_FOUND, f"no open session {session_id!r}"
+            )
+        self._sessions.move_to_end(session_id)
+        return session
+
+    def close(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)

@@ -1,0 +1,80 @@
+"""Wire format: encode/decode round trips and malformed-input rejection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    BAD_REQUEST,
+    RATE_LIMITED,
+    Request,
+    Response,
+    decode_request,
+    encode,
+)
+
+
+class TestDecodeRequest:
+    def test_round_trip(self):
+        line = encode({"id": 7, "method": "lint",
+                       "params": {"expr": "a+b"}, "client": "t1"})
+        request = decode_request(line)
+        assert request == Request(id=7, method="lint",
+                                  params={"expr": "a+b"}, client="t1")
+
+    def test_string_ids_and_default_params(self):
+        request = decode_request(encode({"id": "abc", "method": "ping"}))
+        assert request.id == "abc"
+        assert request.params == {}
+        assert request.client is None
+
+    @pytest.mark.parametrize("line", [
+        b"not json\n",
+        b"[1,2,3]\n",
+        b'{"method": "ping"}\n',              # missing id
+        b'{"id": 1.5, "method": "ping"}\n',   # float id
+        b'{"id": 1}\n',                        # missing method
+        b'{"id": 1, "method": ""}\n',          # empty method
+        b'{"id": 1, "method": "m", "params": [1]}\n',
+        b'{"id": 1, "method": "m", "client": 9}\n',
+    ])
+    def test_malformed_is_400(self, line):
+        with pytest.raises(ServiceError) as excinfo:
+            decode_request(line)
+        assert excinfo.value.code == BAD_REQUEST
+
+
+class TestResponse:
+    def test_success_wire_shape(self):
+        payload = Response.success(3, {"x": 1},
+                                   telemetry={"queue_ms": 0.5}).to_dict()
+        assert payload == {"id": 3, "ok": True, "result": {"x": 1},
+                           "telemetry": {"queue_ms": 0.5}}
+
+    def test_failure_wire_shape(self):
+        payload = Response.failure(4, RATE_LIMITED, "slow down",
+                                   retry_after=0.25).to_dict()
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == RATE_LIMITED
+        assert payload["error"]["retry_after"] == 0.25
+
+    def test_raise_for_error_preserves_code_and_hint(self):
+        response = Response.failure(5, RATE_LIMITED, "nope",
+                                    retry_after=1.5)
+        with pytest.raises(ServiceError) as excinfo:
+            response.raise_for_error()
+        assert excinfo.value.code == RATE_LIMITED
+        assert excinfo.value.retry_after == 1.5
+        assert excinfo.value.message == "nope"
+
+    def test_success_raise_for_error_returns_result(self):
+        assert Response.success(1, [1, 2]).raise_for_error() == [1, 2]
+
+    def test_encode_is_one_line(self):
+        line = encode({"id": 1, "method": "m", "params": {"s": "a\nb"}})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert json.loads(line)["params"]["s"] == "a\nb"

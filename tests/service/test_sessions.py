@@ -1,0 +1,145 @@
+"""Deterministic session seeding and the quiz session state machine.
+
+The load-bearing property: a session's question order and grading are
+a pure function of ``(service_seed, session_id)`` — never of how many
+sessions ran before it, how they interleaved, or which store served
+it.  That is what makes service-side quizzes replayable and
+bit-comparable to direct library calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.tasks import derive_seed
+from repro.errors import ServiceError
+from repro.quiz.runner import all_questions, grade
+from repro.service.sessions import (
+    QuizSession,
+    SessionStore,
+    grade_report_dict,
+    session_seed,
+)
+
+
+class TestSessionSeed:
+    def test_matches_engine_derivation(self):
+        assert session_seed(754, "s000001") == derive_seed(
+            754, "quiz-session", "s000001"
+        )
+
+    def test_distinct_per_session_and_service_seed(self):
+        seeds = {
+            session_seed(service, sid)
+            for service in (1, 2, 754)
+            for sid in ("a", "b", "s000001")
+        }
+        assert len(seeds) == 9
+
+    def test_stable_across_interleavings(self):
+        """Opening other sessions in between never perturbs a
+        session's order — unlike a shared sequential RNG would."""
+        alone = QuizSession.open(754, "probe")
+        store = SessionStore(754)
+        for _ in range(25):
+            store.open()  # 25 strangers first
+        interleaved = store.open("probe")
+        assert [q.qid for q in interleaved.order] \
+            == [q.qid for q in alone.order]
+
+    def test_different_sessions_get_different_orders(self):
+        a = QuizSession.open(754, "a")
+        b = QuizSession.open(754, "b")
+        assert [q.qid for q in a.order] != [q.qid for q in b.order]
+        # same questions, different permutation
+        assert {q.qid for q in a.order} == {q.qid for q in b.order}
+
+
+class TestQuizSession:
+    def test_walk_and_grade_matches_direct_call(self):
+        session = QuizSession.open(754, "walk")
+        responses = {}
+        while not session.finished:
+            current = session.current()
+            answer = ("dont-know" if current["kind"] == "true_false"
+                      else current["choices"][0])
+            session.answer(answer)
+            responses[current["qid"]] = answer
+        served = session.grade()
+        direct = grade(session.responses)
+        assert {k: served[k] for k in ("core", "optimization", "missed")} \
+            == grade_report_dict(direct)
+        assert served["answered"] == len(all_questions())
+
+    def test_current_serialization(self):
+        session = QuizSession.open(754, "ser")
+        current = session.current()
+        assert current["position"] == 0
+        assert current["total"] == len(all_questions())
+        assert current["done"] is False
+        assert current["kind"] in ("true_false", "multiple_choice")
+
+    def test_bad_tf_answer_rejected(self):
+        session = QuizSession.open(754, "tf")
+        while session.current()["kind"] != "true_false":
+            session.answer(session.current()["choices"][0])
+        with pytest.raises(ServiceError) as excinfo:
+            session.answer("yes")
+        assert excinfo.value.code == 400
+        assert session.cursor == session.current()["position"]  # no advance
+
+    def test_bad_choice_rejected(self):
+        session = QuizSession.open(754, "mc")
+        while session.current()["kind"] != "multiple_choice":
+            session.answer("dont-know")
+        with pytest.raises(ServiceError):
+            session.answer("not-a-real-choice")
+
+    def test_answer_past_end_rejected(self):
+        session = QuizSession.open(754, "end")
+        while not session.finished:
+            session.answer("dont-know" if session.current()["kind"]
+                           == "true_false"
+                           else session.current()["choices"][0])
+        assert session.current()["done"] is True
+        with pytest.raises(ServiceError):
+            session.answer("true")
+
+
+class TestSessionStore:
+    def test_sequential_ids(self):
+        store = SessionStore(754)
+        assert store.open().session_id == "s000001"
+        assert store.open().session_id == "s000002"
+
+    def test_duplicate_open_rejected(self):
+        store = SessionStore(754)
+        store.open("dup")
+        with pytest.raises(ServiceError) as excinfo:
+            store.open("dup")
+        assert excinfo.value.code == 400
+
+    def test_missing_get_is_404(self):
+        store = SessionStore(754)
+        with pytest.raises(ServiceError) as excinfo:
+            store.get("ghost")
+        assert excinfo.value.code == 404
+
+    def test_lru_eviction_bounds_memory(self):
+        store = SessionStore(754, max_sessions=3)
+        ids = [store.open().session_id for _ in range(5)]
+        assert len(store) == 3
+        assert store.evicted == 2
+        with pytest.raises(ServiceError):
+            store.get(ids[0])  # oldest evicted
+        store.get(ids[-1])
+
+    def test_get_refreshes_lru_position(self):
+        store = SessionStore(754, max_sessions=2)
+        a = store.open("a")
+        store.open("b")
+        store.get(a.session_id)  # touch a; b is now the LRU victim
+        store.open("c")
+        store.get("a")
+        with pytest.raises(ServiceError):
+            store.get("b")

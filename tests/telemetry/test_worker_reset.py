@@ -1,8 +1,9 @@
 """Per-process telemetry isolation (the fork-safety regression).
 
-A forked worker inherits the parent's thread-local telemetry state by
-value; recording into those copied sinks is silent data loss.  These
-tests pin the PID guard in :mod:`repro.telemetry.runtime`: an inherited
+A forked worker inherits the parent's ambient telemetry state (both
+the context-variable tier and the thread-local fallback) by value;
+recording into those copied sinks is silent data loss.  These tests
+pin the PID guard in :mod:`repro.telemetry.runtime`: an inherited
 session must read as NULL in the child, and ``reset_for_process`` must
 give workers an explicit clean slate.
 """
@@ -13,35 +14,59 @@ import os
 from repro.telemetry import (
     NULL_TELEMETRY,
     get_telemetry,
+    set_telemetry,
     telemetry_session,
 )
-from repro.telemetry.runtime import _STATE, active_recorder, reset_for_process
+from repro.telemetry import runtime
+from repro.telemetry.runtime import active_recorder, reset_for_process
+
+
+def _pretend_forked() -> None:
+    """Make the installed session look like it came from another PID."""
+    ambient = runtime._AMBIENT.get()
+    if ambient is not None:
+        ambient.pid = os.getpid() + 1
+    runtime._STATE.pid = os.getpid() + 1
 
 
 class TestPidGuard:
     def test_stale_pid_drops_inherited_session(self):
         with telemetry_session() as session:
             assert get_telemetry() is session
-            _STATE.pid = os.getpid() + 1  # pretend we forked
+            _pretend_forked()
             assert get_telemetry() is NULL_TELEMETRY
             # and the drop is sticky, not re-evaluated every call
-            assert _STATE.current is NULL_TELEMETRY
+            assert runtime._AMBIENT.get().current is NULL_TELEMETRY
 
     def test_stale_pid_drops_active_recorder(self):
         with telemetry_session() as session:
             assert active_recorder() is session.recorder
-            _STATE.pid = os.getpid() + 1
+            _pretend_forked()
             assert active_recorder() is None
+
+    def test_stale_pid_drops_thread_scoped_session(self):
+        from repro.telemetry import Telemetry
+
+        session = Telemetry.create()
+        previous = set_telemetry(session, scope="thread")
+        try:
+            assert get_telemetry() is session
+            runtime._STATE.pid = os.getpid() + 1
+            assert get_telemetry() is NULL_TELEMETRY
+            assert runtime._STATE.current is NULL_TELEMETRY
+        finally:
+            set_telemetry(previous, scope="thread")
 
     def test_disabled_session_skips_pid_check(self):
         # NULL_TELEMETRY stays active regardless of the recorded pid:
         # the disabled hot path must not pay (or be confused by) the
         # fork guard.
-        _STATE.pid = os.getpid() + 1
+        reset_for_process()
+        runtime._STATE.pid = os.getpid() + 1
         try:
             assert get_telemetry() is NULL_TELEMETRY
         finally:
-            _STATE.pid = os.getpid()
+            runtime._STATE.pid = os.getpid()
 
 
 class TestResetForProcess:
@@ -49,7 +74,7 @@ class TestResetForProcess:
         with telemetry_session():
             reset_for_process()
             assert get_telemetry() is NULL_TELEMETRY
-            assert _STATE.pid == os.getpid()
+            assert runtime._STATE.pid == os.getpid()
 
     def test_idempotent(self):
         reset_for_process()
