@@ -445,6 +445,15 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_view.add_argument(
         "path", help="file written by --trace or --metrics-out",
     )
+    telemetry_view.add_argument(
+        "--trace-id", default=None, metavar="HEX",
+        help="show only records stamped with this trace id (prefix ok)",
+    )
+    telemetry_view.add_argument(
+        "--min-ms", type=float, default=None, metavar="MS",
+        help="hide spans whose wall time is below MS milliseconds"
+             " (survivors re-home under their nearest kept ancestor)",
+    )
     telemetry_demo = telemetry_sub.add_parser(
         "demo", help="run a small instrumented workload and print the"
                      " span tree, metrics, and exception events",
@@ -488,6 +497,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-seconds", type=float, default=None, metavar="S",
         help="serve for S seconds then drain and exit (smoke tests;"
              " default: until SIGINT/SIGTERM)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live one-screen view of a running service (polls the"
+             " stats and metrics methods)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True)
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh period in seconds",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="poll once, print the screen, exit (CI smoke)",
     )
     return parser
 
@@ -931,21 +956,66 @@ def _cmd_drill(args: argparse.Namespace) -> int:
     return 0
 
 
-def _telemetry_view(path: str) -> int:
+def _filter_spans(spans: list, trace_id: str | None,
+                  min_ms: float | None) -> list:
+    """Apply the view filters, keeping the tree renderable.
+
+    ``--trace-id`` matches by prefix (records from v1 files have no
+    trace id and only survive when no filter is given).  ``--min-ms``
+    drops fast spans; survivors whose parent was dropped re-home under
+    their nearest surviving ancestor so the tree stays connected.
+    """
+    if trace_id is not None:
+        spans = [
+            s for s in spans
+            if str(s.get("trace_id", "")).startswith(trace_id)
+        ]
+    if min_ms is None:
+        return spans
+    by_id = {s.get("id"): s for s in spans}
+    kept = [
+        s for s in spans
+        if float(s.get("wall", 0.0)) * 1e3 >= min_ms
+    ]
+    kept_ids = {s.get("id") for s in kept}
+    rehomed = []
+    for span in kept:
+        parent = span.get("parent", 0)
+        while parent and parent not in kept_ids:
+            parent = by_id.get(parent, {}).get("parent", 0)
+        if parent != span.get("parent", 0):
+            span = dict(span, parent=parent)
+        rehomed.append(span)
+    return rehomed
+
+
+def _telemetry_view(path: str, *, trace_id: str | None = None,
+                    min_ms: float | None = None) -> int:
     import json
 
     from repro.telemetry.export import (
         load_metrics_json,
-        load_trace_jsonl,
+        load_trace,
         render_metrics,
         render_span_tree,
     )
 
     try:
-        spans, events = load_trace_jsonl(path)
+        trace = load_trace(path)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         trace_error = exc
     else:
+        meta = trace["meta"]
+        spans = _filter_spans(trace["spans"], trace_id, min_ms)
+        events = trace["events"]
+        if trace_id is not None:
+            events = [
+                e for e in events
+                if str(e.get("trace_id", "")).startswith(trace_id)
+            ]
+        if meta.get("trace_id"):
+            print(f"trace {meta['trace_id']}"
+                  f" (schema v{meta.get('version')})")
         if spans:
             print(render_span_tree(spans))
         if events:
@@ -958,7 +1028,10 @@ def _telemetry_view(path: str) -> int:
                 print(f"  #{event.get('sequence')}"
                       f" {event.get('operation')}: {flags}  [{where}]")
         if not spans and not events:
-            print(f"{path}: empty trace")
+            filtered = trace_id is not None or min_ms is not None
+            print(f"{path}: "
+                  + ("no records match the filters" if filtered
+                     else "empty trace"))
         return 0
     # Not a trace; maybe a metrics snapshot.
     try:
@@ -973,7 +1046,9 @@ def _telemetry_view(path: str) -> int:
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     if args.telemetry_command == "view":
-        return _telemetry_view(args.path)
+        return _telemetry_view(
+            args.path, trace_id=args.trace_id, min_ms=args.min_ms,
+        )
 
     # demo: run a small instrumented workload end to end.
     from repro.oracle import FORMATS_BY_NAME, run_conformance
@@ -1144,6 +1219,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(run())
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.client import ServiceClient
+    from repro.service.topview import CLEAR_SCREEN, render_top
+    from repro.telemetry.prometheus import parse_exposition
+
+    title = f"{args.host}:{args.port}"
+
+    async def screen(client: ServiceClient) -> str:
+        stats_response = await client.call("stats")
+        metrics_response = await client.call("metrics")
+        stats = stats_response.result if stats_response.ok else {}
+        exposition = None
+        if metrics_response.ok and isinstance(
+            metrics_response.result, dict
+        ):
+            exposition = parse_exposition(
+                metrics_response.result.get("text", "")
+            )
+        return render_top(stats or {}, exposition, title=title)
+
+    async def run() -> int:
+        try:
+            client = await ServiceClient.open(args.host, args.port)
+        except OSError as exc:
+            print(f"cannot connect to {title}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            async with client:
+                if args.once:
+                    print(await screen(client), end="")
+                    return 0
+                while True:
+                    print(CLEAR_SCREEN + await screen(client),
+                          end="", flush=True)
+                    await asyncio.sleep(max(0.1, args.interval))
+        except (ConnectionError, ValueError) as exc:
+            print(f"lost the service: {exc}", file=sys.stderr)
+            return 1
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 _COMMANDS = {
     "quiz": _cmd_quiz,
     "study": _cmd_study,
@@ -1159,6 +1282,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "engine": _cmd_engine,
     "serve": _cmd_serve,
+    "top": _cmd_top,
 }
 
 

@@ -163,6 +163,50 @@ class Engine:
                 ) from exc
         return results
 
+    @staticmethod
+    def _merge_worker_telemetry(telemetry, job: Job, payloads, job_span,
+                                ) -> None:
+        """Fold harvested worker payloads into the ambient session.
+
+        One synthetic ``engine.shard`` span is manufactured per
+        harvested shard, parented under the open ``engine.job`` span,
+        and the worker's spans/metrics/events merge beneath it.  The
+        walk is in **shard-index order** regardless of completion
+        order, so — log-bucketed metrics being associative and event
+        sequence numbers being assigned at merge — the merged forest
+        is deterministic under any shard arrival interleaving.
+        """
+        if not payloads or not telemetry.enabled:
+            return
+        from repro.telemetry.merge import merge_payload
+
+        tracer = telemetry.tracer
+        parent_id = getattr(job_span, "span_id", 0)
+        parent_path = getattr(job_span, "path", "")
+        shard_path = (f"{parent_path}/engine.shard" if parent_path
+                      else "engine.shard")
+        for shard in job.shards:
+            entry = payloads.get(shard.index)
+            if entry is None:
+                continue
+            worker_id, payload = entry
+            shard_span_id = tracer.add_record(
+                "engine.shard",
+                parent_id=parent_id,
+                path=shard_path,
+                wall=float(payload.get("wall") or 0.0),
+                cpu=float(payload.get("cpu") or 0.0),
+                attrs={
+                    "shard": shard.index,
+                    "worker": worker_id,
+                    "task": shard.spec.task,
+                },
+            )
+            merge_payload(
+                telemetry, payload,
+                under_span_id=shard_span_id, path_prefix=shard_path,
+            )
+
     # -- public API ----------------------------------------------------
 
     def run(self, job: Job) -> Any:
@@ -187,6 +231,9 @@ class Engine:
                     self._active_pool = None
                 pool_stats = pool.stats
                 pool_stats.from_cache = len(cached)
+                self._merge_worker_telemetry(
+                    telemetry, job, pool.payloads, span
+                )
             elif misses:
                 fresh = self._run_serial(job, misses)
             else:

@@ -129,12 +129,17 @@ class _Unit:
     #: repeat death identifies the culprit unambiguously
     isolate: bool = False
 
-    def wire(self) -> tuple:
-        """The tuple shipped to workers (JSON-able scalars only)."""
+    def wire(self, traceparent: str | None = None) -> tuple:
+        """The tuple shipped to workers (JSON-able scalars only).
+
+        ``traceparent`` rides the wire, never the spec: it must stay
+        out of ``TaskSpec.params`` so cache keys — and therefore
+        result bytes — are identical with telemetry on or off.
+        """
         spec = self.shard.spec
         return (
             self.shard.index, self.n_shards, spec.task, dict(spec.params),
-            self.shard.seed, self.attempt,
+            self.shard.seed, self.attempt, traceparent,
         )
 
 
@@ -166,6 +171,11 @@ class WorkerPool:
     def __init__(self, config: PoolConfig) -> None:
         self.config = config
         self.stats = PoolStats()
+        #: harvested worker telemetry, ``{shard_index: (worker_id,
+        #: payload dict)}`` — only populated when the dispatching run
+        #: had an enabled telemetry session (see :meth:`run`)
+        self.payloads: dict[int, tuple[int, dict]] = {}
+        self._traceparent: str | None = None
         ctx_name = config.start_method
         self._mp = (
             multiprocessing.get_context(ctx_name)
@@ -306,7 +316,12 @@ class WorkerPool:
         )
         results: dict[int, Any] = {}
         failures: dict[int, int] = {}
-        metrics = get_telemetry().metrics
+        telemetry = get_telemetry()
+        metrics = telemetry.metrics
+        if telemetry.enabled:
+            context = telemetry.tracer.current_context()
+            if context is not None:
+                self._traceparent = context.to_traceparent()
         max_outstanding = config.batch_size * config.queue_depth
 
         self._result_queue = self._mp.Queue()
@@ -351,7 +366,8 @@ class WorkerPool:
                                 batch.append(pending.popleft())
                         try:
                             handle.task_queue.put_nowait(
-                                ("batch", [u.wire() for u in batch])
+                                ("batch", [u.wire(self._traceparent)
+                                           for u in batch])
                             )
                         except queue_module.Full:
                             pending.extendleft(reversed(batch))
@@ -443,7 +459,7 @@ class WorkerPool:
             if handle is not None and handle.running \
                     and handle.running[0] == shard_index:
                 if unit is not None:
-                    metrics.histogram("engine.shard_seconds").observe(
+                    metrics.log_histogram("engine.shard_seconds").observe(
                         time.monotonic() - handle.running[1]
                     )
                 handle.running = None
@@ -451,6 +467,9 @@ class WorkerPool:
             # already in the pipe when its worker was declared dead).
             if shard_index not in results:
                 results[shard_index] = message[4]
+                payload = message[5] if len(message) > 5 else None
+                if payload is not None:
+                    self.payloads[shard_index] = (worker_id, payload)
                 self.stats.completed += 1
                 metrics.counter("engine.shards_completed_total").inc()
             return

@@ -39,6 +39,18 @@ from repro.telemetry import get_telemetry
 __all__ = ["MicroBatcher", "JobCoalescer", "BatchStats"]
 
 
+def _registry(explicit):
+    """The metrics registry a dispatcher reports into.
+
+    Flushes run on the event loop in whatever rider's context scheduled
+    them, so recording into the *ambient* session would scatter batch
+    metrics across per-request sessions that are discarded after each
+    response.  The service passes its own long-lived registry instead;
+    the ambient fallback keeps standalone/test use observable.
+    """
+    return explicit if explicit is not None else get_telemetry().metrics
+
+
 @dataclasses.dataclass
 class BatchStats:
     """Observability for one dispatcher."""
@@ -66,9 +78,10 @@ class _Pending:
 
 
 class _BatcherBase:
-    def __init__(self, *, max_delay: float) -> None:
+    def __init__(self, *, max_delay: float, metrics=None) -> None:
         self.max_delay = max_delay
         self.stats = BatchStats()
+        self.metrics = metrics
         self._pending: dict[Any, _Pending] = {}
 
     def _enqueue(self, key: Any, payload: Any) -> asyncio.Future:
@@ -84,12 +97,19 @@ class _BatcherBase:
         pending.payloads.append(payload)
         pending.futures.append(future)
         self.stats.submitted += 1
+        _registry(self.metrics).gauge(
+            "service.batch_pending_riders"
+        ).set(sum(len(p.futures) for p in self._pending.values()))
         return future
 
     def _take(self, key: Any) -> _Pending | None:
         pending = self._pending.pop(key, None)
         if pending is not None and pending.timer is not None:
             pending.timer.cancel()
+        if pending is not None:
+            _registry(self.metrics).gauge(
+                "service.batch_pending_riders"
+            ).set(sum(len(p.futures) for p in self._pending.values()))
         return pending
 
     def _flush_deadline(self, key: Any) -> None:
@@ -116,8 +136,8 @@ class MicroBatcher(_BatcherBase):
     """Coalesce same-cell ``op.eval`` requests into one batch call."""
 
     def __init__(self, backend, *, max_lanes: int = 4096,
-                 max_delay: float = 0.002) -> None:
-        super().__init__(max_delay=max_delay)
+                 max_delay: float = 0.002, metrics=None) -> None:
+        super().__init__(max_delay=max_delay, metrics=metrics)
         self.backend = backend
         self.max_lanes = max_lanes
 
@@ -152,10 +172,13 @@ class MicroBatcher(_BatcherBase):
         total = sum(lanes)
         self.stats.flushes += 1
         self.stats.lanes += total
-        telemetry = get_telemetry()
-        telemetry.metrics.histogram("service.batch_lanes").observe(total)
-        telemetry.metrics.histogram("service.batch_riders").observe(
+        metrics = _registry(self.metrics)
+        metrics.log_histogram("service.batch_lanes").observe(total)
+        metrics.log_histogram("service.batch_riders").observe(
             len(pending.payloads)
+        )
+        metrics.gauge("service.batch_fill_ratio").set(
+            total / self.max_lanes if self.max_lanes else 0.0
         )
 
         def run():
@@ -191,8 +214,9 @@ class JobCoalescer(_BatcherBase):
     """Coalesce engine-backed requests into one multi-shard job."""
 
     def __init__(self, engine: Engine, *, max_jobs: int = 16,
-                 max_delay: float = 0.01, seed: int = 754) -> None:
-        super().__init__(max_delay=max_delay)
+                 max_delay: float = 0.01, seed: int = 754,
+                 metrics=None) -> None:
+        super().__init__(max_delay=max_delay, metrics=metrics)
         self.engine = engine
         self.max_jobs = max_jobs
         self.seed = seed
@@ -212,8 +236,12 @@ class JobCoalescer(_BatcherBase):
         task_name = key
         self.stats.flushes += 1
         self.stats.lanes += len(pending.payloads)
-        get_telemetry().metrics.histogram("service.job_riders").observe(
+        metrics = _registry(self.metrics)
+        metrics.log_histogram("service.job_riders").observe(
             len(pending.payloads)
+        )
+        metrics.gauge("service.job_fill_ratio").set(
+            len(pending.payloads) / self.max_jobs if self.max_jobs else 0.0
         )
         shards = tuple(
             Shard(

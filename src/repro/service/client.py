@@ -83,8 +83,14 @@ class ServiceClient:
                 future.set_exception(exc)
 
     async def call(self, method: str, params: dict[str, Any] | None = None,
-                   *, client: str | None = None) -> Response:
-        """Send one request and await its response."""
+                   *, client: str | None = None,
+                   traceparent: str | None = None) -> Response:
+        """Send one request and await its response.
+
+        ``traceparent`` propagates an existing trace context; the
+        server's per-request session joins that trace and echoes the
+        trace id back in the response telemetry.
+        """
         if self._closed:
             raise ConnectionError("client is closed")
         request_id = next(self._ids)
@@ -93,6 +99,8 @@ class ServiceClient:
         }
         if client is not None:
             payload["client"] = client
+        if traceparent is not None:
+            payload["traceparent"] = traceparent
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         self._writer.write(encode(payload))

@@ -61,12 +61,19 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 
 @dataclasses.dataclass(frozen=True)
 class Request:
-    """One decoded request line."""
+    """One decoded request line.
+
+    ``traceparent`` is optional trace propagation: a client already
+    inside a distributed trace passes its context string and the
+    server's per-request telemetry session joins that trace instead of
+    minting a fresh trace id.
+    """
 
     id: int | str
     method: str
     params: dict[str, Any]
     client: str | None = None
+    traceparent: str | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -151,5 +158,8 @@ def decode_request(line: bytes) -> Request:
     client = payload.get("client")
     if client is not None and not isinstance(client, str):
         raise ServiceError(BAD_REQUEST, "'client' must be a string")
+    traceparent = payload.get("traceparent")
+    if traceparent is not None and not isinstance(traceparent, str):
+        raise ServiceError(BAD_REQUEST, "'traceparent' must be a string")
     return Request(id=request_id, method=method, params=params,
-                   client=client)
+                   client=client, traceparent=traceparent)

@@ -100,7 +100,7 @@ class FairQueue:
     """
 
     def __init__(self, *, per_client_depth: int = 256,
-                 total_depth: int = 4096) -> None:
+                 total_depth: int = 4096, metrics=None) -> None:
         self._queues: "OrderedDict[str, deque[Any]]" = OrderedDict()
         self._deficit: dict[str, float] = {}
         self._weights: dict[str, float] = {}
@@ -109,6 +109,20 @@ class FairQueue:
         self._total = 0
         #: lifetime dequeues per client, for fairness assertions
         self.served: dict[str, int] = {}
+        if metrics is None:
+            from repro.telemetry.metrics import NULL_METRICS
+
+            metrics = NULL_METRICS
+        #: depth gauges (total + per client) so saturation is visible
+        #: on a scrape *before* the bounds start refusing (503s)
+        self._metrics = metrics
+
+    def _observe_depth(self, client: str) -> None:
+        self._metrics.gauge("service.queue_depth").set(self._total)
+        queue = self._queues.get(client)
+        self._metrics.gauge("service.queue_depth", client=client).set(
+            len(queue) if queue is not None else 0
+        )
 
     def __len__(self) -> int:
         return self._total
@@ -135,6 +149,7 @@ class FairQueue:
             return False
         queue.append(item)
         self._total += 1
+        self._observe_depth(client)
         return True
 
     def pop(self) -> Any | None:
@@ -165,6 +180,7 @@ class FairQueue:
                 item = queue.popleft()
                 if not queue:
                     self._deficit[client] = 0.0
+                self._observe_depth(client)
                 return item
             # end of this client's turn: top up, rotate to the back
             self._deficit[client] = deficit + self._weights.get(client, 1.0)

@@ -34,6 +34,7 @@ generator, the CLI, and tests all exercise the real wire path.
 from __future__ import annotations
 
 import asyncio
+import collections
 import dataclasses
 import time
 from typing import Any
@@ -53,7 +54,15 @@ from repro.service.protocol import (
 )
 from repro.service.ratelimit import FairQueue, TokenBucket
 from repro.service.sessions import SessionStore
-from repro.telemetry import Telemetry, telemetry_session
+from repro.telemetry import (
+    LogHistogram,
+    Telemetry,
+    parse_traceparent,
+    render_prometheus,
+    telemetry_session,
+)
+from repro.telemetry.merge import merge_metric
+from repro.telemetry.metrics import format_metric_name
 
 __all__ = ["ServiceConfig", "FPService"]
 
@@ -131,6 +140,7 @@ class FPService:
             get_backend(self.config.backend),
             max_lanes=self.config.batch_max_lanes,
             max_delay=self.config.batch_max_delay,
+            metrics=self.telemetry.metrics,
         )
         coalescer = None
         if engine is not None:
@@ -139,6 +149,7 @@ class FPService:
                 max_jobs=self.config.job_max_riders,
                 max_delay=self.config.job_max_delay,
                 seed=self.config.service_seed,
+                metrics=self.telemetry.metrics,
             )
         self.handlers = Handlers(
             service_seed=self.config.service_seed,
@@ -152,8 +163,15 @@ class FPService:
         self.queue = FairQueue(
             per_client_depth=self.config.per_client_depth,
             total_depth=self.config.total_depth,
+            metrics=self.telemetry.metrics,
         )
         self._clients: dict[str, _ClientState] = {}
+        #: answer timestamps for the qps window (monotonic seconds)
+        self._answer_times: collections.deque[float] = collections.deque(
+            maxlen=8192
+        )
+        #: latest trace-id exemplar per canonical metric spelling
+        self._exemplars: dict[str, tuple[str, float]] = {}
         self._wakeup = asyncio.Event()
         self._server: asyncio.base_events.Server | None = None
         self._dispatchers: list[asyncio.Task] = []
@@ -327,17 +345,38 @@ class FPService:
         request = work.request
         started = time.monotonic()
         queue_ms = (started - work.enqueued) * 1e3
-        if request.method == "stats":
-            response = Response.success(request.id, self.stats())
+        if request.method in ("stats", "metrics"):
+            # answered inline: introspection must work even when the
+            # handler path is saturated or the engine is draining
+            if request.method == "stats":
+                result: Any = self.stats()
+            else:
+                result = {
+                    "content_type": "text/plain; version=0.0.4",
+                    "text": self.metrics_text(),
+                }
+            response = Response.success(request.id, result)
             self.answered += 1
+            self._answer_times.append(time.monotonic())
             await self._write(work.writer, work.write_lock, response)
             return
+        incoming = (parse_traceparent(request.traceparent)
+                    if request.traceparent else None)
+        session = Telemetry.create(
+            trace_id=incoming.trace_id if incoming else None
+        )
         try:
-            with telemetry_session() as session:
-                result = await self.handlers.dispatch(
-                    request.method, request.params
-                )
-            handle_ms = (time.monotonic() - started) * 1e3
+            try:
+                with telemetry_session(session):
+                    with session.tracer.span(
+                        "service.request", method=request.method,
+                    ):
+                        result = await self.handlers.dispatch(
+                            request.method, request.params
+                        )
+            finally:
+                handle_ms = (time.monotonic() - started) * 1e3
+                self._absorb_session(session, request.method, handle_ms)
             events = sorted({
                 name
                 for event in (session.events.events if session.events
@@ -350,6 +389,7 @@ class FPService:
                     "queue_ms": round(queue_ms, 3),
                     "handle_ms": round(handle_ms, 3),
                     "fp_events": events,
+                    "trace_id": session.trace_id,
                 },
             )
             self.answered += 1
@@ -373,10 +413,46 @@ class FPService:
             )
             self.errors += 1
             self.telemetry.metrics.counter("service.internal_errors").inc()
-        self.telemetry.metrics.histogram(
+        self.telemetry.metrics.log_histogram(
             "service.handle_ms", method=request.method
         ).observe((time.monotonic() - started) * 1e3)
+        self._answer_times.append(time.monotonic())
         await self._write(work.writer, work.write_lock, response)
+
+    def _absorb_session(self, session: Telemetry, method: str,
+                        handle_ms: float) -> None:
+        """Fold one request session into the service-owned aggregate.
+
+        Counters and log histograms merge exactly, so the aggregate's
+        per-flag FP-exception counts and engine/oracle totals are the
+        sum over all requests; events replay through the service
+        stream (renumbered) for the retained log; and each observed
+        flag records a trace-id *exemplar* so a scrape can jump from a
+        counter to the request trace that raised it.  Request spans
+        are deliberately dropped — the service would otherwise retain
+        every request's span forest forever.
+        """
+        aggregate = self.telemetry.metrics
+        for (name, labels), metric in session.metrics:
+            merge_metric(aggregate, name, dict(labels), metric.to_dict())
+        trace_id = session.trace_id
+        for event in (session.events.events if session.events else ()):
+            self.telemetry.stream.record(
+                event.operation, event.flags,
+                fmt=event.fmt, span_path=event.span_path,
+            )
+            if trace_id is None:
+                continue
+            for name in _flag_labels(event.flags):
+                key = format_metric_name(
+                    "fpenv.exceptions_total", (("flag", name),)
+                )
+                self._exemplars[key] = (trace_id, 1.0)
+        if trace_id is not None:
+            key = format_metric_name(
+                "service.handle_ms", (("method", method),)
+            )
+            self._exemplars[key] = (trace_id, handle_ms)
 
     @staticmethod
     async def _write(writer: asyncio.StreamWriter, lock: asyncio.Lock,
@@ -390,6 +466,51 @@ class FPService:
             pass  # client went away; nothing to answer
 
     # -- stats -----------------------------------------------------------
+
+    _QPS_WINDOW = 5.0
+
+    def _qps(self) -> float:
+        """Answers per second over the trailing window."""
+        now = time.monotonic()
+        horizon = now - self._QPS_WINDOW
+        while self._answer_times and self._answer_times[0] < horizon:
+            self._answer_times.popleft()
+        n = len(self._answer_times)
+        if n < 2:
+            return 0.0
+        window = max(now - self._answer_times[0], 1e-9)
+        return n / window
+
+    def _latency_summary(self) -> dict[str, Any]:
+        """Handle-time quantiles aggregated across all methods —
+        mergeable histograms make this one associative fold."""
+        merged = LogHistogram()
+        for (name, _labels), metric in self.telemetry.metrics:
+            if name == "service.handle_ms" and isinstance(
+                metric, LogHistogram
+            ):
+                merged.merge(metric)
+        return {
+            "count": merged.count,
+            "p50_ms": merged.quantile(0.50),
+            "p95_ms": merged.quantile(0.95),
+            "p99_ms": merged.quantile(0.99),
+        }
+
+    def _fp_exception_counts(self) -> dict[str, Any]:
+        counts: dict[str, int] = {}
+        exemplars: dict[str, str] = {}
+        for (name, labels), metric in self.telemetry.metrics:
+            if name != "fpenv.exceptions_total":
+                continue
+            flag = dict(labels).get("flag", "?")
+            counts[flag] = metric.value
+            exemplar = self._exemplars.get(
+                format_metric_name(name, labels)
+            )
+            if exemplar is not None:
+                exemplars[flag] = exemplar[0]
+        return {"counts": counts, "exemplars": exemplars}
 
     def stats(self) -> dict[str, Any]:
         per_client = {
@@ -408,6 +529,27 @@ class FPService:
             "limited": self.limited,
             "shed": self.shed,
             "queued": len(self.queue),
+            "qps": round(self._qps(), 3),
+            "latency_ms": self._latency_summary(),
+            "fp_exceptions": self._fp_exception_counts(),
             "clients": per_client,
             "handlers": self.handlers.stats(),
         }
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the aggregate registry.
+
+        Derived gauges (qps, cache hit ratio, current queue depth) are
+        refreshed at scrape time; per-flag FP-exception counters carry
+        trace-id exemplars pointing at the most recent raising request.
+        """
+        metrics = self.telemetry.metrics
+        metrics.gauge("service.qps").set(self._qps())
+        metrics.gauge("service.queue_depth").set(len(self.queue))
+        handler_stats = self.handlers.stats()
+        lint = handler_stats.get("lint_cache") or {}
+        looked_up = (lint.get("hits") or 0) + (lint.get("misses") or 0)
+        metrics.gauge("service.lint_cache_hit_ratio").set(
+            (lint.get("hits") or 0) / looked_up if looked_up else 0.0
+        )
+        return render_prometheus(metrics, exemplars=self._exemplars)

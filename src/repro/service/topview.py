@@ -1,0 +1,113 @@
+"""One-screen live view of a running service (``repro top``).
+
+:func:`render_top` turns one ``stats`` answer plus one Prometheus
+scrape into the fixed-shape screen that ``repro top`` repaints every
+interval — request counters, qps, handle-time quantiles, queue depth
+per client, batching fill, cache hit ratio, and per-flag FP-exception
+counts with their trace-id exemplars.  It is a pure function of the
+two payloads so tests (and ``--once`` in CI) can assert on the exact
+text without a terminal in the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["render_top", "CLEAR_SCREEN"]
+
+#: ANSI: cursor home + erase below — repaint without scrollback spam.
+CLEAR_SCREEN = "\x1b[H\x1b[J"
+
+
+def _ms(value: Any) -> str:
+    if not isinstance(value, (int, float)):
+        return "-"
+    return f"{value:8.2f}ms"
+
+
+def _ratio(value: Any) -> str:
+    if not isinstance(value, (int, float)):
+        return "   -"
+    return f"{value:4.2f}"
+
+
+def _gauge(samples: dict[str, float], name: str) -> float | None:
+    """A bare (unlabelled) gauge sample, if the scrape carried one."""
+    return samples.get(name)
+
+
+def render_top(stats: dict[str, Any],
+               exposition: dict[str, Any] | None = None,
+               *, title: str = "") -> str:
+    """Render one screenful from a ``stats`` reply and a parsed scrape.
+
+    ``exposition`` is the output of
+    :func:`~repro.telemetry.prometheus.parse_exposition` over the
+    ``metrics`` method's text (optional — the screen degrades to
+    stats-only when the scrape is missing).
+    """
+    samples = (exposition or {}).get("samples", {})
+    lines: list[str] = []
+    qps = stats.get("qps", 0.0)
+    header = f"repro top — {title}" if title else "repro top"
+    lines.append(f"{header:<48s} qps {qps:8.1f}")
+    lines.append("-" * 64)
+
+    lines.append(
+        "requests  accepted {accepted:<8d} answered {answered:<8d}"
+        " errors {errors:<6d}".format(
+            accepted=stats.get("accepted", 0),
+            answered=stats.get("answered", 0),
+            errors=stats.get("errors", 0),
+        )
+    )
+    lines.append(
+        "          limited  {limited:<8d} shed     {shed:<8d}"
+        " queued {queued:<6d}".format(
+            limited=stats.get("limited", 0),
+            shed=stats.get("shed", 0),
+            queued=stats.get("queued", 0),
+        )
+    )
+
+    latency = stats.get("latency_ms") or {}
+    lines.append(
+        f"latency   p50 {_ms(latency.get('p50_ms'))}"
+        f"  p95 {_ms(latency.get('p95_ms'))}"
+        f"  p99 {_ms(latency.get('p99_ms'))}"
+        f"  (n={latency.get('count', 0)})"
+    )
+
+    fill = _gauge(samples, "service_batch_fill_ratio")
+    job_fill = _gauge(samples, "service_job_fill_ratio")
+    riders = _gauge(samples, "service_batch_pending_riders")
+    lines.append(
+        f"batching  lane fill {_ratio(fill)}  job fill {_ratio(job_fill)}"
+        f"  pending riders {int(riders) if riders is not None else '-'}"
+    )
+    hit_ratio = _gauge(samples, "service_lint_cache_hit_ratio")
+    lines.append(f"cache     lint hit ratio {_ratio(hit_ratio)}")
+
+    exceptions = stats.get("fp_exceptions") or {}
+    counts = exceptions.get("counts") or {}
+    exemplars = exceptions.get("exemplars") or {}
+    if counts:
+        lines.append("fp flags")
+        for flag in sorted(counts):
+            trace = exemplars.get(flag)
+            tail = f"  trace {trace[:16]}…" if trace else ""
+            lines.append(f"  {flag:<16s} {counts[flag]:>8d}{tail}")
+    else:
+        lines.append("fp flags  (none raised yet)")
+
+    clients = stats.get("clients") or {}
+    if clients:
+        lines.append("clients     served   limited      shed    tokens")
+        for client, state in sorted(clients.items()):
+            lines.append(
+                f"  {client:<9s} {state.get('served', 0):>6d}"
+                f" {state.get('limited', 0):>9d}"
+                f" {state.get('shed', 0):>9d}"
+                f" {state.get('tokens', 0.0):>9.1f}"
+            )
+    return "\n".join(lines) + "\n"

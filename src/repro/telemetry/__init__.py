@@ -20,19 +20,35 @@ Enable with :func:`telemetry_session`; export with
 ``study``, ``oracle run``, and ``optsim``).
 """
 
+from repro.telemetry.context import (
+    TraceContext,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+)
 from repro.telemetry.events import (
     BoundedEventLog,
     ExceptionStream,
     FPExceptionEvent,
     single_flags,
 )
+from repro.telemetry.merge import (
+    capture_payload,
+    merge_metric,
+    merge_payload,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LogHistogram,
     MetricsRegistry,
     NullMetrics,
     NULL_METRICS,
+)
+from repro.telemetry.prometheus import (
+    parse_exposition,
+    render_prometheus,
 )
 from repro.telemetry.recorder import TelemetryRecorder
 from repro.telemetry.runtime import (
@@ -59,6 +75,7 @@ __all__ = [
     "FPExceptionEvent",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
     "NullMetrics",
     "NullTracer",
@@ -69,9 +86,18 @@ __all__ = [
     "SpanRecord",
     "Telemetry",
     "TelemetryRecorder",
+    "TraceContext",
     "Tracer",
     "active_recorder",
+    "capture_payload",
+    "format_traceparent",
     "get_telemetry",
+    "merge_metric",
+    "merge_payload",
+    "new_trace_id",
+    "parse_exposition",
+    "parse_traceparent",
+    "render_prometheus",
     "reset_for_process",
     "set_telemetry",
     "single_flags",

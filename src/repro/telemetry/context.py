@@ -1,0 +1,75 @@
+"""Trace context: the identity that crosses process boundaries.
+
+A :class:`TraceContext` names a position in a distributed trace — the
+trace it belongs to (``trace_id``, 32 hex chars) and the span under
+which new work should parent (``span_id``, the parent tracer's integer
+span id).  It serializes to a W3C-traceparent-shaped string::
+
+    00-<trace_id>-<span_id as 16 hex chars>-01
+
+so the engine can ship it to workers as one opaque scalar and the
+service can accept it from clients that already live in a trace.
+
+The span id stays an integer because span ids are tracer-local: a
+worker never uses the parent span id directly (its spans are re-homed
+under a synthetic shard span at merge time, see
+:mod:`repro.telemetry.merge`); the id rides along so the payload is
+self-describing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import uuid
+
+__all__ = [
+    "TraceContext",
+    "new_trace_id",
+    "format_traceparent",
+    "parse_traceparent",
+]
+
+_VERSION = "00"
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex chars."""
+    return uuid.uuid4().hex
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """Where in which trace new spans should attach."""
+
+    trace_id: str
+    span_id: int = 0
+
+    def to_traceparent(self) -> str:
+        return format_traceparent(self)
+
+
+def format_traceparent(context: TraceContext) -> str:
+    """``00-<trace_id>-<span_id:016x>-01`` (W3C-shaped)."""
+    return f"{_VERSION}-{context.trace_id}-{context.span_id & ((1 << 64) - 1):016x}-01"
+
+
+def parse_traceparent(value: str) -> TraceContext | None:
+    """Parse a traceparent string; ``None`` on anything malformed.
+
+    Lenient by design — a bad incoming header must never fail a
+    request, it just starts a fresh trace.
+    """
+    if not isinstance(value, str):
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 4:
+        return None
+    _version, trace_id, span_hex, _flags = parts
+    if len(trace_id) != 32:
+        return None
+    try:
+        int(trace_id, 16)
+        span_id = int(span_hex, 16)
+    except ValueError:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)

@@ -35,26 +35,55 @@ __all__ = [
 ]
 
 
+#: Memoized single-bit decompositions, keyed by the flag value itself
+#: (``enum.Flag`` composites are canonicalized singletons, so instance
+#: identity is a safe key and avoids any per-call allocation).  Flag
+#: raises are the hottest telemetry path — a conformance sweep emits
+#: one per raising operation — and the set of distinct flag
+#: combinations per run is tiny, so iterating the enum once per
+#: combination (instead of once per raise) is nearly free.
+_DECOMPOSED: dict[enum.Flag, tuple[enum.Flag, ...]] = {}
+
+
+def _decompose(flags: enum.Flag) -> tuple[enum.Flag, ...]:
+    members = _DECOMPOSED.get(flags)
+    if members is None:
+        members = _DECOMPOSED[flags] = tuple(
+            member for member in type(flags)
+            if member.value and not (member.value & (member.value - 1))
+            and member in flags
+        )
+    return members
+
+
 def single_flags(flags: enum.Flag) -> Iterable[enum.Flag]:
     """The single-bit members set in ``flags`` (composites skipped)."""
-    for member in type(flags):
-        value = member.value
-        if value and not (value & (value - 1)) and member in flags:
-            yield member
+    return iter(_decompose(flags))
+
+
+#: Memoized exported-name lists (see ``_DECOMPOSED`` for why caching
+#: per flag combination pays: every event export calls this).
+_FLAG_NAMES: dict[enum.Flag, list[str]] = {}
 
 
 def _flag_names(flags: enum.Flag) -> list[str]:
-    return sorted(
-        (member.name or "?").lower() for member in single_flags(flags)
-    )
+    names = _FLAG_NAMES.get(flags)
+    if names is None:
+        names = _FLAG_NAMES[flags] = sorted(
+            (member.name or "?").lower() for member in _decompose(flags)
+        )
+    return list(names)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class FPExceptionEvent:
     """One flag-raise, as an attributable coordinate.
 
     The first three fields match the legacy ``TraceEvent`` layout so
-    existing positional constructions keep working.
+    existing positional constructions keep working.  Treat instances
+    as immutable: they are constructed on the hottest instrumented
+    path (one per raising operation), where a ``frozen`` dataclass's
+    ``object.__setattr__``-per-field construction cost is measurable.
     """
 
     sequence: int
@@ -133,8 +162,10 @@ class BoundedEventLog:
 
     def __call__(self, event: FPExceptionEvent) -> None:
         self._events.append(event)
-        for member in single_flags(event.flags):
-            self._first_by_flag.setdefault(member, event)
+        first = self._first_by_flag
+        for member in _decompose(event.flags):
+            if member not in first:
+                first[member] = event
 
     @property
     def events(self) -> tuple[FPExceptionEvent, ...]:

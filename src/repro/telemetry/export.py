@@ -1,10 +1,14 @@
 """Exporters: JSONL traces, metrics JSON, and human-readable renders.
 
 The trace format is line-delimited JSON, one record per line, each
-self-describing via a ``"type"`` field (``span`` or ``fp_event``) —
-streamable, greppable, and diffable.  Metrics snapshots are a single
-JSON object keyed by the canonical ``name{label=value,...}`` spelling.
-Both formats round-trip: :func:`load_trace_jsonl` and
+self-describing via a ``"type"`` field — streamable, greppable, and
+diffable.  Version 2 (this writer) opens the file with one ``meta``
+record carrying the schema version and the session's ``trace_id``, and
+stamps the trace id on every span and event record so a merged
+cross-process trace is greppable by trace id alone; version 1 files
+(no meta line, no trace ids) still load.  Metrics snapshots are a
+single JSON object keyed by the canonical ``name{label=value,...}``
+spelling.  Both formats round-trip: :func:`load_trace` and
 :func:`load_metrics_json` parse back exactly what the writers emit.
 """
 
@@ -16,8 +20,10 @@ from typing import Any, Iterable
 from repro.telemetry.runtime import Telemetry
 
 __all__ = [
+    "TRACE_SCHEMA_VERSION",
     "trace_records",
     "write_trace_jsonl",
+    "load_trace",
     "load_trace_jsonl",
     "render_span_tree",
     "metrics_snapshot",
@@ -25,6 +31,8 @@ __all__ = [
     "load_metrics_json",
     "render_metrics",
 ]
+
+TRACE_SCHEMA_VERSION = 2
 
 
 # -- traces ------------------------------------------------------------
@@ -34,34 +42,52 @@ def trace_records(telemetry: Telemetry) -> list[dict[str, Any]]:
     """Every span and FP-exception event of a session, as dicts.
 
     Spans come first (completion order), then retained events — each
-    record self-describes via ``"type"``.
+    record self-describes via ``"type"`` and carries the session's
+    ``trace_id`` (when the tracer has one).
     """
+    trace_id = getattr(telemetry.tracer, "trace_id", None)
     records: list[dict[str, Any]] = [
         span.to_dict() for span in telemetry.tracer.spans
     ]
     if telemetry.events is not None:
         records.extend(event.to_dict() for event in telemetry.events.events)
+    if trace_id is not None:
+        for record in records:
+            record.setdefault("trace_id", trace_id)
     return records
 
 
 def write_trace_jsonl(path: str, telemetry: Telemetry) -> int:
-    """Dump a session's trace to ``path``; returns the record count."""
+    """Dump a session's trace to ``path``; returns the record count.
+
+    The leading ``meta`` line is schema framing, not a record — it is
+    excluded from the returned count.
+    """
     records = trace_records(telemetry)
+    meta = {
+        "type": "meta",
+        "version": TRACE_SCHEMA_VERSION,
+        "trace_id": getattr(telemetry.tracer, "trace_id", None),
+        "dropped_spans": telemetry.tracer.dropped,
+    }
     with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(meta, sort_keys=True))
+        handle.write("\n")
         for record in records:
             handle.write(json.dumps(record, sort_keys=True))
             handle.write("\n")
     return len(records)
 
 
-def load_trace_jsonl(
-    path: str,
-) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
-    """Parse a trace dump back into ``(spans, fp_events)``.
+def load_trace(path: str) -> dict[str, Any]:
+    """Parse a trace dump into ``{"meta", "spans", "events"}``.
 
-    Raises ``ValueError`` on lines that are not JSON objects or have
-    an unknown type, so a truncated or foreign file fails loudly.
+    Version 1 files (no meta line) load with a synthesized
+    ``{"version": 1}`` meta.  Raises ``ValueError`` on lines that are
+    not JSON objects or have an unknown type, so a truncated or
+    foreign file fails loudly.
     """
+    meta: dict[str, Any] = {"version": 1}
     spans: list[dict[str, Any]] = []
     events: list[dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
@@ -77,11 +103,24 @@ def load_trace_jsonl(
                 spans.append(record)
             elif kind == "fp_event":
                 events.append(record)
+            elif kind == "meta":
+                meta = {k: v for k, v in record.items() if k != "type"}
             else:
                 raise ValueError(
                     f"line {number}: unknown record type {kind!r}"
                 )
-    return spans, events
+    return {"meta": meta, "spans": spans, "events": events}
+
+
+def load_trace_jsonl(
+    path: str,
+) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+    """Parse a trace dump back into ``(spans, fp_events)``.
+
+    The v1-era accessor; meta framing (v2) is parsed and discarded.
+    """
+    trace = load_trace(path)
+    return trace["spans"], trace["events"]
 
 
 def _format_seconds(seconds: float) -> str:
@@ -153,7 +192,7 @@ def render_metrics(snapshot: dict[str, Any]) -> str:
     for name in sorted(snapshot):
         entry = snapshot[name]
         kind = entry.get("type", "?")
-        if kind == "histogram":
+        if kind in ("histogram", "log_histogram"):
             parts = []
             for key in ("count", "mean", "p50", "p95", "p99", "max"):
                 value = entry.get(key)

@@ -25,9 +25,18 @@ __all__ = ["TelemetryRecorder"]
 
 
 class TelemetryRecorder:
-    """Routes env-layer hooks into a metrics registry and event stream."""
+    """Routes env-layer hooks into a metrics registry and event stream.
 
-    __slots__ = ("metrics", "stream", "tracer")
+    Both hooks sit on the per-operation hot path of an instrumented
+    run, so the registry lookups (labels dict -> sorted key tuple ->
+    instrument) are memoized per recorder: the distinct (op, format)
+    and flag-combination populations of a run are tiny, and a cached
+    hook is a dict probe plus an increment instead of a fresh
+    registry resolution per softfloat operation.
+    """
+
+    __slots__ = ("metrics", "stream", "tracer",
+                 "_op_counters", "_flag_counters")
 
     def __init__(
         self,
@@ -38,19 +47,32 @@ class TelemetryRecorder:
         self.metrics = metrics
         self.stream = stream
         self.tracer = tracer
+        self._op_counters: dict[tuple[str, str], object] = {}
+        self._flag_counters: dict[object, tuple] = {}
 
     def record_op(self, operation: str, fmt_name: str) -> None:
         """One softfloat operation executed."""
-        self.metrics.counter(
-            "softfloat.ops_total", op=operation, format=fmt_name
-        ).inc()
+        key = (operation, fmt_name)
+        counter = self._op_counters.get(key)
+        if counter is None:
+            counter = self._op_counters[key] = self.metrics.counter(
+                "softfloat.ops_total", op=operation, format=fmt_name
+            )
+        counter.inc()
 
     def record_flags(self, operation: str, flags: enum.Flag) -> None:
         """Sticky flags were raised by ``operation``."""
-        span_path = self.tracer.current_path() if self.tracer else None
+        tracer = self.tracer
+        span_path = tracer.current_path() if tracer is not None else None
         self.stream.record(operation, flags, span_path=span_path or None)
-        counter = self.metrics.counter
-        for member in single_flags(flags):
-            counter(
-                "fpenv.exceptions_total", flag=(member.name or "?").lower()
-            ).inc()
+        counters = self._flag_counters.get(flags)
+        if counters is None:
+            counters = self._flag_counters[flags] = tuple(
+                self.metrics.counter(
+                    "fpenv.exceptions_total",
+                    flag=(member.name or "?").lower(),
+                )
+                for member in single_flags(flags)
+            )
+        for counter in counters:
+            counter.inc()

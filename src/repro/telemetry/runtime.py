@@ -89,14 +89,25 @@ class Telemetry:
     recorder: TelemetryRecorder | None
     enabled: bool
 
+    @property
+    def trace_id(self) -> str | None:
+        """The session's trace id (``None`` for the null session)."""
+        return self.tracer.trace_id
+
     @staticmethod
     def create(
         *,
         event_capacity: int = _DEFAULT_EVENT_CAPACITY,
         max_spans: int | None = None,
+        trace_id: str | None = None,
     ) -> "Telemetry":
-        """A fully enabled session with an in-memory retention sink."""
-        tracer = Tracer() if max_spans is None else Tracer(max_spans)
+        """A fully enabled session with an in-memory retention sink.
+
+        ``trace_id`` joins an existing trace (the cross-process
+        propagation path); omitted, the tracer mints a fresh one.
+        """
+        tracer = (Tracer(trace_id=trace_id) if max_spans is None
+                  else Tracer(max_spans, trace_id=trace_id))
         metrics = MetricsRegistry()
         stream = ExceptionStream()
         events = BoundedEventLog(event_capacity)

@@ -19,7 +19,9 @@ import dataclasses
 import functools
 import threading
 import time
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
+
+from repro.telemetry.context import TraceContext, new_trace_id
 
 __all__ = ["SpanRecord", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
 
@@ -74,6 +76,16 @@ class Span:
         """Attach/overwrite one attribute on the open span."""
         self.attrs[key] = value
 
+    @property
+    def span_id(self) -> int:
+        """This span's id (0 before ``__enter__``)."""
+        return getattr(self, "_id", 0)
+
+    @property
+    def path(self) -> str:
+        """Slash-joined path of this span ('' before ``__enter__``)."""
+        return getattr(self, "_path", "")
+
     def __enter__(self) -> "Span":
         tracer = self._tracer
         stack = tracer._stack()
@@ -107,12 +119,20 @@ class Span:
 
 
 class Tracer:
-    """Collects a bounded list of finished spans (oldest kept)."""
+    """Collects a bounded list of finished spans (oldest kept).
 
-    def __init__(self, max_spans: int = _DEFAULT_MAX_SPANS) -> None:
+    Every tracer belongs to exactly one *trace*: ``trace_id`` is
+    generated at construction unless a parent's id is adopted (the
+    cross-process propagation path — engine workers and service
+    request sessions join the trace that dispatched them).
+    """
+
+    def __init__(self, max_spans: int = _DEFAULT_MAX_SPANS, *,
+                 trace_id: str | None = None) -> None:
         if max_spans < 1:
             raise ValueError("max_spans must be positive")
         self._max_spans = max_spans
+        self.trace_id = trace_id or new_trace_id()
         self._records: list[SpanRecord] = []
         self._dropped = 0
         self._epoch = time.perf_counter()
@@ -164,6 +184,77 @@ class Tracer:
         stack = self._stack()
         return stack[-1]._path if stack else ""
 
+    def current_context(self) -> TraceContext:
+        """This trace's id plus the innermost open span's id — what a
+        dispatcher serializes (as a traceparent) for remote work."""
+        stack = self._stack()
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=stack[-1]._id if stack else 0,
+        )
+
+    def add_record(self, name: str, *, parent_id: int = 0,
+                   path: str | None = None, wall: float = 0.0,
+                   cpu: float = 0.0, attrs: dict[str, Any] | None = None,
+                   ) -> int:
+        """Append a synthetic finished span and return its id.
+
+        This is the merge path's tool: the parent manufactures one
+        ``engine.shard`` span per harvested worker payload so imported
+        worker spans have a local span to parent under.  ``start`` is
+        stamped from the tracer's own clock, so records added in shard
+        order render in shard order.
+        """
+        span_id = self._next_id()
+        self._finish(SpanRecord(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            path=path or name,
+            start=time.perf_counter() - self._epoch,
+            wall=wall,
+            cpu=cpu,
+            attrs=dict(attrs) if attrs else {},
+        ))
+        return span_id
+
+    def import_spans(self, records: Iterable[dict[str, Any]], *,
+                     under: int = 0, path_prefix: str = "") -> int:
+        """Adopt finished span dicts from another tracer's dump.
+
+        Worker span ids are tracer-local integers, so they are remapped
+        into this tracer's id space; intra-payload parent links are
+        preserved, and roots (or spans whose parent is missing from the
+        payload) are re-homed under span ``under``.  Returns how many
+        spans were imported.  ``start`` values keep the source tracer's
+        epoch — mutually comparable within one payload, not across.
+        """
+        records = list(records)
+        mapping: dict[int, int] = {}
+        for record in records:
+            span_id = record.get("id")
+            if isinstance(span_id, int):
+                mapping[span_id] = self._next_id()
+        imported = 0
+        for record in records:
+            span_id = record.get("id")
+            if not isinstance(span_id, int):
+                continue
+            local_path = record.get("path") or record.get("name", "?")
+            self._finish(SpanRecord(
+                span_id=mapping[span_id],
+                parent_id=mapping.get(record.get("parent", 0), under),
+                name=record.get("name", "?"),
+                path=(f"{path_prefix}/{local_path}" if path_prefix
+                      else local_path),
+                start=float(record.get("start", 0.0)),
+                wall=float(record.get("wall", 0.0)),
+                cpu=float(record.get("cpu", 0.0)),
+                attrs=dict(record.get("attrs") or {}),
+            ))
+            imported += 1
+        return imported
+
     @property
     def spans(self) -> tuple[SpanRecord, ...]:
         """Finished spans, in completion order."""
@@ -186,6 +277,9 @@ class _NullSpan:
 
     __slots__ = ()
 
+    span_id = 0
+    path = ""
+
     def set(self, key: str, value: Any) -> None:
         pass
 
@@ -202,6 +296,8 @@ _NULL_SPAN = _NullSpan()
 class NullTracer:
     """The disabled tracer: same surface, no recording, no timing."""
 
+    trace_id: str | None = None
+
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
@@ -214,6 +310,16 @@ class NullTracer:
 
     def current_path(self) -> str:
         return ""
+
+    def current_context(self) -> None:
+        return None
+
+    def add_record(self, name: str, **kwargs: Any) -> int:
+        return 0
+
+    def import_spans(self, records: Iterable[dict[str, Any]],
+                     **kwargs: Any) -> int:
+        return 0
 
     @property
     def spans(self) -> tuple[SpanRecord, ...]:

@@ -1,0 +1,122 @@
+"""Worker telemetry harvest: the cross-process span forest.
+
+The engine ships each dispatched unit a ``traceparent`` and collects a
+telemetry payload per shard alongside (never inside) the result
+channel — these tests pin the two invariants the trace plane promises:
+worker spans parent under their shard-dispatch span with the run's
+trace id, and results stay bit-identical with telemetry on, off, or
+absent.
+"""
+
+import json
+
+from repro.engine import Engine, EngineConfig, make_job
+from repro.telemetry import telemetry_session
+
+
+def _engine(workers: int) -> Engine:
+    return Engine(EngineConfig(
+        workers=workers, shard_timeout=60.0, cache_enabled=False,
+    ))
+
+
+def _job(n: int = 4):
+    return make_job(
+        "j", "engine.test.echo", [{"payload": i} for i in range(n)]
+    )
+
+
+class TestHarvestedForest:
+    def test_worker_spans_parent_under_shard_spans(self):
+        with telemetry_session() as session:
+            _engine(2).run(_job())
+        spans = {record.span_id: record for record in session.tracer.spans}
+        by_name: dict = {}
+        for record in spans.values():
+            by_name.setdefault(record.name, []).append(record)
+        job_span = by_name["engine.job"][0]
+        shard_spans = by_name["engine.shard"]
+        assert len(shard_spans) == 4
+        assert all(
+            record.parent_id == job_span.span_id for record in shard_spans
+        )
+        worker_spans = by_name["worker.execute"]
+        assert len(worker_spans) == 4
+        shard_ids = {record.span_id for record in shard_spans}
+        assert all(
+            record.parent_id in shard_ids for record in worker_spans
+        )
+
+    def test_shard_spans_merge_in_shard_index_order(self):
+        with telemetry_session() as session:
+            _engine(2).run(_job(6))
+        shard_order = [
+            record.attrs["shard"] for record in session.tracer.spans
+            if record.name == "engine.shard"
+        ]
+        assert shard_order == sorted(shard_order)
+
+    def test_worker_metrics_fold_into_the_parent_registry(self):
+        with telemetry_session() as session:
+            _engine(2).run(_job())
+        histogram = session.metrics.log_histogram("engine.shard_seconds")
+        assert histogram.count == 4
+
+    def test_one_trace_id_across_the_forest(self, tmp_path):
+        from repro.telemetry.export import load_trace, write_trace_jsonl
+
+        with telemetry_session() as session:
+            _engine(2).run(_job())
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(str(path), session)
+        trace = load_trace(str(path))
+        assert trace["meta"]["version"] == 2
+        assert trace["meta"]["trace_id"] == session.trace_id
+        assert trace["spans"], "trace has spans"
+        assert all(
+            record["trace_id"] == session.trace_id
+            for record in trace["spans"]
+        )
+
+
+class TestResultIdentity:
+    def test_parallel_with_telemetry_matches_serial_without(self):
+        params = [{"n": 5} for _ in range(6)]
+        serial = _engine(0).run(
+            make_job("j", "engine.test.rng_draw", params)
+        )
+        with telemetry_session():
+            parallel = _engine(2).run(
+                make_job("j", "engine.test.rng_draw", params)
+            )
+        assert json.dumps(parallel, sort_keys=True) == \
+            json.dumps(serial, sort_keys=True)
+
+    def test_telemetry_off_ships_no_payloads(self):
+        from repro.engine.pool import PoolConfig, WorkerPool
+
+        pool = WorkerPool(PoolConfig(workers=2, shard_timeout=60.0))
+        results = pool.run(list(_job().shards))
+        assert sorted(results) == [0, 1, 2, 3]
+        # no ambient session → no traceparent on the wire and the
+        # done-channel payload slot stays None: nothing is harvested
+        assert pool.payloads == {}
+
+    def test_telemetry_on_harvests_one_payload_per_shard(self):
+        from repro.engine.pool import PoolConfig, WorkerPool
+
+        with telemetry_session() as session:
+            pool = WorkerPool(PoolConfig(workers=2, shard_timeout=60.0))
+            pool.run(list(_job().shards))
+        assert sorted(pool.payloads) == [0, 1, 2, 3]
+        assert all(
+            payload["trace_id"] == session.trace_id
+            for _worker, payload in pool.payloads.values()
+        )
+
+    def test_serial_path_ignores_harvest(self):
+        with telemetry_session() as session:
+            _engine(0).run(_job())
+        names = {record.name for record in session.tracer.spans}
+        assert "engine.job" in names
+        assert "worker.execute" not in names  # no workers, no harvest

@@ -74,6 +74,67 @@ class TestTelemetryView:
         assert "cannot read" in capsys.readouterr().err
 
 
+class TestTelemetryViewFilters:
+    @staticmethod
+    def _write_trace(path):
+        trace_id = "ab" * 16
+        records = [
+            {"type": "meta", "version": 2, "trace_id": trace_id,
+             "dropped_spans": 0},
+            {"type": "span", "id": 1, "parent": 0, "name": "engine.job",
+             "path": "engine.job", "start": 0.0, "wall": 0.050,
+             "cpu": 0.01, "attrs": {}, "trace_id": trace_id},
+            {"type": "span", "id": 2, "parent": 1, "name": "engine.shard",
+             "path": "engine.job/engine.shard", "start": 0.001,
+             "wall": 0.001, "cpu": 0.001, "attrs": {},
+             "trace_id": trace_id},
+            {"type": "span", "id": 3, "parent": 2, "name": "worker.execute",
+             "path": "engine.job/engine.shard/worker.execute",
+             "start": 0.002, "wall": 0.020, "cpu": 0.01, "attrs": {},
+             "trace_id": trace_id},
+            {"type": "fp_event", "sequence": 1, "operation": "add",
+             "flags": ["overflow"], "fmt": "binary16", "span": None,
+             "trace_id": trace_id},
+        ]
+        path.write_text(
+            "\n".join(json.dumps(record) for record in records) + "\n"
+        )
+        return trace_id
+
+    def test_trace_id_prefix_matches(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        trace_id = self._write_trace(path)
+        assert main(["telemetry", "view", str(path),
+                     "--trace-id", trace_id[:8]]) == 0
+        out = capsys.readouterr().out
+        assert "engine.job" in out and "worker.execute" in out
+
+    def test_trace_id_mismatch_filters_everything(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        self._write_trace(path)
+        assert main(["telemetry", "view", str(path),
+                     "--trace-id", "ffffffff"]) == 0
+        out = capsys.readouterr().out
+        assert "no records match" in out
+
+    def test_min_ms_drops_fast_spans_and_rehomes_survivors(
+            self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        self._write_trace(path)
+        assert main(["telemetry", "view", str(path), "--min-ms", "5"]) == 0
+        out = capsys.readouterr().out
+        # the 1ms shard span is gone; its 20ms child survives and
+        # renders under the surviving job root
+        assert "engine.shard" not in out
+        assert "engine.job" in out and "worker.execute" in out
+
+    def test_meta_line_prints_the_trace_id(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        trace_id = self._write_trace(path)
+        assert main(["telemetry", "view", str(path)]) == 0
+        assert f"trace {trace_id} (schema v2)" in capsys.readouterr().out
+
+
 class TestTelemetryDemo:
     def test_demo_prints_tree_and_metrics(self, capsys):
         assert main(["telemetry", "demo", "--budget", "50"]) == 0

@@ -1,0 +1,74 @@
+"""Trace context: traceparent round-trips and lenient parsing."""
+
+import pytest
+
+from repro.telemetry import (
+    TraceContext,
+    Tracer,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+)
+
+
+class TestTraceId:
+    def test_is_32_lowercase_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 32
+        int(trace_id, 16)  # parses as hex
+        assert trace_id == trace_id.lower()
+
+    def test_fresh_every_time(self):
+        assert new_trace_id() != new_trace_id()
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        context = TraceContext(trace_id="ab" * 16, span_id=47)
+        parsed = parse_traceparent(context.to_traceparent())
+        assert parsed == context
+
+    def test_wire_shape(self):
+        header = format_traceparent(TraceContext("0f" * 16, span_id=255))
+        version, trace_id, span_hex, flags = header.split("-")
+        assert version == "00"
+        assert trace_id == "0f" * 16
+        assert span_hex == f"{255:016x}"
+        assert flags == "01"
+
+    def test_root_context_has_span_zero(self):
+        parsed = parse_traceparent(
+            TraceContext(new_trace_id()).to_traceparent()
+        )
+        assert parsed.span_id == 0
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "nonsense",
+        "00-short-0000000000000001-01",
+        "00-" + "zz" * 16 + "-0000000000000001-01",  # non-hex trace id
+        "00-" + "ab" * 16 + "-nothex-01",
+        "00-" + "ab" * 16 + "-0000000000000001",  # missing flags
+        None,
+        42,
+    ])
+    def test_malformed_parses_to_none(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_tracer_context_round_trips_through_the_wire(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            context = tracer.current_context()
+            header = context.to_traceparent()
+        parsed = parse_traceparent(header)
+        assert parsed.trace_id == tracer.trace_id
+        assert parsed.span_id == context.span_id != 0
+
+
+class TestTracerTraceIds:
+    def test_tracer_mints_a_trace_id(self):
+        assert Tracer().trace_id is not None
+
+    def test_tracer_adopts_a_given_trace_id(self):
+        trace_id = new_trace_id()
+        assert Tracer(trace_id=trace_id).trace_id == trace_id

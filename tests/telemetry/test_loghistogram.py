@@ -1,0 +1,173 @@
+"""Mergeable log-bucketed histogram: exactness and merge algebra.
+
+The merge properties are the whole point of the instrument — shard
+deltas folded in any order, any grouping, must yield the same parent
+histogram — so they are tested as properties over random observation
+sets, not just hand-picked examples.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import LogHistogram
+
+# relative quantile error bound: one bucket of width gamma = 2**(1/8)
+_GAMMA = 2.0 ** 0.125
+_REL_ERR = (_GAMMA - 1.0) / (_GAMMA + 1.0)  # midpoint rule, ~4.4%
+
+observations = st.lists(
+    st.floats(
+        min_value=1e-9, max_value=1e9,
+        allow_nan=False, allow_infinity=False,
+    ),
+    min_size=0, max_size=200,
+)
+
+
+def _filled(values):
+    histogram = LogHistogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+def _comparable(histogram):
+    """Everything merge must preserve *exactly*.
+
+    ``sum``/``mean`` are float accumulations, so regrouping shifts
+    them by ulps (this repo's own subject matter); counts, buckets,
+    min/max — and therefore every quantile — must match bit-for-bit.
+    """
+    data = histogram.to_dict()
+    total = data.pop("sum")
+    data.pop("mean", None)
+    return data, total
+
+
+class TestObserve:
+    def test_empty(self):
+        histogram = LogHistogram()
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) is None
+        assert histogram.mean is None
+
+    def test_single_observation_quantiles_are_exact(self):
+        histogram = _filled([0.375])
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.quantile(q) == 0.375
+
+    def test_min_max_are_exact(self):
+        histogram = _filled([3.0, 0.001, 700.0, 0.5])
+        assert histogram.min == 0.001
+        assert histogram.max == 700.0
+
+    def test_zero_and_negative_observations(self):
+        histogram = _filled([0.0, -5.0, 5.0])
+        assert histogram.count == 3
+        assert histogram.min == -5.0
+        assert histogram.max == 5.0
+
+    @given(observations)
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_within_bucket_resolution(self, values):
+        histogram = _filled(values)
+        if not values:
+            return
+        for q in (0.5, 0.95, 0.99):
+            exact = sorted(values)[
+                min(len(values), max(1, math.ceil(q * len(values)))) - 1
+            ]
+            estimate = histogram.quantile(q)
+            assert estimate is not None
+            # clamped to [min, max] and within one log-bucket of exact
+            assert histogram.min <= estimate <= histogram.max
+            if exact > 0:
+                assert abs(estimate - exact) <= exact * (_REL_ERR + 1e-9)
+
+
+class TestMergeAlgebra:
+    @given(observations, observations)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_commutes(self, left, right):
+        ab, ab_total = _comparable(_filled(left).merge(_filled(right)))
+        ba, ba_total = _comparable(_filled(right).merge(_filled(left)))
+        assert ab == ba
+        assert math.isclose(ab_total, ba_total, rel_tol=1e-12, abs_tol=0.0) \
+            or ab_total == ba_total == 0.0
+
+    @given(observations, observations, observations)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_associates(self, a, b, c):
+        left, left_total = _comparable(
+            _filled(a).merge(_filled(b)).merge(_filled(c))
+        )
+        right, right_total = _comparable(
+            _filled(a).merge(_filled(b).merge(_filled(c)))
+        )
+        assert left == right
+        assert math.isclose(
+            left_total, right_total, rel_tol=1e-12, abs_tol=0.0
+        ) or left_total == right_total == 0.0
+
+    @given(observations, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=50, deadline=None)
+    def test_chunked_equals_whole(self, values, chunks):
+        whole = _filled(values)
+        merged = LogHistogram()
+        size = max(1, math.ceil(len(values) / chunks)) if values else 1
+        for start in range(0, len(values), size):
+            merged.merge(_filled(values[start:start + size]))
+        merged_data, merged_total = _comparable(merged)
+        whole_data, whole_total = _comparable(whole)
+        assert merged_data == whole_data
+        assert math.isclose(
+            merged_total, whole_total, rel_tol=1e-12, abs_tol=0.0
+        ) or merged_total == whole_total == 0.0
+
+    def test_arrival_order_does_not_change_parent_quantiles(self):
+        # the sharded-run property: one delta per shard, folded in
+        # whatever order shards happen to finish
+        rng = random.Random(754)
+        shards = [
+            _filled([rng.lognormvariate(0.0, 2.0) for _ in range(100)])
+            for _ in range(8)
+        ]
+        reference = LogHistogram()
+        for shard in shards:
+            reference.merge(shard)
+        for _ in range(10):
+            rng.shuffle(shards)
+            merged = LogHistogram()
+            for shard in shards:
+                merged.merge(shard)
+            assert _comparable(merged)[0] == _comparable(reference)[0]
+            for q in (0.5, 0.95, 0.99):
+                assert merged.quantile(q) == reference.quantile(q)
+
+
+class TestWireFormat:
+    @given(observations)
+    @settings(max_examples=50, deadline=None)
+    def test_to_dict_round_trips_through_merge_dict(self, values):
+        original = _filled(values)
+        revived = LogHistogram()
+        revived.merge_dict(original.to_dict())
+        assert revived.to_dict() == original.to_dict()
+
+    def test_from_dict(self):
+        original = _filled([1.0, 2.0, 0.0, -3.0])
+        assert LogHistogram.from_dict(
+            original.to_dict()
+        ).to_dict() == original.to_dict()
+
+    def test_bucket_bounds_are_cumulative(self):
+        histogram = _filled([0.1, 1.0, 10.0, 100.0])
+        bounds = histogram.bucket_bounds()
+        uppers = [upper for upper, _ in bounds]
+        counts = [count for _, count in bounds]
+        assert uppers == sorted(uppers)
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert counts[-1] == histogram.count

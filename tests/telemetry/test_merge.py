@@ -1,0 +1,115 @@
+"""Cross-process merge: payload capture, span re-homing, metric folds."""
+
+import pickle
+
+from repro.fpenv.flags import FPFlag
+from repro.telemetry import (
+    Telemetry,
+    capture_payload,
+    merge_metric,
+    merge_payload,
+)
+from repro.telemetry.merge import PAYLOAD_VERSION
+from repro.telemetry.runtime import NULL_TELEMETRY
+
+
+def _worker_session(trace_id=None):
+    """A finished 'worker' session with spans, metrics, and an event."""
+    session = Telemetry.create(trace_id=trace_id)
+    with session.tracer.span("worker.execute", shard=3):
+        with session.tracer.span("inner"):
+            pass
+        session.metrics.counter("oracle.evals_total", op="add").inc(5)
+        session.metrics.log_histogram("oracle.eval_seconds").observe(0.25)
+        session.stream.record(
+            "add", FPFlag.OVERFLOW | FPFlag.INEXACT, fmt="binary16",
+        )
+    return session
+
+
+class TestCapturePayload:
+    def test_payload_shape_and_trace_id(self):
+        session = _worker_session(trace_id="cd" * 16)
+        payload = capture_payload(session, wall=1.5, cpu=0.5)
+        assert payload["v"] == PAYLOAD_VERSION
+        assert payload["trace_id"] == "cd" * 16
+        assert payload["wall"] == 1.5 and payload["cpu"] == 0.5
+        assert {record["name"] for record in payload["spans"]} == {
+            "worker.execute", "inner",
+        }
+        assert payload["events"][0]["operation"] == "add"
+
+    def test_payload_is_picklable(self):
+        payload = capture_payload(_worker_session())
+        assert pickle.loads(pickle.dumps(payload)) == payload
+
+
+class TestMergePayload:
+    def test_spans_re_home_under_the_given_span(self):
+        parent = Telemetry.create()
+        with parent.tracer.span("engine.job"):
+            shard_id = parent.tracer.add_record(
+                "engine.shard", parent_id=parent.tracer.current_context().span_id,
+            )
+            merge_payload(
+                parent, capture_payload(_worker_session()),
+                under_span_id=shard_id, path_prefix="engine.job/engine.shard",
+            )
+        by_name = {record.name: record for record in parent.tracer.spans}
+        assert by_name["worker.execute"].parent_id == shard_id
+        assert by_name["inner"].parent_id == by_name["worker.execute"].span_id
+        assert by_name["inner"].path.startswith(
+            "engine.job/engine.shard/worker.execute"
+        )
+
+    def test_imported_span_ids_do_not_collide(self):
+        parent = Telemetry.create()
+        with parent.tracer.span("local"):
+            pass
+        merge_payload(parent, capture_payload(_worker_session()))
+        ids = [record.span_id for record in parent.tracer.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_metrics_fold_exactly(self):
+        parent = Telemetry.create()
+        parent.metrics.counter("oracle.evals_total", op="add").inc(2)
+        for _ in range(2):
+            merge_payload(parent, capture_payload(_worker_session()))
+        assert parent.metrics.counter(
+            "oracle.evals_total", op="add"
+        ).value == 12
+        assert parent.metrics.log_histogram(
+            "oracle.eval_seconds"
+        ).count == 2
+
+    def test_events_replay_renumbered_into_the_parent_stream(self):
+        parent = Telemetry.create()
+        merge_payload(parent, capture_payload(_worker_session()))
+        merge_payload(parent, capture_payload(_worker_session()))
+        events = parent.events.events
+        assert len(events) == 2
+        assert [event.sequence for event in events] == [1, 2]
+        assert events[0].flags & FPFlag.OVERFLOW
+
+    def test_dropped_spans_surface_as_a_counter(self):
+        parent = Telemetry.create()
+        payload = capture_payload(_worker_session())
+        payload["dropped_spans"] = 7
+        merge_payload(parent, payload)
+        assert parent.metrics.counter(
+            "telemetry.dropped_spans_total"
+        ).value == 7
+
+    def test_unknown_metric_kind_is_dropped_not_fatal(self):
+        parent = Telemetry.create()
+        merge_metric(
+            parent.metrics, "future.metric", {}, {"type": "sketch?"}
+        )
+        assert not any(
+            name == "future.metric"
+            for (name, _labels), _metric in parent.metrics
+        )
+
+    def test_disabled_parent_is_a_no_op(self):
+        merge_payload(NULL_TELEMETRY, capture_payload(_worker_session()))
+        assert list(NULL_TELEMETRY.tracer.spans) == []
